@@ -1,0 +1,158 @@
+//! FPGA device models: slice packing and utilization for the
+//! Virtex-II Pro family the paper targets.
+
+use crate::primitives::Resources;
+
+/// A Virtex-II Pro part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Part name (e.g. `"XC2VP20"`).
+    pub name: &'static str,
+    /// Total slices (each 2 LUTs + 2 FFs).
+    pub slices: u64,
+    /// Total block-RAM bits.
+    pub bram_bits: u64,
+}
+
+/// XC2VP7: 4 928 slices.
+pub const XC2VP7: FpgaDevice = FpgaDevice {
+    name: "XC2VP7",
+    slices: 4_928,
+    bram_bits: 44 * 18 * 1024,
+};
+
+/// XC2VP20: 9 280 slices — the part whose utilization percentages
+/// match the paper's Table 1 (719 slices = 7.8 %, platform 7 387
+/// slices ≈ 80 %).
+pub const XC2VP20: FpgaDevice = FpgaDevice {
+    name: "XC2VP20",
+    slices: 9_280,
+    bram_bits: 88 * 18 * 1024,
+};
+
+/// XC2VP30: 13 696 slices (the larger part of the same board family).
+pub const XC2VP30: FpgaDevice = FpgaDevice {
+    name: "XC2VP30",
+    slices: 13_696,
+    bram_bits: 136 * 18 * 1024,
+};
+
+/// XC2VP50: 23 616 slices ("with larger FPGAs, it will be possible to
+/// emulate very large NoCs").
+pub const XC2VP50: FpgaDevice = FpgaDevice {
+    name: "XC2VP50",
+    slices: 23_616,
+    bram_bits: 232 * 18 * 1024,
+};
+
+/// All modelled parts, smallest first.
+pub const ALL_DEVICES: [FpgaDevice; 4] = [XC2VP7, XC2VP20, XC2VP30, XC2VP50];
+
+impl FpgaDevice {
+    /// Maps a resource bag to occupied slices.
+    ///
+    /// A Virtex-II slice holds 2 LUTs and 2 FFs. Perfect LUT/FF
+    /// pairing would give `max(luts, ffs) / 2`; real placements pack
+    /// imperfectly, so half of the smaller resource is assumed not to
+    /// share slices with the larger one:
+    ///
+    /// ```text
+    /// slices = ceil((max(l, f) + min(l, f) / 2) / 2)
+    /// ```
+    pub fn slices_for(&self, r: Resources) -> u64 {
+        let hi = r.luts.max(r.ffs);
+        let lo = r.luts.min(r.ffs);
+        (hi + lo / 2).div_ceil(2)
+    }
+
+    /// Utilization of this part by `r`, as a fraction of total slices.
+    pub fn utilization(&self, r: Resources) -> f64 {
+        self.slices_for(r) as f64 / self.slices as f64
+    }
+
+    /// Whether the design fits (slices and BRAM).
+    pub fn fits(&self, r: Resources) -> bool {
+        self.slices_for(r) <= self.slices && r.bram_bits <= self.bram_bits
+    }
+
+    /// The smallest modelled part that fits `r`, if any.
+    pub fn smallest_fitting(r: Resources) -> Option<FpgaDevice> {
+        ALL_DEVICES.into_iter().find(|d| d.fits(r))
+    }
+}
+
+/// Estimated clock for a platform on Virtex-II Pro (-6 speed grade).
+///
+/// The critical path of the emulated switch is route lookup →
+/// arbitration → crossbar traversal. Each stage costs one logic level
+/// per two inputs arbitrated, at roughly 1.5 ns per level plus 6 ns of
+/// base clock-to-out, routing and setup — calibrated so that the
+/// paper's 4-in/4-out switches run at the reported 50 MHz with
+/// headroom.
+pub fn estimate_clock_mhz(max_switch_ports: u64) -> f64 {
+    let levels = 3 + (64 - max_switch_ports.max(2).leading_zeros() as u64) * 2;
+    let ns = 6.0 + 1.5 * levels as f64;
+    1_000.0 / ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_packing_formula() {
+        // Perfectly paired: 100 LUT + 100 FF -> (100 + 50)/2 = 75.
+        assert_eq!(XC2VP20.slices_for(Resources::new(100, 100)), 75);
+        // FF heavy.
+        assert_eq!(XC2VP20.slices_for(Resources::new(0, 100)), 50);
+        // Rounds up.
+        assert_eq!(XC2VP20.slices_for(Resources::new(3, 0)), 2);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let r = Resources::new(0, XC2VP20.slices * 2);
+        assert!((XC2VP20.utilization(r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fitting_considers_bram() {
+        let fits = Resources::new(100, 100).with_bram_bits(1024);
+        assert!(XC2VP7.fits(fits));
+        let too_much_bram = Resources::new(10, 10).with_bram_bits(u64::MAX / 2);
+        assert!(!XC2VP50.fits(too_much_bram));
+    }
+
+    #[test]
+    fn smallest_fitting_walks_up() {
+        let small = Resources::new(100, 100);
+        assert_eq!(FpgaDevice::smallest_fitting(small).unwrap().name, "XC2VP7");
+        let medium = Resources::new(12_000, 12_000);
+        assert_eq!(
+            FpgaDevice::smallest_fitting(medium).unwrap().name,
+            "XC2VP20"
+        );
+        let huge = Resources::new(1_000_000, 0);
+        assert_eq!(FpgaDevice::smallest_fitting(huge), None);
+    }
+
+    #[test]
+    fn clock_estimate_brackets_paper_speed() {
+        // 4-port switches: the paper runs at 50 MHz; the estimate
+        // should be in the same regime and above 50 MHz.
+        let mhz = estimate_clock_mhz(4);
+        assert!(
+            (50.0..100.0).contains(&mhz),
+            "4-port clock estimate {mhz} MHz"
+        );
+        // Bigger radix -> slower clock.
+        assert!(estimate_clock_mhz(16) < estimate_clock_mhz(4));
+    }
+
+    #[test]
+    fn device_family_is_ordered() {
+        for w in ALL_DEVICES.windows(2) {
+            assert!(w[0].slices < w[1].slices);
+        }
+    }
+}

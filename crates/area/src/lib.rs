@@ -1,0 +1,39 @@
+//! # nocem-area — FPGA resource and timing estimation
+//!
+//! The synthesis substrate behind the paper's Table 1 ("FPGA
+//! reports"): structural resource models of every platform device,
+//! Virtex-II Pro part definitions with slice packing, a clock
+//! estimate, and a report renderer that prints the same columns as the
+//! paper.
+//!
+//! * [`primitives`] — LUT/FF/BRAM costs of registers, counters,
+//!   muxes, LFSRs, FIFOs, bus slaves;
+//! * [`devices`] — per-device estimators (stochastic/trace TG and TR,
+//!   control module, Xpipes-style switch), calibrated against Table 1;
+//! * [`fpga`] — Virtex-II Pro parts, slice packing, utilization and
+//!   the clock model;
+//! * [`report`] — the Table 1 renderer.
+//!
+//! # Examples
+//!
+//! ```
+//! use nocem_area::devices::{tg_stochastic, StochasticTgParams};
+//! use nocem_area::fpga::XC2VP20;
+//!
+//! let slices = XC2VP20.slices_for(tg_stochastic(StochasticTgParams::default()));
+//! // The paper reports 719 slices for the stochastic TG.
+//! assert!((640..=800).contains(&slices));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod devices;
+pub mod fpga;
+pub mod primitives;
+pub mod report;
+
+pub use devices::{SwitchParams, StochasticTgParams, StochasticTrParams, TraceTgParams, TraceTrParams};
+pub use fpga::{estimate_clock_mhz, FpgaDevice, XC2VP20, XC2VP30};
+pub use primitives::Resources;
+pub use report::SynthesisReport;

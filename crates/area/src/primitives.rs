@@ -1,0 +1,225 @@
+//! Primitive resource costs: from RTL structure to LUT/FF/BRAM counts.
+//!
+//! The estimators here follow standard Virtex-II technology-mapping
+//! rules (4-input LUTs, slice = 2 LUTs + 2 FFs, distributed RAM at 16
+//! bits per LUT, block RAM at 18 kbit per BRAM). They are intentionally
+//! simple: the goal is to reproduce the *relative* sizes of the
+//! paper's devices and their scaling with parameters, not a synthesis
+//! netlist.
+
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul};
+
+/// A bag of FPGA resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// 4-input look-up tables.
+    pub luts: u64,
+    /// D flip-flops.
+    pub ffs: u64,
+    /// Block-RAM bits.
+    pub bram_bits: u64,
+}
+
+impl Resources {
+    /// No resources.
+    pub const ZERO: Resources = Resources {
+        luts: 0,
+        ffs: 0,
+        bram_bits: 0,
+    };
+
+    /// Creates a LUT/FF bag with no BRAM.
+    pub const fn new(luts: u64, ffs: u64) -> Self {
+        Resources {
+            luts,
+            ffs,
+            bram_bits: 0,
+        }
+    }
+
+    /// Adds BRAM bits to the bag.
+    #[must_use]
+    pub const fn with_bram_bits(mut self, bits: u64) -> Self {
+        self.bram_bits = bits;
+        self
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            bram_bits: self.bram_bits + rhs.bram_bits,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, n: u64) -> Resources {
+        Resources {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            bram_bits: self.bram_bits * n,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+/// A plain register bank: `bits` flip-flops.
+pub fn register(bits: u64) -> Resources {
+    Resources::new(0, bits)
+}
+
+/// A binary counter: one FF and one LUT (the increment logic) per bit.
+pub fn counter(bits: u64) -> Resources {
+    Resources::new(bits, bits)
+}
+
+/// A ripple-carry adder/subtractor: one LUT per bit (carry chains are
+/// free in the slice).
+pub fn adder(bits: u64) -> Resources {
+    Resources::new(bits, 0)
+}
+
+/// An equality/magnitude comparator: two bits per LUT.
+pub fn comparator(bits: u64) -> Resources {
+    Resources::new(bits.div_ceil(2), 0)
+}
+
+/// A `ways:1` multiplexer of `width` bits: `ceil(ways / 2)` LUTs per
+/// bit (Virtex-II F5/F6 mux chaining).
+pub fn mux(ways: u64, width: u64) -> Resources {
+    if ways <= 1 {
+        return Resources::ZERO;
+    }
+    Resources::new(width * ways.div_ceil(2), 0)
+}
+
+/// A Galois LFSR: one FF per bit, one LUT per feedback tap (plus the
+/// shift enable).
+pub fn lfsr(bits: u64, taps: u64) -> Resources {
+    Resources::new(taps + 1, bits)
+}
+
+/// A FIFO in distributed RAM: 16 bits of storage per LUT, plus
+/// read/write pointers, the occupancy counter and full/empty logic.
+pub fn fifo_lutram(width: u64, depth: u64) -> Resources {
+    let storage = (width * depth).div_ceil(16);
+    let ptr_bits = 64 - (depth.max(2) - 1).leading_zeros() as u64;
+    let pointers = counter(ptr_bits) * 2;
+    let occupancy = counter(ptr_bits + 1);
+    let flags = Resources::new(4, 2);
+    Resources::new(storage, 0) + pointers + occupancy + flags
+}
+
+/// A memory in block RAM: counts only BRAM bits plus address/control
+/// logic in fabric.
+pub fn memory_bram(width: u64, depth: u64) -> Resources {
+    let addr_bits = 64 - (depth.max(2) - 1).leading_zeros() as u64;
+    Resources::new(4 + addr_bits, addr_bits).with_bram_bits(width * depth)
+}
+
+/// A Moore FSM: one-hot state register plus next-state/output logic.
+pub fn fsm(states: u64, transitions_per_state: u64) -> Resources {
+    Resources::new(states * transitions_per_state, states)
+}
+
+/// A bus slave interface: address decoder plus full-width readback
+/// multiplexer over `regs` registers of `width` bits.
+pub fn bus_slave(regs: u64, width: u64) -> Resources {
+    let decode = comparator(10) + Resources::new(regs.div_ceil(4), 0);
+    decode + mux(regs, width) + Resources::new(0, width) // output register
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Resources::new(10, 20).with_bram_bits(100);
+        let b = Resources::new(1, 2);
+        assert_eq!(a + b, Resources::new(11, 22).with_bram_bits(100));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!(b * 3, Resources::new(3, 6));
+        let total: Resources = [a, b].into_iter().sum();
+        assert_eq!(total, a + b);
+    }
+
+    #[test]
+    fn register_is_ff_only() {
+        assert_eq!(register(32), Resources::new(0, 32));
+    }
+
+    #[test]
+    fn counter_pairs_lut_and_ff() {
+        assert_eq!(counter(8), Resources::new(8, 8));
+    }
+
+    #[test]
+    fn comparator_packs_two_bits_per_lut() {
+        assert_eq!(comparator(32).luts, 16);
+        assert_eq!(comparator(3).luts, 2);
+    }
+
+    #[test]
+    fn mux_scaling() {
+        assert_eq!(mux(1, 32), Resources::ZERO);
+        assert_eq!(mux(2, 32).luts, 32);
+        assert_eq!(mux(4, 32).luts, 64);
+        assert_eq!(mux(8, 1).luts, 4);
+    }
+
+    #[test]
+    fn lfsr_costs() {
+        let r = lfsr(32, 4);
+        assert_eq!(r.ffs, 32);
+        assert_eq!(r.luts, 5);
+    }
+
+    #[test]
+    fn fifo_storage_dominates_at_depth() {
+        let small = fifo_lutram(32, 4);
+        let big = fifo_lutram(32, 16);
+        assert!(big.luts > small.luts);
+        // 32x4 = 128 bits -> 8 LUTs of storage.
+        assert!(small.luts >= 8);
+    }
+
+    #[test]
+    fn bram_memory_uses_bram_bits() {
+        let m = memory_bram(32, 1024);
+        assert_eq!(m.bram_bits, 32 * 1024);
+        assert!(m.luts < 32); // only control logic in fabric
+    }
+
+    #[test]
+    fn bus_slave_readback_mux_dominates() {
+        let small = bus_slave(4, 32);
+        let big = bus_slave(20, 32);
+        assert!(big.luts > 2 * small.luts);
+    }
+
+    #[test]
+    fn fsm_scales_with_states() {
+        assert!(fsm(8, 3).ffs == 8);
+        assert!(fsm(8, 3).luts == 24);
+    }
+}

@@ -1,0 +1,195 @@
+//! Synthesis reports: the machinery behind Table 1.
+//!
+//! A [`SynthesisReport`] lists per-device resources, maps them onto a
+//! target FPGA, and renders the same rows as the paper's "FPGA
+//! reports" slide (device, slice count, percentage of the part), plus
+//! the platform total and the estimated clock.
+
+use crate::fpga::{estimate_clock_mhz, FpgaDevice};
+use crate::primitives::Resources;
+use nocem_common::table::{Align, TextTable};
+
+/// One synthesized component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportEntry {
+    /// Component label (e.g. `"TG stochastic"`).
+    pub label: String,
+    /// How many instances the platform holds.
+    pub instances: u64,
+    /// Resources of a single instance.
+    pub unit: Resources,
+}
+
+/// A full platform synthesis report.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    target: FpgaDevice,
+    entries: Vec<ReportEntry>,
+    max_switch_ports: u64,
+}
+
+impl SynthesisReport {
+    /// Starts a report against `target`.
+    pub fn new(target: FpgaDevice) -> Self {
+        SynthesisReport {
+            target,
+            entries: Vec::new(),
+            max_switch_ports: 2,
+        }
+    }
+
+    /// Adds `instances` copies of a component.
+    pub fn add(&mut self, label: impl Into<String>, instances: u64, unit: Resources) -> &mut Self {
+        self.entries.push(ReportEntry {
+            label: label.into(),
+            instances,
+            unit,
+        });
+        self
+    }
+
+    /// Records the largest switch radix (drives the clock estimate).
+    pub fn set_max_switch_ports(&mut self, ports: u64) -> &mut Self {
+        self.max_switch_ports = self.max_switch_ports.max(ports);
+        self
+    }
+
+    /// The targeted part.
+    pub fn target(&self) -> FpgaDevice {
+        self.target
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[ReportEntry] {
+        &self.entries
+    }
+
+    /// Total platform resources.
+    pub fn total(&self) -> Resources {
+        self.entries
+            .iter()
+            .map(|e| e.unit * e.instances)
+            .sum()
+    }
+
+    /// Total platform slices on the target.
+    pub fn total_slices(&self) -> u64 {
+        // Summing per-instance slices models per-component placement
+        // (components do not share slices), like the paper's report.
+        self.entries
+            .iter()
+            .map(|e| self.target.slices_for(e.unit) * e.instances)
+            .sum()
+    }
+
+    /// Platform utilization of the target part.
+    pub fn utilization(&self) -> f64 {
+        self.total_slices() as f64 / self.target.slices as f64
+    }
+
+    /// Whether the platform fits the target part.
+    pub fn fits(&self) -> bool {
+        self.total_slices() <= self.target.slices && self.total().bram_bits <= self.target.bram_bits
+    }
+
+    /// Estimated platform clock in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        estimate_clock_mhz(self.max_switch_ports)
+    }
+
+    /// Renders the Table 1 style report.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::with_columns(&[
+            "Device",
+            "Number of slices",
+            "FPGA percentage (%)",
+        ]);
+        t.title(format!("Synthesis report — target {}", self.target.name));
+        t.align(1, Align::Right);
+        t.align(2, Align::Right);
+        for e in &self.entries {
+            let slices = self.target.slices_for(e.unit);
+            t.row(vec![
+                e.label.clone(),
+                slices.to_string(),
+                format!("{:.1}", 100.0 * slices as f64 / self.target.slices as f64),
+            ]);
+        }
+        let mut out = t.to_string();
+        out.push_str(&format!(
+            "platform total: {} slices ({:.0}% of {}), estimated clock {:.0} MHz\n",
+            self.total_slices(),
+            100.0 * self.utilization(),
+            self.target.name,
+            self.clock_mhz(),
+        ));
+        out
+    }
+}
+
+impl std::fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{
+        control_module, switch, tg_stochastic, tr_stochastic, StochasticTgParams,
+        StochasticTrParams, SwitchParams,
+    };
+    use crate::fpga::XC2VP20;
+
+    fn paper_report() -> SynthesisReport {
+        let mut r = SynthesisReport::new(XC2VP20);
+        r.add("TG stochastic", 4, tg_stochastic(StochasticTgParams::default()));
+        r.add("TR stochastic", 4, tr_stochastic(StochasticTrParams::default()));
+        r.add("Control module", 1, control_module());
+        for (i, o) in [(3, 2), (4, 3), (2, 4), (3, 2), (4, 3), (2, 4)] {
+            r.add(format!("Switch {i}x{o}"), 1, switch(SwitchParams::new(i, o)));
+            r.set_max_switch_ports(i.max(o));
+        }
+        r
+    }
+
+    #[test]
+    fn platform_utilization_matches_paper() {
+        let r = paper_report();
+        // Paper: 7387 slices = 80% of the part.
+        let total = r.total_slices();
+        assert!(
+            (6_800..=8_000).contains(&total),
+            "platform total {total} slices"
+        );
+        assert!((0.73..=0.86).contains(&r.utilization()), "{}", r.utilization());
+        assert!(r.fits());
+    }
+
+    #[test]
+    fn clock_estimate_covers_50mhz() {
+        let r = paper_report();
+        assert!(r.clock_mhz() >= 50.0, "clock {} MHz", r.clock_mhz());
+    }
+
+    #[test]
+    fn render_contains_table1_columns() {
+        let s = paper_report().render();
+        assert!(s.contains("Number of slices"));
+        assert!(s.contains("FPGA percentage"));
+        assert!(s.contains("TG stochastic"));
+        assert!(s.contains("platform total"));
+    }
+
+    #[test]
+    fn totals_accumulate_instances() {
+        let mut r = SynthesisReport::new(XC2VP20);
+        r.add("x", 2, Resources::new(10, 10));
+        assert_eq!(r.total(), Resources::new(20, 20));
+        assert_eq!(r.total_slices(), 2 * XC2VP20.slices_for(Resources::new(10, 10)));
+        assert!(r.fits());
+        assert_eq!(r.entries().len(), 1);
+        assert_eq!(r.target().name, "XC2VP20");
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion micro-bench: the switch model's decide/commit hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nocem_common::flit::PacketDescriptor;
+use nocem_common::ids::{EndpointId, FlowId, PacketId, PortId};
+use nocem_common::time::Cycle;
+use nocem_switch::config::SwitchConfigBuilder;
+use nocem_switch::switch::{Switch, CREDITS_INFINITE};
+
+fn saturated_switch(ports: u8) -> Switch {
+    let cfg = SwitchConfigBuilder::new(ports, ports).fifo_depth(8).build();
+    // Flow i exits on port i.
+    let routes: Vec<Vec<PortId>> = (0..ports).map(|p| vec![PortId::new(p)]).collect();
+    Switch::new(cfg, routes, vec![CREDITS_INFINITE; ports as usize], 1).expect("valid switch")
+}
+
+fn refill(sw: &mut Switch, ports: u8, next_id: &mut u64) {
+    for p in 0..ports {
+        while sw.occupancy(PortId::new(p)) < 8 {
+            let desc = PacketDescriptor {
+                id: PacketId::new(*next_id),
+                src: EndpointId::new(0),
+                dst: EndpointId::new(1),
+                flow: FlowId::new(u32::from(p)),
+                len_flits: 1,
+                release: Cycle::ZERO,
+            };
+            *next_id += 1;
+            for f in desc.flits() {
+                sw.accept(PortId::new(p), f).expect("space checked");
+            }
+        }
+    }
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch");
+    for ports in [2u8, 4, 8] {
+        group.throughput(Throughput::Elements(u64::from(ports)));
+        group.bench_with_input(
+            BenchmarkId::new("decide_commit_saturated", ports),
+            &ports,
+            |b, &ports| {
+                let mut sw = saturated_switch(ports);
+                let mut next_id = 0u64;
+                refill(&mut sw, ports, &mut next_id);
+                b.iter(|| {
+                    sw.decide();
+                    let sends = sw.commit_sends();
+                    if sw.occupancy(PortId::new(0)) < 2 {
+                        refill(&mut sw, ports, &mut next_id);
+                    }
+                    sends.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

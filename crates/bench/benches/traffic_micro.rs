@@ -1,0 +1,84 @@
+//! Criterion micro-bench: traffic-model tick rates and NI
+//! serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nocem_common::flit::PacketDescriptor;
+use nocem_common::ids::{EndpointId, FlowId, PacketId};
+use nocem_common::time::Cycle;
+use nocem_traffic::generator::{DestinationModel, TrafficGenerator};
+use nocem_traffic::ni::SourceNi;
+use nocem_traffic::stochastic::{BurstConfig, StochasticTg, UniformConfig};
+
+fn dst() -> DestinationModel {
+    DestinationModel::Fixed {
+        dst: EndpointId::new(1),
+        flow: FlowId::new(0),
+    }
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic");
+    group.throughput(Throughput::Elements(1_000));
+
+    group.bench_function("uniform_tick_1k", |b| {
+        let mut tg = StochasticTg::uniform(UniformConfig::with_load(0.45, 8, None, dst()), 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            let mut released = 0u32;
+            for _ in 0..1_000 {
+                if tg.tick(Cycle::new(t)).is_some() {
+                    released += 1;
+                }
+                t += 1;
+            }
+            released
+        });
+    });
+
+    group.bench_function("burst_tick_1k", |b| {
+        let mut tg =
+            StochasticTg::burst(BurstConfig::with_load(0.45, 8, 8, None, dst()), 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            let mut released = 0u32;
+            for _ in 0..1_000 {
+                if tg.tick(Cycle::new(t)).is_some() {
+                    released += 1;
+                }
+                t += 1;
+            }
+            released
+        });
+    });
+
+    group.bench_function("ni_serialize_1k_flits", |b| {
+        let mut ni = SourceNi::new(64, u32::MAX);
+        let mut next = 0u64;
+        b.iter(|| {
+            let mut sent = 0u32;
+            while sent < 1_000 {
+                if ni.queue_len() < 32 {
+                    let desc = PacketDescriptor {
+                        id: PacketId::new(next),
+                        src: EndpointId::new(0),
+                        dst: EndpointId::new(1),
+                        flow: FlowId::new(0),
+                        len_flits: 8,
+                        release: Cycle::ZERO,
+                    };
+                    next += 1;
+                    ni.offer(desc);
+                }
+                if ni.tick_send().is_some() {
+                    sent += 1;
+                }
+            }
+            sent
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

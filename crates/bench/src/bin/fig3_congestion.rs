@@ -1,0 +1,70 @@
+//! **Figure 3 reproduction** — congestion rate vs. packets per burst,
+//! one curve per flits-per-packet value, with trace-driven traffic.
+//!
+//! The paper measures "congestion according to burst's length in
+//! flits": longer bursts and longer packets raise the congestion rate
+//! on the 90 %-loaded links.
+//!
+//! ```text
+//! cargo run --release -p nocem-bench --bin fig3_congestion
+//! ```
+
+use nocem::config::PaperConfig;
+use nocem::sweep::{run_sweep, SweepPoint};
+use nocem_bench::scaled;
+use nocem_common::csv::CsvWriter;
+use nocem_common::table::{Align, TextTable};
+
+const PACKETS_PER_BURST: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+const FLITS_PER_PACKET: [u16; 4] = [2, 4, 8, 16];
+
+fn main() {
+    let total_packets = scaled(20_000);
+    let hot = PaperConfig::new().setup().hot_links.to_vec();
+
+    let mut points = Vec::new();
+    for &f in &FLITS_PER_PACKET {
+        for &b in &PACKETS_PER_BURST {
+            points.push(SweepPoint::new(
+                format!("f{f}/b{b}"),
+                PaperConfig::new()
+                    .total_packets(total_packets)
+                    .packet_flits(f)
+                    .trace_bursty(b),
+            ));
+        }
+    }
+    let results = run_sweep(&points, num_threads()).expect("sweep runs");
+
+    let mut header = vec!["packets/burst".to_string()];
+    header.extend(FLITS_PER_PACKET.iter().map(|f| format!("{f} flits/pkt")));
+    let mut t = TextTable::new(header);
+    t.title("Figure 3 — hot-link congestion rate vs packets per burst (trace-driven)");
+    for c in 1..=FLITS_PER_PACKET.len() {
+        t.align(c, Align::Right);
+    }
+    let mut csv = CsvWriter::new(&["packets_per_burst", "flits_per_packet", "congestion_rate"]);
+    for &b in &PACKETS_PER_BURST {
+        let mut row = vec![b.to_string()];
+        for &f in &FLITS_PER_PACKET {
+            let r = results
+                .iter()
+                .find(|(l, _)| l == &format!("f{f}/b{b}"))
+                .map(|(_, r)| r)
+                .expect("label present");
+            let rate = r.congestion_rate(&hot);
+            row.push(format!("{rate:.3}"));
+            csv.record_display(&[&b, &f, &rate]);
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!("expected shape: congestion grows with burst length (and with");
+    println!("packet length), saturating for long bursts — the paper's Figure 3.");
+    let path = nocem_bench::save_csv("fig3_congestion.csv", csv.as_str());
+    println!("data written to {}", path.display());
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}

@@ -1,0 +1,217 @@
+//! Minimal CSV writing/parsing for experiment data export.
+//!
+//! The benchmark harness saves every figure's data series as CSV so the
+//! curves can be re-plotted outside the workspace. Only the small
+//! subset of CSV we produce is supported: comma separation, no quoting
+//! (fields are identifiers and numbers), `#`-prefixed comment lines.
+
+use std::fmt::Write as _;
+
+/// A CSV document under construction.
+///
+/// # Examples
+///
+/// ```
+/// use nocem_common::csv::CsvWriter;
+/// let mut w = CsvWriter::new(&["packets", "cycles"]);
+/// w.record(&["1000", "2500"]);
+/// w.comment("uniform traffic, 45% load");
+/// let text = w.finish();
+/// assert!(text.starts_with("packets,cycles\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    out: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Starts a document with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        let mut w = CsvWriter {
+            out: String::new(),
+            columns: header.len(),
+        };
+        w.write_fields(header);
+        w
+    }
+
+    /// Appends a `#` comment line.
+    pub fn comment(&mut self, text: &str) -> &mut Self {
+        let _ = writeln!(self.out, "# {text}");
+        self
+    }
+
+    /// Appends a data record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record width differs from the header width —
+    /// a malformed experiment export is a harness bug, not an input
+    /// error.
+    pub fn record(&mut self, fields: &[&str]) -> &mut Self {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "record width {} does not match header width {}",
+            fields.len(),
+            self.columns
+        );
+        self.write_fields(fields);
+        self
+    }
+
+    /// Appends a record of `Display` values.
+    pub fn record_display(&mut self, fields: &[&dyn std::fmt::Display]) -> &mut Self {
+        let strings: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+        let refs: Vec<&str> = strings.iter().map(String::as_str).collect();
+        self.record(&refs)
+    }
+
+    fn write_fields(&mut self, fields: &[&str]) {
+        for (i, f) in fields.iter().enumerate() {
+            debug_assert!(
+                !f.contains(',') && !f.contains('\n'),
+                "field {f:?} needs quoting, which this writer does not support"
+            );
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(f);
+        }
+        self.out.push('\n');
+    }
+
+    /// Returns the finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Returns the document so far without consuming the writer.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+}
+
+/// A parsed CSV document: header plus records, comments skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvDocument {
+    /// Column names from the header row.
+    pub header: Vec<String>,
+    /// Data records, each as wide as the header.
+    pub records: Vec<Vec<String>>,
+}
+
+/// Error produced when parsing a CSV document fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+impl CsvDocument {
+    /// Parses a document produced by [`CsvWriter`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCsvError`] if the document is empty or a record's
+    /// width differs from the header's.
+    pub fn parse(text: &str) -> Result<Self, ParseCsvError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim_start().starts_with('#') && !l.trim().is_empty());
+        let (_, header_line) = lines.next().ok_or(ParseCsvError {
+            line: 1,
+            message: "document has no header row".into(),
+        })?;
+        let header: Vec<String> = header_line.split(',').map(str::to_owned).collect();
+        let mut records = Vec::new();
+        for (idx, line) in lines {
+            let rec: Vec<String> = line.split(',').map(str::to_owned).collect();
+            if rec.len() != header.len() {
+                return Err(ParseCsvError {
+                    line: idx + 1,
+                    message: format!(
+                        "record has {} fields, header has {}",
+                        rec.len(),
+                        header.len()
+                    ),
+                });
+            }
+            records.push(rec);
+        }
+        Ok(CsvDocument { header, records })
+    }
+
+    /// Returns the index of a named column, if present.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.comment("hello");
+        w.record(&["1", "2"]);
+        w.record(&["3", "4"]);
+        let doc = CsvDocument::parse(w.as_str()).unwrap();
+        assert_eq!(doc.header, ["a", "b"]);
+        assert_eq!(doc.records.len(), 2);
+        assert_eq!(doc.records[1], ["3", "4"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "record width")]
+    fn wrong_width_record_panics() {
+        CsvWriter::new(&["a", "b"]).record(&["only"]);
+    }
+
+    #[test]
+    fn parse_rejects_ragged_records() {
+        let err = CsvDocument::parse("a,b\n1,2,3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("3 fields"));
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        assert!(CsvDocument::parse("").is_err());
+        assert!(CsvDocument::parse("# only a comment\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let doc = CsvDocument::parse("# c\n\na,b\n# mid\n1,2\n").unwrap();
+        assert_eq!(doc.records, vec![vec!["1".to_owned(), "2".to_owned()]]);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let doc = CsvDocument::parse("x,y,z\n1,2,3\n").unwrap();
+        assert_eq!(doc.column("y"), Some(1));
+        assert_eq!(doc.column("w"), None);
+    }
+
+    #[test]
+    fn record_display_formats_values() {
+        let mut w = CsvWriter::new(&["n", "v"]);
+        w.record_display(&[&12u32, &3.5f64]);
+        assert!(w.as_str().contains("12,3.5"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Strongly-typed identifiers used across the emulation platform.
+//!
+//! Every entity that can be referred to from more than one crate gets a
+//! newtype here ([`NodeId`], [`PortId`], [`PacketId`], …) so that, for
+//! instance, a switch index can never be confused with a port index
+//! (C-NEWTYPE). All ids are cheap `Copy` wrappers over small integers
+//! and implement the full set of common traits.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident($repr:ty), $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Creates the identifier from its raw index.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// use nocem_common::ids::NodeId;
+            /// let n = NodeId::new(3);
+            /// assert_eq!(n.index(), 3);
+            /// ```
+            #[inline]
+            pub const fn new(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index as a `usize`, suitable for direct
+            /// indexing into per-entity vectors.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw underlying value.
+            #[inline]
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for $repr {
+            fn from(id: $name) -> $repr {
+                id.0
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A node of the emulated network: either a switch or an endpoint
+    /// (traffic generator / receptor). Node ids are dense indices
+    /// assigned by the topology builder.
+    NodeId(u32), "n"
+}
+
+id_type! {
+    /// A switch instance within a topology (dense, topology-local).
+    SwitchId(u32), "s"
+}
+
+id_type! {
+    /// An endpoint (TG or TR) attached to a switch port.
+    EndpointId(u32), "e"
+}
+
+id_type! {
+    /// A port of a switch. Local to the switch that owns it.
+    PortId(u8), "p"
+}
+
+id_type! {
+    /// A unidirectional link between two ports in the topology.
+    LinkId(u32), "l"
+}
+
+id_type! {
+    /// A packet injected by a traffic generator. Unique per emulation
+    /// run (monotonically increasing across all generators).
+    PacketId(u64), "pkt"
+}
+
+id_type! {
+    /// A traffic flow (source endpoint, destination endpoint) pair,
+    /// used to index routing alternatives and per-flow statistics.
+    FlowId(u32), "f"
+}
+
+id_type! {
+    /// One of the (up to four) internal buses of the platform.
+    BusId(u8), "b"
+}
+
+id_type! {
+    /// A device attached to an internal bus (up to 1024 per bus).
+    DeviceId(u16), "d"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = PacketId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(PacketId::from(42u64), id);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(PortId::new(2).to_string(), "p2");
+        assert_eq!(BusId::new(1).to_string(), "b1");
+        assert_eq!(DeviceId::new(1023).to_string(), "d1023");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(SwitchId::new(1) < SwitchId::new(2));
+        assert_eq!(FlowId::default(), FlowId::new(0));
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Compile-time property: this function only accepts NodeId.
+        fn takes_node(n: NodeId) -> usize {
+            n.index()
+        }
+        assert_eq!(takes_node(NodeId::new(9)), 9);
+    }
+
+    #[test]
+    fn hash_and_eq_consistent() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(LinkId::new(5));
+        set.insert(LinkId::new(5));
+        set.insert(LinkId::new(6));
+        assert_eq!(set.len(), 2);
+    }
+}

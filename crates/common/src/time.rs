@@ -1,0 +1,248 @@
+//! Emulated time: clock cycles and wall-clock duration formatting.
+//!
+//! The emulation platform is fully synchronous: everything advances in
+//! units of one platform clock cycle. [`Cycle`] is a newtype over `u64`
+//! so that cycle counts are never confused with packet counts or flit
+//! counts.
+//!
+//! [`format_duration`] renders durations the way the paper's Table 2
+//! does (`3'20''`, `13h53'`, `36 days 4h`), so harness output can be
+//! compared side by side with the published numbers.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in emulated time, measured in platform clock cycles.
+///
+/// # Examples
+///
+/// ```
+/// use nocem_common::time::Cycle;
+/// let t = Cycle::new(100) + 20;
+/// assert_eq!(t.raw(), 120);
+/// assert_eq!(t - Cycle::new(100), 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero (reset).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle timestamp from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next cycle.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Cycle(self.0 + 1)
+    }
+
+    /// Saturating difference `self - earlier`, in cycles.
+    #[inline]
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Converts a cycle count to seconds given a clock frequency in Hz.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nocem_common::time::Cycle;
+    /// // 160 Mcycles at the paper's 50 MHz platform clock = 3.2 s.
+    /// assert_eq!(Cycle::new(160_000_000).to_seconds(50_000_000.0), 3.2);
+    /// ```
+    #[inline]
+    pub fn to_seconds(self, clock_hz: f64) -> f64 {
+        self.0 as f64 / clock_hz
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+/// Formats a duration in seconds in the style of the paper's Table 2.
+///
+/// * below one minute: `3.2 sec`
+/// * below one hour: `3'20''` (minutes and seconds)
+/// * below one day: `13h53'` (hours and minutes)
+/// * one day and above: `36 days 4h`
+///
+/// # Examples
+///
+/// ```
+/// use nocem_common::time::format_duration;
+/// assert_eq!(format_duration(3.2), "3.2 sec");
+/// assert_eq!(format_duration(200.0), "3'20''");
+/// assert_eq!(format_duration(50_000.0), "13h53'");
+/// assert_eq!(format_duration(3_125_000.0), "36 days 4h");
+/// ```
+pub fn format_duration(seconds: f64) -> String {
+    if !seconds.is_finite() || seconds < 0.0 {
+        return String::from("n/a");
+    }
+    if seconds < 60.0 {
+        // Keep one decimal, dropping a trailing ".0" for round values.
+        let s = format!("{seconds:.1}");
+        let s = s.strip_suffix(".0").unwrap_or(&s);
+        return format!("{s} sec");
+    }
+    let total = seconds.round() as u64;
+    if total < 3600 {
+        return format!("{}'{:02}''", total / 60, total % 60);
+    }
+    if total < 86_400 {
+        return format!("{}h{:02}'", total / 3600, (total % 3600) / 60);
+    }
+    let days = total / 86_400;
+    let hours = (total % 86_400 + 1800) / 3600; // round to nearest hour
+    let (days, hours) = if hours == 24 { (days + 1, 0) } else { (days, hours) };
+    let day_word = if days == 1 { "day" } else { "days" };
+    format!("{days} {day_word} {hours}h")
+}
+
+/// Formats a simulation speed in cycles per second using engineering
+/// notation matching the paper (`50M`, `20K`, `3.2K`).
+///
+/// # Examples
+///
+/// ```
+/// use nocem_common::time::format_speed;
+/// assert_eq!(format_speed(50_000_000.0), "50M");
+/// assert_eq!(format_speed(20_000.0), "20K");
+/// assert_eq!(format_speed(3_200.0), "3.2K");
+/// ```
+pub fn format_speed(cycles_per_second: f64) -> String {
+    fn short(v: f64) -> String {
+        let s = format!("{v:.1}");
+        s.strip_suffix(".0").map(str::to_owned).unwrap_or(s)
+    }
+    if cycles_per_second >= 1e9 {
+        format!("{}G", short(cycles_per_second / 1e9))
+    } else if cycles_per_second >= 1e6 {
+        format!("{}M", short(cycles_per_second / 1e6))
+    } else if cycles_per_second >= 1e3 {
+        format!("{}K", short(cycles_per_second / 1e3))
+    } else {
+        short(cycles_per_second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let mut t = Cycle::ZERO;
+        t += 10;
+        assert_eq!(t, Cycle::new(10));
+        assert_eq!(t.next(), Cycle::new(11));
+        assert_eq!(t.since(Cycle::new(4)), 6);
+        assert_eq!(t.since(Cycle::new(40)), 0, "since saturates");
+        assert_eq!(Cycle::new(40) - t, 30);
+    }
+
+    #[test]
+    fn display_mentions_unit() {
+        assert_eq!(Cycle::new(5).to_string(), "5 cyc");
+    }
+
+    #[test]
+    fn paper_table2_durations_render_exactly() {
+        // Emulation: 16 Mpackets -> 160 Mcycles @50 MHz.
+        assert_eq!(format_duration(3.2), "3.2 sec");
+        // Emulation: 1000 Mpackets -> 10 Gcycles @50 MHz = 200 s.
+        assert_eq!(format_duration(200.0), "3'20''");
+        // SystemC 16 Mpackets: 160e6 / 20e3 = 8000 s.
+        assert_eq!(format_duration(8000.0), "2h13'");
+        // SystemC 1000 Mpackets: 1e10 / 20e3 = 500_000 s.
+        assert_eq!(format_duration(500_000.0), "5 days 19h");
+        // Verilog 16 Mpackets: 160e6 / 3.2e3 = 50_000 s.
+        assert_eq!(format_duration(50_000.0), "13h53'");
+        // Verilog 1000 Mpackets: 1e10 / 3.2e3 = 3_125_000 s.
+        assert_eq!(format_duration(3_125_000.0), "36 days 4h");
+    }
+
+    #[test]
+    fn duration_edge_cases() {
+        assert_eq!(format_duration(0.0), "0 sec");
+        assert_eq!(format_duration(59.9), "59.9 sec");
+        assert_eq!(format_duration(60.0), "1'00''");
+        assert_eq!(format_duration(3599.0), "59'59''");
+        assert_eq!(format_duration(3600.0), "1h00'");
+        assert_eq!(format_duration(86_400.0), "1 day 0h");
+        assert_eq!(format_duration(f64::NAN), "n/a");
+        assert_eq!(format_duration(-1.0), "n/a");
+    }
+
+    #[test]
+    fn duration_rounds_days_up_at_midnight_boundary() {
+        // 1 day 23h40' rounds the hour part to 24 -> carries into days.
+        let secs = 86_400.0 + 23.0 * 3600.0 + 40.0 * 60.0;
+        assert_eq!(format_duration(secs), "2 days 0h");
+    }
+
+    #[test]
+    fn speed_formatting() {
+        assert_eq!(format_speed(50e6), "50M");
+        assert_eq!(format_speed(20e3), "20K");
+        assert_eq!(format_speed(3.2e3), "3.2K");
+        assert_eq!(format_speed(1.5e9), "1.5G");
+        assert_eq!(format_speed(999.0), "999");
+    }
+
+    #[test]
+    fn to_seconds_at_50mhz() {
+        assert!((Cycle::new(10_000_000_000).to_seconds(50e6) - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the shared vocabulary: flit serialization,
+//! the hardware-style PRNGs and the time formatting helpers.
+
+use nocem_common::flit::{FlitKind, PacketDescriptor};
+use nocem_common::ids::{EndpointId, FlowId, PacketId};
+use nocem_common::rng::{Lfsr16, Lfsr32, Pcg32, RandomSource, SplitMix64};
+use nocem_common::time::{format_duration, Cycle};
+use proptest::prelude::*;
+
+fn descriptor(id: u64, len: u16) -> PacketDescriptor {
+    PacketDescriptor {
+        id: PacketId::new(id),
+        src: EndpointId::new(0),
+        dst: EndpointId::new(1),
+        flow: FlowId::new(0),
+        len_flits: len,
+        release: Cycle::ZERO,
+    }
+}
+
+proptest! {
+    /// Serialization of any packet yields exactly `len` flits, with
+    /// the wormhole framing the switches rely on: a single Single
+    /// flit, or Head..Body..Tail with monotonically increasing `seq`.
+    #[test]
+    fn packet_serialization_framing(id in 0u64..1_000_000, len in 1u16..500) {
+        let flits: Vec<_> = descriptor(id, len).flits().collect();
+        prop_assert_eq!(flits.len(), usize::from(len));
+        if len == 1 {
+            prop_assert_eq!(flits[0].kind, FlitKind::Single);
+        } else {
+            prop_assert_eq!(flits[0].kind, FlitKind::Head);
+            prop_assert_eq!(flits[len as usize - 1].kind, FlitKind::Tail);
+            for f in &flits[1..len as usize - 1] {
+                prop_assert_eq!(f.kind, FlitKind::Body);
+            }
+        }
+        for (i, f) in flits.iter().enumerate() {
+            prop_assert_eq!(usize::from(f.seq), i);
+            prop_assert!(f.payload_is_valid(), "flit {} corrupt", i);
+            prop_assert_eq!(f.packet, PacketId::new(id));
+        }
+        // Exactly one head-carrying and one tail-carrying flit.
+        prop_assert_eq!(flits.iter().filter(|f| f.kind.is_head()).count(), 1);
+        prop_assert_eq!(flits.iter().filter(|f| f.kind.is_tail()).count(), 1);
+    }
+
+    /// The flit iterator reports an exact length at every point.
+    #[test]
+    fn flit_iterator_len_is_exact(len in 1u16..100) {
+        let mut it = descriptor(7, len).flits();
+        for remaining in (1..=usize::from(len)).rev() {
+            prop_assert_eq!(it.len(), remaining);
+            prop_assert!(it.next().is_some());
+        }
+        prop_assert_eq!(it.len(), 0);
+        prop_assert!(it.next().is_none());
+    }
+
+    /// Corrupting the payload of any flit is detected.
+    #[test]
+    fn payload_corruption_is_detected(id in 0u64..100_000, len in 1u16..64, bit in 0u32..32) {
+        let mut flits: Vec<_> = descriptor(id, len).flits().collect();
+        let victim = (id as usize) % flits.len();
+        flits[victim].payload ^= 1 << bit;
+        prop_assert!(!flits[victim].payload_is_valid());
+    }
+
+    /// A maximal-length LFSR never reaches the all-zero lock-up state
+    /// from a nonzero seed, and is deterministic per seed.
+    #[test]
+    fn lfsr16_stays_nonzero_and_deterministic(seed in 1u16..=u16::MAX) {
+        let mut a = Lfsr16::new(seed);
+        let mut b = Lfsr16::new(seed);
+        for _ in 0..1_000 {
+            let x = a.step();
+            prop_assert_eq!(x, b.step());
+            prop_assert_ne!(x, 0, "LFSR locked up");
+        }
+    }
+
+    /// Same for the 32-bit variant.
+    #[test]
+    fn lfsr32_stays_nonzero_and_deterministic(seed in 1u32..=u32::MAX) {
+        let mut a = Lfsr32::new(seed);
+        let mut b = Lfsr32::new(seed);
+        for _ in 0..1_000 {
+            let x = a.step();
+            prop_assert_eq!(x, b.step());
+            prop_assert_ne!(x, 0);
+        }
+    }
+
+    /// `below` always respects its bound, for any generator state.
+    #[test]
+    fn pcg_below_respects_bound(seed in any::<u64>(), bound in 1u32..=u32::MAX, draws in 1usize..50) {
+        let mut rng = Pcg32::seeded(seed);
+        for _ in 0..draws {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// `in_range` is inclusive on both ends and never escapes.
+    #[test]
+    fn pcg_in_range_is_inclusive(seed in any::<u64>(), lo in 0u32..1000, width in 0u32..1000) {
+        let hi = lo + width;
+        let mut rng = Pcg32::seeded(seed);
+        for _ in 0..50 {
+            let v = rng.in_range(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    /// Probability edge cases are exact, not approximate.
+    #[test]
+    fn chance_edges_are_exact(seed in any::<u64>()) {
+        let mut rng = Pcg32::seeded(seed);
+        for _ in 0..100 {
+            prop_assert!(!rng.chance(0.0));
+            prop_assert!(rng.chance(1.0));
+        }
+        prop_assert_eq!(rng.geometric(1.0), 0);
+        prop_assert_eq!(rng.geometric(0.0), u32::MAX);
+    }
+
+    /// Geometric sampling has (approximately) the right mean: the
+    /// number of failures before a success of Bernoulli(p) averages
+    /// `(1-p)/p`.
+    #[test]
+    fn geometric_mean_matches(seed in any::<u64>()) {
+        let p = 0.25;
+        let mut rng = Pcg32::seeded(seed);
+        let n = 4_000;
+        let sum: u64 = (0..n).map(|_| u64::from(rng.geometric(p))).sum();
+        let mean = sum as f64 / f64::from(n);
+        let expect = (1.0 - p) / p; // 3.0
+        prop_assert!((mean - expect).abs() < 0.5, "mean {mean}");
+    }
+
+    /// SplitMix64 streams with different seeds diverge immediately
+    /// (used to derive per-device seeds from the platform seed).
+    #[test]
+    fn splitmix_streams_diverge(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed ^ 1);
+        prop_assert_ne!(a.next(), b.next());
+    }
+
+    /// Duration formatting is total: every finite non-negative input
+    /// renders to a non-empty string with a recognized unit.
+    #[test]
+    fn duration_formatting_is_total(secs in 0.0f64..1e9) {
+        let s = format_duration(secs);
+        prop_assert!(!s.is_empty());
+        prop_assert!(
+            s.contains("sec") || s.contains('\'') || s.contains('h') || s.contains("day"),
+            "unrecognized format {s:?}"
+        );
+    }
+
+    /// Cycle arithmetic: `since` is the saturating inverse of `+`.
+    #[test]
+    fn cycle_since_inverts_add(base in 0u64..1_000_000_000, delta in 0u64..1_000_000) {
+        let t0 = Cycle::new(base);
+        let t1 = t0 + delta;
+        prop_assert_eq!(t1.since(t0), delta);
+        prop_assert_eq!(t0.since(t1), 0, "since saturates backwards");
+        prop_assert_eq!(t1 - t0, delta);
+    }
+}
+
+/// The 16-bit LFSR with maximal taps has period 2^16 - 1: it visits
+/// every nonzero state exactly once.
+#[test]
+fn lfsr16_has_maximal_period() {
+    let mut lfsr = Lfsr16::new(1);
+    let mut seen = vec![false; 1 << 16];
+    for _ in 0..(1u32 << 16) - 1 {
+        let v = lfsr.step();
+        assert!(!seen[usize::from(v)], "state {v:#06x} repeated early");
+        seen[usize::from(v)] = true;
+    }
+    assert!(!seen[0], "zero state must be unreachable");
+    assert_eq!(seen.iter().filter(|&&s| s).count(), (1 << 16) - 1);
+}

@@ -1,0 +1,662 @@
+//! Memory-mapped device views and their typed drivers.
+//!
+//! Every platform component is visible to the configuration software
+//! as a register file (the paper: "the processor can access each
+//! component by accessing their specific addresses"). This module
+//! defines
+//!
+//! * the TG register *shadow* ([`TgShadow`]): parameter writes land
+//!   here before the run and are turned back into traffic models when
+//!   the start bit is set;
+//! * read-only register views over TGs, TRs and switches (live
+//!   counters);
+//! * the typed drivers ([`TgDriver`], [`TrDriver`], [`SwitchDriver`])
+//!   — the "software part" that programs and polls the devices over
+//!   any [`BusAccess`].
+
+use crate::compile::ReceptorDevice;
+use crate::config::TrafficModel;
+use crate::engine::Emulation;
+use nocem_common::ids::{EndpointId, FlowId};
+use nocem_platform::addr::{Address, DeviceAddr};
+use nocem_platform::bus::{BusAccess, BusError};
+use nocem_platform::regfile::RegFile;
+use nocem_stats::receptor::ReceptorCounters;
+use nocem_traffic::generator::{DestinationModel, LengthModel, TrafficGenerator};
+use nocem_traffic::registers as tgreg;
+use nocem_traffic::stochastic::{BurstConfig, PoissonConfig, StochasticTg, UniformConfig};
+use nocem_traffic::trace::TraceDrivenTg;
+
+/// Marker for "keep the compiled destination model" in the DST
+/// register (used when the destination is not a single endpoint).
+const DST_KEEP: u32 = u32::MAX;
+/// Marker for an unbounded packet budget.
+const BUDGET_UNBOUNDED: u64 = u64::MAX;
+
+/// Encodes a traffic model into `(register, value)` pairs.
+pub fn model_register_image(model: &TrafficModel) -> Vec<(u16, u32)> {
+    let mut img = Vec::new();
+    let push_len = |img: &mut Vec<(u16, u32)>, len: &LengthModel| {
+        let (min, max) = match *len {
+            LengthModel::Fixed(n) => (n, n),
+            LengthModel::UniformRange { min, max } => (min, max),
+        };
+        img.push((tgreg::REG_PACKET_LEN, (u32::from(max) << 16) | u32::from(min)));
+    };
+    let push_budget = |img: &mut Vec<(u16, u32)>, budget: Option<u64>| {
+        let b = budget.unwrap_or(BUDGET_UNBOUNDED);
+        img.push((tgreg::REG_BUDGET_LO, b as u32));
+        img.push((tgreg::REG_BUDGET_HI, (b >> 32) as u32));
+    };
+    let push_dst = |img: &mut Vec<(u16, u32)>, dst: &DestinationModel| match dst {
+        DestinationModel::Fixed { dst, flow } => {
+            img.push((tgreg::REG_DST, dst.raw()));
+            img.push((tgreg::REG_FLOW, flow.raw()));
+        }
+        DestinationModel::UniformChoice(_) => {
+            img.push((tgreg::REG_DST, DST_KEEP));
+        }
+    };
+    match model {
+        TrafficModel::Uniform(u) => {
+            img.push((tgreg::REG_MODEL, tgreg::ModelCode::Uniform as u32));
+            push_len(&mut img, &u.length);
+            img.push((tgreg::REG_GAP_MIN, u.gap.0));
+            img.push((tgreg::REG_GAP_MAX, u.gap.1));
+            push_budget(&mut img, u.budget);
+            push_dst(&mut img, &u.destination);
+        }
+        TrafficModel::Burst(b) => {
+            img.push((tgreg::REG_MODEL, tgreg::ModelCode::Burst as u32));
+            push_len(&mut img, &b.length);
+            img.push((tgreg::REG_START_PROB, tgreg::prob_to_q16(b.start_probability)));
+            img.push((tgreg::REG_CONT_PROB, tgreg::prob_to_q16(b.continue_probability)));
+            push_budget(&mut img, b.budget);
+            push_dst(&mut img, &b.destination);
+        }
+        TrafficModel::Poisson(p) => {
+            img.push((tgreg::REG_MODEL, tgreg::ModelCode::Poisson as u32));
+            push_len(&mut img, &p.length);
+            img.push((tgreg::REG_START_PROB, tgreg::prob_to_q16(p.start_probability)));
+            push_budget(&mut img, p.budget);
+            push_dst(&mut img, &p.destination);
+        }
+        TrafficModel::Trace(_) => {
+            img.push((tgreg::REG_MODEL, tgreg::ModelCode::Trace as u32));
+        }
+    }
+    img
+}
+
+/// The writable TG parameter registers (configuration shadow).
+#[derive(Debug, Clone)]
+pub struct TgShadow {
+    /// The register values.
+    pub regs: RegFile,
+    /// Whether software wrote anything since elaboration.
+    pub dirty: bool,
+}
+
+impl TgShadow {
+    /// Builds the shadow matching a compiled traffic model.
+    pub fn from_model(model: &TrafficModel) -> Self {
+        let mut regs = RegFile::read_write(usize::from(tgreg::TG_REG_COUNT));
+        for (reg, value) in model_register_image(model) {
+            regs.set(reg, value);
+        }
+        TgShadow { regs, dirty: false }
+    }
+
+    /// Software write into the shadow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] for out-of-range registers.
+    pub fn bus_write(&mut self, addr: Address, value: u32) -> Result<(), BusError> {
+        self.regs.bus_write(addr, value)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn length(&self) -> Result<LengthModel, String> {
+        let raw = self.regs.get(tgreg::REG_PACKET_LEN);
+        let min = (raw & 0xFFFF) as u16;
+        let max = (raw >> 16) as u16;
+        if min == 0 || min > max {
+            return Err(format!("malformed packet length register {raw:#x}"));
+        }
+        Ok(if min == max {
+            LengthModel::Fixed(min)
+        } else {
+            LengthModel::UniformRange { min, max }
+        })
+    }
+
+    fn budget(&self) -> Option<u64> {
+        let b = self.regs.get_u64(tgreg::REG_BUDGET_LO, tgreg::REG_BUDGET_HI);
+        (b != BUDGET_UNBOUNDED).then_some(b)
+    }
+
+    fn destination(&self, original: &DestinationModel) -> DestinationModel {
+        let dst = self.regs.get(tgreg::REG_DST);
+        if dst == DST_KEEP {
+            original.clone()
+        } else {
+            DestinationModel::Fixed {
+                dst: EndpointId::new(dst),
+                flow: FlowId::new(self.regs.get(tgreg::REG_FLOW)),
+            }
+        }
+    }
+
+    /// Decodes the shadow back into a traffic model. `original` is the
+    /// compiled model, consulted for state a register cannot encode
+    /// (trace contents, destination choice lists).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::InvalidValue`] for malformed register
+    /// contents (unknown model code, zero packet length, trace model
+    /// selected without a compiled trace).
+    pub fn to_model(&self, original: &TrafficModel) -> Result<TrafficModel, BusError> {
+        let fault = |reason: String| BusError::InvalidValue {
+            // Reported against the model register; precise enough for
+            // configuration debugging.
+            addr: Address::from_parts(
+                nocem_common::ids::BusId::new(0),
+                nocem_common::ids::DeviceId::new(0),
+                tgreg::REG_MODEL,
+            ),
+            reason,
+        };
+        let code = tgreg::ModelCode::from_raw(self.regs.get(tgreg::REG_MODEL))
+            .ok_or_else(|| fault("unknown traffic model code".into()))?;
+        let original_dst = match original {
+            TrafficModel::Uniform(u) => &u.destination,
+            TrafficModel::Burst(b) => &b.destination,
+            TrafficModel::Poisson(p) => &p.destination,
+            TrafficModel::Trace(_) => &DestinationModel::UniformChoice(Vec::new()),
+        };
+        match code {
+            tgreg::ModelCode::Uniform => Ok(TrafficModel::Uniform(UniformConfig {
+                length: self.length().map_err(&fault)?,
+                gap: (
+                    self.regs.get(tgreg::REG_GAP_MIN),
+                    self.regs.get(tgreg::REG_GAP_MAX),
+                ),
+                budget: self.budget(),
+                destination: self.destination(original_dst),
+            })),
+            tgreg::ModelCode::Burst => Ok(TrafficModel::Burst(BurstConfig {
+                length: self.length().map_err(&fault)?,
+                start_probability: tgreg::q16_to_prob(self.regs.get(tgreg::REG_START_PROB)),
+                continue_probability: tgreg::q16_to_prob(self.regs.get(tgreg::REG_CONT_PROB)),
+                budget: self.budget(),
+                destination: self.destination(original_dst),
+            })),
+            tgreg::ModelCode::Poisson => Ok(TrafficModel::Poisson(PoissonConfig {
+                length: self.length().map_err(&fault)?,
+                start_probability: tgreg::q16_to_prob(self.regs.get(tgreg::REG_START_PROB)),
+                budget: self.budget(),
+                destination: self.destination(original_dst),
+            })),
+            tgreg::ModelCode::Trace => match original {
+                TrafficModel::Trace(t) => Ok(TrafficModel::Trace(t.clone())),
+                _ => Err(fault("trace model selected but no trace was compiled in".into())),
+            },
+        }
+    }
+}
+
+/// Builds a generator instance from a traffic model (used when the
+/// register path reprograms a TG).
+pub fn build_generator(
+    model: &TrafficModel,
+    seed: u64,
+    src: EndpointId,
+) -> Box<dyn TrafficGenerator + Send> {
+    match model {
+        TrafficModel::Uniform(c) => Box::new(StochasticTg::uniform(c.clone(), seed)),
+        TrafficModel::Burst(c) => Box::new(StochasticTg::burst(c.clone(), seed)),
+        TrafficModel::Poisson(c) => Box::new(StochasticTg::poisson(c.clone(), seed)),
+        TrafficModel::Trace(t) => Box::new(TraceDrivenTg::new(t, src)),
+    }
+}
+
+// --- Read-only register views over live engine state -----------------
+
+/// TG register read (configuration from the shadow, counters live).
+pub(crate) fn tg_read(e: &mut Emulation, i: usize, addr: Address) -> Result<u32, BusError> {
+    let reg = addr.reg();
+    if reg >= tgreg::TG_REG_COUNT {
+        return Err(BusError::RegisterOutOfRange {
+            addr,
+            regs: tgreg::TG_REG_COUNT,
+        });
+    }
+    let elab = crate::engine::elab(e);
+    let ni = &elab.nis[i];
+    let c = *ni.counters();
+    let tg = &elab.tgs[i];
+    let value = match reg {
+        tgreg::REG_STATUS => {
+            u32::from(tg.is_exhausted()) | (u32::from(ni.is_idle()) << 1)
+        }
+        tgreg::REG_SENT_LO => c.accepted_packets as u32,
+        tgreg::REG_SENT_HI => (c.accepted_packets >> 32) as u32,
+        tgreg::REG_FLITS_LO => c.injected_flits as u32,
+        tgreg::REG_FLITS_HI => (c.injected_flits >> 32) as u32,
+        tgreg::REG_BLOCKED_LO => c.blocked_cycles as u32,
+        tgreg::REG_BLOCKED_HI => (c.blocked_cycles >> 32) as u32,
+        other => {
+            // Configuration registers read back from the shadow.
+            let shadow = &e.tg_shadow_ref(i).regs;
+            shadow.get(other)
+        }
+    };
+    Ok(value)
+}
+
+/// TR device registers.
+pub mod trreg {
+    /// Status: bit 0 = has received anything.
+    pub const REG_STATUS: u16 = 0x0;
+    /// Packets received, low half.
+    pub const REG_PACKETS_LO: u16 = 0x1;
+    /// Packets received, high half.
+    pub const REG_PACKETS_HI: u16 = 0x2;
+    /// Flits received, low half.
+    pub const REG_FLITS_LO: u16 = 0x3;
+    /// Flits received, high half.
+    pub const REG_FLITS_HI: u16 = 0x4;
+    /// Total running time in cycles, low half.
+    pub const REG_RUNNING_LO: u16 = 0x5;
+    /// Total running time in cycles, high half.
+    pub const REG_RUNNING_HI: u16 = 0x6;
+    /// Network-latency sample count, low half.
+    pub const REG_LAT_COUNT_LO: u16 = 0x7;
+    /// Network-latency sample count, high half.
+    pub const REG_LAT_COUNT_HI: u16 = 0x8;
+    /// Network-latency sum, low half.
+    pub const REG_LAT_SUM_LO: u16 = 0x9;
+    /// Network-latency sum, high half.
+    pub const REG_LAT_SUM_HI: u16 = 0xA;
+    /// Minimum network latency (saturates at `u32::MAX`).
+    pub const REG_LAT_MIN: u16 = 0xB;
+    /// Maximum network latency (saturates at `u32::MAX`).
+    pub const REG_LAT_MAX: u16 = 0xC;
+    /// Register count of a TR device.
+    pub const TR_REG_COUNT: u16 = 0xD;
+}
+
+pub(crate) fn tr_read(e: &mut Emulation, i: usize, addr: Address) -> Result<u32, BusError> {
+    let reg = addr.reg();
+    if reg >= trreg::TR_REG_COUNT {
+        return Err(BusError::RegisterOutOfRange {
+            addr,
+            regs: trreg::TR_REG_COUNT,
+        });
+    }
+    let elab = crate::engine::elab(e);
+    let (counters, latency): (ReceptorCounters, Option<&nocem_stats::LatencyAnalyzer>) =
+        match &elab.receptors[i] {
+            ReceptorDevice::Stochastic(r) => (*r.counters(), None),
+            ReceptorDevice::Trace(r) => (*r.counters(), Some(r.network_latency())),
+        };
+    let sat32 = |v: u64| v.min(u64::from(u32::MAX)) as u32;
+    let value = match reg {
+        trreg::REG_STATUS => u32::from(counters.flits > 0),
+        trreg::REG_PACKETS_LO => counters.packets as u32,
+        trreg::REG_PACKETS_HI => (counters.packets >> 32) as u32,
+        trreg::REG_FLITS_LO => counters.flits as u32,
+        trreg::REG_FLITS_HI => (counters.flits >> 32) as u32,
+        trreg::REG_RUNNING_LO => counters.running_time() as u32,
+        trreg::REG_RUNNING_HI => (counters.running_time() >> 32) as u32,
+        trreg::REG_LAT_COUNT_LO => latency.map_or(0, |l| l.count() as u32),
+        trreg::REG_LAT_COUNT_HI => latency.map_or(0, |l| (l.count() >> 32) as u32),
+        trreg::REG_LAT_SUM_LO => latency.map_or(0, |l| l.sum() as u32),
+        trreg::REG_LAT_SUM_HI => latency.map_or(0, |l| (l.sum() >> 32) as u32),
+        trreg::REG_LAT_MIN => latency.and_then(|l| l.min()).map_or(u32::MAX, sat32),
+        trreg::REG_LAT_MAX => latency.and_then(|l| l.max()).map_or(0, sat32),
+        _ => unreachable!("range checked above"),
+    };
+    Ok(value)
+}
+
+/// Switch statistics registers.
+pub mod swreg {
+    /// Flits forwarded, low half.
+    pub const REG_FORWARDED_LO: u16 = 0x0;
+    /// Flits forwarded, high half.
+    pub const REG_FORWARDED_HI: u16 = 0x1;
+    /// Packets routed (head flits granted), low half.
+    pub const REG_PACKETS_LO: u16 = 0x2;
+    /// Packets routed, high half.
+    pub const REG_PACKETS_HI: u16 = 0x3;
+    /// Cycles observed, low half.
+    pub const REG_CYCLES_LO: u16 = 0x4;
+    /// Cycles observed, high half.
+    pub const REG_CYCLES_HI: u16 = 0x5;
+    /// Total blocked input-cycles, low half.
+    pub const REG_BLOCKED_LO: u16 = 0x6;
+    /// Total blocked input-cycles, high half.
+    pub const REG_BLOCKED_HI: u16 = 0x7;
+    /// Register count of a switch device.
+    pub const SW_REG_COUNT: u16 = 0x8;
+}
+
+pub(crate) fn switch_read(e: &mut Emulation, i: usize, addr: Address) -> Result<u32, BusError> {
+    let reg = addr.reg();
+    if reg >= swreg::SW_REG_COUNT {
+        return Err(BusError::RegisterOutOfRange {
+            addr,
+            regs: swreg::SW_REG_COUNT,
+        });
+    }
+    let c = crate::engine::elab(e).switches[i].counters();
+    let blocked: u64 = c.blocked_cycles_per_input.iter().sum();
+    let value = match reg {
+        swreg::REG_FORWARDED_LO => c.forwarded_flits as u32,
+        swreg::REG_FORWARDED_HI => (c.forwarded_flits >> 32) as u32,
+        swreg::REG_PACKETS_LO => c.packets_routed as u32,
+        swreg::REG_PACKETS_HI => (c.packets_routed >> 32) as u32,
+        swreg::REG_CYCLES_LO => c.cycles as u32,
+        swreg::REG_CYCLES_HI => (c.cycles >> 32) as u32,
+        swreg::REG_BLOCKED_LO => blocked as u32,
+        swreg::REG_BLOCKED_HI => (blocked >> 32) as u32,
+        _ => unreachable!("range checked above"),
+    };
+    Ok(value)
+}
+
+// --- Typed drivers (the "software part") ------------------------------
+
+/// Driver for a traffic generator device.
+#[derive(Debug, Clone, Copy)]
+pub struct TgDriver {
+    base: DeviceAddr,
+}
+
+impl TgDriver {
+    /// Binds to the TG at `base`.
+    pub fn new(base: DeviceAddr) -> Self {
+        TgDriver { base }
+    }
+
+    /// Programs a traffic model through the registers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn program<B: BusAccess>(&self, bus: &mut B, model: &TrafficModel) -> Result<(), BusError> {
+        for (reg, value) in model_register_image(model) {
+            bus.write(self.base.reg(reg), value)?;
+        }
+        Ok(())
+    }
+
+    /// Packets accepted into the source queue so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn sent<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        bus.read_u64(
+            self.base.reg(tgreg::REG_SENT_LO),
+            self.base.reg(tgreg::REG_SENT_HI),
+        )
+    }
+
+    /// Flits injected so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn injected_flits<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        bus.read_u64(
+            self.base.reg(tgreg::REG_FLITS_LO),
+            self.base.reg(tgreg::REG_FLITS_HI),
+        )
+    }
+
+    /// Injection blocked-cycle counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn blocked_cycles<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        bus.read_u64(
+            self.base.reg(tgreg::REG_BLOCKED_LO),
+            self.base.reg(tgreg::REG_BLOCKED_HI),
+        )
+    }
+}
+
+/// Driver for a traffic receptor device.
+#[derive(Debug, Clone, Copy)]
+pub struct TrDriver {
+    base: DeviceAddr,
+}
+
+impl TrDriver {
+    /// Binds to the TR at `base`.
+    pub fn new(base: DeviceAddr) -> Self {
+        TrDriver { base }
+    }
+
+    /// Packets fully received.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn packets<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        bus.read_u64(
+            self.base.reg(trreg::REG_PACKETS_LO),
+            self.base.reg(trreg::REG_PACKETS_HI),
+        )
+    }
+
+    /// Flits received.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn flits<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        bus.read_u64(
+            self.base.reg(trreg::REG_FLITS_LO),
+            self.base.reg(trreg::REG_FLITS_HI),
+        )
+    }
+
+    /// The "total running time" statistic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn running_time<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        bus.read_u64(
+            self.base.reg(trreg::REG_RUNNING_LO),
+            self.base.reg(trreg::REG_RUNNING_HI),
+        )
+    }
+
+    /// Mean network latency, or `None` when no samples exist (also
+    /// for stochastic receptors, which have no latency analyzer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn mean_network_latency<B: BusAccess>(&self, bus: &mut B) -> Result<Option<f64>, BusError> {
+        let count = bus.read_u64(
+            self.base.reg(trreg::REG_LAT_COUNT_LO),
+            self.base.reg(trreg::REG_LAT_COUNT_HI),
+        )?;
+        if count == 0 {
+            return Ok(None);
+        }
+        let sum = bus.read_u64(
+            self.base.reg(trreg::REG_LAT_SUM_LO),
+            self.base.reg(trreg::REG_LAT_SUM_HI),
+        )?;
+        Ok(Some(sum as f64 / count as f64))
+    }
+}
+
+/// Driver for a switch statistics device.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchDriver {
+    base: DeviceAddr,
+}
+
+impl SwitchDriver {
+    /// Binds to the switch device at `base`.
+    pub fn new(base: DeviceAddr) -> Self {
+        SwitchDriver { base }
+    }
+
+    /// Flits forwarded by the switch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn forwarded<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        bus.read_u64(
+            self.base.reg(swreg::REG_FORWARDED_LO),
+            self.base.reg(swreg::REG_FORWARDED_HI),
+        )
+    }
+
+    /// Total blocked input-cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn blocked<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        bus.read_u64(
+            self.base.reg(swreg::REG_BLOCKED_LO),
+            self.base.reg(swreg::REG_BLOCKED_HI),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocem_common::ids::{EndpointId, FlowId};
+
+    fn fixed_dst() -> DestinationModel {
+        DestinationModel::Fixed {
+            dst: EndpointId::new(3),
+            flow: FlowId::new(1),
+        }
+    }
+
+    #[test]
+    fn uniform_model_register_roundtrip() {
+        let model = TrafficModel::Uniform(UniformConfig {
+            length: LengthModel::Fixed(8),
+            gap: (5, 15),
+            budget: Some(1_000),
+            destination: fixed_dst(),
+        });
+        let shadow = TgShadow::from_model(&model);
+        let decoded = shadow.to_model(&model).unwrap();
+        assert_eq!(decoded, model);
+    }
+
+    #[test]
+    fn burst_model_register_roundtrip() {
+        let model = TrafficModel::Burst(BurstConfig::with_load(0.45, 8, 8, Some(77), fixed_dst()));
+        let shadow = TgShadow::from_model(&model);
+        let decoded = shadow.to_model(&model).unwrap();
+        if let (TrafficModel::Burst(a), TrafficModel::Burst(b)) = (&model, &decoded) {
+            assert_eq!(a.length, b.length);
+            assert_eq!(a.budget, b.budget);
+            // Probabilities go through Q0.16 and may lose < 1e-4.
+            assert!((a.start_probability - b.start_probability).abs() < 1e-4);
+            assert!((a.continue_probability - b.continue_probability).abs() < 1e-4);
+        } else {
+            panic!("expected burst models");
+        }
+    }
+
+    #[test]
+    fn length_range_roundtrip() {
+        let model = TrafficModel::Poisson(PoissonConfig {
+            length: LengthModel::UniformRange { min: 2, max: 9 },
+            start_probability: 0.25,
+            budget: None,
+            destination: fixed_dst(),
+        });
+        let shadow = TgShadow::from_model(&model);
+        match shadow.to_model(&model).unwrap() {
+            TrafficModel::Poisson(p) => {
+                assert_eq!(p.length, LengthModel::UniformRange { min: 2, max: 9 });
+                assert_eq!(p.budget, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_register_faults() {
+        let model = TrafficModel::Uniform(UniformConfig {
+            length: LengthModel::Fixed(4),
+            gap: (0, 0),
+            budget: None,
+            destination: fixed_dst(),
+        });
+        let mut shadow = TgShadow::from_model(&model);
+        shadow.regs.set(tgreg::REG_PACKET_LEN, 0);
+        assert!(matches!(
+            shadow.to_model(&model),
+            Err(BusError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_model_code_faults() {
+        let model = TrafficModel::Uniform(UniformConfig {
+            length: LengthModel::Fixed(4),
+            gap: (0, 0),
+            budget: None,
+            destination: fixed_dst(),
+        });
+        let mut shadow = TgShadow::from_model(&model);
+        shadow.regs.set(tgreg::REG_MODEL, 42);
+        assert!(shadow.to_model(&model).is_err());
+    }
+
+    #[test]
+    fn trace_code_requires_compiled_trace() {
+        let model = TrafficModel::Uniform(UniformConfig {
+            length: LengthModel::Fixed(4),
+            gap: (0, 0),
+            budget: None,
+            destination: fixed_dst(),
+        });
+        let mut shadow = TgShadow::from_model(&model);
+        shadow.regs.set(tgreg::REG_MODEL, tgreg::ModelCode::Trace as u32);
+        let err = shadow.to_model(&model).unwrap_err();
+        assert!(err.to_string().contains("no trace"));
+    }
+
+    #[test]
+    fn dirty_flag_tracks_writes() {
+        let model = TrafficModel::Uniform(UniformConfig {
+            length: LengthModel::Fixed(4),
+            gap: (0, 0),
+            budget: None,
+            destination: fixed_dst(),
+        });
+        let mut shadow = TgShadow::from_model(&model);
+        assert!(!shadow.dirty);
+        let addr = Address::from_parts(
+            nocem_common::ids::BusId::new(0),
+            nocem_common::ids::DeviceId::new(1),
+            tgreg::REG_GAP_MIN,
+        );
+        shadow.bus_write(addr, 9).unwrap();
+        assert!(shadow.dirty);
+    }
+}

@@ -1,0 +1,64 @@
+//! # nocem — a complete Network-on-Chip emulation framework
+//!
+//! Rust reproduction of *"A Complete Network-on-Chip Emulation
+//! Framework"* (Genko, Atienza, De Micheli, Mendias, Hermida,
+//! Catthoor — DATE 2005): a cycle-accurate, HW/SW-structured NoC
+//! emulation platform with stochastic and trace-driven traffic
+//! generators, statistics receptors, a memory-mapped control bus, an
+//! FPGA synthesis model, and the full six-step emulation flow.
+//!
+//! The FPGA of the paper is replaced by a cycle-accurate software
+//! engine (one [`engine::Emulation::step`] per platform clock); the
+//! SystemC and ModelSim baselines of the paper's Table 2 are provided
+//! by the companion crates `nocem-tlm` and `nocem-rtl`, which run the
+//! *same elaboration* through slower simulation kernels.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nocem::config::PaperConfig;
+//! use nocem::flow::run_flow;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's experimental setup: 6 switches, 4 TGs at 45% load,
+//! // two inter-switch links at 90%.
+//! let config = PaperConfig::new().total_packets(1_000).uniform();
+//! let report = run_flow(&config)?;
+//! assert_eq!(report.results.delivered, 1_000);
+//! println!("{}", report.report_text);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! | Module | Flow step | Content |
+//! |---|---|---|
+//! | [`config`] | 1, 3 | platform + run configuration, paper presets |
+//! | [`compile`] | 1 | elaboration: components, wiring, address map |
+//! | [`flow`] | 1–6 | the complete emulation flow |
+//! | [`engine`] | 5 | the cycle engine (and the bus the software sees) |
+//! | [`devices`] | 3, 6 | register views and typed drivers |
+//! | [`results`] | 6 | run results and the monitor report |
+//! | [`sweep`] | — | multi-configuration sweep runner |
+//! | [`error`] | — | compile/run error types |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod config;
+pub mod devices;
+pub mod engine;
+pub mod error;
+pub mod flow;
+pub mod results;
+pub mod sweep;
+
+pub use compile::{elaborate, Elaboration};
+pub use config::{PaperConfig, PaperRouting, PlatformConfig, StopCondition, TrafficModel};
+pub use engine::{build, Emulation};
+pub use error::{CompileError, EmulationError};
+pub use flow::{run_flow, run_flow_on, FlowReport};
+pub use results::EmulationResults;
+pub use sweep::{run_sweep, SweepPoint};

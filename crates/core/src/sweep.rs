@@ -1,0 +1,136 @@
+//! Parameter sweeps: run many configurations and collect their
+//! results, optionally across threads.
+//!
+//! The benchmark harness uses sweeps for every figure: packet-count
+//! sweeps (Figure 2), packets-per-burst × flits-per-packet sweeps
+//! (Figures 3 and 4) and the ablation studies.
+
+use crate::config::PlatformConfig;
+use crate::engine::build;
+use crate::error::EmulationError;
+use crate::results::EmulationResults;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Label carried into the results.
+    pub label: String,
+    /// The configuration to run.
+    pub config: PlatformConfig,
+}
+
+impl SweepPoint {
+    /// Creates a labelled point.
+    pub fn new(label: impl Into<String>, config: PlatformConfig) -> Self {
+        SweepPoint {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// Runs every point and returns `(label, results)` in input order.
+///
+/// `threads` bounds the worker count (`1` = run inline; higher values
+/// use `std::thread::scope`).
+///
+/// # Errors
+///
+/// Returns the error of the first failing point (by input order).
+pub fn run_sweep(
+    points: &[SweepPoint],
+    threads: usize,
+) -> Result<Vec<(String, EmulationResults)>, EmulationError> {
+    let threads = threads.max(1);
+    if threads == 1 || points.len() <= 1 {
+        return points.iter().map(run_point).collect();
+    }
+
+    let mut slots: Vec<Option<Result<(String, EmulationResults), EmulationError>>> =
+        (0..points.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(points.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let outcome = run_point(&points[i]);
+                let mut guard = slots_mutex.lock().expect("no panics while holding lock");
+                guard[i] = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by a worker"))
+        .collect()
+}
+
+fn run_point(point: &SweepPoint) -> Result<(String, EmulationResults), EmulationError> {
+    let mut emu = build(&point.config).map_err(|e| {
+        // A compile failure inside a sweep is a configuration bug of
+        // the harness; surface it through the ledger-style error so
+        // callers get one error channel.
+        EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
+            addr: nocem_platform::addr::Address::from_parts(
+                nocem_common::ids::BusId::new(0),
+                nocem_common::ids::DeviceId::new(0),
+                0,
+            ),
+            reason: format!("sweep point {:?} failed to compile: {e}", point.label),
+        })
+    })?;
+    emu.run()?;
+    Ok((point.label.clone(), emu.results()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaperConfig;
+
+    fn points(n: usize) -> Vec<SweepPoint> {
+        (0..n)
+            .map(|i| {
+                SweepPoint::new(
+                    format!("p{i}"),
+                    PaperConfig::new()
+                        .total_packets(100 + 50 * i as u64)
+                        .uniform(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_sweep_preserves_order() {
+        let out = run_sweep(&points(3), 1).unwrap();
+        let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["p0", "p1", "p2"]);
+        assert_eq!(out[0].1.delivered, 100);
+        assert_eq!(out[2].1.delivered, 200);
+    }
+
+    #[test]
+    fn threaded_sweep_matches_serial() {
+        let serial = run_sweep(&points(4), 1).unwrap();
+        let parallel = run_sweep(&points(4), 4).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.0, p.0);
+            assert_eq!(s.1.cycles, p.1.cycles, "determinism across threads");
+            assert_eq!(s.1.delivered, p.1.delivered);
+        }
+    }
+
+    #[test]
+    fn failing_point_reports_error() {
+        let mut bad = points(1);
+        bad[0].config.stop.cycle_limit = 10; // cannot finish in 10 cycles
+        assert!(run_sweep(&bad, 1).is_err());
+    }
+}

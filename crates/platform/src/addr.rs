@@ -1,0 +1,213 @@
+//! Platform addresses: how the processor reaches every component.
+//!
+//! The paper's processor "can access each component by accessing their
+//! specific addresses … up to 4 internal busses and 1024 devices in
+//! each internal bus". A 32-bit [`Address`] encodes:
+//!
+//! ```text
+//!  31 30 | 29 ... 20 | 19 ....... 2 | 1 0
+//!  bus   | device    | register     | 00   (word aligned)
+//! ```
+//!
+//! Register indices are capped at 16 bits, generously above any device
+//! in the platform.
+
+use nocem_common::ids::{BusId, DeviceId};
+
+/// Number of internal buses the platform supports.
+pub const MAX_BUSES: u8 = 4;
+/// Number of devices addressable on each internal bus.
+pub const DEVICES_PER_BUS: u16 = 1024;
+
+/// A device slot: which bus, which device number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceAddr {
+    /// Internal bus.
+    pub bus: BusId,
+    /// Device number on that bus.
+    pub device: DeviceId,
+}
+
+impl DeviceAddr {
+    /// Creates a device slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus or device number exceeds the platform limits.
+    pub fn new(bus: BusId, device: DeviceId) -> Self {
+        assert!(bus.raw() < MAX_BUSES, "bus {bus} out of range");
+        assert!(
+            device.raw() < DEVICES_PER_BUS,
+            "device {device} out of range"
+        );
+        DeviceAddr { bus, device }
+    }
+
+    /// The address of register `reg` of this device.
+    pub fn reg(self, reg: u16) -> Address {
+        Address::from_parts(self.bus, self.device, reg)
+    }
+}
+
+impl std::fmt::Display for DeviceAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.bus, self.device)
+    }
+}
+
+/// A word-aligned 32-bit platform address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Address(u32);
+
+/// Error produced when decoding a malformed raw address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeAddressError {
+    /// The raw value that failed to decode.
+    pub raw: u32,
+    /// Why it failed.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for DecodeAddressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot decode address {:#010x}: {}", self.raw, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeAddressError {}
+
+impl Address {
+    /// Builds an address from its fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus exceeds [`MAX_BUSES`] or the device exceeds
+    /// [`DEVICES_PER_BUS`].
+    pub fn from_parts(bus: BusId, device: DeviceId, reg: u16) -> Self {
+        assert!(bus.raw() < MAX_BUSES, "bus {bus} out of range");
+        assert!(
+            device.raw() < DEVICES_PER_BUS,
+            "device {device} out of range"
+        );
+        Address(
+            (u32::from(bus.raw()) << 30)
+                | (u32::from(device.raw()) << 20)
+                | (u32::from(reg) << 2),
+        )
+    }
+
+    /// Decodes a raw bus address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeAddressError`] if the address is not
+    /// word-aligned or the register field exceeds 16 bits.
+    pub fn decode(raw: u32) -> Result<Self, DecodeAddressError> {
+        if raw & 0b11 != 0 {
+            return Err(DecodeAddressError {
+                raw,
+                reason: "not word aligned",
+            });
+        }
+        if (raw >> 2) & 0x3_FFFF > u32::from(u16::MAX) {
+            return Err(DecodeAddressError {
+                raw,
+                reason: "register index exceeds 16 bits",
+            });
+        }
+        Ok(Address(raw))
+    }
+
+    /// Raw 32-bit value (what the processor puts on the bus).
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The internal bus.
+    pub fn bus(self) -> BusId {
+        BusId::new((self.0 >> 30) as u8)
+    }
+
+    /// The device on that bus.
+    pub fn device(self) -> DeviceId {
+        DeviceId::new(((self.0 >> 20) & 0x3FF) as u16)
+    }
+
+    /// The device slot (bus + device).
+    pub fn device_addr(self) -> DeviceAddr {
+        DeviceAddr {
+            bus: self.bus(),
+            device: self.device(),
+        }
+    }
+
+    /// The register index within the device.
+    pub fn reg(self) -> u16 {
+        ((self.0 >> 2) & 0xFFFF) as u16
+    }
+}
+
+impl std::fmt::Display for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}+{:#x}", self.bus(), self.device(), self.reg())
+    }
+}
+
+impl std::fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fields() {
+        let a = Address::from_parts(BusId::new(2), DeviceId::new(1023), 0x14);
+        assert_eq!(a.bus(), BusId::new(2));
+        assert_eq!(a.device(), DeviceId::new(1023));
+        assert_eq!(a.reg(), 0x14);
+        let decoded = Address::decode(a.raw()).unwrap();
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn field_packing_matches_layout() {
+        let a = Address::from_parts(BusId::new(1), DeviceId::new(2), 3);
+        assert_eq!(a.raw(), (1 << 30) | (2 << 20) | (3 << 2));
+    }
+
+    #[test]
+    fn unaligned_addresses_rejected() {
+        let err = Address::decode(0x3).unwrap_err();
+        assert!(err.to_string().contains("word aligned"));
+    }
+
+    #[test]
+    fn device_addr_helpers() {
+        let d = DeviceAddr::new(BusId::new(0), DeviceId::new(7));
+        assert_eq!(d.reg(4).device_addr(), d);
+        assert_eq!(d.to_string(), "b0:d7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bus_limit_enforced() {
+        DeviceAddr::new(BusId::new(4), DeviceId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn device_limit_enforced() {
+        DeviceAddr::new(BusId::new(0), DeviceId::new(1024));
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Address::from_parts(BusId::new(3), DeviceId::new(5), 2);
+        assert_eq!(a.to_string(), "b3:d5+0x2");
+        assert_eq!(format!("{a:x}"), format!("{:x}", a.raw()));
+    }
+}

@@ -1,0 +1,426 @@
+//! Histograms — the statistic the paper's stochastic receptors report
+//! ("histograms, which show an image of the received traffic").
+//!
+//! Two bucketing schemes are provided: [`Histogram`] with uniform-width
+//! bins (hardware: a small RAM indexed by `value / width`) and
+//! [`Log2Histogram`] with power-of-two bins (hardware: a
+//! priority-encoder index), which is what latency distributions use.
+
+/// Fixed-width-bin histogram over `u64` samples.
+///
+/// Values beyond the last bin are accumulated in an overflow bin so no
+/// sample is ever lost — mirroring the saturating top bucket of the
+/// hardware receptor RAM.
+///
+/// # Examples
+///
+/// ```
+/// use nocem_stats::histogram::Histogram;
+/// let mut h = Histogram::new(4, 10); // 4 bins of width 10: 0..40
+/// h.record(3);
+/// h.record(25);
+/// h.record(1_000); // overflow bin
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(2), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    width: u64,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of `width` units each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `width == 0`.
+    pub fn new(bins: usize, width: u64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(width > 0, "bin width must be positive");
+        Histogram {
+            bins: vec![0; bins],
+            width,
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of bins (excluding overflow).
+    pub fn bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> u64 {
+        self.width
+    }
+
+    /// Samples recorded into bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Samples beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) from bin boundaries: the
+    /// upper edge of the bin where the cumulative count crosses `q`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some((i as u64 + 1) * self.width);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Iterates `(bin lower edge, count)` pairs, then the overflow bin
+    /// is reachable through [`Histogram::overflow`].
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as u64 * self.width, c))
+    }
+
+    /// Renders the histogram as ASCII bars — the monitor's "image of
+    /// the received traffic". One row per non-empty bin (plus the
+    /// overflow bin), bars scaled so the tallest fits `max_width`
+    /// characters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nocem_stats::histogram::Histogram;
+    /// let mut h = Histogram::new(3, 10);
+    /// for v in [1, 2, 3, 15] { h.record(v); }
+    /// let art = h.render_ascii(20);
+    /// assert!(art.contains("[0..10)"));
+    /// assert!(art.contains('#'));
+    /// ```
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let max_width = max_width.max(1);
+        let tallest = self
+            .bins
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.overflow))
+            .max()
+            .unwrap_or(0);
+        if tallest == 0 {
+            return String::from("(empty)\n");
+        }
+        let label_width = format!("[{}..{})", (self.bins.len() - 1) as u64 * self.width,
+            self.bins.len() as u64 * self.width).len();
+        let bar = |count: u64| {
+            let len = ((count as u128 * max_width as u128) / tallest as u128) as usize;
+            let len = if count > 0 { len.max(1) } else { 0 };
+            "#".repeat(len)
+        };
+        let mut out = String::new();
+        for (i, &count) in self.bins.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = i as u64 * self.width;
+            let hi = lo + self.width;
+            out.push_str(&format!(
+                "{:<label_width$} {:>8} {}\n",
+                format!("[{lo}..{hi})"),
+                count,
+                bar(count)
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!(
+                "{:<label_width$} {:>8} {}\n",
+                format!("[{}..)", self.bins.len() as u64 * self.width),
+                self.overflow,
+                bar(self.overflow)
+            ));
+        }
+        out
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "bin widths differ");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin counts differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "histogram ({} samples)", self.count)?;
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (edge, c) in self.iter() {
+            let bar = "#".repeat((c * 40 / peak) as usize);
+            writeln!(f, "{:>10} | {:>8} {}", edge, c, bar)?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "{:>10} | {:>8}", "overflow", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+/// Power-of-two-bin histogram: bin `i` counts samples in
+/// `[2^i, 2^(i+1))`, with bin 0 counting 0 and 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    bins: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Log2Histogram {
+    /// Creates a histogram with `bins` power-of-two bins (64 covers
+    /// the whole `u64` range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `bins > 64`.
+    pub fn new(bins: usize) -> Self {
+        assert!((1..=64).contains(&bins), "log2 histogram bins in 1..=64");
+        Log2Histogram {
+            bins: vec![0; bins],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample (values beyond the last bin saturate into
+    /// it).
+    pub fn record(&mut self, value: u64) {
+        let idx = if value < 2 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize
+        };
+        let idx = idx.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Count in bin `i` (samples in `[2^i, 2^(i+1))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_rendering_shows_bins_and_overflow() {
+        let mut h = Histogram::new(2, 10);
+        h.record(1);
+        h.record(2);
+        h.record(55); // overflow
+        let art = h.render_ascii(10);
+        assert!(art.contains("[0..10)"), "{art}");
+        assert!(!art.contains("[10..20)"), "empty bins are skipped: {art}");
+        assert!(art.contains("[20..)"), "overflow row present: {art}");
+        // The tallest bin gets the full width; nonzero rows get >= 1.
+        assert!(art.contains(&"#".repeat(10)));
+        let overflow_row = art.lines().find(|l| l.starts_with("[20..)")).unwrap();
+        assert!(overflow_row.contains('#'));
+    }
+
+    #[test]
+    fn ascii_rendering_of_empty_histogram() {
+        let h = Histogram::new(4, 8);
+        assert_eq!(h.render_ascii(30), "(empty)\n");
+    }
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(3, 5);
+        for v in [0, 4, 5, 14, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut h = Histogram::new(10, 10);
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(20.0));
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let h = Histogram::new(2, 1);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_from_bins() {
+        let mut h = Histogram::new(10, 10);
+        for v in 0..100 {
+            h.record(v);
+        }
+        // Median falls in the bin [40, 50) -> upper edge 50.
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(100));
+        assert_eq!(h.quantile(0.0), Some(10));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(2, 10);
+        a.record(5);
+        let mut b = Histogram::new(2, 10);
+        b.record(15);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bin_count(1), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin widths differ")]
+    fn merge_rejects_mismatched_geometry() {
+        Histogram::new(2, 10).merge(&Histogram::new(2, 5));
+    }
+
+    #[test]
+    fn display_renders_bars() {
+        let mut h = Histogram::new(2, 10);
+        h.record(1);
+        h.record(2);
+        h.record(11);
+        let s = h.to_string();
+        assert!(s.contains("3 samples"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn log2_binning() {
+        let mut h = Log2Histogram::new(8);
+        for v in [0, 1, 2, 3, 4, 7, 8, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.bin_count(0), 2); // 0, 1
+        assert_eq!(h.bin_count(1), 2); // 2, 3
+        assert_eq!(h.bin_count(2), 2); // 4, 7
+        assert_eq!(h.bin_count(3), 1); // 8
+        assert_eq!(h.bin_count(7), 1); // saturated
+        assert_eq!(h.count(), 8);
+        assert!(h.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0, 1);
+    }
+}

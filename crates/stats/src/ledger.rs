@@ -1,0 +1,324 @@
+//! The packet ledger: end-to-end packet accounting.
+//!
+//! The engine records three timestamps per packet — **release** (the
+//! traffic model emitted the request), **injection** (the head flit
+//! entered the network) and **delivery** (the tail flit reached its
+//! receptor). From these the ledger derives network and total
+//! latencies and enforces the conservation invariant the integration
+//! tests rely on: *every accepted packet is delivered exactly once,
+//! with the length it was released with*.
+
+use crate::latency::LatencyAnalyzer;
+use nocem_common::ids::PacketId;
+use nocem_common::time::Cycle;
+
+/// Lifecycle record of one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    release: Cycle,
+    len_flits: u16,
+    inject: Option<Cycle>,
+    deliver: Option<Cycle>,
+}
+
+/// Violation of packet conservation — always an engine bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LedgerError {
+    /// A packet id was registered twice.
+    DuplicateRelease(PacketId),
+    /// An event referenced a packet that was never released.
+    UnknownPacket(PacketId),
+    /// A packet was injected or delivered twice.
+    DuplicateEvent(PacketId),
+    /// A packet was delivered with a different length than released.
+    LengthMismatch {
+        /// The packet.
+        packet: PacketId,
+        /// Length at release.
+        released: u16,
+        /// Length at delivery.
+        delivered: u16,
+    },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::DuplicateRelease(p) => write!(f, "packet {p} released twice"),
+            LedgerError::UnknownPacket(p) => write!(f, "event for unknown packet {p}"),
+            LedgerError::DuplicateEvent(p) => write!(f, "duplicate inject/deliver for {p}"),
+            LedgerError::LengthMismatch {
+                packet,
+                released,
+                delivered,
+            } => write!(
+                f,
+                "packet {packet} released with {released} flits but delivered with {delivered}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Latencies computed when a packet is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketLatency {
+    /// Injection → delivery, in cycles.
+    pub network: u64,
+    /// Release → delivery, in cycles.
+    pub total: u64,
+}
+
+/// Dense packet accounting keyed by [`PacketId`] (ids are assigned
+/// contiguously from zero by the engine).
+#[derive(Debug, Clone, Default)]
+pub struct PacketLedger {
+    entries: Vec<Option<Entry>>,
+    released: u64,
+    injected: u64,
+    delivered: u64,
+    network_latency: LatencyAnalyzer,
+    total_latency: LatencyAnalyzer,
+}
+
+impl PacketLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        PacketLedger::default()
+    }
+
+    fn slot(&mut self, id: PacketId) -> &mut Option<Entry> {
+        let idx = id.index();
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        &mut self.entries[idx]
+    }
+
+    /// Registers a packet release.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::DuplicateRelease`] if the id was already
+    /// registered.
+    pub fn release(&mut self, id: PacketId, at: Cycle, len_flits: u16) -> Result<(), LedgerError> {
+        let slot = self.slot(id);
+        if slot.is_some() {
+            return Err(LedgerError::DuplicateRelease(id));
+        }
+        *slot = Some(Entry {
+            release: at,
+            len_flits,
+            inject: None,
+            deliver: None,
+        });
+        self.released += 1;
+        Ok(())
+    }
+
+    /// Records the head flit entering the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError`] for unknown or doubly injected packets.
+    pub fn inject(&mut self, id: PacketId, at: Cycle) -> Result<(), LedgerError> {
+        let entry = self
+            .entries
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(LedgerError::UnknownPacket(id))?;
+        if entry.inject.is_some() {
+            return Err(LedgerError::DuplicateEvent(id));
+        }
+        entry.inject = Some(at);
+        self.injected += 1;
+        Ok(())
+    }
+
+    /// Records the tail flit reaching its receptor and returns the
+    /// packet's latencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError`] for unknown packets, double deliveries,
+    /// deliveries without injection, or length mismatches.
+    pub fn deliver(
+        &mut self,
+        id: PacketId,
+        at: Cycle,
+        len_flits: u16,
+    ) -> Result<PacketLatency, LedgerError> {
+        let entry = self
+            .entries
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(LedgerError::UnknownPacket(id))?;
+        if entry.deliver.is_some() {
+            return Err(LedgerError::DuplicateEvent(id));
+        }
+        let inject = entry.inject.ok_or(LedgerError::UnknownPacket(id))?;
+        if entry.len_flits != len_flits {
+            return Err(LedgerError::LengthMismatch {
+                packet: id,
+                released: entry.len_flits,
+                delivered: len_flits,
+            });
+        }
+        entry.deliver = Some(at);
+        self.delivered += 1;
+        let lat = PacketLatency {
+            network: at.since(inject),
+            total: at.since(entry.release),
+        };
+        self.network_latency.record(lat.network);
+        self.total_latency.record(lat.total);
+        Ok(lat)
+    }
+
+    /// Packets released so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Packets whose head entered the network.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Packets fully delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Released but not yet delivered.
+    pub fn in_flight(&self) -> u64 {
+        self.released - self.delivered
+    }
+
+    /// Network latency statistics over all delivered packets.
+    pub fn network_latency(&self) -> &LatencyAnalyzer {
+        &self.network_latency
+    }
+
+    /// Total latency statistics over all delivered packets.
+    pub fn total_latency(&self) -> &LatencyAnalyzer {
+        &self.total_latency
+    }
+
+    /// Verifies full conservation at end of run: everything released
+    /// was delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first undelivered packet as
+    /// [`LedgerError::UnknownPacket`]-style diagnostics.
+    pub fn verify_drained(&self) -> Result<(), LedgerError> {
+        for (i, e) in self.entries.iter().enumerate() {
+            if let Some(e) = e {
+                if e.deliver.is_none() {
+                    return Err(LedgerError::UnknownPacket(PacketId::new(i as u64)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_lifecycle() {
+        let mut l = PacketLedger::new();
+        let id = PacketId::new(0);
+        l.release(id, Cycle::new(10), 4).unwrap();
+        l.inject(id, Cycle::new(12)).unwrap();
+        let lat = l.deliver(id, Cycle::new(20), 4).unwrap();
+        assert_eq!(lat.network, 8);
+        assert_eq!(lat.total, 10);
+        assert_eq!(l.released(), 1);
+        assert_eq!(l.injected(), 1);
+        assert_eq!(l.delivered(), 1);
+        assert_eq!(l.in_flight(), 0);
+        l.verify_drained().unwrap();
+        assert_eq!(l.network_latency().count(), 1);
+        assert_eq!(l.total_latency().max(), Some(10));
+    }
+
+    #[test]
+    fn duplicate_release_rejected() {
+        let mut l = PacketLedger::new();
+        l.release(PacketId::new(1), Cycle::ZERO, 1).unwrap();
+        let err = l.release(PacketId::new(1), Cycle::ZERO, 1).unwrap_err();
+        assert!(matches!(err, LedgerError::DuplicateRelease(_)));
+    }
+
+    #[test]
+    fn unknown_packet_rejected() {
+        let mut l = PacketLedger::new();
+        assert!(matches!(
+            l.inject(PacketId::new(5), Cycle::ZERO),
+            Err(LedgerError::UnknownPacket(_))
+        ));
+        assert!(matches!(
+            l.deliver(PacketId::new(5), Cycle::ZERO, 1),
+            Err(LedgerError::UnknownPacket(_))
+        ));
+    }
+
+    #[test]
+    fn double_events_rejected() {
+        let mut l = PacketLedger::new();
+        let id = PacketId::new(0);
+        l.release(id, Cycle::ZERO, 2).unwrap();
+        l.inject(id, Cycle::new(1)).unwrap();
+        assert!(matches!(
+            l.inject(id, Cycle::new(2)),
+            Err(LedgerError::DuplicateEvent(_))
+        ));
+        l.deliver(id, Cycle::new(5), 2).unwrap();
+        assert!(matches!(
+            l.deliver(id, Cycle::new(6), 2),
+            Err(LedgerError::DuplicateEvent(_))
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut l = PacketLedger::new();
+        let id = PacketId::new(0);
+        l.release(id, Cycle::ZERO, 4).unwrap();
+        l.inject(id, Cycle::ZERO).unwrap();
+        let err = l.deliver(id, Cycle::new(3), 3).unwrap_err();
+        assert!(matches!(err, LedgerError::LengthMismatch { .. }));
+        assert!(err.to_string().contains("4 flits"));
+    }
+
+    #[test]
+    fn delivery_requires_injection() {
+        let mut l = PacketLedger::new();
+        let id = PacketId::new(0);
+        l.release(id, Cycle::ZERO, 1).unwrap();
+        assert!(l.deliver(id, Cycle::new(1), 1).is_err());
+    }
+
+    #[test]
+    fn verify_drained_finds_stragglers() {
+        let mut l = PacketLedger::new();
+        l.release(PacketId::new(0), Cycle::ZERO, 1).unwrap();
+        assert!(l.verify_drained().is_err());
+        assert_eq!(l.in_flight(), 1);
+    }
+
+    #[test]
+    fn sparse_ids_are_supported() {
+        let mut l = PacketLedger::new();
+        l.release(PacketId::new(100), Cycle::ZERO, 1).unwrap();
+        l.inject(PacketId::new(100), Cycle::ZERO).unwrap();
+        l.deliver(PacketId::new(100), Cycle::new(4), 1).unwrap();
+        l.verify_drained().unwrap();
+    }
+}

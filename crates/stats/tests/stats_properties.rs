@@ -1,0 +1,294 @@
+//! Property-based tests of the statistics substrate: histograms never
+//! lose samples, the latency analyzer agrees with a reference
+//! computation, the packet ledger enforces its lifecycle, and the
+//! reassembler accepts exactly the flit sequences a wormhole network
+//! can produce.
+
+use nocem_common::flit::{Flit, FlitKind, PacketDescriptor};
+use nocem_common::ids::{EndpointId, FlowId, LinkId, PacketId};
+use nocem_common::time::Cycle;
+use nocem_stats::congestion::CongestionCounter;
+use nocem_stats::histogram::{Histogram, Log2Histogram};
+use nocem_stats::latency::LatencyAnalyzer;
+use nocem_stats::ledger::{LedgerError, PacketLedger};
+use nocem_stats::receptor::{Reassembler, StochasticReceptor};
+use proptest::prelude::*;
+
+proptest! {
+    /// A histogram never loses a sample: bin counts plus overflow equal
+    /// the number of recorded values, and min/max/mean are consistent
+    /// with the raw data.
+    #[test]
+    fn histogram_conserves_samples(
+        values in proptest::collection::vec(0u64..10_000, 1..200),
+        bins in 1usize..32,
+        width in 1u64..500,
+    ) {
+        let mut h = Histogram::new(bins, width);
+        for &v in &values {
+            h.record(v);
+        }
+        let binned: u64 = (0..h.bins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(binned + h.overflow(), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), values.iter().copied().min());
+        prop_assert_eq!(h.max(), values.iter().copied().max());
+        let exact_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean().unwrap() - exact_mean).abs() < 1e-6);
+    }
+
+    /// Merging two histograms is the same as recording both sample
+    /// sets into one.
+    #[test]
+    fn histogram_merge_is_concatenation(
+        a in proptest::collection::vec(0u64..1000, 0..100),
+        b in proptest::collection::vec(0u64..1000, 0..100),
+    ) {
+        let mut ha = Histogram::new(16, 64);
+        let mut hb = Histogram::new(16, 64);
+        let mut hall = Histogram::new(16, 64);
+        for &v in &a { ha.record(v); hall.record(v); }
+        for &v in &b { hb.record(v); hall.record(v); }
+        ha.merge(&hb);
+        for i in 0..16 {
+            prop_assert_eq!(ha.bin_count(i), hall.bin_count(i));
+        }
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+    }
+
+    /// Histogram quantiles are monotone in `q` and bracketed by
+    /// min/max.
+    #[test]
+    fn histogram_quantiles_are_monotone(values in proptest::collection::vec(0u64..5_000, 1..100)) {
+        let mut h = Histogram::new(24, 32);
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let mut prev = 0;
+        for &q in &qs {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile not monotone at {q}");
+            prev = v;
+        }
+    }
+
+    /// The log2 histogram mean is within one bin factor of the true
+    /// mean (its resolution contract).
+    #[test]
+    fn log2_histogram_is_lossless_in_count(values in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut h = Log2Histogram::new(24);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// The latency analyzer matches a reference fold exactly for
+    /// count/sum/min/max and to f64 precision for the mean.
+    #[test]
+    fn latency_analyzer_matches_reference(samples in proptest::collection::vec(0u64..100_000, 1..300)) {
+        let mut a = LatencyAnalyzer::new();
+        for &s in &samples {
+            a.record(s);
+        }
+        prop_assert_eq!(a.count(), samples.len() as u64);
+        prop_assert_eq!(a.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(a.min(), samples.iter().copied().min());
+        prop_assert_eq!(a.max(), samples.iter().copied().max());
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((a.mean().unwrap() - mean).abs() < 1e-9);
+    }
+
+    /// Merged analyzers equal the analyzer of the concatenation.
+    #[test]
+    fn latency_merge_is_concatenation(
+        a in proptest::collection::vec(0u64..10_000, 0..100),
+        b in proptest::collection::vec(0u64..10_000, 0..100),
+    ) {
+        let mut xa = LatencyAnalyzer::new();
+        let mut xb = LatencyAnalyzer::new();
+        let mut xc = LatencyAnalyzer::new();
+        for &v in &a { xa.record(v); xc.record(v); }
+        for &v in &b { xb.record(v); xc.record(v); }
+        xa.merge(&xb);
+        prop_assert_eq!(xa.count(), xc.count());
+        prop_assert_eq!(xa.sum(), xc.sum());
+        prop_assert_eq!(xa.min(), xc.min());
+        prop_assert_eq!(xa.max(), xc.max());
+    }
+
+    /// The ledger accepts any interleaving of correctly ordered
+    /// release→inject→deliver triples and reports exact latencies.
+    #[test]
+    fn ledger_accepts_ordered_lifecycles(
+        // (release offset, inject delay, network latency) per packet
+        pkts in proptest::collection::vec((0u64..100, 0u64..20, 1u64..50), 1..50),
+    ) {
+        let mut ledger = PacketLedger::new();
+        // Build the global event list: (time, kind, packet).
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        enum Ev { Release, Inject, Deliver }
+        let mut events: Vec<(u64, Ev, usize)> = Vec::new();
+        for (i, &(rel, inj, lat)) in pkts.iter().enumerate() {
+            events.push((rel, Ev::Release, i));
+            events.push((rel + inj, Ev::Inject, i));
+            events.push((rel + inj + lat, Ev::Deliver, i));
+        }
+        events.sort();
+        for (t, ev, i) in events {
+            let id = PacketId::new(i as u64);
+            match ev {
+                Ev::Release => ledger.release(id, Cycle::new(t), 4).unwrap(),
+                Ev::Inject => ledger.inject(id, Cycle::new(t)).unwrap(),
+                Ev::Deliver => {
+                    let lat = ledger.deliver(id, Cycle::new(t), 4).unwrap();
+                    let (rel, inj, net) = pkts[i];
+                    prop_assert_eq!(lat.network, net);
+                    prop_assert_eq!(lat.total, inj + net);
+                    let _ = rel;
+                }
+            }
+        }
+        prop_assert_eq!(ledger.released(), pkts.len() as u64);
+        prop_assert_eq!(ledger.delivered(), pkts.len() as u64);
+        prop_assert_eq!(ledger.in_flight(), 0);
+        ledger.verify_drained().unwrap();
+        prop_assert_eq!(ledger.network_latency().count(), pkts.len() as u64);
+    }
+
+    /// Lifecycle violations are rejected: double release, inject of an
+    /// unknown packet, deliver before inject.
+    #[test]
+    fn ledger_rejects_lifecycle_violations(id in 0u64..1000) {
+        let id = PacketId::new(id);
+        let mut ledger = PacketLedger::new();
+        ledger.release(id, Cycle::new(0), 2).unwrap();
+        prop_assert!(matches!(
+            ledger.release(id, Cycle::new(1), 2),
+            Err(LedgerError::DuplicateRelease(_))
+        ));
+        prop_assert!(ledger.deliver(id, Cycle::new(2), 2).is_err(), "deliver before inject");
+        let other = PacketId::new(id.raw() + 1_000_000);
+        prop_assert!(ledger.inject(other, Cycle::new(1)).is_err());
+        // The correct sequence still works afterwards.
+        ledger.inject(id, Cycle::new(3)).unwrap();
+        ledger.deliver(id, Cycle::new(5), 2).unwrap();
+        prop_assert!(matches!(ledger.verify_drained(), Ok(())));
+    }
+
+    /// The reassembler accepts any wormhole-legal flit stream
+    /// (packets contiguous per receptor) and reconstructs exact packet
+    /// boundaries; it rejects out-of-order sequence numbers.
+    #[test]
+    fn reassembler_reconstructs_packets(lens in proptest::collection::vec(1u16..8, 1..30)) {
+        let mut r = Reassembler::new();
+        let mut now = 0u64;
+        for (i, &len) in lens.iter().enumerate() {
+            let flits: Vec<Flit> = PacketDescriptor {
+                id: PacketId::new(i as u64),
+                src: EndpointId::new(0),
+                dst: EndpointId::new(1),
+                flow: FlowId::new(0),
+                len_flits: len,
+                release: Cycle::ZERO,
+            }
+            .flits()
+            .collect();
+            for (k, f) in flits.iter().enumerate() {
+                let done = r.accept(f, Cycle::new(now)).unwrap();
+                now += 1;
+                if k + 1 == flits.len() {
+                    let pkt = done.expect("tail completes the packet");
+                    prop_assert_eq!(pkt.id, PacketId::new(i as u64));
+                    prop_assert_eq!(pkt.len_flits, len);
+                } else {
+                    prop_assert!(done.is_none());
+                }
+            }
+            prop_assert!(!r.has_open_packet());
+        }
+    }
+
+    /// Congestion rates are always within [0, 1] and utilization is
+    /// consistent with the recorded forward counts.
+    #[test]
+    fn congestion_rates_are_bounded(
+        entries in proptest::collection::vec((0u64..1000, 0u64..1000), 1..50),
+    ) {
+        let mut cc = CongestionCounter::new(entries.len());
+        for (i, &(b, f)) in entries.iter().enumerate() {
+            cc.add(LinkId::new(i as u32), b, f);
+        }
+        for (i, &(blocked, forwarded)) in entries.iter().enumerate() {
+            let l = LinkId::new(i as u32);
+            let r = cc.rate(l);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert_eq!(cc.forwarded(l), forwarded);
+            prop_assert_eq!(cc.blocked(l), blocked);
+        }
+        let network = cc.network_rate();
+        prop_assert!((0.0..=1.0).contains(&network));
+    }
+}
+
+/// A stochastic receptor builds the paper's histograms: packet-length
+/// and inter-arrival distributions with exact totals.
+#[test]
+fn stochastic_receptor_histograms_account_for_everything() {
+    let mut r = StochasticReceptor::new(EndpointId::new(1));
+    let mut now = 0u64;
+    let lens = [1u16, 3, 5, 2, 8, 1, 4];
+    for (i, &len) in lens.iter().enumerate() {
+        let flits: Vec<Flit> = PacketDescriptor {
+            id: PacketId::new(i as u64),
+            src: EndpointId::new(0),
+            dst: EndpointId::new(1),
+            flow: FlowId::new(0),
+            len_flits: len,
+            release: Cycle::ZERO,
+        }
+        .flits()
+        .collect();
+        for f in &flits {
+            r.accept(f, Cycle::new(now)).unwrap();
+            now += 2; // a gap the inter-arrival histogram will see
+        }
+    }
+    assert_eq!(r.counters().packets, lens.len() as u64);
+    assert_eq!(
+        r.counters().flits,
+        lens.iter().map(|&l| u64::from(l)).sum::<u64>()
+    );
+    assert_eq!(r.length_histogram().count(), lens.len() as u64);
+    assert_eq!(
+        r.length_histogram().mean().unwrap(),
+        lens.iter().map(|&l| f64::from(l)).sum::<f64>() / lens.len() as f64
+    );
+    // First packet has no predecessor: n-1 inter-arrival samples.
+    assert_eq!(r.interarrival_histogram().count(), lens.len() as u64 - 1);
+    assert!(r.counters().running_time() > 0);
+}
+
+/// A flit whose payload was corrupted in flight is rejected by the
+/// receptor — the platform's built-in data-integrity check.
+#[test]
+fn corrupted_flit_is_rejected() {
+    let mut r = Reassembler::new();
+    let mut f: Flit = PacketDescriptor {
+        id: PacketId::new(9),
+        src: EndpointId::new(0),
+        dst: EndpointId::new(1),
+        flow: FlowId::new(0),
+        len_flits: 1,
+        release: Cycle::ZERO,
+    }
+    .flits()
+    .next()
+    .unwrap();
+    f.payload ^= 0x1;
+    assert!(r.accept(&f, Cycle::new(0)).is_err());
+    assert_eq!(f.kind, FlitKind::Single);
+}

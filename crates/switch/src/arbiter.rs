@@ -1,0 +1,215 @@
+//! Output-port arbiters.
+//!
+//! Each switch output arbitrates every cycle among the input ports that
+//! want to send through it. The default (and the configuration the
+//! paper's platform uses) is round-robin, which is starvation-free; a
+//! fixed-priority arbiter is provided for the ablation study on
+//! arbitration fairness.
+//!
+//! Arbiters are deterministic state machines. All three simulation
+//! engines instantiate the same types and therefore make identical
+//! grant decisions given identical request sequences — the foundation
+//! of the cross-engine equivalence tests.
+
+/// Arbitration policy selector (a switch configuration parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArbiterKind {
+    /// Rotating-priority round-robin (starvation-free).
+    #[default]
+    RoundRobin,
+    /// Lowest-index-wins fixed priority (can starve high inputs).
+    FixedPriority,
+}
+
+/// A per-output arbiter instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arbiter {
+    /// See [`ArbiterKind::RoundRobin`].
+    RoundRobin(RoundRobinArbiter),
+    /// See [`ArbiterKind::FixedPriority`].
+    FixedPriority(FixedPriorityArbiter),
+}
+
+impl Arbiter {
+    /// Creates an arbiter of the given kind for `inputs` requesters.
+    pub fn new(kind: ArbiterKind, inputs: usize) -> Self {
+        match kind {
+            ArbiterKind::RoundRobin => Arbiter::RoundRobin(RoundRobinArbiter::new(inputs)),
+            ArbiterKind::FixedPriority => {
+                Arbiter::FixedPriority(FixedPriorityArbiter::new(inputs))
+            }
+        }
+    }
+
+    /// Grants at most one requester and updates internal priority
+    /// state. `requests[i]` is true when input `i` requests this
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` differs from the arbiter width.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        match self {
+            Arbiter::RoundRobin(a) => a.grant(requests),
+            Arbiter::FixedPriority(a) => a.grant(requests),
+        }
+    }
+
+    /// Number of requesters this arbiter serves.
+    pub fn width(&self) -> usize {
+        match self {
+            Arbiter::RoundRobin(a) => a.width,
+            Arbiter::FixedPriority(a) => a.width,
+        }
+    }
+}
+
+/// Rotating-priority arbiter: after granting input `i`, the next
+/// search starts at `i + 1`, so every requester is served within
+/// `width` grants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRobinArbiter {
+    width: usize,
+    /// Index after which the next search starts.
+    last_grant: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter for `width` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "arbiter needs at least one requester");
+        RoundRobinArbiter {
+            width,
+            // Reset state: input 0 has highest priority first.
+            last_grant: width - 1,
+        }
+    }
+
+    /// Grants the first requester after `last_grant` (cyclic) and
+    /// rotates priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != width`.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.width, "request vector width mismatch");
+        for off in 1..=self.width {
+            let i = (self.last_grant + off) % self.width;
+            if requests[i] {
+                self.last_grant = i;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// The most recently granted index (reset: `width - 1`, so that
+    /// input 0 wins the first contested cycle).
+    pub fn pointer(&self) -> usize {
+        self.last_grant
+    }
+}
+
+/// Fixed-priority arbiter: lowest requesting index wins, always.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedPriorityArbiter {
+    width: usize,
+}
+
+impl FixedPriorityArbiter {
+    /// Creates an arbiter for `width` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "arbiter needs at least one requester");
+        FixedPriorityArbiter { width }
+    }
+
+    /// Grants the lowest requesting index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != width`.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.width, "request vector width mismatch");
+        requests.iter().position(|&r| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_fairly() {
+        let mut a = RoundRobinArbiter::new(3);
+        let all = [true, true, true];
+        assert_eq!(a.grant(&all), Some(0));
+        assert_eq!(a.grant(&all), Some(1));
+        assert_eq!(a.grant(&all), Some(2));
+        assert_eq!(a.grant(&all), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_idle_inputs() {
+        let mut a = RoundRobinArbiter::new(4);
+        assert_eq!(a.grant(&[false, true, false, true]), Some(1));
+        assert_eq!(a.grant(&[false, true, false, true]), Some(3));
+        assert_eq!(a.grant(&[false, true, false, true]), Some(1));
+    }
+
+    #[test]
+    fn round_robin_none_when_idle() {
+        let mut a = RoundRobinArbiter::new(2);
+        assert_eq!(a.grant(&[false, false]), None);
+        // Pointer unchanged by an idle cycle.
+        assert_eq!(a.grant(&[true, true]), Some(0));
+    }
+
+    #[test]
+    fn round_robin_single_requester_keeps_winning() {
+        let mut a = RoundRobinArbiter::new(3);
+        for _ in 0..5 {
+            assert_eq!(a.grant(&[false, false, true]), Some(2));
+        }
+    }
+
+    #[test]
+    fn fixed_priority_always_prefers_low_index() {
+        let mut a = FixedPriorityArbiter::new(3);
+        for _ in 0..5 {
+            assert_eq!(a.grant(&[true, true, true]), Some(0));
+        }
+        assert_eq!(a.grant(&[false, true, true]), Some(1));
+    }
+
+    #[test]
+    fn wrapper_dispatches() {
+        let mut rr = Arbiter::new(ArbiterKind::RoundRobin, 2);
+        let mut fp = Arbiter::new(ArbiterKind::FixedPriority, 2);
+        assert_eq!(rr.width(), 2);
+        assert_eq!(fp.width(), 2);
+        assert_eq!(rr.grant(&[true, true]), Some(0));
+        assert_eq!(rr.grant(&[true, true]), Some(1));
+        assert_eq!(fp.grant(&[true, true]), Some(0));
+        assert_eq!(fp.grant(&[true, true]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        RoundRobinArbiter::new(2).grant(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requester")]
+    fn zero_width_panics() {
+        RoundRobinArbiter::new(0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Switch configuration: the paper's per-switch parameters.
+//!
+//! The emulated switch is parameterized by its **number of inputs**,
+//! **number of outputs** and **buffer size** (the three switch
+//! parameters the paper's platform exposes), plus the arbitration and
+//! path-selection policies used by the ablation studies.
+
+use crate::arbiter::ArbiterKind;
+
+/// How an input chooses among multiple admissible output ports (the
+/// paper's "two routing possibilities").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Always take the primary (first listed) port — deterministic
+    /// single-path behaviour even when alternatives exist.
+    #[default]
+    First,
+    /// Alternate over the listed ports packet by packet (per input).
+    Alternate,
+    /// Take a secondary port when the selection LFSR draws below the
+    /// threshold (`0` = never, `0xFFFF` ≈ always).
+    Random {
+        /// 16-bit probability threshold compared against an LFSR draw.
+        secondary_threshold: u16,
+    },
+    /// Take the listed port with the most credits (congestion-aware;
+    /// an extension the paper mentions as future work).
+    Adaptive,
+}
+
+impl SelectionPolicy {
+    /// Random selection with probability `p` (clamped to `[0, 1]`) of
+    /// taking a secondary path.
+    pub fn random(p: f64) -> Self {
+        let clamped = p.clamp(0.0, 1.0);
+        SelectionPolicy::Random {
+            secondary_threshold: (clamped * f64::from(u16::MAX)) as u16,
+        }
+    }
+}
+
+/// Full parameterization of one switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchConfig {
+    /// Number of input ports.
+    pub inputs: u8,
+    /// Number of output ports.
+    pub outputs: u8,
+    /// Input buffer depth in flits (the paper's "size of buffers").
+    pub fifo_depth: u8,
+    /// Output arbitration policy.
+    pub arbiter: ArbiterKind,
+    /// Multi-path selection policy.
+    pub selection: SelectionPolicy,
+}
+
+impl SwitchConfig {
+    /// The workspace default buffer depth (4 flits).
+    pub const DEFAULT_FIFO_DEPTH: u8 = 4;
+}
+
+/// Builder for [`SwitchConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use nocem_switch::config::{SelectionPolicy, SwitchConfigBuilder};
+///
+/// let cfg = SwitchConfigBuilder::new(4, 4)
+///     .fifo_depth(8)
+///     .selection(SelectionPolicy::Alternate)
+///     .build();
+/// assert_eq!(cfg.inputs, 4);
+/// assert_eq!(cfg.fifo_depth, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwitchConfigBuilder {
+    config: SwitchConfig,
+}
+
+impl SwitchConfigBuilder {
+    /// Starts from the given port counts with default buffer depth,
+    /// round-robin arbitration and primary-path selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port count is zero.
+    pub fn new(inputs: u8, outputs: u8) -> Self {
+        assert!(inputs > 0 && outputs > 0, "switch needs ports on both sides");
+        SwitchConfigBuilder {
+            config: SwitchConfig {
+                inputs,
+                outputs,
+                fifo_depth: SwitchConfig::DEFAULT_FIFO_DEPTH,
+                arbiter: ArbiterKind::RoundRobin,
+                selection: SelectionPolicy::First,
+            },
+        }
+    }
+
+    /// Sets the input buffer depth in flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn fifo_depth(mut self, depth: u8) -> Self {
+        assert!(depth > 0, "buffer depth must be at least 1 flit");
+        self.config.fifo_depth = depth;
+        self
+    }
+
+    /// Sets the arbitration policy.
+    pub fn arbiter(mut self, kind: ArbiterKind) -> Self {
+        self.config.arbiter = kind;
+        self
+    }
+
+    /// Sets the multi-path selection policy.
+    pub fn selection(mut self, policy: SelectionPolicy) -> Self {
+        self.config.selection = policy;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> SwitchConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let c = SwitchConfigBuilder::new(3, 5).build();
+        assert_eq!(c.inputs, 3);
+        assert_eq!(c.outputs, 5);
+        assert_eq!(c.fifo_depth, SwitchConfig::DEFAULT_FIFO_DEPTH);
+        assert_eq!(c.arbiter, ArbiterKind::RoundRobin);
+        assert_eq!(c.selection, SelectionPolicy::First);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = SwitchConfigBuilder::new(2, 2)
+            .fifo_depth(16)
+            .arbiter(ArbiterKind::FixedPriority)
+            .selection(SelectionPolicy::Adaptive)
+            .build();
+        assert_eq!(c.fifo_depth, 16);
+        assert_eq!(c.arbiter, ArbiterKind::FixedPriority);
+        assert_eq!(c.selection, SelectionPolicy::Adaptive);
+    }
+
+    #[test]
+    fn random_policy_from_probability() {
+        assert_eq!(
+            SelectionPolicy::random(0.0),
+            SelectionPolicy::Random { secondary_threshold: 0 }
+        );
+        match SelectionPolicy::random(0.5) {
+            SelectionPolicy::Random { secondary_threshold } => {
+                assert!((32_500..33_100).contains(&secondary_threshold));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Clamping.
+        assert_eq!(
+            SelectionPolicy::random(7.0),
+            SelectionPolicy::Random {
+                secondary_threshold: u16::MAX
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ports on both sides")]
+    fn zero_ports_panic() {
+        SwitchConfigBuilder::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 flit")]
+    fn zero_depth_panics() {
+        let _ = SwitchConfigBuilder::new(1, 1).fifo_depth(0);
+    }
+}

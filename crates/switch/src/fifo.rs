@@ -1,0 +1,232 @@
+//! Fixed-capacity flit FIFO — the input buffer of the emulated switch.
+//!
+//! The FIFO capacity is the paper's per-switch "size of buffers"
+//! parameter. Overflow is impossible in a correctly wired platform
+//! (credit-based flow control never sends into a full buffer), so
+//! [`FlitFifo::push`] returns an error that engines treat as a wiring
+//! bug.
+
+use nocem_common::flit::Flit;
+
+/// Error returned when pushing into a full FIFO.
+///
+/// Seeing this error at run time means flow control is mis-wired: the
+/// upstream sender held more credits than the buffer has slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError {
+    /// Capacity of the FIFO that rejected the flit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flit fifo of capacity {} is full", self.capacity)
+    }
+}
+
+impl std::error::Error for FifoFullError {}
+
+/// Bounded single-clock FIFO of flits (ring buffer).
+///
+/// # Examples
+///
+/// ```
+/// use nocem_switch::fifo::FlitFifo;
+/// let mut fifo = FlitFifo::new(4);
+/// assert!(fifo.is_empty());
+/// assert_eq!(fifo.capacity(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlitFifo {
+    slots: Vec<Option<Flit>>,
+    head: usize,
+    len: usize,
+}
+
+impl FlitFifo {
+    /// Creates an empty FIFO with room for `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`; a bufferless switch port cannot hold
+    /// a flit between clock edges.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be at least 1");
+        FlitFifo {
+            slots: vec![None; capacity],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum number of flits the FIFO can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of flits currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the FIFO holds no flits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the FIFO is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Free slots remaining.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    /// The flit at the head (next to leave), if any.
+    #[inline]
+    pub fn peek(&self) -> Option<&Flit> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    /// Appends a flit at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when the FIFO is full; see the module
+    /// documentation for why this indicates a platform wiring bug.
+    pub fn push(&mut self, flit: Flit) -> Result<(), FifoFullError> {
+        if self.is_full() {
+            return Err(FifoFullError {
+                capacity: self.capacity(),
+            });
+        }
+        let tail = (self.head + self.len) % self.capacity();
+        self.slots[tail] = Some(flit);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        if self.len == 0 {
+            return None;
+        }
+        let flit = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.capacity();
+        self.len -= 1;
+        flit
+    }
+
+    /// Iterates over the stored flits from head to tail without
+    /// removing them.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> + '_ {
+        (0..self.len).map(move |i| {
+            self.slots[(self.head + i) % self.capacity()]
+                .as_ref()
+                .expect("occupied slot")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocem_common::flit::{Flit, FlitKind};
+    use nocem_common::ids::{EndpointId, FlowId, PacketId};
+
+    fn flit(n: u64) -> Flit {
+        Flit {
+            packet: PacketId::new(n),
+            kind: FlitKind::Single,
+            seq: 0,
+            flow: FlowId::new(0),
+            dst: EndpointId::new(0),
+            payload: n as u32,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut f = FlitFifo::new(3);
+        f.push(flit(1)).unwrap();
+        f.push(flit(2)).unwrap();
+        f.push(flit(3)).unwrap();
+        assert_eq!(f.pop().unwrap().packet.raw(), 1);
+        assert_eq!(f.pop().unwrap().packet.raw(), 2);
+        assert_eq!(f.pop().unwrap().packet.raw(), 3);
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn wraparound_works() {
+        let mut f = FlitFifo::new(2);
+        for round in 0..10u64 {
+            f.push(flit(round)).unwrap();
+            assert_eq!(f.pop().unwrap().packet.raw(), round);
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn push_into_full_fails_without_losing_data() {
+        let mut f = FlitFifo::new(2);
+        f.push(flit(1)).unwrap();
+        f.push(flit(2)).unwrap();
+        let err = f.push(flit(3)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pop().unwrap().packet.raw(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = FlitFifo::new(2);
+        f.push(flit(7)).unwrap();
+        assert_eq!(f.peek().unwrap().packet.raw(), 7);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut f = FlitFifo::new(4);
+        assert_eq!(f.free(), 4);
+        f.push(flit(0)).unwrap();
+        assert_eq!(f.free(), 3);
+        assert!(!f.is_full());
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn iter_walks_head_to_tail() {
+        let mut f = FlitFifo::new(3);
+        f.push(flit(5)).unwrap();
+        f.push(flit(6)).unwrap();
+        f.pop();
+        f.push(flit(7)).unwrap();
+        let ids: Vec<u64> = f.iter().map(|x| x.packet.raw()).collect();
+        assert_eq!(ids, vec![6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        FlitFifo::new(0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FifoFullError { capacity: 4 };
+        assert_eq!(e.to_string(), "flit fifo of capacity 4 is full");
+    }
+}

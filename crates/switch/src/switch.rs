@@ -1,0 +1,835 @@
+//! The wormhole switch model — **the behavioural contract of the
+//! platform**.
+//!
+//! All three simulation engines (`nocem` emulation, `nocem-rtl`,
+//! `nocem-tlm`) implement exactly the semantics specified here, which
+//! is what makes them cycle-equivalent and lets Table 2 compare their
+//! speed on identical work.
+//!
+//! # Cycle semantics
+//!
+//! Every platform clock cycle has two phases:
+//!
+//! 1. **Decide** ([`Switch::decide`]): using only *start-of-cycle*
+//!    state, every input computes its request and every output grants
+//!    at most one input:
+//!    * an input whose FIFO is empty requests nothing;
+//!    * an input with an open wormhole requests its allocated output
+//!      (continuation);
+//!    * an input whose head-of-FIFO is a Head/Single flit selects one
+//!      admissible output from its routing entry (the selection is
+//!      made once per packet, when the head first reaches the FIFO
+//!      head, and is sticky until granted);
+//!    * an output owned by a wormhole grants its owner iff the owner
+//!      requests it and the output holds at least one credit;
+//!    * a free output with at least one credit arbitrates among the
+//!      head-flit requesters (inputs are visited in ascending index
+//!      order when stepping shared state, and the arbiter pointer
+//!      advances only on a grant).
+//! 2. **Commit** ([`Switch::commit_sends`] / [`Switch::accept`] /
+//!    [`Switch::credit_return`]): granted flits pop from their FIFO,
+//!    consume one credit, open (Head) or close (Tail) the wormhole,
+//!    and are handed to the engine, which pushes them into the
+//!    downstream buffer and returns a credit upstream. Everything
+//!    committed in cycle *t* becomes visible in cycle *t + 1*, so a
+//!    flit advances at most one hop per cycle and the minimum per-hop
+//!    latency is one cycle.
+//!
+//! Credits are initialized to the downstream buffer depth
+//! ([`CREDITS_INFINITE`] for ejection ports, whose receptors always
+//! accept). A credit returns to the upstream output when the
+//! downstream FIFO pops, one cycle later.
+
+use crate::arbiter::Arbiter;
+use crate::config::{SelectionPolicy, SwitchConfig};
+use crate::fifo::{FifoFullError, FlitFifo};
+use nocem_common::flit::Flit;
+use nocem_common::ids::PortId;
+use nocem_common::rng::Lfsr16;
+
+/// Credit value marking an output whose downstream always accepts
+/// (ejection ports into traffic receptors).
+pub const CREDITS_INFINITE: u32 = u32::MAX;
+
+/// Errors detected when constructing a [`Switch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildSwitchError {
+    /// A routing entry references an output port the switch does not
+    /// have.
+    RouteOutOfRange {
+        /// Flow index of the offending entry.
+        flow: usize,
+        /// The referenced port.
+        port: PortId,
+        /// Number of outputs the switch actually has.
+        outputs: u8,
+    },
+    /// The credit vector length must equal the number of outputs.
+    CreditWidthMismatch {
+        /// Supplied credit entries.
+        got: usize,
+        /// Number of outputs.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for BuildSwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildSwitchError::RouteOutOfRange { flow, port, outputs } => write!(
+                f,
+                "routing entry for flow {flow} references {port} but switch has {outputs} outputs"
+            ),
+            BuildSwitchError::CreditWidthMismatch { got, expected } => {
+                write!(f, "credit vector has {got} entries, switch has {expected} outputs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildSwitchError {}
+
+/// A flit transfer committed in the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Input port the flit left.
+    pub input: PortId,
+    /// Output port the flit took.
+    pub output: PortId,
+    /// The flit itself.
+    pub flit: Flit,
+}
+
+/// Statistics the switch accumulates; the hardware equivalents are the
+/// per-device counters the monitor reads over the platform bus.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SwitchCounters {
+    /// Total flits forwarded.
+    pub forwarded_flits: u64,
+    /// Head/Single flits granted a fresh output (packets routed).
+    pub packets_routed: u64,
+    /// Cycles each input spent with a waiting flit it could not send —
+    /// the paper's congestion counter, per input port.
+    pub blocked_cycles_per_input: Vec<u64>,
+    /// Cycles some waiting flit requested each output but was not
+    /// granted — the same blocked cycles attributed to the *link the
+    /// flit wanted to traverse* (the congestion engines report per
+    /// link; a hot output accumulates the stalls of everyone queued
+    /// behind it).
+    pub blocked_cycles_per_output: Vec<u64>,
+    /// Flits forwarded per output port.
+    pub forwarded_per_output: Vec<u64>,
+    /// Cycles each output actually transferred a flit (utilization).
+    pub busy_cycles_per_output: Vec<u64>,
+    /// decide() invocations (cycles observed).
+    pub cycles: u64,
+}
+
+impl SwitchCounters {
+    fn new(inputs: usize, outputs: usize) -> Self {
+        SwitchCounters {
+            blocked_cycles_per_input: vec![0; inputs],
+            blocked_cycles_per_output: vec![0; outputs],
+            forwarded_per_output: vec![0; outputs],
+            busy_cycles_per_output: vec![0; outputs],
+            ..SwitchCounters::default()
+        }
+    }
+
+    /// Congestion rate of input `i`: blocked / (blocked + forwarded
+    /// cycles), or 0 when the input never held a flit. Uses the total
+    /// forwarded flits of the switch attributed per input via busy
+    /// accounting — engines that need exact per-link rates combine
+    /// blocked cycles with per-link forward counts instead.
+    pub fn input_blocked_share(&self, input: PortId, forwarded_from_input: u64) -> f64 {
+        let blocked = self.blocked_cycles_per_input[input.index()];
+        let total = blocked + forwarded_from_input;
+        if total == 0 {
+            0.0
+        } else {
+            blocked as f64 / total as f64
+        }
+    }
+}
+
+/// Cycle-accurate model of one parameterizable wormhole switch.
+///
+/// See the module documentation for the full cycle semantics.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    config: SwitchConfig,
+    /// `[flow] -> admissible output ports` (may be empty for flows
+    /// that never visit this switch).
+    routes: Vec<Vec<PortId>>,
+    fifos: Vec<FlitFifo>,
+    /// Per input: output allocated to the worm currently crossing.
+    allocated: Vec<Option<u8>>,
+    /// Per input: output selected for the pending head flit (sticky
+    /// until granted).
+    chosen: Vec<Option<u8>>,
+    /// Per output: input that owns the wormhole.
+    busy_with: Vec<Option<u8>>,
+    /// Per output: credits toward the downstream buffer.
+    credits: Vec<u32>,
+    /// Per output: the initial credit value (downstream capacity).
+    credit_cap: Vec<u32>,
+    arbiters: Vec<Arbiter>,
+    /// Per input: alternation pointer for
+    /// [`SelectionPolicy::Alternate`].
+    alternate_ptr: Vec<u8>,
+    /// Shared selection LFSR (stepped in ascending input order).
+    lfsr: Lfsr16,
+    /// Per output: input granted in the current cycle.
+    granted: Vec<Option<u8>>,
+    /// Per input: flits forwarded from this input (for congestion
+    /// rates).
+    forwarded_per_input: Vec<u64>,
+    counters: SwitchCounters,
+}
+
+impl Switch {
+    /// Builds a switch.
+    ///
+    /// * `routes` — flow-indexed admissible output ports, from
+    ///   `nocem-topology`'s routing tables.
+    /// * `credits` — initial credit per output (downstream buffer
+    ///   depth, or [`CREDITS_INFINITE`] for ejection ports).
+    /// * `lfsr_seed` — seed of the selection LFSR (a TG-style "random
+    ///   initialization" register).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSwitchError`] if a route references a
+    /// non-existent output or the credit vector has the wrong width.
+    pub fn new(
+        config: SwitchConfig,
+        routes: Vec<Vec<PortId>>,
+        credits: Vec<u32>,
+        lfsr_seed: u16,
+    ) -> Result<Self, BuildSwitchError> {
+        for (flow, ports) in routes.iter().enumerate() {
+            for &p in ports {
+                if p.index() >= config.outputs as usize {
+                    return Err(BuildSwitchError::RouteOutOfRange {
+                        flow,
+                        port: p,
+                        outputs: config.outputs,
+                    });
+                }
+            }
+        }
+        if credits.len() != config.outputs as usize {
+            return Err(BuildSwitchError::CreditWidthMismatch {
+                got: credits.len(),
+                expected: config.outputs as usize,
+            });
+        }
+        let inputs = config.inputs as usize;
+        let outputs = config.outputs as usize;
+        Ok(Switch {
+            fifos: (0..inputs)
+                .map(|_| FlitFifo::new(config.fifo_depth as usize))
+                .collect(),
+            allocated: vec![None; inputs],
+            chosen: vec![None; inputs],
+            busy_with: vec![None; outputs],
+            credit_cap: credits.clone(),
+            credits,
+            arbiters: (0..outputs)
+                .map(|_| Arbiter::new(config.arbiter, inputs))
+                .collect(),
+            alternate_ptr: vec![0; inputs],
+            lfsr: Lfsr16::new(lfsr_seed),
+            granted: vec![None; outputs],
+            forwarded_per_input: vec![0; inputs],
+            counters: SwitchCounters::new(inputs, outputs),
+            routes,
+            config,
+        })
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// Phase 1: compute this cycle's grants from start-of-cycle state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a head flit carries a flow with no routing entry at
+    /// this switch — a platform elaboration bug, not a runtime
+    /// condition.
+    pub fn decide(&mut self) {
+        let inputs = self.config.inputs as usize;
+        let outputs = self.config.outputs as usize;
+        self.counters.cycles += 1;
+
+        // Step 1: per-input requests, ascending input order (shared
+        // LFSR stepping order is part of the spec).
+        let mut requests: Vec<Option<u8>> = vec![None; inputs];
+        for (i, req) in requests.iter_mut().enumerate() {
+            let Some(flit) = self.fifos[i].peek() else {
+                continue;
+            };
+            if let Some(o) = self.allocated[i] {
+                *req = Some(o);
+                continue;
+            }
+            debug_assert!(
+                flit.kind.is_head(),
+                "unallocated input must face a head flit (wormhole ordering)"
+            );
+            let flow = flit.flow;
+            let o = match self.chosen[i] {
+                Some(o) => o,
+                None => {
+                    let ports = &self.routes[flow.index()];
+                    assert!(
+                        !ports.is_empty(),
+                        "flow {flow} has no routing entry at this switch"
+                    );
+                    let pick = Self::select(
+                        self.config.selection,
+                        ports,
+                        &self.credits,
+                        &mut self.alternate_ptr[i],
+                        &mut self.lfsr,
+                    );
+                    self.chosen[i] = Some(pick);
+                    pick
+                }
+            };
+            *req = Some(o);
+        }
+
+        // Step 2: per-output grants.
+        for o in 0..outputs {
+            self.granted[o] = None;
+            if self.credits[o] == 0 {
+                continue;
+            }
+            if let Some(owner) = self.busy_with[o] {
+                if requests[owner as usize] == Some(o as u8) {
+                    self.granted[o] = Some(owner);
+                }
+                continue;
+            }
+            let reqs: Vec<bool> = (0..inputs)
+                .map(|i| requests[i] == Some(o as u8) && self.allocated[i].is_none())
+                .collect();
+            if reqs.iter().any(|&r| r) {
+                self.granted[o] = self.arbiters[o].grant(&reqs).map(|i| i as u8);
+            }
+        }
+
+        // Congestion accounting: a waiting input that was not granted
+        // anywhere is blocked this cycle — charged both to the input
+        // (where the flit sits) and to the output it requested (the
+        // link it is waiting to traverse).
+        for (i, req) in requests.iter().enumerate() {
+            if self.fifos[i].is_empty() {
+                continue;
+            }
+            if !self.granted.contains(&Some(i as u8)) {
+                self.counters.blocked_cycles_per_input[i] += 1;
+                if let Some(o) = req {
+                    self.counters.blocked_cycles_per_output[usize::from(*o)] += 1;
+                }
+            }
+        }
+    }
+
+    fn select(
+        policy: SelectionPolicy,
+        ports: &[PortId],
+        credits: &[u32],
+        alternate_ptr: &mut u8,
+        lfsr: &mut Lfsr16,
+    ) -> u8 {
+        if ports.len() == 1 {
+            return ports[0].raw();
+        }
+        match policy {
+            SelectionPolicy::First => ports[0].raw(),
+            SelectionPolicy::Alternate => {
+                let idx = (*alternate_ptr as usize) % ports.len();
+                *alternate_ptr = alternate_ptr.wrapping_add(1);
+                ports[idx].raw()
+            }
+            SelectionPolicy::Random { secondary_threshold } => {
+                let draw = lfsr.step();
+                if draw < secondary_threshold {
+                    let idx = 1 + (draw as usize) % (ports.len() - 1);
+                    ports[idx].raw()
+                } else {
+                    ports[0].raw()
+                }
+            }
+            SelectionPolicy::Adaptive => {
+                let mut best = ports[0];
+                let mut best_credit = credits[best.index()];
+                for &p in &ports[1..] {
+                    if credits[p.index()] > best_credit {
+                        best = p;
+                        best_credit = credits[p.index()];
+                    }
+                }
+                best.raw()
+            }
+        }
+    }
+
+    /// Phase 2a: pop granted flits, update wormhole and credit state,
+    /// and return the transfers for the engine to deliver.
+    pub fn commit_sends(&mut self) -> Vec<Transfer> {
+        let outputs = self.config.outputs as usize;
+        let mut sends = Vec::new();
+        for o in 0..outputs {
+            let Some(i) = self.granted[o].take() else {
+                continue;
+            };
+            let i = i as usize;
+            let flit = self.fifos[i]
+                .pop()
+                .expect("granted input has a flit at its head");
+            if self.credits[o] != CREDITS_INFINITE {
+                self.credits[o] -= 1;
+            }
+            if flit.kind.is_head() {
+                self.allocated[i] = Some(o as u8);
+                self.busy_with[o] = Some(i as u8);
+                self.chosen[i] = None;
+                self.counters.packets_routed += 1;
+            }
+            if flit.kind.is_tail() {
+                self.allocated[i] = None;
+                self.busy_with[o] = None;
+            }
+            self.counters.forwarded_flits += 1;
+            self.counters.forwarded_per_output[o] += 1;
+            self.counters.busy_cycles_per_output[o] += 1;
+            self.forwarded_per_input[i] += 1;
+            sends.push(Transfer {
+                input: PortId::new(i as u8),
+                output: PortId::new(o as u8),
+                flit,
+            });
+        }
+        sends
+    }
+
+    /// Phase 2b: the engine pushes a flit arriving on `input` (visible
+    /// to `decide` from the next cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when the buffer is full, which means
+    /// credits were mis-wired upstream.
+    pub fn accept(&mut self, input: PortId, flit: Flit) -> Result<(), FifoFullError> {
+        self.fifos[input.index()].push(flit)
+    }
+
+    /// Phase 2b: the downstream buffer of `output` freed one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the credit count would exceed the
+    /// downstream capacity.
+    pub fn credit_return(&mut self, output: PortId) {
+        let o = output.index();
+        if self.credits[o] == CREDITS_INFINITE {
+            return;
+        }
+        self.credits[o] += 1;
+        debug_assert!(
+            self.credits[o] <= self.credit_cap[o],
+            "credit overflow on output {output}"
+        );
+    }
+
+    /// Whether the switch holds no flits and no open wormholes.
+    pub fn is_idle(&self) -> bool {
+        self.fifos.iter().all(FlitFifo::is_empty) && self.allocated.iter().all(Option::is_none)
+    }
+
+    /// Occupancy of the input buffer `input`, in flits.
+    pub fn occupancy(&self, input: PortId) -> usize {
+        self.fifos[input.index()].len()
+    }
+
+    /// Remaining credits of `output`.
+    pub fn credits(&self, output: PortId) -> u32 {
+        self.credits[output.index()]
+    }
+
+    /// Accumulated statistics.
+    pub fn counters(&self) -> &SwitchCounters {
+        &self.counters
+    }
+
+    /// Flits forwarded from each input port (pairs with
+    /// [`SwitchCounters::blocked_cycles_per_input`] for congestion
+    /// rates).
+    pub fn forwarded_per_input(&self) -> &[u64] {
+        &self.forwarded_per_input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwitchConfigBuilder;
+    use nocem_common::flit::{FlitKind, PacketDescriptor};
+    use nocem_common::ids::{EndpointId, FlowId, PacketId};
+    use nocem_common::time::Cycle;
+
+    fn packet(id: u64, flow: u32, len: u16) -> Vec<Flit> {
+        PacketDescriptor {
+            id: PacketId::new(id),
+            src: EndpointId::new(0),
+            dst: EndpointId::new(0),
+            flow: FlowId::new(flow),
+            len_flits: len,
+            release: Cycle::ZERO,
+        }
+        .flits()
+        .collect()
+    }
+
+    /// 2-in/2-out switch; flow 0 -> output 0, flow 1 -> output 1.
+    fn simple_switch() -> Switch {
+        let config = SwitchConfigBuilder::new(2, 2).fifo_depth(4).build();
+        Switch::new(
+            config,
+            vec![vec![PortId::new(0)], vec![PortId::new(1)]],
+            vec![4, 4],
+            1,
+        )
+        .unwrap()
+    }
+
+    /// Runs one full cycle and returns the transfers.
+    fn cycle(sw: &mut Switch) -> Vec<Transfer> {
+        sw.decide();
+        sw.commit_sends()
+    }
+
+    #[test]
+    fn single_flit_crosses_in_one_cycle() {
+        let mut sw = simple_switch();
+        let f = packet(1, 0, 1)[0];
+        sw.accept(PortId::new(0), f).unwrap();
+        let sends = cycle(&mut sw);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].output, PortId::new(0));
+        assert_eq!(sends[0].flit.kind, FlitKind::Single);
+        assert!(sw.is_idle());
+    }
+
+    #[test]
+    fn wormhole_stays_open_until_tail() {
+        let mut sw = simple_switch();
+        for f in packet(1, 0, 3) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        let s1 = cycle(&mut sw);
+        assert_eq!(s1[0].flit.kind, FlitKind::Head);
+        assert!(!sw.is_idle(), "worm open, body/tail pending");
+        let s2 = cycle(&mut sw);
+        assert_eq!(s2[0].flit.kind, FlitKind::Body);
+        let s3 = cycle(&mut sw);
+        assert_eq!(s3[0].flit.kind, FlitKind::Tail);
+        assert!(sw.is_idle());
+    }
+
+    #[test]
+    fn contention_is_arbitrated_round_robin() {
+        // Both inputs carry flow 0 (both want output 0).
+        let config = SwitchConfigBuilder::new(2, 2).build();
+        let mut sw = Switch::new(
+            config,
+            vec![vec![PortId::new(0)]],
+            vec![4, 4],
+            1,
+        )
+        .unwrap();
+        sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
+        sw.accept(PortId::new(1), packet(2, 0, 1)[0]).unwrap();
+        let s1 = cycle(&mut sw);
+        assert_eq!(s1.len(), 1, "one flit per output per cycle");
+        assert_eq!(s1[0].input, PortId::new(0), "input 0 wins reset priority");
+        let s2 = cycle(&mut sw);
+        assert_eq!(s2[0].input, PortId::new(1));
+    }
+
+    #[test]
+    fn worm_blocks_competitor_until_tail() {
+        let config = SwitchConfigBuilder::new(2, 2).build();
+        let mut sw = Switch::new(config, vec![vec![PortId::new(0)]], vec![4, 4], 1).unwrap();
+        for f in packet(1, 0, 3) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        sw.accept(PortId::new(1), packet(2, 0, 1)[0]).unwrap();
+        let mut winners = Vec::new();
+        for _ in 0..4 {
+            for t in cycle(&mut sw) {
+                winners.push((t.input.raw(), t.flit.packet.raw()));
+            }
+        }
+        // Packet 1's three flits go first; packet 2 only after the
+        // tail released the wormhole.
+        assert_eq!(winners, vec![(0, 1), (0, 1), (0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn no_credit_no_transfer() {
+        // Downstream buffer of depth 1: the second packet must wait
+        // until the credit comes back.
+        let config = SwitchConfigBuilder::new(1, 1).build();
+        let mut sw = Switch::new(config, vec![vec![PortId::new(0)]], vec![1], 1).unwrap();
+        sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
+        sw.accept(PortId::new(0), packet(2, 0, 1)[0]).unwrap();
+        assert_eq!(cycle(&mut sw).len(), 1);
+        assert!(cycle(&mut sw).is_empty(), "no credits left");
+        assert_eq!(sw.counters().blocked_cycles_per_input[0], 1);
+        // Returning the credit unblocks the transfer.
+        sw.credit_return(PortId::new(0));
+        let sends = cycle(&mut sw);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].flit.packet.raw(), 2);
+    }
+
+    #[test]
+    fn credits_are_consumed_and_returned() {
+        let config = SwitchConfigBuilder::new(1, 1).build();
+        let mut sw = Switch::new(config, vec![vec![PortId::new(0)]], vec![2], 1).unwrap();
+        for f in packet(1, 0, 3) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        assert_eq!(sw.credits(PortId::new(0)), 2);
+        cycle(&mut sw);
+        cycle(&mut sw);
+        assert_eq!(sw.credits(PortId::new(0)), 0);
+        assert!(cycle(&mut sw).is_empty(), "out of credits");
+        sw.credit_return(PortId::new(0));
+        assert_eq!(cycle(&mut sw).len(), 1);
+    }
+
+    #[test]
+    fn infinite_credits_never_deplete() {
+        let config = SwitchConfigBuilder::new(1, 1).build();
+        let mut sw =
+            Switch::new(config, vec![vec![PortId::new(0)]], vec![CREDITS_INFINITE], 1).unwrap();
+        for n in 0..4u64 {
+            sw.accept(PortId::new(0), packet(n, 0, 1)[0]).unwrap();
+        }
+        for _ in 0..4 {
+            assert_eq!(cycle(&mut sw).len(), 1);
+        }
+        assert_eq!(sw.credits(PortId::new(0)), CREDITS_INFINITE);
+        sw.credit_return(PortId::new(0)); // no-op
+        assert_eq!(sw.credits(PortId::new(0)), CREDITS_INFINITE);
+    }
+
+    #[test]
+    fn selection_first_always_primary() {
+        let config = SwitchConfigBuilder::new(1, 2)
+            .selection(SelectionPolicy::First)
+            .build();
+        let mut sw = Switch::new(
+            config,
+            vec![vec![PortId::new(1), PortId::new(0)]],
+            vec![4, 4],
+            1,
+        )
+        .unwrap();
+        for n in 0..3u64 {
+            sw.accept(PortId::new(0), packet(n, 0, 1)[0]).unwrap();
+        }
+        for _ in 0..3 {
+            let s = cycle(&mut sw);
+            assert_eq!(s[0].output, PortId::new(1), "primary is first listed");
+        }
+    }
+
+    #[test]
+    fn selection_alternate_round_robins_paths() {
+        let config = SwitchConfigBuilder::new(1, 2)
+            .selection(SelectionPolicy::Alternate)
+            .build();
+        let mut sw = Switch::new(
+            config,
+            vec![vec![PortId::new(0), PortId::new(1)]],
+            vec![4, 4],
+            1,
+        )
+        .unwrap();
+        for n in 0..4u64 {
+            sw.accept(PortId::new(0), packet(n, 0, 1)[0]).unwrap();
+        }
+        let mut outs = Vec::new();
+        for _ in 0..4 {
+            outs.push(cycle(&mut sw)[0].output.raw());
+        }
+        assert_eq!(outs, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn selection_random_is_deterministic_per_seed() {
+        let build = || {
+            let config = SwitchConfigBuilder::new(1, 2)
+                .fifo_depth(8)
+                .selection(SelectionPolicy::Random {
+                    secondary_threshold: 0x8000,
+                })
+                .build();
+            Switch::new(
+                config,
+                vec![vec![PortId::new(0), PortId::new(1)]],
+                vec![8, 8],
+                0xBEEF,
+            )
+            .unwrap()
+        };
+        let mut a = build();
+        let mut b = build();
+        for n in 0..8u64 {
+            a.accept(PortId::new(0), packet(n, 0, 1)[0]).unwrap();
+            b.accept(PortId::new(0), packet(n, 0, 1)[0]).unwrap();
+            // Drain as we go so the depth-8 FIFO never overflows.
+            if n % 2 == 1 {
+                let _ = (cycle(&mut a), cycle(&mut b));
+            }
+        }
+        // Drain whatever is left; collect outputs from fresh runs for
+        // the determinism comparison instead.
+        let drain = |sw: &mut Switch| {
+            let mut outs = Vec::new();
+            for _ in 0..16 {
+                for t in cycle(sw) {
+                    outs.push(t.output.raw());
+                }
+            }
+            outs
+        };
+        let seq_a = drain(&mut a);
+        let seq_b = drain(&mut b);
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn selection_adaptive_prefers_credits() {
+        let config = SwitchConfigBuilder::new(1, 2)
+            .selection(SelectionPolicy::Adaptive)
+            .build();
+        let mut sw = Switch::new(
+            config,
+            vec![vec![PortId::new(0), PortId::new(1)]],
+            vec![1, 4],
+            1,
+        )
+        .unwrap();
+        sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
+        let s = cycle(&mut sw);
+        assert_eq!(s[0].output, PortId::new(1), "port 1 has more credits");
+    }
+
+    #[test]
+    fn selection_is_sticky_until_granted() {
+        // The chosen output runs out of credits: the input must keep
+        // requesting the same output, not re-roll the alternation
+        // pointer.
+        let config = SwitchConfigBuilder::new(1, 2)
+            .selection(SelectionPolicy::Alternate)
+            .build();
+        let mut sw = Switch::new(
+            config,
+            vec![vec![PortId::new(0), PortId::new(1)]],
+            vec![1, 4],
+            1,
+        )
+        .unwrap();
+        // Packet 1 takes port 0 (pointer 0) and drains its one credit.
+        sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
+        assert_eq!(cycle(&mut sw)[0].output, PortId::new(0));
+        // Packet 2 takes port 1 (pointer 1).
+        sw.accept(PortId::new(0), packet(2, 0, 1)[0]).unwrap();
+        assert_eq!(cycle(&mut sw)[0].output, PortId::new(1));
+        // Packet 3 chooses port 0 (pointer 2) which has no credits:
+        // blocked, and the choice must stick across cycles.
+        sw.accept(PortId::new(0), packet(3, 0, 1)[0]).unwrap();
+        assert!(cycle(&mut sw).is_empty());
+        assert!(cycle(&mut sw).is_empty());
+        sw.credit_return(PortId::new(0));
+        let s = cycle(&mut sw);
+        assert_eq!(s[0].output, PortId::new(0), "sticky choice honoured");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut sw = simple_switch();
+        for f in packet(1, 0, 2) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        cycle(&mut sw);
+        cycle(&mut sw);
+        cycle(&mut sw); // idle cycle
+        let c = sw.counters();
+        assert_eq!(c.forwarded_flits, 2);
+        assert_eq!(c.packets_routed, 1);
+        assert_eq!(c.cycles, 3);
+        assert_eq!(c.forwarded_per_output[0], 2);
+        assert_eq!(c.busy_cycles_per_output[0], 2);
+        assert_eq!(sw.forwarded_per_input()[0], 2);
+    }
+
+    #[test]
+    fn blocked_share_computation() {
+        let mut c = SwitchCounters::new(1, 1);
+        c.blocked_cycles_per_input[0] = 3;
+        assert!((c.input_blocked_share(PortId::new(0), 7) - 0.3).abs() < 1e-9);
+        let empty = SwitchCounters::new(1, 1);
+        assert_eq!(empty.input_blocked_share(PortId::new(0), 0), 0.0);
+    }
+
+    #[test]
+    fn build_rejects_bad_route() {
+        let config = SwitchConfigBuilder::new(1, 1).build();
+        let err = Switch::new(config, vec![vec![PortId::new(5)]], vec![1], 1).unwrap_err();
+        assert!(matches!(err, BuildSwitchError::RouteOutOfRange { .. }));
+        assert!(err.to_string().contains("p5"));
+    }
+
+    #[test]
+    fn build_rejects_bad_credit_width() {
+        let config = SwitchConfigBuilder::new(1, 2).build();
+        let err = Switch::new(config, vec![vec![PortId::new(0)]], vec![1], 1).unwrap_err();
+        assert!(matches!(err, BuildSwitchError::CreditWidthMismatch { .. }));
+    }
+
+    #[test]
+    fn occupancy_reflects_fifo() {
+        let mut sw = simple_switch();
+        assert_eq!(sw.occupancy(PortId::new(0)), 0);
+        sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
+        assert_eq!(sw.occupancy(PortId::new(0)), 1);
+    }
+
+    #[test]
+    fn two_flows_cross_without_interference() {
+        let mut sw = simple_switch();
+        for f in packet(1, 0, 2) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        for f in packet(2, 1, 2) {
+            sw.accept(PortId::new(1), f).unwrap();
+        }
+        let s1 = cycle(&mut sw);
+        assert_eq!(s1.len(), 2, "different outputs transfer in parallel");
+        let s2 = cycle(&mut sw);
+        assert_eq!(s2.len(), 2);
+        assert!(sw.is_idle());
+    }
+}

@@ -1,0 +1,379 @@
+//! Ready-made topologies: meshes, tori, rings, stars — and the paper's
+//! 6-switch experimental setup.
+//!
+//! Every builder attaches one traffic generator and one traffic
+//! receptor per switch unless documented otherwise, which is the
+//! configuration used by the synthetic experiments. For full control,
+//! build with [`TopologyBuilder`] directly.
+
+use crate::graph::{GridInfo, Topology, TopologyBuilder};
+use crate::routing::{FlowPaths, FlowSpec, RoutingTables};
+use crate::TopologyError;
+use nocem_common::ids::{FlowId, LinkId, SwitchId};
+
+/// `width x height` 2-D mesh with bidirectional neighbour links, one TG
+/// and one TR per switch, and grid metadata (XY routing works).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Empty`] if either dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// let mesh = nocem_topology::builders::mesh(4, 4)?;
+/// assert_eq!(mesh.switch_count(), 16);
+/// assert_eq!(mesh.generators().len(), 16);
+/// # Ok::<(), nocem_topology::TopologyError>(())
+/// ```
+pub fn mesh(width: u32, height: u32) -> Result<Topology, TopologyError> {
+    grid_topology(width, height, false)
+}
+
+/// `width x height` 2-D torus (mesh plus wraparound links).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Empty`] if either dimension is zero.
+pub fn torus(width: u32, height: u32) -> Result<Topology, TopologyError> {
+    grid_topology(width, height, true)
+}
+
+fn grid_topology(width: u32, height: u32, wrap: bool) -> Result<Topology, TopologyError> {
+    if width == 0 || height == 0 {
+        return Err(TopologyError::Empty);
+    }
+    let kind = if wrap { "torus" } else { "mesh" };
+    let mut b = TopologyBuilder::new(format!("{kind}{width}x{height}"));
+    let grid = GridInfo { width, height };
+    let switches = b.switches((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let here = grid.at(x, y);
+            if x + 1 < width {
+                b.connect_bidir(here, grid.at(x + 1, y));
+            } else if wrap && width > 2 {
+                b.connect_bidir(here, grid.at(0, y));
+            }
+            if y + 1 < height {
+                b.connect_bidir(here, grid.at(x, y + 1));
+            } else if wrap && height > 2 {
+                b.connect_bidir(here, grid.at(x, 0));
+            }
+        }
+    }
+    for &s in &switches {
+        b.generator(s);
+        b.receptor(s);
+    }
+    b.set_grid(grid);
+    b.build()
+}
+
+/// Ring of `n` switches with bidirectional links, one TG and one TR per
+/// switch.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Empty`] if `n < 2`.
+pub fn ring(n: u32) -> Result<Topology, TopologyError> {
+    if n < 2 {
+        return Err(TopologyError::Empty);
+    }
+    let mut b = TopologyBuilder::new(format!("ring{n}"));
+    let switches = b.switches(n as usize);
+    for i in 0..n as usize {
+        let next = (i + 1) % n as usize;
+        if n == 2 && i == 1 {
+            break; // avoid doubled links on the 2-ring
+        }
+        b.connect_bidir(switches[i], switches[next]);
+    }
+    for &s in &switches {
+        b.generator(s);
+        b.receptor(s);
+    }
+    b.build()
+}
+
+/// Star: one hub switch and `leaves` leaf switches, each leaf holding
+/// one TG and one TR. The hub itself has no endpoints.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Empty`] if `leaves < 2`.
+pub fn star(leaves: u32) -> Result<Topology, TopologyError> {
+    if leaves < 2 {
+        return Err(TopologyError::Empty);
+    }
+    let mut b = TopologyBuilder::new(format!("star{leaves}"));
+    let hub = b.switch();
+    for _ in 0..leaves {
+        let leaf = b.switch();
+        b.connect_bidir(hub, leaf);
+        b.generator(leaf);
+        b.receptor(leaf);
+    }
+    b.build()
+}
+
+/// The DATE'05 experimental setup (slide 19): 6 switches, 4 traffic
+/// generators, 4 traffic receptors, each TG offered 45 % of link
+/// bandwidth, **two routing possibilities** per flow, and exactly two
+/// inter-switch links loaded at 90 % under primary routing.
+///
+/// Layout (2 x 3 grid of switches):
+///
+/// ```text
+///   TG0            TG1
+///    |              |
+///   [S0] --------- [S1] --------- [S2] --> TR0, TR1
+///    |              |              |
+///   [S3] --------- [S4] --------- [S5] --> TR2, TR3
+///    |              |
+///   TG2            TG3
+/// ```
+///
+/// Primary paths send flows 0/1 through the hot link `S1 -> S2` and
+/// flows 2/3 through the hot link `S4 -> S5`; the secondary paths take
+/// the detour through the other row.
+#[derive(Debug, Clone)]
+pub struct PaperSetup {
+    /// The 6-switch topology.
+    pub topology: Topology,
+    /// Flow 0: TG0→TR0, 1: TG1→TR1, 2: TG2→TR2, 3: TG3→TR3.
+    pub flows: Vec<FlowSpec>,
+    /// Primary path of each flow (through the hot links).
+    pub primary_paths: Vec<FlowPaths>,
+    /// Primary plus the secondary detour path of each flow.
+    pub dual_paths: Vec<FlowPaths>,
+    /// The two 90 %-loaded inter-switch links: `S1→S2` and `S4→S5`.
+    pub hot_links: [LinkId; 2],
+}
+
+/// Per-TG offered load of the paper's experimental setup.
+pub const PAPER_OFFERED_LOAD: f64 = 0.45;
+
+/// Builds the paper's experimental setup.
+///
+/// # Panics
+///
+/// This function cannot fail for the fixed setup; internal validation
+/// failures would indicate a bug and panic.
+///
+/// # Examples
+///
+/// ```
+/// let setup = nocem_topology::builders::paper_setup();
+/// assert_eq!(setup.topology.switch_count(), 6);
+/// assert_eq!(setup.flows.len(), 4);
+/// ```
+pub fn paper_setup() -> PaperSetup {
+    let mut b = TopologyBuilder::new("date05-setup");
+    let grid = GridInfo { width: 3, height: 2 };
+    let s: Vec<SwitchId> = b.switches(6);
+    // Horizontal links.
+    b.connect_bidir(s[0], s[1]);
+    b.connect_bidir(s[1], s[2]);
+    b.connect_bidir(s[3], s[4]);
+    b.connect_bidir(s[4], s[5]);
+    // Vertical links.
+    b.connect_bidir(s[0], s[3]);
+    b.connect_bidir(s[1], s[4]);
+    b.connect_bidir(s[2], s[5]);
+
+    let tg0 = b.generator(s[0]);
+    let tg1 = b.generator(s[1]);
+    let tg2 = b.generator(s[3]);
+    let tg3 = b.generator(s[4]);
+    let tr0 = b.receptor(s[2]);
+    let tr1 = b.receptor(s[2]);
+    let tr2 = b.receptor(s[5]);
+    let tr3 = b.receptor(s[5]);
+    b.set_grid(grid);
+    let topology = b.build().expect("paper setup is statically valid");
+
+    let flows = vec![
+        FlowSpec { flow: FlowId::new(0), src: tg0, dst: tr0 },
+        FlowSpec { flow: FlowId::new(1), src: tg1, dst: tr1 },
+        FlowSpec { flow: FlowId::new(2), src: tg2, dst: tr2 },
+        FlowSpec { flow: FlowId::new(3), src: tg3, dst: tr3 },
+    ];
+
+    let primary: Vec<Vec<SwitchId>> = vec![
+        vec![s[0], s[1], s[2]],
+        vec![s[1], s[2]],
+        vec![s[3], s[4], s[5]],
+        vec![s[4], s[5]],
+    ];
+    let secondary: Vec<Vec<SwitchId>> = vec![
+        vec![s[0], s[3], s[4], s[5], s[2]],
+        vec![s[1], s[4], s[5], s[2]],
+        vec![s[3], s[0], s[1], s[2], s[5]],
+        vec![s[4], s[1], s[2], s[5]],
+    ];
+
+    let primary_paths: Vec<FlowPaths> = flows
+        .iter()
+        .zip(&primary)
+        .map(|(spec, p)| FlowPaths {
+            spec: *spec,
+            paths: vec![p.clone()],
+        })
+        .collect();
+    let dual_paths: Vec<FlowPaths> = flows
+        .iter()
+        .zip(primary.iter().zip(&secondary))
+        .map(|(spec, (p, q))| FlowPaths {
+            spec: *spec,
+            paths: vec![p.clone(), q.clone()],
+        })
+        .collect();
+
+    let hot_a = link_between(&topology, s[1], s[2]);
+    let hot_b = link_between(&topology, s[4], s[5]);
+
+    PaperSetup {
+        topology,
+        flows,
+        primary_paths,
+        dual_paths,
+        hot_links: [hot_a, hot_b],
+    }
+}
+
+impl PaperSetup {
+    /// Routing tables for the primary (single-path) configuration.
+    pub fn primary_routing(&self) -> RoutingTables {
+        RoutingTables::from_paths(&self.topology, self.primary_paths.clone())
+            .expect("paper primary paths are valid")
+    }
+
+    /// Routing tables for the dual-path ("two routing possibilities")
+    /// configuration.
+    pub fn dual_routing(&self) -> RoutingTables {
+        RoutingTables::from_paths(&self.topology, self.dual_paths.clone())
+            .expect("paper dual paths are valid")
+    }
+}
+
+/// The (unique) inter-switch link from `a` to `b`.
+fn link_between(topo: &Topology, a: SwitchId, b: SwitchId) -> LinkId {
+    topo.switch_neighbors(a)
+        .find(|&(_, _, next, _)| next == b)
+        .map(|(_, l, _, _)| l)
+        .expect("link exists in paper setup")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EndpointKind;
+
+    #[test]
+    fn mesh_structure() {
+        let m = mesh(3, 2).unwrap();
+        assert_eq!(m.switch_count(), 6);
+        // 7 bidirectional neighbour pairs -> 14 inter-switch links.
+        assert_eq!(m.links().filter(|l| l.is_inter_switch()).count(), 14);
+        assert!(m.grid().is_some());
+        assert_eq!(m.diameter(), Some(3));
+    }
+
+    #[test]
+    fn mesh_rejects_zero_dimension() {
+        assert!(mesh(0, 3).is_err());
+        assert!(mesh(3, 0).is_err());
+    }
+
+    #[test]
+    fn torus_has_wrap_links() {
+        let t = torus(3, 3).unwrap();
+        let m = mesh(3, 3).unwrap();
+        assert!(
+            t.links().filter(|l| l.is_inter_switch()).count()
+                > m.links().filter(|l| l.is_inter_switch()).count()
+        );
+        assert_eq!(t.diameter(), Some(2));
+    }
+
+    #[test]
+    fn small_torus_degenerates_to_mesh() {
+        // Wrap links are skipped for dimension 2 (they would double
+        // existing links).
+        let t = torus(2, 2).unwrap();
+        assert_eq!(t.links().filter(|l| l.is_inter_switch()).count(), 8);
+    }
+
+    #[test]
+    fn ring_structure() {
+        let r = ring(6).unwrap();
+        assert_eq!(r.switch_count(), 6);
+        assert_eq!(r.links().filter(|l| l.is_inter_switch()).count(), 12);
+        assert_eq!(r.diameter(), Some(3));
+    }
+
+    #[test]
+    fn two_ring_has_single_bidir_pair() {
+        let r = ring(2).unwrap();
+        assert_eq!(r.links().filter(|l| l.is_inter_switch()).count(), 2);
+    }
+
+    #[test]
+    fn star_structure() {
+        let s = star(4).unwrap();
+        assert_eq!(s.switch_count(), 5);
+        assert_eq!(s.generators().len(), 4);
+        // Hub has 4 inputs / 4 outputs, no endpoints.
+        let hub = s.switch(SwitchId::new(0));
+        assert_eq!(hub.inputs, 4);
+        assert_eq!(hub.outputs, 4);
+    }
+
+    #[test]
+    fn paper_setup_structure() {
+        let p = paper_setup();
+        assert_eq!(p.topology.switch_count(), 6);
+        assert_eq!(p.topology.generators().len(), 4);
+        assert_eq!(p.topology.receptors().len(), 4);
+        // 7 bidirectional switch pairs = 14 inter-switch links.
+        assert_eq!(
+            p.topology.links().filter(|l| l.is_inter_switch()).count(),
+            14
+        );
+        // TGs on S0, S1, S3, S4.
+        let gens = p.topology.generators();
+        let gen_switches: Vec<u32> = gens
+            .iter()
+            .map(|&g| p.topology.endpoint(g).switch.raw())
+            .collect();
+        assert_eq!(gen_switches, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn paper_setup_routing_alternatives() {
+        let p = paper_setup();
+        let single = p.primary_routing();
+        assert_eq!(single.max_alternatives(), 1);
+        let dual = p.dual_routing();
+        assert_eq!(dual.max_alternatives(), 2);
+    }
+
+    #[test]
+    fn paper_hot_links_are_inter_switch() {
+        let p = paper_setup();
+        for l in p.hot_links {
+            assert!(p.topology.link(l).is_inter_switch());
+        }
+        assert_ne!(p.hot_links[0], p.hot_links[1]);
+    }
+
+    #[test]
+    fn paper_flows_have_correct_kinds() {
+        let p = paper_setup();
+        for f in &p.flows {
+            assert_eq!(p.topology.endpoint(f.src).kind, EndpointKind::Generator);
+            assert_eq!(p.topology.endpoint(f.dst).kind, EndpointKind::Receptor);
+        }
+    }
+}

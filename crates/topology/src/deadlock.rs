@@ -1,0 +1,204 @@
+//! Deadlock-freedom analysis of a routing configuration.
+//!
+//! Wormhole networks deadlock when the **channel dependency graph**
+//! (CDG) contains a cycle: a set of worms each holding a link the next
+//! one needs. The CDG has one node per link; a routing path that enters
+//! a switch on link `a` and leaves on link `b` contributes the edge
+//! `a -> b`.
+//!
+//! [`check_deadlock_freedom`] builds the CDG from the configured flow
+//! paths (including injection and ejection links, which can never be
+//! part of a cycle but complete the dependency chains) and reports the
+//! first cycle found.
+
+use crate::graph::Topology;
+use crate::routing::FlowPaths;
+use nocem_common::ids::{LinkId, SwitchId};
+use std::collections::{HashMap, HashSet};
+
+/// A cyclic channel dependency that could deadlock the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockCycle {
+    /// The links forming the cycle, in dependency order.
+    pub links: Vec<LinkId>,
+}
+
+impl std::fmt::Display for DeadlockCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel dependency cycle:")?;
+        for l in &self.links {
+            write!(f, " {l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeadlockCycle {}
+
+/// Builds the channel dependency graph of `flows` over `topo` and
+/// verifies it is acyclic.
+///
+/// # Errors
+///
+/// Returns the first [`DeadlockCycle`] found, if any.
+///
+/// # Panics
+///
+/// Panics if a path references a connection that does not exist in
+/// `topo` (a configuration-construction bug).
+///
+/// # Examples
+///
+/// ```
+/// use nocem_topology::builders::paper_setup;
+/// use nocem_topology::deadlock::check_deadlock_freedom;
+///
+/// let p = paper_setup();
+/// // Both routing configurations of the paper setup are deadlock-free.
+/// check_deadlock_freedom(&p.topology, &p.primary_paths)?;
+/// check_deadlock_freedom(&p.topology, &p.dual_paths)?;
+/// # Ok::<(), nocem_topology::deadlock::DeadlockCycle>(())
+/// ```
+pub fn check_deadlock_freedom(
+    topo: &Topology,
+    flows: &[FlowPaths],
+) -> Result<(), DeadlockCycle> {
+    let mut edges: HashMap<LinkId, HashSet<LinkId>> = HashMap::new();
+
+    for fp in flows {
+        for path in &fp.paths {
+            let mut chain: Vec<LinkId> = Vec::with_capacity(path.len() + 1);
+            chain.push(topo.endpoint(fp.spec.src).link);
+            for w in path.windows(2) {
+                chain.push(link_toward(topo, w[0], w[1]));
+            }
+            chain.push(topo.endpoint(fp.spec.dst).link);
+            for w in chain.windows(2) {
+                edges.entry(w[0]).or_default().insert(w[1]);
+            }
+        }
+    }
+
+    // Iterative DFS three-colour cycle detection, deterministic order.
+    let mut color: HashMap<LinkId, u8> = HashMap::new(); // 0 white 1 grey 2 black
+    let mut nodes: Vec<LinkId> = edges.keys().copied().collect();
+    nodes.sort();
+    for &start in &nodes {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // Stack of (node, next-successor-index); successors sorted.
+        let mut stack: Vec<(LinkId, Vec<LinkId>, usize)> = Vec::new();
+        let succ = sorted_successors(&edges, start);
+        color.insert(start, 1);
+        stack.push((start, succ, 0));
+        while let Some((node, succ, idx)) = stack.last_mut() {
+            if *idx >= succ.len() {
+                color.insert(*node, 2);
+                stack.pop();
+                continue;
+            }
+            let next = succ[*idx];
+            *idx += 1;
+            match color.get(&next).copied().unwrap_or(0) {
+                0 => {
+                    let s = sorted_successors(&edges, next);
+                    color.insert(next, 1);
+                    stack.push((next, s, 0));
+                }
+                1 => {
+                    // Found a grey node: reconstruct the cycle from the
+                    // stack.
+                    let pos = stack
+                        .iter()
+                        .position(|(n, _, _)| *n == next)
+                        .expect("grey node is on the stack");
+                    let links = stack[pos..].iter().map(|(n, _, _)| *n).collect();
+                    return Err(DeadlockCycle { links });
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sorted_successors(edges: &HashMap<LinkId, HashSet<LinkId>>, node: LinkId) -> Vec<LinkId> {
+    let mut s: Vec<LinkId> = edges
+        .get(&node)
+        .map(|set| set.iter().copied().collect())
+        .unwrap_or_default();
+    s.sort();
+    s
+}
+
+fn link_toward(topo: &Topology, from: SwitchId, to: SwitchId) -> LinkId {
+    topo.switch_neighbors(from)
+        .find(|&(_, _, next, _)| next == to)
+        .map(|(_, l, _, _)| l)
+        .unwrap_or_else(|| panic!("no link {from} -> {to}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{paper_setup, ring};
+    use crate::routing::{FlowSpec, RoutingTables, RouteAlgorithm};
+
+    #[test]
+    fn paper_primary_is_deadlock_free() {
+        let p = paper_setup();
+        check_deadlock_freedom(&p.topology, &p.primary_paths).unwrap();
+    }
+
+    #[test]
+    fn paper_dual_is_deadlock_free() {
+        let p = paper_setup();
+        check_deadlock_freedom(&p.topology, &p.dual_paths).unwrap();
+    }
+
+    #[test]
+    fn ring_all_clockwise_deadlocks() {
+        // Force every flow around a 4-ring clockwise: classic CDG
+        // cycle.
+        let t = ring(4).unwrap();
+        let gens = t.generators();
+        let recs = t.receptors();
+        let s = |i: u32| SwitchId::new(i);
+        // Flow i: generator at switch i -> receptor at switch (i+2)%4,
+        // path strictly clockwise through i+1.
+        let mut flows = Vec::new();
+        for i in 0..4u32 {
+            let spec = FlowSpec {
+                flow: nocem_common::ids::FlowId::new(i),
+                src: gens[i as usize],
+                dst: recs[((i + 2) % 4) as usize],
+            };
+            flows.push(FlowPaths {
+                spec,
+                paths: vec![vec![s(i), s((i + 1) % 4), s((i + 2) % 4)]],
+            });
+        }
+        let err = check_deadlock_freedom(&t, &flows).unwrap_err();
+        assert!(err.links.len() >= 3, "cycle: {err}");
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn shortest_routing_on_ring_is_reported_safe_or_cyclic_consistently() {
+        // Whatever BFS picks, the checker must terminate and give a
+        // deterministic answer.
+        let t = ring(6).unwrap();
+        let flows = FlowSpec::one_to_one(&t).unwrap();
+        let rt = RoutingTables::compute(&t, &flows, RouteAlgorithm::Shortest).unwrap();
+        let a = check_deadlock_freedom(&t, rt.flows());
+        let b = check_deadlock_freedom(&t, rt.flows());
+        assert_eq!(a.is_ok(), b.is_ok());
+    }
+
+    #[test]
+    fn empty_flow_set_is_trivially_safe() {
+        let p = paper_setup();
+        check_deadlock_freedom(&p.topology, &[]).unwrap();
+    }
+}

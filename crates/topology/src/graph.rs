@@ -1,0 +1,799 @@
+//! Topology graph: switches, endpoints and unidirectional links.
+//!
+//! A [`Topology`] is the static structure of the NoC to be emulated:
+//! the paper's "switch topology" parameter. It is built incrementally
+//! through a [`TopologyBuilder`] and frozen by [`TopologyBuilder::build`],
+//! which validates the structure (port consistency, connectivity,
+//! endpoint wiring) and precomputes the lookup tables the engines use.
+//!
+//! Conventions:
+//!
+//! * links are **unidirectional**; a bidirectional connection between
+//!   two switches is two links;
+//! * a traffic **generator** endpoint has exactly one outgoing link
+//!   into a switch input port; a traffic **receptor** endpoint has
+//!   exactly one incoming link from a switch output port (the paper's
+//!   platform keeps TG and TR as separate devices);
+//! * switch port counts are derived from the connections, mirroring the
+//!   paper's per-switch "number of inputs / number of outputs"
+//!   parameters.
+
+use crate::TopologyError;
+use nocem_common::ids::{EndpointId, LinkId, PortId, SwitchId};
+use std::collections::VecDeque;
+
+/// What kind of traffic device an endpoint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndpointKind {
+    /// Traffic generator (TG): injects packets.
+    Generator,
+    /// Traffic receptor (TR): consumes packets and gathers statistics.
+    Receptor,
+}
+
+impl std::fmt::Display for EndpointKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EndpointKind::Generator => "TG",
+            EndpointKind::Receptor => "TR",
+        })
+    }
+}
+
+/// One end of a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkEnd {
+    /// A switch port. For a link *source* this is an output port; for a
+    /// link *destination* it is an input port.
+    Switch {
+        /// The switch.
+        switch: SwitchId,
+        /// Output port (as source) or input port (as destination).
+        port: PortId,
+    },
+    /// An endpoint (whole device; endpoints have a single implicit port).
+    Endpoint(EndpointId),
+}
+
+/// A unidirectional flit channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Dense id of this link.
+    pub id: LinkId,
+    /// Where flits enter the link.
+    pub src: LinkEnd,
+    /// Where flits leave the link.
+    pub dst: LinkEnd,
+}
+
+impl Link {
+    /// Whether this link connects two switches (an *inter-switch* link;
+    /// the hot links of the paper's experimental setup are of this
+    /// kind).
+    pub fn is_inter_switch(&self) -> bool {
+        matches!(
+            (self.src, self.dst),
+            (LinkEnd::Switch { .. }, LinkEnd::Switch { .. })
+        )
+    }
+
+    /// The switch flits leave when entering this link, if the source
+    /// is a switch (`None` for injection links, whose source is a TG).
+    pub fn from_switch(&self) -> Option<SwitchId> {
+        match self.src {
+            LinkEnd::Switch { switch, .. } => Some(switch),
+            LinkEnd::Endpoint(_) => None,
+        }
+    }
+
+    /// The switch flits arrive at when leaving this link, if the
+    /// destination is a switch (`None` for ejection links, whose
+    /// destination is a TR).
+    pub fn to_switch(&self) -> Option<SwitchId> {
+        match self.dst {
+            LinkEnd::Switch { switch, .. } => Some(switch),
+            LinkEnd::Endpoint(_) => None,
+        }
+    }
+}
+
+/// Static description of one switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchInfo {
+    /// Number of input ports (derived from incoming links).
+    pub inputs: u8,
+    /// Number of output ports (derived from outgoing links).
+    pub outputs: u8,
+}
+
+/// Static description of one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointInfo {
+    /// Generator or receptor.
+    pub kind: EndpointKind,
+    /// Switch the endpoint is attached to.
+    pub switch: SwitchId,
+    /// The single link wiring the endpoint to its switch.
+    pub link: LinkId,
+}
+
+/// Optional 2-D grid metadata attached by mesh/torus builders; enables
+/// XY routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridInfo {
+    /// Grid width (columns).
+    pub width: u32,
+    /// Grid height (rows).
+    pub height: u32,
+}
+
+impl GridInfo {
+    /// (x, y) coordinates of a switch laid out row-major.
+    pub fn coords(&self, s: SwitchId) -> (u32, u32) {
+        (s.raw() % self.width, s.raw() / self.width)
+    }
+
+    /// Switch at (x, y).
+    pub fn at(&self, x: u32, y: u32) -> SwitchId {
+        SwitchId::new(y * self.width + x)
+    }
+}
+
+/// An immutable, validated NoC structure.
+///
+/// Construct through [`TopologyBuilder`]. All accessors are `O(1)`
+/// except the iterators.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    switches: Vec<SwitchInfo>,
+    endpoints: Vec<EndpointInfo>,
+    links: Vec<Link>,
+    grid: Option<GridInfo>,
+    /// `[switch][input port] -> incoming link`
+    in_links: Vec<Vec<LinkId>>,
+    /// `[switch][output port] -> outgoing link`
+    out_links: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Human-readable topology name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of endpoints (generators + receptors).
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Static info of switch `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn switch(&self, s: SwitchId) -> SwitchInfo {
+        self.switches[s.index()]
+    }
+
+    /// Static info of endpoint `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn endpoint(&self, e: EndpointId) -> EndpointInfo {
+        self.endpoints[e.index()]
+    }
+
+    /// The link with id `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn link(&self, l: LinkId) -> Link {
+        self.links[l.index()]
+    }
+
+    /// Grid metadata, if the topology was built as a grid.
+    pub fn grid(&self) -> Option<&GridInfo> {
+        self.grid.as_ref()
+    }
+
+    /// Iterates over all switch ids.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        (0..self.switches.len() as u32).map(SwitchId::new)
+    }
+
+    /// Iterates over all endpoint ids.
+    pub fn endpoint_ids(&self) -> impl Iterator<Item = EndpointId> + '_ {
+        (0..self.endpoints.len() as u32).map(EndpointId::new)
+    }
+
+    /// Iterates over all links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> + '_ {
+        self.links.iter()
+    }
+
+    /// Iterates over endpoints of one kind.
+    pub fn endpoints_of(&self, kind: EndpointKind) -> impl Iterator<Item = EndpointId> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.kind == kind)
+            .map(|(i, _)| EndpointId::new(i as u32))
+    }
+
+    /// Generators, in id order.
+    pub fn generators(&self) -> Vec<EndpointId> {
+        self.endpoints_of(EndpointKind::Generator).collect()
+    }
+
+    /// Receptors, in id order.
+    pub fn receptors(&self) -> Vec<EndpointId> {
+        self.endpoints_of(EndpointKind::Receptor).collect()
+    }
+
+    /// The link arriving at input port `port` of switch `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch or port is out of range.
+    pub fn in_link(&self, s: SwitchId, port: PortId) -> LinkId {
+        self.in_links[s.index()][port.index()]
+    }
+
+    /// The link leaving output port `port` of switch `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch or port is out of range.
+    pub fn out_link(&self, s: SwitchId, port: PortId) -> LinkId {
+        self.out_links[s.index()][port.index()]
+    }
+
+    /// Neighbours reachable from switch `s` through one inter-switch
+    /// link: `(output port, link, next switch, next switch's input port)`.
+    pub fn switch_neighbors(
+        &self,
+        s: SwitchId,
+    ) -> impl Iterator<Item = (PortId, LinkId, SwitchId, PortId)> + '_ {
+        self.out_links[s.index()]
+            .iter()
+            .enumerate()
+            .filter_map(move |(p, &l)| match self.links[l.index()].dst {
+                LinkEnd::Switch { switch, port } => {
+                    Some((PortId::new(p as u8), l, switch, port))
+                }
+                LinkEnd::Endpoint(_) => None,
+            })
+    }
+
+    /// The output port of switch `s` that feeds receptor `dst`, if the
+    /// receptor is attached to `s`.
+    pub fn ejection_port(&self, s: SwitchId, dst: EndpointId) -> Option<PortId> {
+        let info = self.endpoints[dst.index()];
+        if info.kind != EndpointKind::Receptor || info.switch != s {
+            return None;
+        }
+        match self.links[info.link.index()].src {
+            LinkEnd::Switch { switch, port } if switch == s => Some(port),
+            _ => None,
+        }
+    }
+
+    /// The input port of switch `s` fed by generator `src`, if the
+    /// generator is attached to `s`.
+    pub fn injection_port(&self, s: SwitchId, src: EndpointId) -> Option<PortId> {
+        let info = self.endpoints[src.index()];
+        if info.kind != EndpointKind::Generator || info.switch != s {
+            return None;
+        }
+        match self.links[info.link.index()].dst {
+            LinkEnd::Switch { switch, port } if switch == s => Some(port),
+            _ => None,
+        }
+    }
+
+    /// Hop distances from every switch to `to`, by reverse BFS over
+    /// inter-switch links. `usize::MAX` marks unreachable switches.
+    pub fn distances_to(&self, to: SwitchId) -> Vec<usize> {
+        // Build reverse adjacency on the fly (topologies are small).
+        let n = self.switches.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for (_, _, next, _) in self.switch_neighbors(SwitchId::new(s as u32)) {
+                rev[next.index()].push(s);
+            }
+        }
+        let mut dist = vec![usize::MAX; n];
+        dist[to.index()] = 0;
+        let mut queue = VecDeque::from([to.index()]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &rev[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Network diameter over switches (longest shortest path), or
+    /// `None` if the switch graph is not strongly connected.
+    pub fn diameter(&self) -> Option<usize> {
+        let mut max = 0;
+        for s in self.switch_ids() {
+            let dist = self.distances_to(s);
+            for d in dist {
+                if d == usize::MAX {
+                    return None;
+                }
+                max = max.max(d);
+            }
+        }
+        Some(max)
+    }
+}
+
+/// Incremental construction of a [`Topology`].
+///
+/// # Examples
+///
+/// ```
+/// use nocem_topology::graph::TopologyBuilder;
+///
+/// # fn main() -> Result<(), nocem_topology::TopologyError> {
+/// let mut b = TopologyBuilder::new("two-switch");
+/// let s0 = b.switch();
+/// let s1 = b.switch();
+/// b.connect(s0, s1);
+/// b.connect(s1, s0);
+/// let tg = b.generator(s0);
+/// let tr = b.receptor(s1);
+/// let topo = b.build()?;
+/// assert_eq!(topo.switch_count(), 2);
+/// assert_eq!(topo.generators(), vec![tg]);
+/// assert_eq!(topo.receptors(), vec![tr]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    name: String,
+    switch_inputs: Vec<u8>,
+    switch_outputs: Vec<u8>,
+    endpoints: Vec<(EndpointKind, SwitchId)>,
+    /// (src, dst) pairs recorded before ports are finalized.
+    raw_links: Vec<(RawEnd, RawEnd)>,
+    grid: Option<GridInfo>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RawEnd {
+    SwitchOut(SwitchId, PortId),
+    SwitchIn(SwitchId, PortId),
+    Endpoint(usize),
+}
+
+impl TopologyBuilder {
+    /// Starts building a topology with the given report name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            switch_inputs: Vec::new(),
+            switch_outputs: Vec::new(),
+            endpoints: Vec::new(),
+            raw_links: Vec::new(),
+            grid: None,
+        }
+    }
+
+    /// Adds a switch and returns its id. Port counts grow as
+    /// connections are added.
+    pub fn switch(&mut self) -> SwitchId {
+        self.switch_inputs.push(0);
+        self.switch_outputs.push(0);
+        SwitchId::new((self.switch_inputs.len() - 1) as u32)
+    }
+
+    /// Adds `n` switches and returns their ids.
+    pub fn switches(&mut self, n: usize) -> Vec<SwitchId> {
+        (0..n).map(|_| self.switch()).collect()
+    }
+
+    /// Attaches grid metadata (set by mesh builders; enables XY
+    /// routing).
+    pub fn set_grid(&mut self, grid: GridInfo) -> &mut Self {
+        self.grid = Some(grid);
+        self
+    }
+
+    fn alloc_out(&mut self, s: SwitchId) -> PortId {
+        let p = self.switch_outputs[s.index()];
+        self.switch_outputs[s.index()] += 1;
+        PortId::new(p)
+    }
+
+    fn alloc_in(&mut self, s: SwitchId) -> PortId {
+        let p = self.switch_inputs[s.index()];
+        self.switch_inputs[s.index()] += 1;
+        PortId::new(p)
+    }
+
+    /// Adds a unidirectional link from `from` to `to`, allocating one
+    /// output port on `from` and one input port on `to`. Returns the
+    /// allocated `(output port, input port)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either switch id was not created by this builder.
+    pub fn connect(&mut self, from: SwitchId, to: SwitchId) -> (PortId, PortId) {
+        assert!(from.index() < self.switch_inputs.len(), "unknown switch {from}");
+        assert!(to.index() < self.switch_inputs.len(), "unknown switch {to}");
+        let op = self.alloc_out(from);
+        let ip = self.alloc_in(to);
+        self.raw_links
+            .push((RawEnd::SwitchOut(from, op), RawEnd::SwitchIn(to, ip)));
+        (op, ip)
+    }
+
+    /// Adds links in both directions between `a` and `b`.
+    pub fn connect_bidir(&mut self, a: SwitchId, b: SwitchId) -> &mut Self {
+        self.connect(a, b);
+        self.connect(b, a);
+        self
+    }
+
+    /// Adds a traffic generator attached to switch `s` (one link from
+    /// the generator into a fresh input port of `s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` was not created by this builder.
+    pub fn generator(&mut self, s: SwitchId) -> EndpointId {
+        assert!(s.index() < self.switch_inputs.len(), "unknown switch {s}");
+        let e = self.endpoints.len();
+        self.endpoints.push((EndpointKind::Generator, s));
+        let ip = self.alloc_in(s);
+        self.raw_links
+            .push((RawEnd::Endpoint(e), RawEnd::SwitchIn(s, ip)));
+        EndpointId::new(e as u32)
+    }
+
+    /// Adds a traffic receptor attached to switch `s` (one link from a
+    /// fresh output port of `s` into the receptor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` was not created by this builder.
+    pub fn receptor(&mut self, s: SwitchId) -> EndpointId {
+        assert!(s.index() < self.switch_inputs.len(), "unknown switch {s}");
+        let e = self.endpoints.len();
+        self.endpoints.push((EndpointKind::Receptor, s));
+        let op = self.alloc_out(s);
+        self.raw_links
+            .push((RawEnd::SwitchOut(s, op), RawEnd::Endpoint(e)));
+        EndpointId::new(e as u32)
+    }
+
+    /// Validates and freezes the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] when the structure is unusable:
+    /// no switches, an endpoint-less network, a generator with no path
+    /// to any receptor, or a switch with zero ports.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.switch_inputs.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        if !self.endpoints.iter().any(|(k, _)| *k == EndpointKind::Generator) {
+            return Err(TopologyError::NoGenerators);
+        }
+        if !self.endpoints.iter().any(|(k, _)| *k == EndpointKind::Receptor) {
+            return Err(TopologyError::NoReceptors);
+        }
+        for (i, (&ins, &outs)) in self
+            .switch_inputs
+            .iter()
+            .zip(&self.switch_outputs)
+            .enumerate()
+        {
+            if ins == 0 || outs == 0 {
+                return Err(TopologyError::DisconnectedSwitch {
+                    switch: SwitchId::new(i as u32),
+                });
+            }
+        }
+
+        let mut links = Vec::with_capacity(self.raw_links.len());
+        let mut in_links: Vec<Vec<LinkId>> = self
+            .switch_inputs
+            .iter()
+            .map(|&n| vec![LinkId::new(u32::MAX); n as usize])
+            .collect();
+        let mut out_links: Vec<Vec<LinkId>> = self
+            .switch_outputs
+            .iter()
+            .map(|&n| vec![LinkId::new(u32::MAX); n as usize])
+            .collect();
+        let mut endpoint_links = vec![LinkId::new(u32::MAX); self.endpoints.len()];
+
+        for (i, (src, dst)) in self.raw_links.iter().enumerate() {
+            let id = LinkId::new(i as u32);
+            let conv = |end: &RawEnd| match *end {
+                RawEnd::SwitchOut(switch, port) | RawEnd::SwitchIn(switch, port) => {
+                    LinkEnd::Switch { switch, port }
+                }
+                RawEnd::Endpoint(e) => LinkEnd::Endpoint(EndpointId::new(e as u32)),
+            };
+            links.push(Link {
+                id,
+                src: conv(src),
+                dst: conv(dst),
+            });
+            match *src {
+                RawEnd::SwitchOut(s, p) => out_links[s.index()][p.index()] = id,
+                RawEnd::Endpoint(e) => endpoint_links[e] = id,
+                RawEnd::SwitchIn(..) => unreachable!("link source is never an input port"),
+            }
+            match *dst {
+                RawEnd::SwitchIn(s, p) => in_links[s.index()][p.index()] = id,
+                RawEnd::Endpoint(e) => endpoint_links[e] = id,
+                RawEnd::SwitchOut(..) => unreachable!("link destination is never an output port"),
+            }
+        }
+
+        let endpoints: Vec<EndpointInfo> = self
+            .endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, switch))| EndpointInfo {
+                kind,
+                switch,
+                link: endpoint_links[i],
+            })
+            .collect();
+
+        let switches: Vec<SwitchInfo> = self
+            .switch_inputs
+            .iter()
+            .zip(&self.switch_outputs)
+            .map(|(&inputs, &outputs)| SwitchInfo { inputs, outputs })
+            .collect();
+
+        let topo = Topology {
+            name: self.name,
+            switches,
+            endpoints,
+            links,
+            grid: self.grid,
+            in_links,
+            out_links,
+        };
+
+        // Every generator must reach at least one receptor.
+        for g in topo.endpoints_of(EndpointKind::Generator).collect::<Vec<_>>() {
+            let src_switch = topo.endpoint(g).switch;
+            let reachable = topo
+                .endpoints_of(EndpointKind::Receptor)
+                .any(|r| topo.distances_to(topo.endpoint(r).switch)[src_switch.index()] != usize::MAX);
+            if !reachable {
+                return Err(TopologyError::UnreachableReceptors { generator: g });
+            }
+        }
+
+        Ok(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_switch() -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.switch();
+        let s1 = b.switch();
+        b.connect_bidir(s0, s1);
+        b.generator(s0);
+        b.receptor(s1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn link_switch_endpoints() {
+        let t = two_switch();
+        for l in t.links() {
+            if l.is_inter_switch() {
+                assert!(l.from_switch().is_some());
+                assert!(l.to_switch().is_some());
+                assert_ne!(l.from_switch(), l.to_switch());
+            }
+        }
+        // The injection link comes from a TG, so it has no source
+        // switch; the ejection link goes into a TR.
+        let tg = t.generators()[0];
+        let tr = t.receptors()[0];
+        let inj = t.link(t.endpoint(tg).link);
+        assert_eq!(inj.from_switch(), None);
+        assert_eq!(inj.to_switch(), Some(SwitchId::new(0)));
+        let ej = t.link(t.endpoint(tr).link);
+        assert_eq!(ej.from_switch(), Some(SwitchId::new(1)));
+        assert_eq!(ej.to_switch(), None);
+    }
+
+    #[test]
+    fn port_counts_are_derived() {
+        let t = two_switch();
+        // s0: inputs = link from s1 + TG; outputs = link to s1.
+        assert_eq!(t.switch(SwitchId::new(0)).inputs, 2);
+        assert_eq!(t.switch(SwitchId::new(0)).outputs, 1);
+        // s1: inputs = link from s0; outputs = link to s0 + TR.
+        assert_eq!(t.switch(SwitchId::new(1)).inputs, 1);
+        assert_eq!(t.switch(SwitchId::new(1)).outputs, 2);
+    }
+
+    #[test]
+    fn link_lookup_tables_are_consistent() {
+        let t = two_switch();
+        for s in t.switch_ids() {
+            let info = t.switch(s);
+            for p in 0..info.inputs {
+                let l = t.in_link(s, PortId::new(p));
+                match t.link(l).dst {
+                    LinkEnd::Switch { switch, port } => {
+                        assert_eq!(switch, s);
+                        assert_eq!(port, PortId::new(p));
+                    }
+                    LinkEnd::Endpoint(_) => panic!("input port fed into endpoint"),
+                }
+            }
+            for p in 0..info.outputs {
+                let l = t.out_link(s, PortId::new(p));
+                match t.link(l).src {
+                    LinkEnd::Switch { switch, port } => {
+                        assert_eq!(switch, s);
+                        assert_eq!(port, PortId::new(p));
+                    }
+                    LinkEnd::Endpoint(_) => panic!("output port driven by endpoint"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_skip_endpoint_links() {
+        let t = two_switch();
+        let n: Vec<_> = t.switch_neighbors(SwitchId::new(0)).collect();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].2, SwitchId::new(1));
+    }
+
+    #[test]
+    fn injection_and_ejection_ports() {
+        let t = two_switch();
+        let tg = t.generators()[0];
+        let tr = t.receptors()[0];
+        assert!(t.injection_port(SwitchId::new(0), tg).is_some());
+        assert!(t.injection_port(SwitchId::new(1), tg).is_none());
+        assert!(t.ejection_port(SwitchId::new(1), tr).is_some());
+        assert!(t.ejection_port(SwitchId::new(0), tr).is_none());
+        // Kind mismatch: a generator is not an ejection target.
+        assert!(t.ejection_port(SwitchId::new(0), tg).is_none());
+    }
+
+    #[test]
+    fn distances_and_diameter() {
+        let t = two_switch();
+        let d = t.distances_to(SwitchId::new(1));
+        assert_eq!(d, vec![1, 0]);
+        assert_eq!(t.diameter(), Some(1));
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        let b = TopologyBuilder::new("e");
+        assert!(matches!(b.build(), Err(TopologyError::Empty)));
+    }
+
+    #[test]
+    fn missing_generators_rejected() {
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.switch();
+        let s1 = b.switch();
+        b.connect_bidir(s0, s1);
+        b.receptor(s1);
+        assert!(matches!(b.build(), Err(TopologyError::NoGenerators)));
+    }
+
+    #[test]
+    fn missing_receptors_rejected() {
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.switch();
+        let s1 = b.switch();
+        b.connect_bidir(s0, s1);
+        b.generator(s0);
+        assert!(matches!(b.build(), Err(TopologyError::NoReceptors)));
+    }
+
+    #[test]
+    fn portless_switch_rejected() {
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.switch();
+        let _orphan = b.switch();
+        b.connect(s0, s0); // self-link keeps s0 alive
+        b.generator(s0);
+        b.receptor(s0);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, TopologyError::DisconnectedSwitch { .. }));
+    }
+
+    #[test]
+    fn unreachable_receptor_rejected() {
+        // Two disconnected islands: TG+TR on {s0,s1}; a second TG on
+        // the isolated {s2,s3} island, which hosts no receptor.
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.switch();
+        let s1 = b.switch();
+        b.connect_bidir(s0, s1);
+        b.generator(s0);
+        b.receptor(s1);
+        let s2 = b.switch();
+        let s3 = b.switch();
+        b.connect_bidir(s2, s3);
+        let stranded = b.generator(s2);
+        b.receptor(s3); // island has its own receptor -> builds fine
+        let t = b.build().unwrap();
+        assert_eq!(t.switch_count(), 4);
+
+        // Now the genuinely broken variant: island with TG but no TR.
+        let mut b = TopologyBuilder::new("t2");
+        let s0 = b.switch();
+        let s1 = b.switch();
+        b.connect_bidir(s0, s1);
+        b.generator(s0);
+        b.receptor(s1);
+        let s2 = b.switch();
+        let s3 = b.switch();
+        b.connect_bidir(s2, s3);
+        let g = b.generator(s2);
+        let err = b.build().unwrap_err();
+        match err {
+            TopologyError::UnreachableReceptors { generator } => assert_eq!(generator, g),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let _ = stranded;
+    }
+
+    #[test]
+    fn grid_info_coordinates() {
+        let g = GridInfo { width: 3, height: 2 };
+        assert_eq!(g.coords(SwitchId::new(4)), (1, 1));
+        assert_eq!(g.at(1, 1), SwitchId::new(4));
+    }
+
+    #[test]
+    fn endpoint_kind_display() {
+        assert_eq!(EndpointKind::Generator.to_string(), "TG");
+        assert_eq!(EndpointKind::Receptor.to_string(), "TR");
+    }
+
+    #[test]
+    fn inter_switch_link_classification() {
+        let t = two_switch();
+        let inter: Vec<_> = t.links().filter(|l| l.is_inter_switch()).collect();
+        assert_eq!(inter.len(), 2);
+    }
+}

@@ -1,0 +1,650 @@
+//! Routing tables: from flows and paths to per-switch output-port sets.
+//!
+//! The emulated switches route by **flow**: every head flit carries a
+//! [`FlowId`], and each switch holds a small table mapping flows to the
+//! set of admissible output ports (one port for deterministic routing,
+//! two for the paper's "two routing possibilities"). This module
+//! computes those tables from a [`Topology`] and a list of
+//! [`FlowSpec`]s using one of several algorithms, or from explicitly
+//! given paths (which is how the paper's experimental setup pins its
+//! hot links).
+//!
+//! Tables are *path-derived*: the configured paths are retained inside
+//! [`RoutingTables`] so that downstream analyses (deadlock check, link
+//! load prediction) can reason about them.
+
+use crate::graph::{EndpointKind, GridInfo, Topology};
+use crate::TopologyError;
+use nocem_common::ids::{EndpointId, FlowId, PortId, SwitchId};
+use std::collections::{BinaryHeap, HashSet};
+
+/// A (source endpoint, destination endpoint) traffic flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowSpec {
+    /// Dense flow id (index into routing tables).
+    pub flow: FlowId,
+    /// Source traffic generator.
+    pub src: EndpointId,
+    /// Destination traffic receptor.
+    pub dst: EndpointId,
+}
+
+impl FlowSpec {
+    /// Pairs generator *i* with receptor *i* (the common benchmark
+    /// pattern, and the paper setup's flow structure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::FlowMismatch`] if the topology does not
+    /// have the same number of generators and receptors.
+    pub fn one_to_one(topo: &Topology) -> Result<Vec<FlowSpec>, TopologyError> {
+        let gens = topo.generators();
+        let recs = topo.receptors();
+        if gens.len() != recs.len() {
+            return Err(TopologyError::FlowMismatch {
+                generators: gens.len(),
+                receptors: recs.len(),
+            });
+        }
+        Ok(gens
+            .iter()
+            .zip(&recs)
+            .enumerate()
+            .map(|(i, (&src, &dst))| FlowSpec {
+                flow: FlowId::new(i as u32),
+                src,
+                dst,
+            })
+            .collect())
+    }
+
+    /// One flow from every generator to every receptor (uniform-random
+    /// destination traffic uses the whole set).
+    pub fn all_pairs(topo: &Topology) -> Vec<FlowSpec> {
+        let mut flows = Vec::new();
+        for src in topo.generators() {
+            for dst in topo.receptors() {
+                flows.push(FlowSpec {
+                    flow: FlowId::new(flows.len() as u32),
+                    src,
+                    dst,
+                });
+            }
+        }
+        flows
+    }
+}
+
+/// A path through the switch graph, from the source's switch to the
+/// destination's switch (inclusive).
+pub type Path = Vec<SwitchId>;
+
+/// The configured path alternatives of one flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowPaths {
+    /// The flow.
+    pub spec: FlowSpec,
+    /// 1 to k loop-free switch paths. The first path is the primary.
+    pub paths: Vec<Path>,
+}
+
+/// Routing algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteAlgorithm {
+    /// Single deterministic shortest path (BFS, lowest-id tie-break).
+    Shortest,
+    /// Up to `k` shortest loop-free paths (Yen's algorithm); paths
+    /// whose table union would allow a routing cycle are dropped.
+    KShortest(usize),
+    /// Dimension-ordered X-then-Y routing; requires grid metadata.
+    Xy,
+}
+
+/// Flow-indexed output-port tables for every switch, plus the paths
+/// they were derived from.
+#[derive(Debug, Clone)]
+pub struct RoutingTables {
+    /// `[switch][flow] -> admissible output ports` (empty when the flow
+    /// never visits the switch).
+    table: Vec<Vec<Vec<PortId>>>,
+    flows: Vec<FlowPaths>,
+}
+
+impl RoutingTables {
+    /// Computes tables for `flows` over `topo` using `algo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] when a flow's endpoints have the wrong
+    /// kind, no path exists, or (for [`RouteAlgorithm::Xy`]) the
+    /// topology carries no grid metadata.
+    pub fn compute(
+        topo: &Topology,
+        flows: &[FlowSpec],
+        algo: RouteAlgorithm,
+    ) -> Result<Self, TopologyError> {
+        let mut flow_paths = Vec::with_capacity(flows.len());
+        for spec in flows {
+            let (from, to) = endpoints_switches(topo, spec)?;
+            let paths = match algo {
+                RouteAlgorithm::Shortest => {
+                    vec![shortest_path(topo, from, to).ok_or(TopologyError::NoRoute {
+                        flow: spec.flow,
+                    })?]
+                }
+                RouteAlgorithm::KShortest(k) => {
+                    let all = k_shortest_paths(topo, from, to, k.max(1));
+                    if all.is_empty() {
+                        return Err(TopologyError::NoRoute { flow: spec.flow });
+                    }
+                    prune_to_acyclic(all)
+                }
+                RouteAlgorithm::Xy => {
+                    let grid = topo.grid().ok_or(TopologyError::GridRequired)?;
+                    vec![xy_path(grid, from, to)]
+                }
+            };
+            flow_paths.push(FlowPaths { spec: *spec, paths });
+        }
+        Self::from_paths(topo, flow_paths)
+    }
+
+    /// Builds tables from explicitly given paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidPath`] if a path does not start
+    /// at the flow's source switch, does not end at its destination
+    /// switch, revisits a switch, or uses a non-existent inter-switch
+    /// connection.
+    pub fn from_paths(
+        topo: &Topology,
+        flows: Vec<FlowPaths>,
+    ) -> Result<Self, TopologyError> {
+        let flow_count = flows.len();
+        let mut table =
+            vec![vec![Vec::<PortId>::new(); flow_count]; topo.switch_count()];
+
+        for fp in &flows {
+            let spec = fp.spec;
+            let (from, to) = endpoints_switches(topo, &spec)?;
+            if fp.paths.is_empty() {
+                return Err(TopologyError::NoRoute { flow: spec.flow });
+            }
+            for path in &fp.paths {
+                validate_path(topo, spec.flow, path, from, to)?;
+                for w in path.windows(2) {
+                    let port = port_toward(topo, w[0], w[1]).ok_or_else(|| {
+                        TopologyError::InvalidPath {
+                            flow: spec.flow,
+                            reason: format!("no link {} -> {}", w[0], w[1]),
+                        }
+                    })?;
+                    let entry = &mut table[w[0].index()][spec.flow.index()];
+                    if !entry.contains(&port) {
+                        entry.push(port);
+                    }
+                }
+                // Ejection at the destination switch.
+                let eject = topo
+                    .ejection_port(to, spec.dst)
+                    .ok_or_else(|| TopologyError::InvalidPath {
+                        flow: spec.flow,
+                        reason: format!("{} is not attached to {}", spec.dst, to),
+                    })?;
+                let entry = &mut table[to.index()][spec.flow.index()];
+                if !entry.contains(&eject) {
+                    entry.push(eject);
+                }
+            }
+        }
+        Ok(RoutingTables { table, flows })
+    }
+
+    /// The admissible output ports of `flow` at switch `s` (empty if
+    /// the flow never visits `s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `flow` is out of range.
+    pub fn lookup(&self, s: SwitchId, flow: FlowId) -> &[PortId] {
+        &self.table[s.index()][flow.index()]
+    }
+
+    /// Dense per-switch table (flow index → ports), as consumed by the
+    /// switch models.
+    pub fn switch_table(&self, s: SwitchId) -> &[Vec<PortId>] {
+        &self.table[s.index()]
+    }
+
+    /// Number of flows the tables were built for.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The configured flows and their paths.
+    pub fn flows(&self) -> &[FlowPaths] {
+        &self.flows
+    }
+
+    /// The maximum number of alternatives any (switch, flow) entry
+    /// holds — 1 for deterministic routing, 2 for the paper's dual
+    /// routing.
+    pub fn max_alternatives(&self) -> usize {
+        self.table
+            .iter()
+            .flat_map(|per_flow| per_flow.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn endpoints_switches(
+    topo: &Topology,
+    spec: &FlowSpec,
+) -> Result<(SwitchId, SwitchId), TopologyError> {
+    let src = topo.endpoint(spec.src);
+    if src.kind != EndpointKind::Generator {
+        return Err(TopologyError::WrongEndpointKind {
+            endpoint: spec.src,
+            expected: EndpointKind::Generator,
+        });
+    }
+    let dst = topo.endpoint(spec.dst);
+    if dst.kind != EndpointKind::Receptor {
+        return Err(TopologyError::WrongEndpointKind {
+            endpoint: spec.dst,
+            expected: EndpointKind::Receptor,
+        });
+    }
+    Ok((src.switch, dst.switch))
+}
+
+fn validate_path(
+    topo: &Topology,
+    flow: FlowId,
+    path: &Path,
+    from: SwitchId,
+    to: SwitchId,
+) -> Result<(), TopologyError> {
+    if path.first() != Some(&from) {
+        return Err(TopologyError::InvalidPath {
+            flow,
+            reason: format!("path must start at {from}"),
+        });
+    }
+    if path.last() != Some(&to) {
+        return Err(TopologyError::InvalidPath {
+            flow,
+            reason: format!("path must end at {to}"),
+        });
+    }
+    let mut seen = HashSet::new();
+    for s in path {
+        if s.index() >= topo.switch_count() {
+            return Err(TopologyError::InvalidPath {
+                flow,
+                reason: format!("unknown switch {s}"),
+            });
+        }
+        if !seen.insert(*s) {
+            return Err(TopologyError::InvalidPath {
+                flow,
+                reason: format!("path revisits {s}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The output port of `from` whose link arrives at `to` (lowest port
+/// wins if the topology has parallel links).
+fn port_toward(topo: &Topology, from: SwitchId, to: SwitchId) -> Option<PortId> {
+    topo.switch_neighbors(from)
+        .find(|&(_, _, next, _)| next == to)
+        .map(|(port, _, _, _)| port)
+}
+
+/// Deterministic BFS shortest path over inter-switch links, avoiding
+/// `banned` switches (used by Yen's spur computation). Tie-breaks
+/// toward the lowest switch id.
+fn shortest_path_avoiding(
+    topo: &Topology,
+    from: SwitchId,
+    to: SwitchId,
+    banned_nodes: &HashSet<SwitchId>,
+    banned_edges: &HashSet<(SwitchId, SwitchId)>,
+) -> Option<Path> {
+    if banned_nodes.contains(&from) {
+        return None;
+    }
+    let n = topo.switch_count();
+    let mut prev: Vec<Option<SwitchId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[from.index()] = true;
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            break;
+        }
+        // Sort neighbours for determinism.
+        let mut next: Vec<SwitchId> = topo.switch_neighbors(u).map(|(_, _, v, _)| v).collect();
+        next.sort();
+        next.dedup();
+        for v in next {
+            if visited[v.index()]
+                || banned_nodes.contains(&v)
+                || banned_edges.contains(&(u, v))
+            {
+                continue;
+            }
+            visited[v.index()] = true;
+            prev[v.index()] = Some(u);
+            queue.push_back(v);
+        }
+    }
+    if !visited[to.index()] {
+        return None;
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[cur.index()].expect("visited node has predecessor");
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Deterministic BFS shortest path from `from` to `to`.
+pub fn shortest_path(topo: &Topology, from: SwitchId, to: SwitchId) -> Option<Path> {
+    shortest_path_avoiding(topo, from, to, &HashSet::new(), &HashSet::new())
+}
+
+/// Yen's algorithm: up to `k` loop-free paths in non-decreasing length
+/// order (deterministic).
+pub fn k_shortest_paths(topo: &Topology, from: SwitchId, to: SwitchId, k: usize) -> Vec<Path> {
+    let Some(first) = shortest_path(topo, from, to) else {
+        return Vec::new();
+    };
+    let mut found = vec![first];
+    // Candidate set ordered by (length, path) for determinism.
+    let mut candidates: BinaryHeap<std::cmp::Reverse<(usize, Path)>> = BinaryHeap::new();
+
+    while found.len() < k {
+        let last = found.last().expect("at least one found path").clone();
+        for spur_idx in 0..last.len() - 1 {
+            let spur_node = last[spur_idx];
+            let root: Vec<SwitchId> = last[..=spur_idx].to_vec();
+
+            let mut banned_edges = HashSet::new();
+            for p in &found {
+                if p.len() > spur_idx && p[..=spur_idx] == root[..] {
+                    if let Some(&next) = p.get(spur_idx + 1) {
+                        banned_edges.insert((spur_node, next));
+                    }
+                }
+            }
+            let banned_nodes: HashSet<SwitchId> = root[..spur_idx].iter().copied().collect();
+
+            if let Some(spur) =
+                shortest_path_avoiding(topo, spur_node, to, &banned_nodes, &banned_edges)
+            {
+                let mut total = root.clone();
+                total.extend_from_slice(&spur[1..]);
+                let cand = std::cmp::Reverse((total.len(), total));
+                if !candidates.iter().any(|c| c == &cand)
+                    && !found.contains(&cand.0 .1)
+                {
+                    candidates.push(cand);
+                }
+            }
+        }
+        match candidates.pop() {
+            Some(std::cmp::Reverse((_, path))) => found.push(path),
+            None => break,
+        }
+    }
+    found
+}
+
+/// Greedily keeps paths whose union of per-switch next-hops stays
+/// acyclic, so the resulting table can never misroute a flit in a
+/// loop. The primary (shortest) path is always kept.
+fn prune_to_acyclic(paths: Vec<Path>) -> Vec<Path> {
+    let mut kept: Vec<Path> = Vec::new();
+    let mut edges: HashSet<(SwitchId, SwitchId)> = HashSet::new();
+    for path in paths {
+        let mut trial = edges.clone();
+        for w in path.windows(2) {
+            trial.insert((w[0], w[1]));
+        }
+        if union_is_acyclic(&trial) || kept.is_empty() {
+            edges = trial;
+            kept.push(path);
+        }
+    }
+    kept
+}
+
+fn union_is_acyclic(edges: &HashSet<(SwitchId, SwitchId)>) -> bool {
+    // Kahn's algorithm over the nodes that occur in the edge set.
+    let mut nodes: HashSet<SwitchId> = HashSet::new();
+    for &(u, v) in edges {
+        nodes.insert(u);
+        nodes.insert(v);
+    }
+    let mut indeg: std::collections::HashMap<SwitchId, usize> =
+        nodes.iter().map(|&n| (n, 0)).collect();
+    for &(_, v) in edges {
+        *indeg.get_mut(&v).expect("node present") += 1;
+    }
+    let mut queue: Vec<SwitchId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut removed = 0;
+    while let Some(u) = queue.pop() {
+        removed += 1;
+        for &(a, b) in edges {
+            if a == u {
+                let d = indeg.get_mut(&b).expect("node present");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    removed == nodes.len()
+}
+
+/// Dimension-ordered (X then Y) path on a grid.
+fn xy_path(grid: &GridInfo, from: SwitchId, to: SwitchId) -> Path {
+    let (mut x, mut y) = grid.coords(from);
+    let (tx, ty) = grid.coords(to);
+    let mut path = vec![from];
+    while x != tx {
+        x = if x < tx { x + 1 } else { x - 1 };
+        path.push(grid.at(x, y));
+    }
+    while y != ty {
+        y = if y < ty { y + 1 } else { y - 1 };
+        path.push(grid.at(x, y));
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::graph::TopologyBuilder;
+
+    fn line3() -> Topology {
+        // s0 <-> s1 <-> s2, TG on s0, TR on s2.
+        let mut b = TopologyBuilder::new("line3");
+        let s = b.switches(3);
+        b.connect_bidir(s[0], s[1]);
+        b.connect_bidir(s[1], s[2]);
+        b.generator(s[0]);
+        b.receptor(s[2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_to_one_flows() {
+        let t = line3();
+        let flows = FlowSpec::one_to_one(&t).unwrap();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].flow, FlowId::new(0));
+    }
+
+    #[test]
+    fn one_to_one_rejects_mismatch() {
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.switch();
+        let s1 = b.switch();
+        b.connect_bidir(s0, s1);
+        b.generator(s0);
+        b.generator(s0);
+        b.receptor(s1);
+        let t = b.build().unwrap();
+        assert!(matches!(
+            FlowSpec::one_to_one(&t),
+            Err(TopologyError::FlowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn all_pairs_counts() {
+        let t = builders::mesh(2, 2).unwrap();
+        let flows = FlowSpec::all_pairs(&t);
+        assert_eq!(flows.len(), 16); // 4 TG x 4 TR
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let t = line3();
+        let p = shortest_path(&t, SwitchId::new(0), SwitchId::new(2)).unwrap();
+        assert_eq!(p, vec![SwitchId::new(0), SwitchId::new(1), SwitchId::new(2)]);
+    }
+
+    #[test]
+    fn shortest_routing_table() {
+        let t = line3();
+        let flows = FlowSpec::one_to_one(&t).unwrap();
+        let rt = RoutingTables::compute(&t, &flows, RouteAlgorithm::Shortest).unwrap();
+        assert_eq!(rt.flow_count(), 1);
+        assert_eq!(rt.max_alternatives(), 1);
+        // Flow must have an entry at every switch on the path.
+        for s in [0u32, 1, 2] {
+            assert_eq!(rt.lookup(SwitchId::new(s), FlowId::new(0)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn k_shortest_finds_ring_alternatives() {
+        // 4-ring: two disjoint paths between opposite corners.
+        let t = builders::ring(4).unwrap();
+        let paths = k_shortest_paths(&t, SwitchId::new(0), SwitchId::new(2), 3);
+        assert!(paths.len() >= 2, "expected >= 2 paths, got {paths:?}");
+        assert_eq!(paths[0].len(), 3);
+        // All returned paths are loop-free and correctly terminated.
+        for p in &paths {
+            assert_eq!(p.first(), Some(&SwitchId::new(0)));
+            assert_eq!(p.last(), Some(&SwitchId::new(2)));
+            let set: HashSet<_> = p.iter().collect();
+            assert_eq!(set.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn k_shortest_tables_have_two_alternatives() {
+        // one_to_one would pair TG_i with TR_i on the *same* switch, so
+        // build a cross-ring flow explicitly: switch 0 -> switch 2 has
+        // two equal-length routes around a 4-ring.
+        let t = builders::ring(4).unwrap();
+        let cross = FlowSpec {
+            flow: FlowId::new(0),
+            src: t.generators()[0],
+            dst: t.receptors()[2],
+        };
+        let rt = RoutingTables::compute(&t, &[cross], RouteAlgorithm::KShortest(2)).unwrap();
+        assert!(rt.max_alternatives() >= 2, "ring should offer 2 routes");
+    }
+
+    #[test]
+    fn xy_routing_on_mesh() {
+        let t = builders::mesh(3, 3).unwrap();
+        let flows = FlowSpec::one_to_one(&t).unwrap();
+        let rt = RoutingTables::compute(&t, &flows, RouteAlgorithm::Xy).unwrap();
+        assert_eq!(rt.max_alternatives(), 1, "XY is deterministic");
+    }
+
+    #[test]
+    fn xy_requires_grid() {
+        let t = line3(); // no grid metadata
+        let flows = FlowSpec::one_to_one(&t).unwrap();
+        assert!(matches!(
+            RoutingTables::compute(&t, &flows, RouteAlgorithm::Xy),
+            Err(TopologyError::GridRequired)
+        ));
+    }
+
+    #[test]
+    fn explicit_path_validation() {
+        let t = line3();
+        let flows = FlowSpec::one_to_one(&t).unwrap();
+        let bad = vec![FlowPaths {
+            spec: flows[0],
+            paths: vec![vec![SwitchId::new(1), SwitchId::new(2)]], // wrong start
+        }];
+        assert!(matches!(
+            RoutingTables::from_paths(&t, bad),
+            Err(TopologyError::InvalidPath { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_path_rejects_revisit() {
+        let t = builders::ring(4).unwrap();
+        let flows = FlowSpec::one_to_one(&t).unwrap();
+        let spec = flows[0];
+        let from = t.endpoint(spec.src).switch;
+        let to = t.endpoint(spec.dst).switch;
+        let looping = vec![FlowPaths {
+            spec,
+            paths: vec![vec![from, from, to]],
+        }];
+        let err = RoutingTables::from_paths(&t, looping).unwrap_err();
+        assert!(err.to_string().contains("revisits"));
+    }
+
+    #[test]
+    fn wrong_endpoint_kinds_rejected() {
+        let t = line3();
+        let tg = t.generators()[0];
+        let tr = t.receptors()[0];
+        let swapped = FlowSpec {
+            flow: FlowId::new(0),
+            src: tr,
+            dst: tg,
+        };
+        assert!(matches!(
+            RoutingTables::compute(&t, &[swapped], RouteAlgorithm::Shortest),
+            Err(TopologyError::WrongEndpointKind { .. })
+        ));
+    }
+
+    #[test]
+    fn union_acyclicity_helper() {
+        let mut edges = HashSet::new();
+        edges.insert((SwitchId::new(0), SwitchId::new(1)));
+        edges.insert((SwitchId::new(1), SwitchId::new(2)));
+        assert!(union_is_acyclic(&edges));
+        edges.insert((SwitchId::new(2), SwitchId::new(0)));
+        assert!(!union_is_acyclic(&edges));
+    }
+}

@@ -1,0 +1,223 @@
+//! The traffic generator contract.
+//!
+//! A traffic generator (TG) is the stimulus side of the emulation
+//! platform: each cycle it may *release* one packet request, which the
+//! network interface then serializes into flits. The paper's platform
+//! offers stochastic TGs (uniform, burst, Poisson — all parameterized
+//! through "a bench of registers") and trace-driven TGs; all implement
+//! [`TrafficGenerator`].
+//!
+//! A TG releases **at most one packet per cycle**: a single network
+//! interface cannot start two packets simultaneously, and trace events
+//! that share a timestamp are serialized by the source queue.
+
+use nocem_common::ids::{EndpointId, FlowId};
+use nocem_common::rng::{Pcg32, RandomSource};
+use nocem_common::time::Cycle;
+
+/// A packet the traffic model wants to send (before id assignment and
+/// flit serialization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRequest {
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Flow used for routing.
+    pub flow: FlowId,
+    /// Packet length in flits (`>= 1`).
+    pub len_flits: u16,
+}
+
+/// Which device flavour a generator is (drives the FPGA area model and
+/// the report labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TgKind {
+    /// Stochastic TG (uniform / burst / Poisson models).
+    Stochastic,
+    /// Trace-driven TG.
+    TraceDriven,
+}
+
+impl std::fmt::Display for TgKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TgKind::Stochastic => "TG stochastic",
+            TgKind::TraceDriven => "TG trace driven",
+        })
+    }
+}
+
+/// A source of packet releases, clocked once per platform cycle.
+///
+/// Implementations must be deterministic functions of their seed and
+/// tick sequence — the cross-engine equivalence tests tick the same
+/// generator configuration in all three engines and require identical
+/// release streams.
+pub trait TrafficGenerator {
+    /// Advances one cycle; returns the packet released this cycle, if
+    /// any.
+    fn tick(&mut self, now: Cycle) -> Option<PacketRequest>;
+
+    /// Packets this generator still intends to release; `None` means
+    /// unbounded.
+    fn remaining(&self) -> Option<u64>;
+
+    /// Device flavour (for synthesis reports).
+    fn kind(&self) -> TgKind;
+
+    /// Whether the generator will never release another packet.
+    fn is_exhausted(&self) -> bool {
+        self.remaining() == Some(0)
+    }
+}
+
+/// How a generator chooses the destination (and therefore the flow) of
+/// each packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DestinationModel {
+    /// Every packet goes to the same destination over the same flow —
+    /// the paper setup's configuration.
+    Fixed {
+        /// Destination endpoint.
+        dst: EndpointId,
+        /// Flow id registered for (src, dst).
+        flow: FlowId,
+    },
+    /// Uniform-random choice among the listed (destination, flow)
+    /// pairs (synthetic mesh benchmarks).
+    UniformChoice(Vec<(EndpointId, FlowId)>),
+}
+
+impl DestinationModel {
+    /// Picks the destination for the next packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`DestinationModel::UniformChoice`] list is empty —
+    /// an elaboration-time configuration bug.
+    pub fn pick(&self, rng: &mut Pcg32) -> (EndpointId, FlowId) {
+        match self {
+            DestinationModel::Fixed { dst, flow } => (*dst, *flow),
+            DestinationModel::UniformChoice(options) => {
+                assert!(!options.is_empty(), "destination choice list is empty");
+                options[rng.below(options.len() as u32) as usize]
+            }
+        }
+    }
+
+    /// All flows this model can emit on.
+    pub fn flows(&self) -> Vec<FlowId> {
+        match self {
+            DestinationModel::Fixed { flow, .. } => vec![*flow],
+            DestinationModel::UniformChoice(options) => {
+                options.iter().map(|&(_, f)| f).collect()
+            }
+        }
+    }
+}
+
+/// Packet length model shared by the stochastic generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LengthModel {
+    /// Every packet has the same number of flits.
+    Fixed(u16),
+    /// Uniform in the inclusive range.
+    UniformRange {
+        /// Minimum length in flits (`>= 1`).
+        min: u16,
+        /// Maximum length in flits (`>= min`).
+        max: u16,
+    },
+}
+
+impl LengthModel {
+    /// Draws a packet length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed range (`min == 0` or `min > max`).
+    pub fn draw(&self, rng: &mut Pcg32) -> u16 {
+        match *self {
+            LengthModel::Fixed(n) => {
+                assert!(n >= 1, "packet length must be at least one flit");
+                n
+            }
+            LengthModel::UniformRange { min, max } => {
+                assert!(min >= 1 && min <= max, "malformed length range");
+                rng.in_range(u32::from(min), u32::from(max)) as u16
+            }
+        }
+    }
+
+    /// Expected length in flits.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LengthModel::Fixed(n) => f64::from(n),
+            LengthModel::UniformRange { min, max } => (f64::from(min) + f64::from(max)) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_destination_ignores_rng() {
+        let model = DestinationModel::Fixed {
+            dst: EndpointId::new(3),
+            flow: FlowId::new(1),
+        };
+        let mut rng = Pcg32::seeded(1);
+        assert_eq!(model.pick(&mut rng), (EndpointId::new(3), FlowId::new(1)));
+        assert_eq!(model.flows(), vec![FlowId::new(1)]);
+    }
+
+    #[test]
+    fn uniform_choice_covers_options() {
+        let opts = vec![
+            (EndpointId::new(0), FlowId::new(0)),
+            (EndpointId::new(1), FlowId::new(1)),
+            (EndpointId::new(2), FlowId::new(2)),
+        ];
+        let model = DestinationModel::UniformChoice(opts.clone());
+        let mut rng = Pcg32::seeded(5);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let (_, f) = model.pick(&mut rng);
+            seen[f.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(model.flows().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_choice_panics() {
+        DestinationModel::UniformChoice(Vec::new()).pick(&mut Pcg32::seeded(1));
+    }
+
+    #[test]
+    fn length_models() {
+        let mut rng = Pcg32::seeded(2);
+        assert_eq!(LengthModel::Fixed(8).draw(&mut rng), 8);
+        assert_eq!(LengthModel::Fixed(8).mean(), 8.0);
+        let range = LengthModel::UniformRange { min: 2, max: 6 };
+        for _ in 0..200 {
+            let l = range.draw(&mut rng);
+            assert!((2..=6).contains(&l));
+        }
+        assert_eq!(range.mean(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed length range")]
+    fn inverted_range_panics() {
+        LengthModel::UniformRange { min: 5, max: 2 }.draw(&mut Pcg32::seeded(1));
+    }
+
+    #[test]
+    fn tg_kind_display_matches_table1_labels() {
+        assert_eq!(TgKind::Stochastic.to_string(), "TG stochastic");
+        assert_eq!(TgKind::TraceDriven.to_string(), "TG trace driven");
+    }
+}

@@ -1,0 +1,55 @@
+//! # nocem-traffic — traffic generation substrate
+//!
+//! Everything the paper's traffic generators (TGs) do, in software:
+//!
+//! * [`generator`] — the [`generator::TrafficGenerator`] contract,
+//!   destination and packet-length models;
+//! * [`stochastic`] — uniform, burst (2-state Markov chain) and
+//!   Poisson models, each with a `with_load` constructor that inverts
+//!   the load equation the way the paper's software configures its
+//!   45 % experiments;
+//! * [`trace`] — the trace text format, trace-driven replay TGs, a
+//!   recorder, and synthetic bursty traces for the packets-per-burst
+//!   sweeps of Figures 3 and 4;
+//! * [`ni`] — the injection-side network interface (bounded source
+//!   queue + flit serializer with credit flow control);
+//! * [`registers`] — the TG device register layout shared between the
+//!   memory-mapped device model and its driver.
+//!
+//! # Examples
+//!
+//! ```
+//! use nocem_common::ids::{EndpointId, FlowId};
+//! use nocem_common::time::Cycle;
+//! use nocem_traffic::generator::{DestinationModel, TrafficGenerator};
+//! use nocem_traffic::stochastic::{BurstConfig, StochasticTg};
+//!
+//! // A burst TG offered 45% load in bursts of 8 packets of 8 flits.
+//! let dst = DestinationModel::Fixed {
+//!     dst: EndpointId::new(4),
+//!     flow: FlowId::new(0),
+//! };
+//! let cfg = BurstConfig::with_load(0.45, 8, 8, Some(100), dst);
+//! let mut tg = StochasticTg::burst(cfg, 0xC0FFEE);
+//! let mut released = 0;
+//! for t in 0..100_000 {
+//!     if tg.tick(Cycle::new(t)).is_some() {
+//!         released += 1;
+//!     }
+//! }
+//! assert_eq!(released, 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod ni;
+pub mod registers;
+pub mod stochastic;
+pub mod trace;
+
+pub use generator::{DestinationModel, LengthModel, PacketRequest, TgKind, TrafficGenerator};
+pub use ni::{SourceNi, SourceNiCounters};
+pub use stochastic::{BurstConfig, PoissonConfig, StochasticTg, UniformConfig};
+pub use trace::{BurstyTraceSpec, Trace, TraceDrivenTg, TraceEvent, TraceRecorder};

@@ -1,0 +1,488 @@
+//! Trace-driven traffic: trace format, replay generator, recorder and
+//! synthetic trace construction.
+//!
+//! The paper's trace-driven TGs "generate traffic from a trace recorded
+//! on a real-life application". Here a [`Trace`] is an ordered list of
+//! packet releases; it can be
+//!
+//! * parsed from / rendered to a plain-text format (one event per
+//!   line, `#` comments),
+//! * recorded from a live emulation run with [`TraceRecorder`] (the
+//!   substitution for recording on real hardware; see `DESIGN.md`),
+//! * synthesized with controlled burstiness by [`synthesize_bursty`],
+//!   which produces the packets-per-burst × flits-per-packet sweeps of
+//!   the paper's Figures 3 and 4.
+
+use crate::generator::{PacketRequest, TgKind, TrafficGenerator};
+use nocem_common::ids::{EndpointId, FlowId};
+use nocem_common::rng::{Pcg32, RandomSource};
+use nocem_common::time::Cycle;
+
+/// One packet release in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Release cycle.
+    pub at: Cycle,
+    /// Source endpoint (which TG replays this event).
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Flow for routing.
+    pub flow: FlowId,
+    /// Packet length in flits.
+    pub len_flits: u16,
+}
+
+/// Error produced when parsing a trace fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// An ordered collection of packet releases.
+///
+/// Events are kept sorted by release cycle (stable for equal cycles:
+/// insertion order), which is the order replay generators consume
+/// them in.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Builds a trace from events (sorted on construction).
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Trace { events }
+    }
+
+    /// All events, ordered by release cycle.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total flits across all events.
+    pub fn total_flits(&self) -> u64 {
+        self.events.iter().map(|e| u64::from(e.len_flits)).sum()
+    }
+
+    /// The events released by `src`, in order.
+    pub fn for_source(&self, src: EndpointId) -> Vec<TraceEvent> {
+        self.events.iter().filter(|e| e.src == src).copied().collect()
+    }
+
+    /// Renders the trace in the `nocem trace v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# nocem trace v1\n# cycle,src,dst,flow,len\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                e.at.raw(),
+                e.src.raw(),
+                e.dst.raw(),
+                e.flow.raw(),
+                e.len_flits
+            ));
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Trace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on malformed lines (wrong field
+    /// count or non-numeric fields).
+    pub fn parse(text: &str) -> Result<Self, ParseTraceError> {
+        let mut events = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 5 {
+                return Err(ParseTraceError {
+                    line: idx + 1,
+                    message: format!("expected 5 fields, found {}", fields.len()),
+                });
+            }
+            let parse_u64 = |s: &str, what: &str| -> Result<u64, ParseTraceError> {
+                s.parse().map_err(|_| ParseTraceError {
+                    line: idx + 1,
+                    message: format!("invalid {what}: {s:?}"),
+                })
+            };
+            let at = parse_u64(fields[0], "cycle")?;
+            let src = parse_u64(fields[1], "src")? as u32;
+            let dst = parse_u64(fields[2], "dst")? as u32;
+            let flow = parse_u64(fields[3], "flow")? as u32;
+            let len = parse_u64(fields[4], "len")? as u16;
+            if len == 0 {
+                return Err(ParseTraceError {
+                    line: idx + 1,
+                    message: "packet length must be at least 1".into(),
+                });
+            }
+            events.push(TraceEvent {
+                at: Cycle::new(at),
+                src: EndpointId::new(src),
+                dst: EndpointId::new(dst),
+                flow: FlowId::new(flow),
+                len_flits: len,
+            });
+        }
+        Ok(Trace::from_events(events))
+    }
+}
+
+/// Replays the events of one source endpoint from a trace.
+///
+/// At most one packet is released per cycle; events whose timestamp
+/// has passed (e.g. several events sharing a cycle) are released on
+/// consecutive cycles in trace order, exactly like a hardware trace
+/// player draining its event FIFO.
+#[derive(Debug, Clone)]
+pub struct TraceDrivenTg {
+    events: Vec<TraceEvent>,
+    next: usize,
+}
+
+impl TraceDrivenTg {
+    /// Creates a replay generator for `src`'s slice of `trace`.
+    pub fn new(trace: &Trace, src: EndpointId) -> Self {
+        TraceDrivenTg {
+            events: trace.for_source(src),
+            next: 0,
+        }
+    }
+
+    /// Creates a replay generator from pre-filtered events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are not sorted by release cycle.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "trace events must be sorted by cycle"
+        );
+        TraceDrivenTg { events, next: 0 }
+    }
+}
+
+impl TrafficGenerator for TraceDrivenTg {
+    fn tick(&mut self, now: Cycle) -> Option<PacketRequest> {
+        let e = self.events.get(self.next)?;
+        if e.at > now {
+            return None;
+        }
+        self.next += 1;
+        Some(PacketRequest {
+            dst: e.dst,
+            flow: e.flow,
+            len_flits: e.len_flits,
+        })
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some((self.events.len() - self.next) as u64)
+    }
+
+    fn kind(&self) -> TgKind {
+        TgKind::TraceDriven
+    }
+}
+
+/// Records packet releases during a run, producing a [`Trace`] that can
+/// later drive trace-driven TGs (the software stand-in for the paper's
+/// "trace recorded on a real-life application").
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Records one release.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes recording.
+    pub fn into_trace(self) -> Trace {
+        Trace::from_events(self.events)
+    }
+}
+
+/// Parameters for [`synthesize_bursty`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstyTraceSpec {
+    /// Source endpoint the events belong to.
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Flow for routing.
+    pub flow: FlowId,
+    /// Packets per burst (the paper's Figure 3/4 x-axis).
+    pub packets_per_burst: u32,
+    /// Flits per packet (the paper's Figure 3 curve parameter).
+    pub flits_per_packet: u16,
+    /// Long-run offered load (fraction of link bandwidth).
+    pub offered_load: f64,
+    /// Total packets to emit.
+    pub total_packets: u64,
+    /// RNG seed for inter-burst jitter.
+    pub seed: u64,
+}
+
+/// Synthesizes a trace with rectangular bursts: `packets_per_burst`
+/// back-to-back packets, then an idle gap sized so the long-run load
+/// is `offered_load` (gaps jitter ±25 % to avoid phase locking between
+/// sources).
+///
+/// # Panics
+///
+/// Panics if `offered_load` is outside `(0, 1]`, or any count is zero.
+pub fn synthesize_bursty(spec: &BurstyTraceSpec) -> Trace {
+    assert!(
+        spec.offered_load > 0.0 && spec.offered_load <= 1.0,
+        "offered load must be in (0, 1]"
+    );
+    assert!(spec.packets_per_burst >= 1, "need at least one packet per burst");
+    assert!(spec.flits_per_packet >= 1, "need at least one flit per packet");
+    assert!(spec.total_packets >= 1, "need at least one packet");
+    let mut rng = Pcg32::seeded(spec.seed);
+    let mut events = Vec::with_capacity(spec.total_packets as usize);
+    let l = u64::from(spec.flits_per_packet);
+    let burst_flits = l * u64::from(spec.packets_per_burst);
+    // gap so that burst_flits / (burst_flits + gap) == load.
+    let gap_mean = burst_flits as f64 * (1.0 - spec.offered_load) / spec.offered_load;
+    let mut t: u64 = 0;
+    let mut emitted: u64 = 0;
+    while emitted < spec.total_packets {
+        let in_burst = spec.packets_per_burst.min((spec.total_packets - emitted) as u32);
+        for _ in 0..in_burst {
+            events.push(TraceEvent {
+                at: Cycle::new(t),
+                src: spec.src,
+                dst: spec.dst,
+                flow: spec.flow,
+                len_flits: spec.flits_per_packet,
+            });
+            t += l; // back-to-back
+            emitted += 1;
+        }
+        let jitter_lo = (gap_mean * 0.75) as u32;
+        let jitter_hi = (gap_mean * 1.25).ceil() as u32;
+        t += u64::from(if jitter_hi > jitter_lo {
+            rng.in_range(jitter_lo, jitter_hi)
+        } else {
+            jitter_lo
+        });
+    }
+    Trace::from_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(at: u64, src: u32, len: u16) -> TraceEvent {
+        TraceEvent {
+            at: Cycle::new(at),
+            src: EndpointId::new(src),
+            dst: EndpointId::new(9),
+            flow: FlowId::new(0),
+            len_flits: len,
+        }
+    }
+
+    #[test]
+    fn trace_sorts_events() {
+        let t = Trace::from_events(vec![event(5, 0, 1), event(2, 0, 1), event(9, 0, 1)]);
+        let ats: Vec<u64> = t.events().iter().map(|e| e.at.raw()).collect();
+        assert_eq!(ats, vec![2, 5, 9]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_flits(), 3);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = Trace::from_events(vec![event(1, 0, 4), event(3, 2, 8)]);
+        let text = t.to_text();
+        assert!(text.starts_with("# nocem trace v1"));
+        let parsed = Trace::parse(&text).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = Trace::parse("# ok\n1,2,3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("5 fields"));
+
+        let err = Trace::parse("x,0,0,0,1\n").unwrap_err();
+        assert!(err.message.contains("invalid cycle"));
+
+        let err = Trace::parse("0,0,0,0,0\n").unwrap_err();
+        assert!(err.message.contains("at least 1"));
+    }
+
+    #[test]
+    fn replay_filters_by_source() {
+        let t = Trace::from_events(vec![event(0, 0, 1), event(1, 1, 1), event(2, 0, 1)]);
+        let mut tg = TraceDrivenTg::new(&t, EndpointId::new(0));
+        assert_eq!(tg.remaining(), Some(2));
+        assert!(tg.tick(Cycle::new(0)).is_some());
+        assert!(tg.tick(Cycle::new(1)).is_none(), "event at 2 not yet due");
+        assert!(tg.tick(Cycle::new(2)).is_some());
+        assert!(tg.is_exhausted());
+        assert_eq!(tg.kind(), TgKind::TraceDriven);
+    }
+
+    #[test]
+    fn replay_serializes_same_cycle_events() {
+        let t = Trace::from_events(vec![event(5, 0, 1), event(5, 0, 2), event(5, 0, 3)]);
+        let mut tg = TraceDrivenTg::new(&t, EndpointId::new(0));
+        assert!(tg.tick(Cycle::new(4)).is_none());
+        let a = tg.tick(Cycle::new(5)).unwrap();
+        let b = tg.tick(Cycle::new(6)).unwrap();
+        let c = tg.tick(Cycle::new(7)).unwrap();
+        assert_eq!(
+            (a.len_flits, b.len_flits, c.len_flits),
+            (1, 2, 3),
+            "trace order preserved"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_events_panic() {
+        TraceDrivenTg::from_events(vec![event(5, 0, 1), event(2, 0, 1)]);
+    }
+
+    #[test]
+    fn recorder_roundtrip() {
+        let mut rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        rec.record(event(7, 1, 2));
+        rec.record(event(3, 1, 2));
+        assert_eq!(rec.len(), 2);
+        let t = rec.into_trace();
+        assert_eq!(t.events()[0].at.raw(), 3, "recorder output is sorted");
+    }
+
+    #[test]
+    fn bursty_trace_structure() {
+        let spec = BurstyTraceSpec {
+            src: EndpointId::new(0),
+            dst: EndpointId::new(1),
+            flow: FlowId::new(0),
+            packets_per_burst: 4,
+            flits_per_packet: 3,
+            offered_load: 0.5,
+            total_packets: 12,
+            seed: 1,
+        };
+        let t = synthesize_bursty(&spec);
+        assert_eq!(t.len(), 12);
+        // Within a burst, spacing == flits_per_packet.
+        let ats: Vec<u64> = t.events().iter().map(|e| e.at.raw()).collect();
+        assert_eq!(ats[1] - ats[0], 3);
+        assert_eq!(ats[2] - ats[1], 3);
+        assert_eq!(ats[3] - ats[2], 3);
+        // Between bursts, a real gap.
+        assert!(ats[4] - ats[3] > 3, "inter-burst gap expected");
+    }
+
+    #[test]
+    fn bursty_trace_load_is_close_to_target() {
+        let spec = BurstyTraceSpec {
+            src: EndpointId::new(0),
+            dst: EndpointId::new(1),
+            flow: FlowId::new(0),
+            packets_per_burst: 8,
+            flits_per_packet: 4,
+            offered_load: 0.45,
+            total_packets: 5_000,
+            seed: 3,
+        };
+        let t = synthesize_bursty(&spec);
+        let span = t.events().last().unwrap().at.raw() + 4;
+        let load = t.total_flits() as f64 / span as f64;
+        assert!((load - 0.45).abs() < 0.02, "synthesized load {load}");
+    }
+
+    #[test]
+    #[should_panic(expected = "offered load")]
+    fn bursty_rejects_bad_load() {
+        synthesize_bursty(&BurstyTraceSpec {
+            src: EndpointId::new(0),
+            dst: EndpointId::new(1),
+            flow: FlowId::new(0),
+            packets_per_burst: 1,
+            flits_per_packet: 1,
+            offered_load: 0.0,
+            total_packets: 1,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn full_load_burst_trace_has_no_gaps() {
+        let spec = BurstyTraceSpec {
+            src: EndpointId::new(0),
+            dst: EndpointId::new(1),
+            flow: FlowId::new(0),
+            packets_per_burst: 2,
+            flits_per_packet: 2,
+            offered_load: 1.0,
+            total_packets: 6,
+            seed: 0,
+        };
+        let t = synthesize_bursty(&spec);
+        let ats: Vec<u64> = t.events().iter().map(|e| e.at.raw()).collect();
+        assert_eq!(ats, vec![0, 2, 4, 6, 8, 10]);
+    }
+}

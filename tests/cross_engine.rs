@@ -1,0 +1,151 @@
+//! Cross-engine equivalence: the fast emulation engine, the RTL
+//! baseline and the TLM baseline must produce identical runs — same
+//! number of cycles, same deliveries, same per-packet latencies — for
+//! identical configurations and seeds. This is what makes the Table 2
+//! speed comparison meaningful: all three engines do the same work.
+
+use nocem::compile::elaborate;
+use nocem::config::{PaperConfig, PaperRouting, PlatformConfig, TrafficModel};
+use nocem::engine::build;
+use nocem_rtl::model::RtlEngine;
+use nocem_tlm::model::TlmEngine;
+use nocem_topology::builders::mesh;
+
+/// Canonical comparison tuple.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    cycles: u64,
+    released: u64,
+    injected: u64,
+    delivered: u64,
+    delivered_flits: u64,
+    net_latency_sum: u64,
+    net_latency_count: u64,
+    net_latency_max: Option<u64>,
+    total_latency_sum: u64,
+}
+
+fn run_all_three(cfg: &PlatformConfig) -> (Fingerprint, Fingerprint, Fingerprint) {
+    let mut emu = build(cfg).unwrap();
+    emu.run().unwrap();
+    let r = emu.results();
+    let emu_fp = Fingerprint {
+        cycles: r.cycles,
+        released: r.released,
+        injected: r.injected,
+        delivered: r.delivered,
+        delivered_flits: r.delivered_flits,
+        net_latency_sum: r.network_latency.sum(),
+        net_latency_count: r.network_latency.count(),
+        net_latency_max: r.network_latency.max(),
+        total_latency_sum: r.total_latency.sum(),
+    };
+
+    let mut rtl = RtlEngine::new(elaborate(cfg).unwrap());
+    rtl.run().unwrap();
+    let s = rtl.summary();
+    let rtl_fp = Fingerprint {
+        cycles: s.cycles,
+        released: s.released,
+        injected: s.injected,
+        delivered: s.delivered,
+        delivered_flits: s.delivered_flits,
+        net_latency_sum: s.network_latency.sum(),
+        net_latency_count: s.network_latency.count(),
+        net_latency_max: s.network_latency.max(),
+        total_latency_sum: s.total_latency.sum(),
+    };
+
+    let mut tlm = TlmEngine::new(elaborate(cfg).unwrap());
+    tlm.run().unwrap();
+    let s = tlm.summary();
+    let tlm_fp = Fingerprint {
+        cycles: s.cycles,
+        released: s.released,
+        injected: s.injected,
+        delivered: s.delivered,
+        delivered_flits: s.delivered_flits,
+        net_latency_sum: s.network_latency.sum(),
+        net_latency_count: s.network_latency.count(),
+        net_latency_max: s.network_latency.max(),
+        total_latency_sum: s.total_latency.sum(),
+    };
+
+    (emu_fp, rtl_fp, tlm_fp)
+}
+
+fn assert_equivalent(cfg: &PlatformConfig) {
+    let (emu, rtl, tlm) = run_all_three(cfg);
+    assert_eq!(emu, rtl, "fast engine vs RTL diverged on {}", cfg.name);
+    assert_eq!(emu, tlm, "fast engine vs TLM diverged on {}", cfg.name);
+}
+
+#[test]
+fn uniform_traffic_is_engine_equivalent() {
+    assert_equivalent(&PaperConfig::new().total_packets(500).uniform());
+}
+
+#[test]
+fn burst_traffic_is_engine_equivalent() {
+    assert_equivalent(&PaperConfig::new().total_packets(500).burst(8));
+}
+
+#[test]
+fn poisson_traffic_is_engine_equivalent() {
+    assert_equivalent(&PaperConfig::new().total_packets(400).poisson());
+}
+
+#[test]
+fn trace_traffic_is_engine_equivalent() {
+    assert_equivalent(
+        &PaperConfig::new()
+            .total_packets(400)
+            .packet_flits(4)
+            .trace_bursty(8),
+    );
+}
+
+#[test]
+fn dual_routing_is_engine_equivalent() {
+    assert_equivalent(
+        &PaperConfig::new()
+            .total_packets(500)
+            .routing(PaperRouting::Dual {
+                secondary_probability: 0.4,
+            })
+            .uniform(),
+    );
+}
+
+#[test]
+fn mesh_platform_is_engine_equivalent() {
+    let mut cfg = PlatformConfig::baseline("mesh3x3", mesh(3, 3).unwrap()).unwrap();
+    for g in &mut cfg.generators {
+        if let TrafficModel::Uniform(u) = g {
+            u.budget = Some(40);
+        }
+    }
+    cfg.stop.delivered_packets = Some(9 * 40);
+    assert_equivalent(&cfg);
+}
+
+#[test]
+fn deep_buffer_platform_is_engine_equivalent() {
+    let mut cfg = PaperConfig::new().total_packets(400).burst(16);
+    cfg.switch.fifo_depth = 16;
+    assert_equivalent(&cfg);
+}
+
+#[test]
+fn different_seeds_produce_different_but_equivalent_runs() {
+    let a = PaperConfig::new().total_packets(300).seed(1).burst(8);
+    let b = PaperConfig::new().total_packets(300).seed(2).burst(8);
+    let (emu_a, rtl_a, _) = run_all_three(&a);
+    let (emu_b, rtl_b, _) = run_all_three(&b);
+    assert_eq!(emu_a, rtl_a);
+    assert_eq!(emu_b, rtl_b);
+    assert_ne!(
+        emu_a.net_latency_sum, emu_b.net_latency_sum,
+        "different seeds should change the traffic"
+    );
+}
