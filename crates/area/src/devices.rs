@@ -63,7 +63,7 @@ pub fn tg_stochastic(p: StochasticTgParams) -> Resources {
     r += fsm(8, 4);
     r += counter(32) * 3; // gap, length, budget
     r += comparator(16) * 2; // probability thresholds
-    // Free-running timestamp for release stamping.
+                             // Free-running timestamp for release stamping.
     r += register(64);
     // Source queue of packet descriptors (64-bit each).
     r += fifo_lutram(64, p.queue_depth);
@@ -110,7 +110,7 @@ pub fn tg_trace_driven(p: TraceTgParams) -> Resources {
     r += register(p.event_bits * 2);
     r += register(p.event_bits * 2); // decode pipeline
     r += register(p.event_bits * 2); // loop-replay history (trace wraparound)
-    // Replay timing: cycle comparator and timestamp offset.
+                                     // Replay timing: cycle comparator and timestamp offset.
     r += comparator(32);
     r += register(64);
     // Source queue + network interface (same as the stochastic TG).
@@ -192,7 +192,7 @@ pub fn tr_trace_driven(p: TraceTrParams) -> Resources {
     r += register(2 * 32) + comparator(16) * 2; // min / max
     let hist_luts = (p.latency_bins * 32).div_ceil(16);
     r += Resources::new(hist_luts + 16, 0); // histogram + priority encoder
-    // Congestion counters.
+                                            // Congestion counters.
     r += counter(48) * p.congestion_counters;
     // In-flight timestamp matching table.
     r += fifo_lutram(64, p.inflight_depth);

@@ -33,7 +33,9 @@ pub mod fpga;
 pub mod primitives;
 pub mod report;
 
-pub use devices::{SwitchParams, StochasticTgParams, StochasticTrParams, TraceTgParams, TraceTrParams};
+pub use devices::{
+    StochasticTgParams, StochasticTrParams, SwitchParams, TraceTgParams, TraceTrParams,
+};
 pub use fpga::{estimate_clock_mhz, FpgaDevice, XC2VP20, XC2VP30};
 pub use primitives::Resources;
 pub use report::SynthesisReport;

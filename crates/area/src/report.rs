@@ -66,10 +66,7 @@ impl SynthesisReport {
 
     /// Total platform resources.
     pub fn total(&self) -> Resources {
-        self.entries
-            .iter()
-            .map(|e| e.unit * e.instances)
-            .sum()
+        self.entries.iter().map(|e| e.unit * e.instances).sum()
     }
 
     /// Total platform slices on the target.
@@ -99,11 +96,7 @@ impl SynthesisReport {
 
     /// Renders the Table 1 style report.
     pub fn render(&self) -> String {
-        let mut t = TextTable::with_columns(&[
-            "Device",
-            "Number of slices",
-            "FPGA percentage (%)",
-        ]);
+        let mut t = TextTable::with_columns(&["Device", "Number of slices", "FPGA percentage (%)"]);
         t.title(format!("Synthesis report — target {}", self.target.name));
         t.align(1, Align::Right);
         t.align(2, Align::Right);
@@ -144,11 +137,23 @@ mod tests {
 
     fn paper_report() -> SynthesisReport {
         let mut r = SynthesisReport::new(XC2VP20);
-        r.add("TG stochastic", 4, tg_stochastic(StochasticTgParams::default()));
-        r.add("TR stochastic", 4, tr_stochastic(StochasticTrParams::default()));
+        r.add(
+            "TG stochastic",
+            4,
+            tg_stochastic(StochasticTgParams::default()),
+        );
+        r.add(
+            "TR stochastic",
+            4,
+            tr_stochastic(StochasticTrParams::default()),
+        );
         r.add("Control module", 1, control_module());
         for (i, o) in [(3, 2), (4, 3), (2, 4), (3, 2), (4, 3), (2, 4)] {
-            r.add(format!("Switch {i}x{o}"), 1, switch(SwitchParams::new(i, o)));
+            r.add(
+                format!("Switch {i}x{o}"),
+                1,
+                switch(SwitchParams::new(i, o)),
+            );
             r.set_max_switch_ports(i.max(o));
         }
         r
@@ -163,7 +168,11 @@ mod tests {
             (6_800..=8_000).contains(&total),
             "platform total {total} slices"
         );
-        assert!((0.73..=0.86).contains(&r.utilization()), "{}", r.utilization());
+        assert!(
+            (0.73..=0.86).contains(&r.utilization()),
+            "{}",
+            r.utilization()
+        );
         assert!(r.fits());
     }
 
@@ -187,7 +196,10 @@ mod tests {
         let mut r = SynthesisReport::new(XC2VP20);
         r.add("x", 2, Resources::new(10, 10));
         assert_eq!(r.total(), Resources::new(20, 20));
-        assert_eq!(r.total_slices(), 2 * XC2VP20.slices_for(Resources::new(10, 10)));
+        assert_eq!(
+            r.total_slices(),
+            2 * XC2VP20.slices_for(Resources::new(10, 10))
+        );
         assert!(r.fits());
         assert_eq!(r.entries().len(), 1);
         assert_eq!(r.target().name, "XC2VP20");

@@ -134,12 +134,27 @@ fn table1_ranking_holds() {
     let tr_s = XC2VP20.slices_for(tr_stochastic(StochasticTrParams::default()));
     let tr_t = XC2VP20.slices_for(tr_trace_driven(TraceTrParams::default()));
     let ctl = XC2VP20.slices_for(nocem_area::devices::control_module());
-    assert!(tg_s > tg_t, "stochastic TG ({tg_s}) above trace TG ({tg_t})");
-    assert!(tr_t > tr_s, "trace TR ({tr_t}) above stochastic TR ({tr_s})");
-    assert!(tg_t > tr_s, "trace TG ({tg_t}) above stochastic TR ({tr_s})");
+    assert!(
+        tg_s > tg_t,
+        "stochastic TG ({tg_s}) above trace TG ({tg_t})"
+    );
+    assert!(
+        tr_t > tr_s,
+        "trace TR ({tr_t}) above stochastic TR ({tr_s})"
+    );
+    assert!(
+        tg_t > tr_s,
+        "trace TG ({tg_t}) above stochastic TR ({tr_s})"
+    );
     assert!(ctl < tr_s / 4, "control module is tiny ({ctl})");
     // And the absolute calibration stays within 10% of Table 1.
-    for (got, paper) in [(tg_s, 719u64), (tg_t, 652), (tr_s, 371), (tr_t, 690), (ctl, 18)] {
+    for (got, paper) in [
+        (tg_s, 719u64),
+        (tg_t, 652),
+        (tr_s, 371),
+        (tr_t, 690),
+        (ctl, 18),
+    ] {
         let err = (got as f64 - paper as f64).abs() / paper as f64;
         assert!(err < 0.10, "calibration drifted: {got} vs paper {paper}");
     }

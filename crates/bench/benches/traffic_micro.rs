@@ -36,8 +36,7 @@ fn bench_traffic(c: &mut Criterion) {
     });
 
     group.bench_function("burst_tick_1k", |b| {
-        let mut tg =
-            StochasticTg::burst(BurstConfig::with_load(0.45, 8, 8, None, dst()), 1);
+        let mut tg = StochasticTg::burst(BurstConfig::with_load(0.45, 8, 8, None, dst()), 1);
         let mut t = 0u64;
         b.iter(|| {
             let mut released = 0u32;

@@ -32,7 +32,7 @@ fn main() {
             PaperConfig::new().total_packets(n).burst(8),
         ));
     }
-    let results = run_sweep(&points, num_threads()).expect("sweep runs");
+    let results = run_sweep(&points, nocem_bench::num_threads()).expect("sweep runs");
 
     let mut t = TextTable::with_columns(&[
         "packets sent",
@@ -70,8 +70,4 @@ fn lookup(results: &[(String, nocem::results::EmulationResults)], label: &str) -
         .find(|(l, _)| l == label)
         .map(|(_, r)| r.cycles)
         .expect("label present")
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }

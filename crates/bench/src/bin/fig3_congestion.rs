@@ -34,7 +34,7 @@ fn main() {
             ));
         }
     }
-    let results = run_sweep(&points, num_threads()).expect("sweep runs");
+    let results = run_sweep(&points, nocem_bench::num_threads()).expect("sweep runs");
 
     let mut header = vec!["packets/burst".to_string()];
     header.extend(FLITS_PER_PACKET.iter().map(|f| format!("{f} flits/pkt")));
@@ -63,8 +63,4 @@ fn main() {
     println!("packet length), saturating for long bursts — the paper's Figure 3.");
     let path = nocem_bench::save_csv("fig3_congestion.csv", csv.as_str());
     println!("data written to {}", path.display());
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }

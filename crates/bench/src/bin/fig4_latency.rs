@@ -34,7 +34,7 @@ fn main() {
             )
         })
         .collect();
-    let results = run_sweep(&points, num_threads()).expect("sweep runs");
+    let results = run_sweep(&points, nocem_bench::num_threads()).expect("sweep runs");
 
     let mut t = TextTable::with_columns(&[
         "packets/burst",
@@ -86,8 +86,4 @@ fn main() {
     println!("(the maximum is a function of the 90% hot-link congestion, as the paper notes)");
     let path = nocem_bench::save_csv("fig4_latency.csv", csv.as_str());
     println!("data written to {}", path.display());
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }

@@ -39,7 +39,10 @@ fn main() {
     let mut t = TextTable::with_columns(&["flow", "primary path", "secondary path"]);
     for (fp_primary, fp_dual) in p.primary_paths.iter().zip(&p.dual_paths) {
         let fmt = |path: &[nocem_common::ids::SwitchId]| {
-            path.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" -> ")
+            path.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
         };
         t.row(vec![
             format!("TG{0} -> TR{0}", fp_primary.spec.flow.raw()),
@@ -59,8 +62,7 @@ fn main() {
     let mut t = TextTable::with_columns(&["link", "predicted load", "hot?"]);
     t.align(1, Align::Right);
     for l in p.topology.links().filter(|l| l.is_inter_switch()) {
-        let (LinkEnd::Switch { switch: a, .. }, LinkEnd::Switch { switch: b, .. }) =
-            (l.src, l.dst)
+        let (LinkEnd::Switch { switch: a, .. }, LinkEnd::Switch { switch: b, .. }) = (l.src, l.dst)
         else {
             continue;
         };
@@ -70,7 +72,11 @@ fn main() {
         t.row(vec![
             format!("{a} -> {b}"),
             format!("{:.2}", loads[l.id.index()]),
-            if p.hot_links.contains(&l.id) { "90% HOT".into() } else { String::new() },
+            if p.hot_links.contains(&l.id) {
+                "90% HOT".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("loaded inter-switch links (primary routing):\n{t}");

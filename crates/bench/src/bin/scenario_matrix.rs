@@ -1,0 +1,93 @@
+//! **Scenario matrix** — the experiment the paper's single 6-switch
+//! setup never had: every applicable synthetic pattern and core-graph
+//! workload, across meshes, a torus and a ring, at several offered
+//! loads, run in parallel and aggregated into one CSV.
+//!
+//! ```text
+//! cargo run --release -p nocem-bench --bin scenario_matrix
+//! ```
+//!
+//! `NOCEM_QUICK=1` shrinks the per-point packet budget for smoke
+//! testing. The full default matrix expands to 80 combinations, of
+//! which a handful are inapplicable (transpose on non-square
+//! topologies, bit patterns on non-power-of-two switch counts) and
+//! are reported as skips in the CSV trailer.
+
+use nocem_bench::scaled;
+use nocem_common::table::{Align, TextTable};
+use nocem_scenarios::matrix::MatrixSpec;
+use nocem_scenarios::registry::ScenarioRegistry;
+use nocem_scenarios::scenario::TopologySpec;
+
+fn main() {
+    let registry = ScenarioRegistry::builtin();
+    let spec = MatrixSpec {
+        scenarios: registry.names().iter().map(|&n| n.to_owned()).collect(),
+        topologies: vec![
+            TopologySpec::Mesh {
+                width: 4,
+                height: 4,
+            },
+            TopologySpec::Torus {
+                width: 4,
+                height: 4,
+            },
+            TopologySpec::Mesh {
+                width: 8,
+                height: 2,
+            },
+            TopologySpec::Ring { switches: 8 },
+        ],
+        loads: vec![0.10, 0.30],
+        packet_flits: 4,
+        packets_per_point: scaled(8_000),
+    };
+    println!(
+        "expanding {} scenarios x {} topologies x {} loads = {} combinations",
+        spec.scenarios.len(),
+        spec.topologies.len(),
+        spec.loads.len(),
+        spec.combinations()
+    );
+
+    let threads = nocem_bench::num_threads();
+    let started = std::time::Instant::now();
+    let outcome = spec.run(&registry, threads).expect("matrix runs");
+    let elapsed = started.elapsed();
+
+    let mut t = TextTable::with_columns(&[
+        "scenario",
+        "topology",
+        "load",
+        "cycles",
+        "throughput (flit/cyc)",
+        "mean net latency (cyc)",
+    ]);
+    t.title(format!(
+        "Scenario matrix — {} points run on {} threads in {:.2?} ({} skipped)",
+        outcome.rows.len(),
+        threads,
+        elapsed,
+        outcome.skipped.len()
+    ));
+    for c in 2..6 {
+        t.align(c, Align::Right);
+    }
+    for row in &outcome.rows {
+        t.row(vec![
+            row.scenario.clone(),
+            row.topology.clone(),
+            format!("{:.2}", row.load),
+            row.results.cycles.to_string(),
+            format!("{:.4}", row.results.throughput()),
+            format!("{:.1}", row.results.network_latency.mean().unwrap_or(0.0)),
+        ]);
+    }
+    println!("{t}");
+    for s in &outcome.skipped {
+        println!("skipped {}: {}", s.label, s.reason);
+    }
+
+    let path = nocem_bench::save_csv("scenario_matrix.csv", &outcome.to_csv());
+    println!("data written to {}", path.display());
+}

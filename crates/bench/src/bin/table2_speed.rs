@@ -17,8 +17,8 @@ use nocem::config::PaperConfig;
 use nocem::flow::synthesize;
 use nocem_area::fpga::XC2VP20;
 use nocem_bench::{
-    measure_emulation_speed, measure_rtl_speed, measure_tlm_speed, quick_mode, PAPER_CYCLES_PER_PACKET,
-    PAPER_TABLE2,
+    measure_emulation_speed, measure_rtl_speed, measure_tlm_speed, quick_mode,
+    PAPER_CYCLES_PER_PACKET, PAPER_TABLE2,
 };
 use nocem_common::csv::CsvWriter;
 use nocem_common::table::{Align, TextTable};
@@ -40,8 +40,14 @@ fn main() {
     let rows: Vec<(&str, f64)> = vec![
         ("FPGA emulation (estimated clock)", clock_hz),
         ("This reproduction: fast engine", emu.cycles_per_second),
-        ("This reproduction: TLM (SystemC analog)", tlm.cycles_per_second),
-        ("This reproduction: RTL (ModelSim analog)", rtl.cycles_per_second),
+        (
+            "This reproduction: TLM (SystemC analog)",
+            tlm.cycles_per_second,
+        ),
+        (
+            "This reproduction: RTL (ModelSim analog)",
+            rtl.cycles_per_second,
+        ),
     ];
 
     let time_for_packets = |cps: f64, packets: f64| -> String {

@@ -45,7 +45,17 @@ pub const PAPER_CLOCK_MHZ: f64 = 50.0;
 
 /// Whether quick (smoke-test) mode is active (`NOCEM_QUICK=1`).
 pub fn quick_mode() -> bool {
-    std::env::var("NOCEM_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("NOCEM_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Worker count for parallel sweeps: available parallelism, or 4
+/// when it cannot be determined.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Scales a sweep size down in quick mode.
@@ -82,7 +92,11 @@ pub struct MeasuredSpeed {
     pub seconds: f64,
 }
 
-fn measure<S>(mut step: S, min_cycles: u64, min_seconds: f64) -> Result<MeasuredSpeed, EmulationError>
+fn measure<S>(
+    mut step: S,
+    min_cycles: u64,
+    min_seconds: f64,
+) -> Result<MeasuredSpeed, EmulationError>
 where
     S: FnMut() -> Result<(), EmulationError>,
 {
@@ -179,22 +193,26 @@ mod tests {
 
     #[test]
     fn engine_speed_ordering_holds() {
-        // The Table 2 shape: emulation > TLM > RTL.
-        let emu = measure_emulation_speed(0.2).unwrap();
-        let tlm = measure_tlm_speed(0.2).unwrap();
-        let rtl = measure_rtl_speed(0.2).unwrap();
-        assert!(
-            emu.cycles_per_second > tlm.cycles_per_second,
-            "emulation {:.0} vs TLM {:.0}",
-            emu.cycles_per_second,
-            tlm.cycles_per_second
-        );
-        assert!(
-            tlm.cycles_per_second > rtl.cycles_per_second,
-            "TLM {:.0} vs RTL {:.0}",
-            tlm.cycles_per_second,
-            rtl.cycles_per_second
-        );
+        // The Table 2 shape: emulation > TLM > RTL. Wall-clock
+        // measurements are noisy when other test binaries share the
+        // CPU, so retry a few times before declaring the ordering
+        // violated.
+        let mut last = String::new();
+        for attempt in 0..3 {
+            let emu = measure_emulation_speed(0.2).unwrap();
+            let tlm = measure_tlm_speed(0.2).unwrap();
+            let rtl = measure_rtl_speed(0.2).unwrap();
+            if emu.cycles_per_second > tlm.cycles_per_second
+                && tlm.cycles_per_second > rtl.cycles_per_second
+            {
+                return;
+            }
+            last = format!(
+                "attempt {attempt}: emulation {:.0} vs TLM {:.0} vs RTL {:.0}",
+                emu.cycles_per_second, tlm.cycles_per_second, rtl.cycles_per_second
+            );
+        }
+        panic!("engine speed ordering violated after 3 attempts; {last}");
     }
 
     #[test]

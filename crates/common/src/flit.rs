@@ -102,7 +102,11 @@ impl Flit {
 
 impl fmt::Display for Flit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}.{}→{}]", self.kind, self.packet, self.seq, self.dst)
+        write!(
+            f,
+            "{}[{}.{}→{}]",
+            self.kind, self.packet, self.seq, self.dst
+        )
     }
 }
 
@@ -156,7 +160,10 @@ impl PacketDescriptor {
     /// configuration time.
     pub fn flits(&self) -> Flits {
         assert!(self.len_flits >= 1, "packet must contain at least one flit");
-        Flits { desc: *self, next: 0 }
+        Flits {
+            desc: *self,
+            next: 0,
+        }
     }
 }
 

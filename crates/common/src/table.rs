@@ -119,10 +119,10 @@ impl fmt::Display for TextTable {
                 match self.aligns[i] {
                     Align::Left => {
                         line.push_str(cell);
-                        line.extend(std::iter::repeat(' ').take(pad));
+                        line.extend(std::iter::repeat_n(' ', pad));
                     }
                     Align::Right => {
-                        line.extend(std::iter::repeat(' ').take(pad));
+                        line.extend(std::iter::repeat_n(' ', pad));
                         line.push_str(cell);
                     }
                 }

@@ -145,7 +145,11 @@ pub fn format_duration(seconds: f64) -> String {
     }
     let days = total / 86_400;
     let hours = (total % 86_400 + 1800) / 3600; // round to nearest hour
-    let (days, hours) = if hours == 24 { (days + 1, 0) } else { (days, hours) };
+    let (days, hours) = if hours == 24 {
+        (days + 1, 0)
+    } else {
+        (days, hours)
+    };
     let day_word = if days == 1 { "day" } else { "days" };
     format!("{days} {day_word} {hours}h")
 }

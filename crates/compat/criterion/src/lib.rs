@@ -1,0 +1,243 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! Criterion benches link against this minimal API-compatible subset.
+//! Statistics are deliberately simple: each benchmark runs a short
+//! warm-up iteration followed by a fixed sample loop and reports the
+//! mean wall-clock time per iteration. That is enough to compare the
+//! three engines and spot order-of-magnitude regressions; it makes no
+//! attempt at Criterion's outlier analysis or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    samples: u32,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples and
+    /// records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up run outside the measurement.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.samples.max(1);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Sets an (informational) measurement-time budget. Accepted for
+    /// API compatibility; this shim's loop count is fixed by
+    /// [`Self::sample_size`].
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Attaches a throughput annotation to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mean = run_one(self.sample_size, f);
+        report(&label, mean, self.throughput);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mean = run_one(self.sample_size, |b| f(b, input));
+        report(&label, mean, self.throughput);
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts CLI configuration; a no-op in this shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = id.to_string();
+        let mean = run_one(10, f);
+        report(&label, mean, None);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Final report hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(samples: u32, f: F) -> Duration {
+    let mut b = Bencher {
+        samples,
+        last_mean: Duration::ZERO,
+    };
+    f(&mut b);
+    b.last_mean
+}
+
+fn report(label: &str, mean: Duration, throughput: Option<Throughput>) {
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {label:<48} {mean:>12.2?}/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {label:<48} {mean:>12.2?}/iter  {rate:>14.0} B/s");
+        }
+        _ => println!("bench {label:<48} {mean:>12.2?}/iter"),
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

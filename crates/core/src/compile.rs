@@ -21,14 +21,14 @@ use nocem_stats::receptor::{StochasticReceptor, TraceReceptor};
 use nocem_stats::TrKind;
 use nocem_switch::config::SwitchConfigBuilder;
 use nocem_switch::switch::{Switch, CREDITS_INFINITE};
-use nocem_traffic::generator::TrafficGenerator;
-use nocem_traffic::ni::SourceNi;
-use nocem_traffic::stochastic::StochasticTg;
-use nocem_traffic::trace::TraceDrivenTg;
 use nocem_topology::analysis::{predict_link_loads, SplitModel};
 use nocem_topology::deadlock::check_deadlock_freedom;
 use nocem_topology::graph::LinkEnd;
 use nocem_topology::routing::RoutingTables;
+use nocem_traffic::generator::TrafficGenerator;
+use nocem_traffic::ni::SourceNi;
+use nocem_traffic::stochastic::StochasticTg;
+use nocem_traffic::trace::TraceDrivenTg;
 
 /// Destination of a switch output port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,9 +203,8 @@ pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
             TrafficModel::Poisson(_) | TrafficModel::Trace(_) => None,
         })
         .collect();
-    let predicted_loads = fixed_loads.map(|loads| {
-        predict_link_loads(topo, routing.flows(), &loads, SplitModel::PrimaryOnly)
-    });
+    let predicted_loads = fixed_loads
+        .map(|loads| predict_link_loads(topo, routing.flows(), &loads, SplitModel::PrimaryOnly));
 
     // Seeds derive from the platform seed; adding devices never
     // perturbs earlier streams.
@@ -230,8 +229,13 @@ pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
             })
             .collect();
         let lfsr_seed = (seeder.next() & 0xFFFF) as u16;
-        let sw = Switch::new(sw_config, routing.switch_table(s).to_vec(), credits, lfsr_seed)
-            .map_err(|source| CompileError::Switch { switch: s, source })?;
+        let sw = Switch::new(
+            sw_config,
+            routing.switch_table(s).to_vec(),
+            credits,
+            lfsr_seed,
+        )
+        .map_err(|source| CompileError::Switch { switch: s, source })?;
         switches.push(sw);
     }
 
@@ -342,10 +346,7 @@ pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
             (info.switch.index(), port, info.link)
         })
         .collect();
-    let ejection_link: Vec<LinkId> = receptors
-        .iter()
-        .map(|&r| topo.endpoint(r).link)
-        .collect();
+    let ejection_link: Vec<LinkId> = receptors.iter().map(|&r| topo.endpoint(r).link).collect();
 
     Ok(Elaboration {
         config: config.clone(),
@@ -406,7 +407,11 @@ mod tests {
         let loads = e.predicted_loads.as_ref().unwrap();
         let hot = PaperConfig::new().setup().hot_links;
         for h in hot {
-            assert!((loads[h.index()] - 0.90).abs() < 0.03, "{}", loads[h.index()]);
+            assert!(
+                (loads[h.index()] - 0.90).abs() < 0.03,
+                "{}",
+                loads[h.index()]
+            );
         }
         assert!(format!("{e:?}").contains("switches"));
     }

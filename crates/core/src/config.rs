@@ -11,12 +11,12 @@ use nocem_common::ids::EndpointId;
 use nocem_stats::TrKind;
 use nocem_switch::arbiter::ArbiterKind;
 use nocem_switch::config::SelectionPolicy;
-use nocem_traffic::generator::DestinationModel;
-use nocem_traffic::stochastic::{BurstConfig, PoissonConfig, UniformConfig};
-use nocem_traffic::trace::{synthesize_bursty, BurstyTraceSpec, Trace};
 use nocem_topology::builders::{paper_setup, PaperSetup, PAPER_OFFERED_LOAD};
 use nocem_topology::routing::{FlowPaths, FlowSpec, RouteAlgorithm};
 use nocem_topology::Topology;
+use nocem_traffic::generator::DestinationModel;
+use nocem_traffic::stochastic::{BurstConfig, PoissonConfig, UniformConfig};
+use nocem_traffic::trace::{synthesize_bursty, BurstyTraceSpec, Trace};
 
 /// Traffic model assigned to one generator endpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,13 +249,20 @@ impl PaperConfig {
         self
     }
 
-    fn base(&self, name: String, generators: Vec<TrafficModel>, receptors: Vec<TrKind>) -> PlatformConfig {
+    fn base(
+        &self,
+        name: String,
+        generators: Vec<TrafficModel>,
+        receptors: Vec<TrKind>,
+    ) -> PlatformConfig {
         let (routing, selection) = match self.routing {
             PaperRouting::Single => (
                 RoutingSpec::Explicit(self.setup.primary_paths.clone()),
                 SelectionPolicy::First,
             ),
-            PaperRouting::Dual { secondary_probability } => (
+            PaperRouting::Dual {
+                secondary_probability,
+            } => (
                 RoutingSpec::Explicit(self.setup.dual_paths.clone()),
                 SelectionPolicy::random(secondary_probability),
             ),
@@ -328,10 +335,7 @@ impl PaperConfig {
             })
             .collect();
         self.base(
-            format!(
-                "paper-burst{}-{}pkt",
-                packets_per_burst, self.total_packets
-            ),
+            format!("paper-burst{}-{}pkt", packets_per_burst, self.total_packets),
             generators,
             vec![TrKind::Stochastic; 4],
         )
@@ -418,9 +422,7 @@ mod tests {
 
     #[test]
     fn split_budget_distributes_remainder() {
-        let total: u64 = (0..4)
-            .map(|i| PlatformConfig::split_budget(10, 4, i))
-            .sum();
+        let total: u64 = (0..4).map(|i| PlatformConfig::split_budget(10, 4, i)).sum();
         assert_eq!(total, 10);
         assert_eq!(PlatformConfig::split_budget(10, 4, 0), 3);
         assert_eq!(PlatformConfig::split_budget(10, 4, 3), 2);
@@ -461,7 +463,10 @@ mod tests {
     #[test]
     fn paper_burst_and_poisson_models() {
         let b = PaperConfig::new().burst(8);
-        assert!(b.generators.iter().all(|g| matches!(g, TrafficModel::Burst(_))));
+        assert!(b
+            .generators
+            .iter()
+            .all(|g| matches!(g, TrafficModel::Burst(_))));
         let p = PaperConfig::new().poisson();
         assert!(p
             .generators

@@ -41,7 +41,10 @@ pub fn model_register_image(model: &TrafficModel) -> Vec<(u16, u32)> {
             LengthModel::Fixed(n) => (n, n),
             LengthModel::UniformRange { min, max } => (min, max),
         };
-        img.push((tgreg::REG_PACKET_LEN, (u32::from(max) << 16) | u32::from(min)));
+        img.push((
+            tgreg::REG_PACKET_LEN,
+            (u32::from(max) << 16) | u32::from(min),
+        ));
     };
     let push_budget = |img: &mut Vec<(u16, u32)>, budget: Option<u64>| {
         let b = budget.unwrap_or(BUDGET_UNBOUNDED);
@@ -53,7 +56,9 @@ pub fn model_register_image(model: &TrafficModel) -> Vec<(u16, u32)> {
             img.push((tgreg::REG_DST, dst.raw()));
             img.push((tgreg::REG_FLOW, flow.raw()));
         }
-        DestinationModel::UniformChoice(_) => {
+        DestinationModel::UniformChoice(_) | DestinationModel::Weighted(_) => {
+            // Distribution models live in the software shadow; the
+            // register file only knows "keep the elaborated model".
             img.push((tgreg::REG_DST, DST_KEEP));
         }
     };
@@ -69,15 +74,24 @@ pub fn model_register_image(model: &TrafficModel) -> Vec<(u16, u32)> {
         TrafficModel::Burst(b) => {
             img.push((tgreg::REG_MODEL, tgreg::ModelCode::Burst as u32));
             push_len(&mut img, &b.length);
-            img.push((tgreg::REG_START_PROB, tgreg::prob_to_q16(b.start_probability)));
-            img.push((tgreg::REG_CONT_PROB, tgreg::prob_to_q16(b.continue_probability)));
+            img.push((
+                tgreg::REG_START_PROB,
+                tgreg::prob_to_q16(b.start_probability),
+            ));
+            img.push((
+                tgreg::REG_CONT_PROB,
+                tgreg::prob_to_q16(b.continue_probability),
+            ));
             push_budget(&mut img, b.budget);
             push_dst(&mut img, &b.destination);
         }
         TrafficModel::Poisson(p) => {
             img.push((tgreg::REG_MODEL, tgreg::ModelCode::Poisson as u32));
             push_len(&mut img, &p.length);
-            img.push((tgreg::REG_START_PROB, tgreg::prob_to_q16(p.start_probability)));
+            img.push((
+                tgreg::REG_START_PROB,
+                tgreg::prob_to_q16(p.start_probability),
+            ));
             push_budget(&mut img, p.budget);
             push_dst(&mut img, &p.destination);
         }
@@ -133,7 +147,9 @@ impl TgShadow {
     }
 
     fn budget(&self) -> Option<u64> {
-        let b = self.regs.get_u64(tgreg::REG_BUDGET_LO, tgreg::REG_BUDGET_HI);
+        let b = self
+            .regs
+            .get_u64(tgreg::REG_BUDGET_LO, tgreg::REG_BUDGET_HI);
         (b != BUDGET_UNBOUNDED).then_some(b)
     }
 
@@ -202,7 +218,9 @@ impl TgShadow {
             })),
             tgreg::ModelCode::Trace => match original {
                 TrafficModel::Trace(t) => Ok(TrafficModel::Trace(t.clone())),
-                _ => Err(fault("trace model selected but no trace was compiled in".into())),
+                _ => Err(fault(
+                    "trace model selected but no trace was compiled in".into(),
+                )),
             },
         }
     }
@@ -239,9 +257,7 @@ pub(crate) fn tg_read(e: &mut Emulation, i: usize, addr: Address) -> Result<u32,
     let c = *ni.counters();
     let tg = &elab.tgs[i];
     let value = match reg {
-        tgreg::REG_STATUS => {
-            u32::from(tg.is_exhausted()) | (u32::from(ni.is_idle()) << 1)
-        }
+        tgreg::REG_STATUS => u32::from(tg.is_exhausted()) | (u32::from(ni.is_idle()) << 1),
         tgreg::REG_SENT_LO => c.accepted_packets as u32,
         tgreg::REG_SENT_HI => (c.accepted_packets >> 32) as u32,
         tgreg::REG_FLITS_LO => c.injected_flits as u32,
@@ -636,7 +652,9 @@ mod tests {
             destination: fixed_dst(),
         });
         let mut shadow = TgShadow::from_model(&model);
-        shadow.regs.set(tgreg::REG_MODEL, tgreg::ModelCode::Trace as u32);
+        shadow
+            .regs
+            .set(tgreg::REG_MODEL, tgreg::ModelCode::Trace as u32);
         let err = shadow.to_model(&model).unwrap_err();
         assert!(err.to_string().contains("no trace"));
     }

@@ -207,12 +207,12 @@ impl Emulation {
                 }
                 match self.elab.wiring.out_target[s][t.output.index()] {
                     OutTarget::Switch { switch, port } => {
-                        self.elab.switches[switch].accept(port, t.flit).map_err(
-                            |source| EmulationError::FifoOverflow {
+                        self.elab.switches[switch]
+                            .accept(port, t.flit)
+                            .map_err(|source| EmulationError::FifoOverflow {
                                 switch: SwitchId::new(switch as u32),
                                 source,
-                            },
-                        )?;
+                            })?;
                     }
                     OutTarget::Receptor { index } => {
                         self.deliver(index, t.flit, now)?;
@@ -240,16 +240,18 @@ impl Emulation {
     ) -> Result<(), EmulationError> {
         let completed: Option<CompletedPacket> = match &mut self.elab.receptors[index] {
             ReceptorDevice::Stochastic(r) => {
-                r.accept(&flit, now).map_err(|source| EmulationError::Receive {
-                    receptor: r.id(),
-                    source,
-                })?
+                r.accept(&flit, now)
+                    .map_err(|source| EmulationError::Receive {
+                        receptor: r.id(),
+                        source,
+                    })?
             }
             ReceptorDevice::Trace(r) => {
-                r.accept(&flit, now).map_err(|source| EmulationError::Receive {
-                    receptor: r.id(),
-                    source,
-                })?
+                r.accept(&flit, now)
+                    .map_err(|source| EmulationError::Receive {
+                        receptor: r.id(),
+                        source,
+                    })?
             }
         };
         if let Some(pkt) = completed {
@@ -305,7 +307,7 @@ impl Emulation {
         self.control.set_running(true);
         while !self.finished() {
             self.step()?;
-            if self.now.raw() % interval == 0 {
+            if self.now.raw().is_multiple_of(interval) {
                 progress(self.now, self.ledger.delivered());
             }
         }
@@ -326,10 +328,7 @@ impl Emulation {
     pub fn run_programmed(&mut self) -> Result<(), EmulationError> {
         if !self.control.start_requested() {
             return Err(EmulationError::Bus(BusError::InvalidValue {
-                addr: self
-                    .elab
-                    .map
-                    .devices()[0]
+                addr: self.elab.map.devices()[0]
                     .addr
                     .reg(nocem_platform::control::REG_CTRL),
                 reason: "start bit not set".into(),
@@ -507,7 +506,9 @@ mod accessors {
 /// # Errors
 ///
 /// Propagates [`crate::error::CompileError`].
-pub fn build(config: &crate::config::PlatformConfig) -> Result<Emulation, crate::error::CompileError> {
+pub fn build(
+    config: &crate::config::PlatformConfig,
+) -> Result<Emulation, crate::error::CompileError> {
     Ok(Emulation::new(crate::compile::elaborate(config)?))
 }
 

@@ -49,7 +49,10 @@ impl std::fmt::Display for FlowError {
         match self {
             FlowError::Compile(e) => write!(f, "compilation failed: {e}"),
             FlowError::Emulation(e) => write!(f, "emulation failed: {e}"),
-            FlowError::DoesNotFit { required, available } => write!(
+            FlowError::DoesNotFit {
+                required,
+                available,
+            } => write!(
                 f,
                 "platform needs {required} slices but the target offers {available}"
             ),
@@ -109,10 +112,18 @@ pub fn synthesize(elab: &Elaboration, target: FpgaDevice) -> SynthesisReport {
         .count() as u64;
     let trace_tg = elab.config.generators.len() as u64 - stoch_tg;
     if stoch_tg > 0 {
-        report.add("TG stochastic", stoch_tg, tg_stochastic(StochasticTgParams::default()));
+        report.add(
+            "TG stochastic",
+            stoch_tg,
+            tg_stochastic(StochasticTgParams::default()),
+        );
     }
     if trace_tg > 0 {
-        report.add("TG trace driven", trace_tg, tg_trace_driven(TraceTgParams::default()));
+        report.add(
+            "TG trace driven",
+            trace_tg,
+            tg_trace_driven(TraceTgParams::default()),
+        );
     }
     let stoch_tr = elab
         .config
@@ -122,10 +133,18 @@ pub fn synthesize(elab: &Elaboration, target: FpgaDevice) -> SynthesisReport {
         .count() as u64;
     let trace_tr = elab.config.receptors.len() as u64 - stoch_tr;
     if stoch_tr > 0 {
-        report.add("TR stochastic", stoch_tr, tr_stochastic(StochasticTrParams::default()));
+        report.add(
+            "TR stochastic",
+            stoch_tr,
+            tr_stochastic(StochasticTrParams::default()),
+        );
     }
     if trace_tr > 0 {
-        report.add("TR trace driven", trace_tr, tr_trace_driven(TraceTrParams::default()));
+        report.add(
+            "TR trace driven",
+            trace_tr,
+            tr_trace_driven(TraceTrParams::default()),
+        );
     }
     report.add("Control module", 1, control_module());
     for s in elab.config.topology.switch_ids() {
@@ -231,10 +250,7 @@ pub fn driver_inventory(config: &PlatformConfig) -> Vec<(String, usize)> {
         ("stochastic TG drivers".into(), stoch),
         ("trace TG drivers".into(), trace),
         ("TR drivers".into(), config.receptors.len()),
-        (
-            "switch drivers".into(),
-            config.topology.switch_count(),
-        ),
+        ("switch drivers".into(), config.topology.switch_count()),
     ]
 }
 

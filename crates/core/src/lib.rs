@@ -61,4 +61,4 @@ pub use engine::{build, Emulation};
 pub use error::{CompileError, EmulationError};
 pub use flow::{run_flow, run_flow_on, FlowReport};
 pub use results::EmulationResults;
-pub use sweep::{run_sweep, SweepPoint};
+pub use sweep::{run_sweep, run_sweep_with, SweepPoint};

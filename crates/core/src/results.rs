@@ -82,9 +82,7 @@ impl EmulationResults {
                             r.interarrival_histogram().clone(),
                         )),
                     ),
-                    ReceptorDevice::Trace(r) => {
-                        (*r.counters(), r.network_latency().mean(), None)
-                    }
+                    ReceptorDevice::Trace(r) => (*r.counters(), r.network_latency().mean(), None),
                 };
                 let (length_histogram, interarrival_histogram) = match hists {
                     Some((l, a)) => (Some(l), Some(a)),
@@ -149,7 +147,10 @@ impl EmulationResults {
         overview.row(vec!["cycles".into(), self.cycles.to_string()]);
         overview.row(vec!["packets released".into(), self.released.to_string()]);
         overview.row(vec!["packets delivered".into(), self.delivered.to_string()]);
-        overview.row(vec!["TG stall cycles".into(), self.stalled_cycles.to_string()]);
+        overview.row(vec![
+            "TG stall cycles".into(),
+            self.stalled_cycles.to_string(),
+        ]);
         overview.row(vec![
             "throughput (flits/cycle)".into(),
             format!("{:.3}", self.throughput()),
@@ -263,10 +264,10 @@ mod tests {
         emu.run().unwrap();
         let r = emu.results();
         assert!(r.receptors.iter().all(|t| t.length_histogram.is_some()));
-        assert!(r
-            .receptors
-            .iter()
-            .all(|t| t.interarrival_histogram.as_ref().is_some_and(|h| h.count() > 0)));
+        assert!(r.receptors.iter().all(|t| t
+            .interarrival_histogram
+            .as_ref()
+            .is_some_and(|h| h.count() > 0)));
         let report = r.render_report();
         assert!(report.contains("inter-arrival histogram"));
         assert!(report.contains('#'), "histogram bars rendered");

@@ -37,17 +37,63 @@ impl SweepPoint {
 /// # Errors
 ///
 /// Returns the error of the first failing point (by input order).
+///
+/// # Panics
+///
+/// Re-raises the panic of the first panicking point (by input order);
+/// a failure — `Err` or panic — at an earlier input index always wins
+/// over a later one, regardless of thread scheduling.
 pub fn run_sweep(
     points: &[SweepPoint],
     threads: usize,
 ) -> Result<Vec<(String, EmulationResults)>, EmulationError> {
+    run_sweep_with(points, threads, run_point)
+}
+
+/// Generalized sweep runner: applies `run` to every point across up to
+/// `threads` workers and returns `(label, outcome)` in input order.
+///
+/// This is the engine under [`run_sweep`]; the scenario-matrix runner
+/// and the benchmark harness use it directly to thread custom
+/// per-point evaluation (different engines, derived statistics)
+/// through the same scheduling, ordering and failure semantics.
+///
+/// Worker panics are caught per point and re-raised after all workers
+/// drain, so one panicking point can neither poison the slot mutex nor
+/// silently discard the outcomes of its worker's other points.
+///
+/// # Errors
+///
+/// Returns the error of the first failing point by *input* order, even
+/// when a later point fails first in wall-clock time.
+///
+/// # Panics
+///
+/// Re-raises the panic of the first panicking point (by input order).
+/// When an earlier point returned `Err`, the `Err` wins and the later
+/// panic payload is dropped.
+pub fn run_sweep_with<T, E, F>(
+    points: &[SweepPoint],
+    threads: usize,
+    run: F,
+) -> Result<Vec<(String, T)>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(&SweepPoint) -> Result<T, E> + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 || points.len() <= 1 {
-        return points.iter().map(run_point).collect();
+        // Inline path: panics and errors already surface in input
+        // order because evaluation is sequential.
+        return points
+            .iter()
+            .map(|p| run(p).map(|t| (p.label.clone(), t)))
+            .collect();
     }
 
-    let mut slots: Vec<Option<Result<(String, EmulationResults), EmulationError>>> =
-        (0..points.len()).map(|_| None).collect();
+    type Slot<T, E> = Option<Result<Result<T, E>, Box<dyn std::any::Any + Send>>>;
+    let mut slots: Vec<Slot<T, E>> = (0..points.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots_mutex = std::sync::Mutex::new(&mut slots);
 
@@ -58,20 +104,26 @@ pub fn run_sweep(
                 if i >= points.len() {
                     break;
                 }
-                let outcome = run_point(&points[i]);
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&points[i])));
                 let mut guard = slots_mutex.lock().expect("no panics while holding lock");
                 guard[i] = Some(outcome);
             });
         }
     });
 
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled by a worker"))
-        .collect()
+    let mut out = Vec::with_capacity(points.len());
+    for (slot, point) in slots.into_iter().zip(points) {
+        match slot.expect("every slot filled by a worker") {
+            Ok(Ok(t)) => out.push((point.label.clone(), t)),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    Ok(out)
 }
 
-fn run_point(point: &SweepPoint) -> Result<(String, EmulationResults), EmulationError> {
+fn run_point(point: &SweepPoint) -> Result<EmulationResults, EmulationError> {
     let mut emu = build(&point.config).map_err(|e| {
         // A compile failure inside a sweep is a configuration bug of
         // the harness; surface it through the ledger-style error so
@@ -86,7 +138,7 @@ fn run_point(point: &SweepPoint) -> Result<(String, EmulationResults), Emulation
         })
     })?;
     emu.run()?;
-    Ok((point.label.clone(), emu.results()))
+    Ok(emu.results())
 }
 
 #[cfg(test)]
@@ -132,5 +184,75 @@ mod tests {
         let mut bad = points(1);
         bad[0].config.stop.cycle_limit = 10; // cannot finish in 10 cycles
         assert!(run_sweep(&bad, 1).is_err());
+    }
+
+    #[test]
+    fn generalized_sweep_threads_custom_outcomes() {
+        let out =
+            run_sweep_with::<_, EmulationError, _>(&points(4), 4, |p| Ok(p.label.len())).unwrap();
+        let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["p0", "p1", "p2", "p3"]);
+        assert!(out.iter().all(|&(_, n)| n == 2));
+    }
+
+    #[test]
+    fn worker_panic_propagates_under_threads() {
+        // Regression: a panicking point used to kill its worker,
+        // leaving unfilled slots whose `expect` masked the real panic.
+        let result = std::panic::catch_unwind(|| {
+            run_sweep_with::<(), EmulationError, _>(&points(6), 3, |p| {
+                if p.label == "p2" {
+                    panic!("scenario exploded");
+                }
+                Ok(())
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("scenario exploded"), "payload: {msg}");
+    }
+
+    #[test]
+    fn first_failure_by_input_order_under_threads() {
+        // Point 0 fails slowly, point 3 fails instantly; with several
+        // workers, point 3's error lands first in wall-clock time but
+        // point 0's must still be the one reported.
+        for _ in 0..8 {
+            let err = run_sweep_with::<(), String, _>(&points(4), 4, |p| {
+                if p.label == "p0" {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    Err("early point".to_owned())
+                } else if p.label == "p3" {
+                    Err("late point".to_owned())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "early point");
+        }
+    }
+
+    #[test]
+    fn earlier_error_wins_over_later_panic() {
+        let outcome = std::panic::catch_unwind(|| {
+            run_sweep_with::<(), String, _>(&points(3), 3, |p| {
+                if p.label == "p0" {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    Err("input-order first".to_owned())
+                } else if p.label == "p2" {
+                    panic!("later panic");
+                } else {
+                    Ok(())
+                }
+            })
+        })
+        .expect("the earlier Err must win, not the panic");
+        assert_eq!(outcome.unwrap_err(), "input-order first");
     }
 }

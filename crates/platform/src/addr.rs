@@ -70,7 +70,11 @@ pub struct DecodeAddressError {
 
 impl std::fmt::Display for DecodeAddressError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cannot decode address {:#010x}: {}", self.raw, self.reason)
+        write!(
+            f,
+            "cannot decode address {:#010x}: {}",
+            self.raw, self.reason
+        )
     }
 }
 
@@ -90,9 +94,7 @@ impl Address {
             "device {device} out of range"
         );
         Address(
-            (u32::from(bus.raw()) << 30)
-                | (u32::from(device.raw()) << 20)
-                | (u32::from(reg) << 2),
+            (u32::from(bus.raw()) << 30) | (u32::from(device.raw()) << 20) | (u32::from(reg) << 2),
         )
     }
 

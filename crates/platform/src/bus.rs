@@ -46,7 +46,10 @@ impl std::fmt::Display for BusError {
         match self {
             BusError::Unmapped(a) => write!(f, "no device mapped at {a}"),
             BusError::RegisterOutOfRange { addr, regs } => {
-                write!(f, "register {addr} out of range (device has {regs} registers)")
+                write!(
+                    f,
+                    "register {addr} out of range (device has {regs} registers)"
+                )
             }
             BusError::ReadOnly(a) => write!(f, "register {a} is read-only"),
             BusError::WriteOnly(a) => write!(f, "register {a} is write-only"),
@@ -263,7 +266,10 @@ mod tests {
         for i in 0..capacity {
             map.allocate(DeviceClass::Switch, format!("d{i}")).unwrap();
         }
-        assert_eq!(map.allocate(DeviceClass::Switch, "extra"), Err(MapFullError));
+        assert_eq!(
+            map.allocate(DeviceClass::Switch, "extra"),
+            Err(MapFullError)
+        );
         assert!(MapFullError.to_string().contains("4 buses"));
     }
 

@@ -113,7 +113,8 @@ impl ControlModule {
     /// Hardware side: mark the run finished.
     pub fn set_done(&mut self) {
         let s = self.regs.get(REG_STATUS);
-        self.regs.set(REG_STATUS, (s & !STATUS_RUNNING) | STATUS_DONE);
+        self.regs
+            .set(REG_STATUS, (s & !STATUS_RUNNING) | STATUS_DONE);
     }
 
     /// Whether STATUS has the done bit.
@@ -128,7 +129,8 @@ impl ControlModule {
 
     /// Hardware side: update the delivered-packet counter.
     pub fn set_delivered(&mut self, packets: u64) {
-        self.regs.set_u64(REG_DELIVERED_LO, REG_DELIVERED_HI, packets);
+        self.regs
+            .set_u64(REG_DELIVERED_LO, REG_DELIVERED_HI, packets);
     }
 
     /// Configured delivered-packet target (0 = none).
@@ -191,11 +193,7 @@ impl ControlDriver {
             self.base.reg(REG_LIMIT_HI),
             cycle_limit,
         )?;
-        bus.write_u64(
-            self.base.reg(REG_SEED_LO),
-            self.base.reg(REG_SEED_HI),
-            seed,
-        )
+        bus.write_u64(self.base.reg(REG_SEED_LO), self.base.reg(REG_SEED_HI), seed)
     }
 
     /// Sets the start bit.
@@ -222,10 +220,7 @@ impl ControlDriver {
     ///
     /// Propagates [`BusError`] from the bus.
     pub fn cycles<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
-        bus.read_u64(
-            self.base.reg(REG_CYCLES_LO),
-            self.base.reg(REG_CYCLES_HI),
-        )
+        bus.read_u64(self.base.reg(REG_CYCLES_LO), self.base.reg(REG_CYCLES_HI))
     }
 
     /// Reads the delivered-packet counter.

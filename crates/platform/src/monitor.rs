@@ -54,7 +54,11 @@ impl Monitor {
     pub fn device_inventory(&mut self, map: &AddressMap) -> &mut Self {
         let mut t = TextTable::with_columns(&["address", "class", "label"]);
         for d in map.devices() {
-            t.row(vec![d.addr.to_string(), d.class.to_string(), d.label.clone()]);
+            t.row(vec![
+                d.addr.to_string(),
+                d.class.to_string(),
+                d.label.clone(),
+            ]);
         }
         self.table("Device inventory", &t)
     }

@@ -199,11 +199,7 @@ impl Kernel {
 
     /// Registers a process activated whenever any signal in `sens`
     /// changes (combinational logic or monitors).
-    pub fn reactive_process(
-        &mut self,
-        sens: &[SignalId],
-        p: impl Process + 'static,
-    ) -> ProcessId {
+    pub fn reactive_process(&mut self, sens: &[SignalId], p: impl Process + 'static) -> ProcessId {
         self.processes.push(Box::new(p));
         let id = (self.processes.len() - 1) as u32;
         for s in sens {
@@ -364,7 +360,13 @@ impl std::fmt::Debug for Kernel {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -430,11 +432,19 @@ mod tests {
         let q = k.signal("q");
         let not_q = k.signal("not_q");
         k.reactive_process(&[q], move |ctx: &mut ProcessCtx<'_>| {
-            let v = if ctx.read(q).is_high() { Value::Low } else { Value::High };
+            let v = if ctx.read(q).is_high() {
+                Value::Low
+            } else {
+                Value::High
+            };
             ctx.write(not_q, v);
         });
         k.clocked_process(move |ctx: &mut ProcessCtx<'_>| {
-            let v = if ctx.read(q).is_high() { Value::Low } else { Value::High };
+            let v = if ctx.read(q).is_high() {
+                Value::Low
+            } else {
+                Value::High
+            };
             ctx.write(q, v);
         });
         k.cycle().unwrap();
@@ -453,13 +463,21 @@ mod tests {
         for i in 0..2 {
             let (src, dst) = (w[i], w[i + 1]);
             k.reactive_process(&[src], move |ctx: &mut ProcessCtx<'_>| {
-                let v = if ctx.read(src).is_high() { Value::Low } else { Value::High };
+                let v = if ctx.read(src).is_high() {
+                    Value::Low
+                } else {
+                    Value::High
+                };
                 ctx.write(dst, v);
             });
         }
         let w0 = w[0];
         k.clocked_process(move |ctx: &mut ProcessCtx<'_>| {
-            let v = if ctx.read(w0).is_high() { Value::Low } else { Value::High };
+            let v = if ctx.read(w0).is_high() {
+                Value::Low
+            } else {
+                Value::High
+            };
             ctx.write(w0, v);
         });
         k.cycle().unwrap();
@@ -475,7 +493,11 @@ mod tests {
         let mut k = Kernel::new();
         let q = k.signal("q");
         k.reactive_process(&[q], move |ctx: &mut ProcessCtx<'_>| {
-            let v = if ctx.read(q).is_high() { Value::Low } else { Value::High };
+            let v = if ctx.read(q).is_high() {
+                Value::Low
+            } else {
+                Value::High
+            };
             ctx.write(q, v);
         });
         // Kick the loop from a clocked process.

@@ -50,17 +50,19 @@ impl SharedState {
     fn deliver(&mut self, index: usize, flit: nocem_common::flit::Flit, now: Cycle) {
         let outcome: Result<Option<CompletedPacket>, EmulationError> =
             match &mut self.receptors[index] {
-                ReceptorDevice::Stochastic(r) => r
-                    .accept(&flit, now)
-                    .map_err(|source| EmulationError::Receive {
-                        receptor: r.id(),
-                        source,
-                    }),
+                ReceptorDevice::Stochastic(r) => {
+                    r.accept(&flit, now)
+                        .map_err(|source| EmulationError::Receive {
+                            receptor: r.id(),
+                            source,
+                        })
+                }
                 ReceptorDevice::Trace(r) => {
-                    r.accept(&flit, now).map_err(|source| EmulationError::Receive {
-                        receptor: r.id(),
-                        source,
-                    })
+                    r.accept(&flit, now)
+                        .map_err(|source| EmulationError::Receive {
+                            receptor: r.id(),
+                            source,
+                        })
                 }
             };
         match outcome {
@@ -207,9 +209,8 @@ impl RtlEngine {
                         }
                     }
                 }
-                sh.ni_done[i] = sh.tgs[i].is_exhausted()
-                    && sh.pending[i].is_none()
-                    && sh.nis[i].is_idle();
+                sh.ni_done[i] =
+                    sh.tgs[i].is_exhausted() && sh.pending[i].is_none() && sh.nis[i].is_idle();
                 ctx.write(out_wire, Value::Flit(flit));
             });
         }
@@ -229,8 +230,7 @@ impl RtlEngine {
                         .index()
                 })
                 .collect();
-            let out_wires: Vec<SignalId> =
-                out_links.iter().map(|&l| flit_wires[l]).collect();
+            let out_wires: Vec<SignalId> = out_links.iter().map(|&l| flit_wires[l]).collect();
             let out_credit_wires: Vec<SignalId> =
                 out_links.iter().map(|&l| credit_wires[l]).collect();
             let sh = Rc::clone(&shared);
@@ -240,9 +240,7 @@ impl RtlEngine {
                 // Sample arriving flits (sent last cycle).
                 for (p, w) in in_wires.iter().enumerate() {
                     if let Some(f) = ctx.read(*w).flit() {
-                        if let Err(source) =
-                            sw.accept(nocem_common::ids::PortId::new(p as u8), f)
-                        {
+                        if let Err(source) = sw.accept(nocem_common::ids::PortId::new(p as u8), f) {
                             sh.error.get_or_insert(EmulationError::FifoOverflow {
                                 switch: SwitchId::new(s as u32),
                                 source,
@@ -310,16 +308,16 @@ impl RtlEngine {
     /// the cycle limit.
     pub fn run(&mut self) -> Result<(), EmulationError> {
         while !self.finished() {
-            self.kernel
-                .cycle()
-                .map_err(|e| EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
+            self.kernel.cycle().map_err(|e| {
+                EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
                     addr: nocem_platform::addr::Address::from_parts(
                         nocem_common::ids::BusId::new(0),
                         nocem_common::ids::DeviceId::new(0),
                         0,
                     ),
                     reason: e.to_string(),
-                }))?;
+                })
+            })?;
             if let Some(e) = self.shared.borrow().error.clone() {
                 return Err(e);
             }
@@ -395,8 +393,8 @@ impl RtlEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nocem::config::PaperConfig;
     use nocem::compile::elaborate;
+    use nocem::config::PaperConfig;
 
     fn rtl_run(packets: u64) -> RtlSummary {
         let cfg = PaperConfig::new().total_packets(packets).uniform();
@@ -411,7 +409,10 @@ mod tests {
         assert_eq!(s.delivered, 150);
         assert!(s.cycles > 0);
         assert!(s.kernel.signal_events > 0);
-        assert!(s.kernel.activations > s.cycles, "many activations per cycle");
+        assert!(
+            s.kernel.activations > s.cycles,
+            "many activations per cycle"
+        );
     }
 
     #[test]
@@ -436,7 +437,10 @@ mod tests {
             emu.ledger().total_latency().sum(),
             "identical per-packet total latencies"
         );
-        assert_eq!(s.network_latency.max(), emu.ledger().network_latency().max());
+        assert_eq!(
+            s.network_latency.max(),
+            emu.ledger().network_latency().max()
+        );
     }
 
     #[test]

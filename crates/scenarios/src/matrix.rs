@@ -1,0 +1,371 @@
+//! The scenario-matrix runner.
+//!
+//! [`MatrixSpec`] names a set of registry scenarios, topologies and
+//! loads; [`MatrixSpec::expand`] produces one labelled
+//! `nocem::SweepPoint` per *applicable* combination (inapplicable
+//! ones — transpose on a ring, bit patterns on 9 switches — are
+//! collected as skips, not errors), and [`MatrixSpec::run`] pushes
+//! the points through the parallel sweep runner of `nocem-core` and
+//! aggregates everything into typed rows plus one CSV document.
+//!
+//! Every point's platform seed derives from its scenario label
+//! ([`crate::scenario_seed`]), so a matrix run is deterministic
+//! regardless of worker count or scheduling.
+
+use crate::registry::ScenarioRegistry;
+use crate::scenario::TopologySpec;
+use crate::ScenarioError;
+use nocem::error::EmulationError;
+use nocem::results::EmulationResults;
+use nocem::sweep::{run_sweep, SweepPoint};
+use nocem_common::csv::CsvWriter;
+
+/// A `scenarios × topologies × loads` experiment matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixSpec {
+    /// Registry names of the scenarios to run.
+    pub scenarios: Vec<String>,
+    /// Topologies to instantiate each scenario on.
+    pub topologies: Vec<TopologySpec>,
+    /// Offered loads (per-TG fraction of link bandwidth).
+    pub loads: Vec<f64>,
+    /// Packet length in flits.
+    pub packet_flits: u16,
+    /// Packet budget of every matrix point.
+    pub packets_per_point: u64,
+}
+
+/// One combination the matrix skipped, with the reason.
+#[derive(Debug, Clone)]
+pub struct SkippedPoint {
+    /// The label the point would have had.
+    pub label: String,
+    /// Why it cannot run.
+    pub reason: ScenarioError,
+}
+
+/// One executed matrix point.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Topology name.
+    pub topology: String,
+    /// Offered load.
+    pub load: f64,
+    /// Full label (`scenario@topology@load`).
+    pub label: String,
+    /// The emulation results of the point.
+    pub results: EmulationResults,
+}
+
+/// All outcomes of one matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixOutcome {
+    /// Executed points, in expansion order.
+    pub rows: Vec<MatrixRow>,
+    /// Combinations that were skipped as inapplicable.
+    pub skipped: Vec<SkippedPoint>,
+}
+
+/// Matrix failure: either expansion failed outright (unknown scenario
+/// name) or a point failed to emulate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// A scenario name did not resolve or a config failed to build
+    /// for a reason other than pattern applicability.
+    Scenario(ScenarioError),
+    /// A point compiled but failed during emulation.
+    Emulation(EmulationError),
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::Scenario(e) => write!(f, "matrix expansion failed: {e}"),
+            MatrixError::Emulation(e) => write!(f, "matrix point failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<ScenarioError> for MatrixError {
+    fn from(e: ScenarioError) -> Self {
+        MatrixError::Scenario(e)
+    }
+}
+
+impl From<EmulationError> for MatrixError {
+    fn from(e: EmulationError) -> Self {
+        MatrixError::Emulation(e)
+    }
+}
+
+impl MatrixSpec {
+    /// Number of raw combinations before applicability filtering.
+    pub fn combinations(&self) -> usize {
+        self.scenarios.len() * self.topologies.len() * self.loads.len()
+    }
+
+    /// Expands the matrix into labelled sweep points.
+    ///
+    /// Inapplicable combinations land in the second return value;
+    /// unknown scenario names are hard errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownScenario`] if a scenario name
+    /// is not in `registry`.
+    pub fn expand(
+        &self,
+        registry: &ScenarioRegistry,
+    ) -> Result<(Vec<SweepPoint>, Vec<SkippedPoint>), ScenarioError> {
+        let (meta, points, skipped) = self.expand_with_meta(registry)?;
+        drop(meta);
+        Ok((points, skipped))
+    }
+
+    /// Expansion that also returns `(scenario, topology, load)` per
+    /// point, parallel to the points, so [`Self::run`] never has to
+    /// re-parse labels (which would be lossy for loads and for
+    /// scenario names containing `@`).
+    #[allow(clippy::type_complexity)]
+    fn expand_with_meta(
+        &self,
+        registry: &ScenarioRegistry,
+    ) -> Result<
+        (
+            Vec<(String, String, f64)>,
+            Vec<SweepPoint>,
+            Vec<SkippedPoint>,
+        ),
+        ScenarioError,
+    > {
+        let mut meta = Vec::new();
+        let mut points = Vec::new();
+        let mut skipped = Vec::new();
+        for name in &self.scenarios {
+            let scenario = registry.resolve(name)?;
+            for &topology in &self.topologies {
+                for &load in &self.loads {
+                    let label = format!("{name}@{}@{load}", topology.name());
+                    match scenario.build_config(
+                        topology,
+                        load,
+                        self.packet_flits,
+                        self.packets_per_point,
+                    ) {
+                        Ok(config) => {
+                            meta.push((name.clone(), topology.name(), load));
+                            points.push(SweepPoint::new(label, config));
+                        }
+                        // A pattern that doesn't fit the topology, a
+                        // core graph with too few switches, or a
+                        // budget too small for the point is an
+                        // expected hole in the matrix, not a failure.
+                        Err(
+                            reason @ (ScenarioError::NotApplicable { .. }
+                            | ScenarioError::Mapping { .. }
+                            | ScenarioError::BudgetTooSmall { .. }),
+                        ) => {
+                            skipped.push(SkippedPoint { label, reason });
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+            }
+        }
+        Ok((meta, points, skipped))
+    }
+
+    /// Expands and runs the matrix over up to `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError`] on expansion failure or the first
+    /// failing point (by expansion order).
+    pub fn run(
+        &self,
+        registry: &ScenarioRegistry,
+        threads: usize,
+    ) -> Result<MatrixOutcome, MatrixError> {
+        let (meta, points, skipped) = self.expand_with_meta(registry)?;
+        let outcomes = run_sweep(&points, threads)?;
+        // `run_sweep` returns outcomes in input order, so they zip
+        // positionally with the expansion metadata.
+        let rows = outcomes
+            .into_iter()
+            .zip(meta)
+            .map(|((label, results), (scenario, topology, load))| MatrixRow {
+                scenario,
+                topology,
+                load,
+                label,
+                results,
+            })
+            .collect();
+        Ok(MatrixOutcome { rows, skipped })
+    }
+}
+
+impl MatrixOutcome {
+    /// Renders the aggregated CSV document: one record per executed
+    /// point plus a trailing comment per skipped combination.
+    pub fn to_csv(&self) -> String {
+        let mut csv = CsvWriter::new(&[
+            "scenario",
+            "topology",
+            "load",
+            "packets",
+            "cycles",
+            "throughput_flits_per_cycle",
+            "mean_network_latency",
+            "mean_total_latency",
+            "stalled_cycles",
+        ]);
+        csv.comment("nocem scenario matrix: one record per (scenario, topology, load) point");
+        for row in &self.rows {
+            let r = &row.results;
+            csv.record_display(&[
+                &row.scenario,
+                &row.topology,
+                &row.load,
+                &r.delivered,
+                &r.cycles,
+                &format_args!("{:.4}", r.throughput()),
+                &format_args!("{:.2}", r.network_latency.mean().unwrap_or(0.0)),
+                &format_args!("{:.2}", r.total_latency.mean().unwrap_or(0.0)),
+                &r.stalled_cycles,
+            ]);
+        }
+        for s in &self.skipped {
+            csv.comment(&format!("skipped {}: {}", s.label, s.reason));
+        }
+        csv.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocem_common::csv::CsvDocument;
+
+    fn small_spec() -> MatrixSpec {
+        MatrixSpec {
+            scenarios: vec!["tornado".into(), "transpose".into()],
+            topologies: vec![
+                TopologySpec::Mesh {
+                    width: 2,
+                    height: 2,
+                },
+                TopologySpec::Ring { switches: 4 },
+            ],
+            loads: vec![0.10],
+            packet_flits: 2,
+            packets_per_point: 40,
+        }
+    }
+
+    #[test]
+    fn expansion_partitions_points_and_skips() {
+        let reg = ScenarioRegistry::builtin();
+        let spec = small_spec();
+        assert_eq!(spec.combinations(), 4);
+        let (points, skipped) = spec.expand(&reg).unwrap();
+        // transpose@ring4 is inapplicable; the other three run.
+        assert_eq!(points.len(), 3);
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].label.starts_with("transpose@ring4"));
+    }
+
+    #[test]
+    fn unmappable_core_graph_is_skipped_not_fatal() {
+        let reg = ScenarioRegistry::builtin();
+        let spec = MatrixSpec {
+            scenarios: vec!["vopd".into()],
+            topologies: vec![
+                TopologySpec::Ring { switches: 4 }, // 4 switches < 16 cores
+                TopologySpec::Mesh {
+                    width: 4,
+                    height: 4,
+                },
+            ],
+            loads: vec![0.10],
+            packet_flits: 2,
+            packets_per_point: 64,
+        };
+        let (points, skipped) = spec.expand(&reg).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].label.starts_with("vopd@ring4"));
+    }
+
+    #[test]
+    fn too_small_budget_is_skipped_not_fatal() {
+        let reg = ScenarioRegistry::builtin();
+        let spec = MatrixSpec {
+            scenarios: vec!["vopd".into(), "tornado".into()],
+            topologies: vec![TopologySpec::Mesh {
+                width: 4,
+                height: 4,
+            }],
+            loads: vec![0.10],
+            packet_flits: 2,
+            // Fewer packets than vopd's active generators; fine for
+            // the synthetic pattern.
+            packets_per_point: 8,
+        };
+        let (points, skipped) = spec.expand(&reg).unwrap();
+        assert_eq!(points.len(), 1, "tornado point survives");
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].label.starts_with("vopd@mesh4x4"));
+        assert!(matches!(
+            skipped[0].reason,
+            ScenarioError::BudgetTooSmall { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_hard_error() {
+        let reg = ScenarioRegistry::builtin();
+        let mut spec = small_spec();
+        spec.scenarios.push("warp_drive".into());
+        assert!(matches!(
+            spec.expand(&reg),
+            Err(ScenarioError::UnknownScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn run_delivers_every_budgeted_packet_and_aggregates_csv() {
+        let reg = ScenarioRegistry::builtin();
+        let spec = small_spec();
+        let outcome = spec.run(&reg, 2).unwrap();
+        assert_eq!(outcome.rows.len(), 3);
+        for row in &outcome.rows {
+            assert_eq!(row.results.delivered, 40, "{}", row.label);
+            assert!(row.results.cycles > 0);
+        }
+        let csv = outcome.to_csv();
+        let doc = CsvDocument::parse(&csv).unwrap();
+        assert_eq!(doc.records.len(), 3);
+        assert_eq!(doc.column("scenario"), Some(0));
+        assert_eq!(doc.column("cycles"), Some(4));
+        assert!(csv.contains("# skipped transpose@ring4"));
+    }
+
+    #[test]
+    fn matrix_is_deterministic_across_thread_counts() {
+        let reg = ScenarioRegistry::builtin();
+        let spec = small_spec();
+        let serial = spec.run(&reg, 1).unwrap();
+        let parallel = spec.run(&reg, 4).unwrap();
+        for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.results.cycles, p.results.cycles);
+            assert_eq!(s.results.delivered, p.results.delivered);
+        }
+    }
+}

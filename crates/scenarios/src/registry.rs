@@ -1,0 +1,261 @@
+//! The scenario registry: name → recipe.
+//!
+//! A [`Scenario`] is a *topology-free* recipe — a synthetic pattern or
+//! a core-graph workload — that the matrix runner (or a user) binds to
+//! a concrete topology and load. [`ScenarioRegistry::builtin`] holds
+//! the full catalogue: the eight synthetic patterns plus the two
+//! bundled core graphs; users can [`ScenarioRegistry::register`] more.
+
+use crate::coregraph::{mpeg4_decoder, vopd, CoreGraph, CoreGraphWorkload};
+use crate::patterns::SyntheticPattern;
+use crate::scenario::{ScenarioSpec, TopologySpec};
+use crate::ScenarioError;
+use nocem::config::PlatformConfig;
+use std::collections::BTreeMap;
+
+/// What a scenario runs.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ScenarioKind {
+    /// A synthetic spatial traffic pattern.
+    Pattern(SyntheticPattern),
+    /// An application core-graph workload.
+    CoreGraph(CoreGraph),
+}
+
+/// A named, topology-free scenario recipe.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Registry key (also the CSV `scenario` column).
+    pub name: String,
+    /// One-line human description for catalogues.
+    pub description: String,
+    /// The recipe.
+    pub kind: ScenarioKind,
+}
+
+impl Scenario {
+    /// Binds the recipe to a topology / load / packet parameters and
+    /// lowers it into a runnable configuration.
+    ///
+    /// For core-graph scenarios, `load` is the peak per-TG offered
+    /// load (the heaviest core's TG offers exactly `load`; the others
+    /// scale down proportionally to their bandwidth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when the recipe is not applicable to
+    /// the topology.
+    pub fn build_config(
+        &self,
+        topology: TopologySpec,
+        load: f64,
+        packet_flits: u16,
+        total_packets: u64,
+    ) -> Result<PlatformConfig, ScenarioError> {
+        let mut config = match &self.kind {
+            ScenarioKind::Pattern(pattern) => ScenarioSpec {
+                pattern: *pattern,
+                topology,
+                load,
+                packet_flits,
+                total_packets,
+            }
+            .build_config()?,
+            ScenarioKind::CoreGraph(graph) => {
+                let topo = topology.build()?;
+                let workload = CoreGraphWorkload::new(graph.clone(), &topo, load)?;
+                workload.build_config(&topo, packet_flits, total_packets)?
+            }
+        };
+        // Name and seed come from the *registry* name, not the
+        // recipe's canonical name: two differently-parameterized
+        // registrations of the same pattern (e.g. two hotspot
+        // variants) must not share a seed, and matrix rows must carry
+        // a name that resolves back to this registry entry.
+        let label = format!("{}@{}@{load}", self.name, topology.name());
+        config.seed = crate::scenario::scenario_seed(&label);
+        config.name = label;
+        Ok(config)
+    }
+}
+
+/// Name-indexed scenario catalogue.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    scenarios: BTreeMap<String, Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in catalogue: the eight synthetic patterns (by
+    /// pattern name) plus `mpeg4` and `vopd`.
+    pub fn builtin() -> Self {
+        let mut reg = Self::new();
+        for pattern in SyntheticPattern::ALL {
+            reg.register(Scenario {
+                name: pattern.name().to_owned(),
+                description: pattern.description().to_owned(),
+                kind: ScenarioKind::Pattern(pattern),
+            });
+        }
+        for graph in [mpeg4_decoder(), vopd()] {
+            reg.register(Scenario {
+                name: graph.name.clone(),
+                description: format!(
+                    "core-graph workload: {} cores, {} flows",
+                    graph.cores.len(),
+                    graph.flows.len()
+                ),
+                kind: ScenarioKind::CoreGraph(graph),
+            });
+        }
+        reg
+    }
+
+    /// Adds (or replaces) a scenario under its name.
+    pub fn register(&mut self, scenario: Scenario) {
+        self.scenarios.insert(scenario.name.clone(), scenario);
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.get(name)
+    }
+
+    /// Like [`Self::get`] but with a typed error for matrix
+    /// expansion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownScenario`].
+    pub fn resolve(&self, name: &str) -> Result<&Scenario, ScenarioError> {
+        self.get(name)
+            .ok_or_else(|| ScenarioError::UnknownScenario {
+                name: name.to_owned(),
+            })
+    }
+
+    /// All scenario names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates over the catalogue in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> + '_ {
+        self.scenarios.values()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_catalogue_contents() {
+        let reg = ScenarioRegistry::builtin();
+        assert_eq!(reg.len(), 10, "8 patterns + 2 core graphs");
+        for name in [
+            "uniform_random",
+            "transpose",
+            "bit_complement",
+            "bit_reversal",
+            "shuffle",
+            "tornado",
+            "hotspot",
+            "nearest_neighbor",
+            "mpeg4",
+            "vopd",
+        ] {
+            assert!(reg.get(name).is_some(), "missing scenario {name}");
+        }
+        assert!(reg.get("bogus").is_none());
+        assert!(matches!(
+            reg.resolve("bogus"),
+            Err(ScenarioError::UnknownScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_lookup_builds_configs() {
+        let reg = ScenarioRegistry::builtin();
+        let mesh = TopologySpec::Mesh {
+            width: 4,
+            height: 4,
+        };
+        let cfg = reg
+            .resolve("tornado")
+            .unwrap()
+            .build_config(mesh, 0.2, 4, 100)
+            .unwrap();
+        assert_eq!(cfg.generators.len(), 16);
+        let cfg = reg
+            .resolve("vopd")
+            .unwrap()
+            .build_config(mesh, 0.2, 4, 100)
+            .unwrap();
+        assert_eq!(cfg.generators.len(), 16);
+    }
+
+    #[test]
+    fn config_name_and_seed_follow_registry_name() {
+        let mut reg = ScenarioRegistry::builtin();
+        reg.register(Scenario {
+            name: "hotspot_heavy".into(),
+            description: "meaner hotspot".into(),
+            kind: ScenarioKind::Pattern(SyntheticPattern::Hotspot {
+                hotspots: 2,
+                weight: 16,
+            }),
+        });
+        let mesh = TopologySpec::Mesh {
+            width: 4,
+            height: 4,
+        };
+        let base = reg
+            .resolve("hotspot")
+            .unwrap()
+            .build_config(mesh, 0.1, 2, 64)
+            .unwrap();
+        let heavy = reg
+            .resolve("hotspot_heavy")
+            .unwrap()
+            .build_config(mesh, 0.1, 2, 64)
+            .unwrap();
+        // Matrix-label shape, resolving back to the registry entry.
+        assert_eq!(base.name, "hotspot@mesh4x4@0.1");
+        assert_eq!(heavy.name, "hotspot_heavy@mesh4x4@0.1");
+        // Differently-parameterized registrations never share a seed.
+        assert_ne!(base.seed, heavy.seed);
+    }
+
+    #[test]
+    fn user_registration_overrides() {
+        let mut reg = ScenarioRegistry::builtin();
+        let n = reg.len();
+        reg.register(Scenario {
+            name: "hotspot".into(),
+            description: "meaner hotspot".into(),
+            kind: ScenarioKind::Pattern(SyntheticPattern::Hotspot {
+                hotspots: 2,
+                weight: 16,
+            }),
+        });
+        assert_eq!(reg.len(), n, "replacement, not addition");
+        assert_eq!(reg.get("hotspot").unwrap().description, "meaner hotspot");
+    }
+}

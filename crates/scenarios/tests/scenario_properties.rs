@@ -1,0 +1,142 @@
+//! Property-based correctness tests for the scenario subsystem:
+//! every synthetic pattern produces valid in-topology destinations,
+//! deterministic patterns are true permutations, and expansion is
+//! stable across calls.
+
+use nocem_common::ids::SwitchId;
+use nocem_scenarios::patterns::SyntheticPattern;
+use nocem_scenarios::scenario::TopologySpec;
+use nocem_topology::graph::EndpointKind;
+use nocem_topology::Topology;
+use nocem_traffic::generator::DestinationModel;
+use proptest::prelude::*;
+
+/// A strategy over the eight built-in patterns.
+fn pattern() -> impl Strategy<Value = SyntheticPattern> {
+    (0usize..SyntheticPattern::ALL.len()).prop_map(|i| SyntheticPattern::ALL[i])
+}
+
+/// A strategy over small but varied topologies (meshes, tori, rings —
+/// including square/non-square and power-of-two/odd switch counts).
+fn topology_spec() -> impl Strategy<Value = TopologySpec> {
+    (0u32..3, 2u32..6, 2u32..6).prop_map(|(kind, a, b)| match kind {
+        0 => TopologySpec::Mesh {
+            width: a,
+            height: b,
+        },
+        1 => TopologySpec::Torus {
+            width: a,
+            height: b,
+        },
+        _ => TopologySpec::Ring { switches: a * b },
+    })
+}
+
+/// Destination endpoints and flows of a model, flattened.
+fn model_targets(model: &DestinationModel) -> Vec<(nocem_common::ids::EndpointId, u32)> {
+    match model {
+        DestinationModel::Fixed { dst, flow } => vec![(*dst, flow.raw())],
+        DestinationModel::UniformChoice(opts) => opts.iter().map(|&(d, f)| (d, f.raw())).collect(),
+        DestinationModel::Weighted(opts) => opts.iter().map(|&(d, f, _)| (d, f.raw())).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every applicable (pattern, topology) expansion yields
+    /// destinations that exist in the topology, are receptors, and
+    /// ride flows whose spec matches the generator's switch.
+    #[test]
+    fn patterns_yield_valid_in_topology_destinations(
+        p in pattern(),
+        spec in topology_spec(),
+    ) {
+        let topo: Topology = spec.build().expect("specs are non-degenerate");
+        let Ok(traffic) = p.traffic(&topo) else {
+            // Inapplicable combination — the typed error is the
+            // contract; nothing further to check.
+            return Ok(());
+        };
+        let generators = topo.generators();
+        prop_assert_eq!(traffic.destinations.len(), generators.len());
+        // Flow ids are dense.
+        for (i, f) in traffic.flows.iter().enumerate() {
+            prop_assert_eq!(f.flow.index(), i);
+            prop_assert_eq!(topo.endpoint(f.src).kind, EndpointKind::Generator);
+            prop_assert_eq!(topo.endpoint(f.dst).kind, EndpointKind::Receptor);
+        }
+        for (g, model) in generators.iter().zip(&traffic.destinations) {
+            let src_switch = topo.endpoint(*g).switch;
+            let targets = model_targets(model);
+            prop_assert!(!targets.is_empty(), "generator with no destinations");
+            for (dst, flow_raw) in targets {
+                // Destination endpoint exists and is a receptor.
+                prop_assert!((dst.index()) < topo.endpoint_count());
+                prop_assert_eq!(topo.endpoint(dst).kind, EndpointKind::Receptor);
+                // The flow is registered and matches (src TG, dst TR).
+                let flow = traffic.flows.get(flow_raw as usize)
+                    .expect("flow id in range");
+                prop_assert_eq!(flow.dst, dst);
+                prop_assert_eq!(topo.endpoint(flow.src).switch, src_switch);
+            }
+        }
+    }
+
+    /// Deterministic patterns are true permutations of the switch
+    /// set: every switch appears exactly once as a destination.
+    #[test]
+    fn deterministic_patterns_are_permutations(
+        p in pattern(),
+        spec in topology_spec(),
+    ) {
+        let topo = spec.build().expect("specs are non-degenerate");
+        let Ok(Some(map)) = p.permutation(&topo) else {
+            return Ok(());
+        };
+        prop_assert_eq!(map.len(), topo.switch_count());
+        let mut seen = vec![false; topo.switch_count()];
+        for &dst in &map {
+            prop_assert!(dst.index() < topo.switch_count(), "destination off-topology");
+            prop_assert!(!seen[dst.index()], "destination {} repeated", dst);
+            seen[dst.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "not a surjection");
+    }
+
+    /// Pattern expansion is deterministic: two expansions of the same
+    /// combination are identical (the scenario seed contract relies
+    /// on this).
+    #[test]
+    fn expansion_is_stable(p in pattern(), spec in topology_spec()) {
+        let topo = spec.build().expect("specs are non-degenerate");
+        let (Ok(a), Ok(b)) = (p.traffic(&topo), p.traffic(&topo)) else {
+            return Ok(());
+        };
+        prop_assert_eq!(a.flows, b.flows);
+        prop_assert_eq!(a.destinations.len(), b.destinations.len());
+        for (x, y) in a.destinations.iter().zip(&b.destinations) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// The tornado permutation never sends a packet more than half-way
+    /// around its dimension (the pattern's defining property).
+    #[test]
+    fn tornado_stays_within_half_way(spec in topology_spec()) {
+        let topo = spec.build().expect("specs are non-degenerate");
+        let Ok(Some(map)) = SyntheticPattern::Tornado.permutation(&topo) else {
+            return Ok(());
+        };
+        if let Some(grid) = topo.grid() {
+            for (src, &dst) in map.iter().enumerate() {
+                let (sx, sy) = grid.coords(SwitchId::new(src as u32));
+                let (dx, dy) = grid.coords(dst);
+                let hx = (dx + grid.width - sx) % grid.width;
+                let hy = (dy + grid.height - sy) % grid.height;
+                prop_assert!(hx <= grid.width / 2, "x hop {hx} beyond half-way");
+                prop_assert!(hy <= grid.height / 2, "y hop {hy} beyond half-way");
+            }
+        }
+    }
+}

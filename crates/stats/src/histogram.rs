@@ -171,8 +171,12 @@ impl Histogram {
         if tallest == 0 {
             return String::from("(empty)\n");
         }
-        let label_width = format!("[{}..{})", (self.bins.len() - 1) as u64 * self.width,
-            self.bins.len() as u64 * self.width).len();
+        let label_width = format!(
+            "[{}..{})",
+            (self.bins.len() - 1) as u64 * self.width,
+            self.bins.len() as u64 * self.width
+        )
+        .len();
         let bar = |count: u64| {
             let len = ((count as u128 * max_width as u128) / tallest as u128) as usize;
             let len = if count > 0 { len.max(1) } else { 0 };

@@ -48,8 +48,7 @@ pub use histogram::{Histogram, Log2Histogram};
 pub use latency::LatencyAnalyzer;
 pub use ledger::{LedgerError, PacketLatency, PacketLedger};
 pub use receptor::{
-    CompletedPacket, ReceiveError, Reassembler, ReceptorCounters, StochasticReceptor,
-    TraceReceptor,
+    CompletedPacket, Reassembler, ReceiveError, ReceptorCounters, StochasticReceptor, TraceReceptor,
 };
 
 /// Which receptor flavour a device is (drives the FPGA area model and

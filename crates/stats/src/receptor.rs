@@ -81,8 +81,15 @@ impl std::fmt::Display for ReceiveError {
             ReceiveError::InterleavedPacket { open, got } => {
                 write!(f, "flit of {got} interleaved into open packet {open}")
             }
-            ReceiveError::OutOfSequence { packet, expected, got } => {
-                write!(f, "packet {packet}: expected flit seq {expected}, got {got}")
+            ReceiveError::OutOfSequence {
+                packet,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "packet {packet}: expected flit seq {expected}, got {got}"
+                )
             }
             ReceiveError::NoOpenPacket { packet } => {
                 write!(f, "body/tail flit of {packet} with no open packet")
@@ -126,7 +133,11 @@ impl Reassembler {
     /// Returns [`ReceiveError`] when the flit violates wormhole
     /// ordering or integrity; the reassembler state is unchanged on
     /// error so the caller can report and abort deterministically.
-    pub fn accept(&mut self, flit: &Flit, now: Cycle) -> Result<Option<CompletedPacket>, ReceiveError> {
+    pub fn accept(
+        &mut self,
+        flit: &Flit,
+        now: Cycle,
+    ) -> Result<Option<CompletedPacket>, ReceiveError> {
         if !flit.payload_is_valid() {
             return Err(ReceiveError::CorruptPayload {
                 packet: flit.packet,
@@ -150,7 +161,9 @@ impl Reassembler {
                 self.open = Some((flit.packet, 1));
                 Ok(None)
             }
-            (None, _) => Err(ReceiveError::NoOpenPacket { packet: flit.packet }),
+            (None, _) => Err(ReceiveError::NoOpenPacket {
+                packet: flit.packet,
+            }),
             (Some((open, _)), FlitKind::Head | FlitKind::Single) => {
                 Err(ReceiveError::InterleavedPacket {
                     open,
@@ -248,7 +261,11 @@ impl StochasticReceptor {
     /// Propagates [`ReceiveError`] from the [`Reassembler`], plus
     /// [`ReceiveError::Misrouted`] when the flit was not addressed to
     /// this receptor.
-    pub fn accept(&mut self, flit: &Flit, now: Cycle) -> Result<Option<CompletedPacket>, ReceiveError> {
+    pub fn accept(
+        &mut self,
+        flit: &Flit,
+        now: Cycle,
+    ) -> Result<Option<CompletedPacket>, ReceiveError> {
         if flit.dst != self.id {
             return Err(ReceiveError::Misrouted {
                 receptor: self.id,
@@ -321,7 +338,11 @@ impl TraceReceptor {
     /// # Errors
     ///
     /// Same contract as [`StochasticReceptor::accept`].
-    pub fn accept(&mut self, flit: &Flit, now: Cycle) -> Result<Option<CompletedPacket>, ReceiveError> {
+    pub fn accept(
+        &mut self,
+        flit: &Flit,
+        now: Cycle,
+    ) -> Result<Option<CompletedPacket>, ReceiveError> {
         if flit.dst != self.id {
             return Err(ReceiveError::Misrouted {
                 receptor: self.id,
@@ -423,7 +444,11 @@ mod tests {
         let err = r.accept(&fs[2], Cycle::ZERO).unwrap_err();
         assert!(matches!(
             err,
-            ReceiveError::OutOfSequence { expected: 1, got: 2, .. }
+            ReceiveError::OutOfSequence {
+                expected: 1,
+                got: 2,
+                ..
+            }
         ));
     }
 

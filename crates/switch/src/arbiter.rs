@@ -35,9 +35,7 @@ impl Arbiter {
     pub fn new(kind: ArbiterKind, inputs: usize) -> Self {
         match kind {
             ArbiterKind::RoundRobin => Arbiter::RoundRobin(RoundRobinArbiter::new(inputs)),
-            ArbiterKind::FixedPriority => {
-                Arbiter::FixedPriority(FixedPriorityArbiter::new(inputs))
-            }
+            ArbiterKind::FixedPriority => Arbiter::FixedPriority(FixedPriorityArbiter::new(inputs)),
         }
     }
 

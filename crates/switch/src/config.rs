@@ -86,7 +86,10 @@ impl SwitchConfigBuilder {
     ///
     /// Panics if either port count is zero.
     pub fn new(inputs: u8, outputs: u8) -> Self {
-        assert!(inputs > 0 && outputs > 0, "switch needs ports on both sides");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "switch needs ports on both sides"
+        );
         SwitchConfigBuilder {
             config: SwitchConfig {
                 inputs,
@@ -157,10 +160,14 @@ mod tests {
     fn random_policy_from_probability() {
         assert_eq!(
             SelectionPolicy::random(0.0),
-            SelectionPolicy::Random { secondary_threshold: 0 }
+            SelectionPolicy::Random {
+                secondary_threshold: 0
+            }
         );
         match SelectionPolicy::random(0.5) {
-            SelectionPolicy::Random { secondary_threshold } => {
+            SelectionPolicy::Random {
+                secondary_threshold,
+            } => {
                 assert!((32_500..33_100).contains(&secondary_threshold));
             }
             other => panic!("unexpected {other:?}"),

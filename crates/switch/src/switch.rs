@@ -77,12 +77,19 @@ pub enum BuildSwitchError {
 impl std::fmt::Display for BuildSwitchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildSwitchError::RouteOutOfRange { flow, port, outputs } => write!(
+            BuildSwitchError::RouteOutOfRange {
+                flow,
+                port,
+                outputs,
+            } => write!(
                 f,
                 "routing entry for flow {flow} references {port} but switch has {outputs} outputs"
             ),
             BuildSwitchError::CreditWidthMismatch { got, expected } => {
-                write!(f, "credit vector has {got} entries, switch has {expected} outputs")
+                write!(
+                    f,
+                    "credit vector has {got} entries, switch has {expected} outputs"
+                )
             }
         }
     }
@@ -358,7 +365,9 @@ impl Switch {
                 *alternate_ptr = alternate_ptr.wrapping_add(1);
                 ports[idx].raw()
             }
-            SelectionPolicy::Random { secondary_threshold } => {
+            SelectionPolicy::Random {
+                secondary_threshold,
+            } => {
                 let draw = lfsr.step();
                 if draw < secondary_threshold {
                     let idx = 1 + (draw as usize) % (ports.len() - 1);
@@ -548,13 +557,7 @@ mod tests {
     fn contention_is_arbitrated_round_robin() {
         // Both inputs carry flow 0 (both want output 0).
         let config = SwitchConfigBuilder::new(2, 2).build();
-        let mut sw = Switch::new(
-            config,
-            vec![vec![PortId::new(0)]],
-            vec![4, 4],
-            1,
-        )
-        .unwrap();
+        let mut sw = Switch::new(config, vec![vec![PortId::new(0)]], vec![4, 4], 1).unwrap();
         sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
         sw.accept(PortId::new(1), packet(2, 0, 1)[0]).unwrap();
         let s1 = cycle(&mut sw);
@@ -620,8 +623,13 @@ mod tests {
     #[test]
     fn infinite_credits_never_deplete() {
         let config = SwitchConfigBuilder::new(1, 1).build();
-        let mut sw =
-            Switch::new(config, vec![vec![PortId::new(0)]], vec![CREDITS_INFINITE], 1).unwrap();
+        let mut sw = Switch::new(
+            config,
+            vec![vec![PortId::new(0)]],
+            vec![CREDITS_INFINITE],
+            1,
+        )
+        .unwrap();
         for n in 0..4u64 {
             sw.accept(PortId::new(0), packet(n, 0, 1)[0]).unwrap();
         }

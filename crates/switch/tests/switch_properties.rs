@@ -36,11 +36,7 @@ struct PacketPlan {
 }
 
 fn packet_plan(inputs: usize, flows: u32) -> impl Strategy<Value = PacketPlan> {
-    (0..inputs, 0..flows, 1u16..6).prop_map(|(input, flow, len)| PacketPlan {
-        input,
-        flow,
-        len,
-    })
+    (0..inputs, 0..flows, 1u16..6).prop_map(|(input, flow, len)| PacketPlan { input, flow, len })
 }
 
 fn flits_of(id: u64, plan: &PacketPlan) -> Vec<Flit> {
@@ -291,7 +287,14 @@ fn infinite_credits_are_stable() {
     )
     .unwrap();
     for id in 0..100u64 {
-        let f = flits_of(id, &PacketPlan { input: 0, flow: 0, len: 1 })[0];
+        let f = flits_of(
+            id,
+            &PacketPlan {
+                input: 0,
+                flow: 0,
+                len: 1,
+            },
+        )[0];
         sw.accept(PortId::new(0), f).unwrap();
         sw.decide();
         let sends = sw.commit_sends();
@@ -315,7 +318,14 @@ fn blocked_accounting_balances() {
     for _ in 0..50 {
         for i in 0..2 {
             if sw.occupancy(PortId::new(i)) < 4 {
-                let f = flits_of(id, &PacketPlan { input: i as usize, flow: 0, len: 1 })[0];
+                let f = flits_of(
+                    id,
+                    &PacketPlan {
+                        input: i as usize,
+                        flow: 0,
+                        len: 1,
+                    },
+                )[0];
                 sw.accept(PortId::new(i), f).unwrap();
                 id += 1;
             }

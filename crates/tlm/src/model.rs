@@ -43,17 +43,19 @@ impl SharedState {
     fn deliver(&mut self, index: usize, flit: nocem_common::flit::Flit, now: Cycle) {
         let outcome: Result<Option<CompletedPacket>, EmulationError> =
             match &mut self.receptors[index] {
-                ReceptorDevice::Stochastic(r) => r
-                    .accept(&flit, now)
-                    .map_err(|source| EmulationError::Receive {
-                        receptor: r.id(),
-                        source,
-                    }),
+                ReceptorDevice::Stochastic(r) => {
+                    r.accept(&flit, now)
+                        .map_err(|source| EmulationError::Receive {
+                            receptor: r.id(),
+                            source,
+                        })
+                }
                 ReceptorDevice::Trace(r) => {
-                    r.accept(&flit, now).map_err(|source| EmulationError::Receive {
-                        receptor: r.id(),
-                        source,
-                    })
+                    r.accept(&flit, now)
+                        .map_err(|source| EmulationError::Receive {
+                            receptor: r.id(),
+                            source,
+                        })
                 }
             };
         match outcome {
@@ -119,10 +121,12 @@ impl TlmEngine {
         let mut scheduler = Scheduler::new();
         let topo = &elab.config.topology;
 
-        let flit_chans: Vec<FlitChanId> =
-            (0..topo.link_count()).map(|_| scheduler.flit_channel()).collect();
-        let credit_chans: Vec<BitChanId> =
-            (0..topo.link_count()).map(|_| scheduler.bit_channel()).collect();
+        let flit_chans: Vec<FlitChanId> = (0..topo.link_count())
+            .map(|_| scheduler.flit_channel())
+            .collect();
+        let credit_chans: Vec<BitChanId> = (0..topo.link_count())
+            .map(|_| scheduler.bit_channel())
+            .collect();
 
         let shared = Rc::new(RefCell::new(SharedState {
             generator_endpoints: topo.generators(),
@@ -195,9 +199,8 @@ impl TlmEngine {
                         }
                     }
                 }
-                sh.ni_done[i] = sh.tgs[i].is_exhausted()
-                    && sh.pending[i].is_none()
-                    && sh.nis[i].is_idle();
+                sh.ni_done[i] =
+                    sh.tgs[i].is_exhausted() && sh.pending[i].is_none() && sh.nis[i].is_idle();
                 ch.write_flit(out, flit);
             });
         }
@@ -217,17 +220,14 @@ impl TlmEngine {
                 })
                 .collect();
             let out_chans: Vec<FlitChanId> = out_links.iter().map(|&l| flit_chans[l]).collect();
-            let out_credit: Vec<BitChanId> =
-                out_links.iter().map(|&l| credit_chans[l]).collect();
+            let out_credit: Vec<BitChanId> = out_links.iter().map(|&l| credit_chans[l]).collect();
             let sh = Rc::clone(&shared);
             scheduler.process(move |_now: Cycle, ch: &mut ChannelCtx| {
                 let sh = &mut *sh.borrow_mut();
                 let sw = &mut sh.switches[s];
                 for (p, c) in in_chans.iter().enumerate() {
                     if let Some(f) = ch.read_flit(*c) {
-                        if let Err(source) =
-                            sw.accept(nocem_common::ids::PortId::new(p as u8), f)
-                        {
+                        if let Err(source) = sw.accept(nocem_common::ids::PortId::new(p as u8), f) {
                             sh.error.get_or_insert(EmulationError::FifoOverflow {
                                 switch: SwitchId::new(s as u32),
                                 source,
@@ -372,7 +372,10 @@ mod tests {
         let s = tlm.summary();
         assert_eq!(s.cycles, emu.now().raw(), "cycle-exact run length");
         assert_eq!(s.delivered, emu.delivered());
-        assert_eq!(s.network_latency.sum(), emu.ledger().network_latency().sum());
+        assert_eq!(
+            s.network_latency.sum(),
+            emu.ledger().network_latency().sum()
+        );
         assert_eq!(s.total_latency.sum(), emu.ledger().total_latency().sum());
     }
 

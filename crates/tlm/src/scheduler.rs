@@ -113,7 +113,6 @@ pub struct Scheduler {
     stats: SchedulerStats,
 }
 
-
 impl Scheduler {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
@@ -244,7 +243,9 @@ mod tests {
             }
         });
         s.process(move |_now: Cycle, ch: &mut ChannelCtx| {
-            seen2.borrow_mut().push(ch.read_flit(c).map(|f| f.packet.raw()));
+            seen2
+                .borrow_mut()
+                .push(ch.read_flit(c).map(|f| f.packet.raw()));
         });
         s.cycle();
         s.cycle();
@@ -258,7 +259,9 @@ mod tests {
         let hits = Rc::new(RefCell::new(Vec::new()));
         let hits2 = Rc::clone(&hits);
         s.watch_flit(c, move |v, now| {
-            hits2.borrow_mut().push((now.raw(), v.map(|f| f.packet.raw())));
+            hits2
+                .borrow_mut()
+                .push((now.raw(), v.map(|f| f.packet.raw())));
         });
         s.process(move |now: Cycle, ch: &mut ChannelCtx| {
             // Write flit 1 at cycle 0, keep it at cycle 1, clear at 2.

@@ -170,7 +170,10 @@ pub const PAPER_OFFERED_LOAD: f64 = 0.45;
 /// ```
 pub fn paper_setup() -> PaperSetup {
     let mut b = TopologyBuilder::new("date05-setup");
-    let grid = GridInfo { width: 3, height: 2 };
+    let grid = GridInfo {
+        width: 3,
+        height: 2,
+    };
     let s: Vec<SwitchId> = b.switches(6);
     // Horizontal links.
     b.connect_bidir(s[0], s[1]);
@@ -194,10 +197,26 @@ pub fn paper_setup() -> PaperSetup {
     let topology = b.build().expect("paper setup is statically valid");
 
     let flows = vec![
-        FlowSpec { flow: FlowId::new(0), src: tg0, dst: tr0 },
-        FlowSpec { flow: FlowId::new(1), src: tg1, dst: tr1 },
-        FlowSpec { flow: FlowId::new(2), src: tg2, dst: tr2 },
-        FlowSpec { flow: FlowId::new(3), src: tg3, dst: tr3 },
+        FlowSpec {
+            flow: FlowId::new(0),
+            src: tg0,
+            dst: tr0,
+        },
+        FlowSpec {
+            flow: FlowId::new(1),
+            src: tg1,
+            dst: tr1,
+        },
+        FlowSpec {
+            flow: FlowId::new(2),
+            src: tg2,
+            dst: tr2,
+        },
+        FlowSpec {
+            flow: FlowId::new(3),
+            src: tg3,
+            dst: tr3,
+        },
     ];
 
     let primary: Vec<Vec<SwitchId>> = vec![
@@ -328,6 +347,30 @@ mod tests {
         let hub = s.switch(SwitchId::new(0));
         assert_eq!(hub.inputs, 4);
         assert_eq!(hub.outputs, 4);
+    }
+
+    #[test]
+    fn endpoint_attachment_helpers() {
+        let m = mesh(2, 2).unwrap();
+        assert!(m.has_endpoint_pair_per_switch());
+        for s in m.switch_ids() {
+            let g = m.generator_at(s).expect("one TG per mesh switch");
+            assert_eq!(m.endpoint(g).kind, EndpointKind::Generator);
+            assert_eq!(m.endpoint(g).switch, s);
+            let r = m.receptor_at(s).expect("one TR per mesh switch");
+            assert_eq!(m.endpoint(r).kind, EndpointKind::Receptor);
+            assert_eq!(m.endpoint(r).switch, s);
+        }
+        // The star hub carries no endpoints.
+        let st = star(3).unwrap();
+        assert!(st.generator_at(SwitchId::new(0)).is_none());
+        assert!(st.receptor_at(SwitchId::new(0)).is_none());
+        assert!(!st.has_endpoint_pair_per_switch());
+        assert_eq!(
+            st.endpoints_at(SwitchId::new(1), EndpointKind::Generator)
+                .count(),
+            1
+        );
     }
 
     #[test]

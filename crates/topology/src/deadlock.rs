@@ -59,10 +59,7 @@ impl std::error::Error for DeadlockCycle {}
 /// check_deadlock_freedom(&p.topology, &p.dual_paths)?;
 /// # Ok::<(), nocem_topology::deadlock::DeadlockCycle>(())
 /// ```
-pub fn check_deadlock_freedom(
-    topo: &Topology,
-    flows: &[FlowPaths],
-) -> Result<(), DeadlockCycle> {
+pub fn check_deadlock_freedom(topo: &Topology, flows: &[FlowPaths]) -> Result<(), DeadlockCycle> {
     let mut edges: HashMap<LinkId, HashSet<LinkId>> = HashMap::new();
 
     for fp in flows {
@@ -143,7 +140,7 @@ fn link_toward(topo: &Topology, from: SwitchId, to: SwitchId) -> LinkId {
 mod tests {
     use super::*;
     use crate::builders::{paper_setup, ring};
-    use crate::routing::{FlowSpec, RoutingTables, RouteAlgorithm};
+    use crate::routing::{FlowSpec, RouteAlgorithm, RoutingTables};
 
     #[test]
     fn paper_primary_is_deadlock_free() {

@@ -243,6 +243,38 @@ impl Topology {
         self.endpoints_of(EndpointKind::Receptor).collect()
     }
 
+    /// Endpoints of one kind attached to switch `s`, in id order.
+    pub fn endpoints_at(
+        &self,
+        s: SwitchId,
+        kind: EndpointKind,
+    ) -> impl Iterator<Item = EndpointId> + '_ {
+        self.endpoints_of(kind)
+            .filter(move |&e| self.endpoints[e.index()].switch == s)
+    }
+
+    /// The first traffic generator attached to switch `s`, if any.
+    ///
+    /// The ready-made builders attach exactly one TG per switch, which
+    /// makes this the canonical switch-to-generator lookup for the
+    /// scenario patterns and core-graph mappers.
+    pub fn generator_at(&self, s: SwitchId) -> Option<EndpointId> {
+        self.endpoints_at(s, EndpointKind::Generator).next()
+    }
+
+    /// The first traffic receptor attached to switch `s`, if any.
+    pub fn receptor_at(&self, s: SwitchId) -> Option<EndpointId> {
+        self.endpoints_at(s, EndpointKind::Receptor).next()
+    }
+
+    /// Whether every switch carries at least one TG and one TR — the
+    /// shape the synthetic scenario patterns require (they address
+    /// destinations by switch).
+    pub fn has_endpoint_pair_per_switch(&self) -> bool {
+        self.switch_ids()
+            .all(|s| self.generator_at(s).is_some() && self.receptor_at(s).is_some())
+    }
+
     /// The link arriving at input port `port` of switch `s`.
     ///
     /// # Panics
@@ -271,9 +303,7 @@ impl Topology {
             .iter()
             .enumerate()
             .filter_map(move |(p, &l)| match self.links[l.index()].dst {
-                LinkEnd::Switch { switch, port } => {
-                    Some((PortId::new(p as u8), l, switch, port))
-                }
+                LinkEnd::Switch { switch, port } => Some((PortId::new(p as u8), l, switch, port)),
                 LinkEnd::Endpoint(_) => None,
             })
     }
@@ -439,7 +469,10 @@ impl TopologyBuilder {
     ///
     /// Panics if either switch id was not created by this builder.
     pub fn connect(&mut self, from: SwitchId, to: SwitchId) -> (PortId, PortId) {
-        assert!(from.index() < self.switch_inputs.len(), "unknown switch {from}");
+        assert!(
+            from.index() < self.switch_inputs.len(),
+            "unknown switch {from}"
+        );
         assert!(to.index() < self.switch_inputs.len(), "unknown switch {to}");
         let op = self.alloc_out(from);
         let ip = self.alloc_in(to);
@@ -498,10 +531,18 @@ impl TopologyBuilder {
         if self.switch_inputs.is_empty() {
             return Err(TopologyError::Empty);
         }
-        if !self.endpoints.iter().any(|(k, _)| *k == EndpointKind::Generator) {
+        if !self
+            .endpoints
+            .iter()
+            .any(|(k, _)| *k == EndpointKind::Generator)
+        {
             return Err(TopologyError::NoGenerators);
         }
-        if !self.endpoints.iter().any(|(k, _)| *k == EndpointKind::Receptor) {
+        if !self
+            .endpoints
+            .iter()
+            .any(|(k, _)| *k == EndpointKind::Receptor)
+        {
             return Err(TopologyError::NoReceptors);
         }
         for (i, (&ins, &outs)) in self
@@ -584,11 +625,14 @@ impl TopologyBuilder {
         };
 
         // Every generator must reach at least one receptor.
-        for g in topo.endpoints_of(EndpointKind::Generator).collect::<Vec<_>>() {
+        for g in topo
+            .endpoints_of(EndpointKind::Generator)
+            .collect::<Vec<_>>()
+        {
             let src_switch = topo.endpoint(g).switch;
-            let reachable = topo
-                .endpoints_of(EndpointKind::Receptor)
-                .any(|r| topo.distances_to(topo.endpoint(r).switch)[src_switch.index()] != usize::MAX);
+            let reachable = topo.endpoints_of(EndpointKind::Receptor).any(|r| {
+                topo.distances_to(topo.endpoint(r).switch)[src_switch.index()] != usize::MAX
+            });
             if !reachable {
                 return Err(TopologyError::UnreachableReceptors { generator: g });
             }
@@ -779,7 +823,10 @@ mod tests {
 
     #[test]
     fn grid_info_coordinates() {
-        let g = GridInfo { width: 3, height: 2 };
+        let g = GridInfo {
+            width: 3,
+            height: 2,
+        };
         assert_eq!(g.coords(SwitchId::new(4)), (1, 1));
         assert_eq!(g.at(1, 1), SwitchId::new(4));
     }

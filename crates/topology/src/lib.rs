@@ -149,7 +149,10 @@ mod tests {
             TopologyError::Empty.to_string(),
             TopologyError::NoGenerators.to_string(),
             TopologyError::GridRequired.to_string(),
-            TopologyError::NoRoute { flow: FlowId::new(3) }.to_string(),
+            TopologyError::NoRoute {
+                flow: FlowId::new(3),
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "no trailing period: {m}");

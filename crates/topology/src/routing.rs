@@ -128,9 +128,8 @@ impl RoutingTables {
             let (from, to) = endpoints_switches(topo, spec)?;
             let paths = match algo {
                 RouteAlgorithm::Shortest => {
-                    vec![shortest_path(topo, from, to).ok_or(TopologyError::NoRoute {
-                        flow: spec.flow,
-                    })?]
+                    vec![shortest_path(topo, from, to)
+                        .ok_or(TopologyError::NoRoute { flow: spec.flow })?]
                 }
                 RouteAlgorithm::KShortest(k) => {
                     let all = k_shortest_paths(topo, from, to, k.max(1));
@@ -157,13 +156,9 @@ impl RoutingTables {
     /// at the flow's source switch, does not end at its destination
     /// switch, revisits a switch, or uses a non-existent inter-switch
     /// connection.
-    pub fn from_paths(
-        topo: &Topology,
-        flows: Vec<FlowPaths>,
-    ) -> Result<Self, TopologyError> {
+    pub fn from_paths(topo: &Topology, flows: Vec<FlowPaths>) -> Result<Self, TopologyError> {
         let flow_count = flows.len();
-        let mut table =
-            vec![vec![Vec::<PortId>::new(); flow_count]; topo.switch_count()];
+        let mut table = vec![vec![Vec::<PortId>::new(); flow_count]; topo.switch_count()];
 
         for fp in &flows {
             let spec = fp.spec;
@@ -186,12 +181,12 @@ impl RoutingTables {
                     }
                 }
                 // Ejection at the destination switch.
-                let eject = topo
-                    .ejection_port(to, spec.dst)
-                    .ok_or_else(|| TopologyError::InvalidPath {
-                        flow: spec.flow,
-                        reason: format!("{} is not attached to {}", spec.dst, to),
-                    })?;
+                let eject =
+                    topo.ejection_port(to, spec.dst)
+                        .ok_or_else(|| TopologyError::InvalidPath {
+                            flow: spec.flow,
+                            reason: format!("{} is not attached to {}", spec.dst, to),
+                        })?;
                 let entry = &mut table[to.index()][spec.flow.index()];
                 if !entry.contains(&eject) {
                     entry.push(eject);
@@ -332,10 +327,7 @@ fn shortest_path_avoiding(
         next.sort();
         next.dedup();
         for v in next {
-            if visited[v.index()]
-                || banned_nodes.contains(&v)
-                || banned_edges.contains(&(u, v))
-            {
+            if visited[v.index()] || banned_nodes.contains(&v) || banned_edges.contains(&(u, v)) {
                 continue;
             }
             visited[v.index()] = true;
@@ -393,9 +385,7 @@ pub fn k_shortest_paths(topo: &Topology, from: SwitchId, to: SwitchId, k: usize)
                 let mut total = root.clone();
                 total.extend_from_slice(&spur[1..]);
                 let cand = std::cmp::Reverse((total.len(), total));
-                if !candidates.iter().any(|c| c == &cand)
-                    && !found.contains(&cand.0 .1)
-                {
+                if !candidates.iter().any(|c| c == &cand) && !found.contains(&cand.0 .1) {
                     candidates.push(cand);
                 }
             }
@@ -528,7 +518,10 @@ mod tests {
     fn shortest_path_on_line() {
         let t = line3();
         let p = shortest_path(&t, SwitchId::new(0), SwitchId::new(2)).unwrap();
-        assert_eq!(p, vec![SwitchId::new(0), SwitchId::new(1), SwitchId::new(2)]);
+        assert_eq!(
+            p,
+            vec![SwitchId::new(0), SwitchId::new(1), SwitchId::new(2)]
+        );
     }
 
     #[test]

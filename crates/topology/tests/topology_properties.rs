@@ -21,7 +21,11 @@ fn walk_delivers(topo: &Topology, tables: &RoutingTables, spec: &FlowSpec) {
         assert!(!visited[here.raw() as usize], "routing loop at {here}");
         visited[here.raw() as usize] = true;
         let ports = tables.lookup(here, spec.flow);
-        assert!(!ports.is_empty(), "flow {} has no route at {here}", spec.flow);
+        assert!(
+            !ports.is_empty(),
+            "flow {} has no route at {here}",
+            spec.flow
+        );
         // Follow the primary port to the next switch.
         let link = topo.out_link(here, ports[0]);
         here = topo

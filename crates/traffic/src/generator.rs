@@ -85,6 +85,14 @@ pub enum DestinationModel {
     /// Uniform-random choice among the listed (destination, flow)
     /// pairs (synthetic mesh benchmarks).
     UniformChoice(Vec<(EndpointId, FlowId)>),
+    /// Weighted choice among `(destination, flow, weight)` triples —
+    /// the destination-distribution hook used by the scenario
+    /// subsystem (hotspot patterns, core-graph bandwidth shares).
+    ///
+    /// Weights are relative integers; a destination is drawn with
+    /// probability `weight / total_weight`. Zero-weight entries are
+    /// legal and never drawn (they still register their flow).
+    Weighted(Vec<(EndpointId, FlowId, u32)>),
 }
 
 impl DestinationModel {
@@ -92,14 +100,35 @@ impl DestinationModel {
     ///
     /// # Panics
     ///
-    /// Panics if a [`DestinationModel::UniformChoice`] list is empty —
-    /// an elaboration-time configuration bug.
+    /// Panics if a [`DestinationModel::UniformChoice`] list is empty,
+    /// or a [`DestinationModel::Weighted`] list is empty or has zero
+    /// total weight — elaboration-time configuration bugs.
     pub fn pick(&self, rng: &mut Pcg32) -> (EndpointId, FlowId) {
         match self {
             DestinationModel::Fixed { dst, flow } => (*dst, *flow),
             DestinationModel::UniformChoice(options) => {
                 assert!(!options.is_empty(), "destination choice list is empty");
                 options[rng.below(options.len() as u32) as usize]
+            }
+            DestinationModel::Weighted(options) => {
+                assert!(!options.is_empty(), "destination choice list is empty");
+                let total: u64 = options.iter().map(|&(_, _, w)| u64::from(w)).sum();
+                assert!(
+                    total > 0,
+                    "weighted destination model has zero total weight"
+                );
+                // Draw a 64-bit threshold below `total`, then walk the
+                // cumulative weights (lists are small: one entry per
+                // outgoing flow of the generator).
+                let mut draw = rng.next_u64() % total;
+                for &(dst, flow, w) in options {
+                    let w = u64::from(w);
+                    if draw < w {
+                        return (dst, flow);
+                    }
+                    draw -= w;
+                }
+                unreachable!("cumulative weight walk covers the draw range");
             }
         }
     }
@@ -108,9 +137,8 @@ impl DestinationModel {
     pub fn flows(&self) -> Vec<FlowId> {
         match self {
             DestinationModel::Fixed { flow, .. } => vec![*flow],
-            DestinationModel::UniformChoice(options) => {
-                options.iter().map(|&(_, f)| f).collect()
-            }
+            DestinationModel::UniformChoice(options) => options.iter().map(|&(_, f)| f).collect(),
+            DestinationModel::Weighted(options) => options.iter().map(|&(_, f, _)| f).collect(),
         }
     }
 }
@@ -194,6 +222,33 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_choice_panics() {
         DestinationModel::UniformChoice(Vec::new()).pick(&mut Pcg32::seeded(1));
+    }
+
+    #[test]
+    fn weighted_choice_follows_weights() {
+        let model = DestinationModel::Weighted(vec![
+            (EndpointId::new(0), FlowId::new(0), 9),
+            (EndpointId::new(1), FlowId::new(1), 1),
+            (EndpointId::new(2), FlowId::new(2), 0),
+        ]);
+        let mut rng = Pcg32::seeded(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            let (_, f) = model.pick(&mut rng);
+            counts[f.index()] += 1;
+        }
+        // 90/10 split within generous tolerance; zero weight never drawn.
+        assert!(counts[0] > 8_500, "hot destination undrawn: {counts:?}");
+        assert!(counts[1] > 500, "cold destination starved: {counts:?}");
+        assert_eq!(counts[2], 0, "zero-weight destination drawn");
+        assert_eq!(model.flows().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn all_zero_weights_panic() {
+        DestinationModel::Weighted(vec![(EndpointId::new(0), FlowId::new(0), 0)])
+            .pick(&mut Pcg32::seeded(1));
     }
 
     #[test]

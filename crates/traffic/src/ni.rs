@@ -111,7 +111,9 @@ impl SourceNi {
             return None;
         }
         let flits = self.current.as_mut().expect("serializer loaded above");
-        let flit = flits.next().expect("serializer never holds an empty iterator");
+        let flit = flits
+            .next()
+            .expect("serializer never holds an empty iterator");
         if flits.len() == 0 {
             self.current = None;
         }

@@ -108,10 +108,26 @@ mod tests {
     #[test]
     fn register_offsets_are_dense_and_unique() {
         let regs = [
-            REG_CTRL, REG_STATUS, REG_MODEL, REG_SEED_LO, REG_SEED_HI, REG_PACKET_LEN,
-            REG_GAP_MIN, REG_GAP_MAX, REG_START_PROB, REG_CONT_PROB, REG_BUDGET_LO,
-            REG_BUDGET_HI, REG_DST, REG_FLOW, REG_SENT_LO, REG_SENT_HI, REG_FLITS_LO,
-            REG_FLITS_HI, REG_BLOCKED_LO, REG_BLOCKED_HI,
+            REG_CTRL,
+            REG_STATUS,
+            REG_MODEL,
+            REG_SEED_LO,
+            REG_SEED_HI,
+            REG_PACKET_LEN,
+            REG_GAP_MIN,
+            REG_GAP_MAX,
+            REG_START_PROB,
+            REG_CONT_PROB,
+            REG_BUDGET_LO,
+            REG_BUDGET_HI,
+            REG_DST,
+            REG_FLOW,
+            REG_SENT_LO,
+            REG_SENT_HI,
+            REG_FLITS_LO,
+            REG_FLITS_HI,
+            REG_BLOCKED_LO,
+            REG_BLOCKED_HI,
         ];
         assert_eq!(regs.len(), TG_REG_COUNT as usize);
         let mut sorted = regs.to_vec();

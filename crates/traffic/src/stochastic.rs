@@ -18,9 +18,7 @@
 //! config exposes a `with_load` constructor that inverts this relation
 //! the way the paper's software sets up its 45 % experiments.
 
-use crate::generator::{
-    DestinationModel, LengthModel, PacketRequest, TgKind, TrafficGenerator,
-};
+use crate::generator::{DestinationModel, LengthModel, PacketRequest, TgKind, TrafficGenerator};
 use nocem_common::rng::{Pcg32, RandomSource};
 use nocem_common::time::Cycle;
 
@@ -115,7 +113,10 @@ impl BurstConfig {
         destination: DestinationModel,
     ) -> Self {
         assert!(load > 0.0 && load < 1.0, "load must be in (0, 1)");
-        assert!(burst_packets >= 1, "burst length must be at least one packet");
+        assert!(
+            burst_packets >= 1,
+            "burst length must be at least one packet"
+        );
         assert!(len_flits >= 1, "packet length must be at least one flit");
         let b = f64::from(burst_packets);
         let l = f64::from(len_flits);
@@ -483,10 +484,7 @@ mod tests {
 
     #[test]
     fn kind_is_stochastic() {
-        let tg = StochasticTg::poisson(
-            PoissonConfig::with_load(0.1, 2, None, fixed_dst()),
-            1,
-        );
+        let tg = StochasticTg::poisson(PoissonConfig::with_load(0.1, 2, None, fixed_dst()), 1);
         assert_eq!(tg.kind(), TgKind::Stochastic);
         assert_eq!(tg.remaining(), None);
     }

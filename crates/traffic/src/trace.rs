@@ -44,7 +44,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -94,7 +98,11 @@ impl Trace {
 
     /// The events released by `src`, in order.
     pub fn for_source(&self, src: EndpointId) -> Vec<TraceEvent> {
-        self.events.iter().filter(|e| e.src == src).copied().collect()
+        self.events
+            .iter()
+            .filter(|e| e.src == src)
+            .copied()
+            .collect()
     }
 
     /// Renders the trace in the `nocem trace v1` text format.
@@ -289,8 +297,14 @@ pub fn synthesize_bursty(spec: &BurstyTraceSpec) -> Trace {
         spec.offered_load > 0.0 && spec.offered_load <= 1.0,
         "offered load must be in (0, 1]"
     );
-    assert!(spec.packets_per_burst >= 1, "need at least one packet per burst");
-    assert!(spec.flits_per_packet >= 1, "need at least one flit per packet");
+    assert!(
+        spec.packets_per_burst >= 1,
+        "need at least one packet per burst"
+    );
+    assert!(
+        spec.flits_per_packet >= 1,
+        "need at least one flit per packet"
+    );
     assert!(spec.total_packets >= 1, "need at least one packet");
     let mut rng = Pcg32::seeded(spec.seed);
     let mut events = Vec::with_capacity(spec.total_packets as usize);
@@ -301,7 +315,9 @@ pub fn synthesize_bursty(spec: &BurstyTraceSpec) -> Trace {
     let mut t: u64 = 0;
     let mut emitted: u64 = 0;
     while emitted < spec.total_packets {
-        let in_burst = spec.packets_per_burst.min((spec.total_packets - emitted) as u32);
+        let in_burst = spec
+            .packets_per_burst
+            .min((spec.total_packets - emitted) as u32);
         for _ in 0..in_burst {
             events.push(TraceEvent {
                 at: Cycle::new(t),

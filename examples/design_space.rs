@@ -90,10 +90,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep 3: traffic models at identical offered load.
     let points = vec![
-        SweepPoint::new("uniform", PaperConfig::new().total_packets(PACKETS).uniform()),
-        SweepPoint::new("poisson", PaperConfig::new().total_packets(PACKETS).poisson()),
-        SweepPoint::new("burst x4", PaperConfig::new().total_packets(PACKETS).burst(4)),
-        SweepPoint::new("burst x16", PaperConfig::new().total_packets(PACKETS).burst(16)),
+        SweepPoint::new(
+            "uniform",
+            PaperConfig::new().total_packets(PACKETS).uniform(),
+        ),
+        SweepPoint::new(
+            "poisson",
+            PaperConfig::new().total_packets(PACKETS).poisson(),
+        ),
+        SweepPoint::new(
+            "burst x4",
+            PaperConfig::new().total_packets(PACKETS).burst(4),
+        ),
+        SweepPoint::new(
+            "burst x16",
+            PaperConfig::new().total_packets(PACKETS).burst(16),
+        ),
     ];
     let results = run_sweep(&points, 4)?;
     let mut t = TextTable::with_columns(&[

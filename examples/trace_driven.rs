@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Replay through trace-driven TGs and trace receptors.
     let mut replay_cfg = PaperConfig::new().total_packets(10_000).burst(8);
-    replay_cfg.generators = (0..4).map(|_| TrafficModel::Trace(parsed.clone())).collect();
+    replay_cfg.generators = (0..4)
+        .map(|_| TrafficModel::Trace(parsed.clone()))
+        .collect();
     replay_cfg.receptors = vec![TrKind::TraceDriven; 4];
     replay_cfg.name = "trace-replay".into();
     let mut emu = build(&replay_cfg)?;
@@ -61,10 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "MISMATCH"
         }
     );
-    println!(
-        "delivered: {} vs {}",
-        original.delivered, replay.delivered
-    );
+    println!("delivered: {} vs {}", original.delivered, replay.delivered);
     println!(
         "mean network latency: {:.2} vs {:.2} cycles",
         original.network_latency.mean().unwrap_or(0.0),

@@ -1,0 +1,21 @@
+//! Umbrella package of the nocem workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the library
+//! itself only re-exports the member crates for convenience. Depend on
+//! the individual `nocem-*` crates directly in real code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nocem;
+pub use nocem_area;
+pub use nocem_common;
+pub use nocem_platform;
+pub use nocem_rtl;
+pub use nocem_scenarios;
+pub use nocem_stats;
+pub use nocem_switch;
+pub use nocem_tlm;
+pub use nocem_topology;
+pub use nocem_traffic;

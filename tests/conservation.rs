@@ -129,6 +129,9 @@ fn tiny_buffers_still_deliver() {
 
 #[test]
 fn single_flit_packets_work() {
-    let cfg = PaperConfig::new().total_packets(800).packet_flits(1).uniform();
+    let cfg = PaperConfig::new()
+        .total_packets(800)
+        .packet_flits(1)
+        .uniform();
     check_conservation(&cfg);
 }

@@ -113,7 +113,10 @@ fn dual_routing_delivers_and_spreads_load() {
         .filter(|l| l.is_inter_switch() && !p.hot_links.contains(&l.id))
         .map(|l| l.id)
         .collect();
-    let single_vertical: u64 = vertical.iter().map(|&l| single.congestion.forwarded(l)).sum();
+    let single_vertical: u64 = vertical
+        .iter()
+        .map(|&l| single.congestion.forwarded(l))
+        .sum();
     let dual_vertical: u64 = vertical.iter().map(|&l| dual.congestion.forwarded(l)).sum();
     assert!(
         dual_vertical > single_vertical + 1_000,

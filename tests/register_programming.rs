@@ -12,7 +12,13 @@ use nocem_traffic::generator::DestinationModel;
 use nocem_traffic::stochastic::UniformConfig;
 
 /// Builds the paper platform and the driver set from its address map.
-fn platform() -> (Emulation, ControlDriver, Vec<TgDriver>, Vec<TrDriver>, Vec<SwitchDriver>) {
+fn platform() -> (
+    Emulation,
+    ControlDriver,
+    Vec<TgDriver>,
+    Vec<TrDriver>,
+    Vec<SwitchDriver>,
+) {
     let cfg = PaperConfig::new().total_packets(1_000).uniform();
     let emu = build(&cfg).unwrap();
     let map = emu.address_map().clone();
@@ -63,10 +69,7 @@ fn full_run_programmed_and_observed_through_registers() {
     assert!(cycles > 0);
     assert_eq!(ctrl.status(&mut emu).unwrap() & STATUS_DONE, STATUS_DONE);
 
-    let sent: u64 = tgs
-        .iter()
-        .map(|t| t.sent(&mut emu).unwrap())
-        .sum();
+    let sent: u64 = tgs.iter().map(|t| t.sent(&mut emu).unwrap()).sum();
     assert_eq!(sent, 1_000);
 
     let received: u64 = trs.iter().map(|t| t.packets(&mut emu).unwrap()).sum();

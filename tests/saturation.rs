@@ -58,7 +58,10 @@ fn hot_links_saturate_at_capacity_under_overload() {
             util > 0.93,
             "an overloaded hot link must run at capacity, got {util:.3}"
         );
-        assert!(util <= 1.0 + 1e-9, "utilization cannot exceed one flit/cycle");
+        assert!(
+            util <= 1.0 + 1e-9,
+            "utilization cannot exceed one flit/cycle"
+        );
     }
 }
 

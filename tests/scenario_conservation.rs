@@ -1,0 +1,98 @@
+//! Packet conservation across the scenario subsystem: for one
+//! scenario per synthetic pattern on a 4×4 mesh (plus both core-graph
+//! workloads), every packet a generator injects is delivered by a
+//! receptor before the fast engine reports completion.
+
+use nocem::engine::build;
+use nocem_scenarios::patterns::SyntheticPattern;
+use nocem_scenarios::registry::ScenarioRegistry;
+use nocem_scenarios::scenario::{ScenarioSpec, TopologySpec};
+
+const MESH: TopologySpec = TopologySpec::Mesh {
+    width: 4,
+    height: 4,
+};
+
+fn run_and_check(label: &str, config: &nocem::config::PlatformConfig) {
+    let mut emu = build(config).unwrap_or_else(|e| panic!("{label}: compile failed: {e}"));
+    emu.run()
+        .unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
+    let results = emu.results();
+    let expected = config.stop.delivered_packets.expect("budgeted scenario");
+    assert_eq!(results.delivered, expected, "{label}: delivered != budget");
+    assert_eq!(
+        results.injected, results.delivered,
+        "{label}: packets lost between injection and delivery"
+    );
+    assert_eq!(
+        results.released, results.injected,
+        "{label}: packets stuck in source queues at completion"
+    );
+    assert_eq!(
+        results.delivered_flits,
+        results.delivered * 2,
+        "{label}: flit count mismatch for 2-flit packets"
+    );
+}
+
+#[test]
+fn every_pattern_conserves_packets_on_4x4_mesh() {
+    for pattern in SyntheticPattern::ALL {
+        let spec = ScenarioSpec {
+            pattern,
+            topology: MESH,
+            load: 0.15,
+            packet_flits: 2,
+            total_packets: 320,
+        };
+        let config = spec
+            .build_config()
+            .unwrap_or_else(|e| panic!("{pattern} on mesh4x4 must be applicable: {e}"));
+        run_and_check(&spec.label(), &config);
+    }
+}
+
+#[test]
+fn core_graph_workloads_conserve_packets_on_4x4_mesh() {
+    let registry = ScenarioRegistry::builtin();
+    for name in ["mpeg4", "vopd"] {
+        let config = registry
+            .resolve(name)
+            .unwrap()
+            .build_config(MESH, 0.25, 2, 400)
+            .unwrap_or_else(|e| panic!("{name}: config failed: {e}"));
+        let mut emu = build(&config).unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+        emu.run()
+            .unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
+        let results = emu.results();
+        assert_eq!(
+            Some(results.delivered),
+            config.stop.delivered_packets,
+            "{name}: delivered != budget"
+        );
+        assert_eq!(results.injected, results.delivered, "{name}: packets lost");
+    }
+}
+
+#[test]
+fn scenario_runs_are_reproducible() {
+    // Same scenario, two independent builds: identical cycle counts
+    // and latency sums (the deterministic-seed contract).
+    let spec = ScenarioSpec {
+        pattern: SyntheticPattern::UniformRandom,
+        topology: MESH,
+        load: 0.2,
+        packet_flits: 2,
+        total_packets: 200,
+    };
+    let run = || {
+        let config = spec.build_config().unwrap();
+        let mut emu = build(&config).unwrap();
+        emu.run().unwrap();
+        emu.results()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.network_latency.sum(), b.network_latency.sum());
+}
