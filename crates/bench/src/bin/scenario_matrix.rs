@@ -1,17 +1,21 @@
 //! **Scenario matrix** — the experiment the paper's single 6-switch
 //! setup never had: every applicable synthetic pattern and core-graph
-//! workload, across meshes, a torus and a ring, at several offered
+//! workload, across meshes, tori and a ring, at several offered
 //! loads, run in parallel and aggregated into one CSV.
 //!
 //! ```text
 //! cargo run --release -p nocem-bench --bin scenario_matrix
 //! ```
 //!
-//! `NOCEM_QUICK=1` shrinks the per-point packet budget for smoke
-//! testing. The full default matrix expands to 80 combinations, of
-//! which a handful are inapplicable (transpose on non-square
-//! topologies, bit patterns on non-power-of-two switch counts) and
-//! are reported as skips in the CSV trailer.
+//! Rings and tori route *minimally* on two virtual channels with a
+//! dateline assignment, so their wrap-around links carry traffic; the
+//! 3×3 torus is in the matrix precisely because every distance-2 hop
+//! there is shorter around the wrap. `NOCEM_QUICK=1` shrinks the
+//! per-point packet budget for smoke testing. The full default matrix
+//! expands to 100 combinations, of which a handful are inapplicable
+//! (transpose on non-square topologies, bit patterns on
+//! non-power-of-two switch counts) and are reported as skips in the
+//! CSV trailer.
 
 use nocem_bench::scaled;
 use nocem_common::table::{Align, TextTable};
@@ -31,6 +35,13 @@ fn main() {
             TopologySpec::Torus {
                 width: 4,
                 height: 4,
+            },
+            // Odd-sized torus: every distance-2 dimension hop wraps,
+            // so the minimal + dateline routing exercises wrap-around
+            // links in nearly every flow.
+            TopologySpec::Torus {
+                width: 3,
+                height: 3,
             },
             TopologySpec::Mesh {
                 width: 8,

@@ -12,7 +12,7 @@
 //! opened by their head. To keep the three simulation engines
 //! exchangeable, the same [`Flit`] value type is used by all of them.
 
-use crate::ids::{EndpointId, FlowId, PacketId};
+use crate::ids::{EndpointId, FlowId, PacketId, VcId};
 use crate::time::Cycle;
 use core::fmt;
 
@@ -74,6 +74,12 @@ pub struct Flit {
     /// Destination endpoint, carried by every flit so receptors can
     /// verify delivery without keeping per-wormhole state.
     pub dst: EndpointId,
+    /// Virtual channel the flit currently travels on. Network
+    /// interfaces inject on [`VcId::ZERO`]; each switch rewrites the
+    /// field to the output VC its allocation chose before the flit
+    /// enters the next link, so the downstream switch knows which VC
+    /// buffer to land it in.
+    pub vc: VcId,
     /// Payload word (deterministic function of packet id and sequence
     /// number at generation time; checked at reception).
     pub payload: u32,
@@ -195,6 +201,7 @@ impl Iterator for Flits {
             seq,
             flow: self.desc.flow,
             dst: self.desc.dst,
+            vc: VcId::ZERO,
             payload: Flit::expected_payload(self.desc.id, seq),
         })
     }
@@ -265,6 +272,11 @@ mod tests {
         assert_eq!(it.len(), 4);
         it.next();
         assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn flits_are_injected_on_vc_zero() {
+        assert!(desc(3).flits().all(|f| f.vc == VcId::ZERO));
     }
 
     #[test]

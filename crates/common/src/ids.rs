@@ -91,6 +91,19 @@ id_type! {
 }
 
 id_type! {
+    /// A virtual channel multiplexed onto a physical link. Every flit
+    /// travels on exactly one VC; a single-VC platform uses only
+    /// [`VcId::ZERO`].
+    VcId(u8), "v"
+}
+
+impl VcId {
+    /// Virtual channel 0, the only VC of a single-VC platform and the
+    /// VC every packet starts on under the dateline scheme.
+    pub const ZERO: VcId = VcId::new(0);
+}
+
+id_type! {
     /// A packet injected by a traffic generator. Unique per emulation
     /// run (monotonically increasing across all generators).
     PacketId(u64), "pkt"

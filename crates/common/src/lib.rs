@@ -6,6 +6,8 @@
 //! * [`ids`] — strongly-typed identifiers (nodes, ports, packets,
 //!   buses, devices, …);
 //! * [`flit`] — flits and packet descriptors, the unit of transport;
+//! * [`route`] — routing-table hop entries (output port + virtual
+//!   channel) shared by the switch model and the topology compiler;
 //! * [`time`] — the [`time::Cycle`] clock and the paper-style duration
 //!   formatting used by Table 2;
 //! * [`rng`] — deterministic, hardware-faithful random sources (LFSRs
@@ -45,10 +47,14 @@ pub mod csv;
 pub mod flit;
 pub mod ids;
 pub mod rng;
+pub mod route;
 pub mod table;
 pub mod time;
 
 pub use flit::{Flit, FlitKind, PacketDescriptor};
-pub use ids::{BusId, DeviceId, EndpointId, FlowId, LinkId, NodeId, PacketId, PortId, SwitchId};
+pub use ids::{
+    BusId, DeviceId, EndpointId, FlowId, LinkId, NodeId, PacketId, PortId, SwitchId, VcId,
+};
 pub use rng::{Pcg32, RandomSource};
+pub use route::RouteHop;
 pub use time::Cycle;

@@ -1,0 +1,57 @@
+//! Routing-table value types shared by the switch model and the
+//! topology compiler.
+//!
+//! A routing table maps a flow to the set of admissible [`RouteHop`]s
+//! at each switch: the output port to take and the virtual channel to
+//! continue on. The type lives here (rather than in `nocem-topology`)
+//! so that `nocem-switch` — the behavioural contract of the platform —
+//! can consume tables without depending on the topology crate.
+
+use crate::ids::{PortId, VcId};
+
+/// One admissible continuation of a flow at a switch: the output port
+/// to take and the virtual channel to take it on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteHop {
+    /// Output port of the switch.
+    pub port: PortId,
+    /// Virtual channel on the link behind that port.
+    pub vc: VcId,
+}
+
+impl RouteHop {
+    /// A hop on VC 0 (the only kind a single-VC platform has).
+    pub const fn vc0(port: PortId) -> Self {
+        RouteHop {
+            port,
+            vc: VcId::ZERO,
+        }
+    }
+}
+
+impl core::fmt::Display for RouteHop {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{}", self.port, self.vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc0_constructor() {
+        let h = RouteHop::vc0(PortId::new(3));
+        assert_eq!(h.port, PortId::new(3));
+        assert_eq!(h.vc, VcId::ZERO);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let h = RouteHop {
+            port: PortId::new(1),
+            vc: VcId::new(1),
+        };
+        assert_eq!(h.to_string(), "p1/v1");
+    }
+}

@@ -260,8 +260,8 @@ pub mod collection {
 }
 
 pub mod test_runner {
-    //! Deterministic case runner plumbing used by the [`proptest!`]
-    //! macro expansion.
+    //! Deterministic case runner plumbing used by the
+    //! [`proptest!`](crate::proptest) macro expansion.
 
     /// Configuration accepted through `#![proptest_config(..)]`.
     #[derive(Debug, Clone, Copy)]

@@ -22,7 +22,7 @@ use nocem_stats::TrKind;
 use nocem_switch::config::SwitchConfigBuilder;
 use nocem_switch::switch::{Switch, CREDITS_INFINITE};
 use nocem_topology::analysis::{predict_link_loads, SplitModel};
-use nocem_topology::deadlock::check_deadlock_freedom;
+use nocem_topology::deadlock::check_routing_deadlock_freedom;
 use nocem_topology::graph::LinkEnd;
 use nocem_topology::routing::RoutingTables;
 use nocem_traffic::generator::TrafficGenerator;
@@ -178,12 +178,23 @@ pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
         });
     }
 
-    // Routing + deadlock check.
+    // Routing (VC labels assigned per the configured policy) + per-VC
+    // deadlock check.
     let routing = match &config.routing {
-        RoutingSpec::Algorithm(algo) => RoutingTables::compute(topo, &config.flows, *algo)?,
-        RoutingSpec::Explicit(paths) => RoutingTables::from_paths(topo, paths.clone())?,
+        RoutingSpec::Algorithm(algo) => {
+            RoutingTables::compute_with(topo, &config.flows, *algo, config.vc_policy)?
+        }
+        RoutingSpec::Explicit(paths) => {
+            RoutingTables::from_paths_with(topo, paths.clone(), config.vc_policy)?
+        }
     };
-    check_deadlock_freedom(topo, routing.flows())?;
+    if routing.max_vc() >= config.switch.num_vcs {
+        return Err(CompileError::VcOverflow {
+            max_vc: routing.max_vc(),
+            num_vcs: config.switch.num_vcs,
+        });
+    }
+    check_routing_deadlock_freedom(topo, &routing)?;
 
     // Predicted link loads (only meaningful with fixed destinations).
     let fixed_loads: Option<Vec<f64>> = config
@@ -210,26 +221,32 @@ pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
     // perturbs earlier streams.
     let mut seeder = SplitMix64::new(config.seed);
 
-    // Switches.
+    // Switches. Credits are per (output, VC): each VC of an
+    // inter-switch link gets the depth of its downstream VC buffer;
+    // every VC of an ejection port is infinite (receptors always
+    // accept).
+    let num_vcs = config.switch.num_vcs;
     let mut switches = Vec::with_capacity(topo.switch_count());
     for s in topo.switch_ids() {
         let info = topo.switch(s);
         let sw_config = SwitchConfigBuilder::new(info.inputs, info.outputs)
             .fifo_depth(config.switch.fifo_depth)
+            .num_vcs(num_vcs)
             .arbiter(config.switch.arbiter)
             .selection(config.switch.selection)
             .build();
-        let credits: Vec<u32> = (0..info.outputs)
+        let credits: Vec<Vec<u32>> = (0..info.outputs)
             .map(|p| {
                 let link = topo.out_link(s, PortId::new(p));
-                match topo.link(link).dst {
+                let per_vc = match topo.link(link).dst {
                     LinkEnd::Switch { .. } => u32::from(config.switch.fifo_depth),
                     LinkEnd::Endpoint(_) => CREDITS_INFINITE,
-                }
+                };
+                vec![per_vc; num_vcs as usize]
             })
             .collect();
         let lfsr_seed = (seeder.next() & 0xFFFF) as u16;
-        let sw = Switch::new(
+        let sw = Switch::new_vc(
             sw_config,
             routing.switch_table(s).to_vec(),
             credits,

@@ -12,7 +12,7 @@ use nocem_stats::TrKind;
 use nocem_switch::arbiter::ArbiterKind;
 use nocem_switch::config::SelectionPolicy;
 use nocem_topology::builders::{paper_setup, PaperSetup, PAPER_OFFERED_LOAD};
-use nocem_topology::routing::{FlowPaths, FlowSpec, RouteAlgorithm};
+use nocem_topology::routing::{FlowPaths, FlowSpec, RouteAlgorithm, VcPolicy};
 use nocem_topology::Topology;
 use nocem_traffic::generator::DestinationModel;
 use nocem_traffic::stochastic::{BurstConfig, PoissonConfig, UniformConfig};
@@ -53,8 +53,11 @@ pub enum RoutingSpec {
 /// Per-switch parameters shared by all switches of the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchSettings {
-    /// Input buffer depth in flits.
+    /// Input buffer depth in flits, per virtual channel.
     pub fifo_depth: u8,
+    /// Virtual channels per physical port (1 = the original single-VC
+    /// platform; 2 suffices for dateline routing on rings and tori).
+    pub num_vcs: u8,
     /// Output arbitration policy.
     pub arbiter: ArbiterKind,
     /// Multi-path selection policy.
@@ -65,6 +68,7 @@ impl Default for SwitchSettings {
     fn default() -> Self {
         SwitchSettings {
             fifo_depth: 4,
+            num_vcs: 1,
             arbiter: ArbiterKind::RoundRobin,
             selection: SelectionPolicy::First,
         }
@@ -101,6 +105,10 @@ pub struct PlatformConfig {
     pub flows: Vec<FlowSpec>,
     /// How flows are routed.
     pub routing: RoutingSpec,
+    /// How the routed paths are labelled with virtual channels
+    /// (applies to computed and explicit routing alike). Must stay
+    /// within `switch.num_vcs`.
+    pub vc_policy: VcPolicy,
     /// Switch parameters.
     pub switch: SwitchSettings,
     /// One traffic model per generator, in `topology.generators()`
@@ -154,6 +162,7 @@ impl PlatformConfig {
             topology,
             flows,
             routing: RoutingSpec::Algorithm(RouteAlgorithm::Shortest),
+            vc_policy: VcPolicy::SingleVc,
             switch: SwitchSettings::default(),
             generators,
             receptors,
@@ -272,6 +281,7 @@ impl PaperConfig {
             topology: self.setup.topology.clone(),
             flows: self.setup.flows.clone(),
             routing,
+            vc_policy: VcPolicy::SingleVc,
             switch: SwitchSettings {
                 selection,
                 ..SwitchSettings::default()

@@ -199,7 +199,9 @@ impl Emulation {
             for t in sends {
                 match self.elab.wiring.in_source[s][t.input.index()] {
                     InSource::Switch { switch, port } => {
-                        self.elab.switches[switch].credit_return(port);
+                        // The upstream output VC the flit occupied is
+                        // the input VC it just vacated here.
+                        self.elab.switches[switch].credit_return(port, t.input_vc);
                     }
                     InSource::Generator { index } => {
                         self.elab.nis[index].credit_return();

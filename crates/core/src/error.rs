@@ -29,6 +29,14 @@ pub enum CompileError {
         /// What is wrong.
         reason: String,
     },
+    /// The routing tables use a virtual channel the switches do not
+    /// have.
+    VcOverflow {
+        /// Highest VC any routing entry references (0-based).
+        max_vc: u8,
+        /// Configured VCs per switch port.
+        num_vcs: u8,
+    },
     /// The platform ran out of bus device slots.
     AddressMapFull,
     /// A configured offered load exceeds link capacity somewhere.
@@ -49,6 +57,10 @@ impl std::fmt::Display for CompileError {
             CompileError::TrafficMismatch { reason } => {
                 write!(f, "traffic configuration mismatch: {reason}")
             }
+            CompileError::VcOverflow { max_vc, num_vcs } => write!(
+                f,
+                "routing uses VC {max_vc} but switches have only {num_vcs} VCs"
+            ),
             CompileError::AddressMapFull => write!(f, "platform address map is full"),
             CompileError::Overloaded { worst_load } => write!(
                 f,

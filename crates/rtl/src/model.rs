@@ -129,13 +129,20 @@ impl RtlEngine {
     pub fn new(elab: Elaboration) -> Self {
         let mut kernel = Kernel::new();
         let topo = &elab.config.topology;
+        let num_vcs = elab.config.switch.num_vcs as usize;
 
-        // One flit wire and one reverse credit wire per link.
+        // One flit wire per link and one reverse credit wire per
+        // (link, VC): a pop from VC v downstream frees one slot of VC
+        // v upstream.
         let flit_wires: Vec<SignalId> = (0..topo.link_count())
             .map(|l| kernel.signal(format!("flit_l{l}")))
             .collect();
-        let credit_wires: Vec<SignalId> = (0..topo.link_count())
-            .map(|l| kernel.signal(format!("credit_l{l}")))
+        let credit_wires: Vec<Vec<SignalId>> = (0..topo.link_count())
+            .map(|l| {
+                (0..num_vcs)
+                    .map(|v| kernel.signal(format!("credit_l{l}v{v}")))
+                    .collect()
+            })
             .collect();
 
         let shared = Rc::new(RefCell::new(SharedState {
@@ -157,7 +164,8 @@ impl RtlEngine {
         // must match the fast engine).
         for (i, &(_, _, link)) in elab.wiring.injection.iter().enumerate() {
             let out_wire = flit_wires[link.index()];
-            let credit_wire = credit_wires[link.index()];
+            // NIs inject on VC 0 only, so they watch that VC's credit.
+            let credit_wire = credit_wires[link.index()][0];
             let sh = Rc::clone(&shared);
             kernel.clocked_process(move |ctx: &mut ProcessCtx<'_>| {
                 let now = Cycle::new(ctx.time());
@@ -221,8 +229,8 @@ impl RtlEngine {
             let in_wires: Vec<SignalId> = (0..info.inputs)
                 .map(|p| flit_wires[elab.wiring.in_link[s][p as usize].index()])
                 .collect();
-            let in_credit_wires: Vec<SignalId> = (0..info.inputs)
-                .map(|p| credit_wires[elab.wiring.in_link[s][p as usize].index()])
+            let in_credit_wires: Vec<Vec<SignalId>> = (0..info.inputs)
+                .map(|p| credit_wires[elab.wiring.in_link[s][p as usize].index()].clone())
                 .collect();
             let out_links: Vec<usize> = (0..info.outputs)
                 .map(|p| {
@@ -231,8 +239,8 @@ impl RtlEngine {
                 })
                 .collect();
             let out_wires: Vec<SignalId> = out_links.iter().map(|&l| flit_wires[l]).collect();
-            let out_credit_wires: Vec<SignalId> =
-                out_links.iter().map(|&l| credit_wires[l]).collect();
+            let out_credit_wires: Vec<Vec<SignalId>> =
+                out_links.iter().map(|&l| credit_wires[l].clone()).collect();
             let sh = Rc::clone(&shared);
             kernel.clocked_process(move |ctx: &mut ProcessCtx<'_>| {
                 let sh = &mut *sh.borrow_mut();
@@ -249,26 +257,42 @@ impl RtlEngine {
                         }
                     }
                 }
-                // Sample returned credits.
-                for (o, w) in out_credit_wires.iter().enumerate() {
-                    if ctx.read(*w).is_high() {
-                        sw.credit_return(nocem_common::ids::PortId::new(o as u8));
+                // Sample returned credits, per output VC.
+                for (o, per_vc) in out_credit_wires.iter().enumerate() {
+                    for (v, w) in per_vc.iter().enumerate() {
+                        if ctx.read(*w).is_high() {
+                            sw.credit_return(
+                                nocem_common::ids::PortId::new(o as u8),
+                                nocem_common::ids::VcId::new(v as u8),
+                            );
+                        }
                     }
                 }
                 sw.decide();
                 let sends = sw.commit_sends();
                 let mut out_flit: Vec<Option<nocem_common::flit::Flit>> =
                     vec![None; out_wires.len()];
-                let mut popped = vec![false; in_wires.len()];
+                // At most one flit pops per input port per cycle; the
+                // credit travels back on that flit's input VC.
+                let mut popped: Vec<Option<u8>> = vec![None; in_wires.len()];
                 for t in sends {
                     out_flit[t.output.index()] = Some(t.flit);
-                    popped[t.input.index()] = true;
+                    popped[t.input.index()] = Some(t.input_vc.raw());
                 }
                 for (o, w) in out_wires.iter().enumerate() {
                     ctx.write(*w, Value::Flit(out_flit[o]));
                 }
-                for (p, w) in in_credit_wires.iter().enumerate() {
-                    ctx.write(*w, if popped[p] { Value::High } else { Value::Low });
+                for (p, per_vc) in in_credit_wires.iter().enumerate() {
+                    for (v, w) in per_vc.iter().enumerate() {
+                        ctx.write(
+                            *w,
+                            if popped[p] == Some(v as u8) {
+                                Value::High
+                            } else {
+                                Value::Low
+                            },
+                        );
+                    }
                 }
             });
         }

@@ -553,12 +553,17 @@ impl CoreGraphWorkload {
                 }
             })
             .collect();
+        let routing = crate::scenario::scenario_routing(topo, &self.flows);
         Ok(PlatformConfig {
             name,
             topology: topo.clone(),
             flows: self.flows.clone(),
-            routing: crate::scenario::scenario_routing(topo, &self.flows),
-            switch: SwitchSettings::default(),
+            routing: routing.routing,
+            vc_policy: routing.vc_policy,
+            switch: SwitchSettings {
+                num_vcs: routing.num_vcs,
+                ..SwitchSettings::default()
+            },
             generators,
             receptors: vec![TrKind::Stochastic; topo.receptors().len()],
             source_queue_capacity: 16,

@@ -11,10 +11,9 @@
 use crate::patterns::SyntheticPattern;
 use crate::ScenarioError;
 use nocem::config::{PlatformConfig, RoutingSpec, StopCondition, SwitchSettings, TrafficModel};
-use nocem_common::ids::SwitchId;
 use nocem_stats::TrKind;
 use nocem_topology::builders;
-use nocem_topology::routing::{FlowPaths, FlowSpec, RouteAlgorithm};
+use nocem_topology::routing::{ring_minimal_path, FlowPaths, FlowSpec, RouteAlgorithm, VcPolicy};
 use nocem_topology::Topology;
 use nocem_traffic::stochastic::UniformConfig;
 
@@ -68,52 +67,78 @@ impl TopologySpec {
     }
 }
 
-/// Deadlock-free routing for a scenario topology and flow set:
+/// The routing a scenario applies to its topology: the route spec
+/// plus the virtual-channel scheme that keeps it deadlock-free.
+#[derive(Debug, Clone)]
+pub struct ScenarioRouting {
+    /// How flows are routed.
+    pub routing: RoutingSpec,
+    /// How paths are labelled with virtual channels.
+    pub vc_policy: VcPolicy,
+    /// Virtual channels the switches need for the labels.
+    pub num_vcs: u8,
+}
+
+/// Deadlock-free *minimal* routing for a scenario topology and flow
+/// set:
 ///
-/// * grids route dimension-ordered XY (acyclic channel dependencies);
-/// * rings route as a *line* — every path stays on the ascending or
-///   descending index chain and never crosses the wrap-around, which
-///   removes the channel-dependency cycle a bidirectional ring
-///   otherwise has under single-VC wormhole switching;
-/// * anything else falls back to shortest-path.
-pub fn scenario_routing(topo: &Topology, flows: &[FlowSpec]) -> RoutingSpec {
-    if topo.grid().is_some() {
-        return RoutingSpec::Algorithm(RouteAlgorithm::Xy);
+/// * meshes route dimension-ordered XY on a single VC (acyclic channel
+///   dependencies, the classic result);
+/// * tori route dimension-ordered XY taking the shorter direction
+///   around each dimension — wrap-around links included — on 2 VCs
+///   with a dateline assignment;
+/// * rings route the shorter arc — crossing the wrap-around when it is
+///   nearer — on 2 VCs with a dateline assignment (the line-routing
+///   restriction the single-VC platform needed is gone);
+/// * anything else falls back to shortest-path on a single VC.
+pub fn scenario_routing(topo: &Topology, flows: &[FlowSpec]) -> ScenarioRouting {
+    if let Some(grid) = topo.grid() {
+        // A torus is a grid with wrap links; a mesh has none. (Tori
+        // with both dimensions <= 2 degenerate to meshes.)
+        let is_torus = topo
+            .links()
+            .any(|l| match (l.from_switch(), l.to_switch()) {
+                (Some(a), Some(b)) => grid.is_wrap_hop(a, b),
+                _ => false,
+            });
+        return if is_torus {
+            ScenarioRouting {
+                routing: RoutingSpec::Algorithm(RouteAlgorithm::TorusXy),
+                vc_policy: VcPolicy::Dateline,
+                num_vcs: 2,
+            }
+        } else {
+            ScenarioRouting {
+                routing: RoutingSpec::Algorithm(RouteAlgorithm::Xy),
+                vc_policy: VcPolicy::SingleVc,
+                num_vcs: 1,
+            }
+        };
     }
-    if is_ring(topo) {
+    if topo.is_switch_ring() && topo.switch_count() >= 3 {
+        let n = topo.switch_count() as u32;
         let paths = flows
             .iter()
             .map(|&spec| {
-                let a = topo.endpoint(spec.src).switch.raw();
-                let b = topo.endpoint(spec.dst).switch.raw();
-                let path: Vec<SwitchId> = if a <= b {
-                    (a..=b).map(SwitchId::new).collect()
-                } else {
-                    (b..=a).rev().map(SwitchId::new).collect()
-                };
+                let a = topo.endpoint(spec.src).switch;
+                let b = topo.endpoint(spec.dst).switch;
                 FlowPaths {
                     spec,
-                    paths: vec![path],
+                    paths: vec![ring_minimal_path(n, a, b)],
                 }
             })
             .collect();
-        return RoutingSpec::Explicit(paths);
+        return ScenarioRouting {
+            routing: RoutingSpec::Explicit(paths),
+            vc_policy: VcPolicy::Dateline,
+            num_vcs: 2,
+        };
     }
-    RoutingSpec::Algorithm(RouteAlgorithm::Shortest)
-}
-
-/// Whether switch indices form a bidirectional ring (`i ↔ i+1 mod n`).
-fn is_ring(topo: &Topology) -> bool {
-    let n = topo.switch_count() as u32;
-    if n < 2 {
-        return false;
+    ScenarioRouting {
+        routing: RoutingSpec::Algorithm(RouteAlgorithm::Shortest),
+        vc_policy: VcPolicy::SingleVc,
+        num_vcs: 1,
     }
-    (0..n).all(|i| {
-        let next = SwitchId::new((i + 1) % n);
-        let here = SwitchId::new(i);
-        topo.switch_neighbors(here).any(|(_, _, s, _)| s == next)
-            && topo.switch_neighbors(next).any(|(_, _, s, _)| s == here)
-    })
 }
 
 impl std::fmt::Display for TopologySpec {
@@ -214,8 +239,12 @@ impl ScenarioSpec {
         Ok(PlatformConfig {
             name: self.label(),
             flows: traffic.flows,
-            routing,
-            switch: SwitchSettings::default(),
+            routing: routing.routing,
+            vc_policy: routing.vc_policy,
+            switch: SwitchSettings {
+                num_vcs: routing.num_vcs,
+                ..SwitchSettings::default()
+            },
             generators,
             receptors,
             source_queue_capacity: 16,

@@ -3,9 +3,12 @@
 //! deterministic patterns are true permutations, and expansion is
 //! stable across calls.
 
+use nocem::compile::elaborate;
 use nocem_common::ids::SwitchId;
 use nocem_scenarios::patterns::SyntheticPattern;
+use nocem_scenarios::registry::ScenarioRegistry;
 use nocem_scenarios::scenario::TopologySpec;
+use nocem_topology::deadlock::check_routing_deadlock_freedom;
 use nocem_topology::graph::EndpointKind;
 use nocem_topology::Topology;
 use nocem_traffic::generator::DestinationModel;
@@ -120,6 +123,35 @@ proptest! {
         }
     }
 
+    /// Deadlock freedom for the whole catalogue: every registry
+    /// scenario, bound to any mesh/torus/ring, compiles to routing
+    /// whose *per-VC* channel-dependency graph is acyclic —
+    /// `elaborate()` enforces it at compile time, and the tables are
+    /// re-checked directly here. On rings and tori this exercises the
+    /// minimal + dateline scheme (wrap-around links in use).
+    #[test]
+    fn every_scenario_routing_is_deadlock_free_per_vc(
+        idx in 0usize..16,
+        spec in topology_spec(),
+    ) {
+        let reg = ScenarioRegistry::builtin();
+        let names = reg.names();
+        let scenario = reg.resolve(names[idx % names.len()]).unwrap();
+        let Ok(cfg) = scenario.build_config(spec, 0.2, 2, 64) else {
+            // Inapplicable combination (pattern/topology mismatch,
+            // unmappable core graph, budget floor) — a matrix skip.
+            return Ok(());
+        };
+        let elab = elaborate(&cfg)
+            .unwrap_or_else(|e| panic!("{} must compile deadlock-free: {e}", cfg.name));
+        check_routing_deadlock_freedom(&cfg.topology, &elab.routing)
+            .unwrap_or_else(|c| panic!("{}: {c}", cfg.name));
+        prop_assert!(
+            elab.routing.max_vc() < cfg.switch.num_vcs,
+            "routing VCs stay within the switch configuration"
+        );
+    }
+
     /// The tornado permutation never sends a packet more than half-way
     /// around its dimension (the pattern's defining property).
     #[test]
@@ -138,5 +170,48 @@ proptest! {
                 prop_assert!(hy <= grid.height / 2, "y hop {hy} beyond half-way");
             }
         }
+    }
+}
+
+/// Ring and torus scenarios route *minimally*: every configured path
+/// has exactly the graph-distance hop count (line routing would
+/// detour the long way around), and at least one path crosses the
+/// dateline (uses VC 1).
+#[test]
+fn ring_and_torus_scenarios_route_minimally_across_wraparound() {
+    let reg = ScenarioRegistry::builtin();
+    for spec in [
+        TopologySpec::Ring { switches: 8 },
+        TopologySpec::Torus {
+            width: 4,
+            height: 4,
+        },
+    ] {
+        let cfg = reg
+            .resolve("uniform_random")
+            .unwrap()
+            .build_config(spec, 0.2, 2, 64)
+            .unwrap();
+        assert_eq!(cfg.switch.num_vcs, 2, "{}: dateline needs 2 VCs", spec);
+        let elab = elaborate(&cfg).unwrap();
+        for fp in elab.routing.flows() {
+            let from = cfg.topology.endpoint(fp.spec.src).switch;
+            let to = cfg.topology.endpoint(fp.spec.dst).switch;
+            let shortest = nocem_topology::routing::shortest_path(&cfg.topology, from, to)
+                .expect("connected topology");
+            for path in &fp.paths {
+                assert_eq!(
+                    path.len(),
+                    shortest.len(),
+                    "{}: flow {} routed non-minimally",
+                    spec,
+                    fp.spec.flow
+                );
+            }
+        }
+        assert!(
+            elab.routing.max_vc() >= 1,
+            "{spec}: no path crossed the dateline"
+        );
     }
 }

@@ -46,8 +46,12 @@ pub struct SwitchConfig {
     pub inputs: u8,
     /// Number of output ports.
     pub outputs: u8,
-    /// Input buffer depth in flits (the paper's "size of buffers").
+    /// Buffer depth in flits *per virtual channel* (the paper's "size
+    /// of buffers").
     pub fifo_depth: u8,
+    /// Virtual channels per physical port (1 = the original single-VC
+    /// wormhole switch).
+    pub num_vcs: u8,
     /// Output arbitration policy.
     pub arbiter: ArbiterKind,
     /// Multi-path selection policy.
@@ -95,6 +99,7 @@ impl SwitchConfigBuilder {
                 inputs,
                 outputs,
                 fifo_depth: SwitchConfig::DEFAULT_FIFO_DEPTH,
+                num_vcs: 1,
                 arbiter: ArbiterKind::RoundRobin,
                 selection: SelectionPolicy::First,
             },
@@ -109,6 +114,17 @@ impl SwitchConfigBuilder {
     pub fn fifo_depth(mut self, depth: u8) -> Self {
         assert!(depth > 0, "buffer depth must be at least 1 flit");
         self.config.fifo_depth = depth;
+        self
+    }
+
+    /// Sets the number of virtual channels per physical port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs == 0`.
+    pub fn num_vcs(mut self, vcs: u8) -> Self {
+        assert!(vcs > 0, "need at least one virtual channel");
+        self.config.num_vcs = vcs;
         self
     }
 
@@ -140,8 +156,21 @@ mod tests {
         assert_eq!(c.inputs, 3);
         assert_eq!(c.outputs, 5);
         assert_eq!(c.fifo_depth, SwitchConfig::DEFAULT_FIFO_DEPTH);
+        assert_eq!(c.num_vcs, 1, "single VC is the default");
         assert_eq!(c.arbiter, ArbiterKind::RoundRobin);
         assert_eq!(c.selection, SelectionPolicy::First);
+    }
+
+    #[test]
+    fn builder_sets_vcs() {
+        let c = SwitchConfigBuilder::new(2, 2).num_vcs(2).build();
+        assert_eq!(c.num_vcs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual channel")]
+    fn zero_vcs_panics() {
+        let _ = SwitchConfigBuilder::new(1, 1).num_vcs(0);
     }
 
     #[test]

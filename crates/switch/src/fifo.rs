@@ -152,6 +152,7 @@ mod tests {
             seq: 0,
             flow: FlowId::new(0),
             dst: EndpointId::new(0),
+            vc: nocem_common::ids::VcId::ZERO,
             payload: n as u32,
         }
     }

@@ -6,48 +6,77 @@
 //! is what makes them cycle-equivalent and lets Table 2 compare their
 //! speed on identical work.
 //!
+//! The switch multiplexes `num_vcs` **virtual channels** onto every
+//! physical port: each input port holds one FIFO *per VC*, each output
+//! port tracks wormhole ownership and credits *per VC*, and the link
+//! behind an output carries at most one flit per cycle regardless of
+//! VC count. A platform configured with one VC is byte-for-byte the
+//! original single-VC wormhole switch.
+//!
 //! # Cycle semantics
 //!
 //! Every platform clock cycle has two phases:
 //!
 //! 1. **Decide** ([`Switch::decide`]): using only *start-of-cycle*
-//!    state, every input computes its request and every output grants
-//!    at most one input:
-//!    * an input whose FIFO is empty requests nothing;
-//!    * an input with an open wormhole requests its allocated output
-//!      (continuation);
-//!    * an input whose head-of-FIFO is a Head/Single flit selects one
-//!      admissible output from its routing entry (the selection is
-//!      made once per packet, when the head first reaches the FIFO
-//!      head, and is sticky until granted);
-//!    * an output owned by a wormhole grants its owner iff the owner
-//!      requests it and the output holds at least one credit;
-//!    * a free output with at least one credit arbitrates among the
-//!      head-flit requesters (inputs are visited in ascending index
-//!      order when stepping shared state, and the arbiter pointer
-//!      advances only on a grant).
+//!    state, three steps run back to back:
+//!    * **Requests** — every input VC with a flit at its FIFO head
+//!      computes the output VC it wants (ascending `(input, vc)`
+//!      order, which fixes the shared-LFSR stepping order):
+//!      an input VC inside an open wormhole requests its allocated
+//!      `(output, VC)` (continuation); an input VC facing a
+//!      Head/Single flit selects one admissible [`RouteHop`] from its
+//!      routing entry (the selection is made once per packet, when the
+//!      head first reaches the FIFO head, and is sticky until the VC
+//!      allocation succeeds).
+//!    * **VC allocation** — every *free* output VC holding at least
+//!      one credit arbitrates among the head flits requesting it
+//!      (ascending `(output, vc)` order; the arbiter pointer advances
+//!      only on a grant). The winner owns the output VC from this
+//!      cycle's commit onward, whether or not its flit also crosses
+//!      this cycle.
+//!    * **Switch allocation** — every physical output picks at most
+//!      one of its output VCs to actually transfer a flit: candidates
+//!      are this cycle's VC-allocation winners plus continuing worms
+//!      whose output VC holds a credit. Outputs are visited in
+//!      ascending order; within an output, VCs rotate round-robin (a
+//!      per-output pointer that advances only on a grant); an input
+//!      port sends at most one flit per cycle, so a candidate whose
+//!      input was already granted by a lower-numbered output is
+//!      skipped. With one VC this stage degenerates to "the VC
+//!      allocation / continuation winner transfers", the original
+//!      single-VC grant rule.
 //! 2. **Commit** ([`Switch::commit_sends`] / [`Switch::accept`] /
-//!    [`Switch::credit_return`]): granted flits pop from their FIFO,
-//!    consume one credit, open (Head) or close (Tail) the wormhole,
+//!    [`Switch::credit_return`]): VC allocations are applied (the
+//!    wormhole opens, the head's sticky selection clears, the packet
+//!    counts as routed), then granted flits pop from their input-VC
+//!    FIFO, consume one credit of their output VC, are stamped with
+//!    the output VC (the [`Flit::vc`] field tells the downstream
+//!    switch which buffer to land in), close the wormhole on a Tail,
 //!    and are handed to the engine, which pushes them into the
-//!    downstream buffer and returns a credit upstream. Everything
-//!    committed in cycle *t* becomes visible in cycle *t + 1*, so a
-//!    flit advances at most one hop per cycle and the minimum per-hop
-//!    latency is one cycle.
+//!    downstream buffer and returns a credit upstream *for the input
+//!    VC they vacated*. Everything committed in cycle *t* becomes
+//!    visible in cycle *t + 1*, so a flit advances at most one hop per
+//!    cycle and the minimum per-hop latency is one cycle.
 //!
-//! Credits are initialized to the downstream buffer depth
-//! ([`CREDITS_INFINITE`] for ejection ports, whose receptors always
-//! accept). A credit returns to the upstream output when the
-//! downstream FIFO pops, one cycle later.
+//! Credits are per output VC, initialized to the downstream buffer
+//! depth of that VC ([`CREDITS_INFINITE`] for ejection ports, whose
+//! receptors always accept). A credit returns to the upstream output
+//! VC when the downstream FIFO pops, one cycle later.
+//!
+//! Routing entries are [`RouteHop`]s — output port *plus output VC* —
+//! computed by `nocem-topology`; with a dateline assignment they make
+//! minimal ring/torus routing deadlock-free, which the per-VC
+//! channel-dependency check validates at platform compile time.
 
 use crate::arbiter::Arbiter;
 use crate::config::{SelectionPolicy, SwitchConfig};
 use crate::fifo::{FifoFullError, FlitFifo};
 use nocem_common::flit::Flit;
-use nocem_common::ids::PortId;
+use nocem_common::ids::{PortId, VcId};
 use nocem_common::rng::Lfsr16;
+use nocem_common::route::RouteHop;
 
-/// Credit value marking an output whose downstream always accepts
+/// Credit value marking an output VC whose downstream always accepts
 /// (ejection ports into traffic receptors).
 pub const CREDITS_INFINITE: u32 = u32::MAX;
 
@@ -65,12 +94,27 @@ pub enum BuildSwitchError {
         /// Number of outputs the switch actually has.
         outputs: u8,
     },
-    /// The credit vector length must equal the number of outputs.
+    /// A routing entry references a virtual channel the switch does
+    /// not have.
+    RouteVcOutOfRange {
+        /// Flow index of the offending entry.
+        flow: usize,
+        /// The referenced VC.
+        vc: VcId,
+        /// Number of VCs the switch actually has.
+        vcs: u8,
+    },
+    /// The credit matrix must hold one `num_vcs`-wide row per output.
     CreditWidthMismatch {
-        /// Supplied credit entries.
-        got: usize,
-        /// Number of outputs.
-        expected: usize,
+        /// Supplied rows.
+        got_outputs: usize,
+        /// Width of the first row that does not match `num_vcs` (or
+        /// `num_vcs` itself when only the row count is wrong).
+        got_vcs: usize,
+        /// Required rows.
+        outputs: u8,
+        /// Required row width.
+        vcs: u8,
     },
 }
 
@@ -85,10 +129,19 @@ impl std::fmt::Display for BuildSwitchError {
                 f,
                 "routing entry for flow {flow} references {port} but switch has {outputs} outputs"
             ),
-            BuildSwitchError::CreditWidthMismatch { got, expected } => {
+            BuildSwitchError::RouteVcOutOfRange { flow, vc, vcs } => write!(
+                f,
+                "routing entry for flow {flow} references {vc} but switch has {vcs} VCs"
+            ),
+            BuildSwitchError::CreditWidthMismatch {
+                got_outputs,
+                got_vcs,
+                outputs,
+                vcs,
+            } => {
                 write!(
                     f,
-                    "credit vector has {got} entries, switch has {expected} outputs"
+                    "credit matrix is {got_outputs}x{got_vcs}, switch needs {outputs} outputs x {vcs} VCs"
                 )
             }
         }
@@ -102,10 +155,21 @@ impl std::error::Error for BuildSwitchError {}
 pub struct Transfer {
     /// Input port the flit left.
     pub input: PortId,
+    /// Input virtual channel the flit vacated (the engine returns a
+    /// credit upstream for exactly this VC).
+    pub input_vc: VcId,
     /// Output port the flit took.
     pub output: PortId,
-    /// The flit itself.
+    /// The flit itself, already stamped with its *output* VC.
     pub flit: Flit,
+}
+
+/// A transfer grant of one physical output in the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Grant {
+    input: u8,
+    in_vc: u8,
+    out_vc: u8,
 }
 
 /// Statistics the switch accumulates; the hardware equivalents are the
@@ -114,7 +178,7 @@ pub struct Transfer {
 pub struct SwitchCounters {
     /// Total flits forwarded.
     pub forwarded_flits: u64,
-    /// Head/Single flits granted a fresh output (packets routed).
+    /// Head/Single flits granted a fresh output VC (packets routed).
     pub packets_routed: u64,
     /// Cycles each input spent with a waiting flit it could not send —
     /// the paper's congestion counter, per input port.
@@ -123,9 +187,10 @@ pub struct SwitchCounters {
     /// granted — the same blocked cycles attributed to the *link the
     /// flit wanted to traverse* (the congestion engines report per
     /// link; a hot output accumulates the stalls of everyone queued
-    /// behind it).
+    /// behind it). With multiple VCs every waiting, non-granted input
+    /// VC charges the output its flit requested.
     pub blocked_cycles_per_output: Vec<u64>,
-    /// Flits forwarded per output port.
+    /// Flits forwarded per output port (all VCs of the port combined).
     pub forwarded_per_output: Vec<u64>,
     /// Cycles each output actually transferred a flit (utilization).
     pub busy_cycles_per_output: Vec<u64>,
@@ -160,35 +225,59 @@ impl SwitchCounters {
     }
 }
 
-/// Cycle-accurate model of one parameterizable wormhole switch.
+/// Cycle-accurate model of one parameterizable wormhole switch with
+/// virtual channels.
 ///
 /// See the module documentation for the full cycle semantics.
 #[derive(Debug, Clone)]
 pub struct Switch {
     config: SwitchConfig,
-    /// `[flow] -> admissible output ports` (may be empty for flows
+    /// `[flow] -> admissible output hops` (may be empty for flows
     /// that never visit this switch).
-    routes: Vec<Vec<PortId>>,
-    fifos: Vec<FlitFifo>,
-    /// Per input: output allocated to the worm currently crossing.
-    allocated: Vec<Option<u8>>,
-    /// Per input: output selected for the pending head flit (sticky
-    /// until granted).
-    chosen: Vec<Option<u8>>,
-    /// Per output: input that owns the wormhole.
-    busy_with: Vec<Option<u8>>,
-    /// Per output: credits toward the downstream buffer.
-    credits: Vec<u32>,
-    /// Per output: the initial credit value (downstream capacity).
-    credit_cap: Vec<u32>,
+    routes: Vec<Vec<RouteHop>>,
+    /// `[input][vc]` flit buffers.
+    fifos: Vec<Vec<FlitFifo>>,
+    /// `[input][vc]`: output VC allocated to the worm currently
+    /// crossing (set by VC allocation, cleared by the tail).
+    allocated: Vec<Vec<Option<RouteHop>>>,
+    /// `[input][vc]`: hop selected for the pending head flit (sticky
+    /// until VC allocation succeeds).
+    chosen: Vec<Vec<Option<RouteHop>>>,
+    /// `[output][vc]`: `(input, input VC)` that owns the wormhole.
+    busy_with: Vec<Vec<Option<(u8, u8)>>>,
+    /// `[output][vc]`: credits toward the downstream buffer.
+    credits: Vec<Vec<u32>>,
+    /// `[output][vc]`: the initial credit value (downstream capacity).
+    credit_cap: Vec<Vec<u32>>,
+    /// One VC-allocation arbiter per output VC (flattened
+    /// `output * num_vcs + vc`), arbitrating over input VCs
+    /// (flattened `input * num_vcs + vc`).
     arbiters: Vec<Arbiter>,
-    /// Per input: alternation pointer for
+    /// Per output: switch-allocation round-robin pointer over VCs.
+    out_vc_ptr: Vec<u8>,
+    /// `[input][vc]`: alternation pointer for
     /// [`SelectionPolicy::Alternate`].
-    alternate_ptr: Vec<u8>,
-    /// Shared selection LFSR (stepped in ascending input order).
+    alternate_ptr: Vec<Vec<u8>>,
+    /// Shared selection LFSR (stepped in ascending input-VC order).
     lfsr: Lfsr16,
-    /// Per output: input granted in the current cycle.
-    granted: Vec<Option<u8>>,
+    /// Per output VC (flattened): head VC-allocated in the current
+    /// cycle, as `(input, input VC)`.
+    vc_granted: Vec<Option<(u8, u8)>>,
+    /// Per output: transfer granted in the current cycle.
+    granted: Vec<Option<Grant>>,
+    /// Scratch for `decide`: per input VC, the hop it requests this
+    /// cycle. Kept allocated across cycles (hot path).
+    requests: Vec<Option<RouteHop>>,
+    /// Scratch for VC allocation: `[output VC][input VC]` request
+    /// bitmap, flattened; entries are set and lazily cleared each
+    /// cycle so nothing reallocates in the hot path.
+    vc_reqs: Vec<bool>,
+    /// Scratch: per output VC, whether any head requests it this
+    /// cycle.
+    vc_req_any: Vec<bool>,
+    /// Scratch for switch allocation: per input, whether a grant
+    /// already claimed it this cycle.
+    input_taken: Vec<bool>,
     /// Per input: flits forwarded from this input (for congestion
     /// rates).
     forwarded_per_input: Vec<u64>,
@@ -196,10 +285,11 @@ pub struct Switch {
 }
 
 impl Switch {
-    /// Builds a switch.
+    /// Builds a single-VC switch — the convenience form of
+    /// [`Switch::new_vc`] for configurations with `num_vcs == 1`.
     ///
     /// * `routes` — flow-indexed admissible output ports, from
-    ///   `nocem-topology`'s routing tables.
+    ///   `nocem-topology`'s routing tables (every hop on VC 0).
     /// * `credits` — initial credit per output (downstream buffer
     ///   depth, or [`CREDITS_INFINITE`] for ejection ports).
     /// * `lfsr_seed` — seed of the selection LFSR (a TG-style "random
@@ -209,45 +299,107 @@ impl Switch {
     ///
     /// Returns [`BuildSwitchError`] if a route references a
     /// non-existent output or the credit vector has the wrong width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_vcs != 1`; multi-VC switches take their
+    /// per-VC routes and credits through [`Switch::new_vc`].
     pub fn new(
         config: SwitchConfig,
         routes: Vec<Vec<PortId>>,
         credits: Vec<u32>,
         lfsr_seed: u16,
     ) -> Result<Self, BuildSwitchError> {
-        for (flow, ports) in routes.iter().enumerate() {
-            for &p in ports {
-                if p.index() >= config.outputs as usize {
+        assert_eq!(
+            config.num_vcs, 1,
+            "Switch::new is the single-VC constructor; use Switch::new_vc"
+        );
+        Self::new_vc(
+            config,
+            routes
+                .into_iter()
+                .map(|ports| ports.into_iter().map(RouteHop::vc0).collect())
+                .collect(),
+            credits.into_iter().map(|c| vec![c]).collect(),
+            lfsr_seed,
+        )
+    }
+
+    /// Builds a switch with per-VC routes and credits.
+    ///
+    /// * `routes` — flow-indexed admissible output hops (port + VC).
+    /// * `credits` — initial credits per `[output][vc]` (downstream
+    ///   buffer depth of that VC, or [`CREDITS_INFINITE`] for ejection
+    ///   ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSwitchError`] if a route references a
+    /// non-existent output port or VC, or the credit matrix does not
+    /// hold exactly `outputs × num_vcs` entries.
+    pub fn new_vc(
+        config: SwitchConfig,
+        routes: Vec<Vec<RouteHop>>,
+        credits: Vec<Vec<u32>>,
+        lfsr_seed: u16,
+    ) -> Result<Self, BuildSwitchError> {
+        let inputs = config.inputs as usize;
+        let outputs = config.outputs as usize;
+        let vcs = config.num_vcs as usize;
+        for (flow, hops) in routes.iter().enumerate() {
+            for &h in hops {
+                if h.port.index() >= outputs {
                     return Err(BuildSwitchError::RouteOutOfRange {
                         flow,
-                        port: p,
+                        port: h.port,
                         outputs: config.outputs,
+                    });
+                }
+                if h.vc.index() >= vcs {
+                    return Err(BuildSwitchError::RouteVcOutOfRange {
+                        flow,
+                        vc: h.vc,
+                        vcs: config.num_vcs,
                     });
                 }
             }
         }
-        if credits.len() != config.outputs as usize {
+        if credits.len() != outputs || credits.iter().any(|row| row.len() != vcs) {
             return Err(BuildSwitchError::CreditWidthMismatch {
-                got: credits.len(),
-                expected: config.outputs as usize,
+                got_outputs: credits.len(),
+                got_vcs: credits
+                    .iter()
+                    .map(Vec::len)
+                    .find(|&w| w != vcs)
+                    .unwrap_or(vcs),
+                outputs: config.outputs,
+                vcs: config.num_vcs,
             });
         }
-        let inputs = config.inputs as usize;
-        let outputs = config.outputs as usize;
         Ok(Switch {
             fifos: (0..inputs)
-                .map(|_| FlitFifo::new(config.fifo_depth as usize))
+                .map(|_| {
+                    (0..vcs)
+                        .map(|_| FlitFifo::new(config.fifo_depth as usize))
+                        .collect()
+                })
                 .collect(),
-            allocated: vec![None; inputs],
-            chosen: vec![None; inputs],
-            busy_with: vec![None; outputs],
+            allocated: vec![vec![None; vcs]; inputs],
+            chosen: vec![vec![None; vcs]; inputs],
+            busy_with: vec![vec![None; vcs]; outputs],
             credit_cap: credits.clone(),
             credits,
-            arbiters: (0..outputs)
-                .map(|_| Arbiter::new(config.arbiter, inputs))
+            arbiters: (0..outputs * vcs)
+                .map(|_| Arbiter::new(config.arbiter, inputs * vcs))
                 .collect(),
-            alternate_ptr: vec![0; inputs],
+            out_vc_ptr: vec![0; outputs],
+            alternate_ptr: vec![vec![0; vcs]; inputs],
             lfsr: Lfsr16::new(lfsr_seed),
+            vc_granted: vec![None; outputs * vcs],
+            requests: vec![None; inputs * vcs],
+            vc_reqs: vec![false; outputs * vcs * inputs * vcs],
+            vc_req_any: vec![false; outputs * vcs],
+            input_taken: vec![false; inputs],
             granted: vec![None; outputs],
             forwarded_per_input: vec![0; inputs],
             counters: SwitchCounters::new(inputs, outputs),
@@ -261,7 +413,8 @@ impl Switch {
         &self.config
     }
 
-    /// Phase 1: compute this cycle's grants from start-of-cycle state.
+    /// Phase 1: compute this cycle's VC allocations and transfer
+    /// grants from start-of-cycle state.
     ///
     /// # Panics
     ///
@@ -271,78 +424,161 @@ impl Switch {
     pub fn decide(&mut self) {
         let inputs = self.config.inputs as usize;
         let outputs = self.config.outputs as usize;
+        let vcs = self.config.num_vcs as usize;
         self.counters.cycles += 1;
 
-        // Step 1: per-input requests, ascending input order (shared
-        // LFSR stepping order is part of the spec).
-        let mut requests: Vec<Option<u8>> = vec![None; inputs];
-        for (i, req) in requests.iter_mut().enumerate() {
-            let Some(flit) = self.fifos[i].peek() else {
-                continue;
-            };
-            if let Some(o) = self.allocated[i] {
-                *req = Some(o);
-                continue;
-            }
-            debug_assert!(
-                flit.kind.is_head(),
-                "unallocated input must face a head flit (wormhole ordering)"
-            );
-            let flow = flit.flow;
-            let o = match self.chosen[i] {
-                Some(o) => o,
-                None => {
-                    let ports = &self.routes[flow.index()];
-                    assert!(
-                        !ports.is_empty(),
-                        "flow {flow} has no routing entry at this switch"
-                    );
-                    let pick = Self::select(
-                        self.config.selection,
-                        ports,
-                        &self.credits,
-                        &mut self.alternate_ptr[i],
-                        &mut self.lfsr,
-                    );
-                    self.chosen[i] = Some(pick);
-                    pick
+        let ivs = inputs * vcs;
+
+        // Step 1: per input-VC requests, ascending (input, vc) order
+        // (shared LFSR stepping order is part of the spec).
+        self.requests.fill(None);
+        for i in 0..inputs {
+            for v in 0..vcs {
+                let Some(flit) = self.fifos[i][v].peek() else {
+                    continue;
+                };
+                if let Some(hop) = self.allocated[i][v] {
+                    self.requests[i * vcs + v] = Some(hop);
+                    continue;
                 }
-            };
-            *req = Some(o);
+                debug_assert!(
+                    flit.kind.is_head(),
+                    "unallocated input VC must face a head flit (wormhole ordering)"
+                );
+                let flow = flit.flow;
+                let hop = match self.chosen[i][v] {
+                    Some(h) => h,
+                    None => {
+                        let hops = &self.routes[flow.index()];
+                        assert!(
+                            !hops.is_empty(),
+                            "flow {flow} has no routing entry at this switch"
+                        );
+                        let pick = Self::select(
+                            self.config.selection,
+                            hops,
+                            &self.credits,
+                            &mut self.alternate_ptr[i][v],
+                            &mut self.lfsr,
+                        );
+                        self.chosen[i][v] = Some(pick);
+                        pick
+                    }
+                };
+                self.requests[i * vcs + v] = Some(hop);
+            }
         }
 
-        // Step 2: per-output grants.
+        // Step 2: VC allocation — every free output VC with a credit
+        // picks one head flit, ascending (output, vc) order. One
+        // scatter pass fills the per-output-VC request bitmaps (set
+        // and lazily cleared in the persistent scratch, so the hot
+        // path never allocates or scans unrequested slots).
+        for iv in 0..ivs {
+            if self.allocated[iv / vcs][iv % vcs].is_some() {
+                continue;
+            }
+            if let Some(hop) = self.requests[iv] {
+                let slot = hop.port.index() * vcs + hop.vc.index();
+                self.vc_reqs[slot * ivs + iv] = true;
+                self.vc_req_any[slot] = true;
+            }
+        }
+        for o in 0..outputs {
+            for ov in 0..vcs {
+                let slot = o * vcs + ov;
+                self.vc_granted[slot] = None;
+                if !self.vc_req_any[slot]
+                    || self.busy_with[o][ov].is_some()
+                    || self.credits[o][ov] == 0
+                {
+                    continue;
+                }
+                self.vc_granted[slot] = self.arbiters[slot]
+                    .grant(&self.vc_reqs[slot * ivs..(slot + 1) * ivs])
+                    .map(|iv| ((iv / vcs) as u8, (iv % vcs) as u8));
+            }
+        }
+        // Lazy clear: unset exactly the bits the scatter pass set.
+        for iv in 0..ivs {
+            if self.allocated[iv / vcs][iv % vcs].is_some() {
+                continue;
+            }
+            if let Some(hop) = self.requests[iv] {
+                let slot = hop.port.index() * vcs + hop.vc.index();
+                self.vc_reqs[slot * ivs + iv] = false;
+                self.vc_req_any[slot] = false;
+            }
+        }
+
+        // Step 3: switch allocation — each physical output transfers
+        // at most one flit, each input port sends at most one flit.
+        self.input_taken.fill(false);
         for o in 0..outputs {
             self.granted[o] = None;
-            if self.credits[o] == 0 {
-                continue;
-            }
-            if let Some(owner) = self.busy_with[o] {
-                if requests[owner as usize] == Some(o as u8) {
-                    self.granted[o] = Some(owner);
+            let base = self.out_vc_ptr[o] as usize;
+            for k in 0..vcs {
+                let ov = (base + k) % vcs;
+                let cand = match self.vc_granted[o * vcs + ov] {
+                    // A freshly VC-allocated head (credit was checked
+                    // during allocation, this same cycle).
+                    Some(winner) => Some(winner),
+                    // A continuing worm whose output VC has a credit.
+                    None => match self.busy_with[o][ov] {
+                        Some((i, v))
+                            if self.credits[o][ov] > 0
+                                && self.requests[i as usize * vcs + v as usize]
+                                    == Some(RouteHop {
+                                        port: PortId::new(o as u8),
+                                        vc: VcId::new(ov as u8),
+                                    }) =>
+                        {
+                            Some((i, v))
+                        }
+                        _ => None,
+                    },
+                };
+                let Some((i, v)) = cand else { continue };
+                if self.input_taken[i as usize] {
+                    continue;
                 }
-                continue;
-            }
-            let reqs: Vec<bool> = (0..inputs)
-                .map(|i| requests[i] == Some(o as u8) && self.allocated[i].is_none())
-                .collect();
-            if reqs.iter().any(|&r| r) {
-                self.granted[o] = self.arbiters[o].grant(&reqs).map(|i| i as u8);
+                self.input_taken[i as usize] = true;
+                self.granted[o] = Some(Grant {
+                    input: i,
+                    in_vc: v,
+                    out_vc: ov as u8,
+                });
+                self.out_vc_ptr[o] = ((ov + 1) % vcs) as u8;
+                break;
             }
         }
 
-        // Congestion accounting: a waiting input that was not granted
-        // anywhere is blocked this cycle — charged both to the input
-        // (where the flit sits) and to the output it requested (the
+        // Congestion accounting: an input holding flits that sent
+        // nothing is blocked this cycle; every waiting input VC that
+        // was not granted charges the output its flit requested (the
         // link it is waiting to traverse).
-        for (i, req) in requests.iter().enumerate() {
-            if self.fifos[i].is_empty() {
+        for i in 0..inputs {
+            if (0..vcs).all(|v| self.fifos[i][v].is_empty()) {
                 continue;
             }
-            if !self.granted.contains(&Some(i as u8)) {
+            let input_granted = self.granted.iter().flatten().any(|g| g.input as usize == i);
+            if !input_granted {
                 self.counters.blocked_cycles_per_input[i] += 1;
-                if let Some(o) = req {
-                    self.counters.blocked_cycles_per_output[usize::from(*o)] += 1;
+            }
+            for v in 0..vcs {
+                if self.fifos[i][v].is_empty() {
+                    continue;
+                }
+                let vc_sent = self
+                    .granted
+                    .iter()
+                    .flatten()
+                    .any(|g| g.input as usize == i && g.in_vc as usize == v);
+                if vc_sent {
+                    continue;
+                }
+                if let Some(hop) = self.requests[i * vcs + v] {
+                    self.counters.blocked_cycles_per_output[hop.port.index()] += 1;
                 }
             }
         }
@@ -350,78 +586,94 @@ impl Switch {
 
     fn select(
         policy: SelectionPolicy,
-        ports: &[PortId],
-        credits: &[u32],
+        hops: &[RouteHop],
+        credits: &[Vec<u32>],
         alternate_ptr: &mut u8,
         lfsr: &mut Lfsr16,
-    ) -> u8 {
-        if ports.len() == 1 {
-            return ports[0].raw();
+    ) -> RouteHop {
+        if hops.len() == 1 {
+            return hops[0];
         }
         match policy {
-            SelectionPolicy::First => ports[0].raw(),
+            SelectionPolicy::First => hops[0],
             SelectionPolicy::Alternate => {
-                let idx = (*alternate_ptr as usize) % ports.len();
+                let idx = (*alternate_ptr as usize) % hops.len();
                 *alternate_ptr = alternate_ptr.wrapping_add(1);
-                ports[idx].raw()
+                hops[idx]
             }
             SelectionPolicy::Random {
                 secondary_threshold,
             } => {
                 let draw = lfsr.step();
                 if draw < secondary_threshold {
-                    let idx = 1 + (draw as usize) % (ports.len() - 1);
-                    ports[idx].raw()
+                    hops[1 + (draw as usize) % (hops.len() - 1)]
                 } else {
-                    ports[0].raw()
+                    hops[0]
                 }
             }
             SelectionPolicy::Adaptive => {
-                let mut best = ports[0];
-                let mut best_credit = credits[best.index()];
-                for &p in &ports[1..] {
-                    if credits[p.index()] > best_credit {
-                        best = p;
-                        best_credit = credits[p.index()];
+                let mut best = hops[0];
+                let mut best_credit = credits[best.port.index()][best.vc.index()];
+                for &h in &hops[1..] {
+                    if credits[h.port.index()][h.vc.index()] > best_credit {
+                        best = h;
+                        best_credit = credits[h.port.index()][h.vc.index()];
                     }
                 }
-                best.raw()
+                best
             }
         }
     }
 
-    /// Phase 2a: pop granted flits, update wormhole and credit state,
-    /// and return the transfers for the engine to deliver.
+    /// Phase 2a: apply VC allocations, pop granted flits, update
+    /// wormhole and credit state, and return the transfers for the
+    /// engine to deliver.
     pub fn commit_sends(&mut self) -> Vec<Transfer> {
         let outputs = self.config.outputs as usize;
-        let mut sends = Vec::new();
+        let vcs = self.config.num_vcs as usize;
+        // VC allocations first: the winning head owns its output VC
+        // from now on, whether or not its flit also crosses this
+        // cycle (it may have lost switch allocation).
         for o in 0..outputs {
-            let Some(i) = self.granted[o].take() else {
-                continue;
-            };
-            let i = i as usize;
-            let flit = self.fifos[i]
-                .pop()
-                .expect("granted input has a flit at its head");
-            if self.credits[o] != CREDITS_INFINITE {
-                self.credits[o] -= 1;
-            }
-            if flit.kind.is_head() {
-                self.allocated[i] = Some(o as u8);
-                self.busy_with[o] = Some(i as u8);
-                self.chosen[i] = None;
+            for ov in 0..vcs {
+                let Some((i, v)) = self.vc_granted[o * vcs + ov].take() else {
+                    continue;
+                };
+                self.allocated[i as usize][v as usize] = Some(RouteHop {
+                    port: PortId::new(o as u8),
+                    vc: VcId::new(ov as u8),
+                });
+                self.busy_with[o][ov] = Some((i, v));
+                self.chosen[i as usize][v as usize] = None;
                 self.counters.packets_routed += 1;
             }
-            if flit.kind.is_tail() {
-                self.allocated[i] = None;
-                self.busy_with[o] = None;
+        }
+        let mut sends = Vec::new();
+        for o in 0..outputs {
+            let Some(g) = self.granted[o].take() else {
+                continue;
+            };
+            let (i, v, ov) = (g.input as usize, g.in_vc as usize, g.out_vc as usize);
+            let mut flit = self.fifos[i][v]
+                .pop()
+                .expect("granted input VC has a flit at its head");
+            if self.credits[o][ov] != CREDITS_INFINITE {
+                self.credits[o][ov] -= 1;
             }
+            if flit.kind.is_tail() {
+                self.allocated[i][v] = None;
+                self.busy_with[o][ov] = None;
+            }
+            // The flit continues on the output VC the allocation
+            // chose; the downstream switch lands it in that buffer.
+            flit.vc = VcId::new(ov as u8);
             self.counters.forwarded_flits += 1;
             self.counters.forwarded_per_output[o] += 1;
             self.counters.busy_cycles_per_output[o] += 1;
             self.forwarded_per_input[i] += 1;
             sends.push(Transfer {
                 input: PortId::new(i as u8),
+                input_vc: VcId::new(v as u8),
                 output: PortId::new(o as u8),
                 flit,
             });
@@ -429,48 +681,80 @@ impl Switch {
         sends
     }
 
-    /// Phase 2b: the engine pushes a flit arriving on `input` (visible
-    /// to `decide` from the next cycle).
+    /// Phase 2b: the engine pushes a flit arriving on `input` into the
+    /// VC buffer named by [`Flit::vc`] (visible to `decide` from the
+    /// next cycle).
     ///
     /// # Errors
     ///
     /// Returns [`FifoFullError`] when the buffer is full, which means
     /// credits were mis-wired upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit's VC is outside this switch's configuration
+    /// — a wiring bug, not a runtime condition.
     pub fn accept(&mut self, input: PortId, flit: Flit) -> Result<(), FifoFullError> {
-        self.fifos[input.index()].push(flit)
+        assert!(
+            flit.vc.index() < self.config.num_vcs as usize,
+            "flit arrived on {} but switch has {} VCs",
+            flit.vc,
+            self.config.num_vcs
+        );
+        self.fifos[input.index()][flit.vc.index()].push(flit)
     }
 
-    /// Phase 2b: the downstream buffer of `output` freed one slot.
+    /// Phase 2b: the downstream buffer of VC `vc` of `output` freed
+    /// one slot.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if the credit count would exceed the
     /// downstream capacity.
-    pub fn credit_return(&mut self, output: PortId) {
+    pub fn credit_return(&mut self, output: PortId, vc: VcId) {
         let o = output.index();
-        if self.credits[o] == CREDITS_INFINITE {
+        let v = vc.index();
+        if self.credits[o][v] == CREDITS_INFINITE {
             return;
         }
-        self.credits[o] += 1;
+        self.credits[o][v] += 1;
         debug_assert!(
-            self.credits[o] <= self.credit_cap[o],
-            "credit overflow on output {output}"
+            self.credits[o][v] <= self.credit_cap[o][v],
+            "credit overflow on output {output} {vc}"
         );
     }
 
     /// Whether the switch holds no flits and no open wormholes.
     pub fn is_idle(&self) -> bool {
-        self.fifos.iter().all(FlitFifo::is_empty) && self.allocated.iter().all(Option::is_none)
+        self.fifos
+            .iter()
+            .all(|per_vc| per_vc.iter().all(FlitFifo::is_empty))
+            && self
+                .allocated
+                .iter()
+                .all(|per_vc| per_vc.iter().all(Option::is_none))
     }
 
-    /// Occupancy of the input buffer `input`, in flits.
+    /// Occupancy of input buffer `input`, in flits, summed over its
+    /// VCs.
     pub fn occupancy(&self, input: PortId) -> usize {
-        self.fifos[input.index()].len()
+        self.fifos[input.index()].iter().map(FlitFifo::len).sum()
     }
 
-    /// Remaining credits of `output`.
+    /// Occupancy of one VC buffer of `input`, in flits.
+    pub fn occupancy_vc(&self, input: PortId, vc: VcId) -> usize {
+        self.fifos[input.index()][vc.index()].len()
+    }
+
+    /// Remaining credits of VC 0 of `output` (the whole story on a
+    /// single-VC switch; see [`Switch::credits_vc`]).
     pub fn credits(&self, output: PortId) -> u32 {
-        self.credits[output.index()]
+        self.credits[output.index()][0]
+    }
+
+    /// Remaining credits of one VC of `output`.
+    pub fn credits_vc(&self, output: PortId, vc: VcId) -> u32 {
+        self.credits[output.index()][vc.index()]
     }
 
     /// Accumulated statistics.
@@ -507,6 +791,17 @@ mod tests {
         .collect()
     }
 
+    /// Like [`packet`] but with every flit placed on `vc`.
+    fn packet_on_vc(id: u64, flow: u32, len: u16, vc: u8) -> Vec<Flit> {
+        packet(id, flow, len)
+            .into_iter()
+            .map(|mut f| {
+                f.vc = VcId::new(vc);
+                f
+            })
+            .collect()
+    }
+
     /// 2-in/2-out switch; flow 0 -> output 0, flow 1 -> output 1.
     fn simple_switch() -> Switch {
         let config = SwitchConfigBuilder::new(2, 2).fifo_depth(4).build();
@@ -533,6 +828,7 @@ mod tests {
         let sends = cycle(&mut sw);
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].output, PortId::new(0));
+        assert_eq!(sends[0].input_vc, VcId::ZERO);
         assert_eq!(sends[0].flit.kind, FlitKind::Single);
         assert!(sw.is_idle());
     }
@@ -598,7 +894,7 @@ mod tests {
         assert!(cycle(&mut sw).is_empty(), "no credits left");
         assert_eq!(sw.counters().blocked_cycles_per_input[0], 1);
         // Returning the credit unblocks the transfer.
-        sw.credit_return(PortId::new(0));
+        sw.credit_return(PortId::new(0), VcId::ZERO);
         let sends = cycle(&mut sw);
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].flit.packet.raw(), 2);
@@ -616,7 +912,7 @@ mod tests {
         cycle(&mut sw);
         assert_eq!(sw.credits(PortId::new(0)), 0);
         assert!(cycle(&mut sw).is_empty(), "out of credits");
-        sw.credit_return(PortId::new(0));
+        sw.credit_return(PortId::new(0), VcId::ZERO);
         assert_eq!(cycle(&mut sw).len(), 1);
     }
 
@@ -637,7 +933,7 @@ mod tests {
             assert_eq!(cycle(&mut sw).len(), 1);
         }
         assert_eq!(sw.credits(PortId::new(0)), CREDITS_INFINITE);
-        sw.credit_return(PortId::new(0)); // no-op
+        sw.credit_return(PortId::new(0), VcId::ZERO); // no-op
         assert_eq!(sw.credits(PortId::new(0)), CREDITS_INFINITE);
     }
 
@@ -770,7 +1066,7 @@ mod tests {
         sw.accept(PortId::new(0), packet(3, 0, 1)[0]).unwrap();
         assert!(cycle(&mut sw).is_empty());
         assert!(cycle(&mut sw).is_empty());
-        sw.credit_return(PortId::new(0));
+        sw.credit_return(PortId::new(0), VcId::ZERO);
         let s = cycle(&mut sw);
         assert_eq!(s[0].output, PortId::new(0), "sticky choice honoured");
     }
@@ -811,9 +1107,36 @@ mod tests {
     }
 
     #[test]
+    fn build_rejects_bad_route_vc() {
+        let config = SwitchConfigBuilder::new(1, 1).num_vcs(2).build();
+        let err = Switch::new_vc(
+            config,
+            vec![vec![RouteHop {
+                port: PortId::new(0),
+                vc: VcId::new(5),
+            }]],
+            vec![vec![1, 1]],
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildSwitchError::RouteVcOutOfRange { .. }));
+        assert!(err.to_string().contains("v5"));
+    }
+
+    #[test]
     fn build_rejects_bad_credit_width() {
         let config = SwitchConfigBuilder::new(1, 2).build();
         let err = Switch::new(config, vec![vec![PortId::new(0)]], vec![1], 1).unwrap_err();
+        assert!(matches!(err, BuildSwitchError::CreditWidthMismatch { .. }));
+        // Per-VC rows must match the VC count too.
+        let config = SwitchConfigBuilder::new(1, 1).num_vcs(2).build();
+        let err = Switch::new_vc(
+            config,
+            vec![vec![RouteHop::vc0(PortId::new(0))]],
+            vec![vec![1]],
+            1,
+        )
+        .unwrap_err();
         assert!(matches!(err, BuildSwitchError::CreditWidthMismatch { .. }));
     }
 
@@ -823,6 +1146,7 @@ mod tests {
         assert_eq!(sw.occupancy(PortId::new(0)), 0);
         sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
         assert_eq!(sw.occupancy(PortId::new(0)), 1);
+        assert_eq!(sw.occupancy_vc(PortId::new(0), VcId::ZERO), 1);
     }
 
     #[test]
@@ -839,5 +1163,217 @@ mod tests {
         let s2 = cycle(&mut sw);
         assert_eq!(s2.len(), 2);
         assert!(sw.is_idle());
+    }
+
+    // ------------------------- multi-VC tests -------------------------
+
+    /// 1-in/1-out, 2-VC switch; flow 0 continues on VC 0, flow 1 on
+    /// VC 1 — the shape a dateline routing table produces.
+    fn two_vc_switch() -> Switch {
+        let config = SwitchConfigBuilder::new(1, 1)
+            .fifo_depth(4)
+            .num_vcs(2)
+            .build();
+        Switch::new_vc(
+            config,
+            vec![
+                vec![RouteHop {
+                    port: PortId::new(0),
+                    vc: VcId::new(0),
+                }],
+                vec![RouteHop {
+                    port: PortId::new(0),
+                    vc: VcId::new(1),
+                }],
+            ],
+            vec![vec![4, 4]],
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flit_lands_in_its_vc_buffer() {
+        let mut sw = two_vc_switch();
+        sw.accept(PortId::new(0), packet_on_vc(1, 0, 1, 0)[0])
+            .unwrap();
+        sw.accept(PortId::new(0), packet_on_vc(2, 1, 1, 1)[0])
+            .unwrap();
+        assert_eq!(sw.occupancy_vc(PortId::new(0), VcId::new(0)), 1);
+        assert_eq!(sw.occupancy_vc(PortId::new(0), VcId::new(1)), 1);
+        assert_eq!(sw.occupancy(PortId::new(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "switch has 1 VCs")]
+    fn out_of_range_vc_is_a_wiring_bug() {
+        let mut sw = simple_switch();
+        sw.accept(PortId::new(0), packet_on_vc(1, 0, 1, 1)[0])
+            .unwrap();
+    }
+
+    #[test]
+    fn worms_on_different_vcs_interleave_over_one_link() {
+        // Two multi-flit packets on different input VCs of the same
+        // port, continuing on different output VCs of the same link:
+        // switch allocation interleaves them cycle by cycle instead of
+        // serializing packet after packet.
+        let mut sw = two_vc_switch();
+        for f in packet_on_vc(1, 0, 3, 0) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        for f in packet_on_vc(2, 1, 3, 1) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            for t in cycle(&mut sw) {
+                order.push((t.flit.packet.raw(), t.flit.vc.raw()));
+            }
+        }
+        assert_eq!(
+            order,
+            vec![(1, 0), (2, 1), (1, 0), (2, 1), (1, 0), (2, 1)],
+            "one flit per cycle on the physical link, VCs alternating"
+        );
+        assert!(sw.is_idle());
+    }
+
+    #[test]
+    fn blocked_vc_does_not_block_the_other() {
+        // VC 0's downstream buffer holds one flit, so packet 1 stalls
+        // after its head; packet 2 on VC 1 keeps flowing past it —
+        // the head-of-line-blocking cure VCs exist for.
+        let config = SwitchConfigBuilder::new(1, 1)
+            .fifo_depth(4)
+            .num_vcs(2)
+            .build();
+        let mut sw = Switch::new_vc(
+            config,
+            vec![
+                vec![RouteHop {
+                    port: PortId::new(0),
+                    vc: VcId::new(0),
+                }],
+                vec![RouteHop {
+                    port: PortId::new(0),
+                    vc: VcId::new(1),
+                }],
+            ],
+            vec![vec![1, 4]],
+            1,
+        )
+        .unwrap();
+        for f in packet_on_vc(1, 0, 2, 0) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        for f in packet_on_vc(2, 1, 2, 1) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        let mut crossed = Vec::new();
+        for _ in 0..5 {
+            for t in cycle(&mut sw) {
+                crossed.push(t.flit.packet.raw());
+            }
+        }
+        assert_eq!(
+            crossed,
+            vec![1, 2, 2],
+            "packet 2 overtakes the credit-starved packet 1"
+        );
+        assert_eq!(sw.occupancy_vc(PortId::new(0), VcId::new(0)), 1);
+        // Crediting VC 0 releases the stuck tail.
+        sw.credit_return(PortId::new(0), VcId::new(0));
+        let mut late = Vec::new();
+        for _ in 0..2 {
+            for t in cycle(&mut sw) {
+                late.push(t.flit.packet.raw());
+            }
+        }
+        assert_eq!(late, vec![1]);
+        assert!(sw.is_idle());
+    }
+
+    #[test]
+    fn vc_allocation_persists_when_switch_allocation_loses() {
+        // Two heads on different inputs want different output VCs of
+        // the same physical output: both win VC allocation in the
+        // same cycle, only one crosses; the other holds its output VC
+        // and crosses next cycle without re-arbitrating.
+        let config = SwitchConfigBuilder::new(2, 1)
+            .fifo_depth(4)
+            .num_vcs(2)
+            .build();
+        let mut sw = Switch::new_vc(
+            config,
+            vec![
+                vec![RouteHop {
+                    port: PortId::new(0),
+                    vc: VcId::new(0),
+                }],
+                vec![RouteHop {
+                    port: PortId::new(0),
+                    vc: VcId::new(1),
+                }],
+            ],
+            vec![vec![4, 4]],
+            1,
+        )
+        .unwrap();
+        sw.accept(PortId::new(0), packet_on_vc(1, 0, 2, 0)[0])
+            .unwrap();
+        sw.accept(PortId::new(1), packet_on_vc(2, 1, 1, 0)[0])
+            .unwrap();
+        // Cycle 1: both heads win their VC allocation; the physical
+        // output carries packet 1 (VC pointer starts at 0); packet 2
+        // keeps its allocation.
+        let s1 = cycle(&mut sw);
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0].flit.packet.raw(), 1);
+        assert_eq!(sw.counters().packets_routed, 2, "both allocations applied");
+        // Cycle 2: the pointer moved past VC 0, packet 2 crosses.
+        let s2 = cycle(&mut sw);
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s2[0].flit.packet.raw(), 2);
+        assert_eq!(s2[0].flit.vc, VcId::new(1));
+    }
+
+    #[test]
+    fn flits_are_stamped_with_their_output_vc() {
+        // A flow arriving on VC 0 but routed onto VC 1 (a dateline
+        // crossing) leaves with vc = 1.
+        let config = SwitchConfigBuilder::new(1, 1)
+            .fifo_depth(4)
+            .num_vcs(2)
+            .build();
+        let mut sw = Switch::new_vc(
+            config,
+            vec![vec![RouteHop {
+                port: PortId::new(0),
+                vc: VcId::new(1),
+            }]],
+            vec![vec![4, 4]],
+            1,
+        )
+        .unwrap();
+        for f in packet_on_vc(7, 0, 2, 0) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        for _ in 0..2 {
+            for t in cycle(&mut sw) {
+                assert_eq!(t.input_vc, VcId::new(0), "popped from the arrival VC");
+                assert_eq!(t.flit.vc, VcId::new(1), "continues on the routed VC");
+            }
+        }
+        assert!(sw.is_idle());
+    }
+
+    #[test]
+    fn single_vc_constructor_rejects_multi_vc_config() {
+        let config = SwitchConfigBuilder::new(1, 1).num_vcs(2).build();
+        let result = std::panic::catch_unwind(|| {
+            let _ = Switch::new(config, vec![vec![PortId::new(0)]], vec![1], 1);
+        });
+        assert!(result.is_err(), "Switch::new must insist on one VC");
     }
 }

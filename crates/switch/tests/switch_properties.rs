@@ -18,7 +18,7 @@
 //!   requester transfers every cycle (no idle cycles under load).
 
 use nocem_common::flit::{Flit, PacketDescriptor};
-use nocem_common::ids::{EndpointId, FlowId, PacketId, PortId};
+use nocem_common::ids::{EndpointId, FlowId, PacketId, PortId, VcId};
 use nocem_common::time::Cycle;
 use nocem_switch::arbiter::ArbiterKind;
 use nocem_switch::config::{SelectionPolicy, SwitchConfigBuilder};
@@ -75,7 +75,7 @@ fn run_to_drain(
             .is_some_and(|&(due, _)| due <= cycle)
         {
             let (_, port) = pending_credits.pop_front().unwrap();
-            sw.credit_return(port);
+            sw.credit_return(port, VcId::ZERO);
         }
         sw.decide();
         let sends = sw.commit_sends();
@@ -200,7 +200,7 @@ proptest! {
             prop_assert!(cycle < 4 * total + 16, "stream stalled");
             while due.front().is_some_and(|&d| d <= cycle) {
                 due.pop_front();
-                sw.credit_return(PortId::new(0));
+                sw.credit_return(PortId::new(0), VcId::ZERO);
             }
             sw.decide();
             for t in sw.commit_sends() {
@@ -241,7 +241,7 @@ proptest! {
             sw.decide();
             for t in sw.commit_sends() {
                 winners.push(t.input.raw());
-                sw.credit_return(PortId::new(0));
+                sw.credit_return(PortId::new(0), VcId::ZERO);
             }
             let _ = cycle;
         }
@@ -332,7 +332,7 @@ fn blocked_accounting_balances() {
         }
         sw.decide();
         for _t in sw.commit_sends() {
-            sw.credit_return(PortId::new(0));
+            sw.credit_return(PortId::new(0), VcId::ZERO);
         }
     }
     let c = sw.counters();

@@ -120,12 +120,15 @@ impl TlmEngine {
     pub fn new(elab: Elaboration) -> Self {
         let mut scheduler = Scheduler::new();
         let topo = &elab.config.topology;
+        let num_vcs = elab.config.switch.num_vcs as usize;
 
         let flit_chans: Vec<FlitChanId> = (0..topo.link_count())
             .map(|_| scheduler.flit_channel())
             .collect();
-        let credit_chans: Vec<BitChanId> = (0..topo.link_count())
-            .map(|_| scheduler.bit_channel())
+        // One reverse credit channel per (link, VC): a pop from VC v
+        // downstream frees one slot of VC v upstream.
+        let credit_chans: Vec<Vec<BitChanId>> = (0..topo.link_count())
+            .map(|_| (0..num_vcs).map(|_| scheduler.bit_channel()).collect())
             .collect();
 
         let shared = Rc::new(RefCell::new(SharedState {
@@ -148,7 +151,8 @@ impl TlmEngine {
         // model.
         for (i, &(_, _, link)) in elab.wiring.injection.iter().enumerate() {
             let out = flit_chans[link.index()];
-            let credit = credit_chans[link.index()];
+            // NIs inject on VC 0 only, so they watch that VC's credit.
+            let credit = credit_chans[link.index()][0];
             let sh = Rc::clone(&shared);
             scheduler.process(move |now: Cycle, ch: &mut ChannelCtx| {
                 let sh = &mut *sh.borrow_mut();
@@ -210,8 +214,8 @@ impl TlmEngine {
             let in_chans: Vec<FlitChanId> = (0..info.inputs)
                 .map(|p| flit_chans[elab.wiring.in_link[s][p as usize].index()])
                 .collect();
-            let in_credit: Vec<BitChanId> = (0..info.inputs)
-                .map(|p| credit_chans[elab.wiring.in_link[s][p as usize].index()])
+            let in_credit: Vec<Vec<BitChanId>> = (0..info.inputs)
+                .map(|p| credit_chans[elab.wiring.in_link[s][p as usize].index()].clone())
                 .collect();
             let out_links: Vec<usize> = (0..info.outputs)
                 .map(|p| {
@@ -220,7 +224,8 @@ impl TlmEngine {
                 })
                 .collect();
             let out_chans: Vec<FlitChanId> = out_links.iter().map(|&l| flit_chans[l]).collect();
-            let out_credit: Vec<BitChanId> = out_links.iter().map(|&l| credit_chans[l]).collect();
+            let out_credit: Vec<Vec<BitChanId>> =
+                out_links.iter().map(|&l| credit_chans[l].clone()).collect();
             let sh = Rc::clone(&shared);
             scheduler.process(move |_now: Cycle, ch: &mut ChannelCtx| {
                 let sh = &mut *sh.borrow_mut();
@@ -236,25 +241,34 @@ impl TlmEngine {
                         }
                     }
                 }
-                for (o, c) in out_credit.iter().enumerate() {
-                    if ch.read_bit(*c) {
-                        sw.credit_return(nocem_common::ids::PortId::new(o as u8));
+                for (o, per_vc) in out_credit.iter().enumerate() {
+                    for (v, c) in per_vc.iter().enumerate() {
+                        if ch.read_bit(*c) {
+                            sw.credit_return(
+                                nocem_common::ids::PortId::new(o as u8),
+                                nocem_common::ids::VcId::new(v as u8),
+                            );
+                        }
                     }
                 }
                 sw.decide();
                 let sends = sw.commit_sends();
                 let mut out_flit: Vec<Option<nocem_common::flit::Flit>> =
                     vec![None; out_chans.len()];
-                let mut popped = vec![false; in_chans.len()];
+                // At most one flit pops per input port per cycle; the
+                // credit travels back on that flit's input VC.
+                let mut popped: Vec<Option<u8>> = vec![None; in_chans.len()];
                 for t in sends {
                     out_flit[t.output.index()] = Some(t.flit);
-                    popped[t.input.index()] = true;
+                    popped[t.input.index()] = Some(t.input_vc.raw());
                 }
                 for (o, c) in out_chans.iter().enumerate() {
                     ch.write_flit(*c, out_flit[o]);
                 }
-                for (p, c) in in_credit.iter().enumerate() {
-                    ch.write_bit(*c, popped[p]);
+                for (p, per_vc) in in_credit.iter().enumerate() {
+                    for (v, c) in per_vc.iter().enumerate() {
+                        ch.write_bit(*c, popped[p] == Some(v as u8));
+                    }
                 }
             });
         }

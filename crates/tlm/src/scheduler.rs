@@ -225,6 +225,7 @@ mod tests {
             seq: 0,
             flow: FlowId::new(0),
             dst: EndpointId::new(0),
+            vc: nocem_common::ids::VcId::ZERO,
             payload: 0,
         }
     }

@@ -1,19 +1,24 @@
 //! Deadlock-freedom analysis of a routing configuration.
 //!
 //! Wormhole networks deadlock when the **channel dependency graph**
-//! (CDG) contains a cycle: a set of worms each holding a link the next
-//! one needs. The CDG has one node per link; a routing path that enters
-//! a switch on link `a` and leaves on link `b` contributes the edge
-//! `a -> b`.
+//! (CDG) contains a cycle: a set of worms each holding a channel the
+//! next one needs. With virtual channels the unit of allocation is a
+//! *virtual* channel, so the CDG has one node per `(link, VC)` pair; a
+//! routing path that enters a switch on channel `a` and leaves on
+//! channel `b` contributes the edge `a -> b`. A single-VC platform is
+//! the special case where every node sits on VC 0.
 //!
-//! [`check_deadlock_freedom`] builds the CDG from the configured flow
-//! paths (including injection and ejection links, which can never be
-//! part of a cycle but complete the dependency chains) and reports the
+//! [`check_deadlock_freedom`] builds the single-VC CDG from configured
+//! flow paths; [`check_routing_deadlock_freedom`] builds the per-VC
+//! CDG from a [`RoutingTables`] (whose paths carry VC labels, e.g.
+//! from the dateline scheme) — this is the check the platform compiler
+//! runs. Both include injection and ejection links, which can never be
+//! part of a cycle but complete the dependency chains, and report the
 //! first cycle found.
 
 use crate::graph::Topology;
-use crate::routing::FlowPaths;
-use nocem_common::ids::{LinkId, SwitchId};
+use crate::routing::{FlowPaths, RoutingTables};
+use nocem_common::ids::{LinkId, SwitchId, VcId};
 use std::collections::{HashMap, HashSet};
 
 /// A cyclic channel dependency that could deadlock the network.
@@ -21,13 +26,20 @@ use std::collections::{HashMap, HashSet};
 pub struct DeadlockCycle {
     /// The links forming the cycle, in dependency order.
     pub links: Vec<LinkId>,
+    /// The virtual channel of each link in the cycle. Empty when the
+    /// cycle came from the single-VC check ([`check_deadlock_freedom`]),
+    /// parallel to `links` otherwise.
+    pub vcs: Vec<VcId>,
 }
 
 impl std::fmt::Display for DeadlockCycle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "channel dependency cycle:")?;
-        for l in &self.links {
-            write!(f, " {l}")?;
+        for (i, l) in self.links.iter().enumerate() {
+            match self.vcs.get(i) {
+                Some(vc) => write!(f, " {l}/{vc}")?,
+                None => write!(f, " {l}")?,
+            }
         }
         Ok(())
     }
@@ -35,8 +47,8 @@ impl std::fmt::Display for DeadlockCycle {
 
 impl std::error::Error for DeadlockCycle {}
 
-/// Builds the channel dependency graph of `flows` over `topo` and
-/// verifies it is acyclic.
+/// Builds the single-VC channel dependency graph of `flows` over
+/// `topo` and verifies it is acyclic.
 ///
 /// # Errors
 ///
@@ -76,17 +88,76 @@ pub fn check_deadlock_freedom(topo: &Topology, flows: &[FlowPaths]) -> Result<()
         }
     }
 
-    // Iterative DFS three-colour cycle detection, deterministic order.
-    let mut color: HashMap<LinkId, u8> = HashMap::new(); // 0 white 1 grey 2 black
-    let mut nodes: Vec<LinkId> = edges.keys().copied().collect();
+    match find_cycle(&edges) {
+        Some(links) => Err(DeadlockCycle {
+            links,
+            vcs: Vec::new(),
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Builds the per-VC channel dependency graph of routed, VC-labelled
+/// paths and verifies it is acyclic — the check that validates the
+/// dateline scheme: the same physical ring cycle is broken because its
+/// links are visited on different VCs.
+///
+/// # Errors
+///
+/// Returns the first [`DeadlockCycle`] found, if any, with both the
+/// links and their VCs.
+///
+/// # Panics
+///
+/// Panics if a path references a connection that does not exist in
+/// `topo` (a configuration-construction bug).
+pub fn check_routing_deadlock_freedom(
+    topo: &Topology,
+    tables: &RoutingTables,
+) -> Result<(), DeadlockCycle> {
+    let mut edges: HashMap<(LinkId, VcId), HashSet<(LinkId, VcId)>> = HashMap::new();
+
+    for fp in tables.flows() {
+        for (pi, path) in fp.paths.iter().enumerate() {
+            let labels = tables.path_vcs(fp.spec.flow, pi);
+            let mut chain: Vec<(LinkId, VcId)> = Vec::with_capacity(path.len() + 1);
+            // Injection happens on VC 0 (the NI's fixed VC).
+            chain.push((topo.endpoint(fp.spec.src).link, VcId::ZERO));
+            for (w, &vc) in path.windows(2).zip(labels) {
+                chain.push((link_toward(topo, w[0], w[1]), vc));
+            }
+            // Ejection always rides VC 0 (see RoutingTables): the
+            // receptor is VC-blind, so packets serialize into it.
+            chain.push((topo.endpoint(fp.spec.dst).link, VcId::ZERO));
+            for w in chain.windows(2) {
+                edges.entry(w[0]).or_default().insert(w[1]);
+            }
+        }
+    }
+
+    match find_cycle(&edges) {
+        Some(nodes) => {
+            let (links, vcs) = nodes.into_iter().unzip();
+            Err(DeadlockCycle { links, vcs })
+        }
+        None => Ok(()),
+    }
+}
+
+/// Iterative DFS three-colour cycle detection over an adjacency map,
+/// deterministic (nodes and successors visited in sorted order).
+/// Returns the nodes of the first cycle found.
+fn find_cycle<N: Copy + Ord + std::hash::Hash>(edges: &HashMap<N, HashSet<N>>) -> Option<Vec<N>> {
+    let mut color: HashMap<N, u8> = HashMap::new(); // 0 white 1 grey 2 black
+    let mut nodes: Vec<N> = edges.keys().copied().collect();
     nodes.sort();
     for &start in &nodes {
         if color.get(&start).copied().unwrap_or(0) != 0 {
             continue;
         }
-        // Stack of (node, next-successor-index); successors sorted.
-        let mut stack: Vec<(LinkId, Vec<LinkId>, usize)> = Vec::new();
-        let succ = sorted_successors(&edges, start);
+        // Stack of (node, successors, next-successor-index).
+        let mut stack: Vec<(N, Vec<N>, usize)> = Vec::new();
+        let succ = sorted_successors(edges, start);
         color.insert(start, 1);
         stack.push((start, succ, 0));
         while let Some((node, succ, idx)) = stack.last_mut() {
@@ -99,7 +170,7 @@ pub fn check_deadlock_freedom(topo: &Topology, flows: &[FlowPaths]) -> Result<()
             *idx += 1;
             match color.get(&next).copied().unwrap_or(0) {
                 0 => {
-                    let s = sorted_successors(&edges, next);
+                    let s = sorted_successors(edges, next);
                     color.insert(next, 1);
                     stack.push((next, s, 0));
                 }
@@ -110,18 +181,20 @@ pub fn check_deadlock_freedom(topo: &Topology, flows: &[FlowPaths]) -> Result<()
                         .iter()
                         .position(|(n, _, _)| *n == next)
                         .expect("grey node is on the stack");
-                    let links = stack[pos..].iter().map(|(n, _, _)| *n).collect();
-                    return Err(DeadlockCycle { links });
+                    return Some(stack[pos..].iter().map(|(n, _, _)| *n).collect());
                 }
                 _ => {}
             }
         }
     }
-    Ok(())
+    None
 }
 
-fn sorted_successors(edges: &HashMap<LinkId, HashSet<LinkId>>, node: LinkId) -> Vec<LinkId> {
-    let mut s: Vec<LinkId> = edges
+fn sorted_successors<N: Copy + Ord + std::hash::Hash>(
+    edges: &HashMap<N, HashSet<N>>,
+    node: N,
+) -> Vec<N> {
+    let mut s: Vec<N> = edges
         .get(&node)
         .map(|set| set.iter().copied().collect())
         .unwrap_or_default();
@@ -139,8 +212,8 @@ fn link_toward(topo: &Topology, from: SwitchId, to: SwitchId) -> LinkId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builders::{paper_setup, ring};
-    use crate::routing::{FlowSpec, RouteAlgorithm, RoutingTables};
+    use crate::builders::{paper_setup, ring, torus};
+    use crate::routing::{ring_minimal_path, FlowSpec, RouteAlgorithm, RoutingTables, VcPolicy};
 
     #[test]
     fn paper_primary_is_deadlock_free() {
@@ -179,6 +252,78 @@ mod tests {
         let err = check_deadlock_freedom(&t, &flows).unwrap_err();
         assert!(err.links.len() >= 3, "cycle: {err}");
         assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn single_vc_ring_cycle_is_broken_by_dateline_vcs() {
+        // The same all-clockwise 4-ring traffic, as a per-VC check: on
+        // a single VC it deadlocks, with dateline labels it is safe.
+        let t = ring(4).unwrap();
+        let gens = t.generators();
+        let recs = t.receptors();
+        let s = |i: u32| SwitchId::new(i);
+        let flows: Vec<FlowPaths> = (0..4u32)
+            .map(|i| FlowPaths {
+                spec: FlowSpec {
+                    flow: nocem_common::ids::FlowId::new(i),
+                    src: gens[i as usize],
+                    dst: recs[((i + 2) % 4) as usize],
+                },
+                paths: vec![vec![s(i), s((i + 1) % 4), s((i + 2) % 4)]],
+            })
+            .collect();
+        let single = RoutingTables::from_paths_with(&t, flows.clone(), VcPolicy::SingleVc).unwrap();
+        let err = check_routing_deadlock_freedom(&t, &single).unwrap_err();
+        assert_eq!(err.links.len(), err.vcs.len(), "per-VC cycle report");
+        assert!(err.to_string().contains("/v0"));
+        let dateline = RoutingTables::from_paths_with(&t, flows, VcPolicy::Dateline).unwrap();
+        check_routing_deadlock_freedom(&t, &dateline).unwrap();
+    }
+
+    #[test]
+    fn minimal_ring_routing_with_dateline_is_deadlock_free() {
+        // Minimal bidirectional-ring routing crosses the wrap-around
+        // for long flows; the dateline labels keep the per-VC CDG
+        // acyclic for every source/destination pairing.
+        for n in [3u32, 4, 5, 6, 8] {
+            let t = ring(n).unwrap();
+            let mut flows = Vec::new();
+            for a in 0..n {
+                for b in 0..n {
+                    let spec = FlowSpec {
+                        flow: nocem_common::ids::FlowId::new(flows.len() as u32),
+                        src: t.generator_at(SwitchId::new(a)).unwrap(),
+                        dst: t.receptor_at(SwitchId::new(b)).unwrap(),
+                    };
+                    flows.push(FlowPaths {
+                        spec,
+                        paths: vec![ring_minimal_path(n, SwitchId::new(a), SwitchId::new(b))],
+                    });
+                }
+            }
+            let rt = RoutingTables::from_paths_with(&t, flows, VcPolicy::Dateline).unwrap();
+            check_routing_deadlock_freedom(&t, &rt).unwrap();
+            if n >= 3 {
+                assert!(rt.max_vc() >= 1, "ring{n} paths must cross the dateline");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_xy_with_dateline_is_deadlock_free() {
+        for (w, h) in [(3u32, 3u32), (4, 4), (5, 3)] {
+            let t = torus(w, h).unwrap();
+            let flows = FlowSpec::all_pairs(&t);
+            let rt = RoutingTables::compute_with(
+                &t,
+                &flows,
+                RouteAlgorithm::TorusXy,
+                VcPolicy::Dateline,
+            )
+            .unwrap();
+            check_routing_deadlock_freedom(&t, &rt).unwrap();
+            assert!(rt.max_vc() >= 1, "torus{w}x{h} paths must wrap");
+        }
     }
 
     #[test]

@@ -137,6 +137,17 @@ impl GridInfo {
     pub fn at(&self, x: u32, y: u32) -> SwitchId {
         SwitchId::new(y * self.width + x)
     }
+
+    /// Whether the hop `a -> b` crosses a torus wrap-around boundary:
+    /// the coordinates differ by more than one in some dimension
+    /// (grid-adjacent switches always differ by exactly one). This is
+    /// the single wrap predicate the torus detectors, the dateline VC
+    /// labeller and the tests share.
+    pub fn is_wrap_hop(&self, a: SwitchId, b: SwitchId) -> bool {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) > 1 || ay.abs_diff(by) > 1
+    }
 }
 
 /// An immutable, validated NoC structure.
@@ -273,6 +284,23 @@ impl Topology {
     pub fn has_endpoint_pair_per_switch(&self) -> bool {
         self.switch_ids()
             .all(|s| self.generator_at(s).is_some() && self.receptor_at(s).is_some())
+    }
+
+    /// Whether the switch indices form a bidirectional ring
+    /// (`i ↔ i+1 mod n`). Ring-shaped topologies are the only
+    /// grid-less ones where index distance identifies wrap-around
+    /// hops, which the dateline VC labeller relies on.
+    pub fn is_switch_ring(&self) -> bool {
+        let n = self.switches.len() as u32;
+        if n < 2 {
+            return false;
+        }
+        (0..n).all(|i| {
+            let here = SwitchId::new(i);
+            let next = SwitchId::new((i + 1) % n);
+            self.switch_neighbors(here).any(|(_, _, s, _)| s == next)
+                && self.switch_neighbors(next).any(|(_, _, s, _)| s == here)
+        })
     }
 
     /// The link arriving at input port `port` of switch `s`.

@@ -12,8 +12,12 @@
 //!   90 %-loaded hot links;
 //! * [`routing`] — flow-indexed routing tables computed by shortest
 //!   path, Yen's k-shortest paths (the paper's "two routing
-//!   possibilities") or XY, or built from explicit paths;
-//! * [`deadlock`] — channel-dependency-graph cycle detection;
+//!   possibilities"), XY, or minimal torus XY (wrap-around aware), or
+//!   built from explicit paths; paths carry per-hop virtual-channel
+//!   labels assigned by a [`routing::VcPolicy`] (dateline scheme for
+//!   rings/tori);
+//! * [`deadlock`] — channel-dependency-graph cycle detection, per
+//!   virtual channel;
 //! * [`analysis`] — analytic offered-load prediction per link
 //!   (validates the 45 % / 90 % numbers before any emulation runs).
 //!
@@ -48,7 +52,7 @@ pub mod graph;
 pub mod routing;
 
 pub use graph::{EndpointKind, GridInfo, Link, LinkEnd, Topology, TopologyBuilder};
-pub use routing::{FlowPaths, FlowSpec, Path, RouteAlgorithm, RoutingTables};
+pub use routing::{FlowPaths, FlowSpec, Path, RouteAlgorithm, RouteHop, RoutingTables, VcPolicy};
 
 use nocem_common::ids::{EndpointId, FlowId, SwitchId};
 

@@ -1,21 +1,30 @@
-//! Routing tables: from flows and paths to per-switch output-port sets.
+//! Routing tables: from flows and paths to per-switch output-hop sets.
 //!
 //! The emulated switches route by **flow**: every head flit carries a
 //! [`FlowId`], and each switch holds a small table mapping flows to the
-//! set of admissible output ports (one port for deterministic routing,
+//! set of admissible [`RouteHop`]s — an output port plus the virtual
+//! channel the packet continues on (one hop for deterministic routing,
 //! two for the paper's "two routing possibilities"). This module
 //! computes those tables from a [`Topology`] and a list of
 //! [`FlowSpec`]s using one of several algorithms, or from explicitly
 //! given paths (which is how the paper's experimental setup pins its
 //! hot links).
 //!
-//! Tables are *path-derived*: the configured paths are retained inside
-//! [`RoutingTables`] so that downstream analyses (deadlock check, link
-//! load prediction) can reason about them.
+//! Virtual-channel assignment is a labelling pass over the computed
+//! paths, selected by [`VcPolicy`]: [`VcPolicy::SingleVc`] keeps every
+//! hop on VC 0 (the original single-VC platform), while
+//! [`VcPolicy::Dateline`] moves a packet to VC 1 from the first
+//! wrap-around hop onward — the standard deadlock-avoidance scheme
+//! that lets rings and tori route *minimally* across their wrap links
+//! while the per-VC channel-dependency graph stays acyclic.
+//!
+//! Tables are *path-derived*: the configured paths and their VC labels
+//! are retained inside [`RoutingTables`] so that downstream analyses
+//! (deadlock check, link load prediction) can reason about them.
 
 use crate::graph::{EndpointKind, GridInfo, Topology};
 use crate::TopologyError;
-use nocem_common::ids::{EndpointId, FlowId, PortId, SwitchId};
+use nocem_common::ids::{EndpointId, FlowId, PortId, SwitchId, VcId};
 use std::collections::{BinaryHeap, HashSet};
 
 /// A (source endpoint, destination endpoint) traffic flow.
@@ -79,6 +88,23 @@ impl FlowSpec {
 /// destination's switch (inclusive).
 pub type Path = Vec<SwitchId>;
 
+pub use nocem_common::route::RouteHop;
+
+/// How virtual channels are assigned along computed paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VcPolicy {
+    /// Every hop rides VC 0 — the original single-VC platform.
+    #[default]
+    SingleVc,
+    /// Dateline scheme for rings and tori: a packet starts on VC 0 and
+    /// switches to VC 1 from the first wrap-around hop of each
+    /// dimension onward (the wrap hop itself already rides VC 1).
+    /// Requires switches configured with at least 2 VCs whenever a
+    /// path actually wraps; degenerates to [`VcPolicy::SingleVc`] on
+    /// topologies without wrap-around links.
+    Dateline,
+}
+
 /// The configured path alternatives of one flow.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowPaths {
@@ -98,30 +124,59 @@ pub enum RouteAlgorithm {
     KShortest(usize),
     /// Dimension-ordered X-then-Y routing; requires grid metadata.
     Xy,
+    /// Dimension-ordered X-then-Y routing that takes the shorter
+    /// direction around each dimension, using wrap-around links where
+    /// they exist (tori). Requires grid metadata; ties break toward
+    /// the direct (non-wrapping) direction, so on a mesh it reduces
+    /// to [`RouteAlgorithm::Xy`]. Pair with [`VcPolicy::Dateline`]
+    /// and 2 VCs to keep the wrap-crossing paths deadlock-free.
+    TorusXy,
 }
 
-/// Flow-indexed output-port tables for every switch, plus the paths
-/// they were derived from.
+/// Flow-indexed output-hop tables for every switch, plus the paths and
+/// VC labels they were derived from.
 #[derive(Debug, Clone)]
 pub struct RoutingTables {
-    /// `[switch][flow] -> admissible output ports` (empty when the flow
+    /// `[switch][flow] -> admissible output hops` (empty when the flow
     /// never visits the switch).
-    table: Vec<Vec<Vec<PortId>>>,
+    table: Vec<Vec<Vec<RouteHop>>>,
     flows: Vec<FlowPaths>,
+    /// `[flow][path][hop] -> VC` label of each inter-switch hop
+    /// (`path.len() - 1` entries per path).
+    vc_labels: Vec<Vec<Vec<VcId>>>,
 }
 
 impl RoutingTables {
-    /// Computes tables for `flows` over `topo` using `algo`.
+    /// Computes single-VC tables for `flows` over `topo` using `algo`
+    /// (every hop on VC 0). Shorthand for [`RoutingTables::compute_with`]
+    /// with [`VcPolicy::SingleVc`].
     ///
     /// # Errors
     ///
     /// Returns [`TopologyError`] when a flow's endpoints have the wrong
-    /// kind, no path exists, or (for [`RouteAlgorithm::Xy`]) the
-    /// topology carries no grid metadata.
+    /// kind, no path exists, or (for the XY algorithms) the topology
+    /// carries no grid metadata.
     pub fn compute(
         topo: &Topology,
         flows: &[FlowSpec],
         algo: RouteAlgorithm,
+    ) -> Result<Self, TopologyError> {
+        Self::compute_with(topo, flows, algo, VcPolicy::SingleVc)
+    }
+
+    /// Computes tables for `flows` over `topo` using `algo`, labelling
+    /// every path's hops with virtual channels per `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] when a flow's endpoints have the wrong
+    /// kind, no path exists, or (for the XY algorithms) the topology
+    /// carries no grid metadata.
+    pub fn compute_with(
+        topo: &Topology,
+        flows: &[FlowSpec],
+        algo: RouteAlgorithm,
+        policy: VcPolicy,
     ) -> Result<Self, TopologyError> {
         let mut flow_paths = Vec::with_capacity(flows.len());
         for spec in flows {
@@ -142,13 +197,18 @@ impl RoutingTables {
                     let grid = topo.grid().ok_or(TopologyError::GridRequired)?;
                     vec![xy_path(grid, from, to)]
                 }
+                RouteAlgorithm::TorusXy => {
+                    let grid = topo.grid().ok_or(TopologyError::GridRequired)?;
+                    vec![torus_xy_path(topo, grid, from, to)]
+                }
             };
             flow_paths.push(FlowPaths { spec: *spec, paths });
         }
-        Self::from_paths(topo, flow_paths)
+        Self::from_paths_with(topo, flow_paths, policy)
     }
 
-    /// Builds tables from explicitly given paths.
+    /// Builds single-VC tables from explicitly given paths (every hop
+    /// on VC 0).
     ///
     /// # Errors
     ///
@@ -157,8 +217,26 @@ impl RoutingTables {
     /// switch, revisits a switch, or uses a non-existent inter-switch
     /// connection.
     pub fn from_paths(topo: &Topology, flows: Vec<FlowPaths>) -> Result<Self, TopologyError> {
+        Self::from_paths_with(topo, flows, VcPolicy::SingleVc)
+    }
+
+    /// Builds tables from explicitly given paths, labelling hops with
+    /// virtual channels per `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidPath`] if a path does not start
+    /// at the flow's source switch, does not end at its destination
+    /// switch, revisits a switch, or uses a non-existent inter-switch
+    /// connection.
+    pub fn from_paths_with(
+        topo: &Topology,
+        flows: Vec<FlowPaths>,
+        policy: VcPolicy,
+    ) -> Result<Self, TopologyError> {
         let flow_count = flows.len();
-        let mut table = vec![vec![Vec::<PortId>::new(); flow_count]; topo.switch_count()];
+        let mut table = vec![vec![Vec::<RouteHop>::new(); flow_count]; topo.switch_count()];
+        let mut vc_labels = vec![Vec::new(); flow_count];
 
         for fp in &flows {
             let spec = fp.spec;
@@ -168,47 +246,63 @@ impl RoutingTables {
             }
             for path in &fp.paths {
                 validate_path(topo, spec.flow, path, from, to)?;
-                for w in path.windows(2) {
+                let labels = match policy {
+                    VcPolicy::SingleVc => vec![VcId::ZERO; path.len().saturating_sub(1)],
+                    VcPolicy::Dateline => dateline_vcs(topo, path),
+                };
+                for (w, &vc) in path.windows(2).zip(&labels) {
                     let port = port_toward(topo, w[0], w[1]).ok_or_else(|| {
                         TopologyError::InvalidPath {
                             flow: spec.flow,
                             reason: format!("no link {} -> {}", w[0], w[1]),
                         }
                     })?;
+                    let hop = RouteHop { port, vc };
                     let entry = &mut table[w[0].index()][spec.flow.index()];
-                    if !entry.contains(&port) {
-                        entry.push(port);
+                    if !entry.contains(&hop) {
+                        entry.push(hop);
                     }
                 }
-                // Ejection at the destination switch.
+                // Ejection at the destination switch, always on VC 0:
+                // receptors are VC-blind, so funnelling every packet
+                // through one ejection VC keeps deliveries wormhole-
+                // contiguous (no flit interleaving at the receptor).
+                // Ejection links are pure sinks — no outgoing channel
+                // dependencies — so this cannot create a cycle.
                 let eject =
                     topo.ejection_port(to, spec.dst)
                         .ok_or_else(|| TopologyError::InvalidPath {
                             flow: spec.flow,
                             reason: format!("{} is not attached to {}", spec.dst, to),
                         })?;
+                let hop = RouteHop::vc0(eject);
                 let entry = &mut table[to.index()][spec.flow.index()];
-                if !entry.contains(&eject) {
-                    entry.push(eject);
+                if !entry.contains(&hop) {
+                    entry.push(hop);
                 }
+                vc_labels[spec.flow.index()].push(labels);
             }
         }
-        Ok(RoutingTables { table, flows })
+        Ok(RoutingTables {
+            table,
+            flows,
+            vc_labels,
+        })
     }
 
-    /// The admissible output ports of `flow` at switch `s` (empty if
+    /// The admissible output hops of `flow` at switch `s` (empty if
     /// the flow never visits `s`).
     ///
     /// # Panics
     ///
     /// Panics if `s` or `flow` is out of range.
-    pub fn lookup(&self, s: SwitchId, flow: FlowId) -> &[PortId] {
+    pub fn lookup(&self, s: SwitchId, flow: FlowId) -> &[RouteHop] {
         &self.table[s.index()][flow.index()]
     }
 
-    /// Dense per-switch table (flow index → ports), as consumed by the
+    /// Dense per-switch table (flow index → hops), as consumed by the
     /// switch models.
-    pub fn switch_table(&self, s: SwitchId) -> &[Vec<PortId>] {
+    pub fn switch_table(&self, s: SwitchId) -> &[Vec<RouteHop>] {
         &self.table[s.index()]
     }
 
@@ -220,6 +314,28 @@ impl RoutingTables {
     /// The configured flows and their paths.
     pub fn flows(&self) -> &[FlowPaths] {
         &self.flows
+    }
+
+    /// The VC labels of path `path_index` of `flow`, one per
+    /// inter-switch hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow or path index is out of range.
+    pub fn path_vcs(&self, flow: FlowId, path_index: usize) -> &[VcId] {
+        &self.vc_labels[flow.index()][path_index]
+    }
+
+    /// The highest VC any table entry uses (0 for single-VC tables).
+    /// Switches must be configured with at least `max_vc() + 1` VCs.
+    pub fn max_vc(&self) -> u8 {
+        self.table
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|hop| hop.vc.raw())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The maximum number of alternatives any (switch, flow) entry
@@ -466,6 +582,111 @@ fn xy_path(grid: &GridInfo, from: SwitchId, to: SwitchId) -> Path {
     path
 }
 
+/// One dimension-ordered torus step: the distance and per-step delta
+/// of the shorter direction around a ring of `size` nodes, preferring
+/// the direct (non-wrapping) direction on ties or when the wrap link
+/// does not exist (`size <= 2`).
+fn torus_dim_steps(cur: u32, target: u32, size: u32) -> (u32, i64) {
+    let direct = cur.abs_diff(target);
+    let wrapped = size - direct;
+    let direct_delta = if cur < target { 1 } else { -1 };
+    if size > 2 && wrapped < direct {
+        (wrapped, -direct_delta)
+    } else {
+        (direct, direct_delta)
+    }
+}
+
+/// Dimension-ordered (X then Y) path on a torus, taking the shorter
+/// direction around each dimension (wrap-around links included).
+fn torus_xy_path(topo: &Topology, grid: &GridInfo, from: SwitchId, to: SwitchId) -> Path {
+    let step = |coord: u32, delta: i64, size: u32| -> u32 {
+        ((i64::from(coord) + delta).rem_euclid(i64::from(size))) as u32
+    };
+    let (mut x, mut y) = grid.coords(from);
+    let (tx, ty) = grid.coords(to);
+    let mut path = vec![from];
+    let (hops_x, dx) = torus_dim_steps(x, tx, grid.width);
+    for _ in 0..hops_x {
+        x = step(x, dx, grid.width);
+        path.push(grid.at(x, y));
+    }
+    let (hops_y, dy) = torus_dim_steps(y, ty, grid.height);
+    for _ in 0..hops_y {
+        y = step(y, dy, grid.height);
+        path.push(grid.at(x, y));
+    }
+    debug_assert!(
+        path.windows(2)
+            .all(|w| port_toward(topo, w[0], w[1]).is_some()),
+        "torus XY path uses only existing links"
+    );
+    path
+}
+
+/// The minimal path around a ring of `n` switches whose ids form the
+/// cycle `0 ↔ 1 ↔ … ↔ n-1 ↔ 0`, from `from` to `to` (ties break
+/// toward ascending ids). Pair with [`VcPolicy::Dateline`]: minimal
+/// ring paths cross the wrap-around `0 ↔ n-1` pair whenever that arc
+/// is shorter.
+///
+/// # Panics
+///
+/// Panics if `from` or `to` is not a valid switch of an `n`-ring.
+pub fn ring_minimal_path(n: u32, from: SwitchId, to: SwitchId) -> Path {
+    assert!(from.raw() < n && to.raw() < n, "switch outside the ring");
+    let fwd = (to.raw() + n - from.raw()) % n;
+    let bwd = (from.raw() + n - to.raw()) % n;
+    if fwd <= bwd {
+        (0..=fwd)
+            .map(|k| SwitchId::new((from.raw() + k) % n))
+            .collect()
+    } else {
+        (0..=bwd)
+            .map(|k| SwitchId::new((from.raw() + n - k) % n))
+            .collect()
+    }
+}
+
+/// Labels the hops of `path` with dateline virtual channels: VC 0
+/// until the path crosses a wrap-around link, VC 1 from that hop
+/// onward, tracked independently per grid dimension (dimension-ordered
+/// torus paths wrap at most once per dimension, ring paths at most
+/// once overall).
+///
+/// Wrap-around hops are recognized on grids by
+/// [`GridInfo::is_wrap_hop`] (coordinate distance above one in the
+/// travelling dimension) and on ring-shaped topologies
+/// ([`Topology::is_switch_ring`]) by switch-id distance above one. On
+/// every other topology no hop is a wrap hop, so every hop labels
+/// VC 0 — which is what makes [`VcPolicy::Dateline`] safe to apply
+/// everywhere (star or irregular topologies with non-adjacent switch
+/// ids on a hop are *not* misread as wrapping).
+pub fn dateline_vcs(topo: &Topology, path: &[SwitchId]) -> Vec<VcId> {
+    let ring = topo.grid().is_none() && topo.is_switch_ring();
+    let mut crossed_x = false;
+    let mut crossed_y = false;
+    let mut labels = Vec::with_capacity(path.len().saturating_sub(1));
+    for w in path.windows(2) {
+        let crossed = if let Some(grid) = topo.grid() {
+            let (_, ay) = grid.coords(w[0]);
+            let (_, by) = grid.coords(w[1]);
+            if ay == by {
+                crossed_x |= grid.is_wrap_hop(w[0], w[1]);
+                crossed_x
+            } else {
+                crossed_y |= grid.is_wrap_hop(w[0], w[1]);
+                crossed_y
+            }
+        } else {
+            crossed_x |= ring && w[0].raw().abs_diff(w[1].raw()) > 1;
+            crossed_x
+        };
+        labels.push(VcId::new(u8::from(crossed)));
+    }
+    labels
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +850,113 @@ mod tests {
             RoutingTables::compute(&t, &[swapped], RouteAlgorithm::Shortest),
             Err(TopologyError::WrongEndpointKind { .. })
         ));
+    }
+
+    #[test]
+    fn ring_minimal_takes_the_shorter_arc() {
+        let s = SwitchId::new;
+        // Direct arc when it is shorter.
+        assert_eq!(ring_minimal_path(8, s(1), s(3)), vec![s(1), s(2), s(3)]);
+        // Wrap-around arc when that is shorter.
+        assert_eq!(ring_minimal_path(8, s(1), s(7)), vec![s(1), s(0), s(7)]);
+        assert_eq!(ring_minimal_path(8, s(7), s(1)), vec![s(7), s(0), s(1)]);
+        // Tie (opposite side) breaks toward ascending ids.
+        assert_eq!(
+            ring_minimal_path(4, s(0), s(2)),
+            vec![s(0), s(1), s(2)],
+            "tie breaks forward"
+        );
+        // Degenerate: already there.
+        assert_eq!(ring_minimal_path(5, s(2), s(2)), vec![s(2)]);
+    }
+
+    #[test]
+    fn torus_xy_wraps_when_shorter() {
+        let t = builders::torus(4, 4).unwrap();
+        let grid = t.grid().unwrap();
+        // x: 0 -> 3 is one wrap hop, not three direct hops.
+        let p = torus_xy_path(&t, grid, SwitchId::new(0), SwitchId::new(3));
+        assert_eq!(p, vec![SwitchId::new(0), SwitchId::new(3)]);
+        // Distance-2 ties go direct.
+        let p = torus_xy_path(&t, grid, SwitchId::new(0), SwitchId::new(2));
+        assert_eq!(
+            p,
+            vec![SwitchId::new(0), SwitchId::new(1), SwitchId::new(2)]
+        );
+        // Both dimensions wrap: (0,0) -> (3,3) is two hops.
+        let p = torus_xy_path(&t, grid, grid.at(0, 0), grid.at(3, 3));
+        assert_eq!(p, vec![grid.at(0, 0), grid.at(3, 0), grid.at(3, 3)]);
+    }
+
+    #[test]
+    fn torus_xy_reduces_to_xy_on_width_two_dimensions() {
+        // A 2-wide torus has no wrap links; the direct direction must
+        // be taken even though "wrapping" would tie.
+        let t = builders::torus(2, 3).unwrap();
+        let grid = t.grid().unwrap();
+        let p = torus_xy_path(&t, grid, grid.at(0, 0), grid.at(1, 0));
+        assert_eq!(p, vec![grid.at(0, 0), grid.at(1, 0)]);
+    }
+
+    #[test]
+    fn dateline_labels_flip_to_vc1_at_the_wrap_hop() {
+        let t = builders::ring(6).unwrap();
+        let s = SwitchId::new;
+        // 4 -> 5 -> 0 -> 1: the 5->0 hop crosses the dateline; it and
+        // everything after ride VC 1.
+        let labels = dateline_vcs(&t, &[s(4), s(5), s(0), s(1)]);
+        assert_eq!(
+            labels,
+            vec![VcId::new(0), VcId::new(1), VcId::new(1)],
+            "VC 1 from the wrap hop onward"
+        );
+        // A path that never wraps stays on VC 0.
+        let labels = dateline_vcs(&t, &[s(1), s(2), s(3)]);
+        assert_eq!(labels, vec![VcId::ZERO; 2]);
+    }
+
+    #[test]
+    fn dateline_is_inert_off_grid_off_ring() {
+        // A star hops between non-adjacent switch ids (leaf 1 -> hub 0
+        // -> leaf 3), which must NOT be mistaken for a wrap-around
+        // crossing: Dateline on an arbitrary topology labels VC 0
+        // everywhere and stays valid on a single-VC platform.
+        let t = builders::star(4).unwrap();
+        let s = SwitchId::new;
+        let labels = dateline_vcs(&t, &[s(1), s(0), s(3)]);
+        assert_eq!(labels, vec![VcId::ZERO; 2]);
+    }
+
+    #[test]
+    fn dateline_labels_reset_per_torus_dimension() {
+        let t = builders::torus(4, 4).unwrap();
+        let grid = t.grid().unwrap().clone();
+        // x wraps (3,0 -> 0,0), then y goes direct: the y segment
+        // starts back on VC 0 (per-dimension datelines).
+        let path = vec![grid.at(2, 0), grid.at(3, 0), grid.at(0, 0), grid.at(0, 1)];
+        let labels = dateline_vcs(&t, &path);
+        assert_eq!(labels, vec![VcId::new(0), VcId::new(1), VcId::new(0)]);
+    }
+
+    #[test]
+    fn torus_xy_tables_carry_vc_labels() {
+        let t = builders::torus(4, 4).unwrap();
+        let flows = FlowSpec::all_pairs(&t);
+        let rt =
+            RoutingTables::compute_with(&t, &flows, RouteAlgorithm::TorusXy, VcPolicy::Dateline)
+                .unwrap();
+        assert_eq!(rt.max_vc(), 1, "dateline uses exactly two VCs");
+        // Single-VC labelling of the same paths reports max VC 0.
+        let rt0 =
+            RoutingTables::compute_with(&t, &flows, RouteAlgorithm::TorusXy, VcPolicy::SingleVc)
+                .unwrap();
+        assert_eq!(rt0.max_vc(), 0);
+        // Labels are exposed per path, one per hop.
+        for fp in rt.flows() {
+            for (pi, path) in fp.paths.iter().enumerate() {
+                assert_eq!(rt.path_vcs(fp.spec.flow, pi).len(), path.len() - 1);
+            }
+        }
     }
 
     #[test]

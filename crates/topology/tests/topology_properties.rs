@@ -27,7 +27,7 @@ fn walk_delivers(topo: &Topology, tables: &RoutingTables, spec: &FlowSpec) {
             spec.flow
         );
         // Follow the primary port to the next switch.
-        let link = topo.out_link(here, ports[0]);
+        let link = topo.out_link(here, ports[0].port);
         here = topo
             .link(link)
             .to_switch()
@@ -36,7 +36,7 @@ fn walk_delivers(topo: &Topology, tables: &RoutingTables, spec: &FlowSpec) {
     // At the destination switch the flow must have an ejection entry.
     let ports = tables.lookup(goal, spec.flow);
     assert!(!ports.is_empty(), "no ejection entry at {goal}");
-    let link = topo.out_link(goal, ports[0]);
+    let link = topo.out_link(goal, ports[0].port);
     assert_eq!(
         topo.link(link).to_switch(),
         None,
