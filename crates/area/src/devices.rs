@@ -218,47 +218,78 @@ pub struct SwitchParams {
     pub inputs: u64,
     /// Output ports.
     pub outputs: u64,
-    /// Input buffer depth in flits.
+    /// Input buffer depth in flits, *per virtual channel*.
     pub fifo_depth: u64,
     /// Routing-table entries (flows).
     pub flows: u64,
+    /// Virtual channels per physical port. 1 reproduces the paper's
+    /// single-VC Xpipes switch (Table 1); higher values replicate the
+    /// per-VC buffers and per-(output, VC) credit/worm state the
+    /// platform's multi-VC switch model carries.
+    pub num_vcs: u64,
 }
 
 impl SwitchParams {
     /// The default parameterization used by the paper platform
-    /// (buffer depth 4, 8 flow entries).
+    /// (buffer depth 4, 8 flow entries, one VC).
     pub fn new(inputs: u64, outputs: u64) -> Self {
         SwitchParams {
             inputs,
             outputs,
             fifo_depth: 4,
             flows: 8,
+            num_vcs: 1,
         }
+    }
+
+    /// The same switch with `num_vcs` virtual channels per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vcs == 0`.
+    #[must_use]
+    pub fn with_vcs(mut self, num_vcs: u64) -> Self {
+        assert!(num_vcs >= 1, "a switch needs at least one VC");
+        self.num_vcs = num_vcs;
+        self
     }
 }
 
 /// Resources of one Xpipes-style switch.
+///
+/// Buffer area scales with `num_vcs × fifo_depth` per input (one FIFO
+/// per VC), and every output replicates its credit counter, wormhole
+/// state and VC-allocation arbiter per VC — the Table 1 gap the
+/// ROADMAP noted after the virtual-channel refactor. With one VC the
+/// model is unchanged from the calibrated Table 1 reproduction.
 pub fn switch(p: SwitchParams) -> Resources {
+    assert!(p.num_vcs >= 1, "a switch needs at least one VC");
     let mut r = Resources::ZERO;
-    // Per input: buffer, CRC check, routing table, pipeline register,
-    // worm state.
+    // Per input: per-VC buffers and worm state, CRC check, routing
+    // table, pipeline register.
     let route_table_luts = (p.flows * 4).div_ceil(16).max(1);
-    let per_input = fifo_lutram(FLIT_BITS, p.fifo_depth)
+    let per_input = fifo_lutram(FLIT_BITS, p.fifo_depth) * p.num_vcs
         + Resources::new(20, 0) // CRC check
-        + Resources::new(route_table_luts, 8) // table + worm state
+        + Resources::new(route_table_luts, 8 * p.num_vcs) // table + per-VC worm state
         + register(FLIT_BITS) // input pipeline stage
         + PORT_CONTROL_OVERHEAD;
     r += per_input * p.inputs;
-    // Per output: arbiter, credit counter, crossbar column,
+    // Per output: per-VC credit counters and VC-allocation arbiters
+    // (over input VCs), one switch-allocation stage, crossbar column,
     // retransmission buffer, CRC generate, output register.
-    let per_output = Resources::new(2 * p.inputs, 2) // round-robin arbiter
-        + counter(3) // credits
+    let per_output = Resources::new(2 * p.inputs * p.num_vcs, 2 * p.num_vcs) // arbiters
+        + counter(3) * p.num_vcs // per-VC credits
         + mux(p.inputs, FLIT_BITS) // crossbar column
         + fifo_lutram(FLIT_BITS, 2 * p.fifo_depth) // retransmission buffer
         + Resources::new(20, 0) // CRC generate
         + register(FLIT_BITS)
         + PORT_CONTROL_OVERHEAD;
     r += per_output * p.outputs;
+    // Switch allocation adds a per-output VC round-robin pointer once
+    // more than one VC competes for the physical link.
+    if p.num_vcs > 1 {
+        r += (register(8) + mux(p.num_vcs, 4)) * p.outputs;
+    }
     r
 }
 
@@ -343,6 +374,47 @@ mod tests {
             ..SwitchParams::new(3, 3)
         }));
         assert!(deep > base, "buffer scaling: {base} -> {deep}");
+    }
+
+    #[test]
+    fn switch_scales_with_virtual_channels() {
+        let one = switch(SwitchParams::new(4, 4));
+        let two = switch(SwitchParams::new(4, 4).with_vcs(2));
+        let four = switch(SwitchParams::new(4, 4).with_vcs(4));
+        // More VCs replicate buffers and credit state: strictly more
+        // area, and the input-buffer contribution grows linearly.
+        assert!(two.luts > one.luts && two.ffs > one.ffs);
+        assert!(four.luts > two.luts && four.ffs > two.ffs);
+        let buffer = |vcs: u64| fifo_lutram(FLIT_BITS, 4).luts * vcs * 4;
+        assert!(
+            four.luts - one.luts >= buffer(4) - buffer(1),
+            "per-VC buffers must dominate the VC cost"
+        );
+        // A 2-VC switch with half-depth buffers stays close to the
+        // single-VC switch: total buffering is the trade-off knob.
+        let two_half = switch(SwitchParams {
+            fifo_depth: 2,
+            ..SwitchParams::new(4, 4).with_vcs(2)
+        });
+        assert!(
+            two_half.luts < two.luts,
+            "halving per-VC depth must shed buffer area"
+        );
+    }
+
+    #[test]
+    fn single_vc_switch_cost_is_unchanged_from_table1_calibration() {
+        // Pinned regression: the exact resource count of the paper
+        // setup's 4x3 switch before the VC extension. The num_vcs == 1
+        // path of `switch()` must keep producing it bit for bit, or
+        // the Table 1 calibration silently drifts.
+        let r = switch(SwitchParams::new(4, 3));
+        assert_eq!(
+            (r.luts, r.ffs, r.bram_bits),
+            (789, 588, 0),
+            "single-VC switch area drifted: {r:?}"
+        );
+        assert_eq!(r, switch(SwitchParams::new(4, 3).with_vcs(1)));
     }
 
     #[test]

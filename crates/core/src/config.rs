@@ -7,6 +7,7 @@
 //! emulation parameters"). The convenience constructors reproduce the
 //! configurations of the paper's experimental section.
 
+use crate::clock::ClockMode;
 use nocem_common::ids::EndpointId;
 use nocem_stats::TrKind;
 use nocem_switch::arbiter::ArbiterKind;
@@ -126,6 +127,10 @@ pub struct PlatformConfig {
     pub seed: u64,
     /// Record every accepted packet release into a trace.
     pub record_trace: bool,
+    /// How the engines advance the clock: every cycle (bit-identical
+    /// to the original platform) or hybrid clock-gated (jump over
+    /// provably idle windows; cycle-equivalent, faster at low load).
+    pub clock_mode: ClockMode,
 }
 
 impl PlatformConfig {
@@ -170,7 +175,15 @@ impl PlatformConfig {
             stop: StopCondition::default(),
             seed: 0x5EED_0005,
             record_trace: false,
+            clock_mode: ClockMode::default(),
         })
+    }
+
+    /// Sets the clock mode (builder-style convenience).
+    #[must_use]
+    pub fn with_clock_mode(mut self, mode: ClockMode) -> Self {
+        self.clock_mode = mode;
+        self
     }
 
     /// The per-generator packet budget that spreads `total_packets`
@@ -295,6 +308,7 @@ impl PaperConfig {
             },
             seed: self.seed,
             record_trace: false,
+            clock_mode: ClockMode::default(),
         }
     }
 

@@ -20,6 +20,7 @@
 //! software (drivers) reads and writes the same memory-mapped
 //! registers it would on the paper's FPGA platform.
 
+use crate::clock::{self, ClockMode, EngineSummary, SteppableEngine};
 use crate::compile::{Elaboration, InSource, OutTarget, ReceptorDevice};
 use crate::devices::{self, TgShadow};
 use crate::error::EmulationError;
@@ -50,6 +51,8 @@ pub struct Emulation {
     pending: Vec<Option<PacketRequest>>,
     stalled: u64,
     delivered_flits: u64,
+    /// Cycles the fast-forward kernel jumped over (gated mode only).
+    cycles_skipped: u64,
     recorder: Option<TraceRecorder>,
     started: bool,
 }
@@ -85,6 +88,7 @@ impl Emulation {
             pending: vec![None; elab.tgs.len()],
             stalled: 0,
             delivered_flits: 0,
+            cycles_skipped: 0,
             recorder,
             started: false,
             elab,
@@ -99,6 +103,24 @@ impl Emulation {
     /// Packets delivered so far.
     pub fn delivered(&self) -> u64 {
         self.ledger.delivered()
+    }
+
+    /// Cycles the fast-forward kernel jumped over so far (always 0
+    /// under [`ClockMode::EveryCycle`]).
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    /// Whether the whole platform is quiescent: no parked TG request,
+    /// every NI idle with all credits home, every switch quiescent, no
+    /// packet in flight. See [`clock::platform_quiescent`].
+    pub fn is_quiescent(&self) -> bool {
+        clock::platform_quiescent(
+            &self.elab.switches,
+            &self.elab.nis,
+            &self.pending,
+            self.ledger.in_flight(),
+        )
     }
 
     /// The elaborated platform (read access for inspection).
@@ -119,6 +141,21 @@ impl Emulation {
     /// a correct build never produces) or when the cycle limit is
     /// exceeded.
     pub fn step(&mut self) -> Result<(), EmulationError> {
+        // Hybrid clock gating: on a quiescent platform, jump straight
+        // to the earliest future TG event instead of stepping empty
+        // cycles. The skipped ticks are pure no-ops (proven by the
+        // gated-vs-ungated lockstep tests), so the cycle executed
+        // below at the jump target is exactly the cycle an every-cycle
+        // run would have executed there.
+        if self.elab.config.clock_mode == ClockMode::Gated && self.is_quiescent() {
+            let skipped = clock::fast_forward(
+                self.now,
+                self.elab.config.stop.cycle_limit,
+                &mut self.elab.tgs,
+            );
+            self.now += skipped;
+            self.cycles_skipped += skipped;
+        }
         let now = self.now;
         self.started = true;
 
@@ -294,8 +331,14 @@ impl Emulation {
         Ok(())
     }
 
-    /// Runs like [`Emulation::run`], invoking `progress` every
-    /// `interval` cycles with `(cycle, delivered)`.
+    /// Runs like [`Emulation::run`], invoking `progress` at every
+    /// multiple of `interval` cycles with `(cycle, delivered)`.
+    ///
+    /// The granularity survives clock gating: a fast-forward jump that
+    /// crosses one or more reporting boundaries fires the callback
+    /// once per crossed boundary (with the delivered count of that
+    /// boundary, which is exact — nothing delivers inside a quiescent
+    /// window).
     ///
     /// # Errors
     ///
@@ -303,16 +346,10 @@ impl Emulation {
     pub fn run_with_progress(
         &mut self,
         interval: u64,
-        mut progress: impl FnMut(Cycle, u64),
+        progress: impl FnMut(Cycle, u64),
     ) -> Result<(), EmulationError> {
-        let interval = interval.max(1);
         self.control.set_running(true);
-        while !self.finished() {
-            self.step()?;
-            if self.now.raw().is_multiple_of(interval) {
-                progress(self.now, self.ledger.delivered());
-            }
-        }
+        clock::run_engine_with_progress(self, interval, progress)?;
         self.refresh_control();
         self.control.set_done();
         Ok(())
@@ -453,6 +490,41 @@ impl Emulation {
     /// The address map (for drivers to locate devices).
     pub fn address_map(&self) -> &AddressMap {
         &self.elab.map
+    }
+}
+
+impl SteppableEngine for Emulation {
+    fn step(&mut self) -> Result<(), EmulationError> {
+        Emulation::step(self)
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn finished(&self) -> bool {
+        Emulation::finished(self)
+    }
+
+    fn delivered(&self) -> u64 {
+        self.ledger.delivered()
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    fn summary(&self) -> EngineSummary {
+        EngineSummary::from_ledger(
+            self.now.raw(),
+            self.cycles_skipped,
+            self.delivered_flits,
+            &self.ledger,
+        )
+    }
+
+    fn packet_ledger(&self) -> PacketLedger {
+        self.ledger.clone()
     }
 }
 

@@ -154,6 +154,7 @@ pub fn synthesize(elab: &Elaboration, target: FpgaDevice) -> SynthesisReport {
             outputs: u64::from(info.outputs),
             fifo_depth: u64::from(elab.config.switch.fifo_depth),
             flows: elab.routing.flow_count().max(1) as u64,
+            num_vcs: u64::from(elab.config.switch.num_vcs),
         };
         report.add(format!("Switch s{}", s.raw()), 1, switch(params));
         report.set_max_switch_ports(u64::from(info.inputs.max(info.outputs)));

@@ -38,6 +38,7 @@
 //! | [`compile`] | 1 | elaboration: components, wiring, address map |
 //! | [`flow`] | 1–6 | the complete emulation flow |
 //! | [`engine`] | 5 | the cycle engine (and the bus the software sees) |
+//! | [`clock`] | 5 | clock modes, quiescence, the fast-forward kernel, [`clock::SteppableEngine`] |
 //! | [`devices`] | 3, 6 | register views and typed drivers |
 //! | [`results`] | 6 | run results and the monitor report |
 //! | [`sweep`] | — | multi-configuration sweep runner |
@@ -46,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod compile;
 pub mod config;
 pub mod devices;
@@ -55,10 +57,11 @@ pub mod flow;
 pub mod results;
 pub mod sweep;
 
+pub use clock::{run_engine, run_engine_with_progress, ClockMode, EngineSummary, SteppableEngine};
 pub use compile::{elaborate, Elaboration};
 pub use config::{PaperConfig, PaperRouting, PlatformConfig, StopCondition, TrafficModel};
 pub use engine::{build, Emulation};
 pub use error::{CompileError, EmulationError};
 pub use flow::{run_flow, run_flow_on, FlowReport};
 pub use results::EmulationResults;
-pub use sweep::{run_sweep, run_sweep_with, SweepPoint};
+pub use sweep::{run_sweep, run_sweep_engine, run_sweep_with, SweepPoint};

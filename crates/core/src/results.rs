@@ -11,7 +11,7 @@ use nocem_stats::congestion::CongestionCounter;
 use nocem_stats::latency::LatencyAnalyzer;
 
 /// Summary of one receptor at end of run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReceptorSummary {
     /// Device label (`"tr0"`, …).
     pub label: String,
@@ -33,13 +33,21 @@ pub struct ReceptorSummary {
 }
 
 /// The complete outcome of an emulation run.
-#[derive(Debug, Clone)]
+///
+/// Compares by value; the gated-vs-ungated equivalence tests compare
+/// entire results with only the (intentionally differing)
+/// `cycles_skipped` counter normalized away.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmulationResults {
     /// Configuration name.
     pub name: String,
     /// Total run length in platform cycles (the paper's run-time
-    /// metric, Figure 2's y-axis).
+    /// metric, Figure 2's y-axis). Identical across clock modes.
     pub cycles: u64,
+    /// Cycles the fast-forward kernel jumped over (0 under
+    /// `ClockMode::EveryCycle`). These cycles are *included* in
+    /// `cycles` — they happened, they were just not stepped.
+    pub cycles_skipped: u64,
     /// Packets released by the traffic models (and accepted).
     pub released: u64,
     /// Packets whose head entered the network.
@@ -102,6 +110,7 @@ impl EmulationResults {
         EmulationResults {
             name: elab.config.name.clone(),
             cycles: emu.now().raw(),
+            cycles_skipped: emu.cycles_skipped(),
             released: ledger.released(),
             injected: ledger.injected(),
             delivered: ledger.delivered(),
@@ -121,6 +130,12 @@ impl EmulationResults {
         } else {
             self.delivered_flits as f64 / self.cycles as f64
         }
+    }
+
+    /// Effective clock-gating speedup: simulated cycles per cycle
+    /// actually stepped (1.0 when nothing was skipped).
+    pub fn gating_speedup(&self) -> f64 {
+        crate::clock::effective_speedup(self.cycles, self.cycles_skipped)
     }
 
     /// Aggregate congestion rate over `links` (blocked / busy cycles).
@@ -145,6 +160,12 @@ impl EmulationResults {
         let mut overview = TextTable::with_columns(&["metric", "value"]);
         overview.align(1, Align::Right);
         overview.row(vec!["cycles".into(), self.cycles.to_string()]);
+        if self.cycles_skipped > 0 {
+            overview.row(vec![
+                "cycles skipped (gated)".into(),
+                format!("{} ({:.1}x)", self.cycles_skipped, self.gating_speedup()),
+            ]);
+        }
         overview.row(vec!["packets released".into(), self.released.to_string()]);
         overview.row(vec!["packets delivered".into(), self.delivered.to_string()]);
         overview.row(vec![

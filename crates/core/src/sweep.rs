@@ -5,6 +5,7 @@
 //! sweeps (Figure 2), packets-per-burst × flits-per-packet sweeps
 //! (Figures 3 and 4) and the ablation studies.
 
+use crate::clock::{run_engine, EngineSummary, SteppableEngine};
 use crate::config::PlatformConfig;
 use crate::engine::build;
 use crate::error::EmulationError;
@@ -48,6 +49,34 @@ pub fn run_sweep(
     threads: usize,
 ) -> Result<Vec<(String, EmulationResults)>, EmulationError> {
     run_sweep_with(points, threads, run_point)
+}
+
+/// Engine-generic sweep: builds an engine per point with
+/// `build_engine`, runs it to completion through the
+/// [`SteppableEngine`] contract and returns `(label, summary)` in
+/// input order.
+///
+/// This is the sweep loop written once against the trait: the same
+/// call drives the fast emulation engine, the TLM model or the RTL
+/// model (callers pass the constructor), in either clock mode.
+///
+/// # Errors
+///
+/// Returns the error of the first failing point by input order.
+pub fn run_sweep_engine<E, B>(
+    points: &[SweepPoint],
+    threads: usize,
+    build_engine: B,
+) -> Result<Vec<(String, EngineSummary)>, EmulationError>
+where
+    E: SteppableEngine,
+    B: Fn(&PlatformConfig) -> Result<E, EmulationError> + Sync,
+{
+    run_sweep_with(points, threads, |point| {
+        let mut engine = build_engine(&point.config)?;
+        run_engine(&mut engine)?;
+        Ok(engine.summary())
+    })
 }
 
 /// Generalized sweep runner: applies `run` to every point across up to

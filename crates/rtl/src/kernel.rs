@@ -160,6 +160,11 @@ pub struct Kernel {
     nba: Vec<(SignalId, Value)>,
     stats: KernelStats,
     time: u64,
+    /// Whether the one-time reactive initialization pass has run.
+    /// Keyed on a flag, not on `time == 0`, so a clock-gating
+    /// [`Kernel::advance_time`] jump before the first cycle cannot
+    /// skip it.
+    initialized: bool,
     vcd: Option<Vcd>,
     max_deltas: u32,
 }
@@ -216,6 +221,15 @@ impl Kernel {
     /// Current simulated time in cycles.
     pub fn time(&self) -> u64 {
         self.time
+    }
+
+    /// Jumps simulated time forward without activating any process or
+    /// dispatching any event — the clock-gating fast-forward. The
+    /// caller must have proven the skipped cycles are pure no-ops
+    /// (every component quiescent, every signal at its idle value);
+    /// the skipped cycles do not count as kernel work.
+    pub fn advance_time(&mut self, cycles: u64) {
+        self.time += cycles;
     }
 
     /// Kernel work counters.
@@ -302,10 +316,13 @@ impl Kernel {
                 pid,
             );
         }
-        // Initialization phase: at time zero every reactive process
-        // runs once (as HDL simulators do), so combinational networks
-        // settle from their reset values even before any input event.
-        if self.time == 0 {
+        // Initialization phase: on the first cycle every reactive
+        // process runs once (as HDL simulators do), so combinational
+        // networks settle from their reset values even before any
+        // input event — also when clock gating jumped time before the
+        // first cycle executed.
+        if !self.initialized {
+            self.initialized = true;
             let reactive: Vec<u32> = (0..self.processes.len() as u32)
                 .filter(|p| !self.clocked.contains(p))
                 .collect();
@@ -551,6 +568,28 @@ mod tests {
         assert!(vcd.contains("#1"));
         assert!(vcd.contains("b1 s0"));
         assert!(vcd.contains("b10 s0"));
+    }
+
+    #[test]
+    fn initialization_pass_survives_a_time_jump() {
+        // Clock gating may advance time before the first cycle ever
+        // executes; the one-shot reactive initialization pass must
+        // still run on that first cycle (it used to key on time == 0).
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mut k = Kernel::new();
+        let s = k.signal("s");
+        let ran = Rc::new(Cell::new(0u32));
+        let ran2 = Rc::clone(&ran);
+        k.reactive_process(&[s], move |_ctx: &mut ProcessCtx<'_>| {
+            ran2.set(ran2.get() + 1);
+        });
+        k.advance_time(100);
+        k.cycle().unwrap();
+        assert_eq!(ran.get(), 1, "reactive init pass must run once");
+        assert_eq!(k.time(), 101);
+        k.cycle().unwrap();
+        assert_eq!(ran.get(), 1, "init pass runs exactly once");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! Verilog simulator pays, which is the point of the Table 2 baseline.
 
 use crate::kernel::{Kernel, ProcessCtx, SignalId, Value};
+use nocem::clock::{self, ClockMode, EngineSummary, SteppableEngine};
 use nocem::compile::{Elaboration, ReceptorDevice};
 use nocem::error::EmulationError;
 use nocem_common::flit::PacketDescriptor;
@@ -91,6 +92,8 @@ impl SharedState {
 pub struct RtlSummary {
     /// Cycles simulated.
     pub cycles: u64,
+    /// Cycles the fast-forward kernel jumped over (gated mode).
+    pub cycles_skipped: u64,
     /// Packets released / injected / delivered.
     pub released: u64,
     /// Packets whose head entered the network.
@@ -113,6 +116,8 @@ pub struct RtlEngine {
     shared: Rc<RefCell<SharedState>>,
     stop_packets: Option<u64>,
     cycle_limit: u64,
+    clock_mode: ClockMode,
+    cycles_skipped: u64,
 }
 
 impl std::fmt::Debug for RtlEngine {
@@ -313,6 +318,8 @@ impl RtlEngine {
             shared,
             stop_packets: elab.config.stop.delivered_packets,
             cycle_limit: elab.config.stop.cycle_limit,
+            clock_mode: elab.config.clock_mode,
+            cycles_skipped: 0,
         }
     }
 
@@ -324,6 +331,27 @@ impl RtlEngine {
         }
     }
 
+    /// Hybrid clock gating: when every component is quiescent, jump
+    /// the kernel's time to the earliest future TG event without
+    /// activating a single process. Component quiescence implies every
+    /// wire already carries its idle value (a flit on a wire is an
+    /// undelivered packet; a high credit wire is a credit not yet
+    /// home), so no event would have been dispatched in the skipped
+    /// window anyway.
+    fn try_fast_forward(&mut self) {
+        let now = Cycle::new(self.kernel.time());
+        let mut sh = self.shared.borrow_mut();
+        let quiescent =
+            clock::platform_quiescent(&sh.switches, &sh.nis, &sh.pending, sh.ledger.in_flight());
+        if !quiescent {
+            return;
+        }
+        let skipped = clock::fast_forward(now, self.cycle_limit, &mut sh.tgs);
+        drop(sh);
+        self.kernel.advance_time(skipped);
+        self.cycles_skipped += skipped;
+    }
+
     /// Runs to the stop condition.
     ///
     /// # Errors
@@ -331,37 +359,21 @@ impl RtlEngine {
     /// Propagates protocol violations detected by the processes and
     /// the cycle limit.
     pub fn run(&mut self) -> Result<(), EmulationError> {
-        while !self.finished() {
-            self.kernel.cycle().map_err(|e| {
-                EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
-                    addr: nocem_platform::addr::Address::from_parts(
-                        nocem_common::ids::BusId::new(0),
-                        nocem_common::ids::DeviceId::new(0),
-                        0,
-                    ),
-                    reason: e.to_string(),
-                })
-            })?;
-            if let Some(e) = self.shared.borrow().error.clone() {
-                return Err(e);
-            }
-            if self.kernel.time() > self.cycle_limit {
-                return Err(EmulationError::CycleLimitExceeded {
-                    limit: self.cycle_limit,
-                    delivered: self.shared.borrow().ledger.delivered(),
-                });
-            }
-        }
-        Ok(())
+        clock::run_engine(self)
     }
 
-    /// Advances exactly one cycle regardless of the stop condition
-    /// (used by the speed-measurement harness).
+    /// Advances one cycle regardless of the stop condition (plus any
+    /// preceding fast-forward jump in gated mode; used directly by the
+    /// speed-measurement harness).
     ///
     /// # Errors
     ///
-    /// Propagates protocol violations detected by the processes.
+    /// Propagates protocol violations detected by the processes and
+    /// the cycle limit.
     pub fn step(&mut self) -> Result<(), EmulationError> {
+        if self.clock_mode == ClockMode::Gated {
+            self.try_fast_forward();
+        }
         self.kernel.cycle().map_err(|e| {
             EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
                 addr: nocem_platform::addr::Address::from_parts(
@@ -374,6 +386,12 @@ impl RtlEngine {
         })?;
         if let Some(e) = self.shared.borrow().error.clone() {
             return Err(e);
+        }
+        if self.kernel.time() > self.cycle_limit {
+            return Err(EmulationError::CycleLimitExceeded {
+                limit: self.cycle_limit,
+                delivered: self.shared.borrow().ledger.delivered(),
+            });
         }
         Ok(())
     }
@@ -403,6 +421,7 @@ impl RtlEngine {
         let sh = self.shared.borrow();
         RtlSummary {
             cycles: self.kernel.time(),
+            cycles_skipped: self.cycles_skipped,
             released: sh.ledger.released(),
             injected: sh.ledger.injected(),
             delivered: sh.ledger.delivered(),
@@ -411,6 +430,42 @@ impl RtlEngine {
             total_latency: sh.ledger.total_latency().clone(),
             kernel: self.kernel.stats(),
         }
+    }
+}
+
+impl SteppableEngine for RtlEngine {
+    fn step(&mut self) -> Result<(), EmulationError> {
+        RtlEngine::step(self)
+    }
+
+    fn now(&self) -> Cycle {
+        Cycle::new(self.kernel.time())
+    }
+
+    fn finished(&self) -> bool {
+        RtlEngine::finished(self)
+    }
+
+    fn delivered(&self) -> u64 {
+        RtlEngine::delivered(self)
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    fn summary(&self) -> EngineSummary {
+        let sh = self.shared.borrow();
+        EngineSummary::from_ledger(
+            self.kernel.time(),
+            self.cycles_skipped,
+            sh.delivered_flits,
+            &sh.ledger,
+        )
+    }
+
+    fn packet_ledger(&self) -> nocem_stats::ledger::PacketLedger {
+        self.shared.borrow().ledger.clone()
     }
 }
 

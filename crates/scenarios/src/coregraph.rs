@@ -573,6 +573,7 @@ impl CoreGraphWorkload {
             },
             seed,
             record_trace: false,
+            clock_mode: nocem::ClockMode::default(),
         })
     }
 }

@@ -39,6 +39,8 @@
 //!     loads: vec![0.10],
 //!     packet_flits: 4,
 //!     packets_per_point: 400,
+//!     // Hybrid clock gating: identical results, fewer stepped cycles.
+//!     clock_mode: nocem::ClockMode::Gated,
 //! };
 //! let outcome = spec.run(&registry, 2).unwrap();
 //! assert_eq!(outcome.rows.len(), 2);

@@ -15,6 +15,7 @@
 use crate::registry::ScenarioRegistry;
 use crate::scenario::TopologySpec;
 use crate::ScenarioError;
+use nocem::clock::ClockMode;
 use nocem::error::EmulationError;
 use nocem::results::EmulationResults;
 use nocem::sweep::{run_sweep, SweepPoint};
@@ -33,6 +34,13 @@ pub struct MatrixSpec {
     pub packet_flits: u16,
     /// Packet budget of every matrix point.
     pub packets_per_point: u64,
+    /// Clock mode every point runs under. `Gated` is the production
+    /// setting for large matrices — cycle-equivalent to `EveryCycle`
+    /// (proven by the lockstep tests) and much faster at low load;
+    /// the CSV records each point's skipped cycles and effective
+    /// speedup so the gating win stays visible in the perf
+    /// trajectory.
+    pub clock_mode: ClockMode,
 }
 
 /// One combination the matrix skipped, with the reason.
@@ -157,7 +165,8 @@ impl MatrixSpec {
                         self.packet_flits,
                         self.packets_per_point,
                     ) {
-                        Ok(config) => {
+                        Ok(mut config) => {
+                            config.clock_mode = self.clock_mode;
                             meta.push((name.clone(), topology.name(), load));
                             points.push(SweepPoint::new(label, config));
                         }
@@ -220,12 +229,18 @@ impl MatrixOutcome {
             "load",
             "packets",
             "cycles",
+            "cycles_skipped",
+            "gating_speedup",
             "throughput_flits_per_cycle",
             "mean_network_latency",
             "mean_total_latency",
             "stalled_cycles",
         ]);
         csv.comment("nocem scenario matrix: one record per (scenario, topology, load) point");
+        csv.comment(
+            "cycles_skipped/gating_speedup: cycles the fast-forward kernel jumped and the \
+             resulting simulated-cycles-per-stepped-cycle ratio (1.0 = ungated)",
+        );
         for row in &self.rows {
             let r = &row.results;
             csv.record_display(&[
@@ -234,6 +249,8 @@ impl MatrixOutcome {
                 &row.load,
                 &r.delivered,
                 &r.cycles,
+                &r.cycles_skipped,
+                &format_args!("{:.2}", r.gating_speedup()),
                 &format_args!("{:.4}", r.throughput()),
                 &format_args!("{:.2}", r.network_latency.mean().unwrap_or(0.0)),
                 &format_args!("{:.2}", r.total_latency.mean().unwrap_or(0.0)),
@@ -265,6 +282,7 @@ mod tests {
             loads: vec![0.10],
             packet_flits: 2,
             packets_per_point: 40,
+            clock_mode: ClockMode::EveryCycle,
         }
     }
 
@@ -295,6 +313,7 @@ mod tests {
             loads: vec![0.10],
             packet_flits: 2,
             packets_per_point: 64,
+            clock_mode: ClockMode::EveryCycle,
         };
         let (points, skipped) = spec.expand(&reg).unwrap();
         assert_eq!(points.len(), 1);
@@ -316,6 +335,7 @@ mod tests {
             // Fewer packets than vopd's active generators; fine for
             // the synthetic pattern.
             packets_per_point: 8,
+            clock_mode: ClockMode::EveryCycle,
         };
         let (points, skipped) = spec.expand(&reg).unwrap();
         assert_eq!(points.len(), 1, "tornado point survives");
@@ -353,7 +373,34 @@ mod tests {
         assert_eq!(doc.records.len(), 3);
         assert_eq!(doc.column("scenario"), Some(0));
         assert_eq!(doc.column("cycles"), Some(4));
+        assert_eq!(doc.column("cycles_skipped"), Some(5));
+        assert_eq!(doc.column("gating_speedup"), Some(6));
         assert!(csv.contains("# skipped transpose@ring4"));
+    }
+
+    #[test]
+    fn gated_matrix_matches_ungated_and_records_the_skip() {
+        let reg = ScenarioRegistry::builtin();
+        let ungated = small_spec().run(&reg, 2).unwrap();
+        let gated = MatrixSpec {
+            clock_mode: ClockMode::Gated,
+            ..small_spec()
+        }
+        .run(&reg, 2)
+        .unwrap();
+        let mut any_skipped = false;
+        for (u, g) in ungated.rows.iter().zip(&gated.rows) {
+            assert_eq!(u.label, g.label);
+            // Behaviour is identical; only the skip counter differs.
+            let mut g_norm = g.results.clone();
+            any_skipped |= g_norm.cycles_skipped > 0;
+            g_norm.cycles_skipped = 0;
+            assert_eq!(g_norm, u.results, "{} diverged under gating", u.label);
+        }
+        assert!(any_skipped, "a 10%-load matrix must skip some cycles");
+        let csv = gated.to_csv();
+        assert!(csv.contains("cycles_skipped"));
+        assert!(csv.contains("gating_speedup"));
     }
 
     #[test]

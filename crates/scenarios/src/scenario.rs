@@ -254,6 +254,7 @@ impl ScenarioSpec {
             },
             seed: self.seed(),
             record_trace: false,
+            clock_mode: nocem::ClockMode::default(),
             topology: topo,
         })
     }

@@ -73,7 +73,13 @@ pub struct PacketLatency {
 
 /// Dense packet accounting keyed by [`PacketId`] (ids are assigned
 /// contiguously from zero by the engine).
-#[derive(Debug, Clone, Default)]
+///
+/// Ledgers compare by value (every per-packet release/inject/deliver
+/// timestamp and length): two runs with equal ledgers released,
+/// injected and delivered the same packets at the same cycles — the
+/// exactness bar the clock-gating equivalence tests hold the engines
+/// to.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PacketLedger {
     entries: Vec<Option<Entry>>,
     released: u64,

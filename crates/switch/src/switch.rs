@@ -735,6 +735,27 @@ impl Switch {
                 .all(|per_vc| per_vc.iter().all(Option::is_none))
     }
 
+    /// Whether cycling this switch would be a pure no-op: no flit in
+    /// any per-VC input FIFO, no wormhole in progress on either side,
+    /// and every credit home (no flit of ours still sits in a
+    /// downstream buffer, no credit is in flight back to us).
+    ///
+    /// This is the switch half of the platform quiescence predicate
+    /// behind hybrid clock gating: when every switch is quiescent and
+    /// every NI idle, the engine may jump the clock to the next
+    /// traffic-generator event without changing any observable state
+    /// ([`Switch::decide`] on a quiescent switch computes no grants,
+    /// steps no arbiter or LFSR, and touches no counter other than the
+    /// cycle count).
+    pub fn is_quiescent(&self) -> bool {
+        self.is_idle()
+            && self
+                .busy_with
+                .iter()
+                .all(|per_vc| per_vc.iter().all(Option::is_none))
+            && self.credits == self.credit_cap
+    }
+
     /// Occupancy of input buffer `input`, in flits, summed over its
     /// VCs.
     pub fn occupancy(&self, input: PortId) -> usize {
@@ -1138,6 +1159,36 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, BuildSwitchError::CreditWidthMismatch { .. }));
+    }
+
+    #[test]
+    fn quiescence_requires_empty_buffers_and_home_credits() {
+        let mut sw = simple_switch();
+        assert!(sw.is_quiescent(), "fresh switch is quiescent");
+        // A buffered flit breaks quiescence even before any cycle.
+        sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
+        assert!(!sw.is_quiescent());
+        // The flit crossed but its credit is still downstream.
+        let sends = cycle(&mut sw);
+        assert_eq!(sends.len(), 1);
+        assert!(sw.is_idle(), "no flit buffered");
+        assert!(!sw.is_quiescent(), "credit not home yet");
+        sw.credit_return(PortId::new(0), VcId::ZERO);
+        assert!(sw.is_quiescent());
+    }
+
+    #[test]
+    fn open_wormhole_breaks_quiescence_even_with_empty_fifos() {
+        let mut sw = simple_switch();
+        // Head of a 3-flit packet arrives alone: after it crosses, the
+        // wormhole stays open although every FIFO is empty.
+        sw.accept(PortId::new(0), packet(1, 0, 3)[0]).unwrap();
+        let sends = cycle(&mut sw);
+        assert_eq!(sends.len(), 1);
+        sw.credit_return(PortId::new(0), VcId::ZERO);
+        assert_eq!(sw.occupancy(PortId::new(0)), 0);
+        assert!(!sw.is_idle(), "worm in progress");
+        assert!(!sw.is_quiescent(), "worm in progress");
     }
 
     #[test]

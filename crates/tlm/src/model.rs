@@ -7,6 +7,7 @@
 //! the MPARM role in the paper's Table 2.
 
 use crate::scheduler::{BitChanId, ChannelCtx, FlitChanId, Scheduler, SchedulerStats};
+use nocem::clock::{self, ClockMode, EngineSummary, SteppableEngine};
 use nocem::compile::{Elaboration, ReceptorDevice};
 use nocem::error::EmulationError;
 use nocem_common::flit::PacketDescriptor;
@@ -83,6 +84,8 @@ impl SharedState {
 pub struct TlmSummary {
     /// Cycles simulated.
     pub cycles: u64,
+    /// Cycles the fast-forward kernel jumped over (gated mode).
+    pub cycles_skipped: u64,
     /// Packets released.
     pub released: u64,
     /// Packets injected.
@@ -105,6 +108,8 @@ pub struct TlmEngine {
     shared: Rc<RefCell<SharedState>>,
     stop_packets: Option<u64>,
     cycle_limit: u64,
+    clock_mode: ClockMode,
+    cycles_skipped: u64,
 }
 
 impl std::fmt::Debug for TlmEngine {
@@ -288,6 +293,8 @@ impl TlmEngine {
             shared,
             stop_packets: elab.config.stop.delivered_packets,
             cycle_limit: elab.config.stop.cycle_limit,
+            clock_mode: elab.config.clock_mode,
+            cycles_skipped: 0,
         }
     }
 
@@ -299,37 +306,56 @@ impl TlmEngine {
         }
     }
 
+    /// Hybrid clock gating: when every component is quiescent, jump
+    /// the scheduler's time to the earliest future TG event without
+    /// activating a single process. Component quiescence implies every
+    /// channel already sits at its idle value (a flit in a channel is
+    /// an undelivered packet; a credit in a channel is a credit not
+    /// yet home), so the skipped cycles would have been pure no-ops.
+    fn try_fast_forward(&mut self) {
+        let now = Cycle::new(self.scheduler.time());
+        let mut sh = self.shared.borrow_mut();
+        let quiescent =
+            clock::platform_quiescent(&sh.switches, &sh.nis, &sh.pending, sh.ledger.in_flight());
+        if !quiescent {
+            return;
+        }
+        let skipped = clock::fast_forward(now, self.cycle_limit, &mut sh.tgs);
+        drop(sh);
+        self.scheduler.advance_time(skipped);
+        self.cycles_skipped += skipped;
+    }
+
     /// Runs to the stop condition.
     ///
     /// # Errors
     ///
     /// Propagates protocol violations and the cycle limit.
     pub fn run(&mut self) -> Result<(), EmulationError> {
-        while !self.finished() {
-            self.scheduler.cycle();
-            if let Some(e) = self.shared.borrow().error.clone() {
-                return Err(e);
-            }
-            if self.scheduler.time() > self.cycle_limit {
-                return Err(EmulationError::CycleLimitExceeded {
-                    limit: self.cycle_limit,
-                    delivered: self.shared.borrow().ledger.delivered(),
-                });
-            }
-        }
-        Ok(())
+        clock::run_engine(self)
     }
 
-    /// Advances exactly one cycle regardless of the stop condition
-    /// (used by the speed-measurement harness).
+    /// Advances one cycle regardless of the stop condition (plus any
+    /// preceding fast-forward jump in gated mode; used directly by the
+    /// speed-measurement harness).
     ///
     /// # Errors
     ///
-    /// Propagates protocol violations detected by the processes.
+    /// Propagates protocol violations detected by the processes and
+    /// the cycle limit.
     pub fn step(&mut self) -> Result<(), EmulationError> {
+        if self.clock_mode == ClockMode::Gated {
+            self.try_fast_forward();
+        }
         self.scheduler.cycle();
         if let Some(e) = self.shared.borrow().error.clone() {
             return Err(e);
+        }
+        if self.scheduler.time() > self.cycle_limit {
+            return Err(EmulationError::CycleLimitExceeded {
+                limit: self.cycle_limit,
+                delivered: self.shared.borrow().ledger.delivered(),
+            });
         }
         Ok(())
     }
@@ -349,6 +375,7 @@ impl TlmEngine {
         let sh = self.shared.borrow();
         TlmSummary {
             cycles: self.scheduler.time(),
+            cycles_skipped: self.cycles_skipped,
             released: sh.ledger.released(),
             injected: sh.ledger.injected(),
             delivered: sh.ledger.delivered(),
@@ -357,6 +384,42 @@ impl TlmEngine {
             total_latency: sh.ledger.total_latency().clone(),
             scheduler: self.scheduler.stats(),
         }
+    }
+}
+
+impl SteppableEngine for TlmEngine {
+    fn step(&mut self) -> Result<(), EmulationError> {
+        TlmEngine::step(self)
+    }
+
+    fn now(&self) -> Cycle {
+        Cycle::new(self.scheduler.time())
+    }
+
+    fn finished(&self) -> bool {
+        TlmEngine::finished(self)
+    }
+
+    fn delivered(&self) -> u64 {
+        TlmEngine::delivered(self)
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    fn summary(&self) -> EngineSummary {
+        let sh = self.shared.borrow();
+        EngineSummary::from_ledger(
+            self.scheduler.time(),
+            self.cycles_skipped,
+            sh.delivered_flits,
+            &sh.ledger,
+        )
+    }
+
+    fn packet_ledger(&self) -> nocem_stats::ledger::PacketLedger {
+        self.shared.borrow().ledger.clone()
     }
 }
 

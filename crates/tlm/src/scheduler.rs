@@ -164,6 +164,15 @@ impl Scheduler {
         self.time
     }
 
+    /// Jumps simulated time forward without activating any process or
+    /// committing any channel — the clock-gating fast-forward. The
+    /// caller must have proven the skipped cycles are pure no-ops
+    /// (every component quiescent, every channel at its idle value);
+    /// the skipped cycles do not count as scheduler work.
+    pub fn advance_time(&mut self, cycles: u64) {
+        self.time += cycles;
+    }
+
     /// Scheduler work counters.
     pub fn stats(&self) -> SchedulerStats {
         self.stats

@@ -46,12 +46,47 @@ impl std::fmt::Display for TgKind {
     }
 }
 
+/// When a traffic generator next needs its clock — the generator half
+/// of the platform's quiescence/next-event protocol (clock gating à la
+/// EmuNoC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextEvent {
+    /// The generator will never need another tick (exhausted).
+    Never,
+    /// The earliest cycle (`>=` the `now` it was queried at) whose tick
+    /// is *not* a pure no-op. Ticks strictly before this cycle change
+    /// no observable state beyond internal countdowns, which
+    /// [`TrafficGenerator::skip_to`] compensates exactly.
+    At(Cycle),
+}
+
+impl NextEvent {
+    /// The event cycle, or `u64::MAX` for [`NextEvent::Never`] (the
+    /// identity of the `min` the fast-forward kernel takes).
+    pub fn cycle_or_max(self) -> u64 {
+        match self {
+            NextEvent::Never => u64::MAX,
+            NextEvent::At(c) => c.raw(),
+        }
+    }
+}
+
 /// A source of packet releases, clocked once per platform cycle.
 ///
 /// Implementations must be deterministic functions of their seed and
 /// tick sequence — the cross-engine equivalence tests tick the same
 /// generator configuration in all three engines and require identical
 /// release streams.
+///
+/// # Clock gating
+///
+/// [`TrafficGenerator::next_event_cycle`] and
+/// [`TrafficGenerator::skip_to`] let an engine jump its clock over
+/// cycles whose ticks are provably pure no-ops. The contract is
+/// exactness, not usefulness: a model that draws randomness every
+/// eligible cycle (burst/Poisson idle phases) must report
+/// `At(now)` so no draw is ever skipped — the default implementations
+/// are always safe, merely never skippable.
 pub trait TrafficGenerator {
     /// Advances one cycle; returns the packet released this cycle, if
     /// any.
@@ -67,6 +102,33 @@ pub trait TrafficGenerator {
     /// Whether the generator will never release another packet.
     fn is_exhausted(&self) -> bool {
         self.remaining() == Some(0)
+    }
+
+    /// The earliest cycle at which ticking this generator is not a
+    /// pure no-op, given the current cycle `now` (about to be ticked).
+    ///
+    /// Returning [`NextEvent::At`]`(now)` forbids any skip; the
+    /// default does exactly that for live generators, so models that
+    /// do not opt into gating are never skipped over.
+    fn next_event_cycle(&self, now: Cycle) -> NextEvent {
+        if self.is_exhausted() {
+            NextEvent::Never
+        } else {
+            NextEvent::At(now)
+        }
+    }
+
+    /// Replays the pure-no-op ticks of the half-open window
+    /// `[now, target)` in one jump, so that the next real tick at
+    /// `target` observes exactly the state an every-cycle run would
+    /// have produced.
+    ///
+    /// Engines only call this with `target` no later than this
+    /// generator's [`TrafficGenerator::next_event_cycle`]; the default
+    /// is a no-op, correct for any model whose skipped ticks carry no
+    /// state (trace replay, exhausted models).
+    fn skip_to(&mut self, now: Cycle, target: Cycle) {
+        let _ = (now, target);
     }
 }
 

@@ -49,7 +49,9 @@ pub mod registers;
 pub mod stochastic;
 pub mod trace;
 
-pub use generator::{DestinationModel, LengthModel, PacketRequest, TgKind, TrafficGenerator};
+pub use generator::{
+    DestinationModel, LengthModel, NextEvent, PacketRequest, TgKind, TrafficGenerator,
+};
 pub use ni::{SourceNi, SourceNiCounters};
 pub use stochastic::{BurstConfig, PoissonConfig, StochasticTg, UniformConfig};
 pub use trace::{BurstyTraceSpec, Trace, TraceDrivenTg, TraceEvent, TraceRecorder};

@@ -152,6 +152,14 @@ impl SourceNi {
         self.credits
     }
 
+    /// Whether every credit is back home (no flit of this NI still
+    /// occupies the downstream buffer and no credit is in flight on
+    /// the return wire) — the NI half of the platform quiescence
+    /// predicate, together with [`SourceNi::is_idle`].
+    pub fn credits_home(&self) -> bool {
+        self.credits == self.credit_cap
+    }
+
     /// Accumulated counters.
     pub fn counters(&self) -> &SourceNiCounters {
         &self.counters
@@ -208,6 +216,18 @@ mod tests {
         assert_eq!(ni.counters().blocked_cycles, 1);
         ni.credit_return();
         assert_eq!(ni.tick_send().unwrap().kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn credits_home_tracks_outstanding_flits() {
+        let mut ni = SourceNi::new(4, 2);
+        assert!(ni.credits_home());
+        ni.offer(desc(1, 1));
+        assert!(ni.tick_send().is_some());
+        assert!(ni.is_idle(), "nothing queued");
+        assert!(!ni.credits_home(), "one flit still downstream");
+        ni.credit_return();
+        assert!(ni.credits_home());
     }
 
     #[test]

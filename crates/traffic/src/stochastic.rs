@@ -18,7 +18,9 @@
 //! config exposes a `with_load` constructor that inverts this relation
 //! the way the paper's software sets up its 45 % experiments.
 
-use crate::generator::{DestinationModel, LengthModel, PacketRequest, TgKind, TrafficGenerator};
+use crate::generator::{
+    DestinationModel, LengthModel, NextEvent, PacketRequest, TgKind, TrafficGenerator,
+};
 use nocem_common::rng::{Pcg32, RandomSource};
 use nocem_common::time::Cycle;
 
@@ -332,6 +334,36 @@ impl TrafficGenerator for StochasticTg {
     fn kind(&self) -> TgKind {
         TgKind::Stochastic
     }
+
+    /// While the cooldown runs, every tick only decrements it — no RNG
+    /// draw, no release — so the next real tick is `now + cooldown`.
+    /// With the cooldown expired the model may draw a Bernoulli trial
+    /// every cycle (burst/Poisson idle phases), so no skip is legal:
+    /// `At(now)`. The uniform model predraws its whole gap into the
+    /// cooldown (`start_probability == 1`), which is what makes
+    /// low-load uniform sweeps almost entirely skippable.
+    fn next_event_cycle(&self, now: Cycle) -> NextEvent {
+        if self.is_exhausted() {
+            NextEvent::Never
+        } else {
+            NextEvent::At(now + u64::from(self.cooldown))
+        }
+    }
+
+    fn skip_to(&mut self, now: Cycle, target: Cycle) {
+        if self.is_exhausted() {
+            // Exhausted ticks bail out before the cooldown countdown,
+            // so the skipped window leaves the (now meaningless)
+            // cooldown untouched, exactly like ticking would.
+            return;
+        }
+        let skipped = target - now;
+        debug_assert!(
+            skipped <= u64::from(self.cooldown),
+            "skip past the cooldown would swallow RNG draws"
+        );
+        self.cooldown -= skipped as u32;
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +519,79 @@ mod tests {
         let tg = StochasticTg::poisson(PoissonConfig::with_load(0.1, 2, None, fixed_dst()), 1);
         assert_eq!(tg.kind(), TgKind::Stochastic);
         assert_eq!(tg.remaining(), None);
+    }
+
+    #[test]
+    fn uniform_next_event_is_the_release_cycle() {
+        // Gap (5, 5): releases at 0, 8, 16, ... for 3-flit packets.
+        let cfg = UniformConfig {
+            length: LengthModel::Fixed(3),
+            gap: (5, 5),
+            budget: Some(3),
+            destination: fixed_dst(),
+        };
+        let mut tg = StochasticTg::uniform(cfg, 1);
+        assert_eq!(tg.next_event_cycle(Cycle::ZERO), NextEvent::At(Cycle::ZERO));
+        assert!(tg.tick(Cycle::ZERO).is_some());
+        // Cooldown is now 2 + 5 = 7: next release at cycle 8.
+        assert_eq!(
+            tg.next_event_cycle(Cycle::new(1)),
+            NextEvent::At(Cycle::new(8))
+        );
+        // Skipping the whole window and ticking at 8 releases exactly
+        // like ticking every cycle would.
+        tg.skip_to(Cycle::new(1), Cycle::new(8));
+        assert!(tg.tick(Cycle::new(8)).is_some());
+        tg.skip_to(Cycle::new(9), Cycle::new(16));
+        assert!(tg.tick(Cycle::new(16)).is_some());
+        assert!(tg.is_exhausted());
+        assert_eq!(tg.next_event_cycle(Cycle::new(17)), NextEvent::Never);
+    }
+
+    #[test]
+    fn skipped_uniform_run_matches_every_cycle_run() {
+        let mk =
+            || StochasticTg::uniform(UniformConfig::with_load(0.05, 4, Some(40), fixed_dst()), 17);
+        // Reference: tick every cycle.
+        let mut plain = mk();
+        let (expected, _) = run(&mut plain, 50_000);
+        // Gated: jump straight between next-event cycles.
+        let mut gated = mk();
+        let mut releases = Vec::new();
+        let mut now = Cycle::ZERO;
+        while let NextEvent::At(next) = gated.next_event_cycle(now) {
+            if next > now {
+                gated.skip_to(now, next);
+                now = next;
+            }
+            if gated.tick(now).is_some() {
+                releases.push(now.raw());
+            }
+            now = now.next();
+            assert!(now.raw() < 100_000, "runaway");
+        }
+        assert_eq!(releases, expected, "gated release stream diverged");
+    }
+
+    #[test]
+    fn burst_idle_phase_forbids_skipping() {
+        let cfg = BurstConfig::with_load(0.2, 4, 4, Some(10), fixed_dst());
+        let mut tg = StochasticTg::burst(cfg, 3);
+        // Cooldown 0, idle phase, 0 < p < 1: the model draws a
+        // Bernoulli trial every cycle, so the next event is `now`.
+        assert_eq!(tg.next_event_cycle(Cycle::ZERO), NextEvent::At(Cycle::ZERO));
+        // Tick until a release; during the following cooldown the next
+        // event advances past `now`.
+        let mut t = 0u64;
+        while tg.tick(Cycle::new(t)).is_none() {
+            t += 1;
+            assert!(t < 10_000, "burst TG never started");
+        }
+        let now = Cycle::new(t + 1);
+        match tg.next_event_cycle(now) {
+            NextEvent::At(c) => assert!(c > now, "cooldown must be skippable"),
+            NextEvent::Never => panic!("budget not exhausted"),
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   which produces the packets-per-burst × flits-per-packet sweeps of
 //!   the paper's Figures 3 and 4.
 
-use crate::generator::{PacketRequest, TgKind, TrafficGenerator};
+use crate::generator::{NextEvent, PacketRequest, TgKind, TrafficGenerator};
 use nocem_common::ids::{EndpointId, FlowId};
 use nocem_common::rng::{Pcg32, RandomSource};
 use nocem_common::time::Cycle;
@@ -226,6 +226,18 @@ impl TrafficGenerator for TraceDrivenTg {
     fn kind(&self) -> TgKind {
         TgKind::TraceDriven
     }
+
+    /// The replay holds no per-cycle state: until the next event's
+    /// timestamp the ticks are pure no-ops, so the clock can jump
+    /// straight to it (an overdue event — same-cycle serialization —
+    /// pins the next tick to `now`). The default no-op
+    /// [`TrafficGenerator::skip_to`] is exact here.
+    fn next_event_cycle(&self, now: Cycle) -> NextEvent {
+        match self.events.get(self.next) {
+            None => NextEvent::Never,
+            Some(e) => NextEvent::At(e.at.max(now)),
+        }
+    }
 }
 
 /// Records packet releases during a run, producing a [`Trace`] that can
@@ -410,6 +422,28 @@ mod tests {
             (1, 2, 3),
             "trace order preserved"
         );
+    }
+
+    #[test]
+    fn replay_next_event_tracks_timestamps() {
+        let t = Trace::from_events(vec![event(5, 0, 1), event(5, 0, 2)]);
+        let mut tg = TraceDrivenTg::new(&t, EndpointId::new(0));
+        // Far before the first event: the clock can jump to cycle 5.
+        assert_eq!(
+            tg.next_event_cycle(Cycle::ZERO),
+            NextEvent::At(Cycle::new(5))
+        );
+        tg.skip_to(Cycle::ZERO, Cycle::new(5));
+        assert!(tg.tick(Cycle::new(5)).is_some());
+        // The second same-cycle event is overdue: pinned to `now`.
+        assert_eq!(
+            tg.next_event_cycle(Cycle::new(6)),
+            NextEvent::At(Cycle::new(6))
+        );
+        assert!(tg.tick(Cycle::new(6)).is_some());
+        assert_eq!(tg.next_event_cycle(Cycle::new(7)), NextEvent::Never);
+        assert_eq!(NextEvent::Never.cycle_or_max(), u64::MAX);
+        assert_eq!(NextEvent::At(Cycle::new(9)).cycle_or_max(), 9);
     }
 
     #[test]

@@ -71,6 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         loads: vec![0.10, 0.25],
         packet_flits: 4,
         packets_per_point: 1_000,
+        clock_mode: nocem::ClockMode::Gated,
     };
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let outcome = spec.run(&registry, threads)?;

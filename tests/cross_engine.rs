@@ -3,7 +3,13 @@
 //! number of cycles, same deliveries, same per-packet latencies — for
 //! identical configurations and seeds. This is what makes the Table 2
 //! speed comparison meaningful: all three engines do the same work.
+//!
+//! Since the clock-gating refactor the engines share one stepping
+//! contract (`nocem::SteppableEngine`), so the comparison harness is
+//! written once against the trait and iterates over engine
+//! constructors instead of being spelled out three times.
 
+use nocem::clock::{run_engine, EngineSummary, SteppableEngine};
 use nocem::compile::elaborate;
 use nocem::config::{PaperConfig, PaperRouting, PlatformConfig, TrafficModel};
 use nocem::engine::build;
@@ -11,73 +17,38 @@ use nocem_rtl::model::RtlEngine;
 use nocem_tlm::model::TlmEngine;
 use nocem_topology::builders::mesh;
 
-/// Canonical comparison tuple.
-#[derive(Debug, PartialEq, Eq)]
-struct Fingerprint {
-    cycles: u64,
-    released: u64,
-    injected: u64,
-    delivered: u64,
-    delivered_flits: u64,
-    net_latency_sum: u64,
-    net_latency_count: u64,
-    net_latency_max: Option<u64>,
-    total_latency_sum: u64,
+/// One boxed engine per simulation backend, freshly elaborated from
+/// the same configuration — the lockstep and equivalence harnesses
+/// drive them through `dyn SteppableEngine` only.
+fn all_engines(cfg: &PlatformConfig) -> Vec<(&'static str, Box<dyn SteppableEngine>)> {
+    vec![
+        ("emulation", Box::new(build(cfg).unwrap())),
+        ("rtl", Box::new(RtlEngine::new(elaborate(cfg).unwrap()))),
+        ("tlm", Box::new(TlmEngine::new(elaborate(cfg).unwrap()))),
+    ]
 }
 
-fn run_all_three(cfg: &PlatformConfig) -> (Fingerprint, Fingerprint, Fingerprint) {
-    let mut emu = build(cfg).unwrap();
-    emu.run().unwrap();
-    let r = emu.results();
-    let emu_fp = Fingerprint {
-        cycles: r.cycles,
-        released: r.released,
-        injected: r.injected,
-        delivered: r.delivered,
-        delivered_flits: r.delivered_flits,
-        net_latency_sum: r.network_latency.sum(),
-        net_latency_count: r.network_latency.count(),
-        net_latency_max: r.network_latency.max(),
-        total_latency_sum: r.total_latency.sum(),
-    };
-
-    let mut rtl = RtlEngine::new(elaborate(cfg).unwrap());
-    rtl.run().unwrap();
-    let s = rtl.summary();
-    let rtl_fp = Fingerprint {
-        cycles: s.cycles,
-        released: s.released,
-        injected: s.injected,
-        delivered: s.delivered,
-        delivered_flits: s.delivered_flits,
-        net_latency_sum: s.network_latency.sum(),
-        net_latency_count: s.network_latency.count(),
-        net_latency_max: s.network_latency.max(),
-        total_latency_sum: s.total_latency.sum(),
-    };
-
-    let mut tlm = TlmEngine::new(elaborate(cfg).unwrap());
-    tlm.run().unwrap();
-    let s = tlm.summary();
-    let tlm_fp = Fingerprint {
-        cycles: s.cycles,
-        released: s.released,
-        injected: s.injected,
-        delivered: s.delivered,
-        delivered_flits: s.delivered_flits,
-        net_latency_sum: s.network_latency.sum(),
-        net_latency_count: s.network_latency.count(),
-        net_latency_max: s.network_latency.max(),
-        total_latency_sum: s.total_latency.sum(),
-    };
-
-    (emu_fp, rtl_fp, tlm_fp)
+/// Runs every engine to completion and returns `(name, summary)`.
+fn run_all(cfg: &PlatformConfig) -> Vec<(&'static str, EngineSummary)> {
+    all_engines(cfg)
+        .into_iter()
+        .map(|(name, mut engine)| {
+            run_engine(engine.as_mut()).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            (name, engine.summary())
+        })
+        .collect()
 }
 
 fn assert_equivalent(cfg: &PlatformConfig) {
-    let (emu, rtl, tlm) = run_all_three(cfg);
-    assert_eq!(emu, rtl, "fast engine vs RTL diverged on {}", cfg.name);
-    assert_eq!(emu, tlm, "fast engine vs TLM diverged on {}", cfg.name);
+    let runs = run_all(cfg);
+    let (ref_name, reference) = &runs[0];
+    for (name, summary) in &runs[1..] {
+        assert_eq!(
+            reference, summary,
+            "{ref_name} vs {name} diverged on {}",
+            cfg.name
+        );
+    }
 }
 
 #[test]
@@ -138,14 +109,13 @@ fn deep_buffer_platform_is_engine_equivalent() {
 
 #[test]
 fn different_seeds_produce_different_but_equivalent_runs() {
-    let a = PaperConfig::new().total_packets(300).seed(1).burst(8);
-    let b = PaperConfig::new().total_packets(300).seed(2).burst(8);
-    let (emu_a, rtl_a, _) = run_all_three(&a);
-    let (emu_b, rtl_b, _) = run_all_three(&b);
-    assert_eq!(emu_a, rtl_a);
-    assert_eq!(emu_b, rtl_b);
+    let a = run_all(&PaperConfig::new().total_packets(300).seed(1).burst(8));
+    let b = run_all(&PaperConfig::new().total_packets(300).seed(2).burst(8));
+    assert_eq!(a[0].1, a[1].1);
+    assert_eq!(b[0].1, b[1].1);
     assert_ne!(
-        emu_a.net_latency_sum, emu_b.net_latency_sum,
+        a[0].1.network_latency.sum(),
+        b[0].1.network_latency.sum(),
         "different seeds should change the traffic"
     );
 }
@@ -168,30 +138,28 @@ fn two_vc_config(spec: nocem_scenarios::scenario::TopologySpec) -> PlatformConfi
     cfg
 }
 
-/// Steps all three engines in lockstep and asserts they deliver the
-/// same packet count on every single cycle — per-flit delivery cycles
-/// are identical, not just end-of-run aggregates.
+/// Steps all engines in lockstep through the trait and asserts they
+/// deliver the same packet count on every single cycle — per-flit
+/// delivery cycles are identical, not just end-of-run aggregates.
 fn assert_cycle_for_cycle(cfg: &PlatformConfig) {
-    let mut emu = build(cfg).unwrap();
-    let mut rtl = RtlEngine::new(elaborate(cfg).unwrap());
-    let mut tlm = TlmEngine::new(elaborate(cfg).unwrap());
+    let mut engines = all_engines(cfg);
     let target = cfg.stop.delivered_packets.expect("bounded run");
     let mut cycle = 0u64;
-    while emu.delivered() < target {
-        emu.step().unwrap();
-        rtl.step().unwrap();
-        tlm.step().unwrap();
+    while engines[0].1.delivered() < target {
+        let (ref_name, reference) = {
+            let (name, engine) = &mut engines[0];
+            engine.step().unwrap();
+            (*name, engine.delivered())
+        };
+        for (name, engine) in &mut engines[1..] {
+            engine.step().unwrap();
+            assert_eq!(
+                reference,
+                engine.delivered(),
+                "{name} diverged from {ref_name} at cycle {cycle}"
+            );
+        }
         cycle += 1;
-        assert_eq!(
-            emu.delivered(),
-            rtl.delivered(),
-            "RTL diverged at cycle {cycle}"
-        );
-        assert_eq!(
-            emu.delivered(),
-            tlm.delivered(),
-            "TLM diverged at cycle {cycle}"
-        );
         assert!(cycle < 1_000_000, "runaway lockstep run");
     }
 }
