@@ -3,11 +3,19 @@
 //!
 //! A routing table maps a flow to the set of admissible [`RouteHop`]s
 //! at each switch: the output port to take and the virtual channel to
-//! continue on. The type lives here (rather than in `nocem-topology`)
+//! continue on. The types live here (rather than in `nocem-topology`)
 //! so that `nocem-switch` — the behavioural contract of the platform —
 //! can consume tables without depending on the topology crate.
+//!
+//! Per-switch tables are [`RouteTable`]s: *sparse*, flow-sorted,
+//! CSR-packed. Sparseness is what lets all-to-all traffic scale — a
+//! uniform-random pattern on an `n`-switch topology has `n·(n-1)`
+//! flows, and a dense flow-indexed `Vec` per switch would cost
+//! `O(n³)` memory (tens of gigabytes at 32×32) for entries that are
+//! overwhelmingly empty. A switch only stores the flows that actually
+//! traverse it.
 
-use crate::ids::{PortId, VcId};
+use crate::ids::{FlowId, PortId, VcId};
 
 /// One admissible continuation of a flow at a switch: the output port
 /// to take and the virtual channel to take it on.
@@ -35,6 +43,157 @@ impl core::fmt::Display for RouteHop {
     }
 }
 
+/// The admissible-hop table of one switch, stored sparsely.
+///
+/// Entries are kept sorted by flow id in a compressed (CSR) layout:
+/// one `(flow, offset)` record per flow that visits the switch and one
+/// shared hop pool, so memory is proportional to the *route incidences*
+/// at the switch, never to the platform-wide flow count. Lookup is a
+/// binary search — and the switch model performs it once per packet
+/// per hop (the selection is sticky), not once per cycle.
+///
+/// # Examples
+///
+/// ```
+/// use nocem_common::ids::{FlowId, PortId};
+/// use nocem_common::route::{RouteHop, RouteTable};
+///
+/// let mut table = RouteTable::new();
+/// table.push_hop(FlowId::new(7), RouteHop::vc0(PortId::new(1)));
+/// assert_eq!(table.lookup(FlowId::new(7)).len(), 1);
+/// assert!(table.lookup(FlowId::new(3)).is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteTable {
+    /// Flow ids with entries, ascending.
+    flows: Vec<u32>,
+    /// CSR offsets into `hops`; `offsets.len() == flows.len() + 1`
+    /// (the leading 0 is implicit when empty).
+    offsets: Vec<u32>,
+    /// Hop pool, grouped by flow.
+    hops: Vec<RouteHop>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RouteTable::default()
+    }
+
+    /// Builds a table from a dense flow-indexed vector (empty entries
+    /// are dropped). This is the compatibility path for callers that
+    /// spell small tables out by hand; large-scale builders should
+    /// [`RouteTable::push_hop`] directly.
+    pub fn from_dense(dense: Vec<Vec<RouteHop>>) -> Self {
+        let mut table = RouteTable::new();
+        for (flow, hops) in dense.into_iter().enumerate() {
+            for hop in hops {
+                table.push_hop(FlowId::new(flow as u32), hop);
+            }
+        }
+        table
+    }
+
+    /// Adds an admissible hop for `flow`, ignoring exact duplicates.
+    ///
+    /// Appending in non-decreasing flow order is `O(1)` amortized (the
+    /// order every table builder naturally produces); out-of-order
+    /// flows fall back to a sorted insert.
+    pub fn push_hop(&mut self, flow: FlowId, hop: RouteHop) {
+        let f = flow.raw();
+        if self.flows.is_empty() {
+            self.flows.push(f);
+            self.offsets = vec![0, 1];
+            self.hops.push(hop);
+            return;
+        }
+        let last = *self.flows.last().expect("non-empty");
+        if f == last {
+            let start = self.offsets[self.flows.len() - 1] as usize;
+            if !self.hops[start..].contains(&hop) {
+                self.hops.push(hop);
+                *self.offsets.last_mut().expect("non-empty") += 1;
+            }
+            return;
+        }
+        if f > last {
+            self.flows.push(f);
+            self.hops.push(hop);
+            self.offsets.push(self.hops.len() as u32);
+            return;
+        }
+        // Out-of-order insert (rare: explicit paths given unsorted).
+        match self.flows.binary_search(&f) {
+            Ok(i) => {
+                let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+                if !self.hops[start..end].contains(&hop) {
+                    self.hops.insert(end, hop);
+                    for o in &mut self.offsets[i + 1..] {
+                        *o += 1;
+                    }
+                }
+            }
+            Err(i) => {
+                let at = self.offsets[i] as usize;
+                self.flows.insert(i, f);
+                self.hops.insert(at, hop);
+                self.offsets.insert(i + 1, at as u32);
+                for o in &mut self.offsets[i + 1..] {
+                    *o += 1;
+                }
+            }
+        }
+    }
+
+    /// The admissible hops of `flow` (empty if the flow never visits
+    /// this switch).
+    pub fn lookup(&self, flow: FlowId) -> &[RouteHop] {
+        match self.flows.binary_search(&flow.raw()) {
+            Ok(i) => &self.hops[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterates `(flow, hops)` over every stored entry, ascending by
+    /// flow.
+    pub fn entries(&self) -> impl Iterator<Item = (FlowId, &[RouteHop])> + '_ {
+        self.flows.iter().enumerate().map(move |(i, &f)| {
+            (
+                FlowId::new(f),
+                &self.hops[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            )
+        })
+    }
+
+    /// Number of flows with at least one entry.
+    pub fn flow_entries(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flow has an entry.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total stored hops.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The highest VC any stored hop uses (`None` when empty).
+    pub fn max_vc(&self) -> Option<u8> {
+        self.hops.iter().map(|h| h.vc.raw()).max()
+    }
+
+    /// The most alternatives any single flow holds (0 when empty).
+    pub fn max_alternatives(&self) -> usize {
+        (0..self.flows.len())
+            .map(|i| (self.offsets[i + 1] - self.offsets[i]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +212,67 @@ mod tests {
             vc: VcId::new(1),
         };
         assert_eq!(h.to_string(), "p1/v1");
+    }
+
+    fn hop(port: u8, vc: u8) -> RouteHop {
+        RouteHop {
+            port: PortId::new(port),
+            vc: VcId::new(vc),
+        }
+    }
+
+    #[test]
+    fn sparse_table_round_trips_dense() {
+        let dense = vec![
+            vec![hop(0, 0)],
+            vec![],
+            vec![hop(1, 0), hop(2, 1)],
+            vec![],
+            vec![hop(3, 0)],
+        ];
+        let table = RouteTable::from_dense(dense.clone());
+        for (f, hops) in dense.iter().enumerate() {
+            assert_eq!(table.lookup(FlowId::new(f as u32)), hops.as_slice());
+        }
+        assert_eq!(table.flow_entries(), 3, "empty entries are not stored");
+        assert_eq!(table.hop_count(), 4);
+        assert_eq!(table.max_vc(), Some(1));
+        assert_eq!(table.max_alternatives(), 2);
+        assert!(table.lookup(FlowId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_hops_are_ignored() {
+        let mut t = RouteTable::new();
+        t.push_hop(FlowId::new(1), hop(0, 0));
+        t.push_hop(FlowId::new(1), hop(0, 0));
+        t.push_hop(FlowId::new(1), hop(1, 0));
+        assert_eq!(t.lookup(FlowId::new(1)), &[hop(0, 0), hop(1, 0)]);
+        assert_eq!(t.hop_count(), 2);
+    }
+
+    #[test]
+    fn out_of_order_inserts_keep_entries_sorted() {
+        let mut t = RouteTable::new();
+        t.push_hop(FlowId::new(5), hop(0, 0));
+        t.push_hop(FlowId::new(2), hop(1, 0));
+        t.push_hop(FlowId::new(9), hop(2, 0));
+        t.push_hop(FlowId::new(2), hop(3, 1));
+        t.push_hop(FlowId::new(5), hop(0, 0)); // duplicate, dropped
+        let flows: Vec<u32> = t.entries().map(|(f, _)| f.raw()).collect();
+        assert_eq!(flows, vec![2, 5, 9]);
+        assert_eq!(t.lookup(FlowId::new(2)), &[hop(1, 0), hop(3, 1)]);
+        assert_eq!(t.lookup(FlowId::new(5)), &[hop(0, 0)]);
+        assert_eq!(t.lookup(FlowId::new(9)), &[hop(2, 0)]);
+    }
+
+    #[test]
+    fn empty_table_behaves() {
+        let t = RouteTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max_vc(), None);
+        assert_eq!(t.max_alternatives(), 0);
+        assert!(t.lookup(FlowId::new(0)).is_empty());
+        assert_eq!(t.entries().count(), 0);
     }
 }

@@ -25,11 +25,44 @@
 //! statistics, the packet ledger and the Table 2 work-per-cycle proxy
 //! stay exact.
 //!
-//! The three engines are unified behind the [`SteppableEngine`] trait,
+//! The engines are unified behind the [`SteppableEngine`] trait,
 //! so the run loops ([`run_engine`], [`run_engine_with_progress`]),
 //! the engine-generic sweep (`crate::sweep::run_sweep_engine`) and the
 //! cross-engine lockstep tests are written once instead of three
 //! times.
+//!
+//! # Quiescence invariants
+//!
+//! A fast-forward jump is sound because the quiescence predicate is
+//! *exhaustive*: when it holds, the only state a skipped cycle would
+//! change is TG countdowns, which [`TrafficGenerator::skip_to`]
+//! replays. Each clause closes one leak:
+//!
+//! * **no parked TG request** — a parked request retries every cycle
+//!   and could be accepted at any of them, so it pins the clock;
+//! * **every NI idle with all credits home** — an NI holding a
+//!   queued or half-serialized packet injects on future cycles; a
+//!   missing credit means a flit still occupies (or a credit is in
+//!   flight from) the downstream buffer, i.e. the network is not
+//!   empty;
+//! * **every switch quiescent** — empty per-VC FIFOs *and* no open
+//!   wormhole on either side *and* per-output-VC credits at their
+//!   caps; a quiescent switch's `decide` computes no grant and steps
+//!   no arbiter, pointer or LFSR, so skipping it is exact;
+//! * **no in-flight packet in the ledger** — a belt over the braces:
+//!   any flit anywhere implies an undelivered packet.
+//!
+//! # Sharded engines: the cross-shard event horizon
+//!
+//! The sharded engine (`crate::shard`) applies the same protocol
+//! per shard: every worker reports its local quiescence and its TGs'
+//! earliest future event each cycle, and the coordinator may jump
+//! only when **all** shards are quiescent (plus the ledger clause),
+//! and only to the *minimum* next-event over all shards — the
+//! cross-shard event horizon. A shard therefore never fast-forwards
+//! past a cycle at which another shard could have produced traffic
+//! that would reach it; the jump is replayed in every worker with the
+//! same [`TrafficGenerator::skip_to`] contract as [`fast_forward`].
 
 use crate::error::EmulationError;
 use nocem_common::time::Cycle;

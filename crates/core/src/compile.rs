@@ -246,9 +246,9 @@ pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
             })
             .collect();
         let lfsr_seed = (seeder.next() & 0xFFFF) as u16;
-        let sw = Switch::new_vc(
+        let sw = Switch::new_table(
             sw_config,
-            routing.switch_table(s).to_vec(),
+            routing.switch_table(s).clone(),
             credits,
             lfsr_seed,
         )

@@ -76,6 +76,32 @@ impl Default for SwitchSettings {
     }
 }
 
+/// Which emulation engine executes the platform.
+///
+/// All engine kinds implement the same cycle semantics (the behavioural
+/// contract in `nocem-switch`); the kind only chooses *how* the work is
+/// scheduled. Sweeps and the scenario matrix honour this field through
+/// [`crate::sweep::run_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum EngineKind {
+    /// The single-threaded fast emulation engine
+    /// ([`crate::engine::Emulation`]).
+    #[default]
+    SingleThread,
+    /// The sharded engine ([`crate::shard::ShardedEngine`]): switches
+    /// are partitioned into `shards` groups, each stepped by its own
+    /// worker thread, with flits and credits bridged across shard
+    /// boundaries over bounded channels. Cycle-for-cycle identical to
+    /// [`EngineKind::SingleThread`] (proven by the lockstep ledger
+    /// tests); faster on large topologies (32×32 and up).
+    Sharded {
+        /// Worker-thread shard count (`>= 1`; `1` is a single worker,
+        /// useful for measuring the orchestration overhead).
+        shards: usize,
+    },
+}
+
 /// When the emulation stops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StopCondition {
@@ -131,6 +157,9 @@ pub struct PlatformConfig {
     /// to the original platform) or hybrid clock-gated (jump over
     /// provably idle windows; cycle-equivalent, faster at low load).
     pub clock_mode: ClockMode,
+    /// Which engine executes the platform (single-threaded or
+    /// sharded across worker threads; cycle-equivalent either way).
+    pub engine: EngineKind,
 }
 
 impl PlatformConfig {
@@ -176,6 +205,7 @@ impl PlatformConfig {
             seed: 0x5EED_0005,
             record_trace: false,
             clock_mode: ClockMode::default(),
+            engine: EngineKind::default(),
         })
     }
 
@@ -183,6 +213,13 @@ impl PlatformConfig {
     #[must_use]
     pub fn with_clock_mode(mut self, mode: ClockMode) -> Self {
         self.clock_mode = mode;
+        self
+    }
+
+    /// Sets the engine kind (builder-style convenience).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -309,6 +346,7 @@ impl PaperConfig {
             seed: self.seed,
             record_trace: false,
             clock_mode: ClockMode::default(),
+            engine: EngineKind::default(),
         }
     }
 

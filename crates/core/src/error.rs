@@ -37,6 +37,12 @@ pub enum CompileError {
         /// Configured VCs per switch port.
         num_vcs: u8,
     },
+    /// The switch graph could not be partitioned for the sharded
+    /// engine.
+    Partition {
+        /// What is wrong (shard count vs. switch count, coverage).
+        reason: String,
+    },
     /// The platform ran out of bus device slots.
     AddressMapFull,
     /// A configured offered load exceeds link capacity somewhere.
@@ -56,6 +62,9 @@ impl std::fmt::Display for CompileError {
             }
             CompileError::TrafficMismatch { reason } => {
                 write!(f, "traffic configuration mismatch: {reason}")
+            }
+            CompileError::Partition { reason } => {
+                write!(f, "cannot shard the platform: {reason}")
             }
             CompileError::VcOverflow { max_vc, num_vcs } => write!(
                 f,
@@ -117,6 +126,14 @@ pub enum EmulationError {
     /// A register access performed by the run-control software
     /// faulted.
     Bus(BusError),
+    /// A shard worker of the sharded engine violated the boundary
+    /// protocol or terminated unexpectedly.
+    Shard {
+        /// The shard that faulted (`usize::MAX` when unattributable).
+        shard: usize,
+        /// What happened.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EmulationError {
@@ -134,6 +151,13 @@ impl std::fmt::Display for EmulationError {
                 "cycle limit {limit} exceeded with only {delivered} packets delivered"
             ),
             EmulationError::Bus(e) => write!(f, "bus fault: {e}"),
+            EmulationError::Shard { shard, reason } => {
+                if *shard == usize::MAX {
+                    write!(f, "sharded engine fault: {reason}")
+                } else {
+                    write!(f, "shard {shard} fault: {reason}")
+                }
+            }
         }
     }
 }

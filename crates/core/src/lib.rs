@@ -38,6 +38,7 @@
 //! | [`compile`] | 1 | elaboration: components, wiring, address map |
 //! | [`flow`] | 1–6 | the complete emulation flow |
 //! | [`engine`] | 5 | the cycle engine (and the bus the software sees) |
+//! | [`shard`] | 5 | the sharded engine: one platform across worker threads |
 //! | [`clock`] | 5 | clock modes, quiescence, the fast-forward kernel, [`clock::SteppableEngine`] |
 //! | [`devices`] | 3, 6 | register views and typed drivers |
 //! | [`results`] | 6 | run results and the monitor report |
@@ -55,13 +56,17 @@ pub mod engine;
 pub mod error;
 pub mod flow;
 pub mod results;
+pub mod shard;
 pub mod sweep;
 
 pub use clock::{run_engine, run_engine_with_progress, ClockMode, EngineSummary, SteppableEngine};
 pub use compile::{elaborate, Elaboration};
-pub use config::{PaperConfig, PaperRouting, PlatformConfig, StopCondition, TrafficModel};
+pub use config::{
+    EngineKind, PaperConfig, PaperRouting, PlatformConfig, StopCondition, TrafficModel,
+};
 pub use engine::{build, Emulation};
 pub use error::{CompileError, EmulationError};
 pub use flow::{run_flow, run_flow_on, FlowReport};
 pub use results::EmulationResults;
-pub use sweep::{run_sweep, run_sweep_engine, run_sweep_with, SweepPoint};
+pub use shard::{build_engine, ShardedEngine};
+pub use sweep::{run_config, run_sweep, run_sweep_engine, run_sweep_with, SweepPoint};

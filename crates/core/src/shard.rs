@@ -1,0 +1,1393 @@
+//! The sharded emulation engine: one huge topology, many worker
+//! threads, bit-identical results.
+//!
+//! [`crate::engine::Emulation`] steps every switch of the platform on
+//! one thread; past a few hundred switches that single thread is the
+//! wall-clock bottleneck, and the scenario-level parallelism of
+//! [`crate::sweep::run_sweep`] cannot help a *single* 32×32 run.
+//! [`ShardedEngine`] removes that wall by partitioning the switch
+//! graph into `K` shards (a [`Partition`] implementation from
+//! `nocem-topology`; the default is the grid-stripe partitioner) and
+//! stepping each shard's switches, network interfaces, traffic
+//! generators and receptors on its own persistent worker thread.
+//!
+//! # The shard protocol
+//!
+//! The engines' intra-cycle ordering (TG tick → decide → NI send →
+//! commit; see `crate::engine`) has exactly one cross-switch
+//! interaction: the commit phase pushes flits into downstream input
+//! buffers and returns credits upstream, and both only become
+//! *observable* at the next cycle's decide. That makes the cycle
+//! embarrassingly parallel up to a single exchange point, which the
+//! sharded engine exploits:
+//!
+//! 1. **tick** — every worker ticks its own TGs (with the same
+//!    park-and-retry backpressure as the single-threaded engine) and
+//!    publishes a released-this-cycle flag per generator into a shared
+//!    slot array;
+//! 2. **id barrier** — after a barrier, each worker counts the flags
+//!    of all lower-numbered generators, which yields exactly the
+//!    [`PacketId`]s the single-threaded engine would have assigned in
+//!    its global generator-order loop, with no round trip;
+//! 3. **decide / send / commit** — each worker steps its own switches.
+//!    Transfers whose far end is shard-local are applied directly;
+//!    transfers crossing a boundary link go into that link's bounded
+//!    channel — one flit channel and one credit channel **per
+//!    (boundary link, VC)**, capacity 1, which is provably sufficient
+//!    because a physical link carries at most one flit per cycle and
+//!    pops at most one flit per input port per cycle;
+//! 4. **exchange barrier** — after a second barrier, every worker
+//!    drains its incoming boundary channels into its own switches
+//!    (buffer pushes and credit increments commute with the pops that
+//!    already happened, and credit-gated flow control guarantees the
+//!    pushed buffer has room), then reports its cycle's ledger events
+//!    and its quiescence status to the coordinator;
+//! 5. **coordinator** — the [`ShardedEngine`] applies releases (sorted
+//!    by id), injections and deliveries (sorted by the ejecting
+//!    switch/port, the single-threaded commit order) to the one
+//!    [`PacketLedger`], advances the clock and enforces the cycle
+//!    limit.
+//!
+//! Every phase is deterministic and every reordering across threads is
+//! applied through a commutative or re-sorted operation, so a sharded
+//! run produces the *same packet ledger* as the single-threaded engine
+//! — cycle for cycle, packet for packet — which the lockstep tests in
+//! `tests/sharded_engine.rs` assert on meshes and tori at low and
+//! saturating load.
+//!
+//! # Clock gating across shards
+//!
+//! Hybrid clock gating (see [`crate::clock`]) extends to shards with a
+//! **cross-shard event horizon**: each worker reports, per cycle,
+//! whether its shard is locally quiescent and the earliest future
+//! event of its TGs. The coordinator may fast-forward only when
+//! *every* shard is quiescent and the ledger carries no in-flight
+//! packet, and only up to the minimum next-event over all shards
+//! (clamped to the cycle limit) — a shard never skips past another
+//! shard's horizon. The jump is replayed inside every worker via
+//! [`TrafficGenerator::skip_to`], exactly like the single-threaded
+//! fast-forward kernel.
+//!
+//! # What the sharded engine does not do
+//!
+//! It implements the full [`SteppableEngine`] contract (so run loops,
+//! sweeps and lockstep harnesses drive it unchanged) and produces
+//! complete [`EmulationResults`], but it does not expose the
+//! memory-mapped bus ([`crate::engine::Emulation`] remains the
+//! register-programming target) and does not record traces.
+
+use crate::clock::{ClockMode, EngineSummary, SteppableEngine};
+use crate::compile::{elaborate, Elaboration, InSource, OutTarget, ReceptorDevice};
+use crate::config::{EngineKind, PlatformConfig};
+use crate::error::{CompileError, EmulationError};
+use crate::results::{EmulationResults, ReceptorSummary};
+use nocem_common::flit::{Flit, PacketDescriptor};
+use nocem_common::ids::{EndpointId, LinkId, PacketId, PortId, SwitchId, VcId};
+use nocem_common::time::Cycle;
+use nocem_stats::congestion::CongestionCounter;
+use nocem_stats::latency::LatencyAnalyzer;
+use nocem_stats::ledger::PacketLedger;
+use nocem_switch::switch::Switch;
+use nocem_topology::partition::{GridStripes, Partition, PartitionMap};
+use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
+use nocem_traffic::ni::SourceNi;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Barrier};
+use std::thread::JoinHandle;
+
+/// Commands the coordinator sends to every worker.
+enum Cmd {
+    /// Execute one platform cycle at `now`. When `skip_from` is set,
+    /// first replay the quiescent window `[skip_from, now)` inside
+    /// every TG (the cross-shard fast-forward). `base_id` is the
+    /// platform-wide packet id the first release of this cycle takes.
+    Cycle {
+        now: Cycle,
+        skip_from: Option<Cycle>,
+        base_id: u64,
+    },
+    /// Snapshot the shard's components for results collection.
+    Collect,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// One delivered packet, tagged with its single-threaded commit-order
+/// key (ejecting switch, output port) so the coordinator can replay
+/// deliveries in exactly the order the single-threaded engine would.
+struct Delivery {
+    switch: u32,
+    port: u8,
+    receptor: usize,
+    packet: PacketId,
+    len_flits: u16,
+}
+
+/// Per-cycle shard status, cached by the coordinator for the stop
+/// condition and the gating decision of the *next* step.
+#[derive(Debug, Clone, Copy)]
+struct ShardStatus {
+    /// Local half of the platform quiescence predicate: no parked TG
+    /// request, every NI idle with credits home, every switch
+    /// quiescent.
+    quiescent: bool,
+    /// Earliest future event over this shard's TGs, evaluated at the
+    /// cycle the next step will execute (`u64::MAX` = never).
+    next_event: u64,
+    /// All TGs exhausted.
+    exhausted: bool,
+    /// No parked TG request.
+    pending_none: bool,
+    /// Every NI idle.
+    nis_idle: bool,
+}
+
+/// What a worker reports after executing one cycle.
+struct CycleReport {
+    releases: Vec<PacketDescriptor>,
+    injects: Vec<PacketId>,
+    deliveries: Vec<Delivery>,
+    stalled_delta: u64,
+    status: ShardStatus,
+    error: Option<EmulationError>,
+}
+
+/// Snapshot of a shard's components for results collection.
+struct Snapshot {
+    /// `(global switch id, switch clone)`.
+    switches: Vec<(u32, Switch)>,
+    /// `(global generator index, NI clone)`.
+    nis: Vec<(usize, SourceNi)>,
+    /// `(global receptor index, receptor clone)`.
+    receptors: Vec<(usize, ReceptorDevice)>,
+}
+
+enum Report {
+    Cycle(Box<CycleReport>),
+    Snapshot(Box<Snapshot>),
+}
+
+/// Where a shard-local switch output leads.
+enum LocalOut {
+    /// A switch of the same shard.
+    Switch { switch: usize, port: PortId },
+    /// A shard-local receptor.
+    Receptor { index: usize },
+    /// A boundary link: one flit sender per VC of the link.
+    Remote { tx: Vec<SyncSender<Flit>> },
+}
+
+/// What feeds a shard-local switch input (for credit returns).
+enum LocalIn {
+    /// A switch of the same shard.
+    Switch { switch: usize, port: PortId },
+    /// A shard-local network interface.
+    Ni { index: usize },
+    /// A boundary link: one credit sender per VC back upstream.
+    Remote { tx: Vec<SyncSender<()>> },
+}
+
+/// Receiving end of a boundary link's flit channels.
+struct InFlits {
+    switch: usize,
+    port: PortId,
+    rx: Vec<Receiver<Flit>>,
+}
+
+/// Receiving end of one (boundary link, VC) credit channel.
+struct InCredit {
+    switch: usize,
+    port: PortId,
+    vc: VcId,
+    rx: Receiver<()>,
+}
+
+/// The state owned by one worker thread.
+struct Worker {
+    shard: usize,
+    switches: Vec<Switch>,
+    /// Local switch index → global switch id.
+    switch_gids: Vec<u32>,
+    /// `[local switch][output port]`.
+    routes_out: Vec<Vec<LocalOut>>,
+    /// `[local switch][input port]`.
+    routes_in: Vec<Vec<LocalIn>>,
+    nis: Vec<SourceNi>,
+    tgs: Vec<Box<dyn TrafficGenerator + Send>>,
+    /// Local generator index → global generator index (ascending).
+    tg_gidx: Vec<usize>,
+    /// Local generator index → source endpoint.
+    tg_endpoints: Vec<EndpointId>,
+    /// Local generator index → (local switch, input port) it injects
+    /// into.
+    injection: Vec<(usize, PortId)>,
+    pending: Vec<Option<PacketRequest>>,
+    receptors: Vec<ReceptorDevice>,
+    /// Local receptor index → global receptor index.
+    receptor_gidx: Vec<usize>,
+    in_flits: Vec<InFlits>,
+    in_credits: Vec<InCredit>,
+    /// Per global generator: released-a-packet-this-cycle flag, shared
+    /// by all workers for packet-id assignment. Each worker writes
+    /// only its own generators' slots, every cycle, before the id
+    /// barrier; after the barrier everyone may read every slot. The
+    /// coordinator's collect-all-reports-before-next-command ordering
+    /// guarantees no worker writes cycle `t + 1` flags before every
+    /// worker has read the cycle `t` flags.
+    slots: Arc<Vec<AtomicU8>>,
+    barrier: Arc<Barrier>,
+    cmd_rx: Receiver<Cmd>,
+    rep_tx: Sender<Report>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        while let Ok(cmd) = self.cmd_rx.recv() {
+            match cmd {
+                Cmd::Cycle {
+                    now,
+                    skip_from,
+                    base_id,
+                } => {
+                    let report = self.cycle(now, skip_from, base_id);
+                    if self.rep_tx.send(Report::Cycle(Box::new(report))).is_err() {
+                        break;
+                    }
+                }
+                Cmd::Collect => {
+                    let snap = Snapshot {
+                        switches: self
+                            .switch_gids
+                            .iter()
+                            .zip(&self.switches)
+                            .map(|(&g, sw)| (g, sw.clone()))
+                            .collect(),
+                        nis: self
+                            .tg_gidx
+                            .iter()
+                            .zip(&self.nis)
+                            .map(|(&g, ni)| (g, ni.clone()))
+                            .collect(),
+                        receptors: self
+                            .receptor_gidx
+                            .iter()
+                            .zip(&self.receptors)
+                            .map(|(&g, r)| (g, r.clone()))
+                            .collect(),
+                    };
+                    if self.rep_tx.send(Report::Snapshot(Box::new(snap))).is_err() {
+                        break;
+                    }
+                }
+                Cmd::Shutdown => break,
+            }
+        }
+    }
+
+    /// Executes one platform cycle. Errors — including panics — are
+    /// latched instead of propagated mid-cycle so that *both* barriers
+    /// are always reached: a shard that unwound between barriers would
+    /// strand every peer at `Barrier::wait` forever and deadlock the
+    /// coordinator. Each segment between barriers therefore runs under
+    /// `catch_unwind`, with the barrier waits outside the catch.
+    fn cycle(&mut self, now: Cycle, skip_from: Option<Cycle>, base_id: u64) -> CycleReport {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let shard = self.shard;
+        let ticked = catch_unwind(AssertUnwindSafe(|| self.tick_phase(now, skip_from)));
+        // Id barrier: release flags of every shard are published.
+        self.barrier.wait();
+        let (accepted, stalled_delta, mut err) = match ticked {
+            Ok((accepted, stalled)) => (accepted, stalled, None),
+            Err(payload) => (Vec::new(), 0, Some(panic_fault(shard, &payload))),
+        };
+
+        let mut out = WorkOutcome::default();
+        if err.is_none() {
+            match catch_unwind(AssertUnwindSafe(|| {
+                self.work_phase(now, base_id, &accepted)
+            })) {
+                Ok(done) => out = done,
+                Err(payload) => err = Some(panic_fault(shard, &payload)),
+            }
+        }
+        if err.is_none() {
+            err = out.error.take();
+        }
+
+        // Exchange barrier: every boundary message of this cycle has
+        // been sent; drain ours and take the end-of-cycle status.
+        self.barrier.wait();
+        let status = match catch_unwind(AssertUnwindSafe(|| self.drain_and_status(now))) {
+            Ok((drain_err, status)) => {
+                if err.is_none() {
+                    err = drain_err;
+                }
+                status
+            }
+            Err(payload) => {
+                err.get_or_insert(panic_fault(shard, &payload));
+                // The run is aborting; report a conservative status
+                // that can never enable a fast-forward.
+                ShardStatus {
+                    quiescent: false,
+                    next_event: u64::MAX,
+                    exhausted: false,
+                    pending_none: false,
+                    nis_idle: false,
+                }
+            }
+        };
+        CycleReport {
+            releases: out.releases,
+            injects: out.injects,
+            deliveries: out.deliveries,
+            stalled_delta,
+            status,
+            error: err,
+        }
+    }
+
+    /// Phase 1: tick the traffic models with the single-threaded
+    /// engine's park-and-retry backpressure, publishing one released
+    /// flag per generator (and first replaying a coordinator
+    /// fast-forward window inside every TG).
+    fn tick_phase(
+        &mut self,
+        now: Cycle,
+        skip_from: Option<Cycle>,
+    ) -> (Vec<(usize, PacketRequest)>, u64) {
+        if let Some(from) = skip_from {
+            for tg in &mut self.tgs {
+                tg.skip_to(from, now);
+            }
+        }
+        let mut accepted: Vec<(usize, PacketRequest)> = Vec::new();
+        let mut stalled_delta = 0u64;
+        for i in 0..self.tgs.len() {
+            let req = match self.pending[i].take() {
+                Some(req) if self.nis[i].can_accept() => Some(req),
+                Some(req) => {
+                    self.pending[i] = Some(req);
+                    stalled_delta += 1;
+                    None
+                }
+                None => match self.tgs[i].tick(now) {
+                    Some(req) if self.nis[i].can_accept() => Some(req),
+                    Some(req) => {
+                        self.pending[i] = Some(req);
+                        stalled_delta += 1;
+                        None
+                    }
+                    None => None,
+                },
+            };
+            self.slots[self.tg_gidx[i]].store(u8::from(req.is_some()), Ordering::Relaxed);
+            if let Some(req) = req {
+                accepted.push((i, req));
+            }
+        }
+        (accepted, stalled_delta)
+    }
+
+    /// Phases 2–5: id assignment, decide, NI send, commit.
+    fn work_phase(
+        &mut self,
+        now: Cycle,
+        base_id: u64,
+        accepted: &[(usize, PacketRequest)],
+    ) -> WorkOutcome {
+        let mut err: Option<EmulationError> = None;
+
+        // Phase 2 (after the id barrier): assign the exact packet ids
+        // the single-threaded engine would — `base_id` plus the number
+        // of releases by lower-numbered generators — and offer the
+        // descriptors into the NIs.
+        let mut releases = Vec::with_capacity(accepted.len());
+        let mut cursor = 0usize;
+        let mut before = 0u64;
+        for &(i, req) in accepted {
+            let gidx = self.tg_gidx[i];
+            while cursor < gidx {
+                before += u64::from(self.slots[cursor].load(Ordering::Relaxed));
+                cursor += 1;
+            }
+            let desc = PacketDescriptor {
+                id: PacketId::new(base_id + before),
+                src: self.tg_endpoints[i],
+                dst: req.dst,
+                flow: req.flow,
+                len_flits: req.len_flits,
+                release: now,
+            };
+            let offered = self.nis[i].offer(desc);
+            debug_assert!(offered, "capacity was checked before the offer");
+            releases.push(desc);
+        }
+
+        // Phase 3: all shard switches decide on start-of-cycle state.
+        for sw in &mut self.switches {
+            sw.decide();
+        }
+
+        // Phase 4: network interfaces inject (always shard-local: an
+        // endpoint lives in its switch's shard).
+        let mut injects = Vec::new();
+        for i in 0..self.nis.len() {
+            let Some(flit) = self.nis[i].tick_send() else {
+                continue;
+            };
+            if flit.kind.is_head() {
+                injects.push(flit.packet);
+            }
+            let (s, port) = self.injection[i];
+            if let Err(source) = self.switches[s].accept(port, flit) {
+                err.get_or_insert(EmulationError::FifoOverflow {
+                    switch: SwitchId::new(self.switch_gids[s]),
+                    source,
+                });
+            }
+        }
+
+        // Phase 5: commit. Local transfers apply immediately; boundary
+        // transfers go into their link's per-VC channels.
+        let mut deliveries = Vec::new();
+        'commit: for s in 0..self.switches.len() {
+            if err.is_some() {
+                break;
+            }
+            let sends = self.switches[s].commit_sends();
+            for t in sends {
+                match &self.routes_in[s][t.input.index()] {
+                    LocalIn::Switch { switch, port } => {
+                        self.switches[*switch].credit_return(*port, t.input_vc);
+                    }
+                    LocalIn::Ni { index } => self.nis[*index].credit_return(),
+                    LocalIn::Remote { tx } => {
+                        if tx[t.input_vc.index()].try_send(()).is_err() {
+                            err.get_or_insert(channel_fault(self.shard, "credit"));
+                            break 'commit;
+                        }
+                    }
+                }
+                match &self.routes_out[s][t.output.index()] {
+                    LocalOut::Switch { switch, port } => {
+                        if let Err(source) = self.switches[*switch].accept(*port, t.flit) {
+                            err.get_or_insert(EmulationError::FifoOverflow {
+                                switch: SwitchId::new(self.switch_gids[*switch]),
+                                source,
+                            });
+                            break 'commit;
+                        }
+                    }
+                    LocalOut::Receptor { index } => {
+                        let completed = match &mut self.receptors[*index] {
+                            ReceptorDevice::Stochastic(r) => {
+                                r.accept(&t.flit, now).map_err(|source| (r.id(), source))
+                            }
+                            ReceptorDevice::Trace(r) => {
+                                r.accept(&t.flit, now).map_err(|source| (r.id(), source))
+                            }
+                        };
+                        match completed {
+                            Ok(Some(pkt)) => deliveries.push(Delivery {
+                                switch: self.switch_gids[s],
+                                port: t.output.raw(),
+                                receptor: self.receptor_gidx[*index],
+                                packet: pkt.id,
+                                len_flits: pkt.len_flits,
+                            }),
+                            Ok(None) => {}
+                            Err((receptor, source)) => {
+                                err.get_or_insert(EmulationError::Receive { receptor, source });
+                                break 'commit;
+                            }
+                        }
+                    }
+                    LocalOut::Remote { tx } => {
+                        if tx[t.flit.vc.index()].try_send(t.flit).is_err() {
+                            err.get_or_insert(channel_fault(self.shard, "flit"));
+                            break 'commit;
+                        }
+                    }
+                }
+            }
+        }
+        WorkOutcome {
+            releases,
+            injects,
+            deliveries,
+            error: err,
+        }
+    }
+
+    /// Phases 6–7 (after the exchange barrier): drain incoming
+    /// boundary channels and take the end-of-cycle status.
+    fn drain_and_status(&mut self, now: Cycle) -> (Option<EmulationError>, ShardStatus) {
+        let mut err: Option<EmulationError> = None;
+        for chan in &self.in_flits {
+            for rx in &chan.rx {
+                while let Ok(flit) = rx.try_recv() {
+                    if let Err(source) = self.switches[chan.switch].accept(chan.port, flit) {
+                        err.get_or_insert(EmulationError::FifoOverflow {
+                            switch: SwitchId::new(self.switch_gids[chan.switch]),
+                            source,
+                        });
+                    }
+                }
+            }
+        }
+        for chan in &self.in_credits {
+            while chan.rx.try_recv().is_ok() {
+                self.switches[chan.switch].credit_return(chan.port, chan.vc);
+            }
+        }
+
+        // The status the coordinator uses for its next stop / gating
+        // decision. `next_event` is evaluated at the cycle the next
+        // step will execute.
+        let pending_none = self.pending.iter().all(Option::is_none);
+        let nis_idle = self.nis.iter().all(SourceNi::is_idle);
+        let status = ShardStatus {
+            quiescent: pending_none
+                && nis_idle
+                && self.nis.iter().all(SourceNi::credits_home)
+                && self.switches.iter().all(Switch::is_quiescent),
+            next_event: self
+                .tgs
+                .iter()
+                .map(|t| t.next_event_cycle(now.next()).cycle_or_max())
+                .min()
+                .unwrap_or(u64::MAX),
+            exhausted: self.tgs.iter().all(|t| t.is_exhausted()),
+            pending_none,
+            nis_idle,
+        };
+        (err, status)
+    }
+}
+
+/// What the work phase of one cycle produced.
+#[derive(Default)]
+struct WorkOutcome {
+    releases: Vec<PacketDescriptor>,
+    injects: Vec<PacketId>,
+    deliveries: Vec<Delivery>,
+    error: Option<EmulationError>,
+}
+
+/// Renders a worker panic as a shard fault the coordinator can return
+/// (the alternative — letting the worker unwind mid-cycle — would
+/// strand its peers at a barrier and deadlock the whole engine).
+fn panic_fault(shard: usize, payload: &(dyn std::any::Any + Send)) -> EmulationError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    EmulationError::Shard {
+        shard,
+        reason: format!("worker panicked: {msg}"),
+    }
+}
+
+fn channel_fault(shard: usize, what: &str) -> EmulationError {
+    EmulationError::Shard {
+        shard,
+        reason: format!(
+            "boundary {what} channel overflowed its single slot — more than one \
+             {what} crossed one (link, VC) in one cycle, which flow control forbids"
+        ),
+    }
+}
+
+struct WorkerHandle {
+    cmd: Sender<Cmd>,
+    rep: Receiver<Report>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The sharded emulation engine.
+///
+/// Construct with [`ShardedEngine::build`] (grid-stripe partitioning,
+/// shard count from the argument) or [`ShardedEngine::with_partition`]
+/// for a custom [`Partition`]. Drive it through [`SteppableEngine`] or
+/// the [`ShardedEngine::run`] convenience; collect full results with
+/// [`ShardedEngine::results`].
+///
+/// Results are bit-identical to [`crate::engine::Emulation`] on the
+/// same configuration: same packet ids, same per-packet release /
+/// injection / delivery cycles, same ledger, same statistics.
+pub struct ShardedEngine {
+    config: PlatformConfig,
+    workers: Vec<WorkerHandle>,
+    status: Vec<ShardStatus>,
+    partition: PartitionMap,
+    ledger: PacketLedger,
+    /// Main-side per-receptor network-latency analyzers (the worker
+    /// receptors never see ledger latencies, so the coordinator keeps
+    /// the per-receptor view the trace receptors would have recorded).
+    receptor_latency: Vec<LatencyAnalyzer>,
+    /// Per generator: its injection link (congestion attribution).
+    injection_links: Vec<LinkId>,
+    now: Cycle,
+    next_packet: u64,
+    stalled: u64,
+    delivered_flits: u64,
+    cycles_skipped: u64,
+    /// A worker died (panicked): skip joining the survivors, they may
+    /// be parked at a barrier.
+    poisoned: bool,
+    /// A run error was returned: further steps are refused.
+    failed: bool,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("name", &self.config.name)
+            .field("shards", &self.workers.len())
+            .field("cycle", &self.now)
+            .field("delivered", &self.ledger.delivered())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedEngine {
+    /// Compiles `config` and shards it with the grid-stripe
+    /// partitioner, honouring `config.engine`: the shard count of
+    /// [`EngineKind::Sharded`], or a single shard (one worker) for any
+    /// other engine kind — the config stays authoritative either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from elaboration or partitioning.
+    pub fn build(config: &PlatformConfig) -> Result<Self, CompileError> {
+        let shards = match config.engine {
+            EngineKind::Sharded { shards } => shards,
+            _ => 1,
+        };
+        Self::with_shards(config, shards)
+    }
+
+    /// Compiles `config` and shards it into exactly `shards` shards
+    /// with the grid-stripe partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from elaboration or partitioning.
+    pub fn with_shards(config: &PlatformConfig, shards: usize) -> Result<Self, CompileError> {
+        let elab = elaborate(config)?;
+        let map = GridStripes
+            .partition(&config.topology, shards)
+            .map_err(|e| CompileError::Partition {
+                reason: e.to_string(),
+            })?;
+        Ok(Self::with_partition(elab, map))
+    }
+
+    /// Wraps an elaboration into a sharded engine using an explicit
+    /// partition map (from any [`Partition`] implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not cover the elaboration's topology.
+    pub fn with_partition(elab: Elaboration, map: PartitionMap) -> Self {
+        assert_eq!(
+            map.switch_count(),
+            elab.config.topology.switch_count(),
+            "partition map does not match the topology"
+        );
+        let shards = map.shards();
+        let topo = &elab.config.topology;
+        let num_vcs = elab.config.switch.num_vcs as usize;
+        let generators = topo.generators();
+        let receptors = topo.receptors();
+
+        // Local index of every switch within its shard (shards own
+        // ascending global-id runs).
+        let mut local_idx = vec![0usize; topo.switch_count()];
+        let mut shard_switches: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (s, slot) in local_idx.iter_mut().enumerate() {
+            let k = map.shard_of(SwitchId::new(s as u32));
+            *slot = shard_switches[k].len();
+            shard_switches[k].push(s);
+        }
+
+        // Pre-step quiescence/next-event status, evaluated on the
+        // fresh elaboration exactly as the single-threaded engine
+        // would at its first step.
+        let init_status: Vec<ShardStatus> = (0..shards)
+            .map(|k| {
+                let tg_of = |i: usize| &elab.tgs[i];
+                let my_gens: Vec<usize> = generators
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &g)| map.shard_of(topo.endpoint(g).switch) == k)
+                    .map(|(i, _)| i)
+                    .collect();
+                ShardStatus {
+                    quiescent: shard_switches[k]
+                        .iter()
+                        .all(|&s| elab.switches[s].is_quiescent())
+                        && my_gens
+                            .iter()
+                            .all(|&i| elab.nis[i].is_idle() && elab.nis[i].credits_home()),
+                    next_event: my_gens
+                        .iter()
+                        .map(|&i| tg_of(i).next_event_cycle(Cycle::ZERO).cycle_or_max())
+                        .min()
+                        .unwrap_or(u64::MAX),
+                    exhausted: my_gens.iter().all(|&i| tg_of(i).is_exhausted()),
+                    pending_none: true,
+                    nis_idle: my_gens.iter().all(|&i| elab.nis[i].is_idle()),
+                }
+            })
+            .collect();
+
+        // One bounded channel pair per (boundary link, VC).
+        struct Wires {
+            flit_tx: Vec<SyncSender<Flit>>,
+            flit_rx: Vec<Receiver<Flit>>,
+            credit_tx: Vec<SyncSender<()>>,
+            credit_rx: Vec<Receiver<()>>,
+        }
+        let mut wires: HashMap<LinkId, Wires> = HashMap::new();
+        for link in map.boundary_links(topo) {
+            let mut w = Wires {
+                flit_tx: Vec::with_capacity(num_vcs),
+                flit_rx: Vec::with_capacity(num_vcs),
+                credit_tx: Vec::with_capacity(num_vcs),
+                credit_rx: Vec::with_capacity(num_vcs),
+            };
+            for _ in 0..num_vcs {
+                let (ftx, frx) = sync_channel(1);
+                let (ctx, crx) = sync_channel(1);
+                w.flit_tx.push(ftx);
+                w.flit_rx.push(frx);
+                w.credit_tx.push(ctx);
+                w.credit_rx.push(crx);
+            }
+            wires.insert(link, w);
+        }
+
+        // Distribute the elaborated components.
+        let Elaboration {
+            config,
+            switches,
+            nis,
+            tgs,
+            receptors: receptor_devices,
+            wiring,
+            ..
+        } = elab;
+        let mut sw_slots: Vec<Option<Switch>> = switches.into_iter().map(Some).collect();
+        let mut ni_slots: Vec<Option<SourceNi>> = nis.into_iter().map(Some).collect();
+        let mut tg_slots: Vec<Option<Box<dyn TrafficGenerator + Send>>> =
+            tgs.into_iter().map(Some).collect();
+        let mut tr_slots: Vec<Option<ReceptorDevice>> =
+            receptor_devices.into_iter().map(Some).collect();
+
+        let slots: Arc<Vec<AtomicU8>> =
+            Arc::new((0..generators.len()).map(|_| AtomicU8::new(0)).collect());
+        let barrier = Arc::new(Barrier::new(shards));
+
+        let mut handles = Vec::with_capacity(shards);
+        for (k, shard_members) in shard_switches.iter().enumerate() {
+            // Generators / receptors of this shard, ascending global
+            // order (their switch's shard is theirs).
+            let my_gens: Vec<usize> = (0..generators.len())
+                .filter(|&i| map.shard_of(SwitchId::new(wiring.injection[i].0 as u32)) == k)
+                .collect();
+            let my_trs: Vec<usize> = (0..receptors.len())
+                .filter(|&i| map.shard_of(config.topology.endpoint(receptors[i]).switch) == k)
+                .collect();
+            let mut tr_local = vec![usize::MAX; receptors.len()];
+            for (li, &gi) in my_trs.iter().enumerate() {
+                tr_local[gi] = li;
+            }
+
+            let mut routes_out = Vec::with_capacity(shard_members.len());
+            let mut routes_in = Vec::with_capacity(shard_members.len());
+            let mut in_flits = Vec::new();
+            let mut in_credits = Vec::new();
+            for (ls, &s) in shard_members.iter().enumerate() {
+                let sid = SwitchId::new(s as u32);
+                let mut outs = Vec::with_capacity(wiring.out_target[s].len());
+                for (p, target) in wiring.out_target[s].iter().enumerate() {
+                    outs.push(match *target {
+                        OutTarget::Switch { switch, port }
+                            if map.shard_of(SwitchId::new(switch as u32)) == k =>
+                        {
+                            LocalOut::Switch {
+                                switch: local_idx[switch],
+                                port,
+                            }
+                        }
+                        OutTarget::Switch { .. } => {
+                            let link = config.topology.out_link(sid, PortId::new(p as u8));
+                            LocalOut::Remote {
+                                tx: wires
+                                    .get_mut(&link)
+                                    .expect("boundary link has wires")
+                                    .flit_tx
+                                    .clone(),
+                            }
+                        }
+                        OutTarget::Receptor { index } => LocalOut::Receptor {
+                            index: tr_local[index],
+                        },
+                    });
+                    // The upstream (credit-receiving) side of a
+                    // boundary link lives with the link's source.
+                    if let OutTarget::Switch { switch, .. } = *target {
+                        if map.shard_of(SwitchId::new(switch as u32)) != k {
+                            let link = config.topology.out_link(sid, PortId::new(p as u8));
+                            let w = wires.get_mut(&link).expect("boundary link has wires");
+                            for (v, rx) in w.credit_rx.drain(..).enumerate() {
+                                in_credits.push(InCredit {
+                                    switch: ls,
+                                    port: PortId::new(p as u8),
+                                    vc: VcId::new(v as u8),
+                                    rx,
+                                });
+                            }
+                        }
+                    }
+                }
+                routes_out.push(outs);
+
+                let mut ins = Vec::with_capacity(wiring.in_source[s].len());
+                for (p, source) in wiring.in_source[s].iter().enumerate() {
+                    ins.push(match *source {
+                        InSource::Switch { switch, port }
+                            if map.shard_of(SwitchId::new(switch as u32)) == k =>
+                        {
+                            LocalIn::Switch {
+                                switch: local_idx[switch],
+                                port,
+                            }
+                        }
+                        InSource::Switch { .. } => {
+                            let link = config.topology.in_link(sid, PortId::new(p as u8));
+                            let w = wires.get_mut(&link).expect("boundary link has wires");
+                            // The downstream (flit-receiving, credit-
+                            // sending) side lives with the link's
+                            // destination.
+                            in_flits.push(InFlits {
+                                switch: ls,
+                                port: PortId::new(p as u8),
+                                rx: w.flit_rx.drain(..).collect(),
+                            });
+                            LocalIn::Remote {
+                                tx: w.credit_tx.clone(),
+                            }
+                        }
+                        InSource::Generator { index } => LocalIn::Ni {
+                            index: my_gens
+                                .iter()
+                                .position(|&g| g == index)
+                                .expect("generator endpoint lives in its switch's shard"),
+                        },
+                    });
+                }
+                routes_in.push(ins);
+            }
+
+            let worker_switches: Vec<Switch> = shard_members
+                .iter()
+                .map(|&s| sw_slots[s].take().expect("each switch joins one shard"))
+                .collect();
+            let (cmd_tx, cmd_rx) = mpsc::channel();
+            let (rep_tx, rep_rx) = mpsc::channel();
+            let worker = Worker {
+                shard: k,
+                switches: worker_switches,
+                switch_gids: shard_members.iter().map(|&s| s as u32).collect(),
+                routes_out,
+                routes_in,
+                nis: my_gens
+                    .iter()
+                    .map(|&i| ni_slots[i].take().expect("each NI joins one shard"))
+                    .collect(),
+                tgs: my_gens
+                    .iter()
+                    .map(|&i| tg_slots[i].take().expect("each TG joins one shard"))
+                    .collect(),
+                tg_gidx: my_gens.clone(),
+                tg_endpoints: my_gens.iter().map(|&i| generators[i]).collect(),
+                injection: my_gens
+                    .iter()
+                    .map(|&i| {
+                        let (s, port, _) = wiring.injection[i];
+                        (local_idx[s], port)
+                    })
+                    .collect(),
+                pending: vec![None; my_gens.len()],
+                receptors: my_trs
+                    .iter()
+                    .map(|&i| tr_slots[i].take().expect("each receptor joins one shard"))
+                    .collect(),
+                receptor_gidx: my_trs,
+                in_flits,
+                in_credits,
+                slots: Arc::clone(&slots),
+                barrier: Arc::clone(&barrier),
+                cmd_rx,
+                rep_tx,
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("nocem-shard-{k}"))
+                .spawn(move || worker.run())
+                .expect("spawn shard worker");
+            handles.push(WorkerHandle {
+                cmd: cmd_tx,
+                rep: rep_rx,
+                join: Some(join),
+            });
+        }
+
+        let receptor_count = receptors.len();
+        ShardedEngine {
+            injection_links: wiring.injection.iter().map(|&(_, _, l)| l).collect(),
+            config,
+            workers: handles,
+            status: init_status,
+            partition: map,
+            ledger: PacketLedger::new(),
+            receptor_latency: vec![LatencyAnalyzer::new(); receptor_count],
+            now: Cycle::ZERO,
+            next_packet: 0,
+            stalled: 0,
+            delivered_flits: 0,
+            cycles_skipped: 0,
+            poisoned: false,
+            failed: false,
+        }
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.ledger.delivered()
+    }
+
+    /// Cycles the cross-shard fast-forward jumped over so far.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    /// The partition this engine runs on.
+    pub fn partition(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// The packet ledger (read access for tests and reports).
+    pub fn ledger(&self) -> &PacketLedger {
+        &self.ledger
+    }
+
+    /// Whether the whole platform is quiescent: every shard locally
+    /// quiescent and no packet in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.ledger.in_flight() == 0 && self.status.iter().all(|s| s.quiescent)
+    }
+
+    /// Advances one platform cycle across all shards (with a
+    /// cross-shard fast-forward first, when gated and quiescent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmulationError`] on wiring/protocol violations or
+    /// when the cycle limit is exceeded.
+    pub fn step(&mut self) -> Result<(), EmulationError> {
+        if self.failed {
+            return Err(EmulationError::Shard {
+                shard: usize::MAX,
+                reason: "engine already failed; state is inconsistent".into(),
+            });
+        }
+
+        // Cross-shard clock gating: fast-forward to the event horizon
+        // (the min next-event over all shards), clamped to the cycle
+        // limit — never past another shard's horizon.
+        let mut skip_from = None;
+        if self.config.clock_mode == ClockMode::Gated && self.is_quiescent() {
+            let horizon = self
+                .status
+                .iter()
+                .map(|s| s.next_event)
+                .min()
+                .unwrap_or(u64::MAX);
+            let target = horizon.min(self.config.stop.cycle_limit);
+            if target > self.now.raw() {
+                self.cycles_skipped += target - self.now.raw();
+                skip_from = Some(self.now);
+                self.now = Cycle::new(target);
+            }
+        }
+        let now = self.now;
+
+        for k in 0..self.workers.len() {
+            if self.workers[k]
+                .cmd
+                .send(Cmd::Cycle {
+                    now,
+                    skip_from,
+                    base_id: self.next_packet,
+                })
+                .is_err()
+            {
+                return self.worker_died(k);
+            }
+        }
+
+        let mut releases: Vec<PacketDescriptor> = Vec::new();
+        let mut injects: Vec<PacketId> = Vec::new();
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut first_error: Option<EmulationError> = None;
+        for k in 0..self.workers.len() {
+            let report = match self.workers[k].rep.recv() {
+                Ok(Report::Cycle(r)) => r,
+                Ok(Report::Snapshot(_)) | Err(_) => return self.worker_died(k),
+            };
+            if let Some(e) = report.error {
+                first_error.get_or_insert(e);
+            }
+            releases.extend(report.releases);
+            injects.extend(report.injects);
+            deliveries.extend(report.deliveries);
+            self.stalled += report.stalled_delta;
+            self.status[k] = report.status;
+        }
+        if let Some(e) = first_error {
+            self.failed = true;
+            return Err(e);
+        }
+
+        // Apply the cycle's ledger events in the single-threaded
+        // engine's order: releases ascending by id (= global generator
+        // order), then injections, then deliveries ascending by
+        // (ejecting switch, output port) — the commit loop order.
+        releases.sort_by_key(|d| d.id);
+        self.next_packet += releases.len() as u64;
+        for d in releases {
+            self.ledger
+                .release(d.id, now, d.len_flits)
+                .map_err(|e| self.fail(e.into()))?;
+        }
+        for id in injects {
+            self.ledger
+                .inject(id, now)
+                .map_err(|e| self.fail(e.into()))?;
+        }
+        deliveries.sort_by_key(|d| (d.switch, d.port));
+        for d in deliveries {
+            let lat = self
+                .ledger
+                .deliver(d.packet, now, d.len_flits)
+                .map_err(|e| self.fail(e.into()))?;
+            self.delivered_flits += u64::from(d.len_flits);
+            self.receptor_latency[d.receptor].record(lat.network);
+        }
+
+        self.now = now.next();
+        if self.now.raw() > self.config.stop.cycle_limit {
+            self.failed = true;
+            return Err(EmulationError::CycleLimitExceeded {
+                limit: self.config.stop.cycle_limit,
+                delivered: self.ledger.delivered(),
+            });
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self, e: EmulationError) -> EmulationError {
+        self.failed = true;
+        e
+    }
+
+    /// Worker `dead`'s channel closed: its thread left the command
+    /// loop (in-cycle panics are caught and reported as [`CycleReport`]
+    /// errors, so this is a panic *outside* a cycle — e.g. while
+    /// snapshotting). The thread is guaranteed to be terminating, so
+    /// join it unconditionally and re-raise its panic on the
+    /// coordinator so test harnesses see the original payload. The
+    /// *other* workers may be parked at a barrier and are leaked
+    /// rather than joined.
+    fn worker_died(&mut self, dead: usize) -> Result<(), EmulationError> {
+        self.failed = true;
+        self.poisoned = true;
+        if let Some(join) = self.workers[dead].join.take() {
+            if let Err(payload) = join.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        Err(EmulationError::Shard {
+            shard: dead,
+            reason: "a shard worker terminated unexpectedly".into(),
+        })
+    }
+
+    /// Whether the stop condition holds (mirrors
+    /// [`crate::engine::Emulation::finished`]).
+    pub fn finished(&self) -> bool {
+        match self.config.stop.delivered_packets {
+            Some(target) => self.ledger.delivered() >= target,
+            None => {
+                self.status
+                    .iter()
+                    .all(|s| s.exhausted && s.pending_none && s.nis_idle)
+                    && self.ledger.in_flight() == 0
+            }
+        }
+    }
+
+    /// Runs until the stop condition holds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmulationError`] from [`ShardedEngine::step`].
+    pub fn run(&mut self) -> Result<(), EmulationError> {
+        crate::clock::run_engine(self)
+    }
+
+    /// Collects full run results (statistics, congestion, receptor
+    /// summaries) by snapshotting every shard — value-equal to what
+    /// [`crate::engine::Emulation::results`] produces for the same
+    /// run, except that trace-receptor latency views are kept on the
+    /// coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmulationError::Shard`] when a worker is gone.
+    pub fn results(&mut self) -> Result<EmulationResults, EmulationError> {
+        let mut snapshots = Vec::with_capacity(self.workers.len());
+        for k in 0..self.workers.len() {
+            if self.workers[k].cmd.send(Cmd::Collect).is_err() {
+                return self.worker_died(k).map(|()| unreachable!());
+            }
+            match self.workers[k].rep.recv() {
+                Ok(Report::Snapshot(s)) => snapshots.push(*s),
+                Ok(Report::Cycle(_)) | Err(_) => {
+                    return self.worker_died(k).map(|()| unreachable!())
+                }
+            }
+        }
+
+        let topo = &self.config.topology;
+        let mut cc = CongestionCounter::new(topo.link_count());
+        let mut receptors: Vec<Option<ReceptorSummary>> = vec![None; self.receptor_latency.len()];
+        for snap in snapshots {
+            for (gid, sw) in &snap.switches {
+                let counters = sw.counters();
+                for o in 0..usize::from(sw.config().outputs) {
+                    let link = topo.out_link(SwitchId::new(*gid), PortId::new(o as u8));
+                    cc.add(
+                        link,
+                        counters.blocked_cycles_per_output[o],
+                        counters.forwarded_per_output[o],
+                    );
+                }
+            }
+            for (gidx, ni) in &snap.nis {
+                let c = ni.counters();
+                cc.add(
+                    self.injection_links[*gidx],
+                    c.blocked_cycles,
+                    c.injected_flits,
+                );
+            }
+            for (gidx, r) in snap.receptors {
+                let (counters, lat, hists) = match &r {
+                    ReceptorDevice::Stochastic(r) => (
+                        *r.counters(),
+                        None,
+                        Some((
+                            r.length_histogram().clone(),
+                            r.interarrival_histogram().clone(),
+                        )),
+                    ),
+                    ReceptorDevice::Trace(r) => {
+                        (*r.counters(), self.receptor_latency[gidx].mean(), None)
+                    }
+                };
+                let (length_histogram, interarrival_histogram) = match hists {
+                    Some((l, a)) => (Some(l), Some(a)),
+                    None => (None, None),
+                };
+                receptors[gidx] = Some(ReceptorSummary {
+                    label: format!("tr{gidx}"),
+                    packets: counters.packets,
+                    flits: counters.flits,
+                    running_time: counters.running_time(),
+                    mean_network_latency: lat,
+                    length_histogram,
+                    interarrival_histogram,
+                });
+            }
+        }
+        Ok(EmulationResults {
+            name: self.config.name.clone(),
+            cycles: self.now.raw(),
+            cycles_skipped: self.cycles_skipped,
+            released: self.ledger.released(),
+            injected: self.ledger.injected(),
+            delivered: self.ledger.delivered(),
+            delivered_flits: self.delivered_flits,
+            stalled_cycles: self.stalled,
+            network_latency: self.ledger.network_latency().clone(),
+            total_latency: self.ledger.total_latency().clone(),
+            congestion: cc,
+            receptors: receptors
+                .into_iter()
+                .map(|r| r.expect("every receptor snapshotted by its shard"))
+                .collect(),
+        })
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.cmd.send(Cmd::Shutdown);
+        }
+        if !self.poisoned {
+            for w in &mut self.workers {
+                if let Some(join) = w.join.take() {
+                    let _ = join.join();
+                }
+            }
+        }
+    }
+}
+
+impl SteppableEngine for ShardedEngine {
+    fn step(&mut self) -> Result<(), EmulationError> {
+        ShardedEngine::step(self)
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn finished(&self) -> bool {
+        ShardedEngine::finished(self)
+    }
+
+    fn delivered(&self) -> u64 {
+        self.ledger.delivered()
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    fn summary(&self) -> EngineSummary {
+        EngineSummary::from_ledger(
+            self.now.raw(),
+            self.cycles_skipped,
+            self.delivered_flits,
+            &self.ledger,
+        )
+    }
+
+    fn packet_ledger(&self) -> PacketLedger {
+        self.ledger.clone()
+    }
+}
+
+/// Builds whichever engine `config.engine` names, boxed behind the
+/// stepping contract ([`EngineKind::SingleThread`] →
+/// [`crate::engine::Emulation`], [`EngineKind::Sharded`] →
+/// [`ShardedEngine`]).
+///
+/// # Errors
+///
+/// Propagates [`CompileError`].
+pub fn build_engine(config: &PlatformConfig) -> Result<Box<dyn SteppableEngine>, CompileError> {
+    Ok(match config.engine {
+        EngineKind::Sharded { .. } => Box::new(ShardedEngine::build(config)?),
+        _ => Box::new(crate::engine::build(config)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaperConfig;
+    use crate::engine::build;
+
+    #[test]
+    fn paper_setup_shards_and_matches_single_thread() {
+        // The paper's 6-switch topology is not a grid: index striping.
+        let cfg = PaperConfig::new().total_packets(300).uniform();
+        let mut single = build(&cfg).unwrap();
+        single.run().unwrap();
+        let mut sharded = ShardedEngine::with_shards(&cfg, 2).unwrap();
+        sharded.run().unwrap();
+        assert_eq!(sharded.ledger(), single.ledger());
+        assert_eq!(sharded.now(), single.now());
+    }
+
+    #[test]
+    fn single_shard_degenerates_cleanly() {
+        let cfg = PaperConfig::new().total_packets(120).burst(4);
+        let mut single = build(&cfg).unwrap();
+        single.run().unwrap();
+        let mut sharded = ShardedEngine::with_shards(&cfg, 1).unwrap();
+        sharded.run().unwrap();
+        assert_eq!(sharded.ledger(), single.ledger());
+        assert!(sharded.partition().boundary_links(&cfg.topology).is_empty());
+    }
+
+    #[test]
+    fn sharded_results_match_single_thread() {
+        let cfg = PaperConfig::new().total_packets(200).trace_bursty(4);
+        let mut single = build(&cfg).unwrap();
+        single.run().unwrap();
+        let mut sharded = ShardedEngine::with_shards(&cfg, 3).unwrap();
+        sharded.run().unwrap();
+        assert_eq!(sharded.results().unwrap(), single.results());
+    }
+
+    #[test]
+    fn cycle_limit_fires_on_the_same_cycle() {
+        let mut cfg = PaperConfig::new().total_packets(1_000_000).uniform();
+        cfg.stop.cycle_limit = 300;
+        let single_err = {
+            let mut e = build(&cfg).unwrap();
+            e.run().unwrap_err()
+        };
+        let mut sharded = ShardedEngine::with_shards(&cfg, 2).unwrap();
+        let sharded_err = sharded.run().unwrap_err();
+        assert_eq!(single_err, sharded_err);
+    }
+
+    #[test]
+    fn build_engine_dispatches_on_engine_kind() {
+        let cfg = PaperConfig::new().total_packets(50).uniform();
+        let sharded_cfg = cfg.clone().with_engine(EngineKind::Sharded { shards: 2 });
+        let mut a = build_engine(&cfg).unwrap();
+        let mut b = build_engine(&sharded_cfg).unwrap();
+        crate::clock::run_engine(a.as_mut()).unwrap();
+        crate::clock::run_engine(b.as_mut()).unwrap();
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.packet_ledger(), b.packet_ledger());
+    }
+
+    #[test]
+    fn too_many_shards_is_a_compile_error() {
+        let cfg = PaperConfig::new().total_packets(10).uniform();
+        let err = ShardedEngine::with_shards(&cfg, 64).unwrap_err();
+        assert!(matches!(err, CompileError::Partition { .. }));
+        assert!(err.to_string().contains("64"));
+    }
+}

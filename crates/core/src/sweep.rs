@@ -6,10 +6,11 @@
 //! (Figures 3 and 4) and the ablation studies.
 
 use crate::clock::{run_engine, EngineSummary, SteppableEngine};
-use crate::config::PlatformConfig;
+use crate::config::{EngineKind, PlatformConfig};
 use crate::engine::build;
 use crate::error::EmulationError;
 use crate::results::EmulationResults;
+use crate::shard::ShardedEngine;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -152,22 +153,43 @@ where
     Ok(out)
 }
 
-fn run_point(point: &SweepPoint) -> Result<EmulationResults, EmulationError> {
-    let mut emu = build(&point.config).map_err(|e| {
-        // A compile failure inside a sweep is a configuration bug of
-        // the harness; surface it through the ledger-style error so
-        // callers get one error channel.
+/// Compiles and runs one configuration to completion on whichever
+/// engine `config.engine` names, returning its full results. This is
+/// how a sweep or matrix point honours [`EngineKind::Sharded`] without
+/// its caller knowing about engines.
+///
+/// # Errors
+///
+/// Propagates [`EmulationError`] from the run; compile failures are
+/// reported through [`EmulationError::Bus`] so callers get one error
+/// channel.
+pub fn run_config(config: &PlatformConfig) -> Result<EmulationResults, EmulationError> {
+    let compile_fault = |e: crate::error::CompileError| {
         EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
             addr: nocem_platform::addr::Address::from_parts(
                 nocem_common::ids::BusId::new(0),
                 nocem_common::ids::DeviceId::new(0),
                 0,
             ),
-            reason: format!("sweep point {:?} failed to compile: {e}", point.label),
+            reason: format!("configuration {:?} failed to compile: {e}", config.name),
         })
-    })?;
-    emu.run()?;
-    Ok(emu.results())
+    };
+    match config.engine {
+        EngineKind::Sharded { .. } => {
+            let mut engine = ShardedEngine::build(config).map_err(compile_fault)?;
+            engine.run()?;
+            engine.results()
+        }
+        _ => {
+            let mut emu = build(config).map_err(compile_fault)?;
+            emu.run()?;
+            Ok(emu.results())
+        }
+    }
+}
+
+fn run_point(point: &SweepPoint) -> Result<EmulationResults, EmulationError> {
+    run_config(&point.config)
 }
 
 #[cfg(test)]

@@ -574,6 +574,7 @@ impl CoreGraphWorkload {
             seed,
             record_trace: false,
             clock_mode: nocem::ClockMode::default(),
+            engine: nocem::config::EngineKind::default(),
         })
     }
 }

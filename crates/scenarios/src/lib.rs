@@ -37,6 +37,7 @@
 //!     scenarios: vec!["transpose".into(), "tornado".into()],
 //!     topologies: vec![TopologySpec::Mesh { width: 4, height: 4 }],
 //!     loads: vec![0.10],
+//!     shards: vec![1],
 //!     packet_flits: 4,
 //!     packets_per_point: 400,
 //!     // Hybrid clock gating: identical results, fewer stepped cycles.

@@ -1,27 +1,32 @@
 //! The scenario-matrix runner.
 //!
-//! [`MatrixSpec`] names a set of registry scenarios, topologies and
-//! loads; [`MatrixSpec::expand`] produces one labelled
-//! `nocem::SweepPoint` per *applicable* combination (inapplicable
-//! ones — transpose on a ring, bit patterns on 9 switches — are
-//! collected as skips, not errors), and [`MatrixSpec::run`] pushes
-//! the points through the parallel sweep runner of `nocem-core` and
-//! aggregates everything into typed rows plus one CSV document.
+//! [`MatrixSpec`] names a set of registry scenarios, topologies,
+//! loads and engine shard counts; [`MatrixSpec::expand`] produces one
+//! labelled `nocem::SweepPoint` per *applicable* combination
+//! (inapplicable ones — transpose on a ring, bit patterns on 9
+//! switches — are collected as skips, not errors), and
+//! [`MatrixSpec::run`] pushes the points through the parallel sweep
+//! runner of `nocem-core` and aggregates everything into typed rows
+//! plus one CSV document.
 //!
 //! Every point's platform seed derives from its scenario label
 //! ([`crate::scenario_seed`]), so a matrix run is deterministic
-//! regardless of worker count or scheduling.
+//! regardless of worker count or scheduling — and the `shards` axis
+//! never perturbs results, because the sharded engine is
+//! ledger-identical to the single-threaded one (only the recorded
+//! wall-clock time changes).
 
 use crate::registry::ScenarioRegistry;
 use crate::scenario::TopologySpec;
 use crate::ScenarioError;
 use nocem::clock::ClockMode;
+use nocem::config::EngineKind;
 use nocem::error::EmulationError;
 use nocem::results::EmulationResults;
-use nocem::sweep::{run_sweep, SweepPoint};
+use nocem::sweep::{run_config, run_sweep_with, SweepPoint};
 use nocem_common::csv::CsvWriter;
 
-/// A `scenarios × topologies × loads` experiment matrix.
+/// A `scenarios × topologies × loads × shards` experiment matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixSpec {
     /// Registry names of the scenarios to run.
@@ -30,6 +35,12 @@ pub struct MatrixSpec {
     pub topologies: Vec<TopologySpec>,
     /// Offered loads (per-TG fraction of link bandwidth).
     pub loads: Vec<f64>,
+    /// Engine shard counts to run each point on. `1` is the
+    /// single-threaded engine; `k > 1` runs the sharded engine with
+    /// `k` worker threads (same results, different wall clock — the
+    /// scaling axis for 16×16/32×32 topologies). Most matrices use
+    /// `vec![1]`.
+    pub shards: Vec<usize>,
     /// Packet length in flits.
     pub packet_flits: u16,
     /// Packet budget of every matrix point.
@@ -61,8 +72,17 @@ pub struct MatrixRow {
     pub topology: String,
     /// Offered load.
     pub load: f64,
-    /// Full label (`scenario@topology@load`).
+    /// Engine shard count (1 = single-threaded engine).
+    pub shards: usize,
+    /// Full label (`scenario@topology@load`, plus `@s<k>` when
+    /// sharded).
     pub label: String,
+    /// Wall-clock milliseconds the whole point took — compile /
+    /// elaboration, the run, and results collection (the one matrix
+    /// column that is *not* deterministic). On huge topologies the
+    /// one-off elaboration can dominate; it is identical for every
+    /// engine kind.
+    pub wall_ms: f64,
     /// The emulation results of the point.
     pub results: EmulationResults,
 }
@@ -114,7 +134,17 @@ impl From<EmulationError> for MatrixError {
 impl MatrixSpec {
     /// Number of raw combinations before applicability filtering.
     pub fn combinations(&self) -> usize {
-        self.scenarios.len() * self.topologies.len() * self.loads.len()
+        self.scenarios.len() * self.topologies.len() * self.loads.len() * self.shards.len().max(1)
+    }
+
+    /// The shard counts to expand over (`[1]` when the field is
+    /// empty, so older specs keep meaning "single-threaded").
+    fn shard_axis(&self) -> Vec<usize> {
+        if self.shards.is_empty() {
+            vec![1]
+        } else {
+            self.shards.clone()
+        }
     }
 
     /// Expands the matrix into labelled sweep points.
@@ -135,17 +165,17 @@ impl MatrixSpec {
         Ok((points, skipped))
     }
 
-    /// Expansion that also returns `(scenario, topology, load)` per
-    /// point, parallel to the points, so [`Self::run`] never has to
-    /// re-parse labels (which would be lossy for loads and for
-    /// scenario names containing `@`).
+    /// Expansion that also returns `(scenario, topology, load,
+    /// shards)` per point, parallel to the points, so [`Self::run`]
+    /// never has to re-parse labels (which would be lossy for loads
+    /// and for scenario names containing `@`).
     #[allow(clippy::type_complexity)]
     fn expand_with_meta(
         &self,
         registry: &ScenarioRegistry,
     ) -> Result<
         (
-            Vec<(String, String, f64)>,
+            Vec<(String, String, f64, usize)>,
             Vec<SweepPoint>,
             Vec<SkippedPoint>,
         ),
@@ -154,34 +184,44 @@ impl MatrixSpec {
         let mut meta = Vec::new();
         let mut points = Vec::new();
         let mut skipped = Vec::new();
+        let shard_axis = self.shard_axis();
         for name in &self.scenarios {
             let scenario = registry.resolve(name)?;
             for &topology in &self.topologies {
                 for &load in &self.loads {
-                    let label = format!("{name}@{}@{load}", topology.name());
-                    match scenario.build_config(
-                        topology,
-                        load,
-                        self.packet_flits,
-                        self.packets_per_point,
-                    ) {
-                        Ok(mut config) => {
-                            config.clock_mode = self.clock_mode;
-                            meta.push((name.clone(), topology.name(), load));
-                            points.push(SweepPoint::new(label, config));
+                    for &shards in &shard_axis {
+                        let mut label = format!("{name}@{}@{load}", topology.name());
+                        if shards != 1 {
+                            label.push_str(&format!("@s{shards}"));
                         }
-                        // A pattern that doesn't fit the topology, a
-                        // core graph with too few switches, or a
-                        // budget too small for the point is an
-                        // expected hole in the matrix, not a failure.
-                        Err(
-                            reason @ (ScenarioError::NotApplicable { .. }
-                            | ScenarioError::Mapping { .. }
-                            | ScenarioError::BudgetTooSmall { .. }),
-                        ) => {
-                            skipped.push(SkippedPoint { label, reason });
+                        match scenario.build_config(
+                            topology,
+                            load,
+                            self.packet_flits,
+                            self.packets_per_point,
+                        ) {
+                            Ok(mut config) => {
+                                config.clock_mode = self.clock_mode;
+                                if shards != 1 {
+                                    config.engine = EngineKind::Sharded { shards };
+                                }
+                                meta.push((name.clone(), topology.name(), load, shards));
+                                points.push(SweepPoint::new(label, config));
+                            }
+                            // A pattern that doesn't fit the topology,
+                            // a core graph with too few switches, or a
+                            // budget too small for the point is an
+                            // expected hole in the matrix, not a
+                            // failure.
+                            Err(
+                                reason @ (ScenarioError::NotApplicable { .. }
+                                | ScenarioError::Mapping { .. }
+                                | ScenarioError::BudgetTooSmall { .. }),
+                            ) => {
+                                skipped.push(SkippedPoint { label, reason });
+                            }
+                            Err(other) => return Err(other),
                         }
-                        Err(other) => return Err(other),
                     }
                 }
             }
@@ -190,6 +230,11 @@ impl MatrixSpec {
     }
 
     /// Expands and runs the matrix over up to `threads` workers.
+    ///
+    /// Each point runs on the engine its shard count names (through
+    /// `nocem::sweep::run_config`) and is individually wall-clocked.
+    /// When timing sharded-vs-single speedups, run with `threads = 1`
+    /// so concurrent points do not steal the shard workers' cores.
     ///
     /// # Errors
     ///
@@ -201,19 +246,26 @@ impl MatrixSpec {
         threads: usize,
     ) -> Result<MatrixOutcome, MatrixError> {
         let (meta, points, skipped) = self.expand_with_meta(registry)?;
-        let outcomes = run_sweep(&points, threads)?;
-        // `run_sweep` returns outcomes in input order, so they zip
-        // positionally with the expansion metadata.
+        let outcomes = run_sweep_with(&points, threads, |point| {
+            let started = std::time::Instant::now();
+            run_config(&point.config).map(|results| (results, started.elapsed()))
+        })?;
+        // `run_sweep_with` returns outcomes in input order, so they
+        // zip positionally with the expansion metadata.
         let rows = outcomes
             .into_iter()
             .zip(meta)
-            .map(|((label, results), (scenario, topology, load))| MatrixRow {
-                scenario,
-                topology,
-                load,
-                label,
-                results,
-            })
+            .map(
+                |((label, (results, elapsed)), (scenario, topology, load, shards))| MatrixRow {
+                    scenario,
+                    topology,
+                    load,
+                    shards,
+                    label,
+                    wall_ms: elapsed.as_secs_f64() * 1e3,
+                    results,
+                },
+            )
             .collect();
         Ok(MatrixOutcome { rows, skipped })
     }
@@ -227,6 +279,7 @@ impl MatrixOutcome {
             "scenario",
             "topology",
             "load",
+            "shards",
             "packets",
             "cycles",
             "cycles_skipped",
@@ -235,11 +288,18 @@ impl MatrixOutcome {
             "mean_network_latency",
             "mean_total_latency",
             "stalled_cycles",
+            "wall_ms",
         ]);
-        csv.comment("nocem scenario matrix: one record per (scenario, topology, load) point");
+        csv.comment(
+            "nocem scenario matrix: one record per (scenario, topology, load, shards) point",
+        );
         csv.comment(
             "cycles_skipped/gating_speedup: cycles the fast-forward kernel jumped and the \
              resulting simulated-cycles-per-stepped-cycle ratio (1.0 = ungated)",
+        );
+        csv.comment(
+            "shards: engine worker threads (1 = single-threaded engine; results are \
+             ledger-identical across shard counts, only wall_ms changes)",
         );
         for row in &self.rows {
             let r = &row.results;
@@ -247,6 +307,7 @@ impl MatrixOutcome {
                 &row.scenario,
                 &row.topology,
                 &row.load,
+                &row.shards,
                 &r.delivered,
                 &r.cycles,
                 &r.cycles_skipped,
@@ -255,6 +316,7 @@ impl MatrixOutcome {
                 &format_args!("{:.2}", r.network_latency.mean().unwrap_or(0.0)),
                 &format_args!("{:.2}", r.total_latency.mean().unwrap_or(0.0)),
                 &r.stalled_cycles,
+                &format_args!("{:.1}", row.wall_ms),
             ]);
         }
         for s in &self.skipped {
@@ -280,6 +342,7 @@ mod tests {
                 TopologySpec::Ring { switches: 4 },
             ],
             loads: vec![0.10],
+            shards: vec![1],
             packet_flits: 2,
             packets_per_point: 40,
             clock_mode: ClockMode::EveryCycle,
@@ -311,6 +374,7 @@ mod tests {
                 },
             ],
             loads: vec![0.10],
+            shards: vec![1],
             packet_flits: 2,
             packets_per_point: 64,
             clock_mode: ClockMode::EveryCycle,
@@ -331,6 +395,7 @@ mod tests {
                 height: 4,
             }],
             loads: vec![0.10],
+            shards: vec![1],
             packet_flits: 2,
             // Fewer packets than vopd's active generators; fine for
             // the synthetic pattern.
@@ -372,9 +437,11 @@ mod tests {
         let doc = CsvDocument::parse(&csv).unwrap();
         assert_eq!(doc.records.len(), 3);
         assert_eq!(doc.column("scenario"), Some(0));
-        assert_eq!(doc.column("cycles"), Some(4));
-        assert_eq!(doc.column("cycles_skipped"), Some(5));
-        assert_eq!(doc.column("gating_speedup"), Some(6));
+        assert_eq!(doc.column("shards"), Some(3));
+        assert_eq!(doc.column("cycles"), Some(5));
+        assert_eq!(doc.column("cycles_skipped"), Some(6));
+        assert_eq!(doc.column("gating_speedup"), Some(7));
+        assert_eq!(doc.column("wall_ms"), Some(12));
         assert!(csv.contains("# skipped transpose@ring4"));
     }
 
@@ -401,6 +468,35 @@ mod tests {
         let csv = gated.to_csv();
         assert!(csv.contains("cycles_skipped"));
         assert!(csv.contains("gating_speedup"));
+    }
+
+    #[test]
+    fn shards_axis_is_ledger_identical_and_labelled() {
+        let reg = ScenarioRegistry::builtin();
+        let spec = MatrixSpec {
+            scenarios: vec!["tornado".into()],
+            topologies: vec![TopologySpec::Mesh {
+                width: 4,
+                height: 4,
+            }],
+            loads: vec![0.10],
+            shards: vec![1, 2],
+            packet_flits: 2,
+            packets_per_point: 60,
+            clock_mode: ClockMode::EveryCycle,
+        };
+        assert_eq!(spec.combinations(), 2);
+        let outcome = spec.run(&reg, 1).unwrap();
+        assert_eq!(outcome.rows.len(), 2);
+        let (single, sharded) = (&outcome.rows[0], &outcome.rows[1]);
+        assert_eq!(single.shards, 1);
+        assert_eq!(sharded.shards, 2);
+        assert!(sharded.label.ends_with("@s2"), "{}", sharded.label);
+        // The shards axis only changes the wall clock, never results.
+        assert_eq!(single.results, sharded.results);
+        let csv = outcome.to_csv();
+        assert!(csv.contains("shards"));
+        assert!(csv.contains("wall_ms"));
     }
 
     #[test]

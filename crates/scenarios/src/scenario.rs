@@ -255,6 +255,7 @@ impl ScenarioSpec {
             seed: self.seed(),
             record_trace: false,
             clock_mode: nocem::ClockMode::default(),
+            engine: nocem::config::EngineKind::default(),
             topology: topo,
         })
     }

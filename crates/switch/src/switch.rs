@@ -74,7 +74,7 @@ use crate::fifo::{FifoFullError, FlitFifo};
 use nocem_common::flit::Flit;
 use nocem_common::ids::{PortId, VcId};
 use nocem_common::rng::Lfsr16;
-use nocem_common::route::RouteHop;
+use nocem_common::route::{RouteHop, RouteTable};
 
 /// Credit value marking an output VC whose downstream always accepts
 /// (ejection ports into traffic receptors).
@@ -232,9 +232,11 @@ impl SwitchCounters {
 #[derive(Debug, Clone)]
 pub struct Switch {
     config: SwitchConfig,
-    /// `[flow] -> admissible output hops` (may be empty for flows
-    /// that never visit this switch).
-    routes: Vec<Vec<RouteHop>>,
+    /// Sparse flow → admissible-output-hops table (only flows that
+    /// visit this switch have entries; lookups happen once per packet
+    /// per hop, so memory stays proportional to local route
+    /// incidences even under all-to-all traffic).
+    routes: RouteTable,
     /// `[input][vc]` flit buffers.
     fifos: Vec<Vec<FlitFifo>>,
     /// `[input][vc]`: output VC allocated to the worm currently
@@ -343,21 +345,39 @@ impl Switch {
         credits: Vec<Vec<u32>>,
         lfsr_seed: u16,
     ) -> Result<Self, BuildSwitchError> {
+        Self::new_table(config, RouteTable::from_dense(routes), credits, lfsr_seed)
+    }
+
+    /// Builds a switch from a sparse per-switch routing table — the
+    /// constructor the platform compiler uses ([`Switch::new_vc`] is
+    /// the dense-vector convenience over it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSwitchError`] if a route references a
+    /// non-existent output port or VC, or the credit matrix does not
+    /// hold exactly `outputs × num_vcs` entries.
+    pub fn new_table(
+        config: SwitchConfig,
+        routes: RouteTable,
+        credits: Vec<Vec<u32>>,
+        lfsr_seed: u16,
+    ) -> Result<Self, BuildSwitchError> {
         let inputs = config.inputs as usize;
         let outputs = config.outputs as usize;
         let vcs = config.num_vcs as usize;
-        for (flow, hops) in routes.iter().enumerate() {
+        for (flow, hops) in routes.entries() {
             for &h in hops {
                 if h.port.index() >= outputs {
                     return Err(BuildSwitchError::RouteOutOfRange {
-                        flow,
+                        flow: flow.index(),
                         port: h.port,
                         outputs: config.outputs,
                     });
                 }
                 if h.vc.index() >= vcs {
                     return Err(BuildSwitchError::RouteVcOutOfRange {
-                        flow,
+                        flow: flow.index(),
                         vc: h.vc,
                         vcs: config.num_vcs,
                     });
@@ -449,7 +469,7 @@ impl Switch {
                 let hop = match self.chosen[i][v] {
                     Some(h) => h,
                     None => {
-                        let hops = &self.routes[flow.index()];
+                        let hops = self.routes.lookup(flow);
                         assert!(
                             !hops.is_empty(),
                             "flow {flow} has no routing entry at this switch"

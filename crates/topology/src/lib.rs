@@ -18,6 +18,9 @@
 //!   rings/tori);
 //! * [`deadlock`] — channel-dependency-graph cycle detection, per
 //!   virtual channel;
+//! * [`partition`] — switch-graph partitioning ([`partition::Partition`],
+//!   the grid-stripe partitioner) and boundary-link enumeration for
+//!   the sharded emulation engine;
 //! * [`analysis`] — analytic offered-load prediction per link
 //!   (validates the 45 % / 90 % numbers before any emulation runs).
 //!
@@ -49,9 +52,11 @@ pub mod analysis;
 pub mod builders;
 pub mod deadlock;
 pub mod graph;
+pub mod partition;
 pub mod routing;
 
 pub use graph::{EndpointKind, GridInfo, Link, LinkEnd, Topology, TopologyBuilder};
+pub use partition::{GridStripes, Partition, PartitionMap};
 pub use routing::{FlowPaths, FlowSpec, Path, RouteAlgorithm, RouteHop, RoutingTables, VcPolicy};
 
 use nocem_common::ids::{EndpointId, FlowId, SwitchId};

@@ -1,0 +1,335 @@
+//! Switch-graph partitioning for the sharded emulation engine.
+//!
+//! A [`PartitionMap`] assigns every switch of a [`Topology`] to one of
+//! `K` *shards* — the unit of parallelism of `nocem`'s sharded engine,
+//! which runs each shard's switches, network interfaces, traffic
+//! generators and receptors on its own worker thread. Endpoints always
+//! follow the switch they are attached to, so injection and ejection
+//! never cross a shard boundary; only inter-switch links can, and
+//! those **boundary links** ([`PartitionMap::boundary_links`]) are the
+//! links the engine bridges with bounded channels.
+//!
+//! Partitioners implement the [`Partition`] trait. The ready-made
+//! [`GridStripes`] exploits the spatial locality of grid links: it
+//! cuts a mesh/torus into contiguous stripes of rows, so every cut
+//! edge is a vertical (or wrap-around) link between two adjacent
+//! stripes — `O(width)` boundary links per seam instead of the
+//! `O(switches)` a random assignment would produce. Non-grid
+//! topologies fall back to contiguous switch-index ranges.
+
+use crate::graph::Topology;
+use nocem_common::ids::{LinkId, SwitchId};
+
+/// Why a topology could not be partitioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// Zero shards were requested.
+    ZeroShards,
+    /// More shards than switches were requested.
+    TooManyShards {
+        /// Requested shard count.
+        shards: usize,
+        /// Available switches.
+        switches: usize,
+    },
+    /// An assignment did not cover every switch with a valid shard.
+    InvalidAssignment {
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::ZeroShards => write!(f, "cannot partition into zero shards"),
+            PartitionError::TooManyShards { shards, switches } => {
+                write!(f, "{shards} shards requested for {switches} switches")
+            }
+            PartitionError::InvalidAssignment { reason } => {
+                write!(f, "invalid shard assignment: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A validated, total assignment of switches to shards.
+///
+/// Construct through [`PartitionMap::new`] (which validates) or a
+/// [`Partition`] implementation. Every switch belongs to exactly one
+/// shard and every shard owns at least one switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    shard_of: Vec<usize>,
+    shards: usize,
+}
+
+impl PartitionMap {
+    /// Wraps a per-switch shard assignment, validating that it is a
+    /// total, disjoint cover: one entry per switch, every entry below
+    /// `shards`, every shard non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError`] when the assignment is not a valid
+    /// cover.
+    pub fn new(shard_of: Vec<usize>, shards: usize) -> Result<Self, PartitionError> {
+        if shards == 0 {
+            return Err(PartitionError::ZeroShards);
+        }
+        let mut seen = vec![false; shards];
+        for (s, &k) in shard_of.iter().enumerate() {
+            if k >= shards {
+                return Err(PartitionError::InvalidAssignment {
+                    reason: format!("switch s{s} assigned to shard {k} of {shards}"),
+                });
+            }
+            seen[k] = true;
+        }
+        if let Some(empty) = seen.iter().position(|&s| !s) {
+            return Err(PartitionError::InvalidAssignment {
+                reason: format!("shard {empty} owns no switch"),
+            });
+        }
+        Ok(PartitionMap { shard_of, shards })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of switches covered.
+    pub fn switch_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard owning switch `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is outside the partitioned topology.
+    pub fn shard_of(&self, s: SwitchId) -> usize {
+        self.shard_of[s.index()]
+    }
+
+    /// The switches of one shard, in ascending id order.
+    pub fn switches_of(&self, shard: usize) -> Vec<SwitchId> {
+        self.shard_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k == shard)
+            .map(|(s, _)| SwitchId::new(s as u32))
+            .collect()
+    }
+
+    /// Whether `link` crosses a shard boundary (both ends must be
+    /// switches; injection and ejection links never cross).
+    pub fn is_boundary(&self, topo: &Topology, link: LinkId) -> bool {
+        let l = topo.link(link);
+        match (l.from_switch(), l.to_switch()) {
+            (Some(a), Some(b)) => self.shard_of(a) != self.shard_of(b),
+            _ => false,
+        }
+    }
+
+    /// All boundary links — the cut edges of the partition — in
+    /// ascending link-id order.
+    ///
+    /// Enumerated from the per-switch output-link tables (each shard's
+    /// switches contribute their outgoing inter-switch links whose far
+    /// end lives elsewhere), which the partition property tests check
+    /// against an independent scan of the whole link list.
+    pub fn boundary_links(&self, topo: &Topology) -> Vec<LinkId> {
+        let mut cut = Vec::new();
+        for s in topo.switch_ids() {
+            let here = self.shard_of(s);
+            for (port, link, next, _) in topo.switch_neighbors(s) {
+                let _ = port;
+                if self.shard_of(next) != here {
+                    cut.push(link);
+                }
+            }
+        }
+        cut.sort_by_key(|l| l.index());
+        cut
+    }
+}
+
+/// A strategy for splitting a topology's switch graph into shards.
+pub trait Partition {
+    /// Partitions `topo` into `shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError`] when the request is unsatisfiable
+    /// (zero shards, more shards than switches).
+    fn partition(&self, topo: &Topology, shards: usize) -> Result<PartitionMap, PartitionError>;
+}
+
+/// The grid-stripe partitioner.
+///
+/// Grids (meshes and tori) are cut into `shards` contiguous stripes of
+/// whole rows, balanced to within one row, so the cut consists of the
+/// vertical links between adjacent stripes (plus the vertical
+/// wrap-around links of a torus). When the topology is not a grid — or
+/// has fewer rows than shards — switches are striped by contiguous id
+/// ranges instead, which on the row-major grid builders is the same
+/// thing at finer granularity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridStripes;
+
+/// Splits `n` items into `k` contiguous ranges balanced to within one.
+fn stripe_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    (0..k)
+        .map(|i| {
+            let len = base + usize::from(i < extra);
+            let r = start..start + len;
+            start += len;
+            r
+        })
+        .collect()
+}
+
+impl Partition for GridStripes {
+    fn partition(&self, topo: &Topology, shards: usize) -> Result<PartitionMap, PartitionError> {
+        let n = topo.switch_count();
+        if shards == 0 {
+            return Err(PartitionError::ZeroShards);
+        }
+        if shards > n {
+            return Err(PartitionError::TooManyShards {
+                shards,
+                switches: n,
+            });
+        }
+        let mut shard_of = vec![0usize; n];
+        match topo.grid() {
+            // Row stripes: rows are laid out row-major by the grid
+            // builders, so a stripe of rows is also a contiguous id
+            // range — but cutting on row boundaries keeps the cut to
+            // the vertical links between stripes.
+            Some(grid)
+                if (grid.width as usize) * (grid.height as usize) == n
+                    && grid.height as usize >= shards =>
+            {
+                for (k, rows) in stripe_ranges(grid.height as usize, shards)
+                    .into_iter()
+                    .enumerate()
+                {
+                    for y in rows {
+                        for x in 0..grid.width as usize {
+                            shard_of[grid.at(x as u32, y as u32).index()] = k;
+                        }
+                    }
+                }
+            }
+            _ => {
+                for (k, range) in stripe_ranges(n, shards).into_iter().enumerate() {
+                    for s in range {
+                        shard_of[s] = k;
+                    }
+                }
+            }
+        }
+        PartitionMap::new(shard_of, shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{mesh, ring, star, torus};
+
+    #[test]
+    fn stripe_ranges_cover_exactly() {
+        for n in 1..20usize {
+            for k in 1..=n {
+                let ranges = stripe_ranges(n, k);
+                assert_eq!(ranges.len(), k);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                    assert!(!w[1].is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_rows_stripe_cleanly() {
+        let topo = mesh(4, 4).unwrap();
+        let map = GridStripes.partition(&topo, 2).unwrap();
+        let grid = topo.grid().unwrap();
+        for s in topo.switch_ids() {
+            let (_, y) = grid.coords(s);
+            assert_eq!(map.shard_of(s), usize::from(y >= 2));
+        }
+        // The cut is exactly the 2x4 vertical links between rows 1 and 2.
+        assert_eq!(map.boundary_links(&topo).len(), 8);
+    }
+
+    #[test]
+    fn torus_wrap_links_join_the_cut() {
+        let topo = torus(4, 4).unwrap();
+        let map = GridStripes.partition(&topo, 2).unwrap();
+        // Seam links (8) plus the vertical wrap links row 3 <-> row 0 (8).
+        assert_eq!(map.boundary_links(&topo).len(), 16);
+    }
+
+    #[test]
+    fn ring_and_star_fall_back_to_index_stripes() {
+        for topo in [ring(8).unwrap(), star(6).unwrap()] {
+            let map = GridStripes.partition(&topo, 2).unwrap();
+            let total: usize = (0..2).map(|k| map.switches_of(k).len()).sum();
+            assert_eq!(total, topo.switch_count());
+            assert!(!map.boundary_links(&topo).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let topo = mesh(3, 3).unwrap();
+        let map = GridStripes.partition(&topo, 1).unwrap();
+        assert!(map.boundary_links(&topo).is_empty());
+        assert_eq!(map.switches_of(0).len(), 9);
+    }
+
+    #[test]
+    fn degenerate_requests_are_rejected() {
+        let topo = mesh(2, 2).unwrap();
+        assert_eq!(
+            GridStripes.partition(&topo, 0),
+            Err(PartitionError::ZeroShards)
+        );
+        assert!(matches!(
+            GridStripes.partition(&topo, 5),
+            Err(PartitionError::TooManyShards { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_assignments_are_rejected() {
+        let err = PartitionMap::new(vec![0, 3], 2).unwrap_err();
+        assert!(matches!(err, PartitionError::InvalidAssignment { .. }));
+        let err = PartitionMap::new(vec![0, 0], 2).unwrap_err();
+        assert!(err.to_string().contains("no switch"));
+    }
+
+    #[test]
+    fn more_shards_than_rows_still_covers() {
+        // mesh 8x2 has 2 rows; 4 shards fall back to index stripes.
+        let topo = mesh(8, 2).unwrap();
+        let map = GridStripes.partition(&topo, 4).unwrap();
+        for k in 0..4 {
+            assert_eq!(map.switches_of(k).len(), 4);
+        }
+    }
+}

@@ -88,7 +88,7 @@ impl FlowSpec {
 /// destination's switch (inclusive).
 pub type Path = Vec<SwitchId>;
 
-pub use nocem_common::route::RouteHop;
+pub use nocem_common::route::{RouteHop, RouteTable};
 
 /// How virtual channels are assigned along computed paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,13 +133,16 @@ pub enum RouteAlgorithm {
     TorusXy,
 }
 
-/// Flow-indexed output-hop tables for every switch, plus the paths and
-/// VC labels they were derived from.
+/// Per-switch sparse output-hop tables, plus the paths and VC labels
+/// they were derived from.
 #[derive(Debug, Clone)]
 pub struct RoutingTables {
-    /// `[switch][flow] -> admissible output hops` (empty when the flow
-    /// never visits the switch).
-    table: Vec<Vec<Vec<RouteHop>>>,
+    /// `[switch] -> sparse flow table` (a flow has hops only at the
+    /// switches its paths visit; see [`RouteTable`]). Sparseness keeps
+    /// all-to-all patterns on large grids feasible: a dense
+    /// `[switch][flow]` layout is `O(switches^3)` for uniform-random
+    /// traffic.
+    table: Vec<RouteTable>,
     flows: Vec<FlowPaths>,
     /// `[flow][path][hop] -> VC` label of each inter-switch hop
     /// (`path.len() - 1` entries per path).
@@ -235,7 +238,7 @@ impl RoutingTables {
         policy: VcPolicy,
     ) -> Result<Self, TopologyError> {
         let flow_count = flows.len();
-        let mut table = vec![vec![Vec::<RouteHop>::new(); flow_count]; topo.switch_count()];
+        let mut table = vec![RouteTable::new(); topo.switch_count()];
         let mut vc_labels = vec![Vec::new(); flow_count];
 
         for fp in &flows {
@@ -257,11 +260,7 @@ impl RoutingTables {
                             reason: format!("no link {} -> {}", w[0], w[1]),
                         }
                     })?;
-                    let hop = RouteHop { port, vc };
-                    let entry = &mut table[w[0].index()][spec.flow.index()];
-                    if !entry.contains(&hop) {
-                        entry.push(hop);
-                    }
+                    table[w[0].index()].push_hop(spec.flow, RouteHop { port, vc });
                 }
                 // Ejection at the destination switch, always on VC 0:
                 // receptors are VC-blind, so funnelling every packet
@@ -275,11 +274,7 @@ impl RoutingTables {
                             flow: spec.flow,
                             reason: format!("{} is not attached to {}", spec.dst, to),
                         })?;
-                let hop = RouteHop::vc0(eject);
-                let entry = &mut table[to.index()][spec.flow.index()];
-                if !entry.contains(&hop) {
-                    entry.push(hop);
-                }
+                table[to.index()].push_hop(spec.flow, RouteHop::vc0(eject));
                 vc_labels[spec.flow.index()].push(labels);
             }
         }
@@ -291,18 +286,18 @@ impl RoutingTables {
     }
 
     /// The admissible output hops of `flow` at switch `s` (empty if
-    /// the flow never visits `s`).
+    /// the flow never visits `s` — including flows the tables were
+    /// never built for, which the sparse layout cannot distinguish).
     ///
     /// # Panics
     ///
-    /// Panics if `s` or `flow` is out of range.
+    /// Panics if `s` is out of range.
     pub fn lookup(&self, s: SwitchId, flow: FlowId) -> &[RouteHop] {
-        &self.table[s.index()][flow.index()]
+        self.table[s.index()].lookup(flow)
     }
 
-    /// Dense per-switch table (flow index → hops), as consumed by the
-    /// switch models.
-    pub fn switch_table(&self, s: SwitchId) -> &[Vec<RouteHop>] {
+    /// The sparse per-switch table, as consumed by the switch models.
+    pub fn switch_table(&self, s: SwitchId) -> &RouteTable {
         &self.table[s.index()]
     }
 
@@ -331,9 +326,7 @@ impl RoutingTables {
     pub fn max_vc(&self) -> u8 {
         self.table
             .iter()
-            .flatten()
-            .flatten()
-            .map(|hop| hop.vc.raw())
+            .filter_map(RouteTable::max_vc)
             .max()
             .unwrap_or(0)
     }
@@ -344,7 +337,7 @@ impl RoutingTables {
     pub fn max_alternatives(&self) -> usize {
         self.table
             .iter()
-            .flat_map(|per_flow| per_flow.iter().map(Vec::len))
+            .map(RouteTable::max_alternatives)
             .max()
             .unwrap_or(0)
     }
