@@ -1,0 +1,188 @@
+//! **Latency–throughput curves** — the canonical NoC evaluation the
+//! paper's 6-switch setup never produced: for each (scenario,
+//! topology), ramp the offered load to saturation, bisect the
+//! saturation point, and emit the classic latency-vs-offered-load
+//! curve with windowed steady-state statistics.
+//!
+//! ```text
+//! cargo run --release -p nocem-bench --bin latency_curves
+//! cargo run --release -p nocem-bench --bin latency_curves -- --smoke
+//! ```
+//!
+//! The default sweep runs uniform_random / transpose / tornado on
+//! mesh4x4, mesh8x8 and torus8x8 — nine curves — and demonstrates the
+//! scale machinery end to end: every point runs **clock-gated**
+//! (PR 3), and the 8×8 topologies run on the **sharded engine** with
+//! two workers (PR 4). Neither changes a single measured value (the
+//! ledger is proven identical across modes and engines); they only
+//! change how fast the sweep finishes. Results land in
+//! `results/latency_curves.csv`.
+//!
+//! `--smoke` (the CI configuration) runs the mesh4x4 uniform_random
+//! curve with the coarse ramp only and asserts that the search
+//! terminates and that accepted throughput is monotone non-decreasing
+//! below the saturation point. `NOCEM_QUICK=1` shrinks the
+//! measurement windows.
+
+use nocem::clock::ClockMode;
+use nocem::config::EngineKind;
+use nocem_common::table::{Align, TextTable};
+use nocem_curves::measure::MeasureConfig;
+use nocem_curves::runner::{run_curve_specs, CurveSetOutcome};
+use nocem_curves::search::{CurveSpec, SearchConfig};
+use nocem_scenarios::registry::ScenarioRegistry;
+use nocem_scenarios::scenario::TopologySpec;
+
+fn measure_windows() -> MeasureConfig {
+    if nocem_bench::quick_mode() {
+        MeasureConfig {
+            warmup_cycles: 512,
+            measure_cycles: 2_048,
+        }
+    } else {
+        MeasureConfig {
+            warmup_cycles: 2_048,
+            measure_cycles: 8_192,
+        }
+    }
+}
+
+/// The CI smoke configuration: mesh4x4 uniform_random, coarse ramp
+/// only. Asserts the controller's two load-bearing promises.
+fn smoke() {
+    let registry = ScenarioRegistry::builtin();
+    let spec = CurveSpec {
+        measure: MeasureConfig {
+            warmup_cycles: 512,
+            measure_cycles: 2_048,
+        },
+        search: SearchConfig {
+            bisect: false,
+            ..SearchConfig::default()
+        },
+        ..CurveSpec::new(
+            "uniform_random",
+            TopologySpec::Mesh {
+                width: 4,
+                height: 4,
+            },
+        )
+    };
+    let curve = spec.run(&registry).expect("smoke curve runs");
+    println!(
+        "smoke: {} points, saturation load {:.3} (found: {})",
+        curve.points.len(),
+        curve.saturation.saturation_load,
+        curve.saturation.found
+    );
+    assert!(
+        !curve.points.is_empty(),
+        "saturation search must terminate with measured points"
+    );
+    // Below saturation, accepted throughput tracks offered load, so it
+    // must grow with the ramp (a 0.01 flits/cycle/node allowance
+    // absorbs stochastic-gap jitter, far below the 0.05 ramp step).
+    let below: Vec<_> = curve
+        .points
+        .iter()
+        .filter(|p| !p.saturated && p.load < curve.saturation.saturation_load)
+        .collect();
+    assert!(!below.is_empty(), "at least one stable point");
+    for pair in below.windows(2) {
+        assert!(
+            pair[1].measurement.accepted >= pair[0].measurement.accepted - 0.01,
+            "accepted throughput must be monotone non-decreasing below saturation: \
+             {:.4} @ {:.2} -> {:.4} @ {:.2}",
+            pair[0].measurement.accepted,
+            pair[0].load,
+            pair[1].measurement.accepted,
+            pair[1].load,
+        );
+    }
+    println!("smoke OK: monotone accepted throughput below saturation");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let registry = ScenarioRegistry::builtin();
+    let measure = measure_windows();
+    let scenarios = ["uniform_random", "transpose", "tornado"];
+    let topologies = [
+        TopologySpec::Mesh {
+            width: 4,
+            height: 4,
+        },
+        TopologySpec::Mesh {
+            width: 8,
+            height: 8,
+        },
+        TopologySpec::Torus {
+            width: 8,
+            height: 8,
+        },
+    ];
+
+    let mut specs = Vec::new();
+    for scenario in scenarios {
+        for topology in topologies {
+            // The scale machinery, end to end: everything gated, the
+            // 64-switch topologies sharded across two workers.
+            let engine = match topology {
+                TopologySpec::Mesh { width: 8, .. } | TopologySpec::Torus { width: 8, .. } => {
+                    EngineKind::Sharded { shards: 2 }
+                }
+                _ => EngineKind::SingleThread,
+            };
+            specs.push(CurveSpec {
+                engine,
+                clock_mode: ClockMode::Gated,
+                measure,
+                ..CurveSpec::new(scenario, topology)
+            });
+        }
+    }
+
+    let threads = std::thread::available_parallelism().map_or(2, usize::from);
+    let curves = run_curve_specs(&registry, &specs, threads).expect("curve sweep runs");
+
+    let mut table = TextTable::with_columns(&[
+        "curve",
+        "shards",
+        "points",
+        "saturation load",
+        "accepted@stable",
+        "zero-load latency",
+    ]);
+    table.title("Latency-throughput curves — saturation summary".to_string());
+    for c in 1..6 {
+        table.align(c, Align::Right);
+    }
+    for curve in &curves {
+        let s = &curve.saturation;
+        table.row(vec![
+            curve.label(),
+            curve.shards.to_string(),
+            curve.points.len().to_string(),
+            if s.found {
+                format!("{:.3}", s.saturation_load)
+            } else {
+                format!(">{:.3}", s.saturation_load)
+            },
+            format!("{:.3}", s.accepted_at_stable),
+            s.zero_load_latency
+                .map_or_else(|| "-".into(), |l| format!("{l:.1}")),
+        ]);
+    }
+    println!("{table}");
+
+    let outcome = CurveSetOutcome {
+        curves,
+        skipped: Vec::new(),
+    };
+    let path = nocem_bench::save_csv("latency_curves.csv", &outcome.to_csv());
+    println!("data written to {}", path.display());
+}

@@ -275,6 +275,30 @@ pub fn run_engine<E: SteppableEngine + ?Sized>(engine: &mut E) -> Result<(), Emu
     Ok(())
 }
 
+/// Runs any engine until its clock reaches at least `cycle` (or its
+/// stop condition holds first, whichever comes earlier).
+///
+/// This is the measurement-window primitive of the latency–throughput
+/// curve harness: a steady-state point runs open-loop (no packet
+/// budget) for warm-up-plus-window cycles and is then read out
+/// through the ledger. Under [`ClockMode::Gated`] a final
+/// fast-forward jump may overshoot `cycle`; that is harmless — the
+/// overshot window is provably quiescent, so no observable event
+/// lands in it.
+///
+/// # Errors
+///
+/// Propagates [`EmulationError`] from [`SteppableEngine::step`].
+pub fn run_engine_until<E: SteppableEngine + ?Sized>(
+    engine: &mut E,
+    cycle: u64,
+) -> Result<(), EmulationError> {
+    while engine.now().raw() < cycle && !engine.finished() {
+        engine.step()?;
+    }
+    Ok(())
+}
+
 /// Runs any engine to its stop condition, invoking `progress` at every
 /// multiple of `interval` cycles with `(cycle, delivered)`.
 ///

@@ -143,17 +143,11 @@ impl std::fmt::Debug for Elaboration {
     }
 }
 
-/// Compiles a platform configuration into components.
-///
-/// # Errors
-///
-/// Returns [`CompileError`] when the configuration is inconsistent
-/// (traffic/topology mismatch), unroutable, or could deadlock.
-pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
-    let topo = &config.topology;
-    let generators = topo.generators();
-    let receptors = topo.receptors();
-
+/// Validates the cheap structural invariants of a configuration
+/// (traffic model / endpoint counts, queue capacities).
+fn validate(config: &PlatformConfig) -> Result<(), CompileError> {
+    let generators = config.topology.generators();
+    let receptors = config.topology.receptors();
     if config.generators.len() != generators.len() {
         return Err(CompileError::TrafficMismatch {
             reason: format!(
@@ -177,9 +171,26 @@ pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
             reason: "source queue capacity must be at least 1".into(),
         });
     }
+    Ok(())
+}
 
-    // Routing (VC labels assigned per the configured policy) + per-VC
-    // deadlock check.
+/// Computes (and fully validates) the routing tables of a
+/// configuration: path computation, VC labelling per the configured
+/// policy, the VC-range check and the per-(link, VC) deadlock check.
+///
+/// This is the expensive, *load-independent* half of elaboration — on
+/// huge meshes route computation and the channel-dependency check
+/// dominate compile time. Callers that elaborate the same topology ×
+/// flow set many times (the scenario matrix's `shards` axis, a
+/// saturation search's load ramp) compute the tables once and reuse
+/// them through [`elaborate_routed`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unroutable flows, VC overflow or a
+/// cyclic channel-dependency graph.
+pub fn compute_routing(config: &PlatformConfig) -> Result<RoutingTables, CompileError> {
+    let topo = &config.topology;
     let routing = match &config.routing {
         RoutingSpec::Algorithm(algo) => {
             RoutingTables::compute_with(topo, &config.flows, *algo, config.vc_policy)?
@@ -195,6 +206,47 @@ pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
         });
     }
     check_routing_deadlock_freedom(topo, &routing)?;
+    Ok(routing)
+}
+
+/// Compiles a platform configuration into components.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the configuration is inconsistent
+/// (traffic/topology mismatch), unroutable, or could deadlock.
+pub fn elaborate(config: &PlatformConfig) -> Result<Elaboration, CompileError> {
+    validate(config)?;
+    let routing = compute_routing(config)?;
+    elaborate_routed(config, routing)
+}
+
+/// Like [`elaborate`], but reuses routing tables previously produced
+/// by [`compute_routing`] for a configuration with the same topology,
+/// flows, routing spec and VC policy (only loads, traffic models,
+/// seeds, stop conditions, clock mode or engine kind may differ — none
+/// of which routing depends on). The deadlock check is *not* re-run:
+/// the tables were proven deadlock-free when computed.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the configuration is structurally
+/// inconsistent or the tables reference more VCs than the switches
+/// have.
+pub fn elaborate_routed(
+    config: &PlatformConfig,
+    routing: RoutingTables,
+) -> Result<Elaboration, CompileError> {
+    let topo = &config.topology;
+    let generators = topo.generators();
+    let receptors = topo.receptors();
+    validate(config)?;
+    if routing.max_vc() >= config.switch.num_vcs {
+        return Err(CompileError::VcOverflow {
+            max_vc: routing.max_vc(),
+            num_vcs: config.switch.num_vcs,
+        });
+    }
 
     // Predicted link loads (only meaningful with fixed destinations).
     let fixed_loads: Option<Vec<f64>> = config
@@ -503,6 +555,33 @@ mod tests {
         let e = elaborate(&cfg).unwrap();
         assert_eq!(e.switches.len(), 9);
         assert_eq!(e.tgs.len(), 9);
+    }
+
+    #[test]
+    fn routed_elaboration_matches_direct_elaboration() {
+        let cfg = PaperConfig::new().total_packets(200).uniform();
+        let routing = compute_routing(&cfg).unwrap();
+        // Reuse the tables for a *different load point* of the same
+        // topology/flows (the saturation-search pattern): the runs
+        // must be identical to direct elaboration.
+        let mut run_direct = crate::engine::build(&cfg).unwrap();
+        run_direct.run().unwrap();
+        let mut run_routed =
+            crate::engine::Emulation::new(elaborate_routed(&cfg, routing).unwrap());
+        run_routed.run().unwrap();
+        assert_eq!(run_routed.ledger(), run_direct.ledger());
+        assert_eq!(run_routed.results(), run_direct.results());
+    }
+
+    #[test]
+    fn routed_elaboration_still_checks_vc_overflow() {
+        let mut cfg = PaperConfig::new().uniform();
+        let routing = compute_routing(&cfg).unwrap();
+        cfg.switch.num_vcs = 0;
+        assert!(matches!(
+            elaborate_routed(&cfg, routing),
+            Err(CompileError::VcOverflow { .. })
+        ));
     }
 
     #[test]

@@ -59,8 +59,11 @@ pub mod results;
 pub mod shard;
 pub mod sweep;
 
-pub use clock::{run_engine, run_engine_with_progress, ClockMode, EngineSummary, SteppableEngine};
-pub use compile::{elaborate, Elaboration};
+pub use clock::{
+    run_engine, run_engine_until, run_engine_with_progress, ClockMode, EngineSummary,
+    SteppableEngine,
+};
+pub use compile::{compute_routing, elaborate, elaborate_routed, Elaboration};
 pub use config::{
     EngineKind, PaperConfig, PaperRouting, PlatformConfig, StopCondition, TrafficModel,
 };
@@ -69,4 +72,7 @@ pub use error::{CompileError, EmulationError};
 pub use flow::{run_flow, run_flow_on, FlowReport};
 pub use results::EmulationResults;
 pub use shard::{build_engine, ShardedEngine};
-pub use sweep::{run_config, run_sweep, run_sweep_engine, run_sweep_with, SweepPoint};
+pub use sweep::{
+    run_config, run_config_routed, run_sweep, run_sweep_engine, run_sweep_indexed, run_sweep_with,
+    AnyEngine, SweepPoint,
+};

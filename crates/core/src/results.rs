@@ -7,7 +7,7 @@ use nocem_common::ids::LinkId;
 use nocem_common::table::{Align, TextTable};
 use nocem_common::time::Cycle;
 use nocem_platform::monitor::Monitor;
-use nocem_stats::congestion::CongestionCounter;
+use nocem_stats::congestion::{CongestionCounter, VcOccupancy};
 use nocem_stats::latency::LatencyAnalyzer;
 
 /// Summary of one receptor at end of run.
@@ -66,6 +66,9 @@ pub struct EmulationResults {
     pub total_latency: LatencyAnalyzer,
     /// Per-link congestion counters — Figure 3's metric.
     pub congestion: CongestionCounter,
+    /// Platform-wide per-VC input-buffer occupancy watermarks (the
+    /// highest fill any per-VC FIFO of any switch reached).
+    pub vc_occupancy: VcOccupancy,
     /// Per-receptor summaries.
     pub receptors: Vec<ReceptorSummary>,
 }
@@ -107,6 +110,12 @@ impl EmulationResults {
                 }
             })
             .collect();
+        let mut vc_occupancy = VcOccupancy::new(usize::from(elab.config.switch.num_vcs));
+        for sw in &elab.switches {
+            for (vc, &peak) in sw.counters().max_vc_occupancy.iter().enumerate() {
+                vc_occupancy.record(vc, peak);
+            }
+        }
         EmulationResults {
             name: elab.config.name.clone(),
             cycles: emu.now().raw(),
@@ -119,6 +128,7 @@ impl EmulationResults {
             network_latency: ledger.network_latency().clone(),
             total_latency: ledger.total_latency().clone(),
             congestion: emu.congestion(),
+            vc_occupancy,
             receptors,
         }
     }

@@ -680,9 +680,19 @@ impl ShardedEngine {
     ///
     /// Propagates [`CompileError`] from elaboration or partitioning.
     pub fn with_shards(config: &PlatformConfig, shards: usize) -> Result<Self, CompileError> {
-        let elab = elaborate(config)?;
+        Self::from_elaboration(elaborate(config)?, shards)
+    }
+
+    /// Shards a pre-built elaboration into `shards` grid stripes —
+    /// the reuse hook for callers that elaborate once and run many
+    /// engine variants (see `crate::compile::elaborate_routed`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError::Partition`] from the partitioner.
+    pub fn from_elaboration(elab: Elaboration, shards: usize) -> Result<Self, CompileError> {
         let map = GridStripes
-            .partition(&config.topology, shards)
+            .partition(&elab.config.topology, shards)
             .map_err(|e| CompileError::Partition {
                 reason: e.to_string(),
             })?;
@@ -1184,10 +1194,15 @@ impl ShardedEngine {
 
         let topo = &self.config.topology;
         let mut cc = CongestionCounter::new(topo.link_count());
+        let mut vc_occupancy =
+            nocem_stats::congestion::VcOccupancy::new(usize::from(self.config.switch.num_vcs));
         let mut receptors: Vec<Option<ReceptorSummary>> = vec![None; self.receptor_latency.len()];
         for snap in snapshots {
             for (gid, sw) in &snap.switches {
                 let counters = sw.counters();
+                for (vc, &peak) in counters.max_vc_occupancy.iter().enumerate() {
+                    vc_occupancy.record(vc, peak);
+                }
                 for o in 0..usize::from(sw.config().outputs) {
                     let link = topo.out_link(SwitchId::new(*gid), PortId::new(o as u8));
                     cc.add(
@@ -1246,6 +1261,7 @@ impl ShardedEngine {
             network_latency: self.ledger.network_latency().clone(),
             total_latency: self.ledger.total_latency().clone(),
             congestion: cc,
+            vc_occupancy,
             receptors: receptors
                 .into_iter()
                 .map(|r| r.expect("every receptor snapshotted by its shard"))

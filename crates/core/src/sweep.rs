@@ -6,11 +6,15 @@
 //! (Figures 3 and 4) and the ablation studies.
 
 use crate::clock::{run_engine, EngineSummary, SteppableEngine};
+use crate::compile::{elaborate, elaborate_routed};
 use crate::config::{EngineKind, PlatformConfig};
-use crate::engine::build;
-use crate::error::EmulationError;
+use crate::engine::Emulation;
+use crate::error::{CompileError, EmulationError};
 use crate::results::EmulationResults;
 use crate::shard::ShardedEngine;
+use nocem_common::time::Cycle;
+use nocem_stats::ledger::PacketLedger;
+use nocem_topology::routing::RoutingTables;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -112,13 +116,42 @@ where
     E: Send,
     F: Fn(&SweepPoint) -> Result<T, E> + Sync,
 {
+    run_sweep_indexed(points, threads, |_, p| run(p))
+}
+
+/// Like [`run_sweep_with`], but the callback also receives the
+/// point's *input index*. Callers that join sweep outcomes back to
+/// side tables (the matrix's shard groups, the curve runner's specs)
+/// key on the index instead of the label — labels then stay purely
+/// cosmetic and duplicates cannot misroute work.
+///
+/// # Errors
+///
+/// Returns the error of the first failing point by input order (see
+/// [`run_sweep_with`]).
+///
+/// # Panics
+///
+/// Re-raises the panic of the first panicking point by input order
+/// (see [`run_sweep_with`]).
+pub fn run_sweep_indexed<T, E, F>(
+    points: &[SweepPoint],
+    threads: usize,
+    run: F,
+) -> Result<Vec<(String, T)>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, &SweepPoint) -> Result<T, E> + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 || points.len() <= 1 {
         // Inline path: panics and errors already surface in input
         // order because evaluation is sequential.
         return points
             .iter()
-            .map(|p| run(p).map(|t| (p.label.clone(), t)))
+            .enumerate()
+            .map(|(i, p)| run(i, p).map(|t| (p.label.clone(), t)))
             .collect();
     }
 
@@ -135,7 +168,7 @@ where
                     break;
                 }
                 let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&points[i])));
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(i, &points[i])));
                 let mut guard = slots_mutex.lock().expect("no panics while holding lock");
                 guard[i] = Some(outcome);
             });
@@ -153,6 +186,131 @@ where
     Ok(out)
 }
 
+/// Whichever engine a configuration names, behind one concrete type —
+/// the sweep-level dispatcher that the curve harness and
+/// [`run_config`] build on. Unlike `crate::shard::build_engine` (a
+/// boxed `dyn SteppableEngine`), `AnyEngine` also exposes full
+/// [`EmulationResults`] collection, which the trait cannot.
+#[derive(Debug)]
+pub enum AnyEngine {
+    /// The single-threaded fast emulation engine.
+    Single(Box<Emulation>),
+    /// The sharded multi-worker engine.
+    Sharded(Box<ShardedEngine>),
+}
+
+impl AnyEngine {
+    /// Compiles `config` and builds the engine `config.engine` names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`].
+    pub fn build(config: &PlatformConfig) -> Result<Self, CompileError> {
+        Self::build_routed(config, None)
+    }
+
+    /// Like [`AnyEngine::build`] but reusing precomputed routing
+    /// tables (see [`crate::compile::compute_routing`]); pass `None`
+    /// to compute them here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`].
+    pub fn build_routed(
+        config: &PlatformConfig,
+        routing: Option<&RoutingTables>,
+    ) -> Result<Self, CompileError> {
+        let elab = match routing {
+            Some(r) => elaborate_routed(config, r.clone())?,
+            None => elaborate(config)?,
+        };
+        Ok(match config.engine {
+            EngineKind::Sharded { shards } => {
+                AnyEngine::Sharded(Box::new(ShardedEngine::from_elaboration(elab, shards)?))
+            }
+            _ => AnyEngine::Single(Box::new(Emulation::new(elab))),
+        })
+    }
+
+    /// Collects the full run results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmulationError::Shard`] when a shard worker died.
+    pub fn results(&mut self) -> Result<EmulationResults, EmulationError> {
+        match self {
+            AnyEngine::Single(e) => Ok(e.results()),
+            AnyEngine::Sharded(e) => e.results(),
+        }
+    }
+}
+
+impl SteppableEngine for AnyEngine {
+    fn step(&mut self) -> Result<(), EmulationError> {
+        match self {
+            AnyEngine::Single(e) => e.step(),
+            AnyEngine::Sharded(e) => SteppableEngine::step(&mut **e),
+        }
+    }
+
+    fn now(&self) -> Cycle {
+        match self {
+            AnyEngine::Single(e) => e.now(),
+            AnyEngine::Sharded(e) => SteppableEngine::now(&**e),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        match self {
+            AnyEngine::Single(e) => e.finished(),
+            AnyEngine::Sharded(e) => SteppableEngine::finished(&**e),
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        match self {
+            AnyEngine::Single(e) => e.delivered(),
+            AnyEngine::Sharded(e) => SteppableEngine::delivered(&**e),
+        }
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        match self {
+            AnyEngine::Single(e) => e.cycles_skipped(),
+            AnyEngine::Sharded(e) => SteppableEngine::cycles_skipped(&**e),
+        }
+    }
+
+    fn summary(&self) -> EngineSummary {
+        match self {
+            AnyEngine::Single(e) => SteppableEngine::summary(&**e),
+            AnyEngine::Sharded(e) => SteppableEngine::summary(&**e),
+        }
+    }
+
+    fn packet_ledger(&self) -> PacketLedger {
+        match self {
+            AnyEngine::Single(e) => SteppableEngine::packet_ledger(&**e),
+            AnyEngine::Sharded(e) => SteppableEngine::packet_ledger(&**e),
+        }
+    }
+}
+
+/// Wraps a compile failure into the sweep's single
+/// [`EmulationError`] channel (reported through
+/// [`EmulationError::Bus`], the way the run-control software would
+/// observe a platform that failed to come up).
+pub fn compile_fault(config: &PlatformConfig, e: CompileError) -> EmulationError {
+    EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
+        addr: nocem_platform::addr::Address::from_parts(
+            nocem_common::ids::BusId::new(0),
+            nocem_common::ids::DeviceId::new(0),
+            0,
+        ),
+        reason: format!("configuration {:?} failed to compile: {e}", config.name),
+    })
+}
+
 /// Compiles and runs one configuration to completion on whichever
 /// engine `config.engine` names, returning its full results. This is
 /// how a sweep or matrix point honours [`EngineKind::Sharded`] without
@@ -164,28 +322,27 @@ where
 /// reported through [`EmulationError::Bus`] so callers get one error
 /// channel.
 pub fn run_config(config: &PlatformConfig) -> Result<EmulationResults, EmulationError> {
-    let compile_fault = |e: crate::error::CompileError| {
-        EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
-            addr: nocem_platform::addr::Address::from_parts(
-                nocem_common::ids::BusId::new(0),
-                nocem_common::ids::DeviceId::new(0),
-                0,
-            ),
-            reason: format!("configuration {:?} failed to compile: {e}", config.name),
-        })
-    };
-    match config.engine {
-        EngineKind::Sharded { .. } => {
-            let mut engine = ShardedEngine::build(config).map_err(compile_fault)?;
-            engine.run()?;
-            engine.results()
-        }
-        _ => {
-            let mut emu = build(config).map_err(compile_fault)?;
-            emu.run()?;
-            Ok(emu.results())
-        }
-    }
+    run_config_routed(config, None)
+}
+
+/// Like [`run_config`] but reusing precomputed routing tables from
+/// [`crate::compile::compute_routing`] — callers that run the same
+/// topology × flow set at many loads or shard counts (the scenario
+/// matrix, a saturation search) pay the route computation and the
+/// deadlock check once instead of per point.
+///
+/// # Errors
+///
+/// Propagates [`EmulationError`] from the run; compile failures are
+/// reported through [`EmulationError::Bus`].
+pub fn run_config_routed(
+    config: &PlatformConfig,
+    routing: Option<&RoutingTables>,
+) -> Result<EmulationResults, EmulationError> {
+    let mut engine =
+        AnyEngine::build_routed(config, routing).map_err(|e| compile_fault(config, e))?;
+    run_engine(&mut engine)?;
+    engine.results()
 }
 
 fn run_point(point: &SweepPoint) -> Result<EmulationResults, EmulationError> {
@@ -228,6 +385,33 @@ mod tests {
             assert_eq!(s.1.cycles, p.1.cycles, "determinism across threads");
             assert_eq!(s.1.delivered, p.1.delivered);
         }
+    }
+
+    #[test]
+    fn any_engine_honours_the_engine_kind_and_reuses_routing() {
+        let cfg = PaperConfig::new().total_packets(150).uniform();
+        let routing = crate::compile::compute_routing(&cfg).unwrap();
+        let baseline = run_config(&cfg).unwrap();
+        let routed = run_config_routed(&cfg, Some(&routing)).unwrap();
+        assert_eq!(baseline, routed);
+
+        let sharded_cfg = cfg.clone().with_engine(EngineKind::Sharded { shards: 2 });
+        let mut engine = AnyEngine::build_routed(&sharded_cfg, Some(&routing)).unwrap();
+        assert!(matches!(engine, AnyEngine::Sharded(_)));
+        run_engine(&mut engine).unwrap();
+        assert_eq!(engine.results().unwrap(), baseline);
+    }
+
+    #[test]
+    fn run_engine_until_stops_at_the_cycle() {
+        let mut cfg = PaperConfig::new().total_packets(1_000_000).uniform();
+        cfg.stop.delivered_packets = None;
+        let mut engine = AnyEngine::build(&cfg).unwrap();
+        crate::clock::run_engine_until(&mut engine, 500).unwrap();
+        assert_eq!(engine.now().raw(), 500);
+        // Resuming continues from where it stopped.
+        crate::clock::run_engine_until(&mut engine, 600).unwrap();
+        assert_eq!(engine.now().raw(), 600);
     }
 
     #[test]

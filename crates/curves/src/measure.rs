@@ -1,0 +1,253 @@
+//! The steady-state measurement harness: one load point, measured.
+//!
+//! A latency–throughput point must be measured **open-loop** — the
+//! traffic generators offer load indefinitely and the network accepts
+//! what it can — and **in steady state** — the transient of an empty
+//! network filling up is discarded. [`measure_config`] therefore:
+//!
+//! 1. uncaps every stochastic generator's packet budget and disables
+//!    the delivered-packet stop condition;
+//! 2. runs the configured engine ([`nocem::sweep::AnyEngine`] honours
+//!    [`nocem::config::EngineKind`] and [`nocem::ClockMode`]) for
+//!    `warmup_cycles + measure_cycles` cycles;
+//! 3. extracts the point's statistics from the packet ledger through
+//!    `nocem-stats`' windowed extraction: latency quantiles over
+//!    packets injected inside the window, accepted throughput over
+//!    packets delivered inside it.
+//!
+//! Because selection is by absolute cycle over a ledger that is
+//! cycle-identical across clock modes and engines, a measurement is
+//! reproducible bit for bit on any of them.
+
+use crate::CurveError;
+use nocem::clock::run_engine_until;
+use nocem::config::{PlatformConfig, TrafficModel};
+use nocem::sweep::AnyEngine;
+use nocem_stats::congestion::VcOccupancy;
+use nocem_stats::window::{Window, WindowStats};
+use nocem_topology::routing::RoutingTables;
+
+/// How long a load point runs and which part of it is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureConfig {
+    /// Cycles discarded before the measurement window opens (the
+    /// network fills to steady state).
+    pub warmup_cycles: u64,
+    /// Length of the measurement window in cycles.
+    pub measure_cycles: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            warmup_cycles: 1_024,
+            measure_cycles: 4_096,
+        }
+    }
+}
+
+impl MeasureConfig {
+    /// Total cycles a point runs.
+    pub fn total_cycles(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles
+    }
+}
+
+/// One measured load point of a curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointMeasurement {
+    /// Nominal offered load per node (fraction of link bandwidth =
+    /// flits/cycle/node).
+    pub offered: f64,
+    /// Accepted throughput inside the window, flits/cycle/node.
+    pub accepted: f64,
+    /// Latency samples inside the window (packets injected there and
+    /// delivered).
+    pub packets_measured: u64,
+    /// Mean network latency (injection → delivery) of the samples.
+    pub mean_network_latency: Option<f64>,
+    /// Median network latency.
+    pub p50: Option<u64>,
+    /// 95th-percentile network latency.
+    pub p95: Option<u64>,
+    /// 99th-percentile network latency.
+    pub p99: Option<u64>,
+    /// Mean total latency (release → delivery) — includes source
+    /// queueing, the quantity that diverges past saturation.
+    pub mean_total_latency: Option<f64>,
+    /// Per-VC input-buffer occupancy watermarks over the whole run.
+    pub vc_occupancy: VcOccupancy,
+    /// Cycles a traffic model spent stalled on a full source queue.
+    pub stalled_cycles: u64,
+    /// End of the measurement window (deterministic across clock
+    /// modes and engines; the run itself may coast a few quiescent
+    /// cycles further under gating).
+    pub cycles: u64,
+    /// Cycles the fast-forward kernel jumped — machinery only, the
+    /// one field that legitimately differs between clock modes.
+    pub cycles_skipped: u64,
+}
+
+impl PointMeasurement {
+    /// The measurement with the machinery-only gating counter cleared
+    /// — what cross-mode/cross-engine equivalence compares, since
+    /// skipping is the one *intended* difference.
+    #[must_use]
+    pub fn behavioral(&self) -> PointMeasurement {
+        PointMeasurement {
+            cycles_skipped: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Rewrites a (budgeted, stop-on-delivered) scenario configuration
+/// into the open-loop form a steady-state measurement needs.
+fn open_loop(config: &mut PlatformConfig, measure: &MeasureConfig) {
+    config.stop.delivered_packets = None;
+    // Generous limit: the run is bounded by `run_engine_until`, never
+    // by the limit; the slack absorbs a final gated fast-forward.
+    config.stop.cycle_limit = measure.total_cycles() * 2 + 64;
+    for g in &mut config.generators {
+        match g {
+            TrafficModel::Uniform(u) => u.budget = None,
+            TrafficModel::Burst(b) => b.budget = None,
+            TrafficModel::Poisson(p) => p.budget = None,
+            // Trace generators replay a finite recording; they keep
+            // their natural length.
+            _ => {}
+        }
+    }
+}
+
+/// Measures one load point: runs `config` open-loop for the warm-up
+/// plus measurement window and extracts the windowed statistics.
+///
+/// `offered` is the nominal per-node offered load recorded into the
+/// measurement (the load axis of the curve). `routing` optionally
+/// reuses tables from [`nocem::compile::compute_routing`] — a
+/// saturation search elaborates routing once and passes it to every
+/// point.
+///
+/// # Errors
+///
+/// Returns [`CurveError`] on compile or run failures.
+pub fn measure_config(
+    config: &PlatformConfig,
+    routing: Option<&RoutingTables>,
+    measure: &MeasureConfig,
+    offered: f64,
+) -> Result<PointMeasurement, CurveError> {
+    let mut cfg = config.clone();
+    open_loop(&mut cfg, measure);
+    let mut engine = AnyEngine::build_routed(&cfg, routing)?;
+    run_engine_until(&mut engine, measure.total_cycles())?;
+    let ledger = nocem::SteppableEngine::packet_ledger(&engine);
+    let results = engine.results()?;
+
+    let window = Window::after_warmup(
+        measure.warmup_cycles,
+        measure.measure_cycles,
+        measure.total_cycles(),
+    );
+    let (net, total) = WindowStats::from_ledger_both(&ledger, window);
+    let nodes = cfg.topology.generators().len().max(1) as f64;
+    Ok(PointMeasurement {
+        offered,
+        accepted: net.accepted_flits_per_cycle() / nodes,
+        packets_measured: net.samples(),
+        mean_network_latency: net.mean(),
+        p50: net.p50(),
+        p95: net.p95(),
+        p99: net.p99(),
+        mean_total_latency: total.mean(),
+        vc_occupancy: results.vc_occupancy,
+        stalled_cycles: results.stalled_cycles,
+        cycles: window.end,
+        cycles_skipped: results.cycles_skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocem::clock::ClockMode;
+    use nocem::config::EngineKind;
+    use nocem_scenarios::registry::ScenarioRegistry;
+    use nocem_scenarios::scenario::TopologySpec;
+
+    fn mesh_config(load: f64) -> PlatformConfig {
+        ScenarioRegistry::builtin()
+            .resolve("uniform_random")
+            .unwrap()
+            .build_config(
+                TopologySpec::Mesh {
+                    width: 4,
+                    height: 4,
+                },
+                load,
+                4,
+                1_000_000,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn low_load_point_tracks_offered_load() {
+        let m = measure_config(
+            &mesh_config(0.10),
+            None,
+            &MeasureConfig {
+                warmup_cycles: 512,
+                measure_cycles: 2_048,
+            },
+            0.10,
+        )
+        .unwrap();
+        assert!(m.packets_measured > 0);
+        assert!(
+            (m.accepted - 0.10).abs() < 0.02,
+            "accepted {} should track offered 0.10",
+            m.accepted
+        );
+        assert!(m.mean_network_latency.unwrap() > 0.0);
+        assert!(m.p50 <= m.p95 && m.p95 <= m.p99);
+        assert!(m.vc_occupancy.overall_max() >= 1);
+        assert_eq!(m.cycles, 2_560);
+    }
+
+    #[test]
+    fn gated_and_sharded_measurements_match_the_baseline() {
+        let measure = MeasureConfig {
+            warmup_cycles: 256,
+            measure_cycles: 1_024,
+        };
+        let base = measure_config(&mesh_config(0.15), None, &measure, 0.15).unwrap();
+        let mut gated = mesh_config(0.15);
+        gated.clock_mode = ClockMode::Gated;
+        gated.engine = EngineKind::Sharded { shards: 2 };
+        let fast = measure_config(&gated, None, &measure, 0.15).unwrap();
+        assert_eq!(fast.behavioral(), base.behavioral());
+    }
+
+    #[test]
+    fn overloaded_point_accepts_less_than_offered() {
+        // 90% offered uniform-random on a mesh is far past saturation.
+        let m = measure_config(
+            &mesh_config(0.90),
+            None,
+            &MeasureConfig {
+                warmup_cycles: 512,
+                measure_cycles: 2_048,
+            },
+            0.90,
+        )
+        .unwrap();
+        assert!(
+            m.accepted < 0.75,
+            "accepted {} must fall short of offered 0.90",
+            m.accepted
+        );
+        assert!(m.stalled_cycles > 0, "source queues must back-pressure");
+    }
+}

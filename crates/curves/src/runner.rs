@@ -1,0 +1,343 @@
+//! The parallel curve runner: many curves, one CSV.
+//!
+//! [`CurveSetSpec`] names a `scenarios × topologies` grid of curves;
+//! [`CurveSetSpec::expand`] pre-binds each combination (inapplicable
+//! ones — transpose on a ring, core graphs on tiny topologies — are
+//! collected as skips, exactly like the scenario matrix), and
+//! [`CurveSetSpec::run`] pushes the applicable curves through
+//! `nocem`'s parallel sweep scheduler ([`nocem::run_sweep_with`]) —
+//! one worker per curve, since the points *within* a curve are
+//! sequentially dependent (the adaptive search steers by its own
+//! measurements).
+//!
+//! [`CurveSetOutcome::to_csv`] renders one record per (scenario,
+//! topology, load point) plus a per-curve saturation summary comment.
+
+use crate::search::{Curve, CurveSpec};
+use crate::CurveError;
+use nocem::sweep::{run_sweep_indexed, SweepPoint};
+use nocem_common::csv::CsvWriter;
+use nocem_scenarios::registry::ScenarioRegistry;
+use nocem_scenarios::scenario::TopologySpec;
+use nocem_scenarios::ScenarioError;
+
+/// One curve the runner skipped as inapplicable, with the reason.
+#[derive(Debug)]
+pub struct SkippedCurve {
+    /// The label the curve would have had.
+    pub label: String,
+    /// Why it cannot run.
+    pub reason: ScenarioError,
+}
+
+/// A `scenarios × topologies` grid of curves sharing one parameter
+/// set.
+#[derive(Debug, Clone)]
+pub struct CurveSetSpec {
+    /// Prototype carrying packet/measure/search/engine/clock
+    /// parameters (its `scenario`/`topology` fields are ignored).
+    pub prototype: CurveSpec,
+    /// Registry names of the scenarios to sweep.
+    pub scenarios: Vec<String>,
+    /// Topologies to sweep each scenario on.
+    pub topologies: Vec<TopologySpec>,
+}
+
+impl CurveSetSpec {
+    /// Expands the grid into per-curve specs, separating inapplicable
+    /// combinations into skips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::Scenario`] for unknown scenario names
+    /// (an inapplicable scenario × topology pair is a *skip*, not an
+    /// error).
+    pub fn expand(
+        &self,
+        registry: &ScenarioRegistry,
+    ) -> Result<(Vec<CurveSpec>, Vec<SkippedCurve>), CurveError> {
+        let mut specs = Vec::new();
+        let mut skipped = Vec::new();
+        for name in &self.scenarios {
+            registry.resolve(name)?;
+            for &topology in &self.topologies {
+                let spec = CurveSpec {
+                    scenario: name.clone(),
+                    topology,
+                    ..self.prototype.clone()
+                };
+                match spec.config_at(registry, spec.search.start_load) {
+                    Ok(_) => specs.push(spec),
+                    Err(CurveError::Scenario(
+                        reason @ (ScenarioError::NotApplicable { .. }
+                        | ScenarioError::Mapping { .. }
+                        | ScenarioError::BudgetTooSmall { .. }),
+                    )) => skipped.push(SkippedCurve {
+                        label: spec.label(),
+                        reason,
+                    }),
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+        Ok((specs, skipped))
+    }
+
+    /// Expands and runs the whole grid over up to `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first failing curve (by expansion
+    /// order).
+    pub fn run(
+        &self,
+        registry: &ScenarioRegistry,
+        threads: usize,
+    ) -> Result<CurveSetOutcome, CurveError> {
+        let (specs, skipped) = self.expand(registry)?;
+        let curves = run_curve_specs(registry, &specs, threads)?;
+        Ok(CurveSetOutcome { curves, skipped })
+    }
+}
+
+/// Runs a list of curve specs through the parallel sweep scheduler
+/// and returns the curves in input order. Duplicate specs are
+/// allowed — searches are deterministic, so a duplicate simply
+/// reproduces the same curve.
+///
+/// # Errors
+///
+/// Returns the error of the first failing curve (by input order).
+pub fn run_curve_specs(
+    registry: &ScenarioRegistry,
+    specs: &[CurveSpec],
+    threads: usize,
+) -> Result<Vec<Curve>, CurveError> {
+    // One sweep unit per curve; the carried config (the start-load
+    // point) is only a placeholder — each worker re-derives its
+    // configs per measured load, joined back to its spec by input
+    // index.
+    let points = specs
+        .iter()
+        .map(|spec| {
+            Ok(SweepPoint::new(
+                spec.label(),
+                spec.config_at(registry, spec.search.start_load)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, CurveError>>()?;
+    let outcomes = run_sweep_indexed(&points, threads, |i, _| specs[i].run(registry))?;
+    Ok(outcomes.into_iter().map(|(_, curve)| curve).collect())
+}
+
+/// All outcomes of one curve-set run.
+#[derive(Debug)]
+pub struct CurveSetOutcome {
+    /// Executed curves, in expansion order.
+    pub curves: Vec<Curve>,
+    /// Combinations skipped as inapplicable.
+    pub skipped: Vec<SkippedCurve>,
+}
+
+/// Formats an optional statistic, rendering `None` as `-` (a field a
+/// numeric consumer can recognize and drop).
+fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "-".into(), |v| v.to_string())
+}
+
+impl CurveSetOutcome {
+    /// Renders the aggregated CSV: one record per (scenario,
+    /// topology, load point), a saturation-summary comment per curve
+    /// and a trailing comment per skipped combination.
+    pub fn to_csv(&self) -> String {
+        let mut csv = CsvWriter::new(&[
+            "scenario",
+            "topology",
+            "shards",
+            "clock_mode",
+            "load",
+            "phase",
+            "saturated",
+            "offered_flits_per_cycle_node",
+            "accepted_flits_per_cycle_node",
+            "packets_measured",
+            "mean_network_latency",
+            "p50_network_latency",
+            "p95_network_latency",
+            "p99_network_latency",
+            "mean_total_latency",
+            "max_vc_occupancy",
+            "stalled_cycles",
+            "cycles_skipped",
+        ]);
+        csv.comment(
+            "nocem latency-throughput curves: one record per (scenario, topology, load) point",
+        );
+        csv.comment(
+            "offered/accepted are per-node flits/cycle inside the steady-state measurement \
+             window (warm-up discarded); latencies are windowed network-latency statistics \
+             in cycles (p50/p95/p99 from the window histogram)",
+        );
+        csv.comment(
+            "saturated: the adaptive controller's verdict (accepted shortfall vs offered, \
+             or mean total latency past the zero-load multiple); max_vc_occupancy: highest \
+             per-VC input-buffer fill any switch reached",
+        );
+        for curve in &self.curves {
+            for p in &curve.points {
+                let m = &p.measurement;
+                csv.record_display(&[
+                    &curve.scenario,
+                    &curve.topology.name(),
+                    &curve.shards,
+                    &clock_mode_name(curve.clock_mode),
+                    &format_args!("{:.4}", p.load),
+                    &p.phase.name(),
+                    &p.saturated,
+                    &format_args!("{:.4}", m.offered),
+                    &format_args!("{:.4}", m.accepted),
+                    &m.packets_measured,
+                    &opt(m.mean_network_latency.map(|v| format!("{v:.2}"))),
+                    &opt(m.p50),
+                    &opt(m.p95),
+                    &opt(m.p99),
+                    &opt(m.mean_total_latency.map(|v| format!("{v:.2}"))),
+                    &m.vc_occupancy.overall_max(),
+                    &m.stalled_cycles,
+                    &m.cycles_skipped,
+                ]);
+            }
+            let s = &curve.saturation;
+            if s.found {
+                csv.comment(&format!(
+                    "saturation {}: load={:.4} (bracket {:.4}..{:.4}); zero-load total \
+                     latency {}; accepted at stable load {:.4} flits/cycle/node",
+                    curve.label(),
+                    s.saturation_load,
+                    s.stable_load,
+                    s.saturated_load.unwrap_or(f64::NAN),
+                    opt(s.zero_load_latency.map(|v| format!("{v:.2}"))),
+                    s.accepted_at_stable,
+                ));
+            } else {
+                csv.comment(&format!(
+                    "saturation {}: none found up to load {:.4} (accepted tracks offered \
+                     throughout)",
+                    curve.label(),
+                    s.saturation_load,
+                ));
+            }
+        }
+        for s in &self.skipped {
+            csv.comment(&format!("skipped {}: {}", s.label, s.reason));
+        }
+        csv.finish()
+    }
+}
+
+/// Stable lowercase clock-mode name for the CSV.
+fn clock_mode_name(mode: nocem::ClockMode) -> &'static str {
+    match mode {
+        nocem::ClockMode::EveryCycle => "every_cycle",
+        nocem::ClockMode::Gated => "gated",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::MeasureConfig;
+    use crate::search::SearchConfig;
+    use nocem_common::csv::CsvDocument;
+
+    fn quick_prototype() -> CurveSpec {
+        CurveSpec {
+            measure: MeasureConfig {
+                warmup_cycles: 128,
+                measure_cycles: 512,
+            },
+            search: SearchConfig {
+                start_load: 0.2,
+                step: 0.4,
+                max_load: 0.8,
+                bisect: false,
+                ..SearchConfig::default()
+            },
+            ..CurveSpec::new(
+                "uniform_random",
+                TopologySpec::Mesh {
+                    width: 2,
+                    height: 2,
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn grid_expansion_separates_skips() {
+        let registry = ScenarioRegistry::builtin();
+        let set = CurveSetSpec {
+            prototype: quick_prototype(),
+            scenarios: vec!["tornado".into(), "transpose".into()],
+            topologies: vec![
+                TopologySpec::Mesh {
+                    width: 2,
+                    height: 2,
+                },
+                TopologySpec::Ring { switches: 4 },
+            ],
+        };
+        let (specs, skipped) = set.expand(&registry).unwrap();
+        assert_eq!(specs.len(), 3, "transpose@ring4 is inapplicable");
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].label.starts_with("transpose@ring4"));
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_hard_error() {
+        let registry = ScenarioRegistry::builtin();
+        let set = CurveSetSpec {
+            prototype: quick_prototype(),
+            scenarios: vec!["warp_drive".into()],
+            topologies: vec![TopologySpec::Ring { switches: 4 }],
+        };
+        assert!(matches!(
+            set.expand(&registry),
+            Err(CurveError::Scenario(ScenarioError::UnknownScenario { .. }))
+        ));
+    }
+
+    #[test]
+    fn duplicate_specs_reproduce_the_same_curve() {
+        let registry = ScenarioRegistry::builtin();
+        let spec = quick_prototype();
+        let curves = run_curve_specs(&registry, &[spec.clone(), spec], 2).unwrap();
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0], curves[1]);
+    }
+
+    #[test]
+    fn runner_emits_rows_and_summaries() {
+        let registry = ScenarioRegistry::builtin();
+        let set = CurveSetSpec {
+            prototype: quick_prototype(),
+            scenarios: vec!["uniform_random".into(), "tornado".into()],
+            topologies: vec![TopologySpec::Mesh {
+                width: 2,
+                height: 2,
+            }],
+        };
+        let outcome = set.run(&registry, 2).unwrap();
+        assert_eq!(outcome.curves.len(), 2);
+        let csv = outcome.to_csv();
+        let doc = CsvDocument::parse(&csv).unwrap();
+        assert!(doc.records.len() >= 2, "at least one point per curve");
+        assert_eq!(doc.column("scenario"), Some(0));
+        assert!(doc.column("accepted_flits_per_cycle_node").is_some());
+        assert!(doc.column("max_vc_occupancy").is_some());
+        assert!(csv.contains("# saturation uniform_random@mesh2x2"));
+        // Parallel and serial runs agree (determinism across workers).
+        let serial = set.run(&registry, 1).unwrap();
+        assert_eq!(serial.curves, outcome.curves);
+    }
+}

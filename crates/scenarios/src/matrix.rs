@@ -20,10 +20,11 @@ use crate::registry::ScenarioRegistry;
 use crate::scenario::TopologySpec;
 use crate::ScenarioError;
 use nocem::clock::ClockMode;
+use nocem::compile::compute_routing;
 use nocem::config::EngineKind;
 use nocem::error::EmulationError;
 use nocem::results::EmulationResults;
-use nocem::sweep::{run_config, run_sweep_with, SweepPoint};
+use nocem::sweep::{compile_fault, run_config_routed, run_sweep_indexed, SweepPoint};
 use nocem_common::csv::CsvWriter;
 
 /// A `scenarios × topologies × loads × shards` experiment matrix.
@@ -79,9 +80,10 @@ pub struct MatrixRow {
     pub label: String,
     /// Wall-clock milliseconds the whole point took — compile /
     /// elaboration, the run, and results collection (the one matrix
-    /// column that is *not* deterministic). On huge topologies the
-    /// one-off elaboration can dominate; it is identical for every
-    /// engine kind.
+    /// column that is *not* deterministic). Routing tables are
+    /// computed once per (scenario, topology, load) group and shared
+    /// across its `shards` axis; that one-off cost is charged to the
+    /// group's first point.
     pub wall_ms: f64,
     /// The emulation results of the point.
     pub results: EmulationResults,
@@ -232,9 +234,15 @@ impl MatrixSpec {
     /// Expands and runs the matrix over up to `threads` workers.
     ///
     /// Each point runs on the engine its shard count names (through
-    /// `nocem::sweep::run_config`) and is individually wall-clocked.
-    /// When timing sharded-vs-single speedups, run with `threads = 1`
-    /// so concurrent points do not steal the shard workers' cores.
+    /// `nocem::sweep::run_config_routed`) and is individually
+    /// wall-clocked. Across the `shards` axis the (scenario, topology,
+    /// load) platform is identical, so its routing tables — route
+    /// computation plus the deadlock check, which dominate elaboration
+    /// on huge meshes — are computed **once per shard group** and
+    /// reused for every shard count; the one-off routing cost is
+    /// charged to the group's first point's `wall_ms`. When timing
+    /// sharded-vs-single speedups, run with `threads = 1` so
+    /// concurrent points do not steal the shard workers' cores.
     ///
     /// # Errors
     ///
@@ -246,23 +254,60 @@ impl MatrixSpec {
         threads: usize,
     ) -> Result<MatrixOutcome, MatrixError> {
         let (meta, points, skipped) = self.expand_with_meta(registry)?;
-        let outcomes = run_sweep_with(&points, threads, |point| {
-            let started = std::time::Instant::now();
-            run_config(&point.config).map(|results| (results, started.elapsed()))
+        // The shards axis is the innermost expansion loop, so the
+        // points of one (scenario, topology, load) group — identical
+        // platforms on different engines — are consecutive. One sweep
+        // unit per group keeps the parallel scheduling and
+        // input-order failure semantics of `run_sweep_with` while the
+        // group shares its elaborated routing.
+        let mut groups: Vec<(usize, usize)> = Vec::new(); // (start, len)
+        for (i, m) in meta.iter().enumerate() {
+            match groups.last_mut() {
+                Some(&mut (start, ref mut len))
+                    if (&meta[start].0, &meta[start].1, meta[start].2) == (&m.0, &m.1, m.2) =>
+                {
+                    *len += 1;
+                }
+                _ => groups.push((i, 1)),
+            }
+        }
+        let group_points: Vec<SweepPoint> = groups
+            .iter()
+            .map(|&(start, _)| points[start].clone())
+            .collect();
+        let outcomes = run_sweep_indexed(&group_points, threads, |g, group| {
+            let (start, len) = groups[g];
+            let members = &points[start..start + len];
+            let routing_started = std::time::Instant::now();
+            let routing =
+                compute_routing(&group.config).map_err(|e| compile_fault(&group.config, e))?;
+            let mut routing_ms = routing_started.elapsed().as_secs_f64() * 1e3;
+            let mut outs = Vec::with_capacity(len);
+            for member in members {
+                let started = std::time::Instant::now();
+                let results = run_config_routed(&member.config, Some(&routing))?;
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3 + routing_ms;
+                routing_ms = 0.0; // charged once, to the first member
+                outs.push((results, wall_ms));
+            }
+            Ok::<_, EmulationError>(outs)
         })?;
-        // `run_sweep_with` returns outcomes in input order, so they
-        // zip positionally with the expansion metadata.
+        // `run_sweep_with` returns outcomes in input order and groups
+        // are consecutive expansion runs, so flattening zips
+        // positionally with the expansion metadata.
         let rows = outcomes
             .into_iter()
+            .flat_map(|(_, outs)| outs)
+            .zip(points)
             .zip(meta)
             .map(
-                |((label, (results, elapsed)), (scenario, topology, load, shards))| MatrixRow {
+                |(((results, wall_ms), point), (scenario, topology, load, shards))| MatrixRow {
                     scenario,
                     topology,
                     load,
                     shards,
-                    label,
-                    wall_ms: elapsed.as_secs_f64() * 1e3,
+                    label: point.label,
+                    wall_ms,
                     results,
                 },
             )
@@ -497,6 +542,74 @@ mod tests {
         let csv = outcome.to_csv();
         assert!(csv.contains("shards"));
         assert!(csv.contains("wall_ms"));
+    }
+
+    #[test]
+    fn shard_groups_share_routing_without_reordering_rows() {
+        // Two loads x two shard counts: four points in two routing
+        // groups. Rows must come back in expansion order (shards
+        // innermost), with the sharded result identical to its
+        // group's single-threaded baseline.
+        let reg = ScenarioRegistry::builtin();
+        let spec = MatrixSpec {
+            scenarios: vec!["tornado".into()],
+            topologies: vec![TopologySpec::Mesh {
+                width: 4,
+                height: 4,
+            }],
+            loads: vec![0.05, 0.10],
+            shards: vec![1, 2],
+            packet_flits: 2,
+            packets_per_point: 48,
+            clock_mode: ClockMode::EveryCycle,
+        };
+        let outcome = spec.run(&reg, 3).unwrap();
+        let labels: Vec<&str> = outcome.rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "tornado@mesh4x4@0.05",
+                "tornado@mesh4x4@0.05@s2",
+                "tornado@mesh4x4@0.1",
+                "tornado@mesh4x4@0.1@s2",
+            ]
+        );
+        for pair in outcome.rows.chunks(2) {
+            assert_eq!(pair[0].results, pair[1].results, "{}", pair[1].label);
+        }
+        // The two loads genuinely differ (distinct seeds and gaps).
+        assert_ne!(
+            outcome.rows[0].results.cycles,
+            outcome.rows[2].results.cycles
+        );
+    }
+
+    #[test]
+    fn duplicate_axis_values_keep_their_own_rows() {
+        // Regression: group lookup used to key on the raw point
+        // label, so a repeated axis value (two identical loads here)
+        // made both groups run the last group's members and
+        // misattribute results.
+        let reg = ScenarioRegistry::builtin();
+        let spec = MatrixSpec {
+            scenarios: vec!["tornado".into()],
+            topologies: vec![TopologySpec::Mesh {
+                width: 2,
+                height: 2,
+            }],
+            loads: vec![0.10, 0.10],
+            shards: vec![1],
+            packet_flits: 2,
+            packets_per_point: 40,
+            clock_mode: ClockMode::EveryCycle,
+        };
+        let outcome = spec.run(&reg, 2).unwrap();
+        assert_eq!(outcome.rows.len(), 2);
+        for row in &outcome.rows {
+            assert_eq!(row.label, "tornado@mesh2x2@0.1");
+            assert_eq!(row.results.delivered, 40, "both duplicates really ran");
+        }
+        assert_eq!(outcome.rows[0].results, outcome.rows[1].results);
     }
 
     #[test]

@@ -136,9 +136,95 @@ impl CongestionCounter {
     }
 }
 
+/// Per-virtual-channel buffer occupancy watermarks.
+///
+/// Every switch tracks, per VC index, the highest fill level (in
+/// flits) any of its per-VC input FIFOs reached; this accumulator
+/// max-merges those watermarks across switches (and across shard
+/// snapshots) into one platform-wide view. A VC that stays near its
+/// FIFO depth for the whole run is the congestion hot spot the curve
+/// CSVs surface as `max_vc_occupancy`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VcOccupancy {
+    max_per_vc: Vec<u64>,
+}
+
+impl VcOccupancy {
+    /// Creates zeroed watermarks for `num_vcs` virtual channels.
+    pub fn new(num_vcs: usize) -> Self {
+        VcOccupancy {
+            max_per_vc: vec![0; num_vcs],
+        }
+    }
+
+    /// Number of virtual channels tracked.
+    pub fn num_vcs(&self) -> usize {
+        self.max_per_vc.len()
+    }
+
+    /// Raises the watermark of `vc` to at least `occupancy` (growing
+    /// the VC axis on demand).
+    pub fn record(&mut self, vc: usize, occupancy: u64) {
+        if vc >= self.max_per_vc.len() {
+            self.max_per_vc.resize(vc + 1, 0);
+        }
+        self.max_per_vc[vc] = self.max_per_vc[vc].max(occupancy);
+    }
+
+    /// Max-merges another accumulator (VC axes may differ in length).
+    pub fn merge(&mut self, other: &VcOccupancy) {
+        for (vc, &m) in other.max_per_vc.iter().enumerate() {
+            self.record(vc, m);
+        }
+    }
+
+    /// Watermark of one VC (0 for untracked VCs).
+    pub fn max_of(&self, vc: usize) -> u64 {
+        self.max_per_vc.get(vc).copied().unwrap_or(0)
+    }
+
+    /// Highest watermark over every VC.
+    pub fn overall_max(&self) -> u64 {
+        self.max_per_vc.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The per-VC watermarks, indexed by VC.
+    pub fn per_vc(&self) -> &[u64] {
+        &self.max_per_vc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn vc_occupancy_records_watermarks() {
+        let mut o = VcOccupancy::new(2);
+        assert_eq!(o.num_vcs(), 2);
+        o.record(0, 3);
+        o.record(0, 1); // lower: no change
+        o.record(1, 4);
+        assert_eq!(o.max_of(0), 3);
+        assert_eq!(o.max_of(1), 4);
+        assert_eq!(o.overall_max(), 4);
+        assert_eq!(o.per_vc(), &[3, 4]);
+        assert_eq!(o.max_of(7), 0, "untracked VCs read as empty");
+    }
+
+    #[test]
+    fn vc_occupancy_grows_and_merges() {
+        let mut a = VcOccupancy::new(1);
+        a.record(0, 2);
+        let mut b = VcOccupancy::new(3);
+        b.record(0, 1);
+        b.record(2, 5);
+        a.merge(&b);
+        assert_eq!(a.num_vcs(), 3);
+        assert_eq!(a.per_vc(), &[2, 0, 5]);
+        let empty = VcOccupancy::default();
+        assert_eq!(empty.overall_max(), 0);
+    }
 
     #[test]
     fn rates() {

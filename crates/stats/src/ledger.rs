@@ -71,6 +71,35 @@ pub struct PacketLatency {
     pub total: u64,
 }
 
+/// One packet's full lifecycle as recorded by the ledger — the raw
+/// material of windowed (warm-up-discarding) measurement
+/// ([`crate::window`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// The packet.
+    pub id: PacketId,
+    /// Release cycle (traffic model emitted the request).
+    pub release: Cycle,
+    /// Packet length in flits.
+    pub len_flits: u16,
+    /// Head-flit injection cycle (`None` while queued at the source).
+    pub inject: Option<Cycle>,
+    /// Tail-flit delivery cycle (`None` while in flight).
+    pub deliver: Option<Cycle>,
+}
+
+impl PacketRecord {
+    /// Network latency (injection → delivery), when delivered.
+    pub fn network_latency(&self) -> Option<u64> {
+        Some(self.deliver?.since(self.inject?))
+    }
+
+    /// Total latency (release → delivery), when delivered.
+    pub fn total_latency(&self) -> Option<u64> {
+        Some(self.deliver?.since(self.release))
+    }
+}
+
 /// Dense packet accounting keyed by [`PacketId`] (ids are assigned
 /// contiguously from zero by the engine).
 ///
@@ -213,6 +242,20 @@ impl PacketLedger {
         &self.total_latency
     }
 
+    /// Iterates the lifecycle record of every registered packet, in
+    /// packet-id order.
+    pub fn records(&self) -> impl Iterator<Item = PacketRecord> + '_ {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.map(|e| PacketRecord {
+                id: PacketId::new(i as u64),
+                release: e.release,
+                len_flits: e.len_flits,
+                inject: e.inject,
+                deliver: e.deliver,
+            })
+        })
+    }
+
     /// Verifies full conservation at end of run: everything released
     /// was delivered.
     ///
@@ -317,6 +360,23 @@ mod tests {
         l.release(PacketId::new(0), Cycle::ZERO, 1).unwrap();
         assert!(l.verify_drained().is_err());
         assert_eq!(l.in_flight(), 1);
+    }
+
+    #[test]
+    fn records_expose_lifecycles_in_id_order() {
+        let mut l = PacketLedger::new();
+        l.release(PacketId::new(0), Cycle::new(2), 3).unwrap();
+        l.release(PacketId::new(1), Cycle::new(5), 1).unwrap();
+        l.inject(PacketId::new(0), Cycle::new(4)).unwrap();
+        l.deliver(PacketId::new(0), Cycle::new(10), 3).unwrap();
+        let recs: Vec<_> = l.records().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, PacketId::new(0));
+        assert_eq!(recs[0].network_latency(), Some(6));
+        assert_eq!(recs[0].total_latency(), Some(8));
+        assert_eq!(recs[1].inject, None);
+        assert_eq!(recs[1].network_latency(), None);
+        assert_eq!(recs[1].total_latency(), None);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   [`receptor::TraceReceptor`];
 //! * [`ledger`] — end-to-end packet accounting (release / inject /
 //!   deliver) with conservation checks, the backbone of the
-//!   correctness test suite.
+//!   correctness test suite;
+//! * [`window`] — steady-state measurement windows (warm-up discard,
+//!   windowed latency quantiles and accepted throughput) over the
+//!   ledger, the substrate of the latency–throughput curve harness.
 //!
 //! # Examples
 //!
@@ -42,14 +45,16 @@ pub mod histogram;
 pub mod latency;
 pub mod ledger;
 pub mod receptor;
+pub mod window;
 
-pub use congestion::CongestionCounter;
+pub use congestion::{CongestionCounter, VcOccupancy};
 pub use histogram::{Histogram, Log2Histogram};
 pub use latency::LatencyAnalyzer;
-pub use ledger::{LedgerError, PacketLatency, PacketLedger};
+pub use ledger::{LedgerError, PacketLatency, PacketLedger, PacketRecord};
 pub use receptor::{
     CompletedPacket, Reassembler, ReceiveError, ReceptorCounters, StochasticReceptor, TraceReceptor,
 };
+pub use window::{LatencyKind, Window, WindowStats};
 
 /// Which receptor flavour a device is (drives the FPGA area model and
 /// report labels, mirroring the generator-side `TgKind`).

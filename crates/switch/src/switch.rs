@@ -194,17 +194,22 @@ pub struct SwitchCounters {
     pub forwarded_per_output: Vec<u64>,
     /// Cycles each output actually transferred a flit (utilization).
     pub busy_cycles_per_output: Vec<u64>,
+    /// Highest fill level (in flits) any input FIFO of each virtual
+    /// channel reached, indexed by VC — the per-VC congestion
+    /// watermark the latency-throughput curves report.
+    pub max_vc_occupancy: Vec<u64>,
     /// decide() invocations (cycles observed).
     pub cycles: u64,
 }
 
 impl SwitchCounters {
-    fn new(inputs: usize, outputs: usize) -> Self {
+    fn new(inputs: usize, outputs: usize, vcs: usize) -> Self {
         SwitchCounters {
             blocked_cycles_per_input: vec![0; inputs],
             blocked_cycles_per_output: vec![0; outputs],
             forwarded_per_output: vec![0; outputs],
             busy_cycles_per_output: vec![0; outputs],
+            max_vc_occupancy: vec![0; vcs],
             ..SwitchCounters::default()
         }
     }
@@ -422,7 +427,7 @@ impl Switch {
             input_taken: vec![false; inputs],
             granted: vec![None; outputs],
             forwarded_per_input: vec![0; inputs],
-            counters: SwitchCounters::new(inputs, outputs),
+            counters: SwitchCounters::new(inputs, outputs, vcs),
             routes,
             config,
         })
@@ -721,7 +726,14 @@ impl Switch {
             flit.vc,
             self.config.num_vcs
         );
-        self.fifos[input.index()][flit.vc.index()].push(flit)
+        let vc = flit.vc.index();
+        let fifo = &mut self.fifos[input.index()][vc];
+        fifo.push(flit)?;
+        let occ = fifo.len() as u64;
+        if occ > self.counters.max_vc_occupancy[vc] {
+            self.counters.max_vc_occupancy[vc] = occ;
+        }
+        Ok(())
     }
 
     /// Phase 2b: the downstream buffer of VC `vc` of `output` freed
@@ -1132,10 +1144,10 @@ mod tests {
 
     #[test]
     fn blocked_share_computation() {
-        let mut c = SwitchCounters::new(1, 1);
+        let mut c = SwitchCounters::new(1, 1, 1);
         c.blocked_cycles_per_input[0] = 3;
         assert!((c.input_blocked_share(PortId::new(0), 7) - 0.3).abs() < 1e-9);
-        let empty = SwitchCounters::new(1, 1);
+        let empty = SwitchCounters::new(1, 1, 1);
         assert_eq!(empty.input_blocked_share(PortId::new(0), 0), 0.0);
     }
 
@@ -1218,6 +1230,37 @@ mod tests {
         sw.accept(PortId::new(0), packet(1, 0, 1)[0]).unwrap();
         assert_eq!(sw.occupancy(PortId::new(0)), 1);
         assert_eq!(sw.occupancy_vc(PortId::new(0), VcId::ZERO), 1);
+    }
+
+    #[test]
+    fn max_vc_occupancy_tracks_the_watermark() {
+        let mut sw = simple_switch();
+        assert_eq!(sw.counters().max_vc_occupancy, vec![0]);
+        // Fill VC 0 of input 0 to 3 flits, then drain completely: the
+        // watermark keeps the peak, not the final occupancy.
+        for f in packet(1, 0, 3) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        assert_eq!(sw.counters().max_vc_occupancy, vec![3]);
+        for _ in 0..3 {
+            cycle(&mut sw);
+        }
+        assert!(sw.is_idle());
+        assert_eq!(sw.counters().max_vc_occupancy, vec![3]);
+        // A later shallower burst does not lower it.
+        sw.accept(PortId::new(1), packet(2, 1, 1)[0]).unwrap();
+        assert_eq!(sw.counters().max_vc_occupancy, vec![3]);
+    }
+
+    #[test]
+    fn max_vc_occupancy_is_per_vc() {
+        let mut sw = two_vc_switch();
+        sw.accept(PortId::new(0), packet_on_vc(1, 0, 1, 0)[0])
+            .unwrap();
+        for f in packet_on_vc(2, 1, 2, 1) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        assert_eq!(sw.counters().max_vc_occupancy, vec![1, 2]);
     }
 
     #[test]
