@@ -18,20 +18,29 @@
 //! change how fast the sweep finishes. Results land in
 //! `results/latency_curves.csv`.
 //!
+//! Every point runs with **windowed telemetry** enabled (W = 1024),
+//! so besides `latency_curves.csv` the sweep emits
+//! `results/link_heat.csv` — the per-point top-k most-blocked links
+//! that localize each curve's bottleneck.
+//!
 //! `--smoke` (the CI configuration) runs the mesh4x4 uniform_random
 //! curve with the coarse ramp only and asserts that the search
-//! terminates and that accepted throughput is monotone non-decreasing
-//! below the saturation point. `NOCEM_QUICK=1` shrinks the
-//! measurement windows.
+//! terminates, that accepted throughput is monotone non-decreasing
+//! below the saturation point, that the hottest link of the
+//! saturated point crosses a bisection of the mesh, and that the
+//! telemetry overhead stays under the CI bound (typical overhead at
+//! W = 1024 is under 5%; CI asserts ≤ 25% to absorb shared-runner
+//! noise). `NOCEM_QUICK=1` shrinks the measurement windows.
 
 use nocem::clock::ClockMode;
 use nocem::config::EngineKind;
 use nocem_common::table::{Align, TextTable};
-use nocem_curves::measure::MeasureConfig;
+use nocem_curves::measure::{measure_config, MeasureConfig};
 use nocem_curves::runner::{run_curve_specs, CurveSetOutcome};
-use nocem_curves::search::{CurveSpec, SearchConfig};
+use nocem_curves::search::{Curve, CurveSpec, SearchConfig};
 use nocem_scenarios::registry::ScenarioRegistry;
 use nocem_scenarios::scenario::TopologySpec;
+use nocem_telemetry::TelemetryConfig;
 
 fn measure_windows() -> MeasureConfig {
     if nocem_bench::quick_mode() {
@@ -47,8 +56,108 @@ fn measure_windows() -> MeasureConfig {
     }
 }
 
+/// Telemetry overhead bound the CI smoke asserts. The typical
+/// overhead of W = 1024 windowed probing is under 5% (one
+/// counters-snapshot every 1024 cycles); the asserted bound is far
+/// looser because shared CI runners time noisily.
+const SMOKE_OVERHEAD_BOUND: f64 = 0.25;
+
+/// Asserts the paper-classic localization result: on a mesh under
+/// uniform-random traffic past saturation, the most-blocked link is an
+/// inter-switch link crossing a bisection of the grid (for XY routing
+/// the vertical cut, where every x-traversal funnels through).
+fn assert_top_link_crosses_bisection(curve: &Curve) {
+    let topo = curve.topology.build().expect("mesh builds");
+    let grid = topo.grid().expect("mesh carries grid metadata").clone();
+    let point = curve.points.last().expect("measured points");
+    assert!(point.saturated, "the ramp must end on a saturated point");
+    let tel = point
+        .measurement
+        .telemetry
+        .as_ref()
+        .expect("smoke runs with telemetry on");
+    let hot = tel.hottest().expect("a saturated mesh blocks somewhere");
+    let link = topo.link(hot.link);
+    let (a, b) = match (link.from_switch(), link.to_switch()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => panic!("hottest link {} is not inter-switch", hot.link),
+    };
+    let (ax, ay) = grid.coords(a);
+    let (bx, by) = grid.coords(b);
+    let crosses_x = (ax < grid.width / 2) != (bx < grid.width / 2);
+    let crosses_y = (ay < grid.height / 2) != (by < grid.height / 2);
+    assert!(
+        crosses_x || crosses_y,
+        "hottest link s{}({ax},{ay})->s{}({bx},{by}) does not cross a bisection",
+        a.raw(),
+        b.raw(),
+    );
+    println!(
+        "smoke OK: hottest link s{}->s{} crosses the bisection \
+         (blocked {} cycles, rate {:.3})",
+        a.raw(),
+        b.raw(),
+        hot.blocked,
+        hot.rate()
+    );
+}
+
+/// Measures the wall-clock overhead of W = 1024 windowed telemetry on
+/// one mesh4x4 load point (best of three runs each way) and asserts
+/// it stays under [`SMOKE_OVERHEAD_BOUND`].
+fn assert_overhead_under_bound() {
+    let registry = ScenarioRegistry::builtin();
+    let measure = MeasureConfig {
+        warmup_cycles: 512,
+        measure_cycles: 8_192,
+    };
+    let base_cfg = registry
+        .resolve("uniform_random")
+        .expect("builtin scenario")
+        .build_config(
+            TopologySpec::Mesh {
+                width: 4,
+                height: 4,
+            },
+            0.30,
+            4,
+            1_000_000,
+        )
+        .expect("uniform_random applies to mesh4x4");
+    let mut telemetry_cfg = base_cfg.clone();
+    telemetry_cfg.telemetry = Some(TelemetryConfig::windowed(1024));
+    let time_best_of = |cfg: &nocem::PlatformConfig| {
+        (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let m = measure_config(cfg, None, &measure, 0.30).expect("point measures");
+                assert!(m.packets_measured > 0);
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::MAX, f64::min)
+    };
+    let off = time_best_of(&base_cfg);
+    let on = time_best_of(&telemetry_cfg);
+    let overhead = (on - off) / off;
+    println!(
+        "smoke: telemetry overhead at W=1024: {:.1}% (off {:.3}s, on {:.3}s; bound {:.0}%)",
+        overhead * 100.0,
+        off,
+        on,
+        SMOKE_OVERHEAD_BOUND * 100.0
+    );
+    assert!(
+        overhead <= SMOKE_OVERHEAD_BOUND,
+        "telemetry overhead {:.1}% exceeds the {:.0}% CI bound",
+        overhead * 100.0,
+        SMOKE_OVERHEAD_BOUND * 100.0
+    );
+}
+
 /// The CI smoke configuration: mesh4x4 uniform_random, coarse ramp
-/// only. Asserts the controller's two load-bearing promises.
+/// only, telemetry on. Asserts the controller's two load-bearing
+/// promises plus the observability ones (bisection bottleneck,
+/// bounded overhead).
 fn smoke() {
     let registry = ScenarioRegistry::builtin();
     let spec = CurveSpec {
@@ -60,6 +169,7 @@ fn smoke() {
             bisect: false,
             ..SearchConfig::default()
         },
+        telemetry: Some(TelemetryConfig::windowed(256)),
         ..CurveSpec::new(
             "uniform_random",
             TopologySpec::Mesh {
@@ -100,6 +210,8 @@ fn smoke() {
         );
     }
     println!("smoke OK: monotone accepted throughput below saturation");
+    assert_top_link_crosses_bisection(&curve);
+    assert_overhead_under_bound();
 }
 
 fn main() {
@@ -141,6 +253,7 @@ fn main() {
                 engine,
                 clock_mode: ClockMode::Gated,
                 measure,
+                telemetry: Some(TelemetryConfig::windowed(1024)),
                 ..CurveSpec::new(scenario, topology)
             });
         }
@@ -156,6 +269,7 @@ fn main() {
         "saturation load",
         "accepted@stable",
         "zero-load latency",
+        "hottest link",
     ]);
     table.title("Latency-throughput curves — saturation summary".to_string());
     for c in 1..6 {
@@ -175,6 +289,7 @@ fn main() {
             format!("{:.3}", s.accepted_at_stable),
             s.zero_load_latency
                 .map_or_else(|| "-".into(), |l| format!("{l:.1}")),
+            hottest_link_name(curve),
         ]);
     }
     println!("{table}");
@@ -185,4 +300,24 @@ fn main() {
     };
     let path = nocem_bench::save_csv("latency_curves.csv", &outcome.to_csv());
     println!("data written to {}", path.display());
+    let heat_path = nocem_bench::save_csv("link_heat.csv", &outcome.link_heat_csv());
+    println!("link heat written to {}", heat_path.display());
+}
+
+/// The most-blocked link of a curve's highest-load point, rendered
+/// `s<a>-><b>` (`-` when telemetry was off or nothing blocked).
+fn hottest_link_name(curve: &Curve) -> String {
+    let hot = curve
+        .points
+        .last()
+        .and_then(|p| p.measurement.telemetry.as_ref())
+        .and_then(|t| t.hottest());
+    let (Some(hot), Ok(topo)) = (hot, curve.topology.build()) else {
+        return "-".into();
+    };
+    let link = topo.link(hot.link);
+    match (link.from_switch(), link.to_switch()) {
+        (Some(a), Some(b)) => format!("{a}->{b}"),
+        _ => hot.link.to_string(),
+    }
 }

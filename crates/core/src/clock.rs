@@ -254,6 +254,22 @@ pub trait SteppableEngine {
     /// Snapshot of the packet ledger (for exact per-packet
     /// equivalence checks).
     fn packet_ledger(&self) -> PacketLedger;
+
+    /// The windowed telemetry collector, when the config enabled one.
+    ///
+    /// Engines probe their counters at window boundaries inside
+    /// [`SteppableEngine::step`] — always at the *start* of the cycle,
+    /// after any clock-gated fast-forward — so the collector's series
+    /// are engine-invariant without callers doing anything.
+    fn telemetry(&self) -> Option<&nocem_telemetry::Collector> {
+        None
+    }
+
+    /// Flushes the trailing partial telemetry window and freezes the
+    /// collector (no-op without telemetry or when already sealed).
+    /// Call once the run (or measurement interval) is over; after
+    /// sealing, series totals equal the lifetime counters.
+    fn seal_telemetry(&mut self) {}
 }
 
 /// Runs any engine to its stop condition.

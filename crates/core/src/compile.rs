@@ -352,6 +352,11 @@ pub fn elaborate_routed(
         map.allocate(DeviceClass::Switch, format!("sw{}", s.raw()))
             .map_err(|_| CompileError::AddressMapFull)?;
     }
+    // The telemetry monitor always occupies the slot after the
+    // switches (reads return zeros while telemetry is disabled), so
+    // software can locate it without knowing the run configuration.
+    map.allocate(DeviceClass::Monitor, "mon")
+        .map_err(|_| CompileError::AddressMapFull)?;
 
     // Wiring lookups.
     let mut receptor_of_endpoint = vec![None; topo.endpoint_count()];
@@ -470,7 +475,11 @@ mod tests {
         assert_eq!(e.tgs.len(), 4);
         assert_eq!(e.receptors.len(), 4);
         assert_eq!(e.nis.len(), 4);
-        assert_eq!(e.map.devices().len(), 1 + 4 + 4 + 6);
+        assert_eq!(
+            e.map.devices().len(),
+            1 + 4 + 4 + 6 + 1,
+            "ctrl + tgs + trs + switches + monitor"
+        );
         e.ensure_not_overloaded().unwrap();
         // The hot links are predicted at 90%.
         let loads = e.predicted_loads.as_ref().unwrap();

@@ -160,6 +160,10 @@ pub struct PlatformConfig {
     /// Which engine executes the platform (single-threaded or
     /// sharded across worker threads; cycle-equivalent either way).
     pub engine: EngineKind,
+    /// Windowed telemetry collection (`None` = off, the default: no
+    /// probe overhead). When set, every engine records per-link
+    /// forwarded/blocked and per-VC occupancy series.
+    pub telemetry: Option<nocem_telemetry::TelemetryConfig>,
 }
 
 impl PlatformConfig {
@@ -206,6 +210,7 @@ impl PlatformConfig {
             record_trace: false,
             clock_mode: ClockMode::default(),
             engine: EngineKind::default(),
+            telemetry: None,
         })
     }
 
@@ -220,6 +225,14 @@ impl PlatformConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enables (or disables) windowed telemetry (builder-style
+    /// convenience).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Option<nocem_telemetry::TelemetryConfig>) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -347,6 +360,7 @@ impl PaperConfig {
             record_trace: false,
             clock_mode: ClockMode::default(),
             engine: EngineKind::default(),
+            telemetry: None,
         }
     }
 

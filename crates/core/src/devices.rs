@@ -385,6 +385,110 @@ pub(crate) fn switch_read(e: &mut Emulation, i: usize, addr: Address) -> Result<
     Ok(value)
 }
 
+/// Telemetry monitor registers.
+///
+/// The monitor exposes the windowed congestion collector to the
+/// emulated software: select a link via `REG_SELECT`, then poll its
+/// most recent window and lifetime totals; `REG_HOT_*` shortcut to
+/// the most blocked link without scanning. All counters read as zero
+/// while telemetry is disabled (`REG_WINDOW == 0` tells software so).
+pub mod monreg {
+    /// Telemetry window length in cycles; 0 = telemetry disabled.
+    pub const REG_WINDOW: u16 = 0x0;
+    /// Windows recorded so far (saturates at `u32::MAX`).
+    pub const REG_WINDOWS: u16 = 0x1;
+    /// Number of links in the topology.
+    pub const REG_LINKS: u16 = 0x2;
+    /// Link selector for the `LAST_*`/`TOTAL_*` registers (RW).
+    pub const REG_SELECT: u16 = 0x3;
+    /// Selected link: flits forwarded in the last window, low half.
+    pub const REG_LAST_FORWARDED_LO: u16 = 0x4;
+    /// Selected link: flits forwarded in the last window, high half.
+    pub const REG_LAST_FORWARDED_HI: u16 = 0x5;
+    /// Selected link: blocked cycles in the last window, low half.
+    pub const REG_LAST_BLOCKED_LO: u16 = 0x6;
+    /// Selected link: blocked cycles in the last window, high half.
+    pub const REG_LAST_BLOCKED_HI: u16 = 0x7;
+    /// Selected link: lifetime flits forwarded, low half.
+    pub const REG_TOTAL_FORWARDED_LO: u16 = 0x8;
+    /// Selected link: lifetime flits forwarded, high half.
+    pub const REG_TOTAL_FORWARDED_HI: u16 = 0x9;
+    /// Selected link: lifetime blocked cycles, low half.
+    pub const REG_TOTAL_BLOCKED_LO: u16 = 0xA;
+    /// Selected link: lifetime blocked cycles, high half.
+    pub const REG_TOTAL_BLOCKED_HI: u16 = 0xB;
+    /// Link id with the most lifetime blocked cycles.
+    pub const REG_HOT_LINK: u16 = 0xC;
+    /// Blocked cycles of the hottest link, low half.
+    pub const REG_HOT_BLOCKED_LO: u16 = 0xD;
+    /// Blocked cycles of the hottest link, high half.
+    pub const REG_HOT_BLOCKED_HI: u16 = 0xE;
+    /// Register count of the monitor device.
+    pub const MON_REG_COUNT: u16 = 0xF;
+}
+
+pub(crate) fn monitor_read(e: &mut Emulation, addr: Address) -> Result<u32, BusError> {
+    let reg = addr.reg();
+    if reg >= monreg::MON_REG_COUNT {
+        return Err(BusError::RegisterOutOfRange {
+            addr,
+            regs: monreg::MON_REG_COUNT,
+        });
+    }
+    let links = crate::engine::elab(e).config.topology.link_count() as u32;
+    let select = crate::engine::monitor_select(e);
+    if reg == monreg::REG_LINKS {
+        return Ok(links);
+    }
+    if reg == monreg::REG_SELECT {
+        return Ok(select);
+    }
+    let Some(t) = crate::engine::telemetry_of(e) else {
+        return Ok(0);
+    };
+    let sel = nocem_common::ids::LinkId::new(select);
+    let hot = t.hottest();
+    let value = match reg {
+        monreg::REG_WINDOW => t.window_cycles() as u32,
+        monreg::REG_WINDOWS => t.windows_recorded().min(u64::from(u32::MAX)) as u32,
+        monreg::REG_LAST_FORWARDED_LO => t.last_forwarded(sel) as u32,
+        monreg::REG_LAST_FORWARDED_HI => (t.last_forwarded(sel) >> 32) as u32,
+        monreg::REG_LAST_BLOCKED_LO => t.last_blocked(sel) as u32,
+        monreg::REG_LAST_BLOCKED_HI => (t.last_blocked(sel) >> 32) as u32,
+        monreg::REG_TOTAL_FORWARDED_LO => t.total_forwarded(sel) as u32,
+        monreg::REG_TOTAL_FORWARDED_HI => (t.total_forwarded(sel) >> 32) as u32,
+        monreg::REG_TOTAL_BLOCKED_LO => t.total_blocked(sel) as u32,
+        monreg::REG_TOTAL_BLOCKED_HI => (t.total_blocked(sel) >> 32) as u32,
+        monreg::REG_HOT_LINK => hot.map_or(0, |h| h.link.raw()),
+        monreg::REG_HOT_BLOCKED_LO => hot.map_or(0, |h| h.blocked as u32),
+        monreg::REG_HOT_BLOCKED_HI => hot.map_or(0, |h| (h.blocked >> 32) as u32),
+        _ => unreachable!("range checked above"),
+    };
+    Ok(value)
+}
+
+pub(crate) fn monitor_write(e: &mut Emulation, addr: Address, value: u32) -> Result<(), BusError> {
+    let reg = addr.reg();
+    if reg >= monreg::MON_REG_COUNT {
+        return Err(BusError::RegisterOutOfRange {
+            addr,
+            regs: monreg::MON_REG_COUNT,
+        });
+    }
+    if reg != monreg::REG_SELECT {
+        return Err(BusError::ReadOnly(addr));
+    }
+    let links = crate::engine::elab(e).config.topology.link_count() as u32;
+    if value >= links {
+        return Err(BusError::InvalidValue {
+            addr,
+            reason: format!("link {value} out of range (topology has {links} links)"),
+        });
+    }
+    crate::engine::set_monitor_select(e, value);
+    Ok(())
+}
+
 // --- Typed drivers (the "software part") ------------------------------
 
 /// Driver for a traffic generator device.
@@ -552,6 +656,110 @@ impl SwitchDriver {
             self.base.reg(swreg::REG_BLOCKED_LO),
             self.base.reg(swreg::REG_BLOCKED_HI),
         )
+    }
+}
+
+/// Driver for the telemetry monitor device: the emulated software's
+/// window into the hot-link statistics while the run is in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorDriver {
+    base: DeviceAddr,
+}
+
+impl MonitorDriver {
+    /// Binds to the monitor device at `base`.
+    pub fn new(base: DeviceAddr) -> Self {
+        MonitorDriver { base }
+    }
+
+    /// The telemetry window length in cycles, or `None` when
+    /// telemetry is disabled on this platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn window<B: BusAccess>(&self, bus: &mut B) -> Result<Option<u64>, BusError> {
+        let w = bus.read(self.base.reg(monreg::REG_WINDOW))?;
+        Ok((w != 0).then_some(u64::from(w)))
+    }
+
+    /// Windows recorded so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn windows<B: BusAccess>(&self, bus: &mut B) -> Result<u32, BusError> {
+        bus.read(self.base.reg(monreg::REG_WINDOWS))
+    }
+
+    /// Number of links the monitor covers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn links<B: BusAccess>(&self, bus: &mut B) -> Result<u32, BusError> {
+        bus.read(self.base.reg(monreg::REG_LINKS))
+    }
+
+    /// Selects the link the `last_*`/`total_*` reads refer to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus (including
+    /// [`BusError::InvalidValue`] for an out-of-range link).
+    pub fn select<B: BusAccess>(&self, bus: &mut B, link: u32) -> Result<(), BusError> {
+        bus.write(self.base.reg(monreg::REG_SELECT), link)
+    }
+
+    /// Flits the selected link forwarded in the most recent window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn last_forwarded<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        let (lo, hi) = self.base.reg_u64(monreg::REG_LAST_FORWARDED_LO);
+        bus.read_u64(lo, hi)
+    }
+
+    /// Blocked cycles of the selected link in the most recent window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn last_blocked<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        let (lo, hi) = self.base.reg_u64(monreg::REG_LAST_BLOCKED_LO);
+        bus.read_u64(lo, hi)
+    }
+
+    /// Lifetime flits forwarded on the selected link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn total_forwarded<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        let (lo, hi) = self.base.reg_u64(monreg::REG_TOTAL_FORWARDED_LO);
+        bus.read_u64(lo, hi)
+    }
+
+    /// Lifetime blocked cycles on the selected link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn total_blocked<B: BusAccess>(&self, bus: &mut B) -> Result<u64, BusError> {
+        let (lo, hi) = self.base.reg_u64(monreg::REG_TOTAL_BLOCKED_LO);
+        bus.read_u64(lo, hi)
+    }
+
+    /// The most blocked link and its lifetime blocked cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusError`] from the bus.
+    pub fn hottest<B: BusAccess>(&self, bus: &mut B) -> Result<(u32, u64), BusError> {
+        let link = bus.read(self.base.reg(monreg::REG_HOT_LINK))?;
+        let (lo, hi) = self.base.reg_u64(monreg::REG_HOT_BLOCKED_LO);
+        Ok((link, bus.read_u64(lo, hi)?))
     }
 }
 

@@ -34,6 +34,7 @@ use nocem_platform::control::ControlModule;
 use nocem_stats::congestion::CongestionCounter;
 use nocem_stats::ledger::PacketLedger;
 use nocem_stats::receptor::CompletedPacket;
+use nocem_telemetry::{Collector, CumulativeProbe, FlitEvent, FlitEventKind, FlitTracer};
 use nocem_traffic::generator::PacketRequest;
 use nocem_traffic::trace::{TraceEvent, TraceRecorder};
 
@@ -55,6 +56,12 @@ pub struct Emulation {
     cycles_skipped: u64,
     recorder: Option<TraceRecorder>,
     started: bool,
+    /// Windowed per-resource telemetry (None = off, no probe cost).
+    telemetry: Option<Collector>,
+    /// Bounded flit event tracer (opt-in via the telemetry config).
+    tracer: Option<FlitTracer>,
+    /// Link selected through the monitor device's `SELECT` register.
+    monitor_select: u32,
 }
 
 impl std::fmt::Debug for Emulation {
@@ -78,6 +85,19 @@ impl Emulation {
             .iter()
             .map(TgShadow::from_model)
             .collect();
+        let telemetry = elab.config.telemetry.as_ref().map(|t| {
+            Collector::new(
+                t,
+                elab.config.topology.link_count(),
+                usize::from(elab.config.switch.num_vcs),
+            )
+        });
+        let tracer = elab
+            .config
+            .telemetry
+            .as_ref()
+            .filter(|t| t.trace)
+            .map(|t| FlitTracer::new(t.trace_capacity));
         Emulation {
             generator_endpoints,
             ledger: PacketLedger::new(),
@@ -91,6 +111,9 @@ impl Emulation {
             cycles_skipped: 0,
             recorder,
             started: false,
+            telemetry,
+            tracer,
+            monitor_select: 0,
             elab,
         }
     }
@@ -156,6 +179,24 @@ impl Emulation {
             self.now += skipped;
             self.cycles_skipped += skipped;
         }
+        // Telemetry probe: at the start of the cycle, *after* the
+        // fast-forward, the cumulative counters reflect exactly the
+        // cycles [0, now) — the same prefix every engine sees here, so
+        // the recorded windows are engine- and clock-mode-invariant.
+        // A jump that crossed several boundaries records one zero
+        // sample per crossed boundary (nothing moves while quiescent).
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.needs_probe(self.now.raw()))
+        {
+            let probe = self.cumulative_probe();
+            let at = self.now.raw();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .record(at, &probe);
+        }
         let now = self.now;
         self.started = true;
 
@@ -170,6 +211,15 @@ impl Emulation {
                 Some(req) => {
                     self.pending[i] = Some(req);
                     self.stalled += 1;
+                    if let Some(tr) = &mut self.tracer {
+                        tr.record(FlitEvent {
+                            cycle: now.raw(),
+                            kind: FlitEventKind::Block,
+                            packet: None,
+                            switch: Some(self.elab.wiring.injection[i].0 as u32),
+                            link: None,
+                        });
+                    }
                     continue;
                 }
                 None => {
@@ -179,6 +229,15 @@ impl Emulation {
                     if !self.elab.nis[i].can_accept() {
                         self.pending[i] = Some(req);
                         self.stalled += 1;
+                        if let Some(tr) = &mut self.tracer {
+                            tr.record(FlitEvent {
+                                cycle: now.raw(),
+                                kind: FlitEventKind::Block,
+                                packet: None,
+                                switch: Some(self.elab.wiring.injection[i].0 as u32),
+                                link: None,
+                            });
+                        }
                         continue;
                     }
                     req
@@ -218,10 +277,19 @@ impl Emulation {
             let Some(flit) = self.elab.nis[i].tick_send() else {
                 continue;
             };
+            let (s, port, link) = self.elab.wiring.injection[i];
             if flit.kind.is_head() {
                 self.ledger.inject(flit.packet, now)?;
+                if let Some(tr) = &mut self.tracer {
+                    tr.record(FlitEvent {
+                        cycle: now.raw(),
+                        kind: FlitEventKind::Inject,
+                        packet: Some(flit.packet.raw()),
+                        switch: Some(s as u32),
+                        link: Some(link.raw()),
+                    });
+                }
             }
-            let (s, port, _) = self.elab.wiring.injection[i];
             self.elab.switches[s].accept(port, flit).map_err(|source| {
                 EmulationError::FifoOverflow {
                     switch: SwitchId::new(s as u32),
@@ -246,6 +314,19 @@ impl Emulation {
                 }
                 match self.elab.wiring.out_target[s][t.output.index()] {
                     OutTarget::Switch { switch, port } => {
+                        if let Some(tr) = &mut self.tracer {
+                            let link = self.elab.config.topology.out_link(
+                                SwitchId::new(s as u32),
+                                nocem_common::ids::PortId::new(t.output.index() as u8),
+                            );
+                            tr.record(FlitEvent {
+                                cycle: now.raw(),
+                                kind: FlitEventKind::Route,
+                                packet: Some(t.flit.packet.raw()),
+                                switch: Some(s as u32),
+                                link: Some(link.raw()),
+                            });
+                        }
                         self.elab.switches[switch]
                             .accept(port, t.flit)
                             .map_err(|source| EmulationError::FifoOverflow {
@@ -296,6 +377,15 @@ impl Emulation {
         if let Some(pkt) = completed {
             let lat = self.ledger.deliver(pkt.id, now, pkt.len_flits)?;
             self.delivered_flits += u64::from(pkt.len_flits);
+            if let Some(tr) = &mut self.tracer {
+                tr.record(FlitEvent {
+                    cycle: now.raw(),
+                    kind: FlitEventKind::Eject,
+                    packet: Some(pkt.id.raw()),
+                    switch: None,
+                    link: None,
+                });
+            }
             if let ReceptorDevice::Trace(r) = &mut self.elab.receptors[index] {
                 r.record_latency(lat.network, lat.total);
             }
@@ -442,6 +532,61 @@ impl Emulation {
         cc
     }
 
+    /// Snapshot of the cumulative per-link counters plus live per-VC
+    /// occupancy, in the source-side accounting of
+    /// [`Emulation::congestion`].
+    fn cumulative_probe(&self) -> CumulativeProbe {
+        let topo = &self.elab.config.topology;
+        let vcs = usize::from(self.elab.config.switch.num_vcs);
+        let mut p = CumulativeProbe::new(topo.link_count(), vcs);
+        for (s, sw) in self.elab.switches.iter().enumerate() {
+            let counters = sw.counters();
+            for o in 0..usize::from(sw.config().outputs) {
+                let link = topo.out_link(
+                    SwitchId::new(s as u32),
+                    nocem_common::ids::PortId::new(o as u8),
+                );
+                p.add_link(
+                    link,
+                    counters.blocked_cycles_per_output[o],
+                    counters.forwarded_per_output[o],
+                );
+            }
+            for v in 0..vcs {
+                p.add_vc(v, sw.occupancy_of_vc(nocem_common::ids::VcId::new(v as u8)));
+            }
+        }
+        for (i, ni) in self.elab.nis.iter().enumerate() {
+            let (_, _, link) = self.elab.wiring.injection[i];
+            let c = ni.counters();
+            p.add_link(link, c.blocked_cycles, c.injected_flits);
+        }
+        p
+    }
+
+    /// The windowed telemetry collector, when enabled.
+    pub fn telemetry(&self) -> Option<&Collector> {
+        self.telemetry.as_ref()
+    }
+
+    /// The bounded flit event trace, when tracing was enabled.
+    pub fn flit_trace(&self) -> Option<&FlitTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Flushes the trailing partial window and freezes the collector
+    /// (idempotent; no-op without telemetry).
+    pub fn seal_telemetry(&mut self) {
+        if self.telemetry.as_ref().is_some_and(|t| !t.is_sealed()) {
+            let probe = self.cumulative_probe();
+            let at = self.now.raw();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .seal(at, &probe);
+        }
+    }
+
     /// Extracts the results of a finished (or stopped) run.
     pub fn results(&self) -> EmulationResults {
         EmulationResults::collect(self)
@@ -482,6 +627,8 @@ impl Emulation {
             Ok((DeviceClass::TrafficReceptor, n - 1 - g))
         } else if n < 1 + g + r + s {
             Ok((DeviceClass::Switch, n - 1 - g - r))
+        } else if n == 1 + g + r + s {
+            Ok((DeviceClass::Monitor, 0))
         } else {
             Err(BusError::Unmapped(addr))
         }
@@ -526,6 +673,14 @@ impl SteppableEngine for Emulation {
     fn packet_ledger(&self) -> PacketLedger {
         self.ledger.clone()
     }
+
+    fn telemetry(&self) -> Option<&Collector> {
+        Emulation::telemetry(self)
+    }
+
+    fn seal_telemetry(&mut self) {
+        Emulation::seal_telemetry(self);
+    }
 }
 
 impl BusAccess for Emulation {
@@ -538,6 +693,7 @@ impl BusAccess for Emulation {
             (DeviceClass::TrafficGenerator, i) => devices::tg_read(self, i, addr),
             (DeviceClass::TrafficReceptor, i) => devices::tr_read(self, i, addr),
             (DeviceClass::Switch, i) => devices::switch_read(self, i, addr),
+            (DeviceClass::Monitor, _) => devices::monitor_read(self, addr),
         }
     }
 
@@ -556,6 +712,7 @@ impl BusAccess for Emulation {
             (DeviceClass::TrafficReceptor, _) | (DeviceClass::Switch, _) => {
                 Err(BusError::ReadOnly(addr))
             }
+            (DeviceClass::Monitor, _) => devices::monitor_write(self, addr, value),
         }
     }
 }
@@ -572,6 +729,18 @@ mod accessors {
 
     pub(crate) fn ledger_of(e: &Emulation) -> &PacketLedger {
         &e.ledger
+    }
+
+    pub(crate) fn telemetry_of(e: &Emulation) -> Option<&Collector> {
+        e.telemetry.as_ref()
+    }
+
+    pub(crate) fn monitor_select(e: &Emulation) -> u32 {
+        e.monitor_select
+    }
+
+    pub(crate) fn set_monitor_select(e: &mut Emulation, link: u32) {
+        e.monitor_select = link;
     }
 }
 

@@ -88,6 +88,7 @@ use nocem_stats::congestion::CongestionCounter;
 use nocem_stats::latency::LatencyAnalyzer;
 use nocem_stats::ledger::PacketLedger;
 use nocem_switch::switch::Switch;
+use nocem_telemetry::{Collector, CumulativeProbe};
 use nocem_topology::partition::{GridStripes, Partition, PartitionMap};
 use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
 use nocem_traffic::ni::SourceNi;
@@ -110,6 +111,11 @@ enum Cmd {
     },
     /// Snapshot the shard's components for results collection.
     Collect,
+    /// Report the shard-local cumulative telemetry counters. Sent
+    /// only between cycles, when worker state equals the
+    /// single-threaded engine's end-of-cycle state (every boundary
+    /// flit and credit was drained before the last report).
+    Probe,
     /// Exit the worker loop.
     Shutdown,
 }
@@ -167,6 +173,7 @@ struct Snapshot {
 enum Report {
     Cycle(Box<CycleReport>),
     Snapshot(Box<Snapshot>),
+    Probe(Box<CumulativeProbe>),
 }
 
 /// Where a shard-local switch output leads.
@@ -229,6 +236,16 @@ struct Worker {
     receptor_gidx: Vec<usize>,
     in_flits: Vec<InFlits>,
     in_credits: Vec<InCredit>,
+    /// `[local switch][output port]` → global link (telemetry probe
+    /// attribution, mirroring the single-threaded congestion map).
+    out_links: Vec<Vec<LinkId>>,
+    /// Local generator index → its injection link.
+    ni_links: Vec<LinkId>,
+    /// Global link count (probe shape; every shard reports the full
+    /// shape with zeros outside its own resources, so the coordinator
+    /// merge is a plain element-wise add).
+    link_count: usize,
+    num_vcs: usize,
     /// Per global generator: released-a-packet-this-cycle flag, shared
     /// by all workers for packet-id assignment. Each worker writes
     /// only its own generators' slots, every cycle, before the id
@@ -281,9 +298,44 @@ impl Worker {
                         break;
                     }
                 }
+                Cmd::Probe => {
+                    if self
+                        .rep_tx
+                        .send(Report::Probe(Box::new(self.probe())))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
                 Cmd::Shutdown => break,
             }
         }
+    }
+
+    /// Shard-local cumulative telemetry counters, full platform shape
+    /// (zeros outside this shard). Safe between cycles only: by then
+    /// `drain_and_status` has applied every boundary transfer, so the
+    /// FIFO occupancies equal the single-threaded end-of-cycle state.
+    fn probe(&self) -> CumulativeProbe {
+        let mut p = CumulativeProbe::new(self.link_count, self.num_vcs);
+        for (ls, sw) in self.switches.iter().enumerate() {
+            let c = sw.counters();
+            for (o, &link) in self.out_links[ls].iter().enumerate() {
+                p.add_link(
+                    link,
+                    c.blocked_cycles_per_output[o],
+                    c.forwarded_per_output[o],
+                );
+            }
+            for v in 0..self.num_vcs {
+                p.add_vc(v, sw.occupancy_of_vc(VcId::new(v as u8)));
+            }
+        }
+        for (i, ni) in self.nis.iter().enumerate() {
+            let c = ni.counters();
+            p.add_link(self.ni_links[i], c.blocked_cycles, c.injected_flits);
+        }
+        p
     }
 
     /// Executes one platform cycle. Errors — including panics — are
@@ -633,6 +685,7 @@ pub struct ShardedEngine {
     receptor_latency: Vec<LatencyAnalyzer>,
     /// Per generator: its injection link (congestion attribution).
     injection_links: Vec<LinkId>,
+    telemetry: Option<Collector>,
     now: Cycle,
     next_packet: u64,
     stalled: u64,
@@ -944,6 +997,18 @@ impl ShardedEngine {
                 receptor_gidx: my_trs,
                 in_flits,
                 in_credits,
+                out_links: shard_members
+                    .iter()
+                    .map(|&s| {
+                        let sid = SwitchId::new(s as u32);
+                        (0..wiring.out_target[s].len())
+                            .map(|p| config.topology.out_link(sid, PortId::new(p as u8)))
+                            .collect()
+                    })
+                    .collect(),
+                ni_links: my_gens.iter().map(|&i| wiring.injection[i].2).collect(),
+                link_count: config.topology.link_count(),
+                num_vcs,
                 slots: Arc::clone(&slots),
                 barrier: Arc::clone(&barrier),
                 cmd_rx,
@@ -961,8 +1026,13 @@ impl ShardedEngine {
         }
 
         let receptor_count = receptors.len();
+        let telemetry = config
+            .telemetry
+            .as_ref()
+            .map(|t| Collector::new(t, config.topology.link_count(), num_vcs));
         ShardedEngine {
             injection_links: wiring.injection.iter().map(|&(_, _, l)| l).collect(),
+            telemetry,
             config,
             workers: handles,
             status: init_status,
@@ -1043,6 +1113,23 @@ impl ShardedEngine {
                 self.now = Cycle::new(target);
             }
         }
+
+        // Probe after any fast-forward, before the cycle executes:
+        // worker counters then cover exactly [0, now), matching every
+        // other engine's probe point (the skipped window was
+        // quiescent, so the counters already reflect it).
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.needs_probe(self.now.raw()))
+        {
+            let probe = self.probe_workers()?;
+            let at = self.now.raw();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .record(at, &probe);
+        }
         let now = self.now;
 
         for k in 0..self.workers.len() {
@@ -1066,7 +1153,7 @@ impl ShardedEngine {
         for k in 0..self.workers.len() {
             let report = match self.workers[k].rep.recv() {
                 Ok(Report::Cycle(r)) => r,
-                Ok(Report::Snapshot(_)) | Err(_) => return self.worker_died(k),
+                Ok(_) | Err(_) => return self.worker_died(k),
             };
             if let Some(e) = report.error {
                 first_error.get_or_insert(e);
@@ -1122,6 +1209,46 @@ impl ShardedEngine {
     fn fail(&mut self, e: EmulationError) -> EmulationError {
         self.failed = true;
         e
+    }
+
+    /// Collects and merges every shard's cumulative probe (disjoint
+    /// resources, so the element-wise add is exact).
+    fn probe_workers(&mut self) -> Result<CumulativeProbe, EmulationError> {
+        let mut merged = CumulativeProbe::new(
+            self.config.topology.link_count(),
+            usize::from(self.config.switch.num_vcs),
+        );
+        for k in 0..self.workers.len() {
+            if self.workers[k].cmd.send(Cmd::Probe).is_err() {
+                return self.worker_died(k).map(|()| unreachable!());
+            }
+            match self.workers[k].rep.recv() {
+                Ok(Report::Probe(p)) => merged.absorb(&p),
+                Ok(_) | Err(_) => return self.worker_died(k).map(|()| unreachable!()),
+            }
+        }
+        Ok(merged)
+    }
+
+    /// The windowed telemetry collector, when enabled.
+    pub fn telemetry(&self) -> Option<&Collector> {
+        self.telemetry.as_ref()
+    }
+
+    /// Seals the collector, flushing the trailing partial window. A
+    /// no-op when telemetry is off, already sealed, or the engine has
+    /// failed (dead workers cannot be probed).
+    pub fn seal_telemetry(&mut self) {
+        if self.failed || self.telemetry.as_ref().is_none_or(Collector::is_sealed) {
+            return;
+        }
+        if let Ok(probe) = self.probe_workers() {
+            let at = self.now.raw();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .seal(at, &probe);
+        }
     }
 
     /// Worker `dead`'s channel closed: its thread left the command
@@ -1186,9 +1313,7 @@ impl ShardedEngine {
             }
             match self.workers[k].rep.recv() {
                 Ok(Report::Snapshot(s)) => snapshots.push(*s),
-                Ok(Report::Cycle(_)) | Err(_) => {
-                    return self.worker_died(k).map(|()| unreachable!())
-                }
+                Ok(_) | Err(_) => return self.worker_died(k).map(|()| unreachable!()),
             }
         }
 
@@ -1318,6 +1443,14 @@ impl SteppableEngine for ShardedEngine {
     fn packet_ledger(&self) -> PacketLedger {
         self.ledger.clone()
     }
+
+    fn telemetry(&self) -> Option<&Collector> {
+        ShardedEngine::telemetry(self)
+    }
+
+    fn seal_telemetry(&mut self) {
+        ShardedEngine::seal_telemetry(self);
+    }
 }
 
 /// Builds whichever engine `config.engine` names, boxed behind the
@@ -1372,6 +1505,24 @@ mod tests {
         let mut sharded = ShardedEngine::with_shards(&cfg, 3).unwrap();
         sharded.run().unwrap();
         assert_eq!(sharded.results().unwrap(), single.results());
+    }
+
+    #[test]
+    fn sharded_telemetry_matches_single_thread() {
+        let cfg = PaperConfig::new()
+            .total_packets(300)
+            .uniform()
+            .with_telemetry(Some(nocem_telemetry::TelemetryConfig::windowed(64)));
+        let mut single = build(&cfg).unwrap();
+        single.run().unwrap();
+        single.seal_telemetry();
+        let mut sharded = ShardedEngine::with_shards(&cfg, 2).unwrap();
+        sharded.run().unwrap();
+        ShardedEngine::seal_telemetry(&mut sharded);
+        let fast = single.telemetry().unwrap();
+        let ours = ShardedEngine::telemetry(&sharded).unwrap();
+        assert!(fast.windows_recorded() > 0, "run long enough to window");
+        assert_eq!(ours, fast, "shard-merged series are engine-invariant");
     }
 
     #[test]

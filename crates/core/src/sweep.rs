@@ -294,6 +294,20 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Sharded(e) => SteppableEngine::packet_ledger(&**e),
         }
     }
+
+    fn telemetry(&self) -> Option<&nocem_telemetry::Collector> {
+        match self {
+            AnyEngine::Single(e) => SteppableEngine::telemetry(&**e),
+            AnyEngine::Sharded(e) => SteppableEngine::telemetry(&**e),
+        }
+    }
+
+    fn seal_telemetry(&mut self) {
+        match self {
+            AnyEngine::Single(e) => SteppableEngine::seal_telemetry(&mut **e),
+            AnyEngine::Sharded(e) => SteppableEngine::seal_telemetry(&mut **e),
+        }
+    }
 }
 
 /// Wraps a compile failure into the sweep's single

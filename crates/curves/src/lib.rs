@@ -56,7 +56,7 @@ pub mod measure;
 pub mod runner;
 pub mod search;
 
-pub use measure::{MeasureConfig, PointMeasurement};
+pub use measure::{MeasureConfig, PointMeasurement, PointTelemetry, TOP_LINKS};
 pub use runner::{CurveSetOutcome, CurveSetSpec, SkippedCurve};
 pub use search::{Curve, CurvePoint, CurveSpec, PointPhase, SaturationSummary, SearchConfig};
 

@@ -25,7 +25,12 @@ use nocem::config::{PlatformConfig, TrafficModel};
 use nocem::sweep::AnyEngine;
 use nocem_stats::congestion::VcOccupancy;
 use nocem_stats::window::{Window, WindowStats};
+use nocem_telemetry::LinkStat;
 use nocem_topology::routing::RoutingTables;
+
+/// How many congested links a point keeps (enough to paint the whole
+/// bisection cut of an 8×8 mesh, small enough to stay cheap).
+pub const TOP_LINKS: usize = 8;
 
 /// How long a load point runs and which part of it is measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +91,34 @@ pub struct PointMeasurement {
     /// Cycles the fast-forward kernel jumped — machinery only, the
     /// one field that legitimately differs between clock modes.
     pub cycles_skipped: u64,
+    /// Windowed-telemetry extract of the point, when the spec enabled
+    /// telemetry (`None` = telemetry off, the default).
+    pub telemetry: Option<PointTelemetry>,
+}
+
+/// The bottleneck extract of one load point's telemetry: which links
+/// absorbed the congestion.
+///
+/// Only **gating-invariant** data is kept. A gated point may coast a
+/// few quiescent cycles past the fixed-cycle target and record extra
+/// trailing windows, so window *counts* differ across clock modes —
+/// but those extra windows are zero-delta, so per-link lifetime
+/// *totals* (and their ranking) are identical on every engine and
+/// clock mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointTelemetry {
+    /// Telemetry window length in cycles.
+    pub window: u64,
+    /// The `TOP_LINKS` most-blocked links, descending by lifetime
+    /// blocked cycles (ties broken by link id).
+    pub top_links: Vec<LinkStat>,
+}
+
+impl PointTelemetry {
+    /// The single most congested link, when any link blocked at all.
+    pub fn hottest(&self) -> Option<&LinkStat> {
+        self.top_links.first().filter(|l| l.blocked > 0)
+    }
 }
 
 impl PointMeasurement {
@@ -142,6 +175,11 @@ pub fn measure_config(
     open_loop(&mut cfg, measure);
     let mut engine = AnyEngine::build_routed(&cfg, routing)?;
     run_engine_until(&mut engine, measure.total_cycles())?;
+    nocem::SteppableEngine::seal_telemetry(&mut engine);
+    let telemetry = nocem::SteppableEngine::telemetry(&engine).map(|c| PointTelemetry {
+        window: c.window_cycles(),
+        top_links: c.top_blocked(TOP_LINKS),
+    });
     let ledger = nocem::SteppableEngine::packet_ledger(&engine);
     let results = engine.results()?;
 
@@ -165,6 +203,7 @@ pub fn measure_config(
         stalled_cycles: results.stalled_cycles,
         cycles: window.end,
         cycles_skipped: results.cycles_skipped,
+        telemetry,
     })
 }
 
@@ -227,6 +266,31 @@ mod tests {
         gated.clock_mode = ClockMode::Gated;
         gated.engine = EngineKind::Sharded { shards: 2 };
         let fast = measure_config(&gated, None, &measure, 0.15).unwrap();
+        assert_eq!(fast.behavioral(), base.behavioral());
+    }
+
+    #[test]
+    fn telemetry_extract_is_engine_and_mode_invariant() {
+        let measure = MeasureConfig {
+            warmup_cycles: 256,
+            measure_cycles: 1_024,
+        };
+        let mut base_cfg = mesh_config(0.60);
+        base_cfg.telemetry = Some(nocem_telemetry::TelemetryConfig::windowed(256));
+        let base = measure_config(&base_cfg, None, &measure, 0.60).unwrap();
+        let mut fast_cfg = base_cfg.clone();
+        fast_cfg.clock_mode = ClockMode::Gated;
+        fast_cfg.engine = EngineKind::Sharded { shards: 2 };
+        let fast = measure_config(&fast_cfg, None, &measure, 0.60).unwrap();
+        let tel = base.telemetry.as_ref().expect("telemetry was enabled");
+        assert_eq!(tel.window, 256);
+        assert_eq!(tel.top_links.len(), TOP_LINKS);
+        let hot = tel.hottest().expect("0.60 load blocks somewhere");
+        assert!(hot.blocked > 0 && hot.rate() > 0.0);
+        // Per-link lifetime totals (and with them the bottleneck
+        // ranking) are gating- and engine-invariant even though a
+        // gated run may coast extra quiescent windows.
+        assert_eq!(fast.telemetry, base.telemetry);
         assert_eq!(fast.behavioral(), base.behavioral());
     }
 

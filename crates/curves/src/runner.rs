@@ -17,9 +17,11 @@ use crate::search::{Curve, CurveSpec};
 use crate::CurveError;
 use nocem::sweep::{run_sweep_indexed, SweepPoint};
 use nocem_common::csv::CsvWriter;
+use nocem_common::ids::LinkId;
 use nocem_scenarios::registry::ScenarioRegistry;
 use nocem_scenarios::scenario::TopologySpec;
 use nocem_scenarios::ScenarioError;
+use nocem_topology::graph::{LinkEnd, Topology};
 
 /// One curve the runner skipped as inapplicable, with the reason.
 #[derive(Debug)]
@@ -145,6 +147,21 @@ fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
     v.map_or_else(|| "-".into(), |v| v.to_string())
 }
 
+/// Human-readable link name: `s3->s7` for inter-switch links,
+/// `TG5->s5` / `s5->TR5` for injection/ejection links. Falls back to
+/// the raw `l<id>` when the curve's topology cannot be rebuilt.
+fn link_name(topo: Option<&Topology>, id: LinkId) -> String {
+    let Some(t) = topo else {
+        return id.to_string();
+    };
+    let l = t.link(id);
+    let end = |e: LinkEnd| match e {
+        LinkEnd::Switch { switch, .. } => switch.to_string(),
+        LinkEnd::Endpoint(ep) => format!("{}{}", t.endpoint(ep).kind, ep.raw()),
+    };
+    format!("{}->{}", end(l.src), end(l.dst))
+}
+
 impl CurveSetOutcome {
     /// Renders the aggregated CSV: one record per (scenario,
     /// topology, load point), a saturation-summary comment per curve
@@ -159,8 +176,8 @@ impl CurveSetOutcome {
             "phase",
             "saturated",
             "offered_flits_per_cycle_node",
-            "accepted_flits_per_cycle_node",
             "packets_measured",
+            "accepted_flits_per_cycle_node",
             "mean_network_latency",
             "p50_network_latency",
             "p95_network_latency",
@@ -169,6 +186,10 @@ impl CurveSetOutcome {
             "max_vc_occupancy",
             "stalled_cycles",
             "cycles_skipped",
+            "top_link",
+            "top_link_blocked",
+            "top_link_forwarded",
+            "top_link_rate",
         ]);
         csv.comment(
             "nocem latency-throughput curves: one record per (scenario, topology, load) point",
@@ -183,9 +204,17 @@ impl CurveSetOutcome {
              or mean total latency past the zero-load multiple); max_vc_occupancy: highest \
              per-VC input-buffer fill any switch reached",
         );
+        csv.comment(
+            "accepted_flits_per_cycle_node is the latency-vs-accepted-throughput x-axis \
+             and sits adjacent to the latency columns; top_link* name the most-blocked \
+             link of the point's windowed telemetry (`-` when telemetry was off or \
+             nothing blocked), with rate = blocked / (blocked + forwarded)",
+        );
         for curve in &self.curves {
+            let topo = curve.topology.build().ok();
             for p in &curve.points {
                 let m = &p.measurement;
+                let hot = m.telemetry.as_ref().and_then(|t| t.hottest());
                 csv.record_display(&[
                     &curve.scenario,
                     &curve.topology.name(),
@@ -195,8 +224,8 @@ impl CurveSetOutcome {
                     &p.phase.name(),
                     &p.saturated,
                     &format_args!("{:.4}", m.offered),
-                    &format_args!("{:.4}", m.accepted),
                     &m.packets_measured,
+                    &format_args!("{:.4}", m.accepted),
                     &opt(m.mean_network_latency.map(|v| format!("{v:.2}"))),
                     &opt(m.p50),
                     &opt(m.p95),
@@ -205,6 +234,10 @@ impl CurveSetOutcome {
                     &m.vc_occupancy.overall_max(),
                     &m.stalled_cycles,
                     &m.cycles_skipped,
+                    &opt(hot.map(|l| link_name(topo.as_ref(), l.link))),
+                    &opt(hot.map(|l| l.blocked)),
+                    &opt(hot.map(|l| l.forwarded)),
+                    &opt(hot.map(|l| format!("{:.4}", l.rate()))),
                 ]);
             }
             let s = &curve.saturation;
@@ -230,6 +263,53 @@ impl CurveSetOutcome {
         }
         for s in &self.skipped {
             csv.comment(&format!("skipped {}: {}", s.label, s.reason));
+        }
+        csv.finish()
+    }
+
+    /// Renders the per-link congestion heat map: one record per
+    /// (curve, load point, top-k link) for every telemetry-enabled
+    /// point — the localization data behind the `top_link` summary
+    /// column. Points measured without telemetry contribute nothing.
+    pub fn link_heat_csv(&self) -> String {
+        let mut csv = CsvWriter::new(&[
+            "scenario",
+            "topology",
+            "load",
+            "phase",
+            "saturated",
+            "rank",
+            "link",
+            "blocked_cycles",
+            "forwarded_flits",
+            "blocked_rate",
+        ]);
+        csv.comment(
+            "per-point link heat: the most-blocked links of every telemetry-enabled load \
+             point, ranked by lifetime blocked cycles (rank 0 = hottest); links are named \
+             src->dst (s = switch, TG/TR = generator/receptor endpoints)",
+        );
+        for curve in &self.curves {
+            let topo = curve.topology.build().ok();
+            for p in &curve.points {
+                let Some(t) = &p.measurement.telemetry else {
+                    continue;
+                };
+                for (rank, l) in t.top_links.iter().enumerate() {
+                    csv.record_display(&[
+                        &curve.scenario,
+                        &curve.topology.name(),
+                        &format_args!("{:.4}", p.load),
+                        &p.phase.name(),
+                        &p.saturated,
+                        &rank,
+                        &link_name(topo.as_ref(), l.link),
+                        &l.blocked,
+                        &l.forwarded,
+                        &format_args!("{:.4}", l.rate()),
+                    ]);
+                }
+            }
         }
         csv.finish()
     }
@@ -339,5 +419,78 @@ mod tests {
         // Parallel and serial runs agree (determinism across workers).
         let serial = set.run(&registry, 1).unwrap();
         assert_eq!(serial.curves, outcome.curves);
+    }
+
+    #[test]
+    fn telemetry_off_renders_dash_bottleneck_columns_and_empty_heat() {
+        let registry = ScenarioRegistry::builtin();
+        let set = CurveSetSpec {
+            prototype: quick_prototype(),
+            scenarios: vec!["uniform_random".into()],
+            topologies: vec![TopologySpec::Mesh {
+                width: 2,
+                height: 2,
+            }],
+        };
+        let outcome = set.run(&registry, 1).unwrap();
+        let doc = CsvDocument::parse(&outcome.to_csv()).unwrap();
+        let c_top = doc.column("top_link").unwrap();
+        assert!(doc.records.iter().all(|r| r[c_top] == "-"));
+        let heat = CsvDocument::parse(&outcome.link_heat_csv()).unwrap();
+        assert!(heat.records.is_empty(), "no telemetry, no heat rows");
+    }
+
+    #[test]
+    fn telemetry_curves_emit_bottleneck_columns_and_link_heat() {
+        let registry = ScenarioRegistry::builtin();
+        let mut prototype = quick_prototype();
+        prototype.telemetry = Some(nocem_telemetry::TelemetryConfig::windowed(128));
+        let set = CurveSetSpec {
+            prototype,
+            scenarios: vec!["uniform_random".into()],
+            topologies: vec![TopologySpec::Mesh {
+                width: 2,
+                height: 2,
+            }],
+        };
+        let outcome = set.run(&registry, 1).unwrap();
+        let csv = outcome.to_csv();
+        let doc = CsvDocument::parse(&csv).unwrap();
+        // Plot-ready ordering: accepted throughput immediately left of
+        // the latency block.
+        assert_eq!(
+            doc.column("accepted_flits_per_cycle_node").unwrap() + 1,
+            doc.column("mean_network_latency").unwrap()
+        );
+        let c_top = doc.column("top_link").unwrap();
+        let c_rate = doc.column("top_link_rate").unwrap();
+        let hot: Vec<_> = doc.records.iter().filter(|r| r[c_top] != "-").collect();
+        assert!(!hot.is_empty(), "a ramp to 0.6 load must block somewhere");
+        for r in &hot {
+            assert!(
+                r[c_top].contains("->"),
+                "topology-resolved name: {}",
+                r[c_top]
+            );
+            let rate: f64 = r[c_rate].parse().unwrap();
+            assert!((0.0..=1.0).contains(&rate));
+        }
+        let heat = CsvDocument::parse(&outcome.link_heat_csv()).unwrap();
+        assert!(!heat.records.is_empty());
+        let (c_rank, c_link) = (heat.column("rank").unwrap(), heat.column("link").unwrap());
+        let c_blocked = heat.column("blocked_cycles").unwrap();
+        // Within each point the rows are rank-ordered by blocked cycles.
+        let mut prev: Option<(String, u64)> = None;
+        for r in &heat.records {
+            let rank: u64 = r[c_rank].parse().unwrap();
+            let blocked: u64 = r[c_blocked].parse().unwrap();
+            assert!(r[c_link].contains("->"));
+            if let Some((_, prev_blocked)) = &prev {
+                if rank > 0 {
+                    assert!(blocked <= *prev_blocked, "heat rows descend within a point");
+                }
+            }
+            prev = Some((r[c_link].clone(), blocked));
+        }
     }
 }

@@ -201,6 +201,10 @@ pub struct CurveSpec {
     pub measure: MeasureConfig,
     /// Ramp and bisection parameters.
     pub search: SearchConfig,
+    /// Windowed-telemetry configuration for every point (`None` =
+    /// telemetry off, the default — a point then carries no
+    /// bottleneck columns).
+    pub telemetry: Option<nocem_telemetry::TelemetryConfig>,
 }
 
 impl CurveSpec {
@@ -215,6 +219,7 @@ impl CurveSpec {
             engine: EngineKind::SingleThread,
             measure: MeasureConfig::default(),
             search: SearchConfig::default(),
+            telemetry: None,
         }
     }
 
@@ -252,6 +257,7 @@ impl CurveSpec {
         )?;
         config.clock_mode = self.clock_mode;
         config.engine = self.engine;
+        config.telemetry = self.telemetry;
         Ok(config)
     }
 
@@ -423,6 +429,7 @@ mod tests {
             stalled_cycles: 0,
             cycles: 5_120,
             cycles_skipped: 0,
+            telemetry: None,
         }
     }
 

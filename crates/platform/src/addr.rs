@@ -47,6 +47,13 @@ impl DeviceAddr {
     pub fn reg(self, reg: u16) -> Address {
         Address::from_parts(self.bus, self.device, reg)
     }
+
+    /// The `(lo, hi)` address pair of a 64-bit quantity split over
+    /// registers `lo` and `lo + 1` (the convention every device in
+    /// this platform uses for 64-bit counters).
+    pub fn reg_u64(self, lo: u16) -> (Address, Address) {
+        (self.reg(lo), self.reg(lo + 1))
+    }
 }
 
 impl std::fmt::Display for DeviceAddr {

@@ -124,6 +124,8 @@ pub enum DeviceClass {
     TrafficReceptor,
     /// Switch statistics block.
     Switch,
+    /// Telemetry monitor (windowed hot-link statistics).
+    Monitor,
 }
 
 impl std::fmt::Display for DeviceClass {
@@ -133,6 +135,7 @@ impl std::fmt::Display for DeviceClass {
             DeviceClass::TrafficGenerator => "tg",
             DeviceClass::TrafficReceptor => "tr",
             DeviceClass::Switch => "switch",
+            DeviceClass::Monitor => "monitor",
         })
     }
 }

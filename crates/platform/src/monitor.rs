@@ -63,6 +63,24 @@ impl Monitor {
         self.table("Device inventory", &t)
     }
 
+    /// Appends a windowed-series section: one labelled row of
+    /// per-window samples (e.g. blocked cycles of a hot link), in a
+    /// compact sparkline-like text form. `window` is the series'
+    /// window length in cycles, shown in the header.
+    pub fn window_series(
+        &mut self,
+        title: impl Into<String>,
+        window: u64,
+        rows: &[(String, Vec<u64>)],
+    ) -> &mut Self {
+        let mut body = format!("window = {window} cycles\n");
+        for (label, samples) in rows {
+            let rendered: Vec<String> = samples.iter().map(u64::to_string).collect();
+            body.push_str(&format!("{label}: [{}]\n", rendered.join(", ")));
+        }
+        self.section(title, body)
+    }
+
     /// Number of sections so far.
     pub fn len(&self) -> usize {
         self.sections.len()
@@ -124,6 +142,19 @@ mod tests {
         assert!(r.contains("ctrl"));
         assert!(r.contains("tg0"));
         assert!(r.contains("b0:d1"));
+    }
+
+    #[test]
+    fn window_series_renders_samples() {
+        let mut m = Monitor::new("tele");
+        m.window_series(
+            "Hot links",
+            256,
+            &[("l3 blocked".to_string(), vec![0, 12, 40])],
+        );
+        let r = m.render();
+        assert!(r.contains("window = 256 cycles"));
+        assert!(r.contains("l3 blocked: [0, 12, 40]"));
     }
 
     #[test]

@@ -18,12 +18,13 @@ use nocem::clock::{self, ClockMode, EngineSummary, SteppableEngine};
 use nocem::compile::{Elaboration, ReceptorDevice};
 use nocem::error::EmulationError;
 use nocem_common::flit::PacketDescriptor;
-use nocem_common::ids::{EndpointId, PacketId, SwitchId};
+use nocem_common::ids::{EndpointId, LinkId, PacketId, PortId, SwitchId, VcId};
 use nocem_common::time::Cycle;
 use nocem_stats::latency::LatencyAnalyzer;
 use nocem_stats::ledger::PacketLedger;
 use nocem_stats::receptor::CompletedPacket;
 use nocem_switch::switch::Switch;
+use nocem_telemetry::{Collector, CumulativeProbe};
 use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
 use nocem_traffic::ni::SourceNi;
 use std::cell::RefCell;
@@ -118,6 +119,21 @@ pub struct RtlEngine {
     cycle_limit: u64,
     clock_mode: ClockMode,
     cycles_skipped: u64,
+    telemetry: Option<Collector>,
+    /// Per switch, per output port: the link it drives (probe
+    /// metadata, captured before the components move into processes).
+    switch_out_links: Vec<Vec<LinkId>>,
+    /// Per NI (generator order): its injection link.
+    injection_links: Vec<LinkId>,
+    /// Flit wires of every non-ejection link. A flit latched on such
+    /// a wire was driven last cycle and is sampled into the
+    /// downstream FIFO this cycle — the fast engine already counts it
+    /// there, so the occupancy probe adds it. Ejection wires are
+    /// excluded: their flits were delivered by the receptor monitor
+    /// at drive time and never occupy a buffer.
+    inflight_wires: Vec<SignalId>,
+    link_count: usize,
+    num_vcs: usize,
 }
 
 impl std::fmt::Debug for RtlEngine {
@@ -149,6 +165,33 @@ impl RtlEngine {
                     .collect()
             })
             .collect();
+
+        // Probe metadata, captured while the elaboration is whole.
+        let switch_out_links: Vec<Vec<LinkId>> = (0..elab.switches.len())
+            .map(|s| {
+                let info = topo.switch(SwitchId::new(s as u32));
+                (0..info.outputs)
+                    .map(|p| topo.out_link(SwitchId::new(s as u32), PortId::new(p)))
+                    .collect()
+            })
+            .collect();
+        let injection_links: Vec<LinkId> =
+            elab.wiring.injection.iter().map(|&(_, _, l)| l).collect();
+        let mut is_ejection = vec![false; topo.link_count()];
+        for link in &elab.wiring.ejection_link {
+            is_ejection[link.index()] = true;
+        }
+        let inflight_wires: Vec<SignalId> = flit_wires
+            .iter()
+            .enumerate()
+            .filter(|&(l, _)| !is_ejection[l])
+            .map(|(_, &w)| w)
+            .collect();
+        let telemetry = elab
+            .config
+            .telemetry
+            .as_ref()
+            .map(|t| Collector::new(t, topo.link_count(), num_vcs));
 
         let shared = Rc::new(RefCell::new(SharedState {
             generator_endpoints: topo.generators(),
@@ -320,6 +363,61 @@ impl RtlEngine {
             cycle_limit: elab.config.stop.cycle_limit,
             clock_mode: elab.config.clock_mode,
             cycles_skipped: 0,
+            telemetry,
+            switch_out_links,
+            injection_links,
+            inflight_wires,
+            link_count: elab.config.topology.link_count(),
+            num_vcs,
+        }
+    }
+
+    /// Cumulative counters at the current instant, shaped exactly
+    /// like the fast engine's probe: per-link lifetime blocked /
+    /// forwarded (source-side accounting) plus live per-VC occupancy
+    /// with in-flight wire flits compensated (see `inflight_wires`).
+    fn cumulative_probe(&self) -> CumulativeProbe {
+        let sh = self.shared.borrow();
+        let mut p = CumulativeProbe::new(self.link_count, self.num_vcs);
+        for (s, sw) in sh.switches.iter().enumerate() {
+            let c = sw.counters();
+            for (o, &link) in self.switch_out_links[s].iter().enumerate() {
+                p.add_link(
+                    link,
+                    c.blocked_cycles_per_output[o],
+                    c.forwarded_per_output[o],
+                );
+            }
+            for v in 0..self.num_vcs {
+                p.add_vc(v, sw.occupancy_of_vc(VcId::new(v as u8)));
+            }
+        }
+        for (i, ni) in sh.nis.iter().enumerate() {
+            let c = ni.counters();
+            p.add_link(self.injection_links[i], c.blocked_cycles, c.injected_flits);
+        }
+        for &wire in &self.inflight_wires {
+            if let Some(f) = self.kernel.value(wire).flit() {
+                p.add_vc(f.vc.index(), 1);
+            }
+        }
+        p
+    }
+
+    /// The windowed telemetry collector, when enabled.
+    pub fn telemetry(&self) -> Option<&Collector> {
+        self.telemetry.as_ref()
+    }
+
+    /// Seals the collector, flushing the trailing partial window.
+    pub fn seal_telemetry(&mut self) {
+        if self.telemetry.as_ref().is_some_and(|t| !t.is_sealed()) {
+            let probe = self.cumulative_probe();
+            let at = self.kernel.time();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .seal(at, &probe);
         }
     }
 
@@ -373,6 +471,21 @@ impl RtlEngine {
     pub fn step(&mut self) -> Result<(), EmulationError> {
         if self.clock_mode == ClockMode::Gated {
             self.try_fast_forward();
+        }
+        // Probe after any fast-forward, before executing the cycle:
+        // the counters then cover exactly [0, now), matching every
+        // other engine's probe point.
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.needs_probe(self.kernel.time()))
+        {
+            let probe = self.cumulative_probe();
+            let at = self.kernel.time();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .record(at, &probe);
         }
         self.kernel.cycle().map_err(|e| {
             EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
@@ -467,6 +580,14 @@ impl SteppableEngine for RtlEngine {
     fn packet_ledger(&self) -> nocem_stats::ledger::PacketLedger {
         self.shared.borrow().ledger.clone()
     }
+
+    fn telemetry(&self) -> Option<&Collector> {
+        RtlEngine::telemetry(self)
+    }
+
+    fn seal_telemetry(&mut self) {
+        RtlEngine::seal_telemetry(self);
+    }
 }
 
 #[cfg(test)]
@@ -519,6 +640,27 @@ mod tests {
         assert_eq!(
             s.network_latency.max(),
             emu.ledger().network_latency().max()
+        );
+    }
+
+    #[test]
+    fn rtl_telemetry_matches_fast_engine_exactly() {
+        let cfg = PaperConfig::new()
+            .total_packets(200)
+            .burst(8)
+            .with_telemetry(Some(nocem_telemetry::TelemetryConfig::windowed(64)));
+        let mut emu = nocem::engine::build(&cfg).unwrap();
+        emu.run().unwrap();
+        emu.seal_telemetry();
+        let mut rtl = RtlEngine::new(elaborate(&cfg).unwrap());
+        rtl.run().unwrap();
+        RtlEngine::seal_telemetry(&mut rtl);
+        let fast = emu.telemetry().unwrap();
+        let ours = RtlEngine::telemetry(&rtl).unwrap();
+        assert!(fast.windows_recorded() > 0, "run long enough to window");
+        assert_eq!(
+            ours, fast,
+            "windowed series (incl. live occupancy) are engine-invariant"
         );
     }
 

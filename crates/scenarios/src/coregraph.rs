@@ -575,6 +575,7 @@ impl CoreGraphWorkload {
             record_trace: false,
             clock_mode: nocem::ClockMode::default(),
             engine: nocem::config::EngineKind::default(),
+            telemetry: None,
         })
     }
 }

@@ -256,6 +256,7 @@ impl ScenarioSpec {
             record_trace: false,
             clock_mode: nocem::ClockMode::default(),
             engine: nocem::config::EngineKind::default(),
+            telemetry: None,
             topology: topo,
         })
     }

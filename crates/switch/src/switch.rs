@@ -799,6 +799,38 @@ impl Switch {
         self.fifos[input.index()][vc.index()].len()
     }
 
+    /// Live occupancy of virtual channel `vc`, in flits, summed over
+    /// every input buffer — the per-cycle view the telemetry windows
+    /// sample (the `max_vc_occupancy` counter only keeps the
+    /// high-water mark).
+    pub fn occupancy_of_vc(&self, vc: VcId) -> u64 {
+        self.fifos
+            .iter()
+            .map(|per_vc| per_vc[vc.index()].len() as u64)
+            .sum()
+    }
+
+    /// Live occupancy of every VC, in flits, summed over all inputs.
+    pub fn occupancy_per_vc(&self) -> Vec<u64> {
+        (0..self.config.num_vcs)
+            .map(|v| self.occupancy_of_vc(VcId::new(v)))
+            .collect()
+    }
+
+    /// Re-seeds the `max_vc_occupancy` watermark from the *current*
+    /// buffer state, so subsequent watermarks cover only the cycles
+    /// after the reset (e.g. one measurement window at a time).
+    pub fn reset_vc_watermarks(&mut self) {
+        for (v, w) in self.counters.max_vc_occupancy.iter_mut().enumerate() {
+            *w = self
+                .fifos
+                .iter()
+                .map(|per_vc| per_vc[v].len() as u64)
+                .max()
+                .unwrap_or(0);
+        }
+    }
+
     /// Remaining credits of VC 0 of `output` (the whole story on a
     /// single-VC switch; see [`Switch::credits_vc`]).
     pub fn credits(&self, output: PortId) -> u32 {
@@ -1261,6 +1293,42 @@ mod tests {
             sw.accept(PortId::new(0), f).unwrap();
         }
         assert_eq!(sw.counters().max_vc_occupancy, vec![1, 2]);
+    }
+
+    #[test]
+    fn live_occupancy_sums_over_inputs() {
+        let mut sw = simple_switch();
+        assert_eq!(sw.occupancy_of_vc(VcId::ZERO), 0);
+        for f in packet(1, 0, 2) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        sw.accept(PortId::new(1), packet(2, 1, 1)[0]).unwrap();
+        assert_eq!(sw.occupancy_of_vc(VcId::ZERO), 3);
+        assert_eq!(sw.occupancy_per_vc(), vec![3]);
+        // Unlike the watermark, the live view drops when FIFOs drain.
+        while !sw.is_idle() {
+            cycle(&mut sw);
+        }
+        assert_eq!(sw.occupancy_of_vc(VcId::ZERO), 0);
+        assert_eq!(sw.counters().max_vc_occupancy, vec![2]);
+    }
+
+    #[test]
+    fn vc_watermark_resets_to_current_occupancy() {
+        let mut sw = simple_switch();
+        for f in packet(1, 0, 3) {
+            sw.accept(PortId::new(0), f).unwrap();
+        }
+        for _ in 0..3 {
+            cycle(&mut sw);
+        }
+        assert_eq!(sw.counters().max_vc_occupancy, vec![3]);
+        sw.reset_vc_watermarks();
+        assert_eq!(sw.counters().max_vc_occupancy, vec![0], "drained switch");
+        // Reset while a flit is buffered seeds from the live state.
+        sw.accept(PortId::new(1), packet(2, 1, 1)[0]).unwrap();
+        sw.reset_vc_watermarks();
+        assert_eq!(sw.counters().max_vc_occupancy, vec![1]);
     }
 
     #[test]

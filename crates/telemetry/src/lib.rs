@@ -1,0 +1,118 @@
+//! Windowed per-resource telemetry for the emulation engines.
+//!
+//! The paper's platform is *observable*: congestion and latency
+//! statistics are readable from the host while the emulation runs.
+//! This crate is the engine-independent half of that story. Engines
+//! probe their cumulative switch/NI counters at fixed cycle
+//! boundaries; a [`Collector`] turns the cumulative values into
+//! per-window deltas and keeps them in fixed-capacity ring buffers
+//! ([`ResourceSeries`]), one per link plus one per virtual channel.
+//!
+//! Two invariants make the series comparable across engines:
+//!
+//! 1. **Cycle alignment** — window `k` always covers cycles
+//!    `[k·W, (k+1)·W)`. A clock-gated engine that jumps over several
+//!    boundaries in one quiescent fast-forward records one explicit
+//!    zero-delta sample per crossed boundary, so a gated series is
+//!    bit-identical to the ungated one.
+//! 2. **Conservation** — the running totals of every series equal the
+//!    lifetime counters of the underlying resource, regardless of how
+//!    many samples the ring has evicted (`ResourceSeries::total`
+//!    accumulates across evictions, and [`Collector::seal`] flushes
+//!    the trailing partial window).
+//!
+//! The bounded flit event tracer lives in [`trace`]; it shares the
+//! "can never OOM a long run" discipline via a hard event cap and a
+//! drop counter.
+
+pub mod series;
+pub mod trace;
+
+pub use series::{Collector, CumulativeProbe, LinkStat, ResourceSeries};
+pub use trace::{FlitEvent, FlitEventKind, FlitTracer};
+
+/// Configuration of the telemetry subsystem. Telemetry is opt-in:
+/// engines only pay for probes when a config is present.
+///
+/// # Examples
+///
+/// ```
+/// use nocem_telemetry::TelemetryConfig;
+/// let t = TelemetryConfig::windowed(256);
+/// assert_eq!(t.window, 256);
+/// assert!(!t.trace);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Window length in cycles (`W`): one sample per resource every
+    /// `window` cycles.
+    pub window: u64,
+    /// Ring capacity per resource series, in samples. Older samples
+    /// are evicted; running totals survive eviction.
+    pub capacity: usize,
+    /// Record individual flit events (inject/route/block/eject).
+    pub trace: bool,
+    /// Hard cap on recorded flit events; further events are counted
+    /// as dropped instead of stored.
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            window: 1024,
+            capacity: 64,
+            trace: false,
+            trace_capacity: 4096,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A windowed-counters-only config with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn windowed(window: u64) -> Self {
+        assert!(window > 0, "telemetry window must be at least one cycle");
+        TelemetryConfig {
+            window,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Enables flit event tracing on top of the windowed counters.
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = true;
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off_by_default_shape() {
+        let t = TelemetryConfig::default();
+        assert_eq!(t.window, 1024);
+        assert_eq!(t.capacity, 64);
+        assert!(!t.trace);
+    }
+
+    #[test]
+    fn with_trace_enables_tracing() {
+        let t = TelemetryConfig::windowed(128).with_trace(99);
+        assert!(t.trace);
+        assert_eq!(t.trace_capacity, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_window_panics() {
+        TelemetryConfig::windowed(0);
+    }
+}

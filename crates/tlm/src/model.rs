@@ -11,12 +11,13 @@ use nocem::clock::{self, ClockMode, EngineSummary, SteppableEngine};
 use nocem::compile::{Elaboration, ReceptorDevice};
 use nocem::error::EmulationError;
 use nocem_common::flit::PacketDescriptor;
-use nocem_common::ids::{EndpointId, PacketId, SwitchId};
+use nocem_common::ids::{EndpointId, LinkId, PacketId, PortId, SwitchId, VcId};
 use nocem_common::time::Cycle;
 use nocem_stats::latency::LatencyAnalyzer;
 use nocem_stats::ledger::PacketLedger;
 use nocem_stats::receptor::CompletedPacket;
 use nocem_switch::switch::Switch;
+use nocem_telemetry::{Collector, CumulativeProbe};
 use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
 use nocem_traffic::ni::SourceNi;
 use std::cell::RefCell;
@@ -110,6 +111,21 @@ pub struct TlmEngine {
     cycle_limit: u64,
     clock_mode: ClockMode,
     cycles_skipped: u64,
+    telemetry: Option<Collector>,
+    /// Per switch, per output port: the link it drives (probe
+    /// metadata, captured before the components move into processes).
+    switch_out_links: Vec<Vec<LinkId>>,
+    /// Per NI (generator order): its injection link.
+    injection_links: Vec<LinkId>,
+    /// Flit channels of every non-ejection link. A flit latched here
+    /// was written last cycle and enters the downstream FIFO this
+    /// cycle — the fast engine already counts it in that FIFO, so the
+    /// occupancy probe adds it. Ejection channels are excluded: their
+    /// flits were delivered in the update phase of the cycle that
+    /// wrote them and never occupy a buffer.
+    inflight_chans: Vec<FlitChanId>,
+    link_count: usize,
+    num_vcs: usize,
 }
 
 impl std::fmt::Debug for TlmEngine {
@@ -135,6 +151,33 @@ impl TlmEngine {
         let credit_chans: Vec<Vec<BitChanId>> = (0..topo.link_count())
             .map(|_| (0..num_vcs).map(|_| scheduler.bit_channel()).collect())
             .collect();
+
+        // Probe metadata, captured while the elaboration is whole.
+        let switch_out_links: Vec<Vec<LinkId>> = (0..elab.switches.len())
+            .map(|s| {
+                let info = topo.switch(SwitchId::new(s as u32));
+                (0..info.outputs)
+                    .map(|p| topo.out_link(SwitchId::new(s as u32), PortId::new(p)))
+                    .collect()
+            })
+            .collect();
+        let injection_links: Vec<LinkId> =
+            elab.wiring.injection.iter().map(|&(_, _, l)| l).collect();
+        let mut is_ejection = vec![false; topo.link_count()];
+        for link in &elab.wiring.ejection_link {
+            is_ejection[link.index()] = true;
+        }
+        let inflight_chans: Vec<FlitChanId> = flit_chans
+            .iter()
+            .enumerate()
+            .filter(|&(l, _)| !is_ejection[l])
+            .map(|(_, &c)| c)
+            .collect();
+        let telemetry = elab
+            .config
+            .telemetry
+            .as_ref()
+            .map(|t| Collector::new(t, topo.link_count(), num_vcs));
 
         let shared = Rc::new(RefCell::new(SharedState {
             generator_endpoints: topo.generators(),
@@ -295,6 +338,62 @@ impl TlmEngine {
             cycle_limit: elab.config.stop.cycle_limit,
             clock_mode: elab.config.clock_mode,
             cycles_skipped: 0,
+            telemetry,
+            switch_out_links,
+            injection_links,
+            inflight_chans,
+            link_count: elab.config.topology.link_count(),
+            num_vcs,
+        }
+    }
+
+    /// Cumulative counters at the current instant, shaped exactly
+    /// like the fast engine's probe: per-link lifetime blocked /
+    /// forwarded (source-side accounting) plus live per-VC occupancy
+    /// with in-flight channel flits compensated (see
+    /// `inflight_chans`).
+    fn cumulative_probe(&self) -> CumulativeProbe {
+        let sh = self.shared.borrow();
+        let mut p = CumulativeProbe::new(self.link_count, self.num_vcs);
+        for (s, sw) in sh.switches.iter().enumerate() {
+            let c = sw.counters();
+            for (o, &link) in self.switch_out_links[s].iter().enumerate() {
+                p.add_link(
+                    link,
+                    c.blocked_cycles_per_output[o],
+                    c.forwarded_per_output[o],
+                );
+            }
+            for v in 0..self.num_vcs {
+                p.add_vc(v, sw.occupancy_of_vc(VcId::new(v as u8)));
+            }
+        }
+        for (i, ni) in sh.nis.iter().enumerate() {
+            let c = ni.counters();
+            p.add_link(self.injection_links[i], c.blocked_cycles, c.injected_flits);
+        }
+        for &chan in &self.inflight_chans {
+            if let Some(f) = self.scheduler.flit_value(chan) {
+                p.add_vc(f.vc.index(), 1);
+            }
+        }
+        p
+    }
+
+    /// The windowed telemetry collector, when enabled.
+    pub fn telemetry(&self) -> Option<&Collector> {
+        self.telemetry.as_ref()
+    }
+
+    /// Seals the collector, flushing the trailing partial window.
+    pub fn seal_telemetry(&mut self) {
+        if self.telemetry.as_ref().is_some_and(|t| !t.is_sealed()) {
+            let probe = self.cumulative_probe();
+            let at = self.scheduler.time();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .seal(at, &probe);
         }
     }
 
@@ -346,6 +445,21 @@ impl TlmEngine {
     pub fn step(&mut self) -> Result<(), EmulationError> {
         if self.clock_mode == ClockMode::Gated {
             self.try_fast_forward();
+        }
+        // Probe after any fast-forward, before executing the cycle:
+        // the counters then cover exactly [0, now), matching every
+        // other engine's probe point.
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.needs_probe(self.scheduler.time()))
+        {
+            let probe = self.cumulative_probe();
+            let at = self.scheduler.time();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .record(at, &probe);
         }
         self.scheduler.cycle();
         if let Some(e) = self.shared.borrow().error.clone() {
@@ -421,6 +535,14 @@ impl SteppableEngine for TlmEngine {
     fn packet_ledger(&self) -> nocem_stats::ledger::PacketLedger {
         self.shared.borrow().ledger.clone()
     }
+
+    fn telemetry(&self) -> Option<&Collector> {
+        TlmEngine::telemetry(self)
+    }
+
+    fn seal_telemetry(&mut self) {
+        TlmEngine::seal_telemetry(self);
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +576,27 @@ mod tests {
             emu.ledger().network_latency().sum()
         );
         assert_eq!(s.total_latency.sum(), emu.ledger().total_latency().sum());
+    }
+
+    #[test]
+    fn tlm_telemetry_matches_fast_engine_exactly() {
+        let cfg = PaperConfig::new()
+            .total_packets(200)
+            .burst(8)
+            .with_telemetry(Some(nocem_telemetry::TelemetryConfig::windowed(64)));
+        let mut emu = nocem::engine::build(&cfg).unwrap();
+        emu.run().unwrap();
+        emu.seal_telemetry();
+        let mut tlm = TlmEngine::new(elaborate(&cfg).unwrap());
+        tlm.run().unwrap();
+        TlmEngine::seal_telemetry(&mut tlm);
+        let fast = emu.telemetry().unwrap();
+        let ours = TlmEngine::telemetry(&tlm).unwrap();
+        assert!(fast.windows_recorded() > 0, "run long enough to window");
+        assert_eq!(
+            ours, fast,
+            "windowed series (incl. live occupancy) are engine-invariant"
+        );
     }
 
     #[test]

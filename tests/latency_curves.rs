@@ -163,6 +163,11 @@ fn checked_in_curves_csv_covers_the_grid_and_tracks_offered_load() {
     let c_offered = col("offered_flits_per_cycle_node");
     let c_accepted = col("accepted_flits_per_cycle_node");
     let c_occupancy = col("max_vc_occupancy");
+    let c_top_link = col("top_link");
+    let c_top_rate = col("top_link_rate");
+    // Plot-ready ordering: accepted throughput sits immediately left
+    // of the latency block.
+    assert_eq!(c_accepted + 1, col("mean_network_latency"));
 
     use std::collections::{BTreeMap, BTreeSet};
     /// Per-curve accumulator: unsaturated (offered, accepted) pairs
@@ -182,7 +187,17 @@ fn checked_in_curves_csv_covers_the_grid_and_tracks_offered_load() {
         let entry = curves.entry(key).or_default();
         match rec[c_saturated].as_str() {
             "false" => entry.0.push((offered, accepted)),
-            "true" => entry.1.push(accepted),
+            "true" => {
+                entry.1.push(accepted);
+                // The regenerated data ran with telemetry on: every
+                // saturated point localizes its bottleneck link.
+                assert!(
+                    rec[c_top_link].contains("->"),
+                    "saturated point without a bottleneck link: {rec:?}"
+                );
+                let rate: f64 = rec[c_top_rate].parse().unwrap();
+                assert!((0.0..=1.0).contains(&rate));
+            }
             other => panic!("bad saturated flag {other}"),
         }
     }
@@ -215,4 +230,35 @@ fn checked_in_curves_csv_covers_the_grid_and_tracks_offered_load() {
     }
     // The per-curve saturation summaries are present.
     assert!(text.contains("# saturation uniform_random@"));
+}
+
+#[test]
+fn checked_in_link_heat_csv_ranks_blocked_links_per_point() {
+    let text = std::fs::read_to_string("results/link_heat.csv")
+        .expect("results/link_heat.csv is checked in");
+    let doc = CsvDocument::parse(&text).expect("well-formed CSV");
+    let col = |name: &str| doc.column(name).unwrap_or_else(|| panic!("column {name}"));
+    let (c_scenario, c_topology, c_load) = (col("scenario"), col("topology"), col("load"));
+    let (c_rank, c_link, c_blocked) = (col("rank"), col("link"), col("blocked_cycles"));
+    assert!(
+        !doc.records.is_empty(),
+        "telemetry-enabled sweep emits heat"
+    );
+    let mut prev: Option<(String, u64)> = None;
+    for rec in &doc.records {
+        assert!(rec[c_link].contains("->"), "resolved link name: {rec:?}");
+        let rank: u64 = rec[c_rank].parse().unwrap();
+        let blocked: u64 = rec[c_blocked].parse().unwrap();
+        let point = format!("{}@{}@{}", rec[c_scenario], rec[c_topology], rec[c_load]);
+        // Within one point, rows are rank-ordered and blocked counts
+        // descend; rank resets to 0 at every new point.
+        match &prev {
+            Some((p, prev_blocked)) if *p == point => {
+                assert!(rank > 0, "rank must advance within {point}");
+                assert!(blocked <= *prev_blocked, "heat must descend within {point}");
+            }
+            _ => assert_eq!(rank, 0, "first row of {point} must be rank 0"),
+        }
+        prev = Some((point, blocked));
+    }
 }
