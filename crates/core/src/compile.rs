@@ -14,12 +14,14 @@
 
 use crate::config::{PlatformConfig, RoutingSpec, TrafficModel};
 use crate::error::CompileError;
-use nocem_common::ids::{EndpointId, LinkId, PortId};
-use nocem_common::rng::SplitMix64;
+use nocem_common::ids::{EndpointId, LinkId, PortId, VcId};
+use nocem_common::rng::{Lfsr16, SplitMix64};
+use nocem_common::route::RouteHop;
 use nocem_platform::bus::{AddressMap, DeviceClass};
 use nocem_stats::receptor::{StochasticReceptor, TraceReceptor};
 use nocem_stats::TrKind;
-use nocem_switch::config::SwitchConfigBuilder;
+use nocem_switch::arbiter::ArbiterKind;
+use nocem_switch::config::{SelectionPolicy, SwitchConfigBuilder};
 use nocem_switch::switch::{Switch, CREDITS_INFINITE};
 use nocem_topology::analysis::{predict_link_loads, SplitModel};
 use nocem_topology::deadlock::check_routing_deadlock_freedom;
@@ -458,6 +460,476 @@ impl Elaboration {
             }
         }
         Ok(())
+    }
+}
+
+/// Sentinel for "no entry" in the lowered index arrays (`allocated`,
+/// `chosen`, `busy_with` and the per-cycle grant arrays).
+pub const LOWERED_NONE: u32 = u32::MAX;
+
+/// Entry budget for [`LoweredPlatform::route_direct`] (4M single-byte
+/// entries): small and mid-size platforms get O(1) route lookups,
+/// huge ones keep the memory-proportional CSR.
+pub const ROUTE_DIRECT_MAX: usize = 1 << 22;
+
+/// [`LoweredPlatform::route_direct`] entry: the flow has no routing
+/// entry at this switch.
+pub const ROUTE_NONE: u8 = 0xFF;
+
+/// [`LoweredPlatform::route_direct`] entry: the flow's route is
+/// multi-hop (or its encoding exceeds a byte) — resolve through the
+/// CSR and run the selection policy.
+pub const ROUTE_MULTI: u8 = 0xFE;
+
+/// Sentinel for "no slot" in the packed per-slot records
+/// ([`InSlotState::allocated`], [`InSlotState::chosen`],
+/// [`OutSlotState::busy_with`]). Switch-local slot indices are
+/// `port * num_vcs + vc` with both factors below 256, so `u16::MAX`
+/// can never be a real slot.
+pub const SLOT_NONE: u16 = u16::MAX;
+
+/// Tail flag of a [`LoweredPlatform::fifo_arena`] flit handle: set for
+/// tail and single flits — the ones that close a wormhole.
+pub const HANDLE_TAIL: u32 = 1 << 30;
+
+/// Head flag of a [`LoweredPlatform::fifo_arena`] flit handle: set for
+/// head and single flits — the ones that carry routing information.
+pub const HANDLE_HEAD: u32 = 1 << 31;
+
+/// Pool-index mask of a [`LoweredPlatform::fifo_arena`] flit handle.
+pub const HANDLE_IDX: u32 = HANDLE_TAIL - 1;
+
+/// Hot per-input-slot state, packed into one 8-byte record so the
+/// engine's decide loop reads a slot's entire cursor/wormhole state
+/// with a single cache access (the arrays-of-u32 layout touched five
+/// cache lines per slot and overflowed L1 on a 64-switch platform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InSlotState {
+    /// Ring-buffer head index (`< fifo_depth`).
+    pub head: u8,
+    /// Buffered flit count (`<= fifo_depth`).
+    pub len: u8,
+    /// Alternation pointer for [`SelectionPolicy::Alternate`].
+    pub alternate: u8,
+    /// Reserved padding (keeps the record at 8 bytes explicitly).
+    pub pad: u8,
+    /// Output slot allocated to the crossing worm as a switch-local
+    /// `port * num_vcs + vc` ([`SLOT_NONE`] when free).
+    pub allocated: u16,
+    /// Hop selected for the pending head, sticky until VC allocation
+    /// ([`SLOT_NONE`] when none), same encoding as `allocated`.
+    pub chosen: u16,
+}
+
+impl InSlotState {
+    /// The initial (empty FIFO, no worm, no selection) record.
+    pub const EMPTY: InSlotState = InSlotState {
+        head: 0,
+        len: 0,
+        alternate: 0,
+        pad: 0,
+        allocated: SLOT_NONE,
+        chosen: SLOT_NONE,
+    };
+}
+
+/// Hot per-output-slot state, packed into one 8-byte record (credit
+/// count, wormhole owner, VC-allocation arbiter pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutSlotState {
+    /// Credits toward the downstream buffer ([`CREDITS_INFINITE`] on
+    /// ejection ports).
+    pub credits: u32,
+    /// Wormhole owner as a switch-local input slot
+    /// `input * num_vcs + vc` ([`SLOT_NONE`] when free).
+    pub busy_with: u16,
+    /// Round-robin pointer of the VC-allocation arbiter (over
+    /// `inputs[s] * num_vcs` request lines).
+    pub arb_last: u16,
+}
+
+/// Destination of a lowered switch output port (flattened wiring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoweredOutDest {
+    /// A downstream switch input port.
+    Switch {
+        /// Downstream switch index (for error attribution and
+        /// occupancy bookkeeping).
+        switch: u32,
+        /// Global input-*slot* base of the downstream input port: a
+        /// flit arriving on VC `v` lands in FIFO slot `slot_base + v`.
+        slot_base: u32,
+    },
+    /// Ejection into a traffic receptor.
+    Receptor {
+        /// Receptor index (dense, receptor order).
+        index: u32,
+    },
+}
+
+/// Source feeding a lowered switch input port (for credit returns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoweredInFeed {
+    /// An upstream switch output port: the credit for input VC `v`
+    /// returns to global output slot `slot_base + v`.
+    Switch {
+        /// Global output-slot base of the upstream output port.
+        slot_base: u32,
+    },
+    /// A generator's network interface.
+    Generator {
+        /// Generator index (dense, generator order).
+        index: u32,
+    },
+}
+
+/// The elaboration lowered to flat struct-of-arrays state — the data
+/// plane of [`crate::compiled::CompiledEngine`].
+///
+/// Every per-switch `Vec<Vec<...>>` of the interpreted platform
+/// becomes one dense array indexed through per-switch prefix sums, so
+/// the engine's hot loops walk contiguous memory with no pointer
+/// chasing, no hashing and no per-cycle allocation:
+///
+/// * **Input slots** — one per `(switch, input port, VC)`, ascending
+///   `(switch, port, vc)`. Slot `k` of switch `s` spans
+///   `in_slot_base[s] + k`; its ring buffer occupies
+///   `fifo_arena[slot * fifo_depth ..][..fifo_depth]`, and its
+///   cursor/wormhole state is one packed 8-byte [`InSlotState`]
+///   record in `in_state`.
+/// * **Output slots** — one per `(switch, output port, VC)`: a packed
+///   8-byte [`OutSlotState`] record (credits, wormhole owner,
+///   VC-allocation arbiter pointer) in `out_state`, plus the cold
+///   `credit_cap`.
+/// * **Ports** — per-port arrays (`out_vc_ptr`, `out_link`, wiring)
+///   are indexed through `in_port_base`/`out_port_base`.
+/// * **Routes** — all per-switch sparse [`RouteTable`]s flattened into
+///   one CSR: switch `s` owns `route_flows[route_flow_base[s] ..
+///   route_flow_base[s + 1]]` (sorted, binary-searched) and flow entry
+///   `f` owns `route_hops[route_hop_start[f] .. route_hop_start[f+1]]`.
+///
+/// All sizing derives from the *elaboration* (per-switch port counts),
+/// never from a uniform config-wide maximum, so heterogeneous
+/// topologies (e.g. a star hub next to 2-port leaves) lower without
+/// waste or index panics.
+///
+/// [`RouteTable`]: nocem_common::route::RouteTable
+#[derive(Debug, Clone)]
+pub struct LoweredPlatform {
+    /// Number of switches.
+    pub switch_count: usize,
+    /// Virtual channels per port (uniform across the platform).
+    pub num_vcs: usize,
+    /// FIFO depth in flits (uniform across the platform).
+    pub fifo_depth: usize,
+    /// Per switch: input port count.
+    pub inputs: Vec<u32>,
+    /// Per switch: output port count.
+    pub outputs: Vec<u32>,
+    /// Prefix sums of `inputs[s] * num_vcs` (length `switch_count+1`).
+    pub in_slot_base: Vec<u32>,
+    /// Prefix sums of `outputs[s] * num_vcs` (length `switch_count+1`).
+    pub out_slot_base: Vec<u32>,
+    /// Prefix sums of `inputs[s]` (length `switch_count + 1`).
+    pub in_port_base: Vec<u32>,
+    /// Prefix sums of `outputs[s]` (length `switch_count + 1`).
+    pub out_port_base: Vec<u32>,
+    /// FIFO ring-buffer arena: `fifo_depth` *flit handles* per input
+    /// slot. A handle is a pool index into the engine's flit pool with
+    /// [`HANDLE_HEAD`]/[`HANDLE_TAIL`] kind flags packed into the top
+    /// bits, so a hop moves four bytes and the wormhole open/close
+    /// tests never touch the flit itself.
+    pub fifo_arena: Vec<u32>,
+    /// Per input slot: packed cursor/wormhole record.
+    pub in_state: Vec<InSlotState>,
+    /// Per switch: range `route_flow_base[s]..route_flow_base[s+1]`
+    /// of `route_flows` (length `switch_count + 1`).
+    pub route_flow_base: Vec<u32>,
+    /// Flow ids with routing entries, sorted within each switch range.
+    pub route_flows: Vec<u32>,
+    /// CSR offsets into `route_hops` (length `route_flows.len()+1`).
+    pub route_hop_start: Vec<u32>,
+    /// Admissible output hops, concatenated per flow entry.
+    pub route_hops: Vec<RouteHop>,
+    /// Direct-mapped route answers for small platforms: entry
+    /// `s * route_flow_space + flow` holds the flow's single-hop
+    /// answer as an encoded local out-slot `port * num_vcs + vc`
+    /// (every deterministic routing function), so the hot lookup is
+    /// one byte load with no hop-list traversal and no selection.
+    /// [`ROUTE_MULTI`] defers multi-hop flows to the CSR + selection
+    /// policy; [`ROUTE_NONE`] marks flows with no entry at `s`. Empty
+    /// when `switch_count × flow_space` exceeds [`ROUTE_DIRECT_MAX`]
+    /// — then every lookup takes the CSR binary search.
+    pub route_direct: Vec<u8>,
+    /// Row stride of `route_direct` (max flow id + 1; 0 when the
+    /// direct map is disabled).
+    pub route_flow_space: usize,
+    /// Per output slot: packed credit/wormhole/arbiter record.
+    pub out_state: Vec<OutSlotState>,
+    /// Per output slot: the initial credit value (cold; used by the
+    /// quiescence debug check and inspection).
+    pub credit_cap: Vec<u32>,
+    /// Per output port: switch-allocation round-robin pointer over VCs.
+    pub out_vc_ptr: Vec<u8>,
+    /// Per switch: the shared selection LFSR, reseeded identically to
+    /// elaboration (the platform seeder draws all switch seeds before
+    /// any generator seed, so re-deriving them here is exact).
+    pub lfsrs: Vec<Lfsr16>,
+    /// Output arbitration policy (uniform across the platform).
+    pub arbiter: ArbiterKind,
+    /// Multi-path selection policy (uniform across the platform).
+    pub selection: SelectionPolicy,
+    /// Per output port: where sent flits land.
+    pub out_dest: Vec<LoweredOutDest>,
+    /// Per input port: where vacated-buffer credits return.
+    pub in_feed: Vec<LoweredInFeed>,
+    /// Per output port: the raw [`LinkId`] it drives (congestion and
+    /// telemetry attribution).
+    pub out_link: Vec<u32>,
+    /// Per generator: the switch its NI injects into.
+    pub inject_switch: Vec<u32>,
+    /// Per generator: global input-slot base of its injection port.
+    pub inject_slot_base: Vec<u32>,
+    /// Largest `inputs[s] * num_vcs` over all switches (scratch sizing).
+    pub max_in_slots: usize,
+    /// Largest `outputs[s] * num_vcs` over all switches (scratch sizing).
+    pub max_out_slots: usize,
+    /// Largest `inputs[s]` over all switches (scratch sizing).
+    pub max_inputs: usize,
+}
+
+impl LoweredPlatform {
+    /// The admissible hops of `flow` at switch `s` (empty when the
+    /// flow has no entry there) — the CSR equivalent of
+    /// [`RoutingTables::lookup`].
+    pub fn route_lookup(&self, s: usize, flow: u32) -> &[RouteHop] {
+        let lo = self.route_flow_base[s] as usize;
+        let hi = self.route_flow_base[s + 1] as usize;
+        match self.route_flows[lo..hi].binary_search(&flow) {
+            Ok(k) => {
+                let f = lo + k;
+                let a = self.route_hop_start[f] as usize;
+                let b = self.route_hop_start[f + 1] as usize;
+                &self.route_hops[a..b]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Total input slots (FIFO count) of the lowered platform.
+    pub fn total_in_slots(&self) -> usize {
+        *self.in_slot_base.last().expect("prefix sums are non-empty") as usize
+    }
+
+    /// Total output slots of the lowered platform.
+    pub fn total_out_slots(&self) -> usize {
+        *self
+            .out_slot_base
+            .last()
+            .expect("prefix sums are non-empty") as usize
+    }
+}
+
+/// Lowers a *freshly elaborated* platform into flat struct-of-arrays
+/// state (see [`LoweredPlatform`] for the layout).
+///
+/// The pass is pure: it reads the elaboration's topology, routing
+/// tables and switch credit state and writes dense arrays sized from
+/// the per-switch port counts. It must run before any cycle is
+/// stepped — credits are captured as the initial (= cap) values and
+/// the selection LFSRs are re-seeded from the platform seed exactly as
+/// [`elaborate_routed`] seeded the interpreted switches.
+pub fn lower(elab: &Elaboration) -> LoweredPlatform {
+    let topo = &elab.config.topology;
+    let vcs = usize::from(elab.config.switch.num_vcs);
+    let depth = usize::from(elab.config.switch.fifo_depth);
+    let n = topo.switch_count();
+
+    let mut inputs = Vec::with_capacity(n);
+    let mut outputs = Vec::with_capacity(n);
+    let mut in_slot_base = Vec::with_capacity(n + 1);
+    let mut out_slot_base = Vec::with_capacity(n + 1);
+    let mut in_port_base = Vec::with_capacity(n + 1);
+    let mut out_port_base = Vec::with_capacity(n + 1);
+    in_slot_base.push(0u32);
+    out_slot_base.push(0u32);
+    in_port_base.push(0u32);
+    out_port_base.push(0u32);
+    let mut max_in_slots = 0usize;
+    let mut max_out_slots = 0usize;
+    let mut max_inputs = 0usize;
+    for s in topo.switch_ids() {
+        let info = topo.switch(s);
+        let (i, o) = (u32::from(info.inputs), u32::from(info.outputs));
+        inputs.push(i);
+        outputs.push(o);
+        in_slot_base.push(in_slot_base.last().unwrap() + i * vcs as u32);
+        out_slot_base.push(out_slot_base.last().unwrap() + o * vcs as u32);
+        in_port_base.push(in_port_base.last().unwrap() + i);
+        out_port_base.push(out_port_base.last().unwrap() + o);
+        max_in_slots = max_in_slots.max(i as usize * vcs);
+        max_out_slots = max_out_slots.max(o as usize * vcs);
+        max_inputs = max_inputs.max(i as usize);
+    }
+    let total_in_slots = *in_slot_base.last().unwrap() as usize;
+    let total_out_slots = *out_slot_base.last().unwrap() as usize;
+    let total_out_ports = *out_port_base.last().unwrap() as usize;
+
+    // The arena holds `depth` handle slots per FIFO; unoccupied slots
+    // carry a zero handle that no code path ever reads (len/head gate
+    // every access).
+    let fifo_arena = vec![0u32; total_in_slots * depth];
+
+    // Flatten the per-switch sparse route tables into one CSR.
+    let mut route_flow_base = Vec::with_capacity(n + 1);
+    route_flow_base.push(0u32);
+    let mut route_flows = Vec::new();
+    let mut route_hop_start = vec![0u32];
+    let mut route_hops: Vec<RouteHop> = Vec::new();
+    for s in topo.switch_ids() {
+        for (flow, hops) in elab.routing.switch_table(s).entries() {
+            route_flows.push(flow.raw());
+            route_hops.extend_from_slice(hops);
+            route_hop_start.push(route_hops.len() as u32);
+        }
+        route_flow_base.push(route_flows.len() as u32);
+    }
+    let mut route_flow_space = route_flows.iter().max().map_or(0, |&m| m as usize + 1);
+    let route_direct = if n * route_flow_space <= ROUTE_DIRECT_MAX {
+        let mut direct = vec![ROUTE_NONE; n * route_flow_space];
+        for s in 0..n {
+            let lo = route_flow_base[s] as usize;
+            let hi = route_flow_base[s + 1] as usize;
+            for f in lo..hi {
+                let a = route_hop_start[f] as usize;
+                let b = route_hop_start[f + 1] as usize;
+                let enc = if b - a == 1 {
+                    let hop = route_hops[a];
+                    hop.port.index() * vcs + hop.vc.index()
+                } else {
+                    usize::from(ROUTE_MULTI)
+                };
+                direct[s * route_flow_space + route_flows[f] as usize] =
+                    if enc < usize::from(ROUTE_MULTI) {
+                        enc as u8
+                    } else {
+                        ROUTE_MULTI
+                    };
+            }
+        }
+        direct
+    } else {
+        route_flow_space = 0;
+        Vec::new()
+    };
+
+    // Output-slot records: credits derived exactly as elaboration
+    // derives them (inter-switch: downstream FIFO depth; ejection:
+    // infinite); arbiter pointers start at `width - 1` so the first
+    // grant scans from input slot 0.
+    let mut out_state = Vec::with_capacity(total_out_slots);
+    let mut credit_cap = Vec::with_capacity(total_out_slots);
+    for s in topo.switch_ids() {
+        let info = topo.switch(s);
+        let width = (u32::from(info.inputs) as usize * vcs - 1) as u16;
+        for p in 0..info.outputs {
+            let link = topo.out_link(s, PortId::new(p));
+            let per_vc = match topo.link(link).dst {
+                LinkEnd::Switch { .. } => u32::from(elab.config.switch.fifo_depth),
+                LinkEnd::Endpoint(_) => CREDITS_INFINITE,
+            };
+            for v in 0..vcs {
+                debug_assert_eq!(
+                    elab.switches[s.index()].credits_vc(PortId::new(p), VcId::new(v as u8)),
+                    per_vc,
+                    "lowering must start from a freshly elaborated platform"
+                );
+                out_state.push(OutSlotState {
+                    credits: per_vc,
+                    busy_with: SLOT_NONE,
+                    arb_last: width,
+                });
+                credit_cap.push(per_vc);
+            }
+        }
+    }
+
+    // Selection LFSR seeds: elaboration draws all switch seeds from
+    // the platform seeder *before* any generator seed, in switch-id
+    // order, so replaying the first `switch_count` draws is exact.
+    let mut seeder = SplitMix64::new(elab.config.seed);
+    let lfsrs: Vec<Lfsr16> = (0..n)
+        .map(|_| Lfsr16::new((seeder.next() & 0xFFFF) as u16))
+        .collect();
+
+    // Flattened wiring.
+    let mut out_dest = Vec::with_capacity(total_out_ports);
+    let mut out_link = Vec::with_capacity(total_out_ports);
+    let mut in_feed = Vec::new();
+    for s in topo.switch_ids() {
+        let si = s.index();
+        for (p, target) in elab.wiring.out_target[si].iter().enumerate() {
+            out_dest.push(match *target {
+                OutTarget::Switch { switch, port } => LoweredOutDest::Switch {
+                    switch: switch as u32,
+                    slot_base: in_slot_base[switch] + (port.index() * vcs) as u32,
+                },
+                OutTarget::Receptor { index } => LoweredOutDest::Receptor {
+                    index: index as u32,
+                },
+            });
+            out_link.push(topo.out_link(s, PortId::new(p as u8)).raw());
+        }
+        for source in &elab.wiring.in_source[si] {
+            in_feed.push(match *source {
+                InSource::Switch { switch, port } => LoweredInFeed::Switch {
+                    slot_base: out_slot_base[switch] + (port.index() * vcs) as u32,
+                },
+                InSource::Generator { index } => LoweredInFeed::Generator {
+                    index: index as u32,
+                },
+            });
+        }
+    }
+    let mut inject_switch = Vec::with_capacity(elab.wiring.injection.len());
+    let mut inject_slot_base = Vec::with_capacity(elab.wiring.injection.len());
+    for &(s, port, _) in &elab.wiring.injection {
+        inject_switch.push(s as u32);
+        inject_slot_base.push(in_slot_base[s] + (port.index() * vcs) as u32);
+    }
+
+    LoweredPlatform {
+        switch_count: n,
+        num_vcs: vcs,
+        fifo_depth: depth,
+        inputs,
+        outputs,
+        in_state: vec![InSlotState::EMPTY; total_in_slots],
+        fifo_arena,
+        route_flow_base,
+        route_flows,
+        route_hop_start,
+        route_hops,
+        route_direct,
+        route_flow_space,
+        out_state,
+        credit_cap,
+        out_vc_ptr: vec![0; total_out_ports],
+        lfsrs,
+        arbiter: elab.config.switch.arbiter,
+        selection: elab.config.switch.selection,
+        out_dest,
+        in_feed,
+        out_link,
+        inject_switch,
+        inject_slot_base,
+        in_slot_base,
+        out_slot_base,
+        in_port_base,
+        out_port_base,
+        max_in_slots,
+        max_out_slots,
+        max_inputs,
     }
 }
 

@@ -1,0 +1,1549 @@
+//! The compiled data-oriented engine: elaborate once, run flat arrays.
+//!
+//! [`CompiledEngine`] is the paper's synthesize-then-execute split in
+//! software. Where [`crate::engine::Emulation`] interprets the
+//! elaborated object graph every cycle (per-switch `Vec<Vec<...>>`
+//! buffers, a `Vec<Transfer>` allocated per switch per cycle),
+//! this engine [`lower`]s the elaboration once into
+//! [`LoweredPlatform`] — one FIFO arena, one shared CSR route table,
+//! dense credit/worm arrays — and then steps the whole platform as
+//! tight loops over those arrays with no per-cycle allocation and no
+//! per-flit virtual dispatch (only the per-TG `tick` stays virtual,
+//! which keeps the generators' RNG streams identical by construction).
+//!
+//! The cycle semantics are *bit-identical* to `Emulation`: each phase
+//! below mirrors the corresponding `Switch`/engine code path decision
+//! for decision, in the same ascending orders, including arbiter
+//! pointer movement and selection-LFSR stepping. The lockstep tests
+//! (`tests/compiled_engine.rs`) prove ledger equality cycle by cycle.
+//!
+//! Speed comes from doing only *event* work, never *structure* work:
+//!
+//! * **Occupancy bitmasks** — each switch keeps a `u64` mask of its
+//!   occupied input slots, so request generation, arbitration, grant
+//!   application and congestion accounting iterate set bits
+//!   (ascending, preserving the reference order) instead of scanning
+//!   every slot. A fully empty switch is skipped in O(1).
+//! * **Mask arbiters** — the round-robin arbiter is two bit
+//!   operations over the request mask instead of a probe loop.
+//! * **No division** — ring-buffer indices and VC arithmetic use
+//!   conditional subtraction and precomputed slot→port tables; the
+//!   interpreted engine's `%` by runtime FIFO depth and VC count is
+//!   one of its largest per-cycle costs.
+//! * **Event-deferred traffic models** — a generator whose
+//!   [`TrafficGenerator::next_event_cycle`] lies in the future is not
+//!   ticked; the skipped pure-countdown window is replayed exactly
+//!   with [`TrafficGenerator::skip_to`] right before its next real
+//!   tick. Idle network interfaces are skipped the same way.
+//! * **No allocation** — grants, requests and transfers live in
+//!   persistent scratch reused every cycle.
+//!
+//! Switches whose port×VC counts exceed 64 slots (a large star hub)
+//! fall back to dense scans with identical semantics — the mask path
+//! is an optimisation, never a constraint on topology.
+
+use crate::clock::{self, ClockMode, EngineSummary, SteppableEngine};
+use crate::compile::{
+    lower, Elaboration, LoweredInFeed, LoweredOutDest, LoweredPlatform, OutSlotState,
+    ReceptorDevice, HANDLE_HEAD, HANDLE_IDX, HANDLE_TAIL, LOWERED_NONE, ROUTE_MULTI, SLOT_NONE,
+};
+use crate::config::PlatformConfig;
+use crate::error::EmulationError;
+use crate::results::{EmulationResults, ReceptorSummary};
+use nocem_common::flit::{Flit, PacketDescriptor};
+use nocem_common::ids::{EndpointId, FlowId, LinkId, PacketId, SwitchId, VcId};
+use nocem_common::rng::Lfsr16;
+use nocem_common::route::RouteHop;
+use nocem_common::time::Cycle;
+use nocem_stats::congestion::{CongestionCounter, VcOccupancy};
+use nocem_stats::ledger::PacketLedger;
+use nocem_stats::receptor::CompletedPacket;
+use nocem_switch::arbiter::ArbiterKind;
+use nocem_switch::config::SelectionPolicy;
+use nocem_switch::fifo::FifoFullError;
+use nocem_switch::switch::CREDITS_INFINITE;
+use nocem_telemetry::{Collector, CumulativeProbe};
+use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
+use nocem_traffic::ni::SourceNi;
+
+/// The compiled platform: flat arrays stepped by tight loops.
+///
+/// Built from an [`Elaboration`] via [`CompiledEngine::new`]; selected
+/// through [`crate::config::EngineKind::Compiled`] everywhere a config
+/// picks an engine ([`crate::shard::build_engine`],
+/// [`crate::sweep::AnyEngine`], sweeps, curves).
+pub struct CompiledEngine {
+    config: PlatformConfig,
+    low: LoweredPlatform,
+    tgs: Vec<Box<dyn TrafficGenerator + Send>>,
+    nis: Vec<SourceNi>,
+    receptors: Vec<ReceptorDevice>,
+    generator_endpoints: Vec<EndpointId>,
+    /// Per generator: injection link id (congestion attribution).
+    injection_links: Vec<LinkId>,
+    ledger: PacketLedger,
+    now: Cycle,
+    next_packet: u64,
+    /// Per-TG output register: a request the source queue could not
+    /// absorb yet (the model is clock-gated while this is occupied).
+    pending: Vec<Option<PacketRequest>>,
+    /// Per TG: earliest cycle whose tick is not a pure no-op — ticks
+    /// strictly before it are deferred and replayed with `skip_to`.
+    tg_next_event: Vec<u64>,
+    /// Per TG: first cycle whose (deferred) tick has not been
+    /// replayed yet.
+    tg_synced: Vec<u64>,
+    /// Per NI: known non-idle; `tick_send` on an idle NI is a pure
+    /// no-op and is skipped.
+    ni_active: Vec<bool>,
+    stalled: u64,
+    delivered_flits: u64,
+    cycles_skipped: u64,
+    telemetry: Option<Collector>,
+    /// Per global output port: cycles some input VC waited on it.
+    blocked_out: Vec<u64>,
+    /// Per global output port: flits that crossed it.
+    forwarded_out: Vec<u64>,
+    /// Per `(switch, vc)`: peak fill of any single FIFO of that VC.
+    max_vc_occ: Vec<u64>,
+    /// Per switch: total buffered flits (the skip-empty gate).
+    occ_flits: Vec<u32>,
+    /// Per switch: bitmask of occupied local input slots (mask path).
+    occ_mask: Vec<u64>,
+    /// Per switch: out-slots granted by VC allocation this cycle.
+    vcg_mask: Vec<u64>,
+    /// Per switch: out-ports granted a transfer this cycle.
+    grant_mask: Vec<u64>,
+    /// Per switch: all port×VC dims fit the 64-bit mask fast path.
+    mask_ok: Vec<bool>,
+    /// Platform-wide buffered flits (O(1) quiescence).
+    total_occ: u64,
+    /// Open wormholes (allocated/busy pairs; O(1) quiescence).
+    open_worms: u32,
+    /// Outstanding finite credits (cap minus current; O(1) quiescence).
+    credit_debt: u64,
+    /// Per global output slot: this cycle's VC-allocation winner as a
+    /// switch-local input slot ([`SLOT_NONE`] = none).
+    vc_granted: Vec<u16>,
+    /// Per global output port: this cycle's transfer grant, encoded
+    /// `(input_slot << 8) | out_vc` ([`LOWERED_NONE`] = none).
+    granted: Vec<u32>,
+    /// Per switch: decided this cycle (commit processes only these).
+    active: Vec<bool>,
+    /// Scratch: per switch-local input slot, the requested switch-local
+    /// output slot (valid only for occupied slots).
+    requests: Vec<u16>,
+    /// Scratch (mask path): per local out-slot, the bitmask of
+    /// requesting input slots; set and cleared within one decide.
+    slot_reqs: Vec<u64>,
+    /// Scratch (dense path): `[local out-slot][local in-slot]` request
+    /// lines, set and lazily cleared like the interpreted switch's.
+    vc_reqs: Vec<bool>,
+    /// Scratch (dense path): per local out-slot, any request.
+    vc_req_any: Vec<bool>,
+    /// Scratch (dense path): per input port, a grant claimed it.
+    input_taken: Vec<bool>,
+    /// Lookup: local input slot → input port (hot paths divide by the
+    /// VC count through this table instead of the ALU).
+    iv_port: Vec<u32>,
+    /// Lookup: local output slot → output port.
+    slot_port: Vec<u32>,
+    /// In-flight flit storage: the arena's handles index this pool, so
+    /// a hop moves a four-byte handle instead of a whole [`Flit`]. A
+    /// flit is interned at injection and freed at delivery; the free
+    /// list recycles pool slots deterministically.
+    flit_pool: Vec<Flit>,
+    /// Freed pool indices awaiting reuse.
+    flit_free: Vec<u32>,
+}
+
+impl std::fmt::Debug for CompiledEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledEngine")
+            .field("name", &self.config.name)
+            .field("cycle", &self.now)
+            .field("delivered", &self.ledger.delivered())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One VC-allocation arbiter step over dense request lines — the exact
+/// semantics of `nocem-switch`'s arbiters (dense fallback path).
+#[inline]
+fn arb_grant_dense(kind: ArbiterKind, last: &mut u16, requests: &[bool]) -> Option<usize> {
+    match kind {
+        ArbiterKind::RoundRobin => {
+            let width = requests.len();
+            let start = *last as usize;
+            for (i, &req) in requests.iter().enumerate().skip(start + 1) {
+                if req {
+                    *last = i as u16;
+                    return Some(i);
+                }
+            }
+            for (i, &req) in requests.iter().enumerate().take(start.min(width - 1) + 1) {
+                if req {
+                    *last = i as u16;
+                    return Some(i);
+                }
+            }
+            None
+        }
+        ArbiterKind::FixedPriority => requests.iter().position(|&r| r),
+    }
+}
+
+/// One VC-allocation arbiter step over a non-empty request *mask*:
+/// round-robin picks the smallest requesting index strictly above the
+/// pointer, wrapping to the smallest overall — exactly the probe loop
+/// of `nocem-switch`'s arbiter, in two bit operations.
+#[inline]
+fn arb_grant_mask(kind: ArbiterKind, last: &mut u16, reqs: u64) -> u16 {
+    debug_assert_ne!(reqs, 0, "mask arbiters only run on requested slots");
+    match kind {
+        ArbiterKind::RoundRobin => {
+            let above = match 1u64.checked_shl(u32::from(*last) + 1) {
+                Some(bit) => reqs & !(bit - 1),
+                None => 0,
+            };
+            let pick = if above != 0 {
+                above.trailing_zeros() as u16
+            } else {
+                reqs.trailing_zeros() as u16
+            };
+            *last = pick;
+            pick
+        }
+        ArbiterKind::FixedPriority => reqs.trailing_zeros() as u16,
+    }
+}
+
+/// The multi-path selection policy — the exact semantics of
+/// `Switch::select` over the switch-local credit view.
+#[inline]
+fn select_hop(
+    policy: SelectionPolicy,
+    hops: &[RouteHop],
+    out_state: &[OutSlotState],
+    vcs: usize,
+    alternate_ptr: &mut u8,
+    lfsr: &mut Lfsr16,
+) -> RouteHop {
+    if hops.len() == 1 {
+        return hops[0];
+    }
+    match policy {
+        SelectionPolicy::First => hops[0],
+        SelectionPolicy::Alternate => {
+            let idx = (*alternate_ptr as usize) % hops.len();
+            *alternate_ptr = alternate_ptr.wrapping_add(1);
+            hops[idx]
+        }
+        SelectionPolicy::Random {
+            secondary_threshold,
+        } => {
+            let draw = lfsr.step();
+            if draw < secondary_threshold {
+                hops[1 + (draw as usize) % (hops.len() - 1)]
+            } else {
+                hops[0]
+            }
+        }
+        SelectionPolicy::Adaptive => {
+            let mut best = hops[0];
+            let mut best_credit = out_state[best.port.index() * vcs + best.vc.index()].credits;
+            for &h in &hops[1..] {
+                let c = out_state[h.port.index() * vcs + h.vc.index()].credits;
+                if c > best_credit {
+                    best = h;
+                    best_credit = c;
+                }
+            }
+            best
+        }
+    }
+}
+
+impl CompiledEngine {
+    /// Lowers `elab` and wraps it into a runnable compiled engine.
+    ///
+    /// The traffic generators, network interfaces and receptors are
+    /// *moved out of* the elaboration and reused as-is — their
+    /// per-device state (RNG streams, serializers, histograms) is what
+    /// makes the compiled run release- and delivery-identical to the
+    /// interpreted one by construction. Only the switches are
+    /// re-expressed as flat arrays.
+    pub fn new(mut elab: Elaboration) -> Self {
+        let low = lower(&elab);
+        let generator_endpoints = elab.config.topology.generators();
+        let telemetry = elab.config.telemetry.as_ref().map(|t| {
+            Collector::new(
+                t,
+                elab.config.topology.link_count(),
+                usize::from(elab.config.switch.num_vcs),
+            )
+        });
+        let tgs = std::mem::take(&mut elab.tgs);
+        let nis = std::mem::take(&mut elab.nis);
+        let receptors = std::mem::take(&mut elab.receptors);
+        let injection_links = elab.wiring.injection.iter().map(|&(_, _, l)| l).collect();
+        let config = elab.config;
+        let total_out_slots = low.total_out_slots();
+        let total_out_ports = *low.out_port_base.last().expect("prefix sums") as usize;
+        let vcs = low.num_vcs;
+        let mask_ok = (0..low.switch_count)
+            .map(|s| {
+                low.inputs[s] as usize * vcs <= 64
+                    && low.outputs[s] as usize * vcs <= 64
+                    && low.outputs[s] as usize <= 64
+            })
+            .collect();
+        let tg_next_event = tgs
+            .iter()
+            .map(|t| t.next_event_cycle(Cycle::ZERO).cycle_or_max())
+            .collect();
+        CompiledEngine {
+            ledger: PacketLedger::new(),
+            now: Cycle::ZERO,
+            next_packet: 0,
+            pending: vec![None; tgs.len()],
+            tg_next_event,
+            tg_synced: vec![0; tgs.len()],
+            ni_active: vec![false; nis.len()],
+            stalled: 0,
+            delivered_flits: 0,
+            cycles_skipped: 0,
+            telemetry,
+            blocked_out: vec![0; total_out_ports],
+            forwarded_out: vec![0; total_out_ports],
+            max_vc_occ: vec![0; low.switch_count * vcs],
+            occ_flits: vec![0; low.switch_count],
+            occ_mask: vec![0; low.switch_count],
+            vcg_mask: vec![0; low.switch_count],
+            grant_mask: vec![0; low.switch_count],
+            mask_ok,
+            total_occ: 0,
+            open_worms: 0,
+            credit_debt: 0,
+            vc_granted: vec![SLOT_NONE; total_out_slots],
+            granted: vec![LOWERED_NONE; total_out_ports],
+            active: vec![false; low.switch_count],
+            requests: vec![0; low.max_in_slots],
+            slot_reqs: vec![0; low.max_out_slots],
+            vc_reqs: vec![false; low.max_out_slots * low.max_in_slots],
+            vc_req_any: vec![false; low.max_out_slots],
+            input_taken: vec![false; low.max_inputs],
+            iv_port: (0..low.max_in_slots as u32)
+                .map(|iv| iv / vcs as u32)
+                .collect(),
+            slot_port: (0..low.max_out_slots as u32)
+                .map(|slot| slot / vcs as u32)
+                .collect(),
+            flit_pool: Vec::new(),
+            flit_free: Vec::new(),
+            generator_endpoints,
+            injection_links,
+            tgs,
+            nis,
+            receptors,
+            config,
+            low,
+        }
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.ledger.delivered()
+    }
+
+    /// Cycles the fast-forward kernel jumped over so far.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    /// The packet ledger (read access for tests and reports).
+    pub fn ledger(&self) -> &PacketLedger {
+        &self.ledger
+    }
+
+    /// The lowered platform (read access for inspection and tests).
+    pub fn lowered(&self) -> &LoweredPlatform {
+        &self.low
+    }
+
+    /// Whether the whole platform is quiescent — the O(1) aggregate
+    /// form of [`clock::platform_quiescent`]: no packet in flight, no
+    /// parked TG request, every NI idle with credits home, no buffered
+    /// flit, no open wormhole, every finite credit back at its cap.
+    pub fn is_quiescent(&self) -> bool {
+        self.ledger.in_flight() == 0
+            && self.pending.iter().all(Option::is_none)
+            && self.nis.iter().all(|n| n.is_idle() && n.credits_home())
+            && self.total_occ == 0
+            && self.open_worms == 0
+            && self.credit_debt == 0
+    }
+
+    /// Replays TG `i`'s deferred pure-countdown window `[synced, now)`
+    /// so its next tick observes exactly the state an every-cycle run
+    /// would have produced.
+    #[inline]
+    fn sync_tg(&mut self, i: usize, now: Cycle) {
+        if self.tg_synced[i] < now.raw() {
+            self.tgs[i].skip_to(Cycle::new(self.tg_synced[i]), now);
+        }
+        self.tg_synced[i] = now.raw();
+    }
+
+    /// Advances one platform cycle — the exact phase order of
+    /// [`crate::engine::Emulation::step`] over the flat arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmulationError`] on wiring/protocol violations (which
+    /// a correct build never produces) or when the cycle limit is
+    /// exceeded.
+    pub fn step(&mut self) -> Result<(), EmulationError> {
+        if self.config.clock_mode == ClockMode::Gated && self.is_quiescent() {
+            // The shared fast-forward kernel assumes TGs are ticked up
+            // to `now`; replay any deferred countdown windows first.
+            let at = self.now;
+            for i in 0..self.tgs.len() {
+                self.sync_tg(i, at);
+            }
+            let skipped =
+                clock::fast_forward(self.now, self.config.stop.cycle_limit, &mut self.tgs);
+            self.now += skipped;
+            self.cycles_skipped += skipped;
+            if skipped > 0 {
+                let at = self.now.raw();
+                for i in 0..self.tgs.len() {
+                    self.tg_synced[i] = at;
+                    self.tg_next_event[i] = self.tgs[i].next_event_cycle(self.now).cycle_or_max();
+                }
+            }
+        }
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.needs_probe(self.now.raw()))
+        {
+            let probe = self.cumulative_probe();
+            let at = self.now.raw();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .record(at, &probe);
+        }
+        let now = self.now;
+
+        // 1. Traffic models release packets (parked requests retry
+        //    first, exactly like the interpreted engine). TGs whose
+        //    next event lies in the future are not ticked: those ticks
+        //    are pure countdowns, replayed in one `skip_to` jump right
+        //    before the next real tick.
+        for i in 0..self.tgs.len() {
+            let req = match self.pending[i].take() {
+                Some(req) if self.nis[i].can_accept() => {
+                    // The tick clock was paused while the request was
+                    // parked; re-anchor the event window at the next
+                    // tickable cycle.
+                    self.tg_synced[i] = now.raw() + 1;
+                    self.tg_next_event[i] = self.tgs[i].next_event_cycle(now.next()).cycle_or_max();
+                    req
+                }
+                Some(req) => {
+                    self.pending[i] = Some(req);
+                    self.stalled += 1;
+                    continue;
+                }
+                None => {
+                    if now.raw() < self.tg_next_event[i] {
+                        continue;
+                    }
+                    self.sync_tg(i, now);
+                    let released = self.tgs[i].tick(now);
+                    self.tg_synced[i] = now.raw() + 1;
+                    self.tg_next_event[i] = self.tgs[i].next_event_cycle(now.next()).cycle_or_max();
+                    let Some(req) = released else {
+                        continue;
+                    };
+                    if !self.nis[i].can_accept() {
+                        self.pending[i] = Some(req);
+                        self.stalled += 1;
+                        continue;
+                    }
+                    req
+                }
+            };
+            let id = PacketId::new(self.next_packet);
+            let desc = PacketDescriptor {
+                id,
+                src: self.generator_endpoints[i],
+                dst: req.dst,
+                flow: req.flow,
+                len_flits: req.len_flits,
+                release: now,
+            };
+            let accepted = self.nis[i].offer(desc);
+            debug_assert!(accepted, "capacity was checked before the offer");
+            self.ni_active[i] = true;
+            self.next_packet += 1;
+            self.ledger.release(id, now, req.len_flits)?;
+        }
+
+        // 2. All switches decide on start-of-cycle state. A switch
+        //    with no buffered flit can produce no request, move no
+        //    pointer and step no LFSR — skip it entirely.
+        let vc1 = self.low.num_vcs == 1;
+        for s in 0..self.low.switch_count {
+            if self.occ_flits[s] == 0 {
+                self.active[s] = false;
+                continue;
+            }
+            self.active[s] = true;
+            if self.mask_ok[s] {
+                if vc1 {
+                    self.decide_switch_mask_vc1(s);
+                } else {
+                    self.decide_switch_mask(s);
+                }
+            } else {
+                self.decide_switch_dense(s);
+            }
+        }
+
+        // 3. Network interfaces inject (visible next cycle). An idle
+        //    NI's `tick_send` is a pure no-op — skipped.
+        for i in 0..self.nis.len() {
+            if !self.ni_active[i] {
+                continue;
+            }
+            let Some(flit) = self.nis[i].tick_send() else {
+                if self.nis[i].is_idle() {
+                    self.ni_active[i] = false;
+                }
+                continue;
+            };
+            if flit.kind.is_head() {
+                self.ledger.inject(flit.packet, now)?;
+            }
+            let (sw, base) = (self.low.inject_switch[i], self.low.inject_slot_base[i]);
+            let vc = flit.vc.index();
+            let h = self.intern(flit);
+            self.accept_flit(sw as usize, base, h, vc)?;
+        }
+
+        // 4. All decided switches commit; flits move one hop.
+        for s in 0..self.low.switch_count {
+            if !self.active[s] {
+                continue;
+            }
+            if self.mask_ok[s] {
+                if vc1 {
+                    self.commit_switch_mask_vc1(s, now)?;
+                } else {
+                    self.commit_switch_mask(s, now)?;
+                }
+            } else {
+                self.commit_switch_dense(s, now)?;
+            }
+        }
+
+        // 5. Advance time.
+        self.now = now.next();
+        if self.now.raw() > self.config.stop.cycle_limit {
+            return Err(EmulationError::CycleLimitExceeded {
+                limit: self.config.stop.cycle_limit,
+                delivered: self.ledger.delivered(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Interns an injected flit into the pool and returns its arena
+    /// handle: the pool index with the head/tail kind flags packed into
+    /// the top bits. The free list makes reuse deterministic.
+    #[inline]
+    fn intern(&mut self, flit: Flit) -> u32 {
+        let idx = match self.flit_free.pop() {
+            Some(i) => {
+                self.flit_pool[i as usize] = flit;
+                i
+            }
+            None => {
+                self.flit_pool.push(flit);
+                (self.flit_pool.len() - 1) as u32
+            }
+        };
+        debug_assert!(
+            idx <= HANDLE_IDX,
+            "flit pool exceeds the handle index space"
+        );
+        let mut h = idx;
+        if flit.kind.is_head() {
+            h |= HANDLE_HEAD;
+        }
+        if flit.kind.is_tail() {
+            h |= HANDLE_TAIL;
+        }
+        h
+    }
+
+    /// Looks up `flow`'s route hops at switch `s` and runs the
+    /// selection policy — shared by both decide paths.
+    #[inline]
+    fn route_and_select(low: &mut LoweredPlatform, s: usize, slot: usize, flow: FlowId) -> u16 {
+        let vcs = low.num_vcs;
+        if low.route_flow_space != 0 {
+            // Single-hop routes (every deterministic routing function)
+            // are embedded in the direct map: one byte load answers
+            // the lookup with nothing to select.
+            let enc = low.route_direct[s * low.route_flow_space + flow.raw() as usize];
+            assert!(
+                enc != crate::compile::ROUTE_NONE,
+                "flow {flow} has no routing entry at this switch"
+            );
+            if enc != ROUTE_MULTI {
+                low.in_state[slot].chosen = u16::from(enc);
+                return u16::from(enc);
+            }
+        }
+        let osb = low.out_slot_base[s] as usize;
+        let oslots = low.out_slot_base[s + 1] as usize - osb;
+        let lo = low.route_flow_base[s] as usize;
+        let hi = low.route_flow_base[s + 1] as usize;
+        let entry = match low.route_flows[lo..hi].binary_search(&flow.raw()) {
+            Ok(k) => (lo + k) as u32,
+            Err(_) => LOWERED_NONE,
+        };
+        let hops: &[RouteHop] = if entry == LOWERED_NONE {
+            &[]
+        } else {
+            let a = low.route_hop_start[entry as usize] as usize;
+            let b = low.route_hop_start[entry as usize + 1] as usize;
+            &low.route_hops[a..b]
+        };
+        assert!(
+            !hops.is_empty(),
+            "flow {flow} has no routing entry at this switch"
+        );
+        let pick = select_hop(
+            low.selection,
+            hops,
+            &low.out_state[osb..osb + oslots],
+            vcs,
+            &mut low.in_state[slot].alternate,
+            &mut low.lfsrs[s],
+        );
+        let enc = (pick.port.index() * vcs + pick.vc.index()) as u16;
+        low.in_state[slot].chosen = enc;
+        enc
+    }
+
+    /// Phase 1 of one switch on the 64-bit mask fast path: requests,
+    /// VC allocation and switch allocation, iterating occupied and
+    /// requested slots only (ascending bit order = the reference's
+    /// ascending slot order).
+    fn decide_switch_mask(&mut self, s: usize) {
+        let low = &mut self.low;
+        let vcs = low.num_vcs;
+        let depth = low.fifo_depth;
+        let isb = low.in_slot_base[s] as usize;
+        let osb = low.out_slot_base[s] as usize;
+        let opb = low.out_port_base[s] as usize;
+
+        // Requests: worms repeat their allocation; fresh heads route
+        // (cached sticky in `chosen`) and select. One request mask per
+        // out-slot carries both kinds — safely, because a worm bit can
+        // only appear in the mask of its own *busy* out-slot, and the
+        // VC-allocation arbiter below only ever reads the masks of
+        // free out-slots, which are pure fresh heads.
+        let occ = self.occ_mask[s];
+        let mut oslot_mask: u64 = 0; // out-slots with any request
+        let mut out_mask: u64 = 0; // out-ports with any request
+        let mut m = occ;
+        while m != 0 {
+            let iv = (m.trailing_zeros() & 63) as usize;
+            m &= m - 1;
+            let slot = isb + iv;
+            let st = low.in_state[slot];
+            let hop = if st.allocated != SLOT_NONE {
+                st.allocated
+            } else if st.chosen != SLOT_NONE {
+                st.chosen
+            } else {
+                let h = low.fifo_arena[slot * depth + st.head as usize];
+                debug_assert!(
+                    h & HANDLE_HEAD != 0,
+                    "unallocated input VC must face a head flit (wormhole ordering)"
+                );
+                let flow = self.flit_pool[(h & HANDLE_IDX) as usize].flow;
+                Self::route_and_select(low, s, slot, flow)
+            };
+            self.slot_reqs[usize::from(hop)] |= 1 << iv;
+            oslot_mask |= 1 << hop;
+            out_mask |= 1 << self.slot_port[usize::from(hop)];
+        }
+
+        // VC allocation: every requested, free, credited output VC
+        // picks one head, ascending slot order.
+        let mut am = oslot_mask;
+        while am != 0 {
+            let slot = (am.trailing_zeros() & 63) as usize;
+            am &= am - 1;
+            let gslot = osb + slot;
+            let os = &mut low.out_state[gslot];
+            if os.busy_with != SLOT_NONE || os.credits == 0 {
+                continue;
+            }
+            let iv = arb_grant_mask(low.arbiter, &mut os.arb_last, self.slot_reqs[slot]);
+            self.vc_granted[gslot] = iv;
+            self.vcg_mask[s] |= 1 << slot;
+        }
+
+        // Switch allocation: each requested physical output transfers
+        // at most one flit; each input port sends at most one.
+        let mut granted_ivs: u64 = 0;
+        let mut input_taken: u64 = 0;
+        let mut om = out_mask;
+        while om != 0 {
+            let o = om.trailing_zeros() as usize;
+            om &= om - 1;
+            let gp = opb + o;
+            let base = low.out_vc_ptr[gp] as usize;
+            let oslot0 = o * vcs;
+            for k in 0..vcs {
+                let mut ov = base + k;
+                if ov >= vcs {
+                    ov -= vcs;
+                }
+                let slot = oslot0 + ov;
+                let gslot = osb + slot;
+                let fresh = self.vc_granted[gslot];
+                let cand = if fresh != SLOT_NONE {
+                    // A freshly allocated head (credit was checked
+                    // during allocation, this same cycle).
+                    fresh
+                } else {
+                    // A continuing worm whose output VC has a credit.
+                    // An occupied owner always re-requests its
+                    // allocation, so the occupancy bit is the request.
+                    let os = low.out_state[gslot];
+                    if os.busy_with != SLOT_NONE && os.credits > 0 && occ & (1 << os.busy_with) != 0
+                    {
+                        os.busy_with
+                    } else {
+                        SLOT_NONE
+                    }
+                };
+                if cand == SLOT_NONE {
+                    continue;
+                }
+                let i = self.iv_port[cand as usize];
+                if input_taken & (1 << i) != 0 {
+                    continue;
+                }
+                input_taken |= 1 << i;
+                granted_ivs |= 1 << cand;
+                self.granted[gp] = (u32::from(cand) << 8) | ov as u32;
+                self.grant_mask[s] |= 1 << o;
+                let mut next = ov + 1;
+                if next >= vcs {
+                    next = 0;
+                }
+                low.out_vc_ptr[gp] = next as u8;
+                break;
+            }
+        }
+
+        // Congestion accounting: every waiting input VC that was not
+        // granted charges the output its flit requested — one popcount
+        // per requested out-slot over the same masks (each occupied VC
+        // requests exactly one out-slot). Clearing the request scratch
+        // here keeps it all-zero between decides.
+        let mut bm = oslot_mask;
+        while bm != 0 {
+            let slot = (bm.trailing_zeros() & 63) as usize;
+            bm &= bm - 1;
+            let waiting = self.slot_reqs[slot] & !granted_ivs;
+            self.slot_reqs[slot] = 0;
+            self.blocked_out[opb + self.slot_port[slot] as usize] +=
+                u64::from(waiting.count_ones());
+        }
+    }
+
+    /// Phase 1 on the mask fast path, specialized for one VC — the
+    /// headline configuration. With `num_vcs == 1` a slot *is* a port
+    /// (`iv_port`/`slot_port` are the identity), the switch-allocation
+    /// VC rotation degenerates to a single probe and the per-port
+    /// "one input sends" constraint coincides with the granted-slot
+    /// set, so the whole decide runs on three bit masks.
+    fn decide_switch_mask_vc1(&mut self, s: usize) {
+        let low = &mut self.low;
+        let depth = low.fifo_depth;
+        let isb = low.in_slot_base[s] as usize;
+        let osb = low.out_slot_base[s] as usize;
+        let opb = low.out_port_base[s] as usize;
+
+        // Requests: worms repeat their allocation; fresh heads route
+        // (cached sticky in `chosen`) and select. One request mask per
+        // out-port carries both kinds — safely, because a worm bit can
+        // only appear in the mask of its own *busy* output, and the
+        // VC-allocation arbiter below only ever reads the masks of
+        // free outputs, which are pure fresh heads.
+        let occ = self.occ_mask[s];
+        let mut out_mask: u64 = 0; // out-ports with any request
+        let mut m = occ;
+        while m != 0 {
+            let iv = (m.trailing_zeros() & 63) as usize;
+            m &= m - 1;
+            let slot = isb + iv;
+            let st = low.in_state[slot];
+            let hop = if st.allocated != SLOT_NONE {
+                st.allocated
+            } else if st.chosen != SLOT_NONE {
+                st.chosen
+            } else {
+                let h = low.fifo_arena[slot * depth + st.head as usize];
+                debug_assert!(
+                    h & HANDLE_HEAD != 0,
+                    "unallocated input VC must face a head flit (wormhole ordering)"
+                );
+                let flow = self.flit_pool[(h & HANDLE_IDX) as usize].flow;
+                Self::route_and_select(low, s, slot, flow)
+            };
+            self.slot_reqs[usize::from(hop)] |= 1 << iv;
+            out_mask |= 1 << hop;
+        }
+
+        // VC allocation, switch allocation and congestion accounting
+        // fused into one pass per requested output, ascending port
+        // order. With one VC an input requests exactly one output, so
+        // two outputs can never grant the same input: a VC-allocation
+        // winner *is* the switch-allocation winner, and the inputs
+        // left waiting at this output are exactly its ungranted
+        // request bits. Clearing the request scratch here keeps it
+        // all-zero between decides.
+        let mut om = out_mask;
+        while om != 0 {
+            let o = (om.trailing_zeros() & 63) as usize;
+            om &= om - 1;
+            let gslot = osb + o;
+            let reqs = self.slot_reqs[o];
+            self.slot_reqs[o] = 0;
+            let os = &mut low.out_state[gslot];
+            let cand = if os.busy_with != SLOT_NONE {
+                // A busy output continues its worm when credited and
+                // the worm's next flit has arrived — fresh heads wait.
+                if os.credits > 0 && occ & (1 << os.busy_with) != 0 {
+                    os.busy_with
+                } else {
+                    SLOT_NONE
+                }
+            } else if os.credits > 0 {
+                let iv = arb_grant_mask(low.arbiter, &mut os.arb_last, reqs);
+                self.vc_granted[gslot] = iv;
+                self.vcg_mask[s] |= 1 << o;
+                iv
+            } else {
+                SLOT_NONE
+            };
+            if cand != SLOT_NONE {
+                self.granted[opb + o] = u32::from(cand) << 8;
+                self.grant_mask[s] |= 1 << o;
+                self.blocked_out[opb + o] += u64::from((reqs & !(1 << cand)).count_ones());
+            } else {
+                self.blocked_out[opb + o] += u64::from(reqs.count_ones());
+            }
+        }
+    }
+
+    /// Phase 1, dense fallback for switches whose port×VC dims exceed
+    /// the 64-bit masks — full scans, identical semantics.
+    fn decide_switch_dense(&mut self, s: usize) {
+        let low = &mut self.low;
+        let vcs = low.num_vcs;
+        let depth = low.fifo_depth;
+        let inputs = low.inputs[s] as usize;
+        let outputs = low.outputs[s] as usize;
+        let ivs = inputs * vcs;
+        let isb = low.in_slot_base[s] as usize;
+        let osb = low.out_slot_base[s] as usize;
+        let opb = low.out_port_base[s] as usize;
+
+        self.requests[..ivs].fill(SLOT_NONE);
+        for iv in 0..ivs {
+            let slot = isb + iv;
+            let st = low.in_state[slot];
+            if st.len == 0 {
+                continue;
+            }
+            if st.allocated != SLOT_NONE {
+                self.requests[iv] = st.allocated;
+                continue;
+            }
+            let h = low.fifo_arena[slot * depth + st.head as usize];
+            debug_assert!(
+                h & HANDLE_HEAD != 0,
+                "unallocated input VC must face a head flit (wormhole ordering)"
+            );
+            let hop = if st.chosen != SLOT_NONE {
+                st.chosen
+            } else {
+                let flow = self.flit_pool[(h & HANDLE_IDX) as usize].flow;
+                Self::route_and_select(low, s, slot, flow)
+            };
+            self.requests[iv] = hop;
+        }
+
+        for iv in 0..ivs {
+            if low.in_state[isb + iv].allocated != SLOT_NONE {
+                continue;
+            }
+            let req = self.requests[iv];
+            if req != SLOT_NONE {
+                let slot = req as usize;
+                self.vc_reqs[slot * ivs + iv] = true;
+                self.vc_req_any[slot] = true;
+            }
+        }
+        for slot in 0..outputs * vcs {
+            let gslot = osb + slot;
+            self.vc_granted[gslot] = SLOT_NONE;
+            let os = &mut low.out_state[gslot];
+            if !self.vc_req_any[slot] || os.busy_with != SLOT_NONE || os.credits == 0 {
+                continue;
+            }
+            self.vc_granted[gslot] = match arb_grant_dense(
+                low.arbiter,
+                &mut os.arb_last,
+                &self.vc_reqs[slot * ivs..(slot + 1) * ivs],
+            ) {
+                Some(iv) => iv as u16,
+                None => SLOT_NONE,
+            };
+        }
+        for iv in 0..ivs {
+            if low.in_state[isb + iv].allocated != SLOT_NONE {
+                continue;
+            }
+            let req = self.requests[iv];
+            if req != SLOT_NONE {
+                let slot = req as usize;
+                self.vc_reqs[slot * ivs + iv] = false;
+                self.vc_req_any[slot] = false;
+            }
+        }
+
+        self.input_taken[..inputs].fill(false);
+        for o in 0..outputs {
+            let gp = opb + o;
+            self.granted[gp] = LOWERED_NONE;
+            let base = low.out_vc_ptr[gp] as usize;
+            for k in 0..vcs {
+                let mut ov = base + k;
+                if ov >= vcs {
+                    ov -= vcs;
+                }
+                let slot = o * vcs + ov;
+                let gslot = osb + slot;
+                let fresh = self.vc_granted[gslot];
+                let cand = if fresh != SLOT_NONE {
+                    fresh
+                } else {
+                    let os = low.out_state[gslot];
+                    if os.busy_with != SLOT_NONE
+                        && os.credits > 0
+                        && self.requests[os.busy_with as usize] == slot as u16
+                    {
+                        os.busy_with
+                    } else {
+                        SLOT_NONE
+                    }
+                };
+                if cand == SLOT_NONE {
+                    continue;
+                }
+                let i = self.iv_port[cand as usize] as usize;
+                if self.input_taken[i] {
+                    continue;
+                }
+                self.input_taken[i] = true;
+                self.granted[gp] = (u32::from(cand) << 8) | ov as u32;
+                let mut next = ov + 1;
+                if next >= vcs {
+                    next = 0;
+                }
+                low.out_vc_ptr[gp] = next as u8;
+                break;
+            }
+        }
+
+        for i in 0..inputs {
+            let has_flit = (0..vcs).any(|v| low.in_state[isb + i * vcs + v].len > 0);
+            if !has_flit {
+                continue;
+            }
+            for v in 0..vcs {
+                if low.in_state[isb + i * vcs + v].len == 0 {
+                    continue;
+                }
+                let iv = (i * vcs + v) as u32;
+                let vc_sent = (0..outputs).any(|o| {
+                    let g = self.granted[opb + o];
+                    g != LOWERED_NONE && (g >> 8) == iv
+                });
+                if vc_sent {
+                    continue;
+                }
+                let req = self.requests[iv as usize];
+                if req != SLOT_NONE {
+                    self.blocked_out[opb + self.slot_port[req as usize] as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// Pops port `o`'s granted flit of switch `s` and carries the
+    /// transfer end to end: wormhole, credit and occupancy bookkeeping
+    /// on the popping switch, then the engine-side effects in the
+    /// interpreted engine's exact transfer order — return the credit
+    /// upstream, land the flit downstream. Shared by the multi-VC mask
+    /// and dense commit paths.
+    #[inline]
+    fn pop_forward(
+        &mut self,
+        s: usize,
+        g: u32,
+        o: usize,
+        now: Cycle,
+    ) -> Result<(), EmulationError> {
+        let vcs = self.low.num_vcs;
+        let depth = self.low.fifo_depth;
+        let isb = self.low.in_slot_base[s] as usize;
+        let osb = self.low.out_slot_base[s] as usize;
+        let ipb = self.low.in_port_base[s] as usize;
+        let opb = self.low.out_port_base[s] as usize;
+        let iv = (g >> 8) as usize;
+        let ov = (g & 0xFF) as usize;
+        let islot = isb + iv;
+        let ist = &mut self.low.in_state[islot];
+        debug_assert!(ist.len > 0, "granted input VC has a flit at its head");
+        let head = ist.head as usize;
+        let next = head + 1;
+        ist.head = if next == depth { 0 } else { next } as u8;
+        let left = ist.len - 1;
+        ist.len = left;
+        let h = self.low.fifo_arena[islot * depth + head];
+        let tail = h & HANDLE_TAIL != 0;
+        if tail {
+            ist.allocated = SLOT_NONE;
+        }
+        if left == 0 {
+            self.occ_mask[s] &= !(1 << (iv & 63));
+        }
+        self.occ_flits[s] -= 1;
+        self.total_occ -= 1;
+        let gslot = osb + o * vcs + ov;
+        let ost = &mut self.low.out_state[gslot];
+        if ost.credits != CREDITS_INFINITE {
+            ost.credits -= 1;
+            self.credit_debt += 1;
+        }
+        if tail {
+            ost.busy_with = SLOT_NONE;
+            self.open_worms -= 1;
+        }
+        // The flit continues on the output VC the allocation chose;
+        // the downstream switch lands it in that buffer (the VC rides
+        // beside the handle, not in the pooled flit).
+        self.forwarded_out[opb + o] += 1;
+        let i = self.iv_port[iv] as usize;
+        let v = iv - i * vcs;
+        match self.low.in_feed[ipb + i] {
+            LoweredInFeed::Switch { slot_base } => {
+                // The upstream output VC the flit occupied is the
+                // input VC it just vacated here.
+                let up = slot_base as usize + v;
+                let ust = &mut self.low.out_state[up];
+                if ust.credits != CREDITS_INFINITE {
+                    ust.credits += 1;
+                    self.credit_debt -= 1;
+                    debug_assert!(
+                        ust.credits <= self.low.credit_cap[up],
+                        "credit overflow on a lowered output slot"
+                    );
+                }
+            }
+            LoweredInFeed::Generator { index } => {
+                self.nis[index as usize].credit_return();
+            }
+        }
+        match self.low.out_dest[opb + o] {
+            LoweredOutDest::Switch { switch, slot_base } => {
+                self.accept_flit(switch as usize, slot_base, h, ov)?;
+            }
+            LoweredOutDest::Receptor { index } => {
+                self.deliver(index as usize, h, ov, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 2 of one switch on the mask path: apply VC allocations,
+    /// then pop-and-forward granted flits, both over this cycle's
+    /// grant masks.
+    fn commit_switch_mask(&mut self, s: usize, now: Cycle) -> Result<(), EmulationError> {
+        let isb = self.low.in_slot_base[s] as usize;
+        let osb = self.low.out_slot_base[s] as usize;
+
+        // VC allocations first: the winning head owns its output VC
+        // from now on, whether or not its flit also crosses this cycle.
+        let mut vm = self.vcg_mask[s];
+        self.vcg_mask[s] = 0;
+        while vm != 0 {
+            let slot = vm.trailing_zeros() as usize;
+            vm &= vm - 1;
+            let gslot = osb + slot;
+            let iv = self.vc_granted[gslot];
+            self.vc_granted[gslot] = SLOT_NONE;
+            let ist = &mut self.low.in_state[isb + iv as usize];
+            ist.allocated = slot as u16;
+            ist.chosen = SLOT_NONE;
+            self.low.out_state[gslot].busy_with = iv;
+            self.open_worms += 1;
+        }
+
+        let mut gm = self.grant_mask[s];
+        self.grant_mask[s] = 0;
+        let opb = self.low.out_port_base[s] as usize;
+        while gm != 0 {
+            let o = gm.trailing_zeros() as usize;
+            gm &= gm - 1;
+            let gp = opb + o;
+            let g = self.granted[gp];
+            self.granted[gp] = LOWERED_NONE;
+            self.pop_forward(s, g, o, now)?;
+        }
+        Ok(())
+    }
+
+    /// Phase 2 on the mask fast path, specialized for one VC — the
+    /// pop-and-forward is inlined with `ov == 0`, `slot == port`.
+    fn commit_switch_mask_vc1(&mut self, s: usize, now: Cycle) -> Result<(), EmulationError> {
+        let isb = self.low.in_slot_base[s] as usize;
+        let osb = self.low.out_slot_base[s] as usize;
+        let ipb = self.low.in_port_base[s] as usize;
+        let opb = self.low.out_port_base[s] as usize;
+        let depth = self.low.fifo_depth;
+
+        let mut vm = self.vcg_mask[s];
+        self.vcg_mask[s] = 0;
+        while vm != 0 {
+            let o = vm.trailing_zeros() as usize;
+            vm &= vm - 1;
+            let gslot = osb + o;
+            let iv = self.vc_granted[gslot];
+            self.vc_granted[gslot] = SLOT_NONE;
+            let ist = &mut self.low.in_state[isb + iv as usize];
+            ist.allocated = o as u16;
+            ist.chosen = SLOT_NONE;
+            self.low.out_state[gslot].busy_with = iv;
+            self.open_worms += 1;
+        }
+
+        let mut gm = self.grant_mask[s];
+        self.grant_mask[s] = 0;
+        while gm != 0 {
+            let o = gm.trailing_zeros() as usize;
+            gm &= gm - 1;
+            let gp = opb + o;
+            let g = self.granted[gp];
+            self.granted[gp] = LOWERED_NONE;
+            let iv = (g >> 8) as usize;
+            let islot = isb + iv;
+            let ist = &mut self.low.in_state[islot];
+            debug_assert!(ist.len > 0, "granted input VC has a flit at its head");
+            let head = ist.head as usize;
+            let next = head + 1;
+            ist.head = if next == depth { 0 } else { next } as u8;
+            let left = ist.len - 1;
+            ist.len = left;
+            let h = self.low.fifo_arena[islot * depth + head];
+            let tail = h & HANDLE_TAIL != 0;
+            if tail {
+                ist.allocated = SLOT_NONE;
+            }
+            if left == 0 {
+                self.occ_mask[s] &= !(1 << iv);
+            }
+            self.occ_flits[s] -= 1;
+            self.total_occ -= 1;
+            let ost = &mut self.low.out_state[osb + o];
+            if ost.credits != CREDITS_INFINITE {
+                ost.credits -= 1;
+                self.credit_debt += 1;
+            }
+            if tail {
+                ost.busy_with = SLOT_NONE;
+                self.open_worms -= 1;
+            }
+            // A 1-VC flit already rides VC 0; no rewrite needed.
+            self.forwarded_out[gp] += 1;
+            match self.low.in_feed[ipb + iv] {
+                LoweredInFeed::Switch { slot_base } => {
+                    let up = slot_base as usize;
+                    let ust = &mut self.low.out_state[up];
+                    if ust.credits != CREDITS_INFINITE {
+                        ust.credits += 1;
+                        self.credit_debt -= 1;
+                        debug_assert!(
+                            ust.credits <= self.low.credit_cap[up],
+                            "credit overflow on a lowered output slot"
+                        );
+                    }
+                }
+                LoweredInFeed::Generator { index } => {
+                    self.nis[index as usize].credit_return();
+                }
+            }
+            match self.low.out_dest[gp] {
+                LoweredOutDest::Switch { switch, slot_base } => {
+                    self.accept_flit(switch as usize, slot_base, h, 0)?;
+                }
+                LoweredOutDest::Receptor { index } => {
+                    self.deliver(index as usize, h, 0, now)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 2, dense fallback — full scans, identical semantics.
+    fn commit_switch_dense(&mut self, s: usize, now: Cycle) -> Result<(), EmulationError> {
+        let vcs = self.low.num_vcs;
+        let outputs = self.low.outputs[s] as usize;
+        let isb = self.low.in_slot_base[s] as usize;
+        let osb = self.low.out_slot_base[s] as usize;
+        let opb = self.low.out_port_base[s] as usize;
+
+        for slot in 0..outputs * vcs {
+            let gslot = osb + slot;
+            let iv = self.vc_granted[gslot];
+            if iv == SLOT_NONE {
+                continue;
+            }
+            self.vc_granted[gslot] = SLOT_NONE;
+            let ist = &mut self.low.in_state[isb + iv as usize];
+            ist.allocated = slot as u16;
+            ist.chosen = SLOT_NONE;
+            self.low.out_state[gslot].busy_with = iv;
+            self.open_worms += 1;
+        }
+
+        for o in 0..outputs {
+            let gp = opb + o;
+            let g = self.granted[gp];
+            if g == LOWERED_NONE {
+                continue;
+            }
+            self.granted[gp] = LOWERED_NONE;
+            self.pop_forward(s, g, o, now)?;
+        }
+        Ok(())
+    }
+
+    /// Lands flit handle `h` in the FIFO of `(switch, port base, vc)`
+    /// and maintains the occupancy aggregates and per-VC watermarks —
+    /// `Switch::accept` over the arena.
+    fn accept_flit(
+        &mut self,
+        switch: usize,
+        slot_base: u32,
+        h: u32,
+        vc: usize,
+    ) -> Result<(), EmulationError> {
+        let vcs = self.low.num_vcs;
+        assert!(vc < vcs, "flit arrived on VC {vc} but switch has {vcs} VCs");
+        let slot = slot_base as usize + vc;
+        let depth = self.low.fifo_depth;
+        let ist = &mut self.low.in_state[slot];
+        let len = ist.len as usize;
+        if len == depth {
+            return Err(EmulationError::FifoOverflow {
+                switch: SwitchId::new(switch as u32),
+                source: FifoFullError { capacity: depth },
+            });
+        }
+        let mut pos = ist.head as usize + len;
+        if pos >= depth {
+            pos -= depth;
+        }
+        ist.len = (len + 1) as u8;
+        self.low.fifo_arena[slot * depth + pos] = h;
+        if self.mask_ok[switch] {
+            let iv = slot - self.low.in_slot_base[switch] as usize;
+            self.occ_mask[switch] |= 1 << iv;
+        }
+        self.occ_flits[switch] += 1;
+        self.total_occ += 1;
+        let wm = switch * vcs + vc;
+        let occ = (len + 1) as u64;
+        if occ > self.max_vc_occ[wm] {
+            self.max_vc_occ[wm] = occ;
+        }
+        Ok(())
+    }
+
+    /// Ejects flit handle `h` on output VC `vc` into receptor `index`:
+    /// reads the pooled flit back (stamping the final VC the way each
+    /// hop would have), frees its pool slot and runs the receptor.
+    fn deliver(
+        &mut self,
+        index: usize,
+        h: u32,
+        vc: usize,
+        now: Cycle,
+    ) -> Result<(), EmulationError> {
+        let idx = h & HANDLE_IDX;
+        let mut flit = self.flit_pool[idx as usize];
+        flit.vc = VcId::new(vc as u8);
+        self.flit_free.push(idx);
+        let completed: Option<CompletedPacket> = match &mut self.receptors[index] {
+            ReceptorDevice::Stochastic(r) => {
+                r.accept(&flit, now)
+                    .map_err(|source| EmulationError::Receive {
+                        receptor: r.id(),
+                        source,
+                    })?
+            }
+            ReceptorDevice::Trace(r) => {
+                r.accept(&flit, now)
+                    .map_err(|source| EmulationError::Receive {
+                        receptor: r.id(),
+                        source,
+                    })?
+            }
+        };
+        if let Some(pkt) = completed {
+            let lat = self.ledger.deliver(pkt.id, now, pkt.len_flits)?;
+            self.delivered_flits += u64::from(pkt.len_flits);
+            if let ReceptorDevice::Trace(r) = &mut self.receptors[index] {
+                r.record_latency(lat.network, lat.total);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the stop condition holds.
+    pub fn finished(&self) -> bool {
+        match self.config.stop.delivered_packets {
+            Some(target) => self.ledger.delivered() >= target,
+            None => {
+                self.tgs.iter().all(|t| t.is_exhausted())
+                    && self.pending.iter().all(Option::is_none)
+                    && self.nis.iter().all(|n| n.is_idle())
+                    && self.ledger.in_flight() == 0
+            }
+        }
+    }
+
+    /// Runs until the stop condition holds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmulationError`] from [`CompiledEngine::step`].
+    pub fn run(&mut self) -> Result<(), EmulationError> {
+        clock::run_engine(self)
+    }
+
+    /// Builds the per-link congestion counters — value-equal to
+    /// [`crate::engine::Emulation::congestion`] (source-side
+    /// accounting) over the flat counter arrays.
+    pub fn congestion(&self) -> CongestionCounter {
+        let mut cc = CongestionCounter::new(self.config.topology.link_count());
+        for s in 0..self.low.switch_count {
+            let opb = self.low.out_port_base[s] as usize;
+            for o in 0..self.low.outputs[s] as usize {
+                let gp = opb + o;
+                cc.add(
+                    LinkId::new(self.low.out_link[gp]),
+                    self.blocked_out[gp],
+                    self.forwarded_out[gp],
+                );
+            }
+        }
+        for (i, ni) in self.nis.iter().enumerate() {
+            let c = ni.counters();
+            cc.add(self.injection_links[i], c.blocked_cycles, c.injected_flits);
+        }
+        cc
+    }
+
+    /// Snapshot of the cumulative per-link counters plus live per-VC
+    /// occupancy (telemetry probe parity with the interpreted engine).
+    fn cumulative_probe(&self) -> CumulativeProbe {
+        let vcs = self.low.num_vcs;
+        let mut p = CumulativeProbe::new(self.config.topology.link_count(), vcs);
+        for s in 0..self.low.switch_count {
+            let opb = self.low.out_port_base[s] as usize;
+            for o in 0..self.low.outputs[s] as usize {
+                let gp = opb + o;
+                p.add_link(
+                    LinkId::new(self.low.out_link[gp]),
+                    self.blocked_out[gp],
+                    self.forwarded_out[gp],
+                );
+            }
+            let isb = self.low.in_slot_base[s] as usize;
+            for v in 0..vcs {
+                let mut occ = 0u64;
+                for i in 0..self.low.inputs[s] as usize {
+                    occ += u64::from(self.low.in_state[isb + i * vcs + v].len);
+                }
+                p.add_vc(v, occ);
+            }
+        }
+        for (i, ni) in self.nis.iter().enumerate() {
+            let c = ni.counters();
+            p.add_link(self.injection_links[i], c.blocked_cycles, c.injected_flits);
+        }
+        p
+    }
+
+    /// The windowed telemetry collector, when enabled.
+    pub fn telemetry(&self) -> Option<&Collector> {
+        self.telemetry.as_ref()
+    }
+
+    /// Seals the telemetry collector with a final probe at the current
+    /// cycle (idempotent; no-op without telemetry).
+    pub fn seal_telemetry(&mut self) {
+        if self.telemetry.as_ref().is_some_and(|t| !t.is_sealed()) {
+            let probe = self.cumulative_probe();
+            let at = self.now.raw();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .seal(at, &probe);
+        }
+    }
+
+    /// Collects full run results — value-equal to
+    /// [`crate::engine::Emulation::results`] for the same run.
+    pub fn results(&self) -> EmulationResults {
+        let receptors = self
+            .receptors
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let (counters, lat, hists) = match r {
+                    ReceptorDevice::Stochastic(r) => (
+                        *r.counters(),
+                        None,
+                        Some((
+                            r.length_histogram().clone(),
+                            r.interarrival_histogram().clone(),
+                        )),
+                    ),
+                    ReceptorDevice::Trace(r) => (*r.counters(), r.network_latency().mean(), None),
+                };
+                let (length_histogram, interarrival_histogram) = match hists {
+                    Some((l, a)) => (Some(l), Some(a)),
+                    None => (None, None),
+                };
+                ReceptorSummary {
+                    label: format!("tr{i}"),
+                    packets: counters.packets,
+                    flits: counters.flits,
+                    running_time: counters.running_time(),
+                    mean_network_latency: lat,
+                    length_histogram,
+                    interarrival_histogram,
+                }
+            })
+            .collect();
+        let vcs = self.low.num_vcs;
+        let mut vc_occupancy = VcOccupancy::new(vcs);
+        for s in 0..self.low.switch_count {
+            for vc in 0..vcs {
+                vc_occupancy.record(vc, self.max_vc_occ[s * vcs + vc]);
+            }
+        }
+        EmulationResults {
+            name: self.config.name.clone(),
+            cycles: self.now.raw(),
+            cycles_skipped: self.cycles_skipped,
+            released: self.ledger.released(),
+            injected: self.ledger.injected(),
+            delivered: self.ledger.delivered(),
+            delivered_flits: self.delivered_flits,
+            stalled_cycles: self.stalled,
+            network_latency: self.ledger.network_latency().clone(),
+            total_latency: self.ledger.total_latency().clone(),
+            congestion: self.congestion(),
+            vc_occupancy,
+            receptors,
+        }
+    }
+}
+
+impl SteppableEngine for CompiledEngine {
+    fn step(&mut self) -> Result<(), EmulationError> {
+        CompiledEngine::step(self)
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn finished(&self) -> bool {
+        CompiledEngine::finished(self)
+    }
+
+    fn delivered(&self) -> u64 {
+        self.ledger.delivered()
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    fn summary(&self) -> EngineSummary {
+        EngineSummary::from_ledger(
+            self.now.raw(),
+            self.cycles_skipped,
+            self.delivered_flits,
+            &self.ledger,
+        )
+    }
+
+    fn packet_ledger(&self) -> PacketLedger {
+        self.ledger.clone()
+    }
+
+    fn telemetry(&self) -> Option<&Collector> {
+        CompiledEngine::telemetry(self)
+    }
+
+    fn seal_telemetry(&mut self) {
+        CompiledEngine::seal_telemetry(self);
+    }
+}
+
+/// Elaborates `config` and builds a compiled engine for it.
+///
+/// # Errors
+///
+/// Propagates [`crate::error::CompileError`] from elaboration.
+pub fn build_compiled(
+    config: &PlatformConfig,
+) -> Result<CompiledEngine, crate::error::CompileError> {
+    Ok(CompiledEngine::new(crate::compile::elaborate(config)?))
+}

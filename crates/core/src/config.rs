@@ -100,6 +100,15 @@ pub enum EngineKind {
         /// useful for measuring the orchestration overhead).
         shards: usize,
     },
+    /// The compiled data-oriented engine
+    /// ([`crate::compiled::CompiledEngine`]): the elaboration is
+    /// lowered once into flat struct-of-arrays state (a single FIFO
+    /// arena, one shared CSR route table, dense credit/worm arrays) and
+    /// stepped as tight loops with no dynamic dispatch and no per-cycle
+    /// allocation. Cycle-for-cycle identical to
+    /// [`EngineKind::SingleThread`] (proven by the lockstep ledger
+    /// tests); an order of magnitude faster on busy platforms.
+    Compiled,
 }
 
 /// When the emulation stops.

@@ -39,6 +39,7 @@
 //! | [`flow`] | 1–6 | the complete emulation flow |
 //! | [`engine`] | 5 | the cycle engine (and the bus the software sees) |
 //! | [`shard`] | 5 | the sharded engine: one platform across worker threads |
+//! | [`compiled`] | 5 | the compiled engine: the elaboration lowered to flat arrays |
 //! | [`clock`] | 5 | clock modes, quiescence, the fast-forward kernel, [`clock::SteppableEngine`] |
 //! | [`devices`] | 3, 6 | register views and typed drivers |
 //! | [`results`] | 6 | run results and the monitor report |
@@ -50,6 +51,7 @@
 
 pub mod clock;
 pub mod compile;
+pub mod compiled;
 pub mod config;
 pub mod devices;
 pub mod engine;
@@ -63,7 +65,10 @@ pub use clock::{
     run_engine, run_engine_until, run_engine_with_progress, ClockMode, EngineSummary,
     SteppableEngine,
 };
-pub use compile::{compute_routing, elaborate, elaborate_routed, Elaboration};
+pub use compile::{
+    compute_routing, elaborate, elaborate_routed, lower, Elaboration, LoweredPlatform,
+};
+pub use compiled::CompiledEngine;
 pub use config::{
     EngineKind, PaperConfig, PaperRouting, PlatformConfig, StopCondition, TrafficModel,
 };

@@ -1456,7 +1456,8 @@ impl SteppableEngine for ShardedEngine {
 /// Builds whichever engine `config.engine` names, boxed behind the
 /// stepping contract ([`EngineKind::SingleThread`] →
 /// [`crate::engine::Emulation`], [`EngineKind::Sharded`] →
-/// [`ShardedEngine`]).
+/// [`ShardedEngine`], [`EngineKind::Compiled`] →
+/// [`crate::compiled::CompiledEngine`]).
 ///
 /// # Errors
 ///
@@ -1464,6 +1465,7 @@ impl SteppableEngine for ShardedEngine {
 pub fn build_engine(config: &PlatformConfig) -> Result<Box<dyn SteppableEngine>, CompileError> {
     Ok(match config.engine {
         EngineKind::Sharded { .. } => Box::new(ShardedEngine::build(config)?),
+        EngineKind::Compiled => Box::new(crate::compiled::build_compiled(config)?),
         _ => Box::new(crate::engine::build(config)?),
     })
 }

@@ -7,6 +7,7 @@
 
 use crate::clock::{run_engine, EngineSummary, SteppableEngine};
 use crate::compile::{elaborate, elaborate_routed};
+use crate::compiled::CompiledEngine;
 use crate::config::{EngineKind, PlatformConfig};
 use crate::engine::Emulation;
 use crate::error::{CompileError, EmulationError};
@@ -197,6 +198,8 @@ pub enum AnyEngine {
     Single(Box<Emulation>),
     /// The sharded multi-worker engine.
     Sharded(Box<ShardedEngine>),
+    /// The compiled data-oriented engine (flat arrays).
+    Compiled(Box<CompiledEngine>),
 }
 
 impl AnyEngine {
@@ -228,6 +231,7 @@ impl AnyEngine {
             EngineKind::Sharded { shards } => {
                 AnyEngine::Sharded(Box::new(ShardedEngine::from_elaboration(elab, shards)?))
             }
+            EngineKind::Compiled => AnyEngine::Compiled(Box::new(CompiledEngine::new(elab))),
             _ => AnyEngine::Single(Box::new(Emulation::new(elab))),
         })
     }
@@ -241,6 +245,7 @@ impl AnyEngine {
         match self {
             AnyEngine::Single(e) => Ok(e.results()),
             AnyEngine::Sharded(e) => e.results(),
+            AnyEngine::Compiled(e) => Ok(e.results()),
         }
     }
 }
@@ -250,6 +255,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => e.step(),
             AnyEngine::Sharded(e) => SteppableEngine::step(&mut **e),
+            AnyEngine::Compiled(e) => CompiledEngine::step(e),
         }
     }
 
@@ -257,6 +263,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => e.now(),
             AnyEngine::Sharded(e) => SteppableEngine::now(&**e),
+            AnyEngine::Compiled(e) => e.now(),
         }
     }
 
@@ -264,6 +271,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => e.finished(),
             AnyEngine::Sharded(e) => SteppableEngine::finished(&**e),
+            AnyEngine::Compiled(e) => CompiledEngine::finished(e),
         }
     }
 
@@ -271,6 +279,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => e.delivered(),
             AnyEngine::Sharded(e) => SteppableEngine::delivered(&**e),
+            AnyEngine::Compiled(e) => e.delivered(),
         }
     }
 
@@ -278,6 +287,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => e.cycles_skipped(),
             AnyEngine::Sharded(e) => SteppableEngine::cycles_skipped(&**e),
+            AnyEngine::Compiled(e) => e.cycles_skipped(),
         }
     }
 
@@ -285,6 +295,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => SteppableEngine::summary(&**e),
             AnyEngine::Sharded(e) => SteppableEngine::summary(&**e),
+            AnyEngine::Compiled(e) => SteppableEngine::summary(&**e),
         }
     }
 
@@ -292,6 +303,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => SteppableEngine::packet_ledger(&**e),
             AnyEngine::Sharded(e) => SteppableEngine::packet_ledger(&**e),
+            AnyEngine::Compiled(e) => SteppableEngine::packet_ledger(&**e),
         }
     }
 
@@ -299,6 +311,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => SteppableEngine::telemetry(&**e),
             AnyEngine::Sharded(e) => SteppableEngine::telemetry(&**e),
+            AnyEngine::Compiled(e) => SteppableEngine::telemetry(&**e),
         }
     }
 
@@ -306,6 +319,7 @@ impl SteppableEngine for AnyEngine {
         match self {
             AnyEngine::Single(e) => SteppableEngine::seal_telemetry(&mut **e),
             AnyEngine::Sharded(e) => SteppableEngine::seal_telemetry(&mut **e),
+            AnyEngine::Compiled(e) => SteppableEngine::seal_telemetry(&mut **e),
         }
     }
 }

@@ -1,0 +1,187 @@
+//! Property-based round-trip of the lowering pass: for randomized
+//! mesh/torus/ring/star platforms, [`lower`] must reproduce the
+//! elaboration exactly — every routing entry survives into the CSR
+//! (and the direct map agrees with it), the prefix-sum layout tiles
+//! the arrays with no gaps or overlaps, the FIFO arena is sized from
+//! the elaboration's port counts, and the initial credit/cursor state
+//! matches the freshly instantiated switches.
+
+use nocem::compile::{elaborate, lower, InSlotState, ROUTE_MULTI, ROUTE_NONE, SLOT_NONE};
+use nocem::config::PlatformConfig;
+use nocem_common::ids::{PortId, VcId};
+use nocem_scenarios::registry::ScenarioRegistry;
+use nocem_scenarios::scenario::TopologySpec;
+use nocem_switch::switch::CREDITS_INFINITE;
+use proptest::prelude::*;
+
+/// Elaborates `cfg`, lowers it, and asserts the full round-trip.
+fn check_lowering(cfg: &PlatformConfig) {
+    let elab = elaborate(cfg).expect("config elaborates");
+    let low = lower(&elab);
+    let topo = &cfg.topology;
+    let vcs = low.num_vcs;
+    let n = low.switch_count;
+    assert_eq!(n, topo.switch_count(), "switch count survives lowering");
+    assert_eq!(vcs, usize::from(cfg.switch.num_vcs));
+    assert_eq!(low.fifo_depth, usize::from(cfg.switch.fifo_depth));
+
+    // Prefix sums tile the slot and port arrays exactly: each
+    // switch's span is its own port count (from the elaboration, not
+    // any uniform maximum), and the spans are contiguous.
+    for s in 0..n {
+        let info = topo.switch(nocem_common::ids::SwitchId::new(s as u32));
+        assert_eq!(low.inputs[s], u32::from(info.inputs));
+        assert_eq!(low.outputs[s], u32::from(info.outputs));
+        assert_eq!(
+            low.in_slot_base[s + 1] - low.in_slot_base[s],
+            low.inputs[s] * vcs as u32,
+            "input-slot span of switch {s}"
+        );
+        assert_eq!(
+            low.out_slot_base[s + 1] - low.out_slot_base[s],
+            low.outputs[s] * vcs as u32,
+            "output-slot span of switch {s}"
+        );
+        assert_eq!(low.in_port_base[s + 1] - low.in_port_base[s], low.inputs[s]);
+        assert_eq!(
+            low.out_port_base[s + 1] - low.out_port_base[s],
+            low.outputs[s]
+        );
+    }
+
+    // The arena allocates exactly `fifo_depth` handle slots per input
+    // slot, and every cursor record starts empty.
+    assert_eq!(low.fifo_arena.len(), low.total_in_slots() * low.fifo_depth);
+    assert_eq!(low.in_state.len(), low.total_in_slots());
+    assert!(
+        low.in_state.iter().all(|st| *st == InSlotState::EMPTY),
+        "every input slot starts empty with no worm and no selection"
+    );
+
+    // Output-slot records start at their credit caps — the exact
+    // credits the elaborated switches hold (inter-switch links carry
+    // finite downstream-depth credits, ejection links are infinite).
+    assert_eq!(low.out_state.len(), low.total_out_slots());
+    assert_eq!(low.credit_cap.len(), low.total_out_slots());
+    for s in 0..n {
+        let osb = low.out_slot_base[s] as usize;
+        for p in 0..low.outputs[s] as usize {
+            for v in 0..vcs {
+                let gslot = osb + p * vcs + v;
+                let cap = elab.switches[s].credits_vc(PortId::new(p as u8), VcId::new(v as u8));
+                assert_eq!(low.out_state[gslot].credits, cap);
+                assert_eq!(low.credit_cap[gslot], cap);
+                assert_eq!(low.out_state[gslot].busy_with, SLOT_NONE);
+                assert_eq!(
+                    low.out_state[gslot].arb_last as usize,
+                    low.inputs[s] as usize * vcs - 1,
+                    "arbiter pointer starts just before input slot 0"
+                );
+            }
+        }
+        for p in 0..low.outputs[s] as usize {
+            let link = topo.out_link(
+                nocem_common::ids::SwitchId::new(s as u32),
+                PortId::new(p as u8),
+            );
+            let ejection = topo.link(link).to_switch().is_none();
+            for v in 0..vcs {
+                assert_eq!(
+                    low.out_state[osb + p * vcs + v].credits == CREDITS_INFINITE,
+                    ejection,
+                    "exactly the ejection slots of switch {s} carry infinite credits"
+                );
+            }
+        }
+    }
+
+    // Every routing-table entry survives into the CSR verbatim, and
+    // the CSR holds nothing else.
+    let mut table_entries = 0usize;
+    for s in topo.switch_ids() {
+        let table = elab.routing.switch_table(s);
+        for (flow, hops) in table.entries() {
+            table_entries += 1;
+            assert_eq!(
+                low.route_lookup(s.index(), flow.raw()),
+                hops,
+                "route entry of flow {flow} at switch {s}"
+            );
+        }
+    }
+    assert_eq!(
+        low.route_flows.len(),
+        table_entries,
+        "CSR holds exactly the table entries"
+    );
+
+    // The direct map agrees with the CSR: single-hop entries embed
+    // the encoded out-slot, multi-hop entries defer, absent flows are
+    // marked absent.
+    if low.route_flow_space != 0 {
+        for s in 0..n {
+            for flow in 0..low.route_flow_space as u32 {
+                let enc = low.route_direct[s * low.route_flow_space + flow as usize];
+                let hops = low.route_lookup(s, flow);
+                match enc {
+                    ROUTE_NONE => assert!(hops.is_empty(), "flow {flow} marked absent at {s}"),
+                    ROUTE_MULTI => assert!(
+                        hops.len() > 1
+                            || hops[0].port.index() * vcs + hops[0].vc.index()
+                                >= usize::from(ROUTE_MULTI),
+                        "deferred flow {flow} at {s} is genuinely multi-hop or wide"
+                    ),
+                    enc => {
+                        assert_eq!(hops.len(), 1, "embedded flow {flow} at {s} is single-hop");
+                        assert_eq!(
+                            usize::from(enc),
+                            hops[0].port.index() * vcs + hops[0].vc.index(),
+                            "embedded answer of flow {flow} at {s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A uniform-random scenario on `topo` (the registry picks the
+/// topology-appropriate routing: XY on meshes, 2-VC dateline on tori).
+fn uniform(topo: TopologySpec) -> PlatformConfig {
+    ScenarioRegistry::builtin()
+        .resolve("uniform_random")
+        .expect("builtin scenario")
+        .build_config(topo, 0.20, 4, 100)
+        .expect("scenario config compiles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random meshes lower exactly.
+    #[test]
+    fn mesh_lowering_round_trips(w in 2u32..7, h in 2u32..7) {
+        check_lowering(&uniform(TopologySpec::Mesh { width: w, height: h }));
+    }
+
+    /// Random tori (2 VCs, dateline routing) lower exactly.
+    #[test]
+    fn torus_lowering_round_trips(w in 2u32..6, h in 2u32..6) {
+        check_lowering(&uniform(TopologySpec::Torus { width: w, height: h }));
+    }
+
+    /// Random rings lower exactly.
+    #[test]
+    fn ring_lowering_round_trips(switches in 2u32..12) {
+        check_lowering(&uniform(TopologySpec::Ring { switches }));
+    }
+
+    /// Random stars lower exactly: the hub's port count differs from
+    /// every leaf's, exercising the heterogeneous prefix sums.
+    #[test]
+    fn star_lowering_round_trips(leaves in 2u32..10) {
+        let topology = nocem_topology::builders::star(leaves).unwrap();
+        let cfg = PlatformConfig::baseline(format!("star{leaves}-lowering"), topology).unwrap();
+        check_lowering(&cfg);
+    }
+}

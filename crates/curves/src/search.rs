@@ -512,4 +512,39 @@ mod tests {
         // Re-running reproduces the curve exactly.
         assert_eq!(spec.run(&registry).unwrap(), curve);
     }
+
+    #[test]
+    fn compiled_engine_curve_matches_the_interpreted_curve() {
+        let registry = ScenarioRegistry::builtin();
+        let base = CurveSpec {
+            measure: MeasureConfig {
+                warmup_cycles: 128,
+                measure_cycles: 512,
+            },
+            search: SearchConfig {
+                start_load: 0.2,
+                step: 0.3,
+                max_load: 0.9,
+                bisect: false,
+                ..SearchConfig::default()
+            },
+            ..CurveSpec::new(
+                "uniform_random",
+                TopologySpec::Mesh {
+                    width: 3,
+                    height: 3,
+                },
+            )
+        };
+        let compiled = CurveSpec {
+            engine: nocem::config::EngineKind::Compiled,
+            ..base.clone()
+        };
+        // Point-for-point identity, including the gated clock's skip
+        // counts: the compiled engine is the same emulation, faster.
+        assert_eq!(
+            compiled.run(&registry).unwrap(),
+            base.run(&registry).unwrap()
+        );
+    }
 }

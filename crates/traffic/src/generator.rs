@@ -83,10 +83,11 @@ impl NextEvent {
 /// [`TrafficGenerator::next_event_cycle`] and
 /// [`TrafficGenerator::skip_to`] let an engine jump its clock over
 /// cycles whose ticks are provably pure no-ops. The contract is
-/// exactness, not usefulness: a model that draws randomness every
-/// eligible cycle (burst/Poisson idle phases) must report
-/// `At(now)` so no draw is ever skipped — the default implementations
-/// are always safe, merely never skippable.
+/// exactness, not usefulness: a model that draws randomness on
+/// eligible cycles must either report `At(now)` so no draw is ever
+/// skipped, or predraw those trials (the stochastic models fold their
+/// idle-gap Bernoulli runs into the cooldown at release time) — the
+/// default implementations are always safe, merely never skippable.
 pub trait TrafficGenerator {
     /// Advances one cycle; returns the packet released this cycle, if
     /// any.

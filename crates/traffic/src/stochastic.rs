@@ -17,6 +17,14 @@
 //! stay idle. Offered load is therefore `E[L] / E[spacing]`, and each
 //! config exposes a `with_load` constructor that inverts this relation
 //! the way the paper's software sets up its 45 % experiments.
+//!
+//! Idle gaps are **predrawn**: instead of flipping a Bernoulli coin on
+//! every eligible idle cycle, the generator draws the same coin-flip
+//! sequence eagerly at release time and folds the run of failures into
+//! its cooldown. The RNG stream — and therefore the release stream —
+//! is bit-identical to the per-cycle formulation, but the next release
+//! cycle becomes known in advance, which lets clock-gated runs skip
+//! burst/Poisson idle phases instead of pinning the clock.
 
 use crate::generator::{
     DestinationModel, LengthModel, NextEvent, PacketRequest, TgKind, TrafficGenerator,
@@ -192,11 +200,15 @@ impl PoissonConfig {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
-    /// Waiting for the model to start the next packet.
-    Idle,
     /// Inside a burst: the next packet starts as soon as the cooldown
     /// expires.
     Burst,
+    /// The idle gap has been predrawn into the cooldown: the next
+    /// packet starts deterministically when the cooldown expires.
+    Armed,
+    /// The model will never start another packet
+    /// (`start_probability <= 0`).
+    Dead,
 }
 
 /// The shared stochastic TG engine. Which paper model it realizes
@@ -224,18 +236,20 @@ pub struct StochasticTg {
 impl StochasticTg {
     /// Builds a uniform TG.
     pub fn uniform(config: UniformConfig, seed: u64) -> Self {
-        StochasticTg {
+        let mut tg = StochasticTg {
             length: config.length,
             destination: config.destination,
             start_probability: 1.0, // release exactly when the gap expires
             continue_probability: 0.0,
             uniform_gap: Some(config.gap),
             budget: config.budget,
-            phase: Phase::Idle,
+            phase: Phase::Armed,
             cooldown: 0,
             rng: Pcg32::seeded(seed),
             released: 0,
-        }
+        };
+        tg.predraw_idle_gap();
+        tg
     }
 
     /// Builds a burst (2-state Markov) TG.
@@ -246,18 +260,20 @@ impl StochasticTg {
     pub fn burst(config: BurstConfig, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&config.start_probability));
         assert!((0.0..=1.0).contains(&config.continue_probability));
-        StochasticTg {
+        let mut tg = StochasticTg {
             length: config.length,
             destination: config.destination,
             start_probability: config.start_probability,
             continue_probability: config.continue_probability,
             uniform_gap: None,
             budget: config.budget,
-            phase: Phase::Idle,
+            phase: Phase::Armed,
             cooldown: 0,
             rng: Pcg32::seeded(seed),
             released: 0,
-        }
+        };
+        tg.predraw_idle_gap();
+        tg
     }
 
     /// Builds a Poisson TG.
@@ -267,18 +283,42 @@ impl StochasticTg {
     /// Panics if the probability is outside `[0, 1]`.
     pub fn poisson(config: PoissonConfig, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&config.start_probability));
-        StochasticTg {
+        let mut tg = StochasticTg {
             length: config.length,
             destination: config.destination,
             start_probability: config.start_probability,
             continue_probability: 0.0,
             uniform_gap: None,
             budget: config.budget,
-            phase: Phase::Idle,
+            phase: Phase::Armed,
             cooldown: 0,
             rng: Pcg32::seeded(seed),
             released: 0,
+        };
+        tg.predraw_idle_gap();
+        tg
+    }
+
+    /// Predraws the idle-phase Bernoulli sequence: folds the failed
+    /// per-cycle start trials an every-cycle run would draw after the
+    /// cooldown expires into the cooldown itself, leaving a
+    /// deterministic release cycle ([`Phase::Armed`]).
+    ///
+    /// The RNG stream is bit-identical to the per-cycle model's:
+    /// exactly the trials that would have been drawn on the eligible
+    /// idle cycles are drawn here, in the same order, and `chance`
+    /// with `p >= 1` or `p <= 0` draws nothing in either version. An
+    /// exhausted model never ticks its RNG again, so no trial is
+    /// predrawn past the final release.
+    fn predraw_idle_gap(&mut self) {
+        if self.is_exhausted() || self.start_probability <= 0.0 {
+            self.phase = Phase::Dead;
+            return;
         }
+        while !self.rng.chance(self.start_probability) {
+            self.cooldown += 1;
+        }
+        self.phase = Phase::Armed;
     }
 
     fn release(&mut self) -> PacketRequest {
@@ -289,15 +329,15 @@ impl StochasticTg {
         // happen `len` cycles from now at the earliest.
         self.cooldown = u32::from(len) - 1;
         // Markov transition after the packet.
-        self.phase = if self.rng.chance(self.continue_probability) {
-            Phase::Burst
+        if self.rng.chance(self.continue_probability) {
+            self.phase = Phase::Burst;
         } else {
             if let Some((lo, hi)) = self.uniform_gap {
                 // Uniform model: predraw the whole extra gap.
                 self.cooldown += self.rng.in_range(lo, hi);
             }
-            Phase::Idle
-        };
+            self.predraw_idle_gap();
+        }
         PacketRequest {
             dst,
             flow,
@@ -316,14 +356,8 @@ impl TrafficGenerator for StochasticTg {
             return None;
         }
         match self.phase {
-            Phase::Burst => Some(self.release()),
-            Phase::Idle => {
-                if self.rng.chance(self.start_probability) {
-                    Some(self.release())
-                } else {
-                    None
-                }
-            }
+            Phase::Burst | Phase::Armed => Some(self.release()),
+            Phase::Dead => None,
         }
     }
 
@@ -335,15 +369,13 @@ impl TrafficGenerator for StochasticTg {
         TgKind::Stochastic
     }
 
-    /// While the cooldown runs, every tick only decrements it — no RNG
-    /// draw, no release — so the next real tick is `now + cooldown`.
-    /// With the cooldown expired the model may draw a Bernoulli trial
-    /// every cycle (burst/Poisson idle phases), so no skip is legal:
-    /// `At(now)`. The uniform model predraws its whole gap into the
-    /// cooldown (`start_probability == 1`), which is what makes
-    /// low-load uniform sweeps almost entirely skippable.
+    /// Every idle gap — the uniform inter-packet gap and the geometric
+    /// burst/Poisson idle phases alike — is predrawn into the cooldown
+    /// at release time, so ticks strictly before `now + cooldown` are
+    /// pure countdowns: the next release cycle is exact and low-load
+    /// runs of every stochastic model are almost entirely skippable.
     fn next_event_cycle(&self, now: Cycle) -> NextEvent {
-        if self.is_exhausted() {
+        if self.is_exhausted() || self.phase == Phase::Dead {
             NextEvent::Never
         } else {
             NextEvent::At(now + u64::from(self.cooldown))
@@ -358,6 +390,14 @@ impl TrafficGenerator for StochasticTg {
             return;
         }
         let skipped = target - now;
+        if self.phase == Phase::Dead {
+            // A dead model only counts its serializer cooldown down and
+            // then ticks as a no-op forever; it reports `Never`, so the
+            // engine may jump arbitrarily far past the cooldown.
+            let skipped = u32::try_from(skipped).unwrap_or(u32::MAX);
+            self.cooldown = self.cooldown.saturating_sub(skipped);
+            return;
+        }
         debug_assert!(
             skipped <= u64::from(self.cooldown),
             "skip past the cooldown would swallow RNG draws"
@@ -574,24 +614,85 @@ mod tests {
     }
 
     #[test]
-    fn burst_idle_phase_forbids_skipping() {
-        let cfg = BurstConfig::with_load(0.2, 4, 4, Some(10), fixed_dst());
+    fn burst_idle_gap_is_predrawn_and_skippable() {
+        // The idle-phase Bernoulli run is predrawn into the cooldown,
+        // so `next_event_cycle` names the exact release cycle — which a
+        // per-cycle reference run of the same seed must agree with.
+        let mk =
+            || StochasticTg::burst(BurstConfig::with_load(0.2, 4, 4, Some(10), fixed_dst()), 3);
+        let mut reference = mk();
+        let (releases, _) = run(&mut reference, 10_000);
+        let first = releases[0];
+        let tg = mk();
+        assert_eq!(
+            tg.next_event_cycle(Cycle::ZERO),
+            NextEvent::At(Cycle::new(first)),
+            "predrawn next event must be the first release cycle"
+        );
+        // Jumping straight to it releases, like ticking every cycle.
+        let mut gated = mk();
+        gated.skip_to(Cycle::ZERO, Cycle::new(first));
+        assert!(gated.tick(Cycle::new(first)).is_some());
+    }
+
+    /// Gated-style skipping over the predrawn gaps must reproduce the
+    /// per-cycle release stream exactly.
+    fn assert_skipped_run_matches_every_cycle_run(mk: impl Fn() -> StochasticTg) {
+        let mut plain = mk();
+        let (expected, _) = run(&mut plain, 100_000);
+        assert!(!expected.is_empty(), "model never released");
+        let mut gated = mk();
+        let mut releases = Vec::new();
+        let mut now = Cycle::ZERO;
+        while let NextEvent::At(next) = gated.next_event_cycle(now) {
+            if next > now {
+                gated.skip_to(now, next);
+                now = next;
+            }
+            if gated.tick(now).is_some() {
+                releases.push(now.raw());
+            }
+            now = now.next();
+            assert!(now.raw() < 200_000, "runaway");
+        }
+        assert_eq!(releases, expected, "gated release stream diverged");
+    }
+
+    #[test]
+    fn skipped_burst_run_matches_every_cycle_run() {
+        assert_skipped_run_matches_every_cycle_run(|| {
+            StochasticTg::burst(
+                BurstConfig::with_load(0.05, 4, 4, Some(40), fixed_dst()),
+                17,
+            )
+        });
+    }
+
+    #[test]
+    fn skipped_poisson_run_matches_every_cycle_run() {
+        assert_skipped_run_matches_every_cycle_run(|| {
+            StochasticTg::poisson(PoissonConfig::with_load(0.05, 4, Some(40), fixed_dst()), 23)
+        });
+    }
+
+    #[test]
+    fn zero_start_probability_reports_never() {
+        // chance(p <= 0) never draws and never fires: the model is
+        // dead and must not pin a gated clock.
+        let cfg = BurstConfig {
+            length: LengthModel::Fixed(4),
+            start_probability: 0.0,
+            continue_probability: 0.0,
+            budget: Some(10),
+            destination: fixed_dst(),
+        };
         let mut tg = StochasticTg::burst(cfg, 3);
-        // Cooldown 0, idle phase, 0 < p < 1: the model draws a
-        // Bernoulli trial every cycle, so the next event is `now`.
-        assert_eq!(tg.next_event_cycle(Cycle::ZERO), NextEvent::At(Cycle::ZERO));
-        // Tick until a release; during the following cooldown the next
-        // event advances past `now`.
-        let mut t = 0u64;
-        while tg.tick(Cycle::new(t)).is_none() {
-            t += 1;
-            assert!(t < 10_000, "burst TG never started");
-        }
-        let now = Cycle::new(t + 1);
-        match tg.next_event_cycle(now) {
-            NextEvent::At(c) => assert!(c > now, "cooldown must be skippable"),
-            NextEvent::Never => panic!("budget not exhausted"),
-        }
+        assert_eq!(tg.next_event_cycle(Cycle::ZERO), NextEvent::Never);
+        assert!(tg.tick(Cycle::ZERO).is_none());
+        // Engines may jump arbitrarily far; ticking afterwards is
+        // still a no-op.
+        tg.skip_to(Cycle::new(1), Cycle::new(1_000_000));
+        assert!(tg.tick(Cycle::new(1_000_000)).is_none());
     }
 
     #[test]

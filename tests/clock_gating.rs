@@ -11,13 +11,14 @@
 
 use nocem::clock::{run_engine, ClockMode, SteppableEngine};
 use nocem::compile::elaborate;
-use nocem::config::{PaperConfig, PlatformConfig};
+use nocem::config::{PaperConfig, PlatformConfig, TrafficModel};
 use nocem::engine::build;
 use nocem::error::EmulationError;
 use nocem_rtl::model::RtlEngine;
 use nocem_scenarios::registry::ScenarioRegistry;
 use nocem_scenarios::scenario::TopologySpec;
 use nocem_tlm::model::TlmEngine;
+use nocem_traffic::stochastic::BurstConfig;
 
 type EngineBuilder = fn(&PlatformConfig) -> Box<dyn SteppableEngine>;
 
@@ -153,11 +154,35 @@ fn gated_matches_ungated_on_torus4x4() {
 
 #[test]
 fn gated_matches_ungated_on_paper_burst_traffic() {
-    // Burst TGs draw a Bernoulli trial every eligible idle cycle, so
-    // their idle phases pin the clock (`NextEvent::At(now)`): gating
-    // must stay exact even when it can barely skip.
+    // Burst TGs predraw their idle-phase Bernoulli runs into the
+    // cooldown, so gated runs can skip the gaps between bursts — and
+    // must stay exact while doing so.
     let cfg = PaperConfig::new().total_packets(200).burst(8);
     assert_gated_lockstep(&cfg);
+}
+
+#[test]
+fn gated_burst_low_load_actually_skips_idle_phases() {
+    // With predrawn gaps a low-load burst run must jump its long idle
+    // phases instead of pinning the clock on every eligible cycle.
+    let mut cfg = uniform_random(TopologySpec::Ring { switches: 8 }, 0.05, 160);
+    cfg.generators = cfg
+        .generators
+        .iter()
+        .map(|g| match g {
+            TrafficModel::Uniform(u) => TrafficModel::Burst(BurstConfig {
+                length: u.length,
+                start_probability: 0.01,
+                continue_probability: 0.75,
+                budget: u.budget,
+                destination: u.destination.clone(),
+            }),
+            other => other.clone(),
+        })
+        .collect();
+    cfg.name = "burst-low-load".into();
+    let skipped = assert_gated_lockstep(&cfg);
+    assert!(skipped > 0, "burst idle phases were not skipped");
 }
 
 /// The acceptance criterion for the gating win: a 5 %-load
