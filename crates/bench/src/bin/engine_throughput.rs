@@ -1,21 +1,29 @@
 //! **Engine throughput** — flits per wall-clock second of the
-//! interpreted emulation engine versus the compiled data-oriented
-//! engine on identical traffic, the acceptance measurement for the
-//! compiled engine's "elaborate once, run flat arrays" design.
+//! interpreted emulation engine, the compiled data-oriented engine,
+//! and the two sharded engines (interpreted and compiled, 2 shards)
+//! on identical traffic: the acceptance measurement for the compiled
+//! engine's "elaborate once, run flat arrays" design and a first look
+//! at the sharded engines' coordination cost.
 //!
 //! ```text
 //! cargo run --release -p nocem-bench --bin engine_throughput
 //! cargo run --release -p nocem-bench --bin engine_throughput -- --smoke
 //! ```
 //!
-//! The full run measures both engines on uniform-random traffic over
-//! mesh4x4, mesh8x8 and torus8x8 at 5% and 40% offered load, prints a
-//! table, and writes `BENCH_throughput.json` (one row per engine ×
-//! topology × load with cycle counts and the host core count stamped)
-//! into the repository root so the numbers are versioned alongside
-//! the code that produced them. The headline figure is the mesh8x8 @
-//! 40% speedup, where both engines are saturated with real switching
-//! work.
+//! The full run measures the engines on uniform-random traffic over
+//! mesh4x4, mesh8x8, torus8x8 and a mesh16x16 scale point at 5% and
+//! 40% offered load, prints a table, and writes
+//! `BENCH_throughput.json` (one row per engine × topology × load with
+//! cycle counts and the host core count stamped) into the repository
+//! root so the numbers are versioned alongside the code that produced
+//! them. The headline figure is the mesh8x8 @ 40% speedup, where both
+//! single-threaded engines are saturated with real switching work.
+//! Parallel speedup ratios (sharded vs its single-threaded parent)
+//! are recorded **only when the host has more than one core** — on a
+//! 1-core host the sharded rows measure coordination overhead, so the
+//! bench warns and skips those ratios instead of recording misleading
+//! numbers (dedicated scaling measurements live in
+//! `BENCH_sharding.json`, written by the `shard_scaling` bench).
 //!
 //! `--smoke` (the CI configuration) measures mesh4x4 @ 40% with short
 //! windows and asserts the compiled engine clears 3× — loose enough
@@ -26,6 +34,8 @@ use nocem::clock::SteppableEngine;
 use nocem::compile::elaborate;
 use nocem::config::{PlatformConfig, TrafficModel};
 use nocem::engine::build;
+use nocem::shard::ShardedEngine;
+use nocem::shard_compiled::ShardedCompiledEngine;
 use nocem::CompiledEngine;
 use nocem_scenarios::registry::ScenarioRegistry;
 use nocem_scenarios::scenario::TopologySpec;
@@ -104,6 +114,10 @@ fn measure_cell(
         "compiled" => Box::new(CompiledEngine::new(
             elaborate(&cfg).expect("config compiles"),
         )),
+        "sharded" => Box::new(ShardedEngine::with_shards(&cfg, 2).expect("config compiles")),
+        "sharded-compiled" => {
+            Box::new(ShardedCompiledEngine::with_shards(&cfg, 2, 16).expect("config compiles"))
+        }
         other => unreachable!("unknown engine {other}"),
     };
     let (cycles, seconds, flits) = measure(engine.as_mut(), warmup, 10_000, min_seconds);
@@ -203,15 +217,22 @@ fn main() {
                 height: 8,
             },
         ),
+        (
+            "mesh16x16",
+            TopologySpec::Mesh {
+                width: 16,
+                height: 16,
+            },
+        ),
     ];
 
     let mut rows = Vec::new();
     for &(name, topo) in cells {
         for load in [0.05, 0.40] {
-            for engine in ["emulation", "compiled"] {
+            for engine in ["emulation", "compiled", "sharded", "sharded-compiled"] {
                 let row = measure_cell(engine, name, topo, load, warmup, min_seconds);
                 println!(
-                    "{:>9}  {:>8} @ {:>2.0}%  {:>12.0} flits/s  {:>12.0} cycles/s",
+                    "{:>16}  {:>9} @ {:>2.0}%  {:>12.0} flits/s  {:>12.0} cycles/s",
                     row.engine,
                     row.topology,
                     row.load * 100.0,
@@ -235,7 +256,25 @@ fn main() {
             let s = fps("compiled") / fps("emulation");
             speedups.push((format!("{name}_load{:02.0}", load * 100.0), s));
             println!("speedup {name} @ {:>2.0}%: {s:.2}x", load * 100.0);
+            // Sharded-vs-parent ratios only mean something when the
+            // shard workers actually get their own cores; on a 1-core
+            // host they would record coordination overhead as if it
+            // were (negative) parallel speedup.
+            if cores > 1 {
+                let p = fps("sharded-compiled") / fps("compiled");
+                speedups.push((format!("{name}_load{:02.0}_parallel2", load * 100.0), p));
+                println!(
+                    "parallel speedup (2 shards) {name} @ {:>2.0}%: {p:.2}x",
+                    load * 100.0
+                );
+            }
         }
+    }
+    if cores == 1 {
+        println!(
+            "warning: host has 1 core — sharded rows record coordination \
+             overhead; parallel speedup ratios skipped"
+        );
     }
 
     let content = json(&rows, cores, &speedups);

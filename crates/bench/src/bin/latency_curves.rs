@@ -302,6 +302,11 @@ fn main() {
     println!("data written to {}", path.display());
     let heat_path = nocem_bench::save_csv("link_heat.csv", &outcome.link_heat_csv());
     println!("link heat written to {}", heat_path.display());
+    let accepted_path = nocem_bench::save_csv("latency_accepted.csv", &outcome.to_accepted_csv());
+    println!(
+        "latency-vs-accepted plot data written to {}",
+        accepted_path.display()
+    );
 }
 
 /// The most-blocked link of a curve's highest-load point, rendered

@@ -54,15 +54,19 @@
 //!
 //! # Sharded engines: the cross-shard event horizon
 //!
-//! The sharded engine (`crate::shard`) applies the same protocol
-//! per shard: every worker reports its local quiescence and its TGs'
-//! earliest future event each cycle, and the coordinator may jump
-//! only when **all** shards are quiescent (plus the ledger clause),
-//! and only to the *minimum* next-event over all shards — the
-//! cross-shard event horizon. A shard therefore never fast-forwards
-//! past a cycle at which another shard could have produced traffic
-//! that would reach it; the jump is replayed in every worker with the
-//! same [`TrafficGenerator::skip_to`] contract as [`fast_forward`].
+//! The sharded engines (`crate::shard`, `crate::shard_compiled`)
+//! apply the same protocol per shard: every worker reports its local
+//! quiescence and its TGs' earliest future event each cycle, and the
+//! coordinator may jump only when **all** shards are quiescent (plus
+//! the ledger clause), and only to the *minimum* next-event over all
+//! shards — the cross-shard event horizon. A shard therefore never
+//! fast-forwards past a cycle at which another shard could have
+//! produced traffic that would reach it; the jump is replayed in
+//! every worker with the same [`TrafficGenerator::skip_to`] contract
+//! as [`fast_forward`]. Because the gating decision is a per-cycle
+//! platform-wide predicate, the batched sharded compiled engine
+//! clamps its exchange batch to 1 under [`ClockMode::Gated`] rather
+//! than diverge.
 
 use crate::error::EmulationError;
 use nocem_common::time::Cycle;

@@ -338,27 +338,39 @@ pub fn elaborate_routed(
         })
         .collect();
 
-    // Address map: control first, then TGs, TRs, switches.
+    // Address map: control first, then TGs, TRs, switches. The
+    // paper's control plane addresses at most 4 buses x 1024 devices;
+    // a platform whose device count exceeds that capacity (mesh40x40
+    // and up) still emulates — it just has no bus-programmable control
+    // plane, so the map stays empty and every bus access reports
+    // `Unmapped`. Mapping is all-or-nothing: a partial map would break
+    // the monitor-after-switches slot convention and silently strand
+    // the tail of the device list.
     let mut map = AddressMap::new();
-    map.allocate(DeviceClass::Control, "ctrl")
-        .map_err(|_| CompileError::AddressMapFull)?;
-    for i in 0..generators.len() {
-        map.allocate(DeviceClass::TrafficGenerator, format!("tg{i}"))
-            .map_err(|_| CompileError::AddressMapFull)?;
+    let needed = 2 + generators.len() + receptors.len() + topo.switch_count();
+    if needed <= AddressMap::capacity() {
+        let full = |_| unreachable!("address map capacity checked above");
+        map.allocate(DeviceClass::Control, "ctrl")
+            .unwrap_or_else(full);
+        for i in 0..generators.len() {
+            map.allocate(DeviceClass::TrafficGenerator, format!("tg{i}"))
+                .unwrap_or_else(full);
+        }
+        for i in 0..receptors.len() {
+            map.allocate(DeviceClass::TrafficReceptor, format!("tr{i}"))
+                .unwrap_or_else(full);
+        }
+        for s in topo.switch_ids() {
+            map.allocate(DeviceClass::Switch, format!("sw{}", s.raw()))
+                .unwrap_or_else(full);
+        }
+        // The telemetry monitor always occupies the slot after the
+        // switches (reads return zeros while telemetry is disabled),
+        // so software can locate it without knowing the run
+        // configuration.
+        map.allocate(DeviceClass::Monitor, "mon")
+            .unwrap_or_else(full);
     }
-    for i in 0..receptors.len() {
-        map.allocate(DeviceClass::TrafficReceptor, format!("tr{i}"))
-            .map_err(|_| CompileError::AddressMapFull)?;
-    }
-    for s in topo.switch_ids() {
-        map.allocate(DeviceClass::Switch, format!("sw{}", s.raw()))
-            .map_err(|_| CompileError::AddressMapFull)?;
-    }
-    // The telemetry monitor always occupies the slot after the
-    // switches (reads return zeros while telemetry is disabled), so
-    // software can locate it without knowing the run configuration.
-    map.allocate(DeviceClass::Monitor, "mon")
-        .map_err(|_| CompileError::AddressMapFull)?;
 
     // Wiring lookups.
     let mut receptor_of_endpoint = vec![None; topo.endpoint_count()];

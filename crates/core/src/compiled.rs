@@ -73,88 +73,88 @@ use nocem_traffic::ni::SourceNi;
 /// picks an engine ([`crate::shard::build_engine`],
 /// [`crate::sweep::AnyEngine`], sweeps, curves).
 pub struct CompiledEngine {
-    config: PlatformConfig,
-    low: LoweredPlatform,
-    tgs: Vec<Box<dyn TrafficGenerator + Send>>,
-    nis: Vec<SourceNi>,
-    receptors: Vec<ReceptorDevice>,
-    generator_endpoints: Vec<EndpointId>,
+    pub(crate) config: PlatformConfig,
+    pub(crate) low: LoweredPlatform,
+    pub(crate) tgs: Vec<Box<dyn TrafficGenerator + Send>>,
+    pub(crate) nis: Vec<SourceNi>,
+    pub(crate) receptors: Vec<ReceptorDevice>,
+    pub(crate) generator_endpoints: Vec<EndpointId>,
     /// Per generator: injection link id (congestion attribution).
-    injection_links: Vec<LinkId>,
-    ledger: PacketLedger,
-    now: Cycle,
-    next_packet: u64,
+    pub(crate) injection_links: Vec<LinkId>,
+    pub(crate) ledger: PacketLedger,
+    pub(crate) now: Cycle,
+    pub(crate) next_packet: u64,
     /// Per-TG output register: a request the source queue could not
     /// absorb yet (the model is clock-gated while this is occupied).
-    pending: Vec<Option<PacketRequest>>,
+    pub(crate) pending: Vec<Option<PacketRequest>>,
     /// Per TG: earliest cycle whose tick is not a pure no-op — ticks
     /// strictly before it are deferred and replayed with `skip_to`.
-    tg_next_event: Vec<u64>,
+    pub(crate) tg_next_event: Vec<u64>,
     /// Per TG: first cycle whose (deferred) tick has not been
     /// replayed yet.
-    tg_synced: Vec<u64>,
+    pub(crate) tg_synced: Vec<u64>,
     /// Per NI: known non-idle; `tick_send` on an idle NI is a pure
     /// no-op and is skipped.
-    ni_active: Vec<bool>,
-    stalled: u64,
-    delivered_flits: u64,
-    cycles_skipped: u64,
-    telemetry: Option<Collector>,
+    pub(crate) ni_active: Vec<bool>,
+    pub(crate) stalled: u64,
+    pub(crate) delivered_flits: u64,
+    pub(crate) cycles_skipped: u64,
+    pub(crate) telemetry: Option<Collector>,
     /// Per global output port: cycles some input VC waited on it.
-    blocked_out: Vec<u64>,
+    pub(crate) blocked_out: Vec<u64>,
     /// Per global output port: flits that crossed it.
-    forwarded_out: Vec<u64>,
+    pub(crate) forwarded_out: Vec<u64>,
     /// Per `(switch, vc)`: peak fill of any single FIFO of that VC.
-    max_vc_occ: Vec<u64>,
+    pub(crate) max_vc_occ: Vec<u64>,
     /// Per switch: total buffered flits (the skip-empty gate).
-    occ_flits: Vec<u32>,
+    pub(crate) occ_flits: Vec<u32>,
     /// Per switch: bitmask of occupied local input slots (mask path).
-    occ_mask: Vec<u64>,
+    pub(crate) occ_mask: Vec<u64>,
     /// Per switch: out-slots granted by VC allocation this cycle.
-    vcg_mask: Vec<u64>,
+    pub(crate) vcg_mask: Vec<u64>,
     /// Per switch: out-ports granted a transfer this cycle.
-    grant_mask: Vec<u64>,
+    pub(crate) grant_mask: Vec<u64>,
     /// Per switch: all port×VC dims fit the 64-bit mask fast path.
-    mask_ok: Vec<bool>,
+    pub(crate) mask_ok: Vec<bool>,
     /// Platform-wide buffered flits (O(1) quiescence).
-    total_occ: u64,
+    pub(crate) total_occ: u64,
     /// Open wormholes (allocated/busy pairs; O(1) quiescence).
-    open_worms: u32,
+    pub(crate) open_worms: u32,
     /// Outstanding finite credits (cap minus current; O(1) quiescence).
-    credit_debt: u64,
+    pub(crate) credit_debt: u64,
     /// Per global output slot: this cycle's VC-allocation winner as a
     /// switch-local input slot ([`SLOT_NONE`] = none).
-    vc_granted: Vec<u16>,
+    pub(crate) vc_granted: Vec<u16>,
     /// Per global output port: this cycle's transfer grant, encoded
     /// `(input_slot << 8) | out_vc` ([`LOWERED_NONE`] = none).
-    granted: Vec<u32>,
+    pub(crate) granted: Vec<u32>,
     /// Per switch: decided this cycle (commit processes only these).
-    active: Vec<bool>,
+    pub(crate) active: Vec<bool>,
     /// Scratch: per switch-local input slot, the requested switch-local
     /// output slot (valid only for occupied slots).
-    requests: Vec<u16>,
+    pub(crate) requests: Vec<u16>,
     /// Scratch (mask path): per local out-slot, the bitmask of
     /// requesting input slots; set and cleared within one decide.
-    slot_reqs: Vec<u64>,
+    pub(crate) slot_reqs: Vec<u64>,
     /// Scratch (dense path): `[local out-slot][local in-slot]` request
     /// lines, set and lazily cleared like the interpreted switch's.
-    vc_reqs: Vec<bool>,
+    pub(crate) vc_reqs: Vec<bool>,
     /// Scratch (dense path): per local out-slot, any request.
-    vc_req_any: Vec<bool>,
+    pub(crate) vc_req_any: Vec<bool>,
     /// Scratch (dense path): per input port, a grant claimed it.
-    input_taken: Vec<bool>,
+    pub(crate) input_taken: Vec<bool>,
     /// Lookup: local input slot → input port (hot paths divide by the
     /// VC count through this table instead of the ALU).
-    iv_port: Vec<u32>,
+    pub(crate) iv_port: Vec<u32>,
     /// Lookup: local output slot → output port.
-    slot_port: Vec<u32>,
+    pub(crate) slot_port: Vec<u32>,
     /// In-flight flit storage: the arena's handles index this pool, so
     /// a hop moves a four-byte handle instead of a whole [`Flit`]. A
     /// flit is interned at injection and freed at delivery; the free
     /// list recycles pool slots deterministically.
-    flit_pool: Vec<Flit>,
+    pub(crate) flit_pool: Vec<Flit>,
     /// Freed pool indices awaiting reuse.
-    flit_free: Vec<u32>,
+    pub(crate) flit_free: Vec<u32>,
 }
 
 impl std::fmt::Debug for CompiledEngine {
@@ -393,7 +393,7 @@ impl CompiledEngine {
     /// so its next tick observes exactly the state an every-cycle run
     /// would have produced.
     #[inline]
-    fn sync_tg(&mut self, i: usize, now: Cycle) {
+    pub(crate) fn sync_tg(&mut self, i: usize, now: Cycle) {
         if self.tg_synced[i] < now.raw() {
             self.tgs[i].skip_to(Cycle::new(self.tg_synced[i]), now);
         }
@@ -570,7 +570,7 @@ impl CompiledEngine {
     /// handle: the pool index with the head/tail kind flags packed into
     /// the top bits. The free list makes reuse deterministic.
     #[inline]
-    fn intern(&mut self, flit: Flit) -> u32 {
+    pub(crate) fn intern(&mut self, flit: Flit) -> u32 {
         let idx = match self.flit_free.pop() {
             Some(i) => {
                 self.flit_pool[i as usize] = flit;
@@ -598,7 +598,12 @@ impl CompiledEngine {
     /// Looks up `flow`'s route hops at switch `s` and runs the
     /// selection policy — shared by both decide paths.
     #[inline]
-    fn route_and_select(low: &mut LoweredPlatform, s: usize, slot: usize, flow: FlowId) -> u16 {
+    pub(crate) fn route_and_select(
+        low: &mut LoweredPlatform,
+        s: usize,
+        slot: usize,
+        flow: FlowId,
+    ) -> u16 {
         let vcs = low.num_vcs;
         if low.route_flow_space != 0 {
             // Single-hop routes (every deterministic routing function)
@@ -650,7 +655,7 @@ impl CompiledEngine {
     /// VC allocation and switch allocation, iterating occupied and
     /// requested slots only (ascending bit order = the reference's
     /// ascending slot order).
-    fn decide_switch_mask(&mut self, s: usize) {
+    pub(crate) fn decide_switch_mask(&mut self, s: usize) {
         let low = &mut self.low;
         let vcs = low.num_vcs;
         let depth = low.fifo_depth;
@@ -784,7 +789,7 @@ impl CompiledEngine {
     /// VC rotation degenerates to a single probe and the per-port
     /// "one input sends" constraint coincides with the granted-slot
     /// set, so the whole decide runs on three bit masks.
-    fn decide_switch_mask_vc1(&mut self, s: usize) {
+    pub(crate) fn decide_switch_mask_vc1(&mut self, s: usize) {
         let low = &mut self.low;
         let depth = low.fifo_depth;
         let isb = low.in_slot_base[s] as usize;
@@ -866,7 +871,7 @@ impl CompiledEngine {
 
     /// Phase 1, dense fallback for switches whose port×VC dims exceed
     /// the 64-bit masks — full scans, identical semantics.
-    fn decide_switch_dense(&mut self, s: usize) {
+    pub(crate) fn decide_switch_dense(&mut self, s: usize) {
         let low = &mut self.low;
         let vcs = low.num_vcs;
         let depth = low.fifo_depth;
@@ -1262,7 +1267,7 @@ impl CompiledEngine {
     /// Lands flit handle `h` in the FIFO of `(switch, port base, vc)`
     /// and maintains the occupancy aggregates and per-VC watermarks —
     /// `Switch::accept` over the arena.
-    fn accept_flit(
+    pub(crate) fn accept_flit(
         &mut self,
         switch: usize,
         slot_base: u32,
@@ -1388,7 +1393,7 @@ impl CompiledEngine {
 
     /// Snapshot of the cumulative per-link counters plus live per-VC
     /// occupancy (telemetry probe parity with the interpreted engine).
-    fn cumulative_probe(&self) -> CumulativeProbe {
+    pub(crate) fn cumulative_probe(&self) -> CumulativeProbe {
         let vcs = self.low.num_vcs;
         let mut p = CumulativeProbe::new(self.config.topology.link_count(), vcs);
         for s in 0..self.low.switch_count {

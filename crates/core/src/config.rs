@@ -109,6 +109,30 @@ pub enum EngineKind {
     /// [`EngineKind::SingleThread`] (proven by the lockstep ledger
     /// tests); an order of magnitude faster on busy platforms.
     Compiled,
+    /// The sharded *compiled* engine
+    /// ([`crate::shard_compiled::ShardedCompiledEngine`]): the two
+    /// speed mechanisms composed. The platform is lowered once into
+    /// the flat struct-of-arrays state of [`EngineKind::Compiled`],
+    /// then partitioned along a [`nocem_topology::partition::PartitionMap`]
+    /// so each persistent worker thread steps its own slice of the
+    /// arrays with its own flit pool. Cross-shard flits and credits
+    /// travel as per-cycle boundary records over neighbor channels
+    /// (preserving exact single-cycle link latency), while
+    /// *coordinator synchronization* is batched: each worker runs up
+    /// to `batch` cycles per coordinator round trip, amortizing the
+    /// command/report synchronization `batch`× without changing a
+    /// single cycle's semantics. Cycle-for-cycle identical to
+    /// [`EngineKind::Compiled`] for every `(shards, batch)` (proven by
+    /// the lockstep ledger tests in `tests/sharded_compiled.rs`).
+    ShardedCompiled {
+        /// Worker-thread shard count (`>= 1`).
+        shards: usize,
+        /// Cycles per coordinator synchronization round (`>= 1`;
+        /// clamped to 1 — with a warning — under
+        /// [`ClockMode::Gated`], whose cross-shard event horizon is a
+        /// per-cycle global decision).
+        batch: u64,
+    },
 }
 
 /// When the emulation stops.

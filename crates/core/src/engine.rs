@@ -26,7 +26,7 @@ use crate::devices::{self, TgShadow};
 use crate::error::EmulationError;
 use crate::results::EmulationResults;
 use nocem_common::flit::PacketDescriptor;
-use nocem_common::ids::{EndpointId, PacketId, SwitchId};
+use nocem_common::ids::{BusId, DeviceId, EndpointId, PacketId, SwitchId};
 use nocem_common::time::Cycle;
 use nocem_platform::addr::Address;
 use nocem_platform::bus::{AddressMap, BusAccess, BusError, DeviceClass};
@@ -456,10 +456,20 @@ impl Emulation {
     /// requested, otherwise propagates run errors.
     pub fn run_programmed(&mut self) -> Result<(), EmulationError> {
         if !self.control.start_requested() {
+            // On an over-capacity platform the map is empty (the start
+            // bit can never be set over the bus); report the
+            // conventional control slot either way.
+            let ctrl = self
+                .elab
+                .map
+                .devices()
+                .first()
+                .map(|d| d.addr)
+                .unwrap_or_else(|| {
+                    nocem_platform::DeviceAddr::new(BusId::new(0), DeviceId::new(0))
+                });
             return Err(EmulationError::Bus(BusError::InvalidValue {
-                addr: self.elab.map.devices()[0]
-                    .addr
-                    .reg(nocem_platform::control::REG_CTRL),
+                addr: ctrl.reg(nocem_platform::control::REG_CTRL),
                 reason: "start bit not set".into(),
             }));
         }
@@ -613,6 +623,11 @@ impl Emulation {
     }
 
     fn device_ordinal(&self, addr: Address) -> Result<(DeviceClass, usize), BusError> {
+        // Platforms too large for the 4x1024 control plane elaborate
+        // with an empty map — no device is bus-addressable.
+        if self.elab.map.devices().is_empty() {
+            return Err(BusError::Unmapped(addr));
+        }
         let d = addr.device_addr();
         let n = usize::from(d.bus.raw()) * usize::from(nocem_platform::DEVICES_PER_BUS)
             + usize::from(d.device.raw());

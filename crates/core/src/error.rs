@@ -43,8 +43,6 @@ pub enum CompileError {
         /// What is wrong (shard count vs. switch count, coverage).
         reason: String,
     },
-    /// The platform ran out of bus device slots.
-    AddressMapFull,
     /// A configured offered load exceeds link capacity somewhere.
     Overloaded {
         /// The predicted worst link load (flits/cycle).
@@ -70,7 +68,6 @@ impl std::fmt::Display for CompileError {
                 f,
                 "routing uses VC {max_vc} but switches have only {num_vcs} VCs"
             ),
-            CompileError::AddressMapFull => write!(f, "platform address map is full"),
             CompileError::Overloaded { worst_load } => write!(
                 f,
                 "configured traffic overloads a link ({worst_load:.2} flits/cycle offered)"

@@ -40,6 +40,7 @@
 //! | [`engine`] | 5 | the cycle engine (and the bus the software sees) |
 //! | [`shard`] | 5 | the sharded engine: one platform across worker threads |
 //! | [`compiled`] | 5 | the compiled engine: the elaboration lowered to flat arrays |
+//! | [`shard_compiled`] | 5 | the sharded compiled engine: array-slice shards, batched synchronization |
 //! | [`clock`] | 5 | clock modes, quiescence, the fast-forward kernel, [`clock::SteppableEngine`] |
 //! | [`devices`] | 3, 6 | register views and typed drivers |
 //! | [`results`] | 6 | run results and the monitor report |
@@ -59,6 +60,7 @@ pub mod error;
 pub mod flow;
 pub mod results;
 pub mod shard;
+pub mod shard_compiled;
 pub mod sweep;
 
 pub use clock::{
@@ -77,6 +79,7 @@ pub use error::{CompileError, EmulationError};
 pub use flow::{run_flow, run_flow_on, FlowReport};
 pub use results::EmulationResults;
 pub use shard::{build_engine, ShardedEngine};
+pub use shard_compiled::ShardedCompiledEngine;
 pub use sweep::{
     run_config, run_config_routed, run_sweep, run_sweep_engine, run_sweep_indexed, run_sweep_with,
     AnyEngine, SweepPoint,

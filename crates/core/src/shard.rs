@@ -31,17 +31,25 @@
 //!    its global generator-order loop, with no round trip;
 //! 3. **decide / send / commit** — each worker steps its own switches.
 //!    Transfers whose far end is shard-local are applied directly;
-//!    transfers crossing a boundary link go into that link's bounded
-//!    channel — one flit channel and one credit channel **per
-//!    (boundary link, VC)**, capacity 1, which is provably sufficient
-//!    because a physical link carries at most one flit per cycle and
-//!    pops at most one flit per input port per cycle;
-//! 4. **exchange barrier** — after a second barrier, every worker
-//!    drains its incoming boundary channels into its own switches
-//!    (buffer pushes and credit increments commute with the pops that
-//!    already happened, and credit-gated flow control guarantees the
-//!    pushed buffer has room), then reports its cycle's ledger events
-//!    and its quiescence status to the coordinator;
+//!    transfers crossing a shard boundary are *recorded* — flit
+//!    records addressed to the downstream switch's input, credit
+//!    records addressed to the upstream switch's output — into one
+//!    outgoing buffer per neighbor shard;
+//! 4. **batched exchange** — each worker then sends **exactly one
+//!    `BoundaryMsg`** (possibly empty — the message doubles as the
+//!    cycle marker) per neighbor shard on an unbounded channel, and
+//!    blocking-receives exactly one tagged message from each neighbor
+//!    in return, replaying the records into its own switches. Buffer
+//!    pushes and credit increments commute with the pops that already
+//!    happened (a link carries at most one flit per cycle, so no two
+//!    records of one cycle touch the same FIFO slot), and credit-gated
+//!    flow control guarantees the pushed buffer has room. The
+//!    point-to-point cycle tags replace the old exchange barrier and
+//!    the old per-(boundary link, VC) rendezvous channels: boundary
+//!    traffic now costs one channel operation per neighbor per cycle
+//!    instead of two per crossing flit. Each worker then reports its
+//!    cycle's ledger events and its quiescence status to the
+//!    coordinator;
 //! 5. **coordinator** — the [`ShardedEngine`] applies releases (sorted
 //!    by id), injections and deliveries (sorted by the ejecting
 //!    switch/port, the single-threaded commit order) to the one
@@ -92,9 +100,9 @@ use nocem_telemetry::{Collector, CumulativeProbe};
 use nocem_topology::partition::{GridStripes, Partition, PartitionMap};
 use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
 use nocem_traffic::ni::SourceNi;
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Barrier};
 use std::thread::JoinHandle;
 
@@ -134,20 +142,20 @@ struct Delivery {
 /// Per-cycle shard status, cached by the coordinator for the stop
 /// condition and the gating decision of the *next* step.
 #[derive(Debug, Clone, Copy)]
-struct ShardStatus {
+pub(crate) struct ShardStatus {
     /// Local half of the platform quiescence predicate: no parked TG
     /// request, every NI idle with credits home, every switch
     /// quiescent.
-    quiescent: bool,
+    pub(crate) quiescent: bool,
     /// Earliest future event over this shard's TGs, evaluated at the
     /// cycle the next step will execute (`u64::MAX` = never).
-    next_event: u64,
+    pub(crate) next_event: u64,
     /// All TGs exhausted.
-    exhausted: bool,
+    pub(crate) exhausted: bool,
     /// No parked TG request.
-    pending_none: bool,
+    pub(crate) pending_none: bool,
     /// Every NI idle.
-    nis_idle: bool,
+    pub(crate) nis_idle: bool,
 }
 
 /// What a worker reports after executing one cycle.
@@ -182,8 +190,15 @@ enum LocalOut {
     Switch { switch: usize, port: PortId },
     /// A shard-local receptor.
     Receptor { index: usize },
-    /// A boundary link: one flit sender per VC of the link.
-    Remote { tx: Vec<SyncSender<Flit>> },
+    /// A boundary link: record the flit for neighbor `nbr`, addressed
+    /// to the downstream switch's *receiver-local* index and input
+    /// port (resolved at construction, so the receiver applies records
+    /// without any lookup).
+    Remote {
+        nbr: usize,
+        switch: usize,
+        port: PortId,
+    },
 }
 
 /// What feeds a shard-local switch input (for credit returns).
@@ -192,23 +207,29 @@ enum LocalIn {
     Switch { switch: usize, port: PortId },
     /// A shard-local network interface.
     Ni { index: usize },
-    /// A boundary link: one credit sender per VC back upstream.
-    Remote { tx: Vec<SyncSender<()>> },
+    /// A boundary link: record the credit for neighbor `nbr`,
+    /// addressed to the upstream switch's *receiver-local* index and
+    /// output port.
+    Remote {
+        nbr: usize,
+        switch: usize,
+        port: PortId,
+    },
 }
 
-/// Receiving end of a boundary link's flit channels.
-struct InFlits {
-    switch: usize,
-    port: PortId,
-    rx: Vec<Receiver<Flit>>,
-}
-
-/// Receiving end of one (boundary link, VC) credit channel.
-struct InCredit {
-    switch: usize,
-    port: PortId,
-    vc: VcId,
-    rx: Receiver<()>,
+/// One cycle's boundary traffic from one shard to one neighbor shard:
+/// every flit and credit that crossed their mutual boundary this
+/// cycle, in the sender's deterministic commit order. Sent exactly
+/// once per (directed neighbor pair, cycle) — an empty message is the
+/// cycle marker that lets the receiver's blocking receive replace the
+/// old exchange barrier.
+struct BoundaryMsg {
+    /// The cycle the records belong to (receiver-side skew check).
+    cycle: u64,
+    /// `(receiver-local switch, input port, flit)`.
+    flits: Vec<(usize, PortId, Flit)>,
+    /// `(receiver-local switch, output port, vc)`.
+    credits: Vec<(usize, PortId, VcId)>,
 }
 
 /// The state owned by one worker thread.
@@ -234,8 +255,16 @@ struct Worker {
     receptors: Vec<ReceptorDevice>,
     /// Local receptor index → global receptor index.
     receptor_gidx: Vec<usize>,
-    in_flits: Vec<InFlits>,
-    in_credits: Vec<InCredit>,
+    /// One sender per neighbor shard (ascending shard id), paired
+    /// index-wise with `out_flits` / `out_credits`.
+    out_txs: Vec<Sender<BoundaryMsg>>,
+    /// One receiver per neighbor shard (ascending shard id).
+    in_rxs: Vec<Receiver<BoundaryMsg>>,
+    /// Per out-neighbor flit records buffered during the commit phase.
+    out_flits: Vec<Vec<(usize, PortId, Flit)>>,
+    /// Per out-neighbor credit records buffered during the commit
+    /// phase.
+    out_credits: Vec<Vec<(usize, PortId, VcId)>>,
     /// `[local switch][output port]` → global link (telemetry probe
     /// attribution, mirroring the single-threaded congestion map).
     out_links: Vec<Vec<LinkId>>,
@@ -339,11 +368,13 @@ impl Worker {
     }
 
     /// Executes one platform cycle. Errors — including panics — are
-    /// latched instead of propagated mid-cycle so that *both* barriers
-    /// are always reached: a shard that unwound between barriers would
-    /// strand every peer at `Barrier::wait` forever and deadlock the
-    /// coordinator. Each segment between barriers therefore runs under
-    /// `catch_unwind`, with the barrier waits outside the catch.
+    /// latched instead of propagated mid-cycle so the exchange cadence
+    /// is always kept: a shard that unwound before the id barrier or
+    /// before sending its boundary messages would strand every peer at
+    /// `Barrier::wait` or at a blocking receive forever and deadlock
+    /// the coordinator. Each work segment therefore runs under
+    /// `catch_unwind`, with the barrier wait and the boundary sends
+    /// outside the catch.
     fn cycle(&mut self, now: Cycle, skip_from: Option<Cycle>, base_id: u64) -> CycleReport {
         use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -369,9 +400,13 @@ impl Worker {
             err = out.error.take();
         }
 
-        // Exchange barrier: every boundary message of this cycle has
-        // been sent; drain ours and take the end-of-cycle status.
-        self.barrier.wait();
+        // Batched exchange: exactly one message per neighbor shard,
+        // even on an error cycle (a partial buffer is fine — the run
+        // is aborting — but a *missing* message would deadlock the
+        // neighbor's blocking receive). Then receive and replay one
+        // tagged message from every neighbor and take the
+        // end-of-cycle status.
+        self.send_boundary(now);
         let status = match catch_unwind(AssertUnwindSafe(|| self.drain_and_status(now))) {
             Ok((drain_err, status)) => {
                 if err.is_none() {
@@ -517,11 +552,8 @@ impl Worker {
                         self.switches[*switch].credit_return(*port, t.input_vc);
                     }
                     LocalIn::Ni { index } => self.nis[*index].credit_return(),
-                    LocalIn::Remote { tx } => {
-                        if tx[t.input_vc.index()].try_send(()).is_err() {
-                            err.get_or_insert(channel_fault(self.shard, "credit"));
-                            break 'commit;
-                        }
+                    LocalIn::Remote { nbr, switch, port } => {
+                        self.out_credits[*nbr].push((*switch, *port, t.input_vc));
                     }
                 }
                 match &self.routes_out[s][t.output.index()] {
@@ -558,11 +590,8 @@ impl Worker {
                             }
                         }
                     }
-                    LocalOut::Remote { tx } => {
-                        if tx[t.flit.vc.index()].try_send(t.flit).is_err() {
-                            err.get_or_insert(channel_fault(self.shard, "flit"));
-                            break 'commit;
-                        }
+                    LocalOut::Remote { nbr, switch, port } => {
+                        self.out_flits[*nbr].push((*switch, *port, t.flit));
                     }
                 }
             }
@@ -575,25 +604,52 @@ impl Worker {
         }
     }
 
-    /// Phases 6–7 (after the exchange barrier): drain incoming
-    /// boundary channels and take the end-of-cycle status.
+    /// Sends exactly one [`BoundaryMsg`] per neighbor shard carrying
+    /// everything the commit phase recorded for it this cycle. A send
+    /// only fails when the neighbor already exited (the run is being
+    /// torn down), so failures are ignored — the cadence, not the
+    /// delivery, is the invariant.
+    fn send_boundary(&mut self, now: Cycle) {
+        for (i, tx) in self.out_txs.iter().enumerate() {
+            let msg = BoundaryMsg {
+                cycle: now.raw(),
+                flits: std::mem::take(&mut self.out_flits[i]),
+                credits: std::mem::take(&mut self.out_credits[i]),
+            };
+            let _ = tx.send(msg);
+        }
+    }
+
+    /// Phases 6–7: blocking-receive one boundary message from every
+    /// neighbor shard, replay its records into our switches, and take
+    /// the end-of-cycle status. The per-message cycle tag is the
+    /// synchronization point that replaced the exchange barrier; the
+    /// replay order across records is irrelevant because a link
+    /// carries at most one flit (and one credit per VC) per cycle, so
+    /// no two records of one cycle touch the same FIFO slot.
     fn drain_and_status(&mut self, now: Cycle) -> (Option<EmulationError>, ShardStatus) {
         let mut err: Option<EmulationError> = None;
-        for chan in &self.in_flits {
-            for rx in &chan.rx {
-                while let Ok(flit) = rx.try_recv() {
-                    if let Err(source) = self.switches[chan.switch].accept(chan.port, flit) {
-                        err.get_or_insert(EmulationError::FifoOverflow {
-                            switch: SwitchId::new(self.switch_gids[chan.switch]),
-                            source,
-                        });
-                    }
+        for rx in &self.in_rxs {
+            let Ok(msg) = rx.recv() else {
+                // The neighbor hung up mid-run: latch a shard fault so
+                // the coordinator aborts instead of diverging.
+                err.get_or_insert(EmulationError::Shard {
+                    shard: self.shard,
+                    reason: "a neighbor shard exited mid-cycle".into(),
+                });
+                continue;
+            };
+            debug_assert_eq!(msg.cycle, now.raw(), "boundary exchange cycle skew");
+            for (ls, port, flit) in msg.flits {
+                if let Err(source) = self.switches[ls].accept(port, flit) {
+                    err.get_or_insert(EmulationError::FifoOverflow {
+                        switch: SwitchId::new(self.switch_gids[ls]),
+                        source,
+                    });
                 }
             }
-        }
-        for chan in &self.in_credits {
-            while chan.rx.try_recv().is_ok() {
-                self.switches[chan.switch].credit_return(chan.port, chan.vc);
+            for (ls, port, vc) in msg.credits {
+                self.switches[ls].credit_return(port, vc);
             }
         }
 
@@ -633,7 +689,7 @@ struct WorkOutcome {
 /// Renders a worker panic as a shard fault the coordinator can return
 /// (the alternative — letting the worker unwind mid-cycle — would
 /// strand its peers at a barrier and deadlock the whole engine).
-fn panic_fault(shard: usize, payload: &(dyn std::any::Any + Send)) -> EmulationError {
+pub(crate) fn panic_fault(shard: usize, payload: &(dyn std::any::Any + Send)) -> EmulationError {
     let msg = payload
         .downcast_ref::<&str>()
         .copied()
@@ -643,16 +699,6 @@ fn panic_fault(shard: usize, payload: &(dyn std::any::Any + Send)) -> EmulationE
     EmulationError::Shard {
         shard,
         reason: format!("worker panicked: {msg}"),
-    }
-}
-
-fn channel_fault(shard: usize, what: &str) -> EmulationError {
-    EmulationError::Shard {
-        shard,
-        reason: format!(
-            "boundary {what} channel overflowed its single slot — more than one \
-             {what} crossed one (link, VC) in one cycle, which flow control forbids"
-        ),
     }
 }
 
@@ -811,30 +857,55 @@ impl ShardedEngine {
             })
             .collect();
 
-        // One bounded channel pair per (boundary link, VC).
-        struct Wires {
-            flit_tx: Vec<SyncSender<Flit>>,
-            flit_rx: Vec<Receiver<Flit>>,
-            credit_tx: Vec<SyncSender<()>>,
-            credit_rx: Vec<Receiver<()>>,
-        }
-        let mut wires: HashMap<LinkId, Wires> = HashMap::new();
-        for link in map.boundary_links(topo) {
-            let mut w = Wires {
-                flit_tx: Vec::with_capacity(num_vcs),
-                flit_rx: Vec::with_capacity(num_vcs),
-                credit_tx: Vec::with_capacity(num_vcs),
-                credit_rx: Vec::with_capacity(num_vcs),
-            };
-            for _ in 0..num_vcs {
-                let (ftx, frx) = sync_channel(1);
-                let (ctx, crx) = sync_channel(1);
-                w.flit_tx.push(ftx);
-                w.flit_rx.push(frx);
-                w.credit_tx.push(ctx);
-                w.credit_rx.push(crx);
+        // Neighbor adjacency over the partition, symmetrized: a flit
+        // crossing a → b needs a credit back b → a, so every boundary
+        // pair gets a channel in both directions. One *unbounded*
+        // channel per directed pair carries a whole cycle's boundary
+        // traffic as a single [`BoundaryMsg`]; neighbor lists are
+        // sorted ascending so send and receive orders are
+        // deterministic.
+        let mut nbr_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); shards];
+        for s in 0..topo.switch_count() {
+            let a = map.shard_of(SwitchId::new(s as u32));
+            for target in &elab.wiring.out_target[s] {
+                if let OutTarget::Switch { switch, .. } = *target {
+                    let b = map.shard_of(SwitchId::new(switch as u32));
+                    if a != b {
+                        nbr_sets[a].insert(b);
+                        nbr_sets[b].insert(a);
+                    }
+                }
             }
-            wires.insert(link, w);
+        }
+        let nbrs: Vec<Vec<usize>> = nbr_sets
+            .into_iter()
+            .map(|set| set.into_iter().collect())
+            .collect();
+        // Neighbor shard id → slot in this shard's sorted list.
+        let nbr_slot: Vec<Vec<usize>> = nbrs
+            .iter()
+            .map(|list| {
+                let mut slot = vec![usize::MAX; shards];
+                for (i, &n) in list.iter().enumerate() {
+                    slot[n] = i;
+                }
+                slot
+            })
+            .collect();
+        let mut boundary_txs: Vec<Vec<Sender<BoundaryMsg>>> = Vec::with_capacity(shards);
+        let mut boundary_rxs: Vec<Vec<Option<Receiver<BoundaryMsg>>>> = nbrs
+            .iter()
+            .map(|list| list.iter().map(|_| None).collect())
+            .collect();
+        for (k, list) in nbrs.iter().enumerate() {
+            let mut txs = Vec::with_capacity(list.len());
+            for &n in list {
+                let (tx, rx) = mpsc::channel();
+                txs.push(tx);
+                // Shard n hears from k at k's slot in n's list.
+                boundary_rxs[n][nbr_slot[n][k]] = Some(rx);
+            }
+            boundary_txs.push(txs);
         }
 
         // Distribute the elaborated components.
@@ -875,12 +946,9 @@ impl ShardedEngine {
 
             let mut routes_out = Vec::with_capacity(shard_members.len());
             let mut routes_in = Vec::with_capacity(shard_members.len());
-            let mut in_flits = Vec::new();
-            let mut in_credits = Vec::new();
-            for (ls, &s) in shard_members.iter().enumerate() {
-                let sid = SwitchId::new(s as u32);
+            for &s in shard_members.iter() {
                 let mut outs = Vec::with_capacity(wiring.out_target[s].len());
-                for (p, target) in wiring.out_target[s].iter().enumerate() {
+                for target in wiring.out_target[s].iter() {
                     outs.push(match *target {
                         OutTarget::Switch { switch, port }
                             if map.shard_of(SwitchId::new(switch as u32)) == k =>
@@ -890,41 +958,24 @@ impl ShardedEngine {
                                 port,
                             }
                         }
-                        OutTarget::Switch { .. } => {
-                            let link = config.topology.out_link(sid, PortId::new(p as u8));
-                            LocalOut::Remote {
-                                tx: wires
-                                    .get_mut(&link)
-                                    .expect("boundary link has wires")
-                                    .flit_tx
-                                    .clone(),
-                            }
-                        }
+                        // A boundary crossing: address the record with
+                        // the *downstream* switch's local index inside
+                        // its own shard, so the receiver applies it
+                        // with no lookup.
+                        OutTarget::Switch { switch, port } => LocalOut::Remote {
+                            nbr: nbr_slot[k][map.shard_of(SwitchId::new(switch as u32))],
+                            switch: local_idx[switch],
+                            port,
+                        },
                         OutTarget::Receptor { index } => LocalOut::Receptor {
                             index: tr_local[index],
                         },
                     });
-                    // The upstream (credit-receiving) side of a
-                    // boundary link lives with the link's source.
-                    if let OutTarget::Switch { switch, .. } = *target {
-                        if map.shard_of(SwitchId::new(switch as u32)) != k {
-                            let link = config.topology.out_link(sid, PortId::new(p as u8));
-                            let w = wires.get_mut(&link).expect("boundary link has wires");
-                            for (v, rx) in w.credit_rx.drain(..).enumerate() {
-                                in_credits.push(InCredit {
-                                    switch: ls,
-                                    port: PortId::new(p as u8),
-                                    vc: VcId::new(v as u8),
-                                    rx,
-                                });
-                            }
-                        }
-                    }
                 }
                 routes_out.push(outs);
 
                 let mut ins = Vec::with_capacity(wiring.in_source[s].len());
-                for (p, source) in wiring.in_source[s].iter().enumerate() {
+                for source in wiring.in_source[s].iter() {
                     ins.push(match *source {
                         InSource::Switch { switch, port }
                             if map.shard_of(SwitchId::new(switch as u32)) == k =>
@@ -934,21 +985,14 @@ impl ShardedEngine {
                                 port,
                             }
                         }
-                        InSource::Switch { .. } => {
-                            let link = config.topology.in_link(sid, PortId::new(p as u8));
-                            let w = wires.get_mut(&link).expect("boundary link has wires");
-                            // The downstream (flit-receiving, credit-
-                            // sending) side lives with the link's
-                            // destination.
-                            in_flits.push(InFlits {
-                                switch: ls,
-                                port: PortId::new(p as u8),
-                                rx: w.flit_rx.drain(..).collect(),
-                            });
-                            LocalIn::Remote {
-                                tx: w.credit_tx.clone(),
-                            }
-                        }
+                        // A boundary credit return: address it with
+                        // the *upstream* switch's local index and
+                        // output port inside its own shard.
+                        InSource::Switch { switch, port } => LocalIn::Remote {
+                            nbr: nbr_slot[k][map.shard_of(SwitchId::new(switch as u32))],
+                            switch: local_idx[switch],
+                            port,
+                        },
                         InSource::Generator { index } => LocalIn::Ni {
                             index: my_gens
                                 .iter()
@@ -995,8 +1039,13 @@ impl ShardedEngine {
                     .map(|&i| tr_slots[i].take().expect("each receptor joins one shard"))
                     .collect(),
                 receptor_gidx: my_trs,
-                in_flits,
-                in_credits,
+                out_txs: std::mem::take(&mut boundary_txs[k]),
+                in_rxs: boundary_rxs[k]
+                    .iter_mut()
+                    .map(|rx| rx.take().expect("each boundary receiver joins one shard"))
+                    .collect(),
+                out_flits: nbrs[k].iter().map(|_| Vec::new()).collect(),
+                out_credits: nbrs[k].iter().map(|_| Vec::new()).collect(),
                 out_links: shard_members
                     .iter()
                     .map(|&s| {
@@ -1457,7 +1506,8 @@ impl SteppableEngine for ShardedEngine {
 /// stepping contract ([`EngineKind::SingleThread`] →
 /// [`crate::engine::Emulation`], [`EngineKind::Sharded`] →
 /// [`ShardedEngine`], [`EngineKind::Compiled`] →
-/// [`crate::compiled::CompiledEngine`]).
+/// [`crate::compiled::CompiledEngine`], [`EngineKind::ShardedCompiled`]
+/// → [`crate::shard_compiled::ShardedCompiledEngine`]).
 ///
 /// # Errors
 ///
@@ -1466,6 +1516,9 @@ pub fn build_engine(config: &PlatformConfig) -> Result<Box<dyn SteppableEngine>,
     Ok(match config.engine {
         EngineKind::Sharded { .. } => Box::new(ShardedEngine::build(config)?),
         EngineKind::Compiled => Box::new(crate::compiled::build_compiled(config)?),
+        EngineKind::ShardedCompiled { .. } => {
+            Box::new(crate::shard_compiled::ShardedCompiledEngine::build(config)?)
+        }
         _ => Box::new(crate::engine::build(config)?),
     })
 }

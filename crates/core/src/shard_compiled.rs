@@ -1,0 +1,1686 @@
+//! The sharded *compiled* engine: array-slice shards of the lowered
+//! platform, stepped by persistent workers with batched coordinator
+//! synchronization.
+//!
+//! [`ShardedCompiledEngine`] marries the two speed mechanisms the
+//! crate already has: the flat-array cycle kernel of
+//! [`CompiledEngine`] and the partitioned worker threads of
+//! [`crate::shard::ShardedEngine`]. Each worker owns a slice of the
+//! struct-of-arrays state — the switches of one [`PartitionMap`]
+//! shard, the generators and receptors attached to them, and a
+//! *per-shard flit pool* — and steps only that slice with the exact
+//! compiled decide/commit kernels. Cross-shard flits leave the
+//! sender's pool as real [`Flit`]s and are re-interned into the
+//! receiver's pool on arrival.
+//!
+//! # The batched-exchange protocol
+//!
+//! Boundary traffic itself cannot be deferred: a lowered link has
+//! exactly one cycle of latency, so a flit popped at cycle `u` must be
+//! observable by the downstream switch's *decide* at `u + 1`, and its
+//! credit by the upstream allocator at `u + 1`. Delaying either to a
+//! window boundary would change arbitration and diverge from
+//! [`CompiledEngine`]. What *can* be amortized is every coordinator
+//! round trip. So the protocol splits the two:
+//!
+//! * **Per cycle, point to point:** each worker sends exactly one
+//!   message per neighbouring shard carrying the cycle's outbound
+//!   boundary records — `(destination switch, slot, vc, flit)` for
+//!   flits, upstream output-slot indices for credits — and then
+//!   blocks on exactly one message per in-neighbour, replaying it
+//!   before computing its end-of-cycle status. Empty messages still
+//!   flow: they are the clock marker that keeps neighbours in
+//!   lockstep without any global barrier.
+//! * **Per window of `batch` cycles, through the coordinator:** the
+//!   coordinator issues one `Window` command, each worker runs up to
+//!   `batch` cycles buffering its per-cycle ledger events (releases,
+//!   injections, deliveries, stall counts, status), and replies once.
+//!   The coordinator then *replays the buffered cycles in order*, one
+//!   per [`ShardedCompiledEngine::step`] call, keeping per-cycle
+//!   lockstep observability while paying the two-way channel
+//!   synchronization only once per window — a ~`batch`× reduction,
+//!   measured by [`ShardedCompiledEngine::sync_rounds`].
+//!
+//! `batch = 1` therefore reproduces the per-cycle exchange protocol
+//! of the interpreted sharded engine exactly: one synchronization
+//! round per cycle.
+//!
+//! # Why replay is deterministic
+//!
+//! Within one cycle, every boundary interaction commutes:
+//!
+//! * An arriving flit lands in a FIFO the receiver never pops in the
+//!   same cycle it arrives (one-cycle link latency), so arrival order
+//!   across neighbours cannot change receiver state — except the
+//!   per-VC occupancy watermark, which depends on whether the
+//!   reference engine pushed before or after the receiver's own pop.
+//!   That order is recovered exactly from the global switch ids the
+//!   records carry (the reference commits switches in ascending id
+//!   order), so the watermark is corrected deterministically.
+//! * At most one credit per output slot can return per cycle, so
+//!   credit replays touch disjoint slots and end-of-cycle credit
+//!   counts are order-independent.
+//!
+//! # Packet ids without a coordinator round trip
+//!
+//! Workers cannot know the platform-wide packet id at release time
+//! (that would need a cross-shard prefix sum every cycle). Instead a
+//! worker stamps each released packet with a *provisional* id —
+//! shard index and local sequence packed into the id's high bits —
+//! which rides inside every flit of the packet. When the coordinator
+//! replays a buffered cycle it assigns the final ids in the
+//! single-threaded engine's order (releases ascending by generator
+//! index) and remaps provisional → final at the ledger boundary, so
+//! the [`PacketLedger`] is bit-identical to the compiled engine's.
+//!
+//! # Gating
+//!
+//! Clock gating needs the *platform-wide* quiescence predicate and the
+//! cross-shard event horizon before every cycle, which is inherently a
+//! per-cycle coordinator decision. Under [`ClockMode::Gated`] the
+//! batch is therefore clamped to 1 (with a warning): correctness is
+//! never traded for lookahead. The fast-forward itself is replayed
+//! inside each worker's TGs exactly like the interpreted sharded
+//! engine does.
+
+use crate::clock::{ClockMode, EngineSummary, SteppableEngine};
+use crate::compile::{
+    elaborate, Elaboration, LoweredInFeed, LoweredOutDest, LoweredPlatform, OutTarget,
+    ReceptorDevice, HANDLE_IDX, HANDLE_TAIL, LOWERED_NONE, SLOT_NONE,
+};
+use crate::compiled::CompiledEngine;
+use crate::config::{EngineKind, PlatformConfig};
+use crate::error::{CompileError, EmulationError};
+use crate::results::{EmulationResults, ReceptorSummary};
+use crate::shard::{panic_fault, ShardStatus};
+use nocem_common::flit::{Flit, PacketDescriptor};
+use nocem_common::ids::{LinkId, PacketId, SwitchId, VcId};
+use nocem_common::time::Cycle;
+use nocem_stats::congestion::{CongestionCounter, VcOccupancy};
+use nocem_stats::latency::LatencyAnalyzer;
+use nocem_stats::ledger::PacketLedger;
+use nocem_stats::receptor::CompletedPacket;
+use nocem_switch::switch::CREDITS_INFINITE;
+use nocem_telemetry::{Collector, CumulativeProbe};
+use nocem_topology::partition::{GridStripes, Partition, PartitionMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Provisional packet ids carry this flag plus the shard in bits
+/// 48..63 and a shard-local sequence below — far above any id the
+/// coordinator will ever assign, so the two spaces never collide.
+const PROV_FLAG: u64 = 1 << 63;
+
+#[inline]
+fn provisional_id(shard: usize, seq: u64) -> PacketId {
+    debug_assert!(seq < (1 << 48), "shard-local sequence overflow");
+    PacketId::new(PROV_FLAG | ((shard as u64) << 48) | seq)
+}
+
+/// One cross-shard flit: enough to re-intern and land it downstream,
+/// plus the popping switch's id for the watermark order correction.
+struct FlitRec {
+    /// Global id of the switch that popped the flit (the upstream).
+    from_switch: u32,
+    /// Global id of the landing switch.
+    switch: u32,
+    /// The landing input port's slot base in the receiver's arrays.
+    slot_base: u32,
+    /// Output VC the allocation chose (= landing input VC).
+    vc: u8,
+    flit: Flit,
+}
+
+/// One cycle's boundary records from one shard to one neighbour.
+/// Empty messages still flow every cycle — the clock marker.
+struct NeighborMsg {
+    cycle: u64,
+    flits: Vec<FlitRec>,
+    /// Global output-slot indices to credit, one entry per credit.
+    credits: Vec<u32>,
+}
+
+/// One released packet, identified provisionally.
+struct ReleaseRec {
+    /// Global generator index — the single-threaded id-assignment key.
+    gidx: u32,
+    prov: PacketId,
+    len_flits: u16,
+}
+
+/// One delivered packet, tagged with the single-threaded commit-order
+/// key (ejecting switch, output port).
+struct DeliveryRec {
+    switch: u32,
+    port: u8,
+    receptor: u32,
+    prov: PacketId,
+    len_flits: u16,
+}
+
+/// Everything the coordinator needs to replay one buffered cycle.
+struct CycleEntry {
+    releases: Vec<ReleaseRec>,
+    injects: Vec<PacketId>,
+    deliveries: Vec<DeliveryRec>,
+    stalled_delta: u64,
+    status: ShardStatus,
+    error: Option<EmulationError>,
+}
+
+impl CycleEntry {
+    fn new() -> Self {
+        CycleEntry {
+            releases: Vec::new(),
+            injects: Vec::new(),
+            deliveries: Vec::new(),
+            stalled_delta: 0,
+            status: conservative_status(),
+            error: None,
+        }
+    }
+}
+
+/// The status a dead or erroring shard reports: never quiescent,
+/// never exhausted, no known next event — gating and stop decisions
+/// stay safe.
+fn conservative_status() -> ShardStatus {
+    ShardStatus {
+        quiescent: false,
+        next_event: u64::MAX,
+        exhausted: false,
+        pending_none: false,
+        nis_idle: false,
+    }
+}
+
+/// Commands the coordinator sends to every worker.
+enum Cmd {
+    /// Execute `len` cycles starting at `start`, buffering boundary
+    /// records per cycle and ledger events per window. When
+    /// `skip_from` is set, first replay the quiescent window
+    /// `[skip_from, start)` inside every owned TG.
+    Window {
+        start: Cycle,
+        len: u64,
+        skip_from: Option<Cycle>,
+    },
+    /// Snapshot the shard's slice of the counter arrays.
+    Collect,
+    /// Report the shard's cumulative telemetry counters.
+    Probe,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Snapshot of a shard's slice for results collection. The per-port
+/// and per-VC arrays are full-platform shaped with non-owned rows
+/// zero, so the coordinator merges by element-wise add / max.
+struct Snapshot {
+    blocked_out: Vec<u64>,
+    forwarded_out: Vec<u64>,
+    max_vc_occ: Vec<u64>,
+    /// `(global generator index, blocked cycles, injected flits)`.
+    ni_counters: Vec<(usize, u64, u64)>,
+    /// `(global receptor index, receptor clone)`.
+    receptors: Vec<(usize, ReceptorDevice)>,
+}
+
+enum Report {
+    Window(Vec<CycleEntry>),
+    Snapshot(Box<Snapshot>),
+    Probe(Box<CumulativeProbe>),
+}
+
+/// One persistent worker: a full-shape [`CompiledEngine`] (built from
+/// the worker's own deterministic re-elaboration of the config, so
+/// every RNG stream matches the reference by construction) of which
+/// only the owned slice is ever stepped. Non-owned rows stay zero,
+/// which makes probes and snapshots mergeable by plain addition.
+struct Worker {
+    shard: usize,
+    eng: CompiledEngine,
+    /// Owned global switch ids, ascending.
+    owned: Vec<usize>,
+    /// Per global switch: owned here?
+    own_switch: Vec<bool>,
+    /// Owned global generator indices, ascending.
+    my_gens: Vec<usize>,
+    /// Owned global receptor indices, ascending.
+    my_receptors: Vec<usize>,
+    /// Per global output slot: owning shard.
+    out_slot_shard: Vec<u16>,
+    /// Per global output port: the shard owning the downstream switch
+    /// (`u16::MAX` when the port feeds a receptor).
+    out_port_dest: Vec<u16>,
+    /// Per global input slot: `cycle + 1` of this slot's most recent
+    /// own pop — the watermark order correction for replayed arrivals.
+    last_pop: Vec<u64>,
+    /// Per shard id: its index in the neighbour lists
+    /// (`usize::MAX` = not a neighbour).
+    nbr_slot: Vec<usize>,
+    out_txs: Vec<Sender<NeighborMsg>>,
+    in_rxs: Vec<Receiver<NeighborMsg>>,
+    /// Per out-neighbour: this cycle's buffered records.
+    out_flits: Vec<Vec<FlitRec>>,
+    out_credits: Vec<Vec<u32>>,
+    prov_seq: u64,
+    /// A cycle errored or panicked: keep the per-cycle message cadence
+    /// (empty sends, discarding receives) so neighbours never block,
+    /// but step nothing further.
+    dead: bool,
+    cmd_rx: Receiver<Cmd>,
+    rep_tx: Sender<Report>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        while let Ok(cmd) = self.cmd_rx.recv() {
+            match cmd {
+                Cmd::Window {
+                    start,
+                    len,
+                    skip_from,
+                } => {
+                    let entries = self.window(start, len, skip_from);
+                    if self.rep_tx.send(Report::Window(entries)).is_err() {
+                        return;
+                    }
+                }
+                Cmd::Collect => {
+                    let snap = Box::new(self.snapshot());
+                    if self.rep_tx.send(Report::Snapshot(snap)).is_err() {
+                        return;
+                    }
+                }
+                Cmd::Probe => {
+                    let probe = Box::new(self.eng.cumulative_probe());
+                    if self.rep_tx.send(Report::Probe(probe)).is_err() {
+                        return;
+                    }
+                }
+                Cmd::Shutdown => return,
+            }
+        }
+    }
+
+    /// Executes one window: per cycle, compute the owned slice, send
+    /// one boundary message per neighbour, receive and replay one per
+    /// in-neighbour, then record the end-of-cycle status.
+    fn window(&mut self, start: Cycle, len: u64, skip_from: Option<Cycle>) -> Vec<CycleEntry> {
+        let mut entries = Vec::with_capacity(len as usize);
+        for j in 0..len {
+            let now = Cycle::new(start.raw() + j);
+            if self.dead {
+                self.cadence(now);
+                entries.push(CycleEntry::new());
+                continue;
+            }
+            let skip = if j == 0 { skip_from } else { None };
+            let mut entry = CycleEntry::new();
+            let computed = catch_unwind(AssertUnwindSafe(|| {
+                self.compute_cycle(now, skip, &mut entry)
+            }));
+            match computed {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => entry.error = Some(e),
+                Err(payload) => entry.error = Some(panic_fault(self.shard, &payload)),
+            }
+            // One message per neighbour per cycle, no matter what —
+            // possibly partial on error, the cadence is what matters.
+            self.send_bufs(now);
+            if entry.error.is_none() {
+                let replayed = catch_unwind(AssertUnwindSafe(|| self.recv_replay(now)));
+                match replayed {
+                    Ok(Ok(())) => entry.status = self.status(),
+                    Ok(Err(e)) => entry.error = Some(e),
+                    Err(payload) => entry.error = Some(panic_fault(self.shard, &payload)),
+                }
+            } else {
+                self.recv_discard();
+            }
+            if entry.error.is_some() {
+                self.dead = true;
+            }
+            entries.push(entry);
+        }
+        entries
+    }
+
+    /// The per-cycle message cadence of a dead shard: empty sends,
+    /// discarding receives. Neighbours observe only the absence of
+    /// boundary traffic, which is always a legal cycle for them.
+    fn cadence(&mut self, now: Cycle) {
+        for buf in &mut self.out_flits {
+            buf.clear();
+        }
+        for buf in &mut self.out_credits {
+            buf.clear();
+        }
+        self.send_bufs(now);
+        self.recv_discard();
+    }
+
+    fn send_bufs(&mut self, now: Cycle) {
+        for (nb, tx) in self.out_txs.iter().enumerate() {
+            let msg = NeighborMsg {
+                cycle: now.raw(),
+                flits: std::mem::take(&mut self.out_flits[nb]),
+                credits: std::mem::take(&mut self.out_credits[nb]),
+            };
+            // A closed channel means the peer is gone; our own recv
+            // will surface the fault.
+            let _ = tx.send(msg);
+        }
+    }
+
+    fn recv_discard(&mut self) {
+        for k in 0..self.in_rxs.len() {
+            let _ = self.in_rxs[k].recv();
+        }
+    }
+
+    /// One compiled cycle over the owned slice — the exact phase order
+    /// of [`CompiledEngine::step`], minus gating/telemetry (the
+    /// coordinator's job) and with ledger events buffered instead of
+    /// applied.
+    fn compute_cycle(
+        &mut self,
+        now: Cycle,
+        skip_from: Option<Cycle>,
+        entry: &mut CycleEntry,
+    ) -> Result<(), EmulationError> {
+        if let Some(from) = skip_from {
+            // Replay the coordinator's cross-shard fast-forward in the
+            // owned TGs, exactly like the compiled gated path: sync
+            // any deferred countdown first, then jump the window.
+            for gi in 0..self.my_gens.len() {
+                let i = self.my_gens[gi];
+                self.eng.sync_tg(i, from);
+                self.eng.tgs[i].skip_to(from, now);
+                self.eng.tg_synced[i] = now.raw();
+                self.eng.tg_next_event[i] = self.eng.tgs[i].next_event_cycle(now).cycle_or_max();
+            }
+        }
+
+        // 1. Owned traffic models release packets (provisional ids).
+        for gi in 0..self.my_gens.len() {
+            let i = self.my_gens[gi];
+            let req = match self.eng.pending[i].take() {
+                Some(req) if self.eng.nis[i].can_accept() => {
+                    self.eng.tg_synced[i] = now.raw() + 1;
+                    self.eng.tg_next_event[i] =
+                        self.eng.tgs[i].next_event_cycle(now.next()).cycle_or_max();
+                    req
+                }
+                Some(req) => {
+                    self.eng.pending[i] = Some(req);
+                    entry.stalled_delta += 1;
+                    continue;
+                }
+                None => {
+                    if now.raw() < self.eng.tg_next_event[i] {
+                        continue;
+                    }
+                    self.eng.sync_tg(i, now);
+                    let released = self.eng.tgs[i].tick(now);
+                    self.eng.tg_synced[i] = now.raw() + 1;
+                    self.eng.tg_next_event[i] =
+                        self.eng.tgs[i].next_event_cycle(now.next()).cycle_or_max();
+                    let Some(req) = released else {
+                        continue;
+                    };
+                    if !self.eng.nis[i].can_accept() {
+                        self.eng.pending[i] = Some(req);
+                        entry.stalled_delta += 1;
+                        continue;
+                    }
+                    req
+                }
+            };
+            let prov = provisional_id(self.shard, self.prov_seq);
+            self.prov_seq += 1;
+            let desc = PacketDescriptor {
+                id: prov,
+                src: self.eng.generator_endpoints[i],
+                dst: req.dst,
+                flow: req.flow,
+                len_flits: req.len_flits,
+                release: now,
+            };
+            let accepted = self.eng.nis[i].offer(desc);
+            debug_assert!(accepted, "capacity was checked before the offer");
+            self.eng.ni_active[i] = true;
+            entry.releases.push(ReleaseRec {
+                gidx: i as u32,
+                prov,
+                len_flits: req.len_flits,
+            });
+        }
+
+        // 2. Owned switches decide on start-of-cycle state. Decide has
+        //    no cross-switch effects, so shard order is irrelevant.
+        let vc1 = self.eng.low.num_vcs == 1;
+        for oi in 0..self.owned.len() {
+            let s = self.owned[oi];
+            if self.eng.occ_flits[s] == 0 {
+                self.eng.active[s] = false;
+                continue;
+            }
+            self.eng.active[s] = true;
+            if self.eng.mask_ok[s] {
+                if vc1 {
+                    self.eng.decide_switch_mask_vc1(s);
+                } else {
+                    self.eng.decide_switch_mask(s);
+                }
+            } else {
+                self.eng.decide_switch_dense(s);
+            }
+        }
+
+        // 3. Owned network interfaces inject.
+        for gi in 0..self.my_gens.len() {
+            let i = self.my_gens[gi];
+            if !self.eng.ni_active[i] {
+                continue;
+            }
+            let Some(flit) = self.eng.nis[i].tick_send() else {
+                if self.eng.nis[i].is_idle() {
+                    self.eng.ni_active[i] = false;
+                }
+                continue;
+            };
+            if flit.kind.is_head() {
+                entry.injects.push(flit.packet);
+            }
+            let (sw, base) = (
+                self.eng.low.inject_switch[i],
+                self.eng.low.inject_slot_base[i],
+            );
+            let vc = flit.vc.index();
+            let h = self.eng.intern(flit);
+            self.eng.accept_flit(sw as usize, base, h, vc)?;
+        }
+
+        // 4. Owned decided switches commit, ascending global order —
+        //    the reference order within this shard's slice. The
+        //    cross-shard interleaving is recovered at replay.
+        for oi in 0..self.owned.len() {
+            let s = self.owned[oi];
+            if !self.eng.active[s] {
+                continue;
+            }
+            self.commit_switch(s, now, entry)?;
+        }
+
+        self.eng.now = now.next();
+        Ok(())
+    }
+
+    /// Phase-4 commit of one owned switch: apply VC allocations, then
+    /// pop-and-forward granted flits. One generic body covers the
+    /// mask (any VC count — with one VC, slot == port) and dense
+    /// decide paths; only the remote branches differ from
+    /// [`CompiledEngine`]'s commit.
+    fn commit_switch(
+        &mut self,
+        s: usize,
+        now: Cycle,
+        entry: &mut CycleEntry,
+    ) -> Result<(), EmulationError> {
+        let isb = self.eng.low.in_slot_base[s] as usize;
+        let osb = self.eng.low.out_slot_base[s] as usize;
+        let opb = self.eng.low.out_port_base[s] as usize;
+        if self.eng.mask_ok[s] {
+            let mut vm = self.eng.vcg_mask[s];
+            self.eng.vcg_mask[s] = 0;
+            while vm != 0 {
+                let slot = vm.trailing_zeros() as usize;
+                vm &= vm - 1;
+                let gslot = osb + slot;
+                let iv = self.eng.vc_granted[gslot];
+                self.eng.vc_granted[gslot] = SLOT_NONE;
+                let ist = &mut self.eng.low.in_state[isb + iv as usize];
+                ist.allocated = slot as u16;
+                ist.chosen = SLOT_NONE;
+                self.eng.low.out_state[gslot].busy_with = iv;
+                self.eng.open_worms += 1;
+            }
+            let mut gm = self.eng.grant_mask[s];
+            self.eng.grant_mask[s] = 0;
+            while gm != 0 {
+                let o = gm.trailing_zeros() as usize;
+                gm &= gm - 1;
+                let gp = opb + o;
+                let g = self.eng.granted[gp];
+                self.eng.granted[gp] = LOWERED_NONE;
+                self.pop_forward(s, g, o, now, entry)?;
+            }
+        } else {
+            let vcs = self.eng.low.num_vcs;
+            let outputs = self.eng.low.outputs[s] as usize;
+            for slot in 0..outputs * vcs {
+                let gslot = osb + slot;
+                let iv = self.eng.vc_granted[gslot];
+                if iv == SLOT_NONE {
+                    continue;
+                }
+                self.eng.vc_granted[gslot] = SLOT_NONE;
+                let ist = &mut self.eng.low.in_state[isb + iv as usize];
+                ist.allocated = slot as u16;
+                ist.chosen = SLOT_NONE;
+                self.eng.low.out_state[gslot].busy_with = iv;
+                self.eng.open_worms += 1;
+            }
+            for o in 0..outputs {
+                let gp = opb + o;
+                let g = self.eng.granted[gp];
+                if g == LOWERED_NONE {
+                    continue;
+                }
+                self.eng.granted[gp] = LOWERED_NONE;
+                self.pop_forward(s, g, o, now, entry)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`CompiledEngine`]'s pop-and-forward with the two cross-shard
+    /// branches: a credit owed to a remote upstream becomes a credit
+    /// record, a flit landing on a remote switch leaves the local pool
+    /// and becomes a flit record.
+    fn pop_forward(
+        &mut self,
+        s: usize,
+        g: u32,
+        o: usize,
+        now: Cycle,
+        entry: &mut CycleEntry,
+    ) -> Result<(), EmulationError> {
+        let vcs = self.eng.low.num_vcs;
+        let depth = self.eng.low.fifo_depth;
+        let isb = self.eng.low.in_slot_base[s] as usize;
+        let osb = self.eng.low.out_slot_base[s] as usize;
+        let ipb = self.eng.low.in_port_base[s] as usize;
+        let opb = self.eng.low.out_port_base[s] as usize;
+        let iv = (g >> 8) as usize;
+        let ov = (g & 0xFF) as usize;
+        let islot = isb + iv;
+        let ist = &mut self.eng.low.in_state[islot];
+        debug_assert!(ist.len > 0, "granted input VC has a flit at its head");
+        let head = ist.head as usize;
+        let next = head + 1;
+        ist.head = if next == depth { 0 } else { next } as u8;
+        let left = ist.len - 1;
+        ist.len = left;
+        let h = self.eng.low.fifo_arena[islot * depth + head];
+        let tail = h & HANDLE_TAIL != 0;
+        if tail {
+            ist.allocated = SLOT_NONE;
+        }
+        if left == 0 {
+            self.eng.occ_mask[s] &= !(1 << (iv & 63));
+        }
+        self.eng.occ_flits[s] -= 1;
+        self.eng.total_occ -= 1;
+        self.last_pop[islot] = now.raw() + 1;
+        let gslot = osb + o * vcs + ov;
+        let ost = &mut self.eng.low.out_state[gslot];
+        if ost.credits != CREDITS_INFINITE {
+            ost.credits -= 1;
+            self.eng.credit_debt += 1;
+        }
+        if tail {
+            ost.busy_with = SLOT_NONE;
+            self.eng.open_worms -= 1;
+        }
+        self.eng.forwarded_out[opb + o] += 1;
+        let i = self.eng.iv_port[iv] as usize;
+        let v = iv - i * vcs;
+        match self.eng.low.in_feed[ipb + i] {
+            LoweredInFeed::Switch { slot_base } => {
+                let up = slot_base as usize + v;
+                let owner = self.out_slot_shard[up] as usize;
+                if owner == self.shard {
+                    let ust = &mut self.eng.low.out_state[up];
+                    if ust.credits != CREDITS_INFINITE {
+                        ust.credits += 1;
+                        self.eng.credit_debt -= 1;
+                        debug_assert!(
+                            ust.credits <= self.eng.low.credit_cap[up],
+                            "credit overflow on a lowered output slot"
+                        );
+                    }
+                } else {
+                    self.out_credits[self.nbr_slot[owner]].push(up as u32);
+                }
+            }
+            LoweredInFeed::Generator { index } => {
+                self.eng.nis[index as usize].credit_return();
+            }
+        }
+        match self.eng.low.out_dest[opb + o] {
+            LoweredOutDest::Switch { switch, slot_base } => {
+                if self.own_switch[switch as usize] {
+                    self.eng.accept_flit(switch as usize, slot_base, h, ov)?;
+                } else {
+                    let idx = h & HANDLE_IDX;
+                    let flit = self.eng.flit_pool[idx as usize];
+                    self.eng.flit_free.push(idx);
+                    let dest = self.out_port_dest[opb + o] as usize;
+                    self.out_flits[self.nbr_slot[dest]].push(FlitRec {
+                        from_switch: s as u32,
+                        switch,
+                        slot_base,
+                        vc: ov as u8,
+                        flit,
+                    });
+                }
+            }
+            LoweredOutDest::Receptor { index } => {
+                self.deliver(index as usize, h, ov, s, o, now, entry)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`CompiledEngine`]'s delivery with the ledger call replaced by
+    /// a buffered record carrying the commit-order key.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        index: usize,
+        h: u32,
+        vc: usize,
+        s: usize,
+        o: usize,
+        now: Cycle,
+        entry: &mut CycleEntry,
+    ) -> Result<(), EmulationError> {
+        let idx = h & HANDLE_IDX;
+        let mut flit = self.eng.flit_pool[idx as usize];
+        flit.vc = VcId::new(vc as u8);
+        self.eng.flit_free.push(idx);
+        let completed: Option<CompletedPacket> = match &mut self.eng.receptors[index] {
+            ReceptorDevice::Stochastic(r) => {
+                r.accept(&flit, now)
+                    .map_err(|source| EmulationError::Receive {
+                        receptor: r.id(),
+                        source,
+                    })?
+            }
+            ReceptorDevice::Trace(r) => {
+                r.accept(&flit, now)
+                    .map_err(|source| EmulationError::Receive {
+                        receptor: r.id(),
+                        source,
+                    })?
+            }
+        };
+        if let Some(pkt) = completed {
+            entry.deliveries.push(DeliveryRec {
+                switch: s as u32,
+                port: o as u8,
+                receptor: index as u32,
+                prov: pkt.id,
+                len_flits: pkt.len_flits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Receives one boundary message per in-neighbour and replays it:
+    /// re-intern and land every flit (with the deterministic watermark
+    /// correction), return every credit.
+    fn recv_replay(&mut self, now: Cycle) -> Result<(), EmulationError> {
+        let vcs = self.eng.low.num_vcs;
+        for k in 0..self.in_rxs.len() {
+            let msg = self.in_rxs[k].recv().map_err(|_| EmulationError::Shard {
+                shard: self.shard,
+                reason: "a neighbour shard hung up mid-window".into(),
+            })?;
+            debug_assert_eq!(
+                msg.cycle,
+                now.raw(),
+                "boundary messages arrive in cycle order"
+            );
+            for rec in msg.flits {
+                let slot = rec.slot_base as usize + rec.vc as usize;
+                let popped_here = self.last_pop[slot] == now.raw() + 1;
+                let h = self.eng.intern(rec.flit);
+                self.eng
+                    .accept_flit(rec.switch as usize, rec.slot_base, h, rec.vc as usize)?;
+                // Watermark order correction: the reference engine
+                // commits switches ascending, so when the upstream's
+                // id is below ours it pushed *before* our own pop and
+                // saw this FIFO one deeper than the replay does.
+                if rec.from_switch < rec.switch && popped_here {
+                    let wm = rec.switch as usize * vcs + rec.vc as usize;
+                    let occ = u64::from(self.eng.low.in_state[slot].len) + 1;
+                    if occ > self.eng.max_vc_occ[wm] {
+                        self.eng.max_vc_occ[wm] = occ;
+                    }
+                }
+            }
+            for up in msg.credits {
+                let up = up as usize;
+                let ust = &mut self.eng.low.out_state[up];
+                if ust.credits != CREDITS_INFINITE {
+                    ust.credits += 1;
+                    self.eng.credit_debt -= 1;
+                    debug_assert!(
+                        ust.credits <= self.eng.low.credit_cap[up],
+                        "credit overflow on a lowered output slot"
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// End-of-cycle status over the owned slice. The aggregate
+    /// counters (`total_occ`, `open_worms`, `credit_debt`) only ever
+    /// reflect owned rows, so they are exactly the shard-local half of
+    /// the platform quiescence predicate.
+    fn status(&self) -> ShardStatus {
+        let pending_none = self.my_gens.iter().all(|&i| self.eng.pending[i].is_none());
+        let nis_idle = self.my_gens.iter().all(|&i| self.eng.nis[i].is_idle());
+        ShardStatus {
+            quiescent: pending_none
+                && nis_idle
+                && self.my_gens.iter().all(|&i| self.eng.nis[i].credits_home())
+                && self.eng.total_occ == 0
+                && self.eng.open_worms == 0
+                && self.eng.credit_debt == 0,
+            next_event: self
+                .my_gens
+                .iter()
+                .map(|&i| self.eng.tg_next_event[i])
+                .min()
+                .unwrap_or(u64::MAX),
+            exhausted: self.my_gens.iter().all(|&i| self.eng.tgs[i].is_exhausted()),
+            pending_none,
+            nis_idle,
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            blocked_out: self.eng.blocked_out.clone(),
+            forwarded_out: self.eng.forwarded_out.clone(),
+            max_vc_occ: self.eng.max_vc_occ.clone(),
+            ni_counters: self
+                .my_gens
+                .iter()
+                .map(|&i| {
+                    let c = self.eng.nis[i].counters();
+                    (i, c.blocked_cycles, c.injected_flits)
+                })
+                .collect(),
+            receptors: self
+                .my_receptors
+                .iter()
+                .map(|&i| (i, self.eng.receptors[i].clone()))
+                .collect(),
+        }
+    }
+}
+
+struct WorkerHandle {
+    cmd: Sender<Cmd>,
+    rep: Receiver<Report>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The sharded compiled engine.
+///
+/// Construct with [`ShardedCompiledEngine::build`] (grid-stripe
+/// partitioning, shard count and batch from
+/// [`EngineKind::ShardedCompiled`]) or
+/// [`ShardedCompiledEngine::with_partition`] for a custom
+/// [`Partition`]. Drive it through [`SteppableEngine`] or
+/// [`ShardedCompiledEngine::run`]; collect full results with
+/// [`ShardedCompiledEngine::results`].
+///
+/// Results are bit-identical to [`CompiledEngine`] (and hence the
+/// interpreted engines) on the same configuration: same packet ids,
+/// same per-packet release / injection / delivery cycles, same
+/// ledger, same statistics, same telemetry — for every `batch`.
+pub struct ShardedCompiledEngine {
+    config: PlatformConfig,
+    /// Coordinator-side lowering, used for results attribution only.
+    low: LoweredPlatform,
+    workers: Vec<WorkerHandle>,
+    status: Vec<ShardStatus>,
+    partition: PartitionMap,
+    batch: u64,
+    /// Coordinator synchronization rounds (one window command + one
+    /// report per worker each) issued so far.
+    sync_rounds: u64,
+    ledger: PacketLedger,
+    receptor_latency: Vec<LatencyAnalyzer>,
+    injection_links: Vec<LinkId>,
+    telemetry: Option<Collector>,
+    now: Cycle,
+    next_packet: u64,
+    stalled: u64,
+    delivered_flits: u64,
+    cycles_skipped: u64,
+    /// Provisional → final id for every in-flight packet.
+    prov_map: HashMap<PacketId, PacketId>,
+    /// Executed-but-unapplied cycles: front = next to apply, each row
+    /// holds one [`CycleEntry`] per shard.
+    window: VecDeque<Vec<CycleEntry>>,
+    poisoned: bool,
+    failed: bool,
+}
+
+impl std::fmt::Debug for ShardedCompiledEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCompiledEngine")
+            .field("name", &self.config.name)
+            .field("shards", &self.workers.len())
+            .field("batch", &self.batch)
+            .field("cycle", &self.now)
+            .field("delivered", &self.ledger.delivered())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedCompiledEngine {
+    /// Compiles `config` and shards it with the grid-stripe
+    /// partitioner, honouring `config.engine`: the shard count and
+    /// batch of [`EngineKind::ShardedCompiled`], or a single shard
+    /// with `batch = 1` for any other engine kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from elaboration or partitioning.
+    pub fn build(config: &PlatformConfig) -> Result<Self, CompileError> {
+        let (shards, batch) = match config.engine {
+            EngineKind::ShardedCompiled { shards, batch } => (shards, batch),
+            _ => (1, 1),
+        };
+        Self::with_shards(config, shards, batch)
+    }
+
+    /// Compiles `config` into exactly `shards` grid stripes stepping
+    /// `batch` cycles per synchronization round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from elaboration or partitioning.
+    pub fn with_shards(
+        config: &PlatformConfig,
+        shards: usize,
+        batch: u64,
+    ) -> Result<Self, CompileError> {
+        Self::from_elaboration(elaborate(config)?, shards, batch)
+    }
+
+    /// Shards a pre-built elaboration into `shards` grid stripes —
+    /// the reuse hook for callers that elaborate once and run many
+    /// engine variants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError::Partition`] from the partitioner.
+    pub fn from_elaboration(
+        elab: Elaboration,
+        shards: usize,
+        batch: u64,
+    ) -> Result<Self, CompileError> {
+        let map = GridStripes
+            .partition(&elab.config.topology, shards)
+            .map_err(|e| CompileError::Partition {
+                reason: e.to_string(),
+            })?;
+        Ok(Self::with_partition(elab, map, batch))
+    }
+
+    /// Wraps an elaboration into a sharded compiled engine using an
+    /// explicit partition map.
+    ///
+    /// A `batch` of 0 is treated as 1. Under [`ClockMode::Gated`] any
+    /// `batch > 1` is clamped to 1 with a warning: the gating decision
+    /// is a per-cycle platform-wide predicate, so batching would have
+    /// to diverge — and this engine never diverges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not cover the elaboration's topology.
+    pub fn with_partition(elab: Elaboration, map: PartitionMap, batch: u64) -> Self {
+        assert_eq!(
+            map.switch_count(),
+            elab.config.topology.switch_count(),
+            "partition map does not match the topology"
+        );
+        let mut batch = batch.max(1);
+        if elab.config.clock_mode == ClockMode::Gated && batch > 1 {
+            eprintln!(
+                "nocem: clock gating needs a per-cycle cross-shard horizon; \
+                 clamping sharded-compiled batch {batch} to 1"
+            );
+            batch = 1;
+        }
+        let shards = map.shards();
+        let topo = &elab.config.topology;
+        let generators = topo.generators();
+
+        // Pre-step quiescence/next-event status, evaluated on the
+        // fresh elaboration exactly as the compiled engine would at
+        // its first step.
+        let init_status: Vec<ShardStatus> = (0..shards)
+            .map(|k| {
+                let my_gens: Vec<usize> = generators
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &g)| map.shard_of(topo.endpoint(g).switch) == k)
+                    .map(|(i, _)| i)
+                    .collect();
+                ShardStatus {
+                    quiescent: my_gens
+                        .iter()
+                        .all(|&i| elab.nis[i].is_idle() && elab.nis[i].credits_home()),
+                    next_event: my_gens
+                        .iter()
+                        .map(|&i| elab.tgs[i].next_event_cycle(Cycle::ZERO).cycle_or_max())
+                        .min()
+                        .unwrap_or(u64::MAX),
+                    exhausted: my_gens.iter().all(|&i| elab.tgs[i].is_exhausted()),
+                    pending_none: true,
+                    nis_idle: my_gens.iter().all(|&i| elab.nis[i].is_idle()),
+                }
+            })
+            .collect();
+
+        // Undirected shard adjacency: any boundary crossing in either
+        // direction makes the pair neighbours, because flits cross one
+        // way and their credits cross back the other.
+        let mut nbrs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); shards];
+        for s in 0..topo.switch_count() {
+            let a = map.shard_of(SwitchId::new(s as u32));
+            for target in &elab.wiring.out_target[s] {
+                if let OutTarget::Switch { switch, .. } = *target {
+                    let b = map.shard_of(SwitchId::new(switch as u32));
+                    if a != b {
+                        nbrs[a].insert(b);
+                        nbrs[b].insert(a);
+                    }
+                }
+            }
+        }
+        let nbr_lists: Vec<Vec<usize>> = nbrs.iter().map(|s| s.iter().copied().collect()).collect();
+        // One unbounded channel per directed neighbour pair; position
+        // j in shard a's lists is its j-th neighbour ascending.
+        let mut txs: Vec<Vec<Sender<NeighborMsg>>> = nbr_lists
+            .iter()
+            .map(|l| Vec::with_capacity(l.len()))
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<NeighborMsg>>>> = nbr_lists
+            .iter()
+            .map(|l| l.iter().map(|_| None).collect())
+            .collect();
+        for a in 0..shards {
+            for &b in &nbr_lists[a] {
+                let (tx, rx) = mpsc::channel();
+                txs[a].push(tx);
+                let slot = nbr_lists[b]
+                    .iter()
+                    .position(|&x| x == a)
+                    .expect("neighbour relation is symmetric");
+                rxs[b][slot] = Some(rx);
+            }
+        }
+
+        let low = crate::compile::lower(&elab);
+        let injection_links = elab.wiring.injection.iter().map(|&(_, _, l)| l).collect();
+        let receptor_count = topo.receptors().len();
+        let num_vcs = usize::from(elab.config.switch.num_vcs);
+        let telemetry = elab
+            .config
+            .telemetry
+            .as_ref()
+            .map(|t| Collector::new(t, elab.config.topology.link_count(), num_vcs));
+        let config = elab.config.clone();
+
+        let mut handles = Vec::with_capacity(shards);
+        let mut txs = txs.into_iter();
+        let mut rxs = rxs.into_iter();
+        for (k, nbr_list) in nbr_lists.iter().enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::channel();
+            let (rep_tx, rep_rx) = mpsc::channel();
+            let worker_config = config.clone();
+            let worker_map = map.clone();
+            let nbr_list = nbr_list.clone();
+            let out_txs = txs.next().expect("one tx list per shard");
+            let in_rxs: Vec<Receiver<NeighborMsg>> = rxs
+                .next()
+                .expect("one rx list per shard")
+                .into_iter()
+                .map(|r| r.expect("every neighbour channel wired"))
+                .collect();
+            let join = std::thread::Builder::new()
+                .name(format!("nocem-cshard-{k}"))
+                .spawn(move || {
+                    spawn_worker(
+                        k,
+                        &worker_config,
+                        &worker_map,
+                        nbr_list,
+                        out_txs,
+                        in_rxs,
+                        cmd_rx,
+                        rep_tx,
+                    )
+                    .run()
+                })
+                .expect("spawn sharded-compiled worker");
+            handles.push(WorkerHandle {
+                cmd: cmd_tx,
+                rep: rep_rx,
+                join: Some(join),
+            });
+        }
+
+        ShardedCompiledEngine {
+            config,
+            low,
+            workers: handles,
+            status: init_status,
+            partition: map,
+            batch,
+            sync_rounds: 0,
+            ledger: PacketLedger::new(),
+            receptor_latency: vec![LatencyAnalyzer::new(); receptor_count],
+            injection_links,
+            telemetry,
+            now: Cycle::ZERO,
+            next_packet: 0,
+            stalled: 0,
+            delivered_flits: 0,
+            cycles_skipped: 0,
+            prov_map: HashMap::new(),
+            window: VecDeque::new(),
+            poisoned: false,
+            failed: false,
+        }
+    }
+
+    /// The current (applied) cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.ledger.delivered()
+    }
+
+    /// Cycles the cross-shard fast-forward jumped over so far.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    /// The effective cycles-per-synchronization batch (after any
+    /// gated-mode clamp).
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Coordinator synchronization rounds issued so far — one window
+    /// command plus one report per worker each. With `batch = 1` this
+    /// equals the executed cycle count (the per-cycle exchange
+    /// protocol); with larger batches it shrinks ~`batch`×.
+    pub fn sync_rounds(&self) -> u64 {
+        self.sync_rounds
+    }
+
+    /// The partition this engine runs on.
+    pub fn partition(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// The packet ledger (read access for tests and reports).
+    pub fn ledger(&self) -> &PacketLedger {
+        &self.ledger
+    }
+
+    /// Whether the whole platform is quiescent: every shard locally
+    /// quiescent and no packet in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.ledger.in_flight() == 0 && self.status.iter().all(|s| s.quiescent)
+    }
+
+    /// Advances one platform cycle. When the window buffer is empty a
+    /// new window of up to `batch` cycles is executed across all
+    /// shards first (one synchronization round); either way exactly
+    /// one buffered cycle is then applied to the ledger, so per-cycle
+    /// observability (`now`, `delivered`, lockstep comparisons) is
+    /// identical to the unbatched engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmulationError`] on wiring/protocol violations or
+    /// when the cycle limit is exceeded.
+    pub fn step(&mut self) -> Result<(), EmulationError> {
+        if self.failed {
+            return Err(EmulationError::Shard {
+                shard: usize::MAX,
+                reason: "engine already failed; state is inconsistent".into(),
+            });
+        }
+        if self.window.is_empty() {
+            self.start_window()?;
+        }
+        self.apply_cycle()
+    }
+
+    /// Gates, probes, sizes and issues one window, then buffers every
+    /// worker's cycle entries.
+    fn start_window(&mut self) -> Result<(), EmulationError> {
+        // Cross-shard clock gating (batch is clamped to 1 in gated
+        // mode, so this is a per-cycle decision exactly like the
+        // interpreted sharded engine's).
+        let mut skip_from = None;
+        if self.config.clock_mode == ClockMode::Gated && self.is_quiescent() {
+            let horizon = self
+                .status
+                .iter()
+                .map(|s| s.next_event)
+                .min()
+                .unwrap_or(u64::MAX);
+            let target = horizon.min(self.config.stop.cycle_limit);
+            if target > self.now.raw() {
+                self.cycles_skipped += target - self.now.raw();
+                skip_from = Some(self.now);
+                self.now = Cycle::new(target);
+            }
+        }
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.needs_probe(self.now.raw()))
+        {
+            let probe = self.probe_workers()?;
+            let at = self.now.raw();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .record(at, &probe);
+        }
+        let start = self.now;
+        let len = self.window_len(start);
+        for k in 0..self.workers.len() {
+            let cmd = Cmd::Window {
+                start,
+                len,
+                skip_from,
+            };
+            if self.workers[k].cmd.send(cmd).is_err() {
+                return self.worker_died(k);
+            }
+        }
+        let mut per_shard: Vec<Vec<CycleEntry>> = Vec::with_capacity(self.workers.len());
+        for k in 0..self.workers.len() {
+            match self.workers[k].rep.recv() {
+                Ok(Report::Window(entries)) if entries.len() == len as usize => {
+                    per_shard.push(entries);
+                }
+                Ok(_) | Err(_) => return self.worker_died(k),
+            }
+        }
+        self.sync_rounds += 1;
+        let mut rows: Vec<Vec<CycleEntry>> = (0..len)
+            .map(|_| Vec::with_capacity(self.workers.len()))
+            .collect();
+        for entries in per_shard {
+            for (j, e) in entries.into_iter().enumerate() {
+                rows[j].push(e);
+            }
+        }
+        self.window.extend(rows);
+        Ok(())
+    }
+
+    /// The next window's length: up to `batch`, shortened so that no
+    /// worker ever executes a cycle the coordinator would not reach.
+    fn window_len(&self, start: Cycle) -> u64 {
+        let mut len = self.batch;
+        // Delivered-target cap: each receptor completes at most one
+        // packet per cycle (its ejection port forwards at most one
+        // flit), so ceil(remaining / receptors) cycles cannot pass the
+        // target before the window's last cycle — zero overshoot.
+        if let Some(target) = self.config.stop.delivered_packets {
+            let remaining = target.saturating_sub(self.ledger.delivered());
+            let receptors = self.receptor_latency.len() as u64;
+            if remaining > 0 && receptors > 0 {
+                len = len.min(1 + (remaining - 1) / receptors);
+            }
+        }
+        // Cycle-limit cap: executing cycle `limit` is what raises the
+        // limit error, so it is the last cycle worth executing.
+        let limit = self.config.stop.cycle_limit;
+        if start.raw() <= limit {
+            len = len.min(limit - start.raw() + 1);
+        } else {
+            len = 1;
+        }
+        // Telemetry cap: windows never cross a probe boundary, so a
+        // probe always observes worker state at the coordinator's
+        // cycle.
+        if let Some(t) = &self.telemetry {
+            for j in 1..len {
+                if t.needs_probe(start.raw() + j) {
+                    len = j;
+                    break;
+                }
+            }
+        }
+        len.max(1)
+    }
+
+    /// Applies the oldest buffered cycle to the coordinator state in
+    /// the single-threaded engine's event order: releases ascending by
+    /// generator index (id assignment), then injections, then
+    /// deliveries ascending by (ejecting switch, output port).
+    fn apply_cycle(&mut self) -> Result<(), EmulationError> {
+        let row = self.window.pop_front().expect("a window was just started");
+        let now = self.now;
+        let mut first_error: Option<EmulationError> = None;
+        let mut releases: Vec<ReleaseRec> = Vec::new();
+        let mut injects: Vec<PacketId> = Vec::new();
+        let mut deliveries: Vec<DeliveryRec> = Vec::new();
+        for (k, mut e) in row.into_iter().enumerate() {
+            if let Some(err) = e.error.take() {
+                first_error.get_or_insert(err);
+            }
+            releases.append(&mut e.releases);
+            injects.append(&mut e.injects);
+            deliveries.append(&mut e.deliveries);
+            self.stalled += e.stalled_delta;
+            self.status[k] = e.status;
+        }
+        if let Some(e) = first_error {
+            self.failed = true;
+            self.window.clear();
+            return Err(e);
+        }
+        releases.sort_by_key(|r| r.gidx);
+        for r in releases {
+            let id = PacketId::new(self.next_packet);
+            self.next_packet += 1;
+            self.prov_map.insert(r.prov, id);
+            self.ledger
+                .release(id, now, r.len_flits)
+                .map_err(|e| self.fail(e.into()))?;
+        }
+        for prov in injects {
+            let id = *self
+                .prov_map
+                .get(&prov)
+                .expect("a packet is released before it injects");
+            self.ledger
+                .inject(id, now)
+                .map_err(|e| self.fail(e.into()))?;
+        }
+        deliveries.sort_by_key(|d| (d.switch, d.port));
+        for d in deliveries {
+            let id = self
+                .prov_map
+                .remove(&d.prov)
+                .expect("a packet is released before it delivers");
+            let lat = self
+                .ledger
+                .deliver(id, now, d.len_flits)
+                .map_err(|e| self.fail(e.into()))?;
+            self.delivered_flits += u64::from(d.len_flits);
+            self.receptor_latency[d.receptor as usize].record(lat.network);
+        }
+        self.now = now.next();
+        if self.now.raw() > self.config.stop.cycle_limit {
+            self.failed = true;
+            self.window.clear();
+            return Err(EmulationError::CycleLimitExceeded {
+                limit: self.config.stop.cycle_limit,
+                delivered: self.ledger.delivered(),
+            });
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self, e: EmulationError) -> EmulationError {
+        self.failed = true;
+        e
+    }
+
+    /// Collects and merges every shard's cumulative probe (disjoint
+    /// owned slices, so the element-wise add is exact). Only called
+    /// between windows, when worker state equals the compiled engine's
+    /// end-of-cycle state at the coordinator's cycle.
+    fn probe_workers(&mut self) -> Result<CumulativeProbe, EmulationError> {
+        let mut merged = CumulativeProbe::new(
+            self.config.topology.link_count(),
+            usize::from(self.config.switch.num_vcs),
+        );
+        for k in 0..self.workers.len() {
+            if self.workers[k].cmd.send(Cmd::Probe).is_err() {
+                return self.worker_died(k).map(|()| unreachable!());
+            }
+            match self.workers[k].rep.recv() {
+                Ok(Report::Probe(p)) => merged.absorb(&p),
+                Ok(_) | Err(_) => return self.worker_died(k).map(|()| unreachable!()),
+            }
+        }
+        Ok(merged)
+    }
+
+    /// The windowed telemetry collector, when enabled.
+    pub fn telemetry(&self) -> Option<&Collector> {
+        self.telemetry.as_ref()
+    }
+
+    /// Seals the collector, flushing the trailing partial window. A
+    /// no-op when telemetry is off, already sealed, or the engine has
+    /// failed (dead workers cannot be probed).
+    pub fn seal_telemetry(&mut self) {
+        if self.failed || self.telemetry.as_ref().is_none_or(Collector::is_sealed) {
+            return;
+        }
+        if let Ok(probe) = self.probe_workers() {
+            let at = self.now.raw();
+            self.telemetry
+                .as_mut()
+                .expect("presence checked above")
+                .seal(at, &probe);
+        }
+    }
+
+    /// Worker `dead`'s channel closed outside a cycle (in-cycle panics
+    /// are caught and reported in the entry). Join it and re-raise its
+    /// panic; leak the survivors, which may be blocked on a neighbour.
+    fn worker_died(&mut self, dead: usize) -> Result<(), EmulationError> {
+        self.failed = true;
+        self.poisoned = true;
+        if let Some(join) = self.workers[dead].join.take() {
+            if let Err(payload) = join.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        Err(EmulationError::Shard {
+            shard: dead,
+            reason: "a shard worker terminated unexpectedly".into(),
+        })
+    }
+
+    /// Whether the stop condition holds (mirrors
+    /// [`CompiledEngine::finished`]).
+    pub fn finished(&self) -> bool {
+        match self.config.stop.delivered_packets {
+            Some(target) => self.ledger.delivered() >= target,
+            None => {
+                self.status
+                    .iter()
+                    .all(|s| s.exhausted && s.pending_none && s.nis_idle)
+                    && self.ledger.in_flight() == 0
+            }
+        }
+    }
+
+    /// Runs until the stop condition holds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmulationError`] from [`ShardedCompiledEngine::step`].
+    pub fn run(&mut self) -> Result<(), EmulationError> {
+        crate::clock::run_engine(self)
+    }
+
+    /// Collects full run results by snapshotting every shard's counter
+    /// slice — value-equal to [`CompiledEngine::results`] for the same
+    /// run, except that trace-receptor latency views are kept on the
+    /// coordinator (as in the interpreted sharded engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmulationError::Shard`] when a worker is gone.
+    pub fn results(&mut self) -> Result<EmulationResults, EmulationError> {
+        let total_out_ports = *self.low.out_port_base.last().expect("prefix sums") as usize;
+        let vcs = self.low.num_vcs;
+        let mut blocked = vec![0u64; total_out_ports];
+        let mut forwarded = vec![0u64; total_out_ports];
+        let mut max_vc = vec![0u64; self.low.switch_count * vcs];
+        let mut ni_counters: Vec<Option<(u64, u64)>> = vec![None; self.injection_links.len()];
+        let mut receptors: Vec<Option<ReceptorSummary>> = vec![None; self.receptor_latency.len()];
+        for k in 0..self.workers.len() {
+            if self.workers[k].cmd.send(Cmd::Collect).is_err() {
+                return self.worker_died(k).map(|()| unreachable!());
+            }
+            let snap = match self.workers[k].rep.recv() {
+                Ok(Report::Snapshot(s)) => *s,
+                Ok(_) | Err(_) => return self.worker_died(k).map(|()| unreachable!()),
+            };
+            for (acc, v) in blocked.iter_mut().zip(&snap.blocked_out) {
+                *acc += v;
+            }
+            for (acc, v) in forwarded.iter_mut().zip(&snap.forwarded_out) {
+                *acc += v;
+            }
+            for (acc, v) in max_vc.iter_mut().zip(&snap.max_vc_occ) {
+                *acc = (*acc).max(*v);
+            }
+            for (gidx, b, f) in snap.ni_counters {
+                ni_counters[gidx] = Some((b, f));
+            }
+            for (gidx, r) in snap.receptors {
+                let (counters, lat, hists) = match &r {
+                    ReceptorDevice::Stochastic(r) => (
+                        *r.counters(),
+                        None,
+                        Some((
+                            r.length_histogram().clone(),
+                            r.interarrival_histogram().clone(),
+                        )),
+                    ),
+                    ReceptorDevice::Trace(r) => {
+                        (*r.counters(), self.receptor_latency[gidx].mean(), None)
+                    }
+                };
+                let (length_histogram, interarrival_histogram) = match hists {
+                    Some((l, a)) => (Some(l), Some(a)),
+                    None => (None, None),
+                };
+                receptors[gidx] = Some(ReceptorSummary {
+                    label: format!("tr{gidx}"),
+                    packets: counters.packets,
+                    flits: counters.flits,
+                    running_time: counters.running_time(),
+                    mean_network_latency: lat,
+                    length_histogram,
+                    interarrival_histogram,
+                });
+            }
+        }
+        let mut cc = CongestionCounter::new(self.config.topology.link_count());
+        for s in 0..self.low.switch_count {
+            let opb = self.low.out_port_base[s] as usize;
+            for o in 0..self.low.outputs[s] as usize {
+                let gp = opb + o;
+                cc.add(
+                    LinkId::new(self.low.out_link[gp]),
+                    blocked[gp],
+                    forwarded[gp],
+                );
+            }
+        }
+        for (i, link) in self.injection_links.iter().enumerate() {
+            let (b, f) = ni_counters[i].expect("every NI snapshotted by its shard");
+            cc.add(*link, b, f);
+        }
+        let mut vc_occupancy = VcOccupancy::new(vcs);
+        for s in 0..self.low.switch_count {
+            for vc in 0..vcs {
+                vc_occupancy.record(vc, max_vc[s * vcs + vc]);
+            }
+        }
+        Ok(EmulationResults {
+            name: self.config.name.clone(),
+            cycles: self.now.raw(),
+            cycles_skipped: self.cycles_skipped,
+            released: self.ledger.released(),
+            injected: self.ledger.injected(),
+            delivered: self.ledger.delivered(),
+            delivered_flits: self.delivered_flits,
+            stalled_cycles: self.stalled,
+            network_latency: self.ledger.network_latency().clone(),
+            total_latency: self.ledger.total_latency().clone(),
+            congestion: cc,
+            vc_occupancy,
+            receptors: receptors
+                .into_iter()
+                .map(|r| r.expect("every receptor snapshotted by its shard"))
+                .collect(),
+        })
+    }
+}
+
+impl Drop for ShardedCompiledEngine {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.cmd.send(Cmd::Shutdown);
+        }
+        if !self.poisoned {
+            for w in &mut self.workers {
+                if let Some(join) = w.join.take() {
+                    let _ = join.join();
+                }
+            }
+        }
+    }
+}
+
+impl SteppableEngine for ShardedCompiledEngine {
+    fn step(&mut self) -> Result<(), EmulationError> {
+        ShardedCompiledEngine::step(self)
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn finished(&self) -> bool {
+        ShardedCompiledEngine::finished(self)
+    }
+
+    fn delivered(&self) -> u64 {
+        self.ledger.delivered()
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    fn summary(&self) -> EngineSummary {
+        EngineSummary::from_ledger(
+            self.now.raw(),
+            self.cycles_skipped,
+            self.delivered_flits,
+            &self.ledger,
+        )
+    }
+
+    fn packet_ledger(&self) -> PacketLedger {
+        self.ledger.clone()
+    }
+
+    fn telemetry(&self) -> Option<&Collector> {
+        ShardedCompiledEngine::telemetry(self)
+    }
+
+    fn seal_telemetry(&mut self) {
+        ShardedCompiledEngine::seal_telemetry(self);
+    }
+}
+
+/// Builds one worker inside its thread: re-elaborate the config (the
+/// elaboration is deterministic, so every TG RNG stream and device
+/// matches the coordinator's reference by construction), wrap it in a
+/// full-shape [`CompiledEngine`], and derive the ownership tables.
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    shard: usize,
+    config: &PlatformConfig,
+    map: &PartitionMap,
+    nbr_list: Vec<usize>,
+    out_txs: Vec<Sender<NeighborMsg>>,
+    in_rxs: Vec<Receiver<NeighborMsg>>,
+    cmd_rx: Receiver<Cmd>,
+    rep_tx: Sender<Report>,
+) -> Worker {
+    let elab = elaborate(config).expect("the coordinator already elaborated this config");
+    let mut eng = CompiledEngine::new(elab);
+    // The coordinator owns windowed telemetry; the worker only ever
+    // serves cumulative probes.
+    eng.telemetry = None;
+    let n = eng.low.switch_count;
+    let own_switch: Vec<bool> = (0..n)
+        .map(|s| map.shard_of(SwitchId::new(s as u32)) == shard)
+        .collect();
+    let owned: Vec<usize> = (0..n).filter(|&s| own_switch[s]).collect();
+    let my_gens: Vec<usize> = (0..eng.nis.len())
+        .filter(|&i| own_switch[eng.low.inject_switch[i] as usize])
+        .collect();
+    let mut my_receptors = Vec::new();
+    let total_out_ports = *eng.low.out_port_base.last().expect("prefix sums") as usize;
+    let mut out_port_dest = vec![u16::MAX; total_out_ports];
+    for &s in &owned {
+        let opb = eng.low.out_port_base[s] as usize;
+        for o in 0..eng.low.outputs[s] as usize {
+            if let LoweredOutDest::Receptor { index } = eng.low.out_dest[opb + o] {
+                my_receptors.push(index as usize);
+            }
+        }
+    }
+    my_receptors.sort_unstable();
+    for (gp, dest) in out_port_dest.iter_mut().enumerate().take(total_out_ports) {
+        if let LoweredOutDest::Switch { switch, .. } = eng.low.out_dest[gp] {
+            *dest = map.shard_of(SwitchId::new(switch)) as u16;
+        }
+    }
+    let mut out_slot_shard = vec![0u16; eng.low.total_out_slots()];
+    for s in 0..n {
+        let owner = map.shard_of(SwitchId::new(s as u32)) as u16;
+        let range = eng.low.out_slot_base[s] as usize..eng.low.out_slot_base[s + 1] as usize;
+        out_slot_shard[range].fill(owner);
+    }
+    let mut nbr_slot = vec![usize::MAX; map.shards()];
+    for (j, &b) in nbr_list.iter().enumerate() {
+        nbr_slot[b] = j;
+    }
+    let last_pop = vec![0u64; eng.low.total_in_slots()];
+    let out_flits = nbr_list.iter().map(|_| Vec::new()).collect();
+    let out_credits = nbr_list.iter().map(|_| Vec::new()).collect();
+    Worker {
+        shard,
+        eng,
+        owned,
+        own_switch,
+        my_gens,
+        my_receptors,
+        out_slot_shard,
+        out_port_dest,
+        last_pop,
+        nbr_slot,
+        out_txs,
+        in_rxs,
+        out_flits,
+        out_credits,
+        prov_seq: 0,
+        dead: false,
+        cmd_rx,
+        rep_tx,
+    }
+}

@@ -13,6 +13,7 @@ use crate::engine::Emulation;
 use crate::error::{CompileError, EmulationError};
 use crate::results::EmulationResults;
 use crate::shard::ShardedEngine;
+use crate::shard_compiled::ShardedCompiledEngine;
 use nocem_common::time::Cycle;
 use nocem_stats::ledger::PacketLedger;
 use nocem_topology::routing::RoutingTables;
@@ -200,6 +201,9 @@ pub enum AnyEngine {
     Sharded(Box<ShardedEngine>),
     /// The compiled data-oriented engine (flat arrays).
     Compiled(Box<CompiledEngine>),
+    /// The sharded compiled engine (array-slice shards, batched
+    /// boundary exchange).
+    ShardedCompiled(Box<ShardedCompiledEngine>),
 }
 
 impl AnyEngine {
@@ -232,6 +236,9 @@ impl AnyEngine {
                 AnyEngine::Sharded(Box::new(ShardedEngine::from_elaboration(elab, shards)?))
             }
             EngineKind::Compiled => AnyEngine::Compiled(Box::new(CompiledEngine::new(elab))),
+            EngineKind::ShardedCompiled { shards, batch } => AnyEngine::ShardedCompiled(Box::new(
+                ShardedCompiledEngine::from_elaboration(elab, shards, batch)?,
+            )),
             _ => AnyEngine::Single(Box::new(Emulation::new(elab))),
         })
     }
@@ -246,6 +253,7 @@ impl AnyEngine {
             AnyEngine::Single(e) => Ok(e.results()),
             AnyEngine::Sharded(e) => e.results(),
             AnyEngine::Compiled(e) => Ok(e.results()),
+            AnyEngine::ShardedCompiled(e) => e.results(),
         }
     }
 }
@@ -256,6 +264,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => e.step(),
             AnyEngine::Sharded(e) => SteppableEngine::step(&mut **e),
             AnyEngine::Compiled(e) => CompiledEngine::step(e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::step(&mut **e),
         }
     }
 
@@ -264,6 +273,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => e.now(),
             AnyEngine::Sharded(e) => SteppableEngine::now(&**e),
             AnyEngine::Compiled(e) => e.now(),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::now(&**e),
         }
     }
 
@@ -272,6 +282,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => e.finished(),
             AnyEngine::Sharded(e) => SteppableEngine::finished(&**e),
             AnyEngine::Compiled(e) => CompiledEngine::finished(e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::finished(&**e),
         }
     }
 
@@ -280,6 +291,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => e.delivered(),
             AnyEngine::Sharded(e) => SteppableEngine::delivered(&**e),
             AnyEngine::Compiled(e) => e.delivered(),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::delivered(&**e),
         }
     }
 
@@ -288,6 +300,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => e.cycles_skipped(),
             AnyEngine::Sharded(e) => SteppableEngine::cycles_skipped(&**e),
             AnyEngine::Compiled(e) => e.cycles_skipped(),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::cycles_skipped(&**e),
         }
     }
 
@@ -296,6 +309,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => SteppableEngine::summary(&**e),
             AnyEngine::Sharded(e) => SteppableEngine::summary(&**e),
             AnyEngine::Compiled(e) => SteppableEngine::summary(&**e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::summary(&**e),
         }
     }
 
@@ -304,6 +318,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => SteppableEngine::packet_ledger(&**e),
             AnyEngine::Sharded(e) => SteppableEngine::packet_ledger(&**e),
             AnyEngine::Compiled(e) => SteppableEngine::packet_ledger(&**e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::packet_ledger(&**e),
         }
     }
 
@@ -312,6 +327,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => SteppableEngine::telemetry(&**e),
             AnyEngine::Sharded(e) => SteppableEngine::telemetry(&**e),
             AnyEngine::Compiled(e) => SteppableEngine::telemetry(&**e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::telemetry(&**e),
         }
     }
 
@@ -320,6 +336,7 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Single(e) => SteppableEngine::seal_telemetry(&mut **e),
             AnyEngine::Sharded(e) => SteppableEngine::seal_telemetry(&mut **e),
             AnyEngine::Compiled(e) => SteppableEngine::seal_telemetry(&mut **e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::seal_telemetry(&mut **e),
         }
     }
 }

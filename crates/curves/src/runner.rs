@@ -313,6 +313,63 @@ impl CurveSetOutcome {
         }
         csv.finish()
     }
+
+    /// Renders the textbook latency-vs-**accepted**-throughput plot
+    /// data: per curve, one record per load point ordered by accepted
+    /// throughput (the plot's x-axis), keeping only the plot columns.
+    /// Past saturation the offered load keeps rising while accepted
+    /// throughput stalls or folds back, so plotting against accepted
+    /// (instead of offered) is what makes the characteristic vertical
+    /// latency wall visible; points are re-sorted because that
+    /// fold-back makes accepted non-monotone in offered load.
+    pub fn to_accepted_csv(&self) -> String {
+        let mut csv = CsvWriter::new(&[
+            "scenario",
+            "topology",
+            "shards",
+            "clock_mode",
+            "accepted_flits_per_cycle_node",
+            "mean_network_latency",
+            "p50_network_latency",
+            "p95_network_latency",
+            "p99_network_latency",
+            "mean_total_latency",
+            "offered_flits_per_cycle_node",
+            "saturated",
+        ]);
+        csv.comment(
+            "latency vs ACCEPTED throughput (the textbook plot axis): records are \
+             ordered by accepted throughput within each curve, so a plotter can draw \
+             the latency wall directly; offered load is carried for reference",
+        );
+        for curve in &self.curves {
+            let mut points: Vec<_> = curve.points.iter().collect();
+            points.sort_by(|a, b| {
+                a.measurement
+                    .accepted
+                    .total_cmp(&b.measurement.accepted)
+                    .then(a.load.total_cmp(&b.load))
+            });
+            for p in points {
+                let m = &p.measurement;
+                csv.record_display(&[
+                    &curve.scenario,
+                    &curve.topology.name(),
+                    &curve.shards,
+                    &clock_mode_name(curve.clock_mode),
+                    &format_args!("{:.4}", m.accepted),
+                    &opt(m.mean_network_latency.map(|v| format!("{v:.2}"))),
+                    &opt(m.p50),
+                    &opt(m.p95),
+                    &opt(m.p99),
+                    &opt(m.mean_total_latency.map(|v| format!("{v:.2}"))),
+                    &format_args!("{:.4}", m.offered),
+                    &p.saturated,
+                ]);
+            }
+        }
+        csv.finish()
+    }
 }
 
 /// Stable lowercase clock-mode name for the CSV.
@@ -419,6 +476,40 @@ mod tests {
         // Parallel and serial runs agree (determinism across workers).
         let serial = set.run(&registry, 1).unwrap();
         assert_eq!(serial.curves, outcome.curves);
+    }
+
+    #[test]
+    fn accepted_csv_is_sorted_by_accepted_throughput() {
+        let registry = ScenarioRegistry::builtin();
+        let set = CurveSetSpec {
+            prototype: quick_prototype(),
+            scenarios: vec!["uniform_random".into(), "tornado".into()],
+            topologies: vec![TopologySpec::Mesh {
+                width: 2,
+                height: 2,
+            }],
+        };
+        let outcome = set.run(&registry, 1).unwrap();
+        let csv = outcome.to_accepted_csv();
+        let doc = CsvDocument::parse(&csv).unwrap();
+        // Same point count as the main CSV, plot columns only.
+        let total: usize = outcome.curves.iter().map(|c| c.points.len()).sum();
+        assert_eq!(doc.records.len(), total);
+        assert_eq!(doc.column("accepted_flits_per_cycle_node"), Some(4));
+        assert!(doc.column("top_link").is_none(), "plot columns only");
+        // Within each curve the x-axis column is non-decreasing.
+        let c_scen = doc.column("scenario").unwrap();
+        let c_acc = doc.column("accepted_flits_per_cycle_node").unwrap();
+        let mut last: Option<(String, f64)> = None;
+        for r in &doc.records {
+            let acc: f64 = r[c_acc].parse().unwrap();
+            if let Some((scen, prev)) = &last {
+                if scen == &r[c_scen] {
+                    assert!(acc >= *prev, "accepted column must be sorted per curve");
+                }
+            }
+            last = Some((r[c_scen].clone(), acc));
+        }
     }
 
     #[test]

@@ -193,6 +193,12 @@ impl AddressMap {
         AddressMap::default()
     }
 
+    /// Total device slots the control plane can address
+    /// (`MAX_BUSES * DEVICES_PER_BUS`).
+    pub fn capacity() -> usize {
+        usize::from(MAX_BUSES) * usize::from(DEVICES_PER_BUS)
+    }
+
     /// Allocates the next free slot (bus 0 fills first, then bus 1,
     /// …).
     ///

@@ -173,12 +173,21 @@ pub trait Partition {
 /// The grid-stripe partitioner.
 ///
 /// Grids (meshes and tori) are cut into `shards` contiguous stripes of
-/// whole rows, balanced to within one row, so the cut consists of the
-/// vertical links between adjacent stripes (plus the vertical
-/// wrap-around links of a torus). When the topology is not a grid — or
-/// has fewer rows than shards — switches are striped by contiguous id
+/// whole rows *or* whole columns — whichever orientation cuts fewer
+/// links, **counting torus wrap links**: striping along a wrapped
+/// dimension adds one extra seam (the stripe at one edge is adjacent
+/// to the stripe at the other through the wrap links), so on a torus
+/// or a non-square mesh the cheaper orientation can differ from the
+/// naive rows-always choice. A seam between adjacent stripes of rows
+/// costs `2·width` directed links (`2·height` for columns); ties
+/// prefer rows. When the topology is not a grid — or neither dimension
+/// has at least `shards` lines — switches are striped by contiguous id
 /// ranges instead, which on the row-major grid builders is the same
 /// thing at finer granularity.
+///
+/// The brute-force enumeration test below checks the cost model: the
+/// chosen cut equals the minimum [`PartitionMap::boundary_links`]
+/// count over *every* contiguous row and column composition.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GridStripes;
 
@@ -210,22 +219,58 @@ impl Partition for GridStripes {
             });
         }
         let mut shard_of = vec![0usize; n];
-        match topo.grid() {
-            // Row stripes: rows are laid out row-major by the grid
-            // builders, so a stripe of rows is also a contiguous id
-            // range — but cutting on row boundaries keeps the cut to
-            // the vertical links between stripes.
-            Some(grid)
-                if (grid.width as usize) * (grid.height as usize) == n
-                    && grid.height as usize >= shards =>
-            {
-                for (k, rows) in stripe_ranges(grid.height as usize, shards)
+        let grid = topo
+            .grid()
+            .filter(|g| (g.width as usize) * (g.height as usize) == n);
+        let orientation = grid.and_then(|g| {
+            // Which dimensions wrap (a torus link spans more than one
+            // grid step): striping along a wrapped dimension pays one
+            // extra seam, because the edge stripes touch through the
+            // wrap links.
+            let mut wrap_v = false;
+            let mut wrap_h = false;
+            for s in topo.switch_ids() {
+                let (ax, ay) = g.coords(s);
+                for (_, _, next, _) in topo.switch_neighbors(s) {
+                    let (bx, by) = g.coords(next);
+                    wrap_v |= ay.abs_diff(by) > 1;
+                    wrap_h |= ax.abs_diff(bx) > 1;
+                }
+            }
+            // Directed cut cost of each orientation: seams × links
+            // per seam (each seam carries one link pair per line it
+            // crosses). A single shard cuts nothing either way.
+            let seams = |wraps: bool| shards - 1 + usize::from(wraps && shards > 1);
+            let rows_cost = seams(wrap_v) * 2 * g.width as usize;
+            let cols_cost = seams(wrap_h) * 2 * g.height as usize;
+            let rows_ok = g.height as usize >= shards;
+            let cols_ok = g.width as usize >= shards;
+            match (rows_ok, cols_ok) {
+                (true, true) if cols_cost < rows_cost => Some(false),
+                (true, _) => Some(true),
+                (_, true) => Some(false),
+                _ => None,
+            }
+        });
+        match (grid, orientation) {
+            // Stripes of whole rows (or columns), balanced to within
+            // one line, so the cut consists of the links between
+            // adjacent stripes plus any wrap seam.
+            (Some(grid), Some(by_rows)) => {
+                let lines = if by_rows { grid.height } else { grid.width };
+                for (k, range) in stripe_ranges(lines as usize, shards)
                     .into_iter()
                     .enumerate()
                 {
-                    for y in rows {
-                        for x in 0..grid.width as usize {
-                            shard_of[grid.at(x as u32, y as u32).index()] = k;
+                    for line in range {
+                        let across = if by_rows { grid.width } else { grid.height };
+                        for i in 0..across as usize {
+                            let (x, y) = if by_rows {
+                                (i as u32, line as u32)
+                            } else {
+                                (line as u32, i as u32)
+                            };
+                            shard_of[grid.at(x, y).index()] = k;
                         }
                     }
                 }
@@ -325,11 +370,106 @@ mod tests {
 
     #[test]
     fn more_shards_than_rows_still_covers() {
-        // mesh 8x2 has 2 rows; 4 shards fall back to index stripes.
+        // mesh 8x2 has 2 rows; 4 shards stripe by columns instead.
         let topo = mesh(8, 2).unwrap();
         let map = GridStripes.partition(&topo, 4).unwrap();
         for k in 0..4 {
             assert_eq!(map.switches_of(k).len(), 4);
+        }
+    }
+
+    #[test]
+    fn wide_grids_stripe_by_columns_when_cheaper() {
+        // mesh 16x4, 2 shards: a row seam cuts 2·16 = 32 directed
+        // links, a column seam only 2·4 = 8.
+        let topo = mesh(16, 4).unwrap();
+        let map = GridStripes.partition(&topo, 2).unwrap();
+        assert_eq!(map.boundary_links(&topo).len(), 8);
+        // torus 8x4, 4 shards: row stripes would pay 4 seams (3 cuts
+        // + vertical wrap) of 16 = 64; column stripes pay 4 seams of
+        // 8 = 32.
+        let topo = torus(8, 4).unwrap();
+        let map = GridStripes.partition(&topo, 4).unwrap();
+        assert_eq!(map.boundary_links(&topo).len(), 32);
+    }
+
+    /// All strictly increasing `k`-subsets of `1..lines` — the cut
+    /// points of every contiguous composition into `k + 1` stripes.
+    fn cut_sets(lines: usize, k: usize) -> Vec<Vec<usize>> {
+        fn rec(
+            start: usize,
+            lines: usize,
+            k: usize,
+            cur: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if cur.len() == k {
+                out.push(cur.clone());
+                return;
+            }
+            for c in start..lines {
+                cur.push(c);
+                rec(c + 1, lines, k, cur, out);
+                cur.pop();
+            }
+        }
+        let mut out = Vec::new();
+        rec(1, lines, k, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// The smallest boundary cut over *every* contiguous row and
+    /// column composition into `shards` stripes, by brute force.
+    fn brute_force_best_cut(topo: &Topology, shards: usize) -> usize {
+        let grid = topo.grid().unwrap();
+        let mut best = usize::MAX;
+        for by_rows in [true, false] {
+            let lines = if by_rows { grid.height } else { grid.width } as usize;
+            if lines < shards {
+                continue;
+            }
+            for cuts in cut_sets(lines, shards - 1) {
+                let shard_of = topo
+                    .switch_ids()
+                    .map(|s| {
+                        let (x, y) = grid.coords(s);
+                        let line = if by_rows { y } else { x } as usize;
+                        cuts.iter().filter(|&&c| line >= c).count()
+                    })
+                    .collect();
+                let map = PartitionMap::new(shard_of, shards).unwrap();
+                best = best.min(map.boundary_links(topo).len());
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn stripe_choice_matches_brute_force_enumeration() {
+        // The partitioner's closed-form cost model (seams × seam
+        // width, wrap seams counted) must pick a cut as small as the
+        // best of *all* contiguous stripe compositions in either
+        // orientation.
+        let topos = [
+            mesh(8, 8).unwrap(),
+            torus(8, 8).unwrap(),
+            mesh(8, 2).unwrap(),
+            torus(4, 8).unwrap(),
+            mesh(16, 4).unwrap(),
+            torus(8, 4).unwrap(),
+        ];
+        for topo in &topos {
+            for shards in 2..=4 {
+                let chosen = GridStripes.partition(topo, shards).unwrap();
+                let cut = chosen.boundary_links(topo).len();
+                let best = brute_force_best_cut(topo, shards);
+                assert_eq!(
+                    cut,
+                    best,
+                    "{} into {shards}: chose a {cut}-link cut, best is {best}",
+                    topo.name()
+                );
+            }
         }
     }
 }

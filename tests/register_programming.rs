@@ -155,3 +155,42 @@ fn unmapped_and_out_of_range_accesses_fault() {
         Err(BusError::ReadOnly(_))
     ));
 }
+
+#[test]
+fn over_capacity_platform_emulates_without_a_bus() {
+    use nocem::clock::SteppableEngine;
+    use nocem_scenarios::registry::ScenarioRegistry;
+    use nocem_scenarios::scenario::TopologySpec;
+
+    // 37x37 = 1369 switches, so ctrl + 1369 TGs + 1369 TRs + 1369
+    // switches + monitor = 4109 devices > the 4x1024 control plane.
+    let cfg = ScenarioRegistry::builtin()
+        .resolve("transpose")
+        .unwrap()
+        .build_config(
+            TopologySpec::Mesh {
+                width: 37,
+                height: 37,
+            },
+            0.10,
+            2,
+            50,
+        )
+        .unwrap();
+    let mut emu = build(&cfg).unwrap();
+
+    // The control plane is all-or-nothing: nothing is mapped...
+    assert!(emu.address_map().devices().is_empty());
+    let ctrl0 = nocem_platform::addr::Address::from_parts(
+        nocem_common::ids::BusId::new(0),
+        nocem_common::ids::DeviceId::new(0),
+        0,
+    );
+    assert!(matches!(emu.read(ctrl0), Err(BusError::Unmapped(_))));
+
+    // ...but the platform still emulates.
+    for _ in 0..50 {
+        SteppableEngine::step(&mut emu).unwrap();
+    }
+    assert!(SteppableEngine::summary(&emu).injected > 0);
+}

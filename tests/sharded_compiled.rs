@@ -1,0 +1,284 @@
+//! Sharded-compiled-vs-compiled equivalence: the sharded compiled
+//! engine must be *bit-identical* to [`CompiledEngine`] — same packet
+//! ledger, same summary, same results, same telemetry — for every
+//! tested (shards, batch) combination, because batching amortizes
+//! coordinator synchronization without deferring any boundary flit or
+//! credit past its one-cycle link latency.
+//!
+//! The harness steps every engine in lockstep with the compiled
+//! reference, comparing the clock and delivered count after each
+//! cycle, so a divergence is pinpointed to the exact cycle. A proptest
+//! then drives *random partitions* (not just grid stripes) at random
+//! batch sizes against the batch-1 exchange order.
+
+use nocem::clock::{ClockMode, SteppableEngine};
+use nocem::compile::elaborate;
+use nocem::compiled::CompiledEngine;
+use nocem::config::{EngineKind, PlatformConfig};
+use nocem::shard::build_engine;
+use nocem::shard_compiled::ShardedCompiledEngine;
+use nocem_scenarios::registry::ScenarioRegistry;
+use nocem_scenarios::scenario::TopologySpec;
+use nocem_telemetry::TelemetryConfig;
+use nocem_topology::partition::PartitionMap;
+use proptest::prelude::*;
+
+/// A uniform-random scenario config on `topo` at `load` (meshes on XY
+/// routing, tori on 2-VC dateline torus-XY, so flits and credits
+/// cross shard boundaries on both VCs).
+fn uniform_random(topo: TopologySpec, load: f64, packets: u64) -> PlatformConfig {
+    ScenarioRegistry::builtin()
+        .resolve("uniform_random")
+        .unwrap()
+        .build_config(topo, load, 4, packets)
+        .unwrap()
+}
+
+const MESH8X8: TopologySpec = TopologySpec::Mesh {
+    width: 8,
+    height: 8,
+};
+const TORUS8X8: TopologySpec = TopologySpec::Torus {
+    width: 8,
+    height: 8,
+};
+
+/// Steps one sharded compiled engine per `(shards, batch)` case in
+/// lockstep with the compiled reference and asserts full equality:
+/// per-cycle clock + deliveries, final ledger, summary and results.
+fn assert_lockstep(cfg: &PlatformConfig, cases: &[(usize, u64)]) {
+    let mut reference = CompiledEngine::new(elaborate(cfg).unwrap());
+    let mut engines: Vec<((usize, u64), ShardedCompiledEngine)> = cases
+        .iter()
+        .map(|&(k, b)| {
+            (
+                (k, b),
+                ShardedCompiledEngine::with_shards(cfg, k, b).unwrap(),
+            )
+        })
+        .collect();
+    while !reference.finished() {
+        reference.step().unwrap();
+        for ((k, b), engine) in &mut engines {
+            engine.step().unwrap();
+            assert_eq!(
+                engine.now(),
+                reference.now(),
+                "{k} shards batch {b}: clock diverged on {}",
+                cfg.name
+            );
+            assert_eq!(
+                engine.delivered(),
+                reference.delivered(),
+                "{k} shards batch {b}: deliveries diverged at cycle {} on {}",
+                reference.now().raw(),
+                cfg.name
+            );
+        }
+    }
+    for ((k, b), engine) in &mut engines {
+        assert!(engine.finished(), "{k} shards batch {b}: stop lagged");
+        assert_eq!(
+            engine.ledger(),
+            reference.ledger(),
+            "{k} shards batch {b}: packet ledger diverged on {}",
+            cfg.name
+        );
+        assert_eq!(
+            SteppableEngine::summary(engine),
+            reference.summary(),
+            "{k} shards batch {b}: summary diverged on {}",
+            cfg.name
+        );
+        assert_eq!(engine.results().unwrap(), reference.results());
+    }
+}
+
+const CASES: &[(usize, u64)] = &[(2, 1), (2, 4), (2, 16), (4, 1), (4, 4), (4, 16)];
+
+#[test]
+fn mesh8x8_low_load_is_bit_identical_across_batches() {
+    assert_lockstep(&uniform_random(MESH8X8, 0.05, 500), CASES);
+}
+
+#[test]
+fn mesh8x8_saturating_load_is_bit_identical_across_batches() {
+    // 40% uniform-random congests the center: worms block across
+    // shard boundaries, credits starve, packets park at the sources.
+    assert_lockstep(&uniform_random(MESH8X8, 0.40, 700), CASES);
+}
+
+#[test]
+fn torus8x8_low_load_is_bit_identical_across_batches() {
+    assert_lockstep(&uniform_random(TORUS8X8, 0.05, 500), CASES);
+}
+
+#[test]
+fn torus8x8_saturating_load_is_bit_identical_across_batches() {
+    assert_lockstep(&uniform_random(TORUS8X8, 0.40, 700), CASES);
+}
+
+/// The CI release smoke: 2 shards, batch 8, saturating mesh8x8.
+#[test]
+fn mesh8x8_two_shards_batch8_lockstep() {
+    assert_lockstep(&uniform_random(MESH8X8, 0.40, 900), &[(2, 8)]);
+}
+
+/// One synchronization round per cycle at `batch = 1` (today's
+/// per-cycle exchange protocol), ~`batch`× fewer at `batch = 16` —
+/// the measured amortization the batching exists for. Drain mode is
+/// the honest measurement: a delivered-packet target additionally
+/// caps each window at `ceil(remaining / receptors)` cycles (the
+/// zero-overshoot guarantee), which shortens windows near the target.
+#[test]
+fn batching_amortizes_synchronization_rounds_by_batch() {
+    let mut cfg = uniform_random(MESH8X8, 0.20, 400);
+    cfg.stop.delivered_packets = None;
+    let mut per_cycle = ShardedCompiledEngine::with_shards(&cfg, 2, 1).unwrap();
+    per_cycle.run().unwrap();
+    let cycles = per_cycle.now().raw();
+    assert_eq!(
+        per_cycle.sync_rounds(),
+        cycles,
+        "batch=1 must synchronize once per cycle"
+    );
+    let mut batched = ShardedCompiledEngine::with_shards(&cfg, 2, 16).unwrap();
+    batched.run().unwrap();
+    assert_eq!(batched.now().raw(), cycles);
+    assert_eq!(batched.ledger(), per_cycle.ledger());
+    let rounds = batched.sync_rounds();
+    // The last window may be observed mid-buffer (the stop condition
+    // turns true while cycles are still buffered), so allow a couple
+    // of rounds of slack over the perfect ceil(cycles / 16).
+    assert!(
+        rounds >= cycles.div_ceil(16),
+        "{rounds} rounds for {cycles} cycles is below the batch floor"
+    );
+    assert!(
+        rounds <= cycles.div_ceil(16) + 2,
+        "batch=16 only cut {cycles} cycles to {rounds} rounds"
+    );
+}
+
+/// Windowed telemetry must be bit-identical too: probe points fall on
+/// the same cycles (windows never cross a probe boundary) and the
+/// merged per-shard counters equal the reference's.
+#[test]
+fn windowed_telemetry_is_bit_identical() {
+    let mut cfg = uniform_random(MESH8X8, 0.30, 500);
+    cfg.telemetry = Some(TelemetryConfig::windowed(64));
+    let mut reference = CompiledEngine::new(elaborate(&cfg).unwrap());
+    reference.run().unwrap();
+    reference.seal_telemetry();
+    for batch in [1, 16] {
+        let mut engine = ShardedCompiledEngine::with_shards(&cfg, 4, batch).unwrap();
+        engine.run().unwrap();
+        engine.seal_telemetry();
+        assert_eq!(engine.ledger(), reference.ledger());
+        assert_eq!(
+            engine.telemetry().unwrap(),
+            reference.telemetry().unwrap(),
+            "batch {batch}: telemetry series diverged"
+        );
+    }
+}
+
+/// Drain mode: run until the TG budgets are spent and the network
+/// empties. The last window may overshoot the stop cycle, but a
+/// quiescent platform makes those cycles no-ops, so ledger and clock
+/// still match.
+#[test]
+fn drain_mode_stop_condition_drains_every_shard() {
+    let mut cfg = uniform_random(MESH8X8, 0.10, 300);
+    cfg.stop.delivered_packets = None;
+    let mut reference = CompiledEngine::new(elaborate(&cfg).unwrap());
+    reference.run().unwrap();
+    for batch in [1, 8] {
+        let mut engine = ShardedCompiledEngine::with_shards(&cfg, 2, batch).unwrap();
+        engine.run().unwrap();
+        engine.ledger().verify_drained().unwrap();
+        assert_eq!(engine.ledger(), reference.ledger());
+        assert_eq!(engine.now(), reference.now());
+    }
+}
+
+/// Gating is a per-cycle cross-shard decision: a gated config clamps
+/// any larger batch to 1 (with a warning) and then skips exactly the
+/// cycles the single-threaded fast-forward kernel skips.
+#[test]
+fn gated_clamps_batch_and_skips_like_the_compiled_kernel() {
+    let mut cfg = uniform_random(MESH8X8, 0.05, 300);
+    cfg.clock_mode = ClockMode::Gated;
+    let mut reference = CompiledEngine::new(elaborate(&cfg).unwrap());
+    reference.run().unwrap();
+    let mut engine = ShardedCompiledEngine::with_shards(&cfg, 4, 16).unwrap();
+    assert_eq!(engine.batch(), 1, "gated mode must clamp the batch");
+    engine.run().unwrap();
+    assert!(engine.cycles_skipped() > 0, "a 5%-load run must skip");
+    assert_eq!(engine.cycles_skipped(), reference.cycles_skipped());
+    assert_eq!(engine.ledger(), reference.ledger());
+    assert_eq!(SteppableEngine::summary(&engine), reference.summary());
+}
+
+#[test]
+fn engine_kind_round_trips_through_the_generic_builder() {
+    let cfg = uniform_random(MESH8X8, 0.10, 200).with_engine(EngineKind::ShardedCompiled {
+        shards: 2,
+        batch: 8,
+    });
+    let mut engine = build_engine(&cfg).unwrap();
+    nocem::run_engine(engine.as_mut()).unwrap();
+    let mut reference = CompiledEngine::new(elaborate(&cfg).unwrap());
+    reference.run().unwrap();
+    assert_eq!(engine.packet_ledger(), *reference.ledger());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched boundary replay must equal the batch=1 exchange order
+    /// for *random* partitions (arbitrary switch→shard assignments,
+    /// not just contiguous stripes) × random batch sizes.
+    #[test]
+    fn random_partitions_replay_identically_at_any_batch(
+        seed in 0u64..1_000_000,
+        shards in 2usize..5,
+        batch in 2u64..24,
+    ) {
+        let cfg = uniform_random(
+            TopologySpec::Mesh { width: 4, height: 4 },
+            0.30,
+            120,
+        );
+        // A deterministic pseudo-random assignment with every shard
+        // non-empty: fill round-robin first, then scatter by an LCG.
+        let n = 16usize;
+        let mut assign: Vec<usize> = (0..n).map(|s| s % shards).collect();
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        for a in assign.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (x >> 33) % 3 == 0 {
+                *a = ((x >> 17) as usize) % shards;
+            }
+        }
+        for k in 0..shards {
+            // Keep every shard non-empty (PartitionMap requires it).
+            if !assign.contains(&k) {
+                assign[k] = k;
+            }
+        }
+        let map = PartitionMap::new(assign, shards).unwrap();
+        let elab1 = elaborate(&cfg).unwrap();
+        let mut per_cycle = ShardedCompiledEngine::with_partition(elab1, map.clone(), 1);
+        per_cycle.run().unwrap();
+        let elab2 = elaborate(&cfg).unwrap();
+        let mut batched = ShardedCompiledEngine::with_partition(elab2, map, batch);
+        batched.run().unwrap();
+        prop_assert_eq!(batched.ledger(), per_cycle.ledger());
+        prop_assert_eq!(
+            SteppableEngine::summary(&batched),
+            SteppableEngine::summary(&per_cycle)
+        );
+        prop_assert_eq!(batched.now(), per_cycle.now());
+    }
+}
