@@ -34,6 +34,7 @@ use nocem::clock::SteppableEngine;
 use nocem::compile::elaborate;
 use nocem::config::{PlatformConfig, TrafficModel};
 use nocem::engine::build;
+use nocem::profile::{PhaseReport, ProfileConfig};
 use nocem::shard::ShardedEngine;
 use nocem::shard_compiled::ShardedCompiledEngine;
 use nocem::CompiledEngine;
@@ -51,6 +52,9 @@ struct Row {
     flits: u64,
     flits_per_sec: f64,
     cycles_per_sec: f64,
+    /// Phase profile from a separate short profiled run of the same
+    /// cell (the throughput numbers above stay unprofiled).
+    profile: PhaseReport,
 }
 
 /// An endless uniform-random config on `topo` at `load`: budgets and
@@ -100,6 +104,33 @@ fn measure(
     (cycles, seconds, flits)
 }
 
+fn build_engine(engine_name: &str, cfg: &PlatformConfig) -> Box<dyn SteppableEngine> {
+    match engine_name {
+        "emulation" => Box::new(build(cfg).expect("config compiles")),
+        "compiled" => Box::new(CompiledEngine::new(
+            elaborate(cfg).expect("config compiles"),
+        )),
+        "sharded" => Box::new(ShardedEngine::with_shards(cfg, 2).expect("config compiles")),
+        "sharded-compiled" => {
+            Box::new(ShardedCompiledEngine::with_shards(cfg, 2, 16).expect("config compiles"))
+        }
+        other => unreachable!("unknown engine {other}"),
+    }
+}
+
+/// Profiles one cell over a short fixed run: phase accumulators only
+/// (spans off), separate from the throughput measurement so the
+/// headline flits/s stay untouched by instrumentation.
+fn profile_cell(engine_name: &str, topo: TopologySpec, load: f64, cycles: u64) -> PhaseReport {
+    let mut cfg = endless_uniform(topo, load);
+    cfg.profile = Some(ProfileConfig::default().without_spans());
+    let mut engine = build_engine(engine_name, &cfg);
+    for _ in 0..cycles {
+        engine.step().expect("engine fault during profiling");
+    }
+    engine.profile().expect("profiling was enabled")
+}
+
 fn measure_cell(
     engine_name: &'static str,
     topology: &'static str,
@@ -109,18 +140,9 @@ fn measure_cell(
     min_seconds: f64,
 ) -> Row {
     let cfg = endless_uniform(topo, load);
-    let mut engine: Box<dyn SteppableEngine> = match engine_name {
-        "emulation" => Box::new(build(&cfg).expect("config compiles")),
-        "compiled" => Box::new(CompiledEngine::new(
-            elaborate(&cfg).expect("config compiles"),
-        )),
-        "sharded" => Box::new(ShardedEngine::with_shards(&cfg, 2).expect("config compiles")),
-        "sharded-compiled" => {
-            Box::new(ShardedCompiledEngine::with_shards(&cfg, 2, 16).expect("config compiles"))
-        }
-        other => unreachable!("unknown engine {other}"),
-    };
+    let mut engine = build_engine(engine_name, &cfg);
     let (cycles, seconds, flits) = measure(engine.as_mut(), warmup, 10_000, min_seconds);
+    let profile = profile_cell(engine_name, topo, load, warmup.max(2_000));
     Row {
         engine: engine_name,
         topology,
@@ -130,6 +152,7 @@ fn measure_cell(
         flits,
         flits_per_sec: flits as f64 / seconds,
         cycles_per_sec: cycles as f64 / seconds,
+        profile,
     }
 }
 
@@ -144,7 +167,8 @@ fn json(rows: &[Row], cores: usize, speedups: &[(String, f64)]) -> String {
         out.push_str(&format!(
             "    {{\"engine\": \"{}\", \"topology\": \"{}\", \"load\": {:.2}, \
              \"cycles\": {}, \"seconds\": {:.4}, \"flits\": {}, \
-             \"flits_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}}}{}\n",
+             \"flits_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}, \
+             \"profile\": {}}}{}\n",
             r.engine,
             r.topology,
             r.load,
@@ -153,6 +177,7 @@ fn json(rows: &[Row], cores: usize, speedups: &[(String, f64)]) -> String {
             r.flits,
             r.flits_per_sec,
             r.cycles_per_sec,
+            r.profile.to_json(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -191,6 +216,35 @@ fn main() {
             "compiled engine must be at least 3x the interpreted engine \
              on mesh4x4 @40% (measured {speedup:.2}x)"
         );
+        // Profile sections must be present and valid JSON...
+        for row in [&emu, &comp] {
+            nocem_telemetry::validate_json(&row.profile.to_json())
+                .expect("profile section must be valid JSON");
+            assert!(row.profile.stepped_cycles > 0, "profile counted no cycles");
+            assert!(
+                row.profile.step_ns() > 0,
+                "profile accumulated no step time"
+            );
+        }
+        // ...and profiling must not change behaviour: a profiler-on
+        // run stays ledger-identical to profiler-off.
+        let cfg_off = endless_uniform(mesh4, 0.40);
+        let mut cfg_on = cfg_off.clone();
+        cfg_on.profile = Some(ProfileConfig::default());
+        for engine in ["emulation", "compiled"] {
+            let mut off = build_engine(engine, &cfg_off);
+            let mut on = build_engine(engine, &cfg_on);
+            for _ in 0..5_000 {
+                off.step().expect("engine fault (profiler off)");
+                on.step().expect("engine fault (profiler on)");
+            }
+            assert_eq!(
+                off.summary(),
+                on.summary(),
+                "{engine}: profiler-on run must stay ledger-identical"
+            );
+        }
+        println!("smoke: profile sections valid; profiler-on ledger-identical to profiler-off");
         return;
     }
 

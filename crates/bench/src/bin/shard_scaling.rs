@@ -32,6 +32,7 @@
 use nocem::clock::SteppableEngine;
 use nocem::compile::elaborate;
 use nocem::config::{PlatformConfig, TrafficModel};
+use nocem::profile::{PhaseReport, ProfileConfig};
 use nocem::shard_compiled::ShardedCompiledEngine;
 use nocem::CompiledEngine;
 use nocem_scenarios::registry::ScenarioRegistry;
@@ -54,6 +55,11 @@ struct Row {
     /// Coordinator synchronization rounds during the measurement
     /// window (0 for the single-threaded baseline, which has none).
     sync_rounds: u64,
+    /// Phase profile from a separate short profiled run of the same
+    /// cell (the throughput numbers above stay unprofiled). For
+    /// sharded rows the exchange/coordinator-wait phases quantify the
+    /// sync-wait share, with per-worker sub-reports.
+    profile: PhaseReport,
 }
 
 /// An endless config for `scenario` on `topo` at `load`: budgets and
@@ -112,6 +118,16 @@ fn drive(
     )
 }
 
+/// Steps a freshly built profiled engine for `cycles` cycles and
+/// returns its phase report (accumulators only, spans off) — separate
+/// from the throughput measurement so the flits/s stay unprofiled.
+fn profile_run(mut engine: Box<dyn SteppableEngine>, cycles: u64) -> PhaseReport {
+    for _ in 0..cycles {
+        engine.step().expect("engine fault during profiling");
+    }
+    engine.profile().expect("profiling was enabled")
+}
+
 fn measure_baseline(
     topology: &'static str,
     topo: TopologySpec,
@@ -131,6 +147,14 @@ fn measure_baseline(
         warmup,
         min_seconds,
     );
+    let mut pcfg = endless(scenario, topo, load);
+    pcfg.profile = Some(ProfileConfig::default().without_spans());
+    let profile = profile_run(
+        Box::new(CompiledEngine::new(
+            elaborate(&pcfg).expect("config compiles"),
+        )),
+        warmup.max(500),
+    );
     Row {
         engine: "compiled",
         topology,
@@ -144,6 +168,7 @@ fn measure_baseline(
         flits_per_sec: flits as f64 / seconds,
         cycles_per_sec: cycles as f64 / seconds,
         sync_rounds: 0,
+        profile,
     }
 }
 
@@ -167,6 +192,14 @@ fn measure_sharded(
         warmup,
         min_seconds,
     );
+    let mut pcfg = endless(scenario, topo, load);
+    pcfg.profile = Some(ProfileConfig::default().without_spans());
+    let profile = profile_run(
+        Box::new(
+            ShardedCompiledEngine::with_shards(&pcfg, shards, batch).expect("config compiles"),
+        ),
+        warmup.max(500),
+    );
     Row {
         engine: "sharded-compiled",
         topology,
@@ -180,6 +213,7 @@ fn measure_sharded(
         flits_per_sec: flits as f64 / seconds,
         cycles_per_sec: cycles as f64 / seconds,
         sync_rounds,
+        profile,
     }
 }
 
@@ -196,7 +230,7 @@ fn json(rows: &[Row], cores: usize, reductions: &[(String, f64)]) -> String {
              \"shards\": {}, \
              \"batch\": {}, \"load\": {:.2}, \"cycles\": {}, \"seconds\": {:.4}, \
              \"flits\": {}, \"flits_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}, \
-             \"sync_rounds\": {}}}{}\n",
+             \"sync_rounds\": {}, \"profile\": {}}}{}\n",
             r.engine,
             r.topology,
             r.scenario,
@@ -209,6 +243,7 @@ fn json(rows: &[Row], cores: usize, reductions: &[(String, f64)]) -> String {
             r.flits_per_sec,
             r.cycles_per_sec,
             r.sync_rounds,
+            r.profile.to_json(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -280,6 +315,8 @@ fn main() {
             "\"flits_per_sec\"",
             "\"shards\"",
             "\"batch\"",
+            "\"profile\"",
+            "\"coordinator-wait\"",
         ] {
             assert!(content.contains(key), "JSON is missing {key}");
         }

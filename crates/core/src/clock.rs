@@ -161,9 +161,41 @@ pub fn effective_speedup(cycles: u64, cycles_skipped: u64) -> f64 {
     }
 }
 
+/// A structured, machine-visible warning an engine raised while
+/// coming up or running — the replacement for ad-hoc stderr prints,
+/// surfaced on [`EngineSummary::warnings`] and
+/// [`SteppableEngine::warnings`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineWarning {
+    /// Clock gating needs a per-cycle cross-shard horizon, so the
+    /// sharded-compiled engine clamped the requested exchange batch
+    /// to 1.
+    GatedBatchClamp {
+        /// The batch the configuration asked for.
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for EngineWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineWarning::GatedBatchClamp { requested } => write!(
+                f,
+                "clock gating needs a per-cycle cross-shard horizon; \
+                 clamping sharded-compiled batch {requested} to 1"
+            ),
+        }
+    }
+}
+
 /// Engine-agnostic end-of-run summary — the comparison tuple of the
 /// cross-engine and gated-vs-ungated equivalence tests.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores [`EngineSummary::warnings`]: a
+/// warning describes the *machinery* (a clamped knob), not the
+/// emulated behaviour, and the equivalence tests compare behaviour.
+#[derive(Debug, Clone)]
 pub struct EngineSummary {
     /// Simulated cycles (skipped ones included — identical across
     /// clock modes).
@@ -182,6 +214,22 @@ pub struct EngineSummary {
     pub network_latency: LatencyAnalyzer,
     /// Total latency (release → delivery) statistics.
     pub total_latency: LatencyAnalyzer,
+    /// Structured warnings the engine raised (excluded from
+    /// equality).
+    pub warnings: Vec<EngineWarning>,
+}
+
+impl PartialEq for EngineSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycles == other.cycles
+            && self.cycles_skipped == other.cycles_skipped
+            && self.released == other.released
+            && self.injected == other.injected
+            && self.delivered == other.delivered
+            && self.delivered_flits == other.delivered_flits
+            && self.network_latency == other.network_latency
+            && self.total_latency == other.total_latency
+    }
 }
 
 impl EngineSummary {
@@ -202,7 +250,17 @@ impl EngineSummary {
             delivered_flits,
             network_latency: ledger.network_latency().clone(),
             total_latency: ledger.total_latency().clone(),
+            warnings: Vec::new(),
         }
+    }
+
+    /// The summary with the engine's warnings attached
+    /// (builder-style; engines call this inside
+    /// [`SteppableEngine::summary`]).
+    #[must_use]
+    pub fn with_warnings(mut self, warnings: &[EngineWarning]) -> EngineSummary {
+        self.warnings = warnings.to_vec();
+        self
     }
 
     /// Effective speedup of the run under gating (1.0 when ungated).
@@ -274,6 +332,35 @@ pub trait SteppableEngine {
     /// Call once the run (or measurement interval) is over; after
     /// sealing, series totals equal the lifetime counters.
     fn seal_telemetry(&mut self) {}
+
+    /// The per-phase self-profiling report, when the config enabled
+    /// profiling ([`crate::config::PlatformConfig::profile`]).
+    ///
+    /// Takes `&mut self` because sharded engines fetch their workers'
+    /// accumulators over the command channels on demand.
+    fn profile(&mut self) -> Option<crate::profile::PhaseReport> {
+        None
+    }
+
+    /// The merged wall-clock span timeline (Chrome-trace material),
+    /// when the config enabled profiling with spans on. Draining is
+    /// destructive on sharded engines — call once, at the end.
+    fn span_trace(&mut self) -> Option<nocem_telemetry::SpanTrace> {
+        None
+    }
+
+    /// The stall watchdog's latched forensic report, if profiling ran
+    /// with a [`crate::profile::StallConfig`] and the watchdog
+    /// tripped.
+    fn stall_report(&self) -> Option<&crate::profile::StallReport> {
+        None
+    }
+
+    /// Structured warnings the engine raised while coming up or
+    /// running (configuration clamps and the like).
+    fn warnings(&self) -> &[EngineWarning] {
+        &[]
+    }
 }
 
 /// Runs any engine to its stop condition.

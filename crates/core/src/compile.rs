@@ -132,6 +132,9 @@ pub struct Elaboration {
     /// Predicted per-link offered loads, when all generators have
     /// fixed destinations (`None` otherwise).
     pub predicted_loads: Option<Vec<f64>>,
+    /// Wall-clock nanoseconds [`elaborate_routed`] took to build this
+    /// elaboration (seeds the `elaborate` phase of the profilers).
+    pub elaborate_ns: u64,
 }
 
 impl std::fmt::Debug for Elaboration {
@@ -239,6 +242,7 @@ pub fn elaborate_routed(
     config: &PlatformConfig,
     routing: RoutingTables,
 ) -> Result<Elaboration, CompileError> {
+    let elaborate_start = std::time::Instant::now();
     let topo = &config.topology;
     let generators = topo.generators();
     let receptors = topo.receptors();
@@ -278,7 +282,8 @@ pub fn elaborate_routed(
     // Switches. Credits are per (output, VC): each VC of an
     // inter-switch link gets the depth of its downstream VC buffer;
     // every VC of an ejection port is infinite (receptors always
-    // accept).
+    // accept) unless `ejection_credits` caps them for stall-forensics
+    // fixtures.
     let num_vcs = config.switch.num_vcs;
     let mut switches = Vec::with_capacity(topo.switch_count());
     for s in topo.switch_ids() {
@@ -294,7 +299,9 @@ pub fn elaborate_routed(
                 let link = topo.out_link(s, PortId::new(p));
                 let per_vc = match topo.link(link).dst {
                     LinkEnd::Switch { .. } => u32::from(config.switch.fifo_depth),
-                    LinkEnd::Endpoint(_) => CREDITS_INFINITE,
+                    LinkEnd::Endpoint(_) => {
+                        config.switch.ejection_credits.unwrap_or(CREDITS_INFINITE)
+                    }
                 };
                 vec![per_vc; num_vcs as usize]
             })
@@ -453,6 +460,7 @@ pub fn elaborate_routed(
             receptor_of_endpoint,
         },
         predicted_loads,
+        elaborate_ns: u64::try_from(elaborate_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
     })
 }
 
@@ -837,8 +845,8 @@ pub fn lower(elab: &Elaboration) -> LoweredPlatform {
 
     // Output-slot records: credits derived exactly as elaboration
     // derives them (inter-switch: downstream FIFO depth; ejection:
-    // infinite); arbiter pointers start at `width - 1` so the first
-    // grant scans from input slot 0.
+    // infinite unless `ejection_credits` caps them); arbiter pointers
+    // start at `width - 1` so the first grant scans from input slot 0.
     let mut out_state = Vec::with_capacity(total_out_slots);
     let mut credit_cap = Vec::with_capacity(total_out_slots);
     for s in topo.switch_ids() {
@@ -848,7 +856,11 @@ pub fn lower(elab: &Elaboration) -> LoweredPlatform {
             let link = topo.out_link(s, PortId::new(p));
             let per_vc = match topo.link(link).dst {
                 LinkEnd::Switch { .. } => u32::from(elab.config.switch.fifo_depth),
-                LinkEnd::Endpoint(_) => CREDITS_INFINITE,
+                LinkEnd::Endpoint(_) => elab
+                    .config
+                    .switch
+                    .ejection_credits
+                    .unwrap_or(CREDITS_INFINITE),
             };
             for v in 0..vcs {
                 debug_assert_eq!(

@@ -49,6 +49,9 @@ use crate::compile::{
 };
 use crate::config::PlatformConfig;
 use crate::error::EmulationError;
+use crate::profile::{
+    BlockedLink, Phase, PhaseProfiler, PhaseReport, StallReport, StallWatchdog, WaitDest, WaitEdge,
+};
 use crate::results::{EmulationResults, ReceptorSummary};
 use nocem_common::flit::{Flit, PacketDescriptor};
 use nocem_common::ids::{EndpointId, FlowId, LinkId, PacketId, SwitchId, VcId};
@@ -65,6 +68,7 @@ use nocem_switch::switch::CREDITS_INFINITE;
 use nocem_telemetry::{Collector, CumulativeProbe};
 use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
 use nocem_traffic::ni::SourceNi;
+use std::time::Instant;
 
 /// The compiled platform: flat arrays stepped by tight loops.
 ///
@@ -155,6 +159,10 @@ pub struct CompiledEngine {
     pub(crate) flit_pool: Vec<Flit>,
     /// Freed pool indices awaiting reuse.
     pub(crate) flit_free: Vec<u32>,
+    /// Per-phase self-profiler (None = off, zero timestamp cost).
+    pub(crate) profiler: Option<PhaseProfiler>,
+    /// Stall watchdog, when the profile config enables one.
+    pub(crate) watchdog: Option<StallWatchdog>,
 }
 
 impl std::fmt::Debug for CompiledEngine {
@@ -274,7 +282,21 @@ impl CompiledEngine {
     /// interpreted one by construction. Only the switches are
     /// re-expressed as flat arrays.
     pub fn new(mut elab: Elaboration) -> Self {
+        let lower_start = Instant::now();
         let low = lower(&elab);
+        let lower_ns = u64::try_from(lower_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let profiler = elab.config.profile.as_ref().map(|_| {
+            let mut p = PhaseProfiler::new();
+            p.add_ns(Phase::Elaborate, elab.elaborate_ns);
+            p.add_ns(Phase::Lower, lower_ns);
+            p
+        });
+        let watchdog = elab
+            .config
+            .profile
+            .as_ref()
+            .and_then(|p| p.stall)
+            .map(StallWatchdog::new);
         let generator_endpoints = elab.config.topology.generators();
         let telemetry = elab.config.telemetry.as_ref().map(|t| {
             Collector::new(
@@ -341,6 +363,8 @@ impl CompiledEngine {
                 .collect(),
             flit_pool: Vec::new(),
             flit_free: Vec::new(),
+            profiler,
+            watchdog,
             generator_endpoints,
             injection_links,
             tgs,
@@ -400,6 +424,16 @@ impl CompiledEngine {
         self.tg_synced[i] = now.raw();
     }
 
+    /// Closes a profiling lap: charges `phase` the time since `*t` and
+    /// chains the next timestamp. No-op (a single `Option` check) when
+    /// profiling is off.
+    #[inline]
+    fn lap(&mut self, t: &mut Option<Instant>, phase: Phase) {
+        if let (Some(prev), Some(p)) = (t.as_mut(), self.profiler.as_mut()) {
+            *prev = p.lap(*prev, phase);
+        }
+    }
+
     /// Advances one platform cycle — the exact phase order of
     /// [`crate::engine::Emulation::step`] over the flat arrays.
     ///
@@ -409,6 +443,7 @@ impl CompiledEngine {
     /// a correct build never produces) or when the cycle limit is
     /// exceeded.
     pub fn step(&mut self) -> Result<(), EmulationError> {
+        let mut t = self.profiler.as_mut().map(PhaseProfiler::begin_step);
         if self.config.clock_mode == ClockMode::Gated && self.is_quiescent() {
             // The shared fast-forward kernel assumes TGs are ticked up
             // to `now`; replay any deferred countdown windows first.
@@ -428,6 +463,7 @@ impl CompiledEngine {
                 }
             }
         }
+        self.lap(&mut t, Phase::FastForward);
         if self
             .telemetry
             .as_ref()
@@ -440,6 +476,7 @@ impl CompiledEngine {
                 .expect("presence checked above")
                 .record(at, &probe);
         }
+        self.lap(&mut t, Phase::Probe);
         let now = self.now;
 
         // 1. Traffic models release packets (parked requests retry
@@ -494,8 +531,16 @@ impl CompiledEngine {
             debug_assert!(accepted, "capacity was checked before the offer");
             self.ni_active[i] = true;
             self.next_packet += 1;
+            let ledger_start = self.profiler.as_ref().map(PhaseProfiler::begin);
             self.ledger.release(id, now, req.len_flits)?;
+            if let Some(s) = ledger_start {
+                self.profiler
+                    .as_mut()
+                    .expect("timestamp implies profiler")
+                    .nested(s, Phase::Ledger);
+            }
         }
+        self.lap(&mut t, Phase::TgTick);
 
         // 2. All switches decide on start-of-cycle state. A switch
         //    with no buffered flit can produce no request, move no
@@ -517,6 +562,7 @@ impl CompiledEngine {
                 self.decide_switch_dense(s);
             }
         }
+        self.lap(&mut t, Phase::Decide);
 
         // 3. Network interfaces inject (visible next cycle). An idle
         //    NI's `tick_send` is a pure no-op — skipped.
@@ -531,13 +577,21 @@ impl CompiledEngine {
                 continue;
             };
             if flit.kind.is_head() {
+                let ledger_start = self.profiler.as_ref().map(PhaseProfiler::begin);
                 self.ledger.inject(flit.packet, now)?;
+                if let Some(s) = ledger_start {
+                    self.profiler
+                        .as_mut()
+                        .expect("timestamp implies profiler")
+                        .nested(s, Phase::Ledger);
+                }
             }
             let (sw, base) = (self.low.inject_switch[i], self.low.inject_slot_base[i]);
             let vc = flit.vc.index();
             let h = self.intern(flit);
             self.accept_flit(sw as usize, base, h, vc)?;
         }
+        self.lap(&mut t, Phase::NiInject);
 
         // 4. All decided switches commit; flits move one hop.
         for s in 0..self.low.switch_count {
@@ -553,6 +607,27 @@ impl CompiledEngine {
             } else {
                 self.commit_switch_dense(s, now)?;
             }
+        }
+        self.lap(&mut t, Phase::Commit);
+
+        // Stall watchdog: feed the ledger counters once per stepped
+        // cycle; on the trip, capture the wait-for snapshot.
+        let tripped = match self.watchdog.as_mut() {
+            Some(w) => w.observe(
+                now.raw(),
+                self.ledger.released(),
+                self.ledger.injected(),
+                self.ledger.delivered(),
+                self.ledger.in_flight(),
+            ),
+            None => false,
+        };
+        if tripped {
+            let report = self.capture_stall_report(now.raw());
+            self.watchdog
+                .as_mut()
+                .expect("tripped implies watchdog")
+                .latch(report);
         }
 
         // 5. Advance time.
@@ -1337,7 +1412,14 @@ impl CompiledEngine {
             }
         };
         if let Some(pkt) = completed {
+            let ledger_start = self.profiler.as_ref().map(PhaseProfiler::begin);
             let lat = self.ledger.deliver(pkt.id, now, pkt.len_flits)?;
+            if let Some(s) = ledger_start {
+                self.profiler
+                    .as_mut()
+                    .expect("timestamp implies profiler")
+                    .nested(s, Phase::Ledger);
+            }
             self.delivered_flits += u64::from(pkt.len_flits);
             if let ReceptorDevice::Trace(r) = &mut self.receptors[index] {
                 r.record_latency(lat.network, lat.total);
@@ -1420,6 +1502,79 @@ impl CompiledEngine {
             p.add_link(self.injection_links[i], c.blocked_cycles, c.injected_flits);
         }
         p
+    }
+
+    /// Assembles the forensic stall snapshot from the flat arrays:
+    /// every occupied input slot with a live allocation or routing
+    /// choice becomes a wait-for edge, resolved through the lowered
+    /// wiring to its downstream switch input or receptor.
+    fn capture_stall_report(&self, at_cycle: u64) -> StallReport {
+        let vcs = self.low.num_vcs;
+        let mut edges = Vec::new();
+        for s in 0..self.low.switch_count {
+            let isb = self.low.in_slot_base[s] as usize;
+            let osb = self.low.out_slot_base[s] as usize;
+            let opb = self.low.out_port_base[s] as usize;
+            for i in 0..self.low.inputs[s] as usize {
+                for v in 0..vcs {
+                    let st = &self.low.in_state[isb + i * vcs + v];
+                    if st.len == 0 {
+                        continue;
+                    }
+                    let local_out = if st.allocated != SLOT_NONE {
+                        st.allocated
+                    } else if st.chosen != SLOT_NONE {
+                        st.chosen
+                    } else {
+                        continue;
+                    } as usize;
+                    let (out_port, out_vc) = (local_out / vcs, local_out % vcs);
+                    let gp = opb + out_port;
+                    let dest = match self.low.out_dest[gp] {
+                        LoweredOutDest::Switch { switch, slot_base } => WaitDest::Switch {
+                            switch,
+                            input: (slot_base - self.low.in_slot_base[switch as usize])
+                                / vcs as u32,
+                        },
+                        LoweredOutDest::Receptor { index } => WaitDest::Receptor { index },
+                    };
+                    edges.push(WaitEdge {
+                        switch: s as u32,
+                        in_port: i as u32,
+                        in_vc: v as u8,
+                        out_port: out_port as u32,
+                        out_vc: out_vc as u8,
+                        link: self.low.out_link[gp],
+                        occupancy: u32::from(st.len),
+                        fifo_depth: self.low.fifo_depth as u32,
+                        credits: self.low.out_state[osb + local_out].credits,
+                        credit_cap: self.low.credit_cap[osb + local_out],
+                        worm_open: st.allocated != SLOT_NONE,
+                        dest,
+                    });
+                }
+            }
+        }
+        let cc = self.congestion();
+        let mut blocked: Vec<BlockedLink> = self
+            .config
+            .topology
+            .links()
+            .map(|l| BlockedLink {
+                link: l.id.raw(),
+                blocked: cc.blocked(l.id),
+            })
+            .filter(|b| b.blocked > 0)
+            .collect();
+        blocked.sort_by_key(|b| (std::cmp::Reverse(b.blocked), b.link));
+        blocked.truncate(5);
+        let window = self
+            .config
+            .profile
+            .as_ref()
+            .and_then(|p| p.stall)
+            .map_or(0, |s| s.no_progress_cycles);
+        StallReport::new(at_cycle, window, self.ledger.in_flight(), edges, blocked)
     }
 
     /// The windowed telemetry collector, when enabled.
@@ -1539,6 +1694,14 @@ impl SteppableEngine for CompiledEngine {
 
     fn seal_telemetry(&mut self) {
         CompiledEngine::seal_telemetry(self);
+    }
+
+    fn profile(&mut self) -> Option<PhaseReport> {
+        self.profiler.as_ref().map(|p| p.report("compiled"))
+    }
+
+    fn stall_report(&self) -> Option<&StallReport> {
+        self.watchdog.as_ref().and_then(StallWatchdog::report)
     }
 }
 

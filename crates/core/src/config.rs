@@ -63,6 +63,14 @@ pub struct SwitchSettings {
     pub arbiter: ArbiterKind,
     /// Multi-path selection policy.
     pub selection: SelectionPolicy,
+    /// Initial credits on ejection (receptor-facing) outputs. `None`
+    /// — the default, and the paper's platform — models an
+    /// always-ready receptor as an infinite credit pool. A finite
+    /// value caps the flits a receptor port can ever accept *without
+    /// credit return* (receptors do not return credits), which drains
+    /// to a guaranteed backpressure stall — the fixture the stall
+    /// watchdog's forensics are tested against.
+    pub ejection_credits: Option<u32>,
 }
 
 impl Default for SwitchSettings {
@@ -72,6 +80,7 @@ impl Default for SwitchSettings {
             num_vcs: 1,
             arbiter: ArbiterKind::RoundRobin,
             selection: SelectionPolicy::First,
+            ejection_credits: None,
         }
     }
 }
@@ -197,6 +206,12 @@ pub struct PlatformConfig {
     /// probe overhead). When set, every engine records per-link
     /// forwarded/blocked and per-VC occupancy series.
     pub telemetry: Option<nocem_telemetry::TelemetryConfig>,
+    /// Emulator self-profiling (`None` = off, the default: no
+    /// timestamp overhead, results unchanged). When set, engines
+    /// accumulate per-phase wall time (see [`crate::profile`]), the
+    /// sharded engines record span timelines, and the stall watchdog
+    /// runs when [`crate::profile::ProfileConfig::stall`] is set.
+    pub profile: Option<crate::profile::ProfileConfig>,
 }
 
 impl PlatformConfig {
@@ -244,6 +259,7 @@ impl PlatformConfig {
             clock_mode: ClockMode::default(),
             engine: EngineKind::default(),
             telemetry: None,
+            profile: None,
         })
     }
 
@@ -266,6 +282,14 @@ impl PlatformConfig {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Option<nocem_telemetry::TelemetryConfig>) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables (or disables) emulator self-profiling (builder-style
+    /// convenience).
+    #[must_use]
+    pub fn with_profile(mut self, profile: Option<crate::profile::ProfileConfig>) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -394,6 +418,7 @@ impl PaperConfig {
             clock_mode: ClockMode::default(),
             engine: EngineKind::default(),
             telemetry: None,
+            profile: None,
         }
     }
 

@@ -24,6 +24,9 @@ use crate::clock::{self, ClockMode, EngineSummary, SteppableEngine};
 use crate::compile::{Elaboration, InSource, OutTarget, ReceptorDevice};
 use crate::devices::{self, TgShadow};
 use crate::error::EmulationError;
+use crate::profile::{
+    BlockedLink, Phase, PhaseProfiler, PhaseReport, StallReport, StallWatchdog, WaitDest, WaitEdge,
+};
 use crate::results::EmulationResults;
 use nocem_common::flit::PacketDescriptor;
 use nocem_common::ids::{BusId, DeviceId, EndpointId, PacketId, SwitchId};
@@ -37,6 +40,7 @@ use nocem_stats::receptor::CompletedPacket;
 use nocem_telemetry::{Collector, CumulativeProbe, FlitEvent, FlitEventKind, FlitTracer};
 use nocem_traffic::generator::PacketRequest;
 use nocem_traffic::trace::{TraceEvent, TraceRecorder};
+use std::time::Instant;
 
 /// A compiled platform ready to emulate.
 pub struct Emulation {
@@ -60,6 +64,10 @@ pub struct Emulation {
     telemetry: Option<Collector>,
     /// Bounded flit event tracer (opt-in via the telemetry config).
     tracer: Option<FlitTracer>,
+    /// Per-phase self-profiler (None = off, zero timestamp cost).
+    profiler: Option<PhaseProfiler>,
+    /// Stall watchdog, when the profile config enables one.
+    watchdog: Option<StallWatchdog>,
     /// Link selected through the monitor device's `SELECT` register.
     monitor_select: u32,
 }
@@ -98,6 +106,17 @@ impl Emulation {
             .as_ref()
             .filter(|t| t.trace)
             .map(|t| FlitTracer::new(t.trace_capacity));
+        let profiler = elab.config.profile.as_ref().map(|_| {
+            let mut p = PhaseProfiler::new();
+            p.add_ns(Phase::Elaborate, elab.elaborate_ns);
+            p
+        });
+        let watchdog = elab
+            .config
+            .profile
+            .as_ref()
+            .and_then(|p| p.stall)
+            .map(StallWatchdog::new);
         Emulation {
             generator_endpoints,
             ledger: PacketLedger::new(),
@@ -113,8 +132,20 @@ impl Emulation {
             started: false,
             telemetry,
             tracer,
+            profiler,
+            watchdog,
             monitor_select: 0,
             elab,
+        }
+    }
+
+    /// Closes a profiling lap: charges `phase` the time since `*t` and
+    /// chains the next timestamp. No-op (a single `Option` check) when
+    /// profiling is off.
+    #[inline]
+    fn lap(&mut self, t: &mut Option<Instant>, phase: Phase) {
+        if let (Some(prev), Some(p)) = (t.as_mut(), self.profiler.as_mut()) {
+            *prev = p.lap(*prev, phase);
         }
     }
 
@@ -164,6 +195,7 @@ impl Emulation {
     /// a correct build never produces) or when the cycle limit is
     /// exceeded.
     pub fn step(&mut self) -> Result<(), EmulationError> {
+        let mut t = self.profiler.as_mut().map(PhaseProfiler::begin_step);
         // Hybrid clock gating: on a quiescent platform, jump straight
         // to the earliest future TG event instead of stepping empty
         // cycles. The skipped ticks are pure no-ops (proven by the
@@ -179,6 +211,7 @@ impl Emulation {
             self.now += skipped;
             self.cycles_skipped += skipped;
         }
+        self.lap(&mut t, Phase::FastForward);
         // Telemetry probe: at the start of the cycle, *after* the
         // fast-forward, the cumulative counters reflect exactly the
         // cycles [0, now) — the same prefix every engine sees here, so
@@ -197,6 +230,7 @@ impl Emulation {
                 .expect("presence checked above")
                 .record(at, &probe);
         }
+        self.lap(&mut t, Phase::Probe);
         let now = self.now;
         self.started = true;
 
@@ -255,7 +289,14 @@ impl Emulation {
             let accepted = self.elab.nis[i].offer(desc);
             debug_assert!(accepted, "capacity was checked before the offer");
             self.next_packet += 1;
+            let ledger_start = self.profiler.as_ref().map(PhaseProfiler::begin);
             self.ledger.release(id, now, req.len_flits)?;
+            if let Some(s) = ledger_start {
+                self.profiler
+                    .as_mut()
+                    .expect("timestamp implies profiler")
+                    .nested(s, Phase::Ledger);
+            }
             if let Some(rec) = &mut self.recorder {
                 rec.record(TraceEvent {
                     at: now,
@@ -267,10 +308,13 @@ impl Emulation {
             }
         }
 
+        self.lap(&mut t, Phase::TgTick);
+
         // 2. All switches decide on start-of-cycle state.
         for sw in &mut self.elab.switches {
             sw.decide();
         }
+        self.lap(&mut t, Phase::Decide);
 
         // 3. Network interfaces inject (visible next cycle).
         for i in 0..self.elab.nis.len() {
@@ -279,7 +323,14 @@ impl Emulation {
             };
             let (s, port, link) = self.elab.wiring.injection[i];
             if flit.kind.is_head() {
+                let ledger_start = self.profiler.as_ref().map(PhaseProfiler::begin);
                 self.ledger.inject(flit.packet, now)?;
+                if let Some(ls) = ledger_start {
+                    self.profiler
+                        .as_mut()
+                        .expect("timestamp implies profiler")
+                        .nested(ls, Phase::Ledger);
+                }
                 if let Some(tr) = &mut self.tracer {
                     tr.record(FlitEvent {
                         cycle: now.raw(),
@@ -297,6 +348,7 @@ impl Emulation {
                 }
             })?;
         }
+        self.lap(&mut t, Phase::NiInject);
 
         // 4. All switches commit; flits move one hop.
         for s in 0..self.elab.switches.len() {
@@ -340,6 +392,27 @@ impl Emulation {
                 }
             }
         }
+        self.lap(&mut t, Phase::Commit);
+
+        // Stall watchdog: feed the ledger counters once per stepped
+        // cycle; on the trip, capture the wait-for snapshot.
+        let tripped = match self.watchdog.as_mut() {
+            Some(w) => w.observe(
+                now.raw(),
+                self.ledger.released(),
+                self.ledger.injected(),
+                self.ledger.delivered(),
+                self.ledger.in_flight(),
+            ),
+            None => false,
+        };
+        if tripped {
+            let report = self.capture_stall_report(now.raw());
+            self.watchdog
+                .as_mut()
+                .expect("tripped implies watchdog")
+                .latch(report);
+        }
 
         // 5. Advance time.
         self.now = now.next();
@@ -375,7 +448,14 @@ impl Emulation {
             }
         };
         if let Some(pkt) = completed {
+            let ledger_start = self.profiler.as_ref().map(PhaseProfiler::begin);
             let lat = self.ledger.deliver(pkt.id, now, pkt.len_flits)?;
+            if let Some(s) = ledger_start {
+                self.profiler
+                    .as_mut()
+                    .expect("timestamp implies profiler")
+                    .nested(s, Phase::Ledger);
+            }
             self.delivered_flits += u64::from(pkt.len_flits);
             if let Some(tr) = &mut self.tracer {
                 tr.record(FlitEvent {
@@ -574,6 +654,62 @@ impl Emulation {
         p
     }
 
+    /// Assembles the forensic stall snapshot: every waiting input VC
+    /// as a wait-for edge (resolved through the wiring to its
+    /// downstream switch input or receptor), plus the most blocked
+    /// links from the cumulative congestion counters.
+    fn capture_stall_report(&self, at_cycle: u64) -> StallReport {
+        let topo = &self.elab.config.topology;
+        let mut edges = Vec::new();
+        for (s, sw) in self.elab.switches.iter().enumerate() {
+            for w in sw.wait_states() {
+                let link = topo.out_link(SwitchId::new(s as u32), w.output);
+                let dest = match self.elab.wiring.out_target[s][w.output.index()] {
+                    OutTarget::Switch { switch, port } => WaitDest::Switch {
+                        switch: switch as u32,
+                        input: port.index() as u32,
+                    },
+                    OutTarget::Receptor { index } => WaitDest::Receptor {
+                        index: index as u32,
+                    },
+                };
+                edges.push(WaitEdge {
+                    switch: s as u32,
+                    in_port: u32::from(w.input.raw()),
+                    in_vc: w.in_vc.raw(),
+                    out_port: u32::from(w.output.raw()),
+                    out_vc: w.out_vc.raw(),
+                    link: link.raw(),
+                    occupancy: w.occupancy as u32,
+                    fifo_depth: w.fifo_depth as u32,
+                    credits: w.credits,
+                    credit_cap: w.credit_cap,
+                    worm_open: w.worm_open,
+                    dest,
+                });
+            }
+        }
+        let cc = self.congestion();
+        let mut blocked: Vec<BlockedLink> = topo
+            .links()
+            .map(|l| BlockedLink {
+                link: l.id.raw(),
+                blocked: cc.blocked(l.id),
+            })
+            .filter(|b| b.blocked > 0)
+            .collect();
+        blocked.sort_by_key(|b| (std::cmp::Reverse(b.blocked), b.link));
+        blocked.truncate(5);
+        let window = self
+            .elab
+            .config
+            .profile
+            .as_ref()
+            .and_then(|p| p.stall)
+            .map_or(0, |s| s.no_progress_cycles);
+        StallReport::new(at_cycle, window, self.ledger.in_flight(), edges, blocked)
+    }
+
     /// The windowed telemetry collector, when enabled.
     pub fn telemetry(&self) -> Option<&Collector> {
         self.telemetry.as_ref()
@@ -695,6 +831,14 @@ impl SteppableEngine for Emulation {
 
     fn seal_telemetry(&mut self) {
         Emulation::seal_telemetry(self);
+    }
+
+    fn profile(&mut self) -> Option<PhaseReport> {
+        self.profiler.as_ref().map(|p| p.report("emulation"))
+    }
+
+    fn stall_report(&self) -> Option<&StallReport> {
+        self.watchdog.as_ref().and_then(StallWatchdog::report)
     }
 }
 

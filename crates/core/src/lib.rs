@@ -43,6 +43,7 @@
 //! | [`shard_compiled`] | 5 | the sharded compiled engine: array-slice shards, batched synchronization |
 //! | [`clock`] | 5 | clock modes, quiescence, the fast-forward kernel, [`clock::SteppableEngine`] |
 //! | [`devices`] | 3, 6 | register views and typed drivers |
+//! | [`profile`] | 5, 6 | engine self-profiling: phase timers, span timelines, stall forensics |
 //! | [`results`] | 6 | run results and the monitor report |
 //! | [`sweep`] | — | multi-configuration sweep runner |
 //! | [`error`] | — | compile/run error types |
@@ -58,6 +59,7 @@ pub mod devices;
 pub mod engine;
 pub mod error;
 pub mod flow;
+pub mod profile;
 pub mod results;
 pub mod shard;
 pub mod shard_compiled;
@@ -65,7 +67,7 @@ pub mod sweep;
 
 pub use clock::{
     run_engine, run_engine_until, run_engine_with_progress, ClockMode, EngineSummary,
-    SteppableEngine,
+    EngineWarning, SteppableEngine,
 };
 pub use compile::{
     compute_routing, elaborate, elaborate_routed, lower, Elaboration, LoweredPlatform,
@@ -77,6 +79,9 @@ pub use config::{
 pub use engine::{build, Emulation};
 pub use error::{CompileError, EmulationError};
 pub use flow::{run_flow, run_flow_on, FlowReport};
+pub use profile::{
+    Phase, PhaseProfiler, PhaseReport, ProfileConfig, StallConfig, StallReport, WaitEdge,
+};
 pub use results::EmulationResults;
 pub use shard::{build_engine, ShardedEngine};
 pub use shard_compiled::ShardedCompiledEngine;

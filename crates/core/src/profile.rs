@@ -1,0 +1,933 @@
+//! Emulator self-profiling: phase timers, span timelines, and stall
+//! forensics.
+//!
+//! Everything else in the observability stack watches the *emulated
+//! network*; this module watches the *emulator*. It has three parts,
+//! all opt-in through [`crate::config::PlatformConfig::profile`]:
+//!
+//! * **Phase profiling** — a [`PhaseProfiler`] of chained monotonic
+//!   timestamps accumulating per-[`Phase`] nanoseconds inside every
+//!   engine's step loop, reported as a [`PhaseReport`] through
+//!   [`crate::clock::SteppableEngine::profile`]. Because each lap
+//!   closes exactly where the next opens, the per-cycle phases sum to
+//!   the step's wall time (no double counting, no gaps), which is what
+//!   makes "switch allocation is ~half the budget" a checkable number.
+//! * **Span timelines** — the sharded engines record wall-clock spans
+//!   (windows, neighbour exchanges, replay) into bounded per-thread
+//!   [`nocem_telemetry::SpanBuffer`]s merged into a Chrome-trace JSON
+//!   via [`nocem_telemetry::SpanTrace`].
+//! * **Stall forensics** — a [`StallWatchdog`] that notices when a
+//!   run with packets in flight stops making any ledger progress for
+//!   [`StallConfig::no_progress_cycles`] cycles and latches a
+//!   [`StallReport`]: every waiting input VC as a [`WaitEdge`]
+//!   (which (link, VC) it needs credits toward, whether a worm holds
+//!   the output), a downstream blame chain, and the top blocked links.
+//!
+//! The ledger phase is *nested*: ledger calls happen inside the TG,
+//! NI and commit phases, so the profiler carves their time out of the
+//! enclosing lap ([`PhaseProfiler::nested`]) to keep phases disjoint.
+
+use nocem_common::table::{Align, TextTable};
+use nocem_switch::switch::CREDITS_INFINITE;
+use std::time::Instant;
+
+/// A named slice of an engine's cycle (or one-time setup) budget.
+///
+/// The single-threaded engines use the per-cycle phases
+/// `FastForward..=Ledger`; the sharded engines additionally split
+/// worker time into `WorkerCompute`/`Exchange` and coordinator time
+/// into `CoordWait`/`Apply`. `Elaborate` and `Lower` are one-time
+/// setup costs seeded when the engine is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Platform elaboration (components, routing, wiring).
+    Elaborate = 0,
+    /// Lowering the elaboration to flat arrays (compiled engines).
+    Lower = 1,
+    /// Quiescence check and clock-gated fast-forward.
+    FastForward = 2,
+    /// Telemetry probe and window recording.
+    Probe = 3,
+    /// Traffic-generator ticks, releases and pending retries.
+    TgTick = 4,
+    /// Switch decide: routing, VC allocation, switch allocation.
+    Decide = 5,
+    /// Network-interface flit injection.
+    NiInject = 6,
+    /// Switch commit: pops, forwards, credits, deliveries.
+    Commit = 7,
+    /// Packet-ledger bookkeeping (nested inside TG/NI/commit).
+    Ledger = 8,
+    /// Sharded worker: owned-slice compute inside a window.
+    WorkerCompute = 9,
+    /// Sharded worker: boundary send + receive/replay per cycle.
+    Exchange = 10,
+    /// Sharded worker: waiting on the phase barrier (interpreted
+    /// sharded engine only).
+    Barrier = 11,
+    /// Coordinator: blocked waiting for worker reports.
+    CoordWait = 12,
+    /// Coordinator: applying buffered worker events to the ledger.
+    Apply = 13,
+    /// Process evaluation and update — the whole scheduler cycle of
+    /// the TLM and RTL models, which interleave the per-cycle phases
+    /// inside their processes and cannot split them.
+    Processes = 14,
+}
+
+impl Phase {
+    /// Number of phases (accumulator array length).
+    pub const COUNT: usize = 15;
+
+    /// Every phase, in accumulator order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Elaborate,
+        Phase::Lower,
+        Phase::FastForward,
+        Phase::Probe,
+        Phase::TgTick,
+        Phase::Decide,
+        Phase::NiInject,
+        Phase::Commit,
+        Phase::Ledger,
+        Phase::WorkerCompute,
+        Phase::Exchange,
+        Phase::Barrier,
+        Phase::CoordWait,
+        Phase::Apply,
+        Phase::Processes,
+    ];
+
+    /// Stable lowercase name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Elaborate => "elaborate",
+            Phase::Lower => "lower",
+            Phase::FastForward => "fast-forward",
+            Phase::Probe => "probe",
+            Phase::TgTick => "tg-tick",
+            Phase::Decide => "decide",
+            Phase::NiInject => "ni-inject",
+            Phase::Commit => "commit",
+            Phase::Ledger => "ledger",
+            Phase::WorkerCompute => "worker-compute",
+            Phase::Exchange => "exchange",
+            Phase::Barrier => "barrier",
+            Phase::CoordWait => "coordinator-wait",
+            Phase::Apply => "apply",
+            Phase::Processes => "processes",
+        }
+    }
+}
+
+/// Configuration of the self-profiling layer. Profiling is opt-in:
+/// engines pay for timestamps only when a config is present, and a
+/// profiled run remains ledger-identical to an unprofiled one.
+///
+/// # Examples
+///
+/// ```
+/// use nocem::profile::ProfileConfig;
+/// let p = ProfileConfig::default().with_stall(5_000);
+/// assert!(p.spans);
+/// assert_eq!(p.stall.unwrap().no_progress_cycles, 5_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Record wall-clock span timelines in the sharded engines
+    /// (bounded per-thread buffers, merged into a Chrome trace).
+    pub spans: bool,
+    /// Hard cap on spans per thread; further spans are counted as
+    /// dropped instead of stored.
+    pub span_capacity: usize,
+    /// Enable the stall watchdog.
+    pub stall: Option<StallConfig>,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            spans: true,
+            span_capacity: 16_384,
+            stall: None,
+        }
+    }
+}
+
+impl ProfileConfig {
+    /// Enables the stall watchdog with the given no-progress window.
+    #[must_use]
+    pub fn with_stall(mut self, no_progress_cycles: u64) -> Self {
+        self.stall = Some(StallConfig { no_progress_cycles });
+        self
+    }
+
+    /// Disables span timelines (phase accumulators only).
+    #[must_use]
+    pub fn without_spans(mut self) -> Self {
+        self.spans = false;
+        self
+    }
+}
+
+/// Stall-watchdog configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallConfig {
+    /// Trip after this many consecutive cycles with packets in flight
+    /// but zero released/injected/delivered progress.
+    pub no_progress_cycles: u64,
+}
+
+impl Default for StallConfig {
+    fn default() -> Self {
+        StallConfig {
+            no_progress_cycles: 10_000,
+        }
+    }
+}
+
+/// Per-phase wall-clock accumulators driven by chained timestamps.
+///
+/// The step loop takes one timestamp per phase boundary: each
+/// [`PhaseProfiler::lap`] charges the time since the previous
+/// timestamp to the closing phase and returns the new timestamp, so
+/// consecutive phases share their boundary instant and the per-cycle
+/// phases sum to the step's wall time exactly. Nested scopes (the
+/// ledger) are charged to their own phase and subtracted from the
+/// enclosing lap by [`PhaseProfiler::nested`].
+#[derive(Debug, Clone)]
+pub struct PhaseProfiler {
+    acc: [u64; Phase::COUNT],
+    nested_ns: u64,
+    stepped_cycles: u64,
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseProfiler {
+    /// A profiler with all accumulators at zero.
+    pub fn new() -> Self {
+        PhaseProfiler {
+            acc: [0; Phase::COUNT],
+            nested_ns: 0,
+            stepped_cycles: 0,
+        }
+    }
+
+    /// Opens a step: counts the cycle and returns the chain's first
+    /// timestamp.
+    pub fn begin_step(&mut self) -> Instant {
+        self.stepped_cycles += 1;
+        Instant::now()
+    }
+
+    /// Opens a timing chain without counting a cycle (worker windows,
+    /// coordinator sections).
+    pub fn begin(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Closes `phase` at the current instant: charges it the time
+    /// since `prev` (minus any nested time recorded in between) and
+    /// returns the new chain timestamp.
+    pub fn lap(&mut self, prev: Instant, phase: Phase) -> Instant {
+        let now = Instant::now();
+        let d = now.saturating_duration_since(prev).as_nanos() as u64;
+        self.acc[phase as usize] += d.saturating_sub(self.nested_ns);
+        self.nested_ns = 0;
+        now
+    }
+
+    /// Charges a nested scope begun at `start` to `phase` and marks
+    /// it for subtraction from the enclosing lap.
+    pub fn nested(&mut self, start: Instant, phase: Phase) {
+        let d = start.elapsed().as_nanos() as u64;
+        self.acc[phase as usize] += d;
+        self.nested_ns += d;
+    }
+
+    /// Adds raw nanoseconds to `phase` (seeding one-time costs like
+    /// elaboration, merging externally measured sections).
+    pub fn add_ns(&mut self, phase: Phase, ns: u64) {
+        self.acc[phase as usize] += ns;
+    }
+
+    /// Adds externally stepped cycles (sharded workers count their
+    /// window cycles this way).
+    pub fn add_cycles(&mut self, cycles: u64) {
+        self.stepped_cycles += cycles;
+    }
+
+    /// Element-wise merge of another profiler's accumulators (cycle
+    /// count is *not* merged: shards step the same platform cycles).
+    pub fn absorb(&mut self, other: &PhaseProfiler) {
+        for (a, b) in self.acc.iter_mut().zip(other.acc.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Accumulated nanoseconds of `phase`.
+    pub fn ns(&self, phase: Phase) -> u64 {
+        self.acc[phase as usize]
+    }
+
+    /// Cycles counted through [`PhaseProfiler::begin_step`] /
+    /// [`PhaseProfiler::add_cycles`].
+    pub fn stepped_cycles(&self) -> u64 {
+        self.stepped_cycles
+    }
+
+    /// Snapshots the accumulators into a [`PhaseReport`].
+    pub fn report(&self, label: impl Into<String>) -> PhaseReport {
+        let total_ns: u64 = self.acc.iter().sum();
+        let cycles = self.stepped_cycles.max(1);
+        let mut phases: Vec<PhaseStat> = Phase::ALL
+            .iter()
+            .filter(|p| self.acc[**p as usize] > 0)
+            .map(|&p| PhaseStat {
+                phase: p.name(),
+                ns: self.acc[p as usize],
+                share: self.acc[p as usize] as f64 / total_ns.max(1) as f64,
+                ns_per_cycle: self.acc[p as usize] as f64 / cycles as f64,
+            })
+            .collect();
+        phases.sort_by_key(|p| std::cmp::Reverse(p.ns));
+        PhaseReport {
+            label: label.into(),
+            total_ns,
+            stepped_cycles: self.stepped_cycles,
+            phases,
+            workers: Vec::new(),
+        }
+    }
+}
+
+/// One phase's cost in a [`PhaseReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase name (see [`Phase::name`]).
+    pub phase: &'static str,
+    /// Accumulated nanoseconds.
+    pub ns: u64,
+    /// Fraction of the report's `total_ns`.
+    pub share: f64,
+    /// Nanoseconds per stepped cycle (one-time phases are averaged
+    /// over the same cycle count; read them as totals instead).
+    pub ns_per_cycle: f64,
+}
+
+/// Where an engine's time went: per-phase totals, shares and
+/// per-cycle costs, with per-worker sub-reports for the sharded
+/// engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Engine label (e.g. `"compiled"`, `"sharded-compiled/4x16"`).
+    pub label: String,
+    /// Sum of all phase accumulators in nanoseconds.
+    pub total_ns: u64,
+    /// Cycles actually stepped (skipped cycles cost no time).
+    pub stepped_cycles: u64,
+    /// Non-zero phases, descending by time.
+    pub phases: Vec<PhaseStat>,
+    /// Per-worker sub-reports (sharded engines), in shard order.
+    pub workers: Vec<PhaseReport>,
+}
+
+impl PhaseReport {
+    /// Nanoseconds of the named phase (0 when absent).
+    pub fn ns_of(&self, phase: Phase) -> u64 {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase.name())
+            .map_or(0, |p| p.ns)
+    }
+
+    /// Share of the named phase (0.0 when absent).
+    pub fn share_of(&self, phase: Phase) -> f64 {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase.name())
+            .map_or(0.0, |p| p.share)
+    }
+
+    /// Nanoseconds spent inside the step loop: `total_ns` minus the
+    /// one-time `elaborate`/`lower` costs. This is what the "phases
+    /// cover ≥90% of wall time" invariant is measured against.
+    pub fn step_ns(&self) -> u64 {
+        self.total_ns - self.ns_of(Phase::Elaborate) - self.ns_of(Phase::Lower)
+    }
+
+    /// Renders the report as a text table (workers indented below the
+    /// aggregate).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "phase profile: {} ({} cycles stepped, {:.3} ms total)\n",
+            self.label,
+            self.stepped_cycles,
+            self.total_ns as f64 / 1e6
+        );
+        let mut t = TextTable::with_columns(&["phase", "time (ms)", "share", "ns/cycle"]);
+        for col in 1..4 {
+            t.align(col, Align::Right);
+        }
+        for p in &self.phases {
+            t.row(vec![
+                p.phase.to_string(),
+                format!("{:.3}", p.ns as f64 / 1e6),
+                format!("{:.1}%", p.share * 100.0),
+                format!("{:.1}", p.ns_per_cycle),
+            ]);
+        }
+        out.push_str(&t.to_string());
+        for w in &self.workers {
+            out.push('\n');
+            for line in w.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Hand-rolled JSON object (the workspace has no JSON
+    /// dependency), e.g. for the benchmark artifacts.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"label\":\"{}\",\"total_ns\":{},\"stepped_cycles\":{},\"phases\":[",
+            self.label, self.total_ns, self.stepped_cycles
+        );
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"phase\":\"{}\",\"ns\":{},\"share\":{:.6},\"ns_per_cycle\":{:.3}}}",
+                p.phase, p.ns, p.share, p.ns_per_cycle
+            ));
+        }
+        out.push_str("],\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&w.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Detects a run that has stopped making progress and latches one
+/// forensic [`StallReport`].
+///
+/// Progress is any change in the ledger's released/injected/delivered
+/// counters. The watchdog trips when packets are in flight and none
+/// of the three counters moved for
+/// [`StallConfig::no_progress_cycles`] consecutive cycles — an idle
+/// warm-up or a drained run never trips it. It trips at most once:
+/// the first forensic snapshot is the interesting one.
+#[derive(Debug, Clone)]
+pub struct StallWatchdog {
+    cfg: StallConfig,
+    last: (u64, u64, u64),
+    progress_at: u64,
+    report: Option<Box<StallReport>>,
+}
+
+impl StallWatchdog {
+    /// A watchdog with no progress observed yet.
+    pub fn new(cfg: StallConfig) -> Self {
+        StallWatchdog {
+            cfg,
+            last: (0, 0, 0),
+            progress_at: 0,
+            report: None,
+        }
+    }
+
+    /// Feeds one cycle's ledger counters. Returns `true` exactly once,
+    /// on the cycle the watchdog trips — the caller must then capture
+    /// a snapshot and [`StallWatchdog::latch`] it.
+    pub fn observe(
+        &mut self,
+        now: u64,
+        released: u64,
+        injected: u64,
+        delivered: u64,
+        in_flight: u64,
+    ) -> bool {
+        let counts = (released, injected, delivered);
+        if counts != self.last {
+            self.last = counts;
+            self.progress_at = now;
+            return false;
+        }
+        if in_flight == 0 {
+            self.progress_at = now;
+            return false;
+        }
+        self.report.is_none() && now.saturating_sub(self.progress_at) >= self.cfg.no_progress_cycles
+    }
+
+    /// Stores the forensic snapshot for the trip.
+    pub fn latch(&mut self, report: StallReport) {
+        self.report = Some(Box::new(report));
+    }
+
+    /// The latched report, when the watchdog tripped.
+    pub fn report(&self) -> Option<&StallReport> {
+        self.report.as_deref()
+    }
+}
+
+/// Downstream end of a [`WaitEdge`]'s chosen output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitDest {
+    /// The output's link feeds another switch's input port.
+    Switch {
+        /// Downstream switch index.
+        switch: u32,
+        /// Downstream input port index.
+        input: u32,
+    },
+    /// The output ejects into a receptor.
+    Receptor {
+        /// Receptor index.
+        index: u32,
+    },
+}
+
+/// One waiting input VC at stall time: what it holds, where it wants
+/// to go, and why it cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// Switch holding the flits.
+    pub switch: u32,
+    /// Input port of the waiting FIFO.
+    pub in_port: u32,
+    /// Input VC of the waiting FIFO.
+    pub in_vc: u8,
+    /// Output port the head wants (allocated worm or sticky choice).
+    pub out_port: u32,
+    /// Output VC the head wants.
+    pub out_vc: u8,
+    /// Link id the output drives — the (link, VC) the edge is starved
+    /// toward when `credits == 0`.
+    pub link: u32,
+    /// Buffered flits in the waiting FIFO.
+    pub occupancy: u32,
+    /// The FIFO's capacity.
+    pub fifo_depth: u32,
+    /// Credits left toward the downstream (link, VC).
+    pub credits: u32,
+    /// The credit cap of that output VC.
+    pub credit_cap: u32,
+    /// Whether this input VC holds the output VC's wormhole.
+    pub worm_open: bool,
+    /// Downstream end of the chosen output.
+    pub dest: WaitDest,
+}
+
+impl WaitEdge {
+    /// Whether the edge is waiting on credits (zero toward a finite
+    /// downstream buffer).
+    pub fn starved(&self) -> bool {
+        self.credits == 0 && self.credit_cap != CREDITS_INFINITE
+    }
+}
+
+/// One congested link in the stall snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedLink {
+    /// Link id.
+    pub link: u32,
+    /// Cumulative blocked cycles on that link.
+    pub blocked: u64,
+}
+
+/// The forensic snapshot latched by the [`StallWatchdog`]: every
+/// waiting edge, a downstream blame chain, and the most blocked
+/// links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallReport {
+    /// Cycle the watchdog tripped at.
+    pub at_cycle: u64,
+    /// The configured no-progress window.
+    pub window: u64,
+    /// Packets in flight at trip time.
+    pub in_flight: u64,
+    /// Waiting edges: credit-starved first, then by occupancy
+    /// descending, then by switch id.
+    pub edges: Vec<WaitEdge>,
+    /// Most blocked links (descending), from the engine's cumulative
+    /// congestion counters.
+    pub top_blocked: Vec<BlockedLink>,
+    /// Indices into `edges` forming the blame chain: starts at the
+    /// worst starved edge and follows each edge's flits downstream
+    /// until ejection, a cycle, or an edge with no successor.
+    pub chain: Vec<usize>,
+}
+
+impl StallReport {
+    /// Sorts the edges, computes the blame chain, and assembles the
+    /// report.
+    pub fn new(
+        at_cycle: u64,
+        window: u64,
+        in_flight: u64,
+        mut edges: Vec<WaitEdge>,
+        top_blocked: Vec<BlockedLink>,
+    ) -> Self {
+        edges.sort_by_key(|e| {
+            (
+                !e.starved(),
+                std::cmp::Reverse(e.occupancy),
+                e.switch,
+                e.in_port,
+                e.in_vc,
+            )
+        });
+        let chain = blame_chain(&edges);
+        StallReport {
+            at_cycle,
+            window,
+            in_flight,
+            edges,
+            top_blocked,
+            chain,
+        }
+    }
+
+    /// Number of credit-starved edges.
+    pub fn starved_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.starved()).count()
+    }
+
+    /// The blame chain's edges, in chain order.
+    pub fn chain_edges(&self) -> impl Iterator<Item = &WaitEdge> {
+        self.chain.iter().map(|&i| &self.edges[i])
+    }
+
+    /// Renders the human-readable blame-chain report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "stall watchdog: no progress for {} cycles at cycle {} ({} packets in flight)\n",
+            self.window, self.at_cycle, self.in_flight
+        );
+        out.push_str("blame chain:\n");
+        for e in self.chain_edges() {
+            out.push_str(&format!("  {}\n", render_edge(e)));
+        }
+        if self.chain.is_empty() {
+            out.push_str("  (no waiting edges captured)\n");
+        }
+        out.push_str(&format!(
+            "waiting edges: {} ({} credit-starved)\n",
+            self.edges.len(),
+            self.starved_count()
+        ));
+        if !self.top_blocked.is_empty() {
+            out.push_str("top blocked links:");
+            for b in &self.top_blocked {
+                out.push_str(&format!(" link{} ({})", b.link, b.blocked));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One JSON object per line: a header, then every edge (chain
+    /// position attached where applicable), then the blocked links.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!(
+            "{{\"kind\":\"stall\",\"at_cycle\":{},\"window\":{},\"in_flight\":{},\
+             \"edges\":{},\"starved\":{}}}\n",
+            self.at_cycle,
+            self.window,
+            self.in_flight,
+            self.edges.len(),
+            self.starved_count()
+        );
+        for (i, e) in self.edges.iter().enumerate() {
+            let dest = match e.dest {
+                WaitDest::Switch { switch, input } => {
+                    format!("\"dest_switch\":{switch},\"dest_input\":{input}")
+                }
+                WaitDest::Receptor { index } => format!("\"dest_receptor\":{index}"),
+            };
+            let chain_pos = self
+                .chain
+                .iter()
+                .position(|&c| c == i)
+                .map_or(String::new(), |p| format!(",\"chain_pos\":{p}"));
+            out.push_str(&format!(
+                "{{\"kind\":\"edge\",\"switch\":{},\"in_port\":{},\"in_vc\":{},\
+                 \"out_port\":{},\"out_vc\":{},\"link\":{},\"occupancy\":{},\
+                 \"fifo_depth\":{},\"credits\":{},\"worm_open\":{},\
+                 \"starved\":{},{dest}{chain_pos}}}\n",
+                e.switch,
+                e.in_port,
+                e.in_vc,
+                e.out_port,
+                e.out_vc,
+                e.link,
+                e.occupancy,
+                e.fifo_depth,
+                e.credits,
+                e.worm_open,
+                e.starved(),
+            ));
+        }
+        for b in &self.top_blocked {
+            out.push_str(&format!(
+                "{{\"kind\":\"blocked-link\",\"link\":{},\"blocked\":{}}}\n",
+                b.link, b.blocked
+            ));
+        }
+        out
+    }
+}
+
+fn render_edge(e: &WaitEdge) -> String {
+    let cap = if e.credit_cap == CREDITS_INFINITE {
+        "inf".to_string()
+    } else {
+        e.credit_cap.to_string()
+    };
+    let dest = match e.dest {
+        WaitDest::Switch { switch, .. } => format!("s{switch}"),
+        WaitDest::Receptor { index } => format!("tr{index} (ejection)"),
+    };
+    format!(
+        "s{} in{}/vc{} -> out{}/vc{} link{} -> {}: credits {}/{}, fifo {}/{}{}",
+        e.switch,
+        e.in_port,
+        e.in_vc,
+        e.out_port,
+        e.out_vc,
+        e.link,
+        dest,
+        e.credits,
+        cap,
+        e.occupancy,
+        e.fifo_depth,
+        if e.worm_open { ", worm open" } else { "" }
+    )
+}
+
+/// Follows the worst waiting edge downstream: the next hop is the
+/// edge at the destination switch whose input (port, VC) receives
+/// this edge's flits. Stops at an ejection, a missing successor, or a
+/// previously visited edge (a cyclic dependency — classic deadlock).
+fn blame_chain(edges: &[WaitEdge]) -> Vec<usize> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let mut chain = vec![0];
+    let mut visited = vec![false; edges.len()];
+    visited[0] = true;
+    loop {
+        let e = &edges[*chain.last().expect("chain starts non-empty")];
+        let WaitDest::Switch { switch, input } = e.dest else {
+            break;
+        };
+        let next = edges
+            .iter()
+            .position(|f| f.switch == switch && f.in_port == input && f.in_vc == e.out_vc);
+        match next {
+            Some(i) if !visited[i] => {
+                visited[i] = true;
+                chain.push(i);
+            }
+            _ => break,
+        }
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_are_chained_and_sum_to_the_step() {
+        let mut p = PhaseProfiler::new();
+        let t = p.begin_step();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t = p.lap(t, Phase::Decide);
+        let _ = p.lap(t, Phase::Commit);
+        assert!(p.ns(Phase::Decide) >= 2_000_000);
+        assert_eq!(p.stepped_cycles(), 1);
+        let r = p.report("x");
+        assert_eq!(r.total_ns, p.ns(Phase::Decide) + p.ns(Phase::Commit));
+        assert_eq!(r.step_ns(), r.total_ns);
+    }
+
+    #[test]
+    fn nested_time_is_carved_out_of_the_enclosing_lap() {
+        let mut p = PhaseProfiler::new();
+        let t = p.begin_step();
+        let inner = p.begin();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.nested(inner, Phase::Ledger);
+        let _ = p.lap(t, Phase::Commit);
+        assert!(p.ns(Phase::Ledger) >= 2_000_000);
+        assert!(
+            p.ns(Phase::Commit) < p.ns(Phase::Ledger),
+            "commit keeps only the non-ledger remainder"
+        );
+    }
+
+    #[test]
+    fn report_sorts_shares_and_serializes() {
+        let mut p = PhaseProfiler::new();
+        p.add_cycles(10);
+        p.add_ns(Phase::Decide, 300);
+        p.add_ns(Phase::Commit, 700);
+        let r = p.report("unit");
+        assert_eq!(r.phases[0].phase, "commit");
+        assert!((r.phases[0].share - 0.7).abs() < 1e-9);
+        assert!((r.phases[1].ns_per_cycle - 30.0).abs() < 1e-9);
+        let json = r.to_json();
+        nocem_telemetry::validate_json(&json).unwrap();
+        assert!(json.contains("\"phase\":\"commit\""));
+        assert!(r.render().contains("decide"));
+    }
+
+    #[test]
+    fn watchdog_trips_once_after_the_window() {
+        let mut w = StallWatchdog::new(StallConfig {
+            no_progress_cycles: 10,
+        });
+        assert!(!w.observe(0, 1, 1, 0, 1));
+        for c in 1..10 {
+            assert!(!w.observe(c, 1, 1, 0, 1), "cycle {c}");
+        }
+        assert!(w.observe(10, 1, 1, 0, 1));
+        w.latch(StallReport::new(10, 10, 1, Vec::new(), Vec::new()));
+        assert!(!w.observe(11, 1, 1, 0, 1), "latched: never trips again");
+        assert!(w.report().is_some());
+    }
+
+    #[test]
+    fn watchdog_ignores_idle_and_progressing_runs() {
+        let mut w = StallWatchdog::new(StallConfig {
+            no_progress_cycles: 5,
+        });
+        // In-flight zero: an idle gap, not a stall.
+        for c in 0..50 {
+            assert!(!w.observe(c, 3, 3, 3, 0));
+        }
+        // Progress every 4 cycles: never trips.
+        let mut delivered = 3;
+        for c in 50..100 {
+            if c % 4 == 0 {
+                delivered += 1;
+            }
+            assert!(!w.observe(c, 9, 9, delivered, 2));
+        }
+    }
+
+    fn edge(switch: u32, in_port: u32, out_vc: u8, credits: u32, dest: WaitDest) -> WaitEdge {
+        WaitEdge {
+            switch,
+            in_port,
+            in_vc: out_vc,
+            out_port: 0,
+            out_vc,
+            link: 100 + switch,
+            occupancy: 4,
+            fifo_depth: 4,
+            credits,
+            credit_cap: 4,
+            worm_open: true,
+            dest,
+        }
+    }
+
+    #[test]
+    fn blame_chain_follows_credit_starvation_downstream() {
+        let edges = vec![
+            edge(
+                12,
+                1,
+                1,
+                0,
+                WaitDest::Switch {
+                    switch: 13,
+                    input: 1,
+                },
+            ),
+            edge(13, 1, 1, 0, WaitDest::Receptor { index: 2 }),
+            edge(
+                7,
+                0,
+                0,
+                2,
+                WaitDest::Switch {
+                    switch: 12,
+                    input: 1,
+                },
+            ),
+        ];
+        let r = StallReport::new(
+            1000,
+            100,
+            5,
+            edges,
+            vec![BlockedLink {
+                link: 112,
+                blocked: 9,
+            }],
+        );
+        let chain: Vec<u32> = r.chain_edges().map(|e| e.switch).collect();
+        assert_eq!(
+            chain,
+            [12, 13],
+            "starved edges sort first and chain downstream"
+        );
+        let text = r.render();
+        assert!(text.contains("s12 in1/vc1"));
+        assert!(text.contains("link112"));
+        assert!(text.contains("tr2 (ejection)"));
+        let jsonl = r.to_jsonl();
+        for line in jsonl.lines() {
+            nocem_telemetry::validate_json(line).unwrap();
+        }
+        assert!(jsonl.contains("\"chain_pos\":0"));
+    }
+
+    #[test]
+    fn blame_chain_detects_cycles() {
+        let edges = vec![
+            edge(
+                1,
+                0,
+                0,
+                0,
+                WaitDest::Switch {
+                    switch: 2,
+                    input: 0,
+                },
+            ),
+            edge(
+                2,
+                0,
+                0,
+                0,
+                WaitDest::Switch {
+                    switch: 1,
+                    input: 0,
+                },
+            ),
+        ];
+        let r = StallReport::new(0, 1, 1, edges, Vec::new());
+        assert_eq!(r.chain.len(), 2, "cycle visits each edge once");
+    }
+}

@@ -88,6 +88,7 @@ use crate::clock::{ClockMode, EngineSummary, SteppableEngine};
 use crate::compile::{elaborate, Elaboration, InSource, OutTarget, ReceptorDevice};
 use crate::config::{EngineKind, PlatformConfig};
 use crate::error::{CompileError, EmulationError};
+use crate::profile::{Phase, PhaseProfiler, PhaseReport};
 use crate::results::{EmulationResults, ReceptorSummary};
 use nocem_common::flit::{Flit, PacketDescriptor};
 use nocem_common::ids::{EndpointId, LinkId, PacketId, PortId, SwitchId, VcId};
@@ -96,7 +97,7 @@ use nocem_stats::congestion::CongestionCounter;
 use nocem_stats::latency::LatencyAnalyzer;
 use nocem_stats::ledger::PacketLedger;
 use nocem_switch::switch::Switch;
-use nocem_telemetry::{Collector, CumulativeProbe};
+use nocem_telemetry::{Collector, CumulativeProbe, SpanBuffer, SpanEvent, SpanTrace};
 use nocem_topology::partition::{GridStripes, Partition, PartitionMap};
 use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
 use nocem_traffic::ni::SourceNi;
@@ -105,6 +106,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Barrier};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Commands the coordinator sends to every worker.
 enum Cmd {
@@ -124,6 +126,9 @@ enum Cmd {
     /// single-threaded engine's end-of-cycle state (every boundary
     /// flit and credit was drained before the last report).
     Probe,
+    /// Report the shard's self-profiling state (phase accumulators
+    /// and span buffer). Only sent when profiling is configured.
+    Profile,
     /// Exit the worker loop.
     Shutdown,
 }
@@ -178,10 +183,20 @@ struct Snapshot {
     receptors: Vec<(usize, ReceptorDevice)>,
 }
 
+/// One worker's self-profiling payload: its phase accumulators plus a
+/// copy of its span buffer. Copies, not drains — the worker keeps
+/// accumulating, so the coordinator may ask again later in the run.
+struct WorkerProfile {
+    profiler: PhaseProfiler,
+    spans: Vec<SpanEvent>,
+    dropped: u64,
+}
+
 enum Report {
     Cycle(Box<CycleReport>),
     Snapshot(Box<Snapshot>),
     Probe(Box<CumulativeProbe>),
+    Profile(Box<WorkerProfile>),
 }
 
 /// Where a shard-local switch output leads.
@@ -284,6 +299,12 @@ struct Worker {
     /// worker has read the cycle `t` flags.
     slots: Arc<Vec<AtomicU8>>,
     barrier: Arc<Barrier>,
+    /// Worker-side phase accumulators (compute vs. barrier vs.
+    /// boundary exchange), present when profiling is configured.
+    profiler: Option<PhaseProfiler>,
+    /// Worker-side span timeline on this shard's track, timed against
+    /// the coordinator's epoch.
+    spans: Option<SpanBuffer>,
     cmd_rx: Receiver<Cmd>,
     rep_tx: Sender<Report>,
 }
@@ -336,6 +357,20 @@ impl Worker {
                         break;
                     }
                 }
+                Cmd::Profile => {
+                    let (spans, dropped) = self
+                        .spans
+                        .clone()
+                        .map_or((Vec::new(), 0), SpanBuffer::into_parts);
+                    let profile = Box::new(WorkerProfile {
+                        profiler: self.profiler.clone().unwrap_or_default(),
+                        spans,
+                        dropped,
+                    });
+                    if self.rep_tx.send(Report::Profile(profile)).is_err() {
+                        break;
+                    }
+                }
                 Cmd::Shutdown => break,
             }
         }
@@ -379,9 +414,15 @@ impl Worker {
         use std::panic::{catch_unwind, AssertUnwindSafe};
 
         let shard = self.shard;
+        let mut t = self.profiler.as_mut().map(|p| {
+            p.add_cycles(1);
+            p.begin()
+        });
         let ticked = catch_unwind(AssertUnwindSafe(|| self.tick_phase(now, skip_from)));
+        self.lap(&mut t, Phase::WorkerCompute);
         // Id barrier: release flags of every shard are published.
         self.barrier.wait();
+        self.lap(&mut t, Phase::Barrier);
         let (accepted, stalled_delta, mut err) = match ticked {
             Ok((accepted, stalled)) => (accepted, stalled, None),
             Err(payload) => (Vec::new(), 0, Some(panic_fault(shard, &payload))),
@@ -399,6 +440,8 @@ impl Worker {
         if err.is_none() {
             err = out.error.take();
         }
+        self.lap(&mut t, Phase::WorkerCompute);
+        let exchange_start = t;
 
         // Batched exchange: exactly one message per neighbor shard,
         // even on an error cycle (a partial buffer is fine — the run
@@ -427,6 +470,10 @@ impl Worker {
                 }
             }
         };
+        self.lap(&mut t, Phase::Exchange);
+        if let (Some(s), Some(buf)) = (exchange_start, self.spans.as_mut()) {
+            buf.record("exchange", s, now.raw());
+        }
         CycleReport {
             releases: out.releases,
             injects: out.injects,
@@ -434,6 +481,14 @@ impl Worker {
             stalled_delta,
             status,
             error: err,
+        }
+    }
+
+    /// Closes `phase` on the chained profiling timestamp, advancing it
+    /// to now. A no-op (one `Option` check) when profiling is off.
+    fn lap(&mut self, t: &mut Option<Instant>, phase: Phase) {
+        if let (Some(prev), Some(p)) = (t.as_mut(), self.profiler.as_mut()) {
+            *prev = p.lap(*prev, phase);
         }
     }
 
@@ -742,6 +797,11 @@ pub struct ShardedEngine {
     poisoned: bool,
     /// A run error was returned: further steps are refused.
     failed: bool,
+    /// Coordinator-side phase accumulators, when profiling is on.
+    profiler: Option<PhaseProfiler>,
+    /// Coordinator-side span timeline on the
+    /// [`SpanEvent::COORDINATOR`] track.
+    spans: Option<SpanBuffer>,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -908,6 +968,21 @@ impl ShardedEngine {
             boundary_txs.push(txs);
         }
 
+        // One shared epoch for every thread's span timeline, and the
+        // coordinator's accumulators seeded with the elaboration cost.
+        let epoch = Instant::now();
+        let elaborate_ns = elab.elaborate_ns;
+        let profile = elab.config.profile;
+        let profiler = profile.map(|_| {
+            let mut p = PhaseProfiler::new();
+            p.add_ns(Phase::Elaborate, elaborate_ns);
+            p
+        });
+        let spans = profile.and_then(|p| {
+            p.spans
+                .then(|| SpanBuffer::new(epoch, SpanEvent::COORDINATOR, p.span_capacity))
+        });
+
         // Distribute the elaborated components.
         let Elaboration {
             config,
@@ -1060,6 +1135,11 @@ impl ShardedEngine {
                 num_vcs,
                 slots: Arc::clone(&slots),
                 barrier: Arc::clone(&barrier),
+                profiler: profile.map(|_| PhaseProfiler::new()),
+                spans: profile.and_then(|p| {
+                    p.spans
+                        .then(|| SpanBuffer::new(epoch, k as u32, p.span_capacity))
+                }),
                 cmd_rx,
                 rep_tx,
             };
@@ -1095,6 +1175,8 @@ impl ShardedEngine {
             cycles_skipped: 0,
             poisoned: false,
             failed: false,
+            profiler,
+            spans,
         }
     }
 
@@ -1143,6 +1225,7 @@ impl ShardedEngine {
                 reason: "engine already failed; state is inconsistent".into(),
             });
         }
+        let mut t = self.profiler.as_mut().map(PhaseProfiler::begin_step);
 
         // Cross-shard clock gating: fast-forward to the event horizon
         // (the min next-event over all shards), clamped to the cycle
@@ -1162,6 +1245,7 @@ impl ShardedEngine {
                 self.now = Cycle::new(target);
             }
         }
+        self.lap(&mut t, Phase::FastForward);
 
         // Probe after any fast-forward, before the cycle executes:
         // worker counters then cover exactly [0, now), matching every
@@ -1179,6 +1263,7 @@ impl ShardedEngine {
                 .expect("presence checked above")
                 .record(at, &probe);
         }
+        self.lap(&mut t, Phase::Probe);
         let now = self.now;
 
         for k in 0..self.workers.len() {
@@ -1213,6 +1298,8 @@ impl ShardedEngine {
             self.stalled += report.stalled_delta;
             self.status[k] = report.status;
         }
+        self.lap(&mut t, Phase::CoordWait);
+        let apply_start = t;
         if let Some(e) = first_error {
             self.failed = true;
             return Err(e);
@@ -1245,6 +1332,10 @@ impl ShardedEngine {
         }
 
         self.now = now.next();
+        self.lap(&mut t, Phase::Apply);
+        if let (Some(s), Some(buf)) = (apply_start, self.spans.as_mut()) {
+            buf.record("apply", s, now.raw());
+        }
         if self.now.raw() > self.config.stop.cycle_limit {
             self.failed = true;
             return Err(EmulationError::CycleLimitExceeded {
@@ -1253,6 +1344,34 @@ impl ShardedEngine {
             });
         }
         Ok(())
+    }
+
+    /// Closes `phase` on the chained profiling timestamp, advancing it
+    /// to now. A no-op (one `Option` check) when profiling is off.
+    fn lap(&mut self, t: &mut Option<Instant>, phase: Phase) {
+        if let (Some(prev), Some(p)) = (t.as_mut(), self.profiler.as_mut()) {
+            *prev = p.lap(*prev, phase);
+        }
+    }
+
+    /// Fetches every worker's profiling payload, in shard order.
+    /// Best-effort: stops at the first dead worker and returns
+    /// nothing after a failure (dead workers cannot be queried).
+    fn worker_profiles(&mut self) -> Vec<WorkerProfile> {
+        if self.failed {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.workers.len());
+        for k in 0..self.workers.len() {
+            if self.workers[k].cmd.send(Cmd::Profile).is_err() {
+                break;
+            }
+            match self.workers[k].rep.recv() {
+                Ok(Report::Profile(p)) => out.push(*p),
+                Ok(_) | Err(_) => break,
+            }
+        }
+        out
     }
 
     fn fail(&mut self, e: EmulationError) -> EmulationError {
@@ -1499,6 +1618,31 @@ impl SteppableEngine for ShardedEngine {
 
     fn seal_telemetry(&mut self) {
         ShardedEngine::seal_telemetry(self);
+    }
+
+    fn profile(&mut self) -> Option<PhaseReport> {
+        self.profiler.as_ref()?;
+        let wps = self.worker_profiles();
+        let mut agg = self.profiler.clone().expect("checked above");
+        let mut workers = Vec::with_capacity(wps.len());
+        for (k, wp) in wps.iter().enumerate() {
+            agg.absorb(&wp.profiler);
+            workers.push(wp.profiler.report(format!("shard-{k}")));
+        }
+        let mut report = agg.report(format!("sharded/{}", self.workers.len()));
+        report.workers = workers;
+        Some(report)
+    }
+
+    fn span_trace(&mut self) -> Option<SpanTrace> {
+        self.spans.as_ref()?;
+        let mut parts: Vec<(Vec<SpanEvent>, u64)> = self
+            .worker_profiles()
+            .into_iter()
+            .map(|wp| (wp.spans, wp.dropped))
+            .collect();
+        parts.push(self.spans.clone().expect("checked above").into_parts());
+        Some(SpanTrace::merge(parts))
     }
 }
 

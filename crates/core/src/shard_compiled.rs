@@ -83,7 +83,7 @@
 //! inside each worker's TGs exactly like the interpreted sharded
 //! engine does.
 
-use crate::clock::{ClockMode, EngineSummary, SteppableEngine};
+use crate::clock::{ClockMode, EngineSummary, EngineWarning, SteppableEngine};
 use crate::compile::{
     elaborate, Elaboration, LoweredInFeed, LoweredOutDest, LoweredPlatform, OutTarget,
     ReceptorDevice, HANDLE_IDX, HANDLE_TAIL, LOWERED_NONE, SLOT_NONE,
@@ -91,6 +91,7 @@ use crate::compile::{
 use crate::compiled::CompiledEngine;
 use crate::config::{EngineKind, PlatformConfig};
 use crate::error::{CompileError, EmulationError};
+use crate::profile::{Phase, PhaseProfiler, PhaseReport};
 use crate::results::{EmulationResults, ReceptorSummary};
 use crate::shard::{panic_fault, ShardStatus};
 use nocem_common::flit::{Flit, PacketDescriptor};
@@ -101,12 +102,13 @@ use nocem_stats::latency::LatencyAnalyzer;
 use nocem_stats::ledger::PacketLedger;
 use nocem_stats::receptor::CompletedPacket;
 use nocem_switch::switch::CREDITS_INFINITE;
-use nocem_telemetry::{Collector, CumulativeProbe};
+use nocem_telemetry::{Collector, CumulativeProbe, SpanBuffer, SpanEvent, SpanTrace};
 use nocem_topology::partition::{GridStripes, Partition, PartitionMap};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Provisional packet ids carry this flag plus the shard in bits
 /// 48..63 and a shard-local sequence below — far above any id the
@@ -211,6 +213,9 @@ enum Cmd {
     Collect,
     /// Report the shard's cumulative telemetry counters.
     Probe,
+    /// Report the shard's self-profiling state (phase accumulators
+    /// and span buffer). Only sent when profiling is configured.
+    Profile,
     /// Exit the worker loop.
     Shutdown,
 }
@@ -228,10 +233,21 @@ struct Snapshot {
     receptors: Vec<(usize, ReceptorDevice)>,
 }
 
+/// One worker's self-profiling payload: its phase accumulators (with
+/// the worker-side elaborate/lower seeds) plus a copy of its span
+/// buffer. Copies, not drains — the worker keeps accumulating, so the
+/// coordinator may ask again later in the run.
+struct WorkerProfile {
+    profiler: PhaseProfiler,
+    spans: Vec<SpanEvent>,
+    dropped: u64,
+}
+
 enum Report {
     Window(Vec<CycleEntry>),
     Snapshot(Box<Snapshot>),
     Probe(Box<CumulativeProbe>),
+    Profile(Box<WorkerProfile>),
 }
 
 /// One persistent worker: a full-shape [`CompiledEngine`] (built from
@@ -271,6 +287,12 @@ struct Worker {
     /// (empty sends, discarding receives) so neighbours never block,
     /// but step nothing further.
     dead: bool,
+    /// Worker-side phase accumulators (owned-slice compute vs.
+    /// boundary exchange), present when profiling is configured.
+    profiler: Option<PhaseProfiler>,
+    /// Worker-side span timeline on this shard's track, timed against
+    /// the coordinator's epoch.
+    spans: Option<SpanBuffer>,
     cmd_rx: Receiver<Cmd>,
     rep_tx: Sender<Report>,
 }
@@ -301,8 +323,30 @@ impl Worker {
                         return;
                     }
                 }
+                Cmd::Profile => {
+                    let (spans, dropped) = self
+                        .spans
+                        .clone()
+                        .map_or((Vec::new(), 0), SpanBuffer::into_parts);
+                    let profile = Box::new(WorkerProfile {
+                        profiler: self.profiler.clone().unwrap_or_default(),
+                        spans,
+                        dropped,
+                    });
+                    if self.rep_tx.send(Report::Profile(profile)).is_err() {
+                        return;
+                    }
+                }
                 Cmd::Shutdown => return,
             }
+        }
+    }
+
+    /// Closes `phase` on the chained profiling timestamp, advancing it
+    /// to now. A no-op (one `Option` check) when profiling is off.
+    fn lap(&mut self, t: &mut Option<Instant>, phase: Phase) {
+        if let (Some(prev), Some(p)) = (t.as_mut(), self.profiler.as_mut()) {
+            *prev = p.lap(*prev, phase);
         }
     }
 
@@ -310,6 +354,7 @@ impl Worker {
     /// one boundary message per neighbour, receive and replay one per
     /// in-neighbour, then record the end-of-cycle status.
     fn window(&mut self, start: Cycle, len: u64, skip_from: Option<Cycle>) -> Vec<CycleEntry> {
+        let win_start = self.spans.as_ref().map(|_| Instant::now());
         let mut entries = Vec::with_capacity(len as usize);
         for j in 0..len {
             let now = Cycle::new(start.raw() + j);
@@ -320,6 +365,10 @@ impl Worker {
             }
             let skip = if j == 0 { skip_from } else { None };
             let mut entry = CycleEntry::new();
+            let mut t = self.profiler.as_mut().map(|p| {
+                p.add_cycles(1);
+                p.begin()
+            });
             let computed = catch_unwind(AssertUnwindSafe(|| {
                 self.compute_cycle(now, skip, &mut entry)
             }));
@@ -328,9 +377,14 @@ impl Worker {
                 Ok(Err(e)) => entry.error = Some(e),
                 Err(payload) => entry.error = Some(panic_fault(self.shard, &payload)),
             }
+            self.lap(&mut t, Phase::WorkerCompute);
+            // The exchange section: everything from here to the end of
+            // replay is boundary synchronization, not compute.
+            let exchange_start = t;
             // One message per neighbour per cycle, no matter what —
             // possibly partial on error, the cadence is what matters.
             self.send_bufs(now);
+            let replay_start = self.spans.as_ref().map(|_| Instant::now());
             if entry.error.is_none() {
                 let replayed = catch_unwind(AssertUnwindSafe(|| self.recv_replay(now)));
                 match replayed {
@@ -341,10 +395,20 @@ impl Worker {
             } else {
                 self.recv_discard();
             }
+            if let (Some(s), Some(buf)) = (replay_start, self.spans.as_mut()) {
+                buf.record("replay", s, now.raw());
+            }
+            self.lap(&mut t, Phase::Exchange);
+            if let (Some(s), Some(buf)) = (exchange_start, self.spans.as_mut()) {
+                buf.record("exchange", s, now.raw());
+            }
             if entry.error.is_some() {
                 self.dead = true;
             }
             entries.push(entry);
+        }
+        if let (Some(s), Some(buf)) = (win_start, self.spans.as_mut()) {
+            buf.record("window", s, start.raw());
         }
         entries
     }
@@ -876,6 +940,14 @@ pub struct ShardedCompiledEngine {
     window: VecDeque<Vec<CycleEntry>>,
     poisoned: bool,
     failed: bool,
+    /// Structured warnings raised while coming up (the gated batch
+    /// clamp).
+    warnings: Vec<EngineWarning>,
+    /// Coordinator-side phase accumulators, when profiling is on.
+    profiler: Option<PhaseProfiler>,
+    /// Coordinator-side span timeline on the
+    /// [`SpanEvent::COORDINATOR`] track.
+    spans: Option<SpanBuffer>,
 }
 
 impl std::fmt::Debug for ShardedCompiledEngine {
@@ -959,11 +1031,9 @@ impl ShardedCompiledEngine {
             "partition map does not match the topology"
         );
         let mut batch = batch.max(1);
+        let mut warnings = Vec::new();
         if elab.config.clock_mode == ClockMode::Gated && batch > 1 {
-            eprintln!(
-                "nocem: clock gating needs a per-cycle cross-shard horizon; \
-                 clamping sharded-compiled batch {batch} to 1"
-            );
+            warnings.push(EngineWarning::GatedBatchClamp { requested: batch });
             batch = 1;
         }
         let shards = map.shards();
@@ -1036,7 +1106,21 @@ impl ShardedCompiledEngine {
             }
         }
 
+        // One shared epoch for every thread's span timeline.
+        let epoch = Instant::now();
+        let lower_start = Instant::now();
         let low = crate::compile::lower(&elab);
+        let lower_ns = u64::try_from(lower_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let profiler = elab.config.profile.map(|_| {
+            let mut p = PhaseProfiler::new();
+            p.add_ns(Phase::Elaborate, elab.elaborate_ns);
+            p.add_ns(Phase::Lower, lower_ns);
+            p
+        });
+        let spans = elab.config.profile.and_then(|p| {
+            p.spans
+                .then(|| SpanBuffer::new(epoch, SpanEvent::COORDINATOR, p.span_capacity))
+        });
         let injection_links = elab.wiring.injection.iter().map(|&(_, _, l)| l).collect();
         let receptor_count = topo.receptors().len();
         let num_vcs = usize::from(elab.config.switch.num_vcs);
@@ -1073,6 +1157,7 @@ impl ShardedCompiledEngine {
                         nbr_list,
                         out_txs,
                         in_rxs,
+                        epoch,
                         cmd_rx,
                         rep_tx,
                     )
@@ -1107,6 +1192,9 @@ impl ShardedCompiledEngine {
             window: VecDeque::new(),
             poisoned: false,
             failed: false,
+            warnings,
+            profiler,
+            spans,
         }
     }
 
@@ -1173,15 +1261,31 @@ impl ShardedCompiledEngine {
                 reason: "engine already failed; state is inconsistent".into(),
             });
         }
+        let mut t = self.profiler.as_mut().map(PhaseProfiler::begin_step);
         if self.window.is_empty() {
-            self.start_window()?;
+            let round_start = t;
+            self.start_window(&mut t)?;
+            if let (Some(s), Some(buf)) = (round_start, self.spans.as_mut()) {
+                buf.record("round", s, self.now.raw());
+            }
         }
-        self.apply_cycle()
+        let r = self.apply_cycle();
+        self.lap(&mut t, Phase::Apply);
+        r
+    }
+
+    /// Closes `phase` on the chained profiling timestamp, advancing it
+    /// to now. A no-op (one `Option` check) when profiling is off.
+    fn lap(&mut self, t: &mut Option<Instant>, phase: Phase) {
+        if let (Some(prev), Some(p)) = (t.as_mut(), self.profiler.as_mut()) {
+            *prev = p.lap(*prev, phase);
+        }
     }
 
     /// Gates, probes, sizes and issues one window, then buffers every
-    /// worker's cycle entries.
-    fn start_window(&mut self) -> Result<(), EmulationError> {
+    /// worker's cycle entries. `t` is the coordinator's chained
+    /// profiling timestamp (`None` when profiling is off).
+    fn start_window(&mut self, t: &mut Option<Instant>) -> Result<(), EmulationError> {
         // Cross-shard clock gating (batch is clamped to 1 in gated
         // mode, so this is a per-cycle decision exactly like the
         // interpreted sharded engine's).
@@ -1200,6 +1304,7 @@ impl ShardedCompiledEngine {
                 self.now = Cycle::new(target);
             }
         }
+        self.lap(t, Phase::FastForward);
         if self
             .telemetry
             .as_ref()
@@ -1212,6 +1317,7 @@ impl ShardedCompiledEngine {
                 .expect("presence checked above")
                 .record(at, &probe);
         }
+        self.lap(t, Phase::Probe);
         let start = self.now;
         let len = self.window_len(start);
         for k in 0..self.workers.len() {
@@ -1243,6 +1349,7 @@ impl ShardedCompiledEngine {
             }
         }
         self.window.extend(rows);
+        self.lap(t, Phase::CoordWait);
         Ok(())
     }
 
@@ -1381,6 +1488,26 @@ impl ShardedCompiledEngine {
     /// The windowed telemetry collector, when enabled.
     pub fn telemetry(&self) -> Option<&Collector> {
         self.telemetry.as_ref()
+    }
+
+    /// Fetches every worker's profiling payload, in shard order.
+    /// Best-effort: stops at the first dead worker and returns
+    /// nothing after a failure (dead workers cannot be queried).
+    fn worker_profiles(&mut self) -> Vec<WorkerProfile> {
+        if self.failed {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.workers.len());
+        for k in 0..self.workers.len() {
+            if self.workers[k].cmd.send(Cmd::Profile).is_err() {
+                break;
+            }
+            match self.workers[k].rep.recv() {
+                Ok(Report::Profile(p)) => out.push(*p),
+                Ok(_) | Err(_) => break,
+            }
+        }
+        out
     }
 
     /// Seals the collector, flushing the trailing partial window. A
@@ -1590,6 +1717,7 @@ impl SteppableEngine for ShardedCompiledEngine {
             self.delivered_flits,
             &self.ledger,
         )
+        .with_warnings(&self.warnings)
     }
 
     fn packet_ledger(&self) -> PacketLedger {
@@ -1602,6 +1730,39 @@ impl SteppableEngine for ShardedCompiledEngine {
 
     fn seal_telemetry(&mut self) {
         ShardedCompiledEngine::seal_telemetry(self);
+    }
+
+    fn profile(&mut self) -> Option<PhaseReport> {
+        self.profiler.as_ref()?;
+        let wps = self.worker_profiles();
+        let mut agg = self.profiler.clone().expect("checked above");
+        let mut workers = Vec::with_capacity(wps.len());
+        for (k, wp) in wps.iter().enumerate() {
+            agg.absorb(&wp.profiler);
+            workers.push(wp.profiler.report(format!("shard-{k}")));
+        }
+        let mut report = agg.report(format!(
+            "sharded-compiled/{}x{}",
+            self.workers.len(),
+            self.batch
+        ));
+        report.workers = workers;
+        Some(report)
+    }
+
+    fn span_trace(&mut self) -> Option<SpanTrace> {
+        self.spans.as_ref()?;
+        let mut parts: Vec<(Vec<SpanEvent>, u64)> = self
+            .worker_profiles()
+            .into_iter()
+            .map(|wp| (wp.spans, wp.dropped))
+            .collect();
+        parts.push(self.spans.clone().expect("checked above").into_parts());
+        Some(SpanTrace::merge(parts))
+    }
+
+    fn warnings(&self) -> &[EngineWarning] {
+        &self.warnings
     }
 }
 
@@ -1617,6 +1778,7 @@ fn spawn_worker(
     nbr_list: Vec<usize>,
     out_txs: Vec<Sender<NeighborMsg>>,
     in_rxs: Vec<Receiver<NeighborMsg>>,
+    epoch: Instant,
     cmd_rx: Receiver<Cmd>,
     rep_tx: Sender<Report>,
 ) -> Worker {
@@ -1625,6 +1787,17 @@ fn spawn_worker(
     // The coordinator owns windowed telemetry; the worker only ever
     // serves cumulative probes.
     eng.telemetry = None;
+    // The worker drives the flat arrays directly, never `eng.step()`,
+    // so the inner engine's profiler and watchdog would stay silent:
+    // take the profiler (it carries this thread's elaborate/lower
+    // seeds) and drop the watchdog (stall detection is per-platform,
+    // a coordinator concern).
+    let profiler = eng.profiler.take();
+    eng.watchdog = None;
+    let spans = config.profile.and_then(|p| {
+        p.spans
+            .then(|| SpanBuffer::new(epoch, shard as u32, p.span_capacity))
+    });
     let n = eng.low.switch_count;
     let own_switch: Vec<bool> = (0..n)
         .map(|s| map.shard_of(SwitchId::new(s as u32)) == shard)
@@ -1680,6 +1853,8 @@ fn spawn_worker(
         out_credits,
         prov_seq: 0,
         dead: false,
+        profiler,
+        spans,
         cmd_rx,
         rep_tx,
     }

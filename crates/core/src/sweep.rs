@@ -5,7 +5,7 @@
 //! sweeps (Figure 2), packets-per-burst × flits-per-packet sweeps
 //! (Figures 3 and 4) and the ablation studies.
 
-use crate::clock::{run_engine, EngineSummary, SteppableEngine};
+use crate::clock::{run_engine, EngineSummary, EngineWarning, SteppableEngine};
 use crate::compile::{elaborate, elaborate_routed};
 use crate::compiled::CompiledEngine;
 use crate::config::{EngineKind, PlatformConfig};
@@ -337,6 +337,42 @@ impl SteppableEngine for AnyEngine {
             AnyEngine::Sharded(e) => SteppableEngine::seal_telemetry(&mut **e),
             AnyEngine::Compiled(e) => SteppableEngine::seal_telemetry(&mut **e),
             AnyEngine::ShardedCompiled(e) => SteppableEngine::seal_telemetry(&mut **e),
+        }
+    }
+
+    fn profile(&mut self) -> Option<crate::profile::PhaseReport> {
+        match self {
+            AnyEngine::Single(e) => SteppableEngine::profile(&mut **e),
+            AnyEngine::Sharded(e) => SteppableEngine::profile(&mut **e),
+            AnyEngine::Compiled(e) => SteppableEngine::profile(&mut **e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::profile(&mut **e),
+        }
+    }
+
+    fn span_trace(&mut self) -> Option<nocem_telemetry::SpanTrace> {
+        match self {
+            AnyEngine::Single(e) => SteppableEngine::span_trace(&mut **e),
+            AnyEngine::Sharded(e) => SteppableEngine::span_trace(&mut **e),
+            AnyEngine::Compiled(e) => SteppableEngine::span_trace(&mut **e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::span_trace(&mut **e),
+        }
+    }
+
+    fn stall_report(&self) -> Option<&crate::profile::StallReport> {
+        match self {
+            AnyEngine::Single(e) => SteppableEngine::stall_report(&**e),
+            AnyEngine::Sharded(e) => SteppableEngine::stall_report(&**e),
+            AnyEngine::Compiled(e) => SteppableEngine::stall_report(&**e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::stall_report(&**e),
+        }
+    }
+
+    fn warnings(&self) -> &[EngineWarning] {
+        match self {
+            AnyEngine::Single(e) => SteppableEngine::warnings(&**e),
+            AnyEngine::Sharded(e) => SteppableEngine::warnings(&**e),
+            AnyEngine::Compiled(e) => SteppableEngine::warnings(&**e),
+            AnyEngine::ShardedCompiled(e) => SteppableEngine::warnings(&**e),
         }
     }
 }

@@ -94,6 +94,11 @@ pub struct PointMeasurement {
     /// Windowed-telemetry extract of the point, when the spec enabled
     /// telemetry (`None` = telemetry off, the default).
     pub telemetry: Option<PointTelemetry>,
+    /// Host-side phase profile of the point's run, when the config
+    /// enabled profiling (`None` = profiling off, the default). Host
+    /// timing, so engine- and machine-dependent — excluded from
+    /// [`PointMeasurement::behavioral`] equivalence.
+    pub profile: Option<nocem::profile::PhaseReport>,
 }
 
 /// The bottleneck extract of one load point's telemetry: which links
@@ -129,6 +134,7 @@ impl PointMeasurement {
     pub fn behavioral(&self) -> PointMeasurement {
         PointMeasurement {
             cycles_skipped: 0,
+            profile: None,
             ..self.clone()
         }
     }
@@ -181,6 +187,7 @@ pub fn measure_config(
         top_links: c.top_blocked(TOP_LINKS),
     });
     let ledger = nocem::SteppableEngine::packet_ledger(&engine);
+    let profile = nocem::SteppableEngine::profile(&mut engine);
     let results = engine.results()?;
 
     let window = Window::after_warmup(
@@ -204,6 +211,7 @@ pub fn measure_config(
         cycles: window.end,
         cycles_skipped: results.cycles_skipped,
         telemetry,
+        profile,
     })
 }
 
@@ -292,6 +300,33 @@ mod tests {
         // gated run may coast extra quiescent windows.
         assert_eq!(fast.telemetry, base.telemetry);
         assert_eq!(fast.behavioral(), base.behavioral());
+    }
+
+    #[test]
+    fn profiled_point_carries_phase_shares() {
+        let measure = MeasureConfig {
+            warmup_cycles: 256,
+            measure_cycles: 1_024,
+        };
+        let base = measure_config(&mesh_config(0.15), None, &measure, 0.15).unwrap();
+        assert!(base.profile.is_none(), "profiling defaults to off");
+        let mut cfg = mesh_config(0.15);
+        cfg.profile = Some(nocem::profile::ProfileConfig::default());
+        let profiled = measure_config(&cfg, None, &measure, 0.15).unwrap();
+        let report = profiled.profile.as_ref().expect("profiling was enabled");
+        assert!(report.total_ns > 0);
+        assert!(report.stepped_cycles > 0);
+        let share_sum: f64 = nocem::profile::Phase::ALL
+            .iter()
+            .map(|&p| report.share_of(p))
+            .sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "phase shares must sum to 1, got {share_sum}"
+        );
+        // Host timing is not behaviour: the profiled point still
+        // matches the unprofiled baseline bit for bit.
+        assert_eq!(profiled.behavioral(), base.behavioral());
     }
 
     #[test]

@@ -430,6 +430,7 @@ mod tests {
             cycles: 5_120,
             cycles_skipped: 0,
             telemetry: None,
+            profile: None,
         }
     }
 

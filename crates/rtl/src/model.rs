@@ -17,6 +17,7 @@ use crate::kernel::{Kernel, ProcessCtx, SignalId, Value};
 use nocem::clock::{self, ClockMode, EngineSummary, SteppableEngine};
 use nocem::compile::{Elaboration, ReceptorDevice};
 use nocem::error::EmulationError;
+use nocem::profile::{Phase, PhaseProfiler, PhaseReport};
 use nocem_common::flit::PacketDescriptor;
 use nocem_common::ids::{EndpointId, LinkId, PacketId, PortId, SwitchId, VcId};
 use nocem_common::time::Cycle;
@@ -29,6 +30,7 @@ use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
 use nocem_traffic::ni::SourceNi;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Instant;
 
 struct SharedState {
     switches: Vec<Switch>,
@@ -134,6 +136,10 @@ pub struct RtlEngine {
     inflight_wires: Vec<SignalId>,
     link_count: usize,
     num_vcs: usize,
+    /// Per-phase self-profiler, enabled by `PlatformConfig.profile`.
+    /// The kernel cycle is opaque (processes interleave the platform
+    /// phases), so it is charged to [`Phase::Processes`].
+    profiler: Option<PhaseProfiler>,
 }
 
 impl std::fmt::Debug for RtlEngine {
@@ -356,6 +362,12 @@ impl RtlEngine {
             });
         }
 
+        let profiler = elab.config.profile.map(|_| {
+            let mut p = PhaseProfiler::new();
+            p.add_ns(Phase::Elaborate, elab.elaborate_ns);
+            p
+        });
+
         RtlEngine {
             kernel,
             shared,
@@ -369,6 +381,15 @@ impl RtlEngine {
             inflight_wires,
             link_count: elab.config.topology.link_count(),
             num_vcs,
+            profiler,
+        }
+    }
+
+    /// Closes the lap started at `*t`, charging it to `phase`, and
+    /// restarts the chain. No-op when profiling is off.
+    fn lap(&mut self, t: &mut Option<Instant>, phase: Phase) {
+        if let (Some(prev), Some(p)) = (t.as_mut(), self.profiler.as_mut()) {
+            *prev = p.lap(*prev, phase);
         }
     }
 
@@ -469,9 +490,11 @@ impl RtlEngine {
     /// Propagates protocol violations detected by the processes and
     /// the cycle limit.
     pub fn step(&mut self) -> Result<(), EmulationError> {
+        let mut t = self.profiler.as_mut().map(PhaseProfiler::begin_step);
         if self.clock_mode == ClockMode::Gated {
             self.try_fast_forward();
         }
+        self.lap(&mut t, Phase::FastForward);
         // Probe after any fast-forward, before executing the cycle:
         // the counters then cover exactly [0, now), matching every
         // other engine's probe point.
@@ -487,7 +510,10 @@ impl RtlEngine {
                 .expect("presence checked above")
                 .record(at, &probe);
         }
-        self.kernel.cycle().map_err(|e| {
+        self.lap(&mut t, Phase::Probe);
+        let cycled = self.kernel.cycle();
+        self.lap(&mut t, Phase::Processes);
+        cycled.map_err(|e| {
             EmulationError::Bus(nocem_platform::bus::BusError::InvalidValue {
                 addr: nocem_platform::addr::Address::from_parts(
                     nocem_common::ids::BusId::new(0),
@@ -587,6 +613,10 @@ impl SteppableEngine for RtlEngine {
 
     fn seal_telemetry(&mut self) {
         RtlEngine::seal_telemetry(self);
+    }
+
+    fn profile(&mut self) -> Option<PhaseReport> {
+        Some(self.profiler.as_ref()?.report("rtl".to_string()))
     }
 }
 

@@ -576,6 +576,7 @@ impl CoreGraphWorkload {
             clock_mode: nocem::ClockMode::default(),
             engine: nocem::config::EngineKind::default(),
             telemetry: None,
+            profile: None,
         })
     }
 }

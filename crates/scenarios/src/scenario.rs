@@ -257,6 +257,7 @@ impl ScenarioSpec {
             clock_mode: nocem::ClockMode::default(),
             engine: nocem::config::EngineKind::default(),
             telemetry: None,
+            profile: None,
             topology: topo,
         })
     }

@@ -150,6 +150,34 @@ impl std::fmt::Display for BuildSwitchError {
 
 impl std::error::Error for BuildSwitchError {}
 
+/// One waiting input VC of a switch: flits are buffered and the head
+/// flit knows which output VC it wants — the switch-local half of a
+/// wait-for edge that stall forensics assemble into blame chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitState {
+    /// Input port holding the waiting flits.
+    pub input: PortId,
+    /// Input virtual channel holding the waiting flits.
+    pub in_vc: VcId,
+    /// Output port the head flit wants (live worm allocation, or the
+    /// route selection's current choice).
+    pub output: PortId,
+    /// Output virtual channel the head flit wants.
+    pub out_vc: VcId,
+    /// Flits queued in the input VC buffer.
+    pub occupancy: usize,
+    /// Capacity of that buffer.
+    pub fifo_depth: usize,
+    /// Remaining credits of the wanted output VC.
+    pub credits: u32,
+    /// Initial credits of that output VC ([`CREDITS_INFINITE`] when
+    /// the downstream always accepts).
+    pub credit_cap: u32,
+    /// Whether a worm is live on that allocation (header granted,
+    /// body/tail flits still crossing).
+    pub worm_open: bool,
+}
+
 /// A flit transfer committed in the current cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transfer {
@@ -840,6 +868,39 @@ impl Switch {
     /// Remaining credits of one VC of `output`.
     pub fn credits_vc(&self, output: PortId, vc: VcId) -> u32 {
         self.credits[output.index()][vc.index()]
+    }
+
+    /// Snapshot of every input VC that holds flits and knows where it
+    /// wants to go — the wait-for edges of this switch, in
+    /// `(input, vc)` order. An input VC with buffered flits but no
+    /// allocation *and* no routing choice yet (header not at the head)
+    /// is omitted: it waits on its own buffer, not on an output.
+    pub fn wait_states(&self) -> Vec<WaitState> {
+        let mut edges = Vec::new();
+        for (i, per_vc) in self.fifos.iter().enumerate() {
+            for (v, fifo) in per_vc.iter().enumerate() {
+                if fifo.is_empty() {
+                    continue;
+                }
+                let alloc = self.allocated[i][v];
+                let Some(hop) = alloc.or(self.chosen[i][v]) else {
+                    continue;
+                };
+                let (o, ov) = (hop.port.index(), hop.vc.index());
+                edges.push(WaitState {
+                    input: PortId::new(i as u8),
+                    in_vc: VcId::new(v as u8),
+                    output: hop.port,
+                    out_vc: hop.vc,
+                    occupancy: fifo.len(),
+                    fifo_depth: fifo.capacity(),
+                    credits: self.credits[o][ov],
+                    credit_cap: self.credit_cap[o][ov],
+                    worm_open: alloc.is_some(),
+                });
+            }
+        }
+        edges
     }
 
     /// Accumulated statistics.

@@ -23,12 +23,15 @@
 //!
 //! The bounded flit event tracer lives in [`trace`]; it shares the
 //! "can never OOM a long run" discipline via a hard event cap and a
-//! drop counter.
+//! drop counter. Host-side (emulator wall-clock) span timelines live
+//! in [`span`] under the same discipline.
 
 pub mod series;
+pub mod span;
 pub mod trace;
 
 pub use series::{Collector, CumulativeProbe, LinkStat, ResourceSeries};
+pub use span::{validate_json, SpanBuffer, SpanEvent, SpanTrace};
 pub use trace::{FlitEvent, FlitEventKind, FlitTracer};
 
 /// Configuration of the telemetry subsystem. Telemetry is opt-in:

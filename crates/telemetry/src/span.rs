@@ -1,0 +1,439 @@
+//! Host-side span timelines: bounded per-thread buffers of timed
+//! spans, merged into a Chrome `trace_event` JSON.
+//!
+//! Where [`crate::trace`] observes the *emulated network* (flit
+//! events on platform cycles), this module observes the *emulator
+//! itself*: wall-clock spans of engine work — a sharded window, a
+//! neighbour exchange, a coordinator replay — recorded against a
+//! shared [`Instant`] epoch so spans from different threads land on
+//! one comparable timeline.
+//!
+//! The discipline matches the flit tracer: every buffer has a hard
+//! capacity, everything past the cap increments a drop counter
+//! instead of allocating, so span recording can never OOM a long run.
+
+use std::time::Instant;
+
+/// One completed span on the emulator's wall-clock timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Timeline track (Chrome trace `tid`): worker/shard index, with
+    /// [`SpanEvent::COORDINATOR`] for the coordinator thread.
+    pub track: u32,
+    /// Span name (e.g. `"window"`, `"exchange"`, `"replay"`).
+    pub name: &'static str,
+    /// Start, in nanoseconds since the shared epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Platform cycle the span belongs to (start-of-span cycle).
+    pub cycle: u64,
+}
+
+impl SpanEvent {
+    /// Track id used for the coordinator thread.
+    pub const COORDINATOR: u32 = u32::MAX;
+}
+
+/// A bounded single-thread recorder of [`SpanEvent`]s against a
+/// shared epoch.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Instant;
+/// use nocem_telemetry::SpanBuffer;
+/// let epoch = Instant::now();
+/// let mut buf = SpanBuffer::new(epoch, 0, 16);
+/// let t0 = Instant::now();
+/// buf.record("window", t0, 42);
+/// assert_eq!(buf.events().len(), 1);
+/// assert_eq!(buf.events()[0].name, "window");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpanBuffer {
+    epoch: Instant,
+    track: u32,
+    capacity: usize,
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+impl SpanBuffer {
+    /// Creates a buffer for `track` holding at most `capacity` spans,
+    /// timed against `epoch`. Every thread of one engine must share
+    /// the same epoch for the merged timeline to be meaningful.
+    pub fn new(epoch: Instant, track: u32, capacity: usize) -> Self {
+        SpanBuffer {
+            epoch,
+            track,
+            capacity,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The shared epoch this buffer times against.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Records a span from `start` to now, or counts it as dropped
+    /// past the cap.
+    pub fn record(&mut self, name: &'static str, start: Instant, cycle: u64) {
+        self.record_until(name, start, Instant::now(), cycle);
+    }
+
+    /// Records a span with an explicit end instant.
+    pub fn record_until(&mut self, name: &'static str, start: Instant, end: Instant, cycle: u64) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let start_ns = start.saturating_duration_since(self.epoch).as_nanos() as u64;
+        let dur_ns = end.saturating_duration_since(start).as_nanos() as u64;
+        self.events.push(SpanEvent {
+            track: self.track,
+            name,
+            start_ns,
+            dur_ns,
+            cycle,
+        });
+    }
+
+    /// Spans recorded so far, in record order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Spans rejected because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the buffer into its events and drop count — the shape
+    /// workers send to the coordinator for merging.
+    pub fn into_parts(self) -> (Vec<SpanEvent>, u64) {
+        (self.events, self.dropped)
+    }
+}
+
+/// A merged multi-thread span timeline, ordered by start time.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTrace {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+impl SpanTrace {
+    /// Merges per-thread event lists into one timeline sorted by
+    /// `(start_ns, track)` — the monotone order Chrome-trace viewers
+    /// and the ordering tests rely on.
+    pub fn merge(parts: impl IntoIterator<Item = (Vec<SpanEvent>, u64)>) -> Self {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for (mut evs, d) in parts {
+            events.append(&mut evs);
+            dropped += d;
+        }
+        events.sort_by_key(|e| (e.start_ns, e.track));
+        SpanTrace { events, dropped }
+    }
+
+    /// Merged spans, ascending by start time.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Total spans dropped across all contributing buffers.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Chrome `trace_event` JSON (load via `chrome://tracing` or
+    /// Perfetto): one complete event (`"ph":"X"`) per span, with
+    /// microsecond timestamps relative to the shared epoch and the
+    /// track as the thread id. The drop count rides in the top-level
+    /// metadata so truncation is visible in the artifact itself.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"cycle\":{}}}}}",
+                e.name,
+                e.start_ns / 1_000,
+                e.start_ns % 1_000,
+                e.dur_ns / 1_000,
+                e.dur_ns % 1_000,
+                e.track,
+                e.cycle
+            ));
+        }
+        out.push_str(&format!("],\"droppedSpans\":{}}}", self.dropped));
+        out
+    }
+}
+
+/// Structurally validates a JSON document — a minimal recursive
+/// parser for testing the workspace's hand-rolled emitters (the
+/// workspace deliberately has no JSON dependency). Accepts exactly
+/// the grammar of RFC 8259 minus unicode escapes' surrogate rules.
+///
+/// # Errors
+///
+/// Returns a byte offset + message for the first syntax error.
+///
+/// # Examples
+///
+/// ```
+/// use nocem_telemetry::validate_json;
+/// assert!(validate_json("{\"a\":[1,2.5,-3e2,true,null,\"x\"]}").is_ok());
+/// assert!(validate_json("{\"a\":}").is_err());
+/// ```
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => parse_object(b, i),
+        Some(b'[') => parse_array(b, i),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, "true"),
+        Some(b'f') => parse_lit(b, i, "false"),
+        Some(b'n') => parse_lit(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        Some(c) => Err(format!("unexpected byte {c:?} at offset {i}", i = *i)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {i}", i = *i))
+    }
+}
+
+fn parse_object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        parse_string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at offset {i}", i = *i));
+        }
+        *i += 1;
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {i}", i = *i)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {i}", i = *i)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at offset {i}", i = *i));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        if b.len() < *i + 5 || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at offset {i}", i = *i));
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(format!("bad escape at offset {i}", i = *i)),
+                }
+            }
+            0x00..=0x1F => return Err(format!("raw control byte at offset {i}", i = *i)),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let mut digits = 0;
+    while b.get(*i).is_some_and(u8::is_ascii_digit) {
+        *i += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !b.get(*i).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad fraction at offset {i}", i = *i));
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !b.get(*i).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad exponent at offset {i}", i = *i));
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_is_hard_and_drops_are_counted() {
+        let epoch = Instant::now();
+        let mut buf = SpanBuffer::new(epoch, 3, 2);
+        for c in 0..5 {
+            buf.record("w", Instant::now(), c);
+        }
+        assert_eq!(buf.events().len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        assert!(buf.events().iter().all(|e| e.track == 3));
+    }
+
+    #[test]
+    fn merge_orders_by_start_and_counts_drops() {
+        let mk = |track, start_ns| SpanEvent {
+            track,
+            name: "x",
+            start_ns,
+            dur_ns: 10,
+            cycle: 0,
+        };
+        let t = SpanTrace::merge(vec![(vec![mk(1, 50), mk(1, 10)], 2), (vec![mk(0, 30)], 1)]);
+        let starts: Vec<u64> = t.events().iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, [10, 30, 50]);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_microsecond_fields() {
+        let e = SpanEvent {
+            track: SpanEvent::COORDINATOR,
+            name: "replay",
+            start_ns: 1_234_567,
+            dur_ns: 890,
+            cycle: 7,
+        };
+        let t = SpanTrace::merge(vec![(vec![e], 0)]);
+        let s = t.to_chrome_trace();
+        validate_json(&s).unwrap();
+        assert!(s.contains("\"ts\":1234.567"));
+        assert!(s.contains("\"dur\":0.890"));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"droppedSpans\":0"));
+    }
+
+    #[test]
+    fn empty_trace_serializes_cleanly() {
+        let t = SpanTrace::default();
+        let s = t.to_chrome_trace();
+        validate_json(&s).unwrap();
+        assert_eq!(s, "{\"traceEvents\":[],\"droppedSpans\":0}");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "null",
+            "-12.5e-3",
+            "[]",
+            "{}",
+            "{\"k\":[{\"a\":\"b\\n\\u00e9\"},false]}",
+            " { \"x\" : 1 } ",
+        ] {
+            assert!(validate_json(good).is_ok(), "{good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01e",
+            "\"unterminated",
+            "nul",
+            "{} garbage",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad}");
+        }
+    }
+}

@@ -10,6 +10,7 @@ use crate::scheduler::{BitChanId, ChannelCtx, FlitChanId, Scheduler, SchedulerSt
 use nocem::clock::{self, ClockMode, EngineSummary, SteppableEngine};
 use nocem::compile::{Elaboration, ReceptorDevice};
 use nocem::error::EmulationError;
+use nocem::profile::{Phase, PhaseProfiler, PhaseReport};
 use nocem_common::flit::PacketDescriptor;
 use nocem_common::ids::{EndpointId, LinkId, PacketId, PortId, SwitchId, VcId};
 use nocem_common::time::Cycle;
@@ -22,6 +23,7 @@ use nocem_traffic::generator::{PacketRequest, TrafficGenerator};
 use nocem_traffic::ni::SourceNi;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Instant;
 
 struct SharedState {
     switches: Vec<Switch>,
@@ -126,6 +128,10 @@ pub struct TlmEngine {
     inflight_chans: Vec<FlitChanId>,
     link_count: usize,
     num_vcs: usize,
+    /// Per-phase self-profiler, enabled by `PlatformConfig.profile`.
+    /// The scheduler cycle is opaque (processes interleave the
+    /// platform phases), so it is charged to [`Phase::Processes`].
+    profiler: Option<PhaseProfiler>,
 }
 
 impl std::fmt::Debug for TlmEngine {
@@ -331,6 +337,12 @@ impl TlmEngine {
             });
         }
 
+        let profiler = elab.config.profile.map(|_| {
+            let mut p = PhaseProfiler::new();
+            p.add_ns(Phase::Elaborate, elab.elaborate_ns);
+            p
+        });
+
         TlmEngine {
             scheduler,
             shared,
@@ -344,6 +356,15 @@ impl TlmEngine {
             inflight_chans,
             link_count: elab.config.topology.link_count(),
             num_vcs,
+            profiler,
+        }
+    }
+
+    /// Closes the lap started at `*t`, charging it to `phase`, and
+    /// restarts the chain. No-op when profiling is off.
+    fn lap(&mut self, t: &mut Option<Instant>, phase: Phase) {
+        if let (Some(prev), Some(p)) = (t.as_mut(), self.profiler.as_mut()) {
+            *prev = p.lap(*prev, phase);
         }
     }
 
@@ -443,9 +464,11 @@ impl TlmEngine {
     /// Propagates protocol violations detected by the processes and
     /// the cycle limit.
     pub fn step(&mut self) -> Result<(), EmulationError> {
+        let mut t = self.profiler.as_mut().map(PhaseProfiler::begin_step);
         if self.clock_mode == ClockMode::Gated {
             self.try_fast_forward();
         }
+        self.lap(&mut t, Phase::FastForward);
         // Probe after any fast-forward, before executing the cycle:
         // the counters then cover exactly [0, now), matching every
         // other engine's probe point.
@@ -461,7 +484,9 @@ impl TlmEngine {
                 .expect("presence checked above")
                 .record(at, &probe);
         }
+        self.lap(&mut t, Phase::Probe);
         self.scheduler.cycle();
+        self.lap(&mut t, Phase::Processes);
         if let Some(e) = self.shared.borrow().error.clone() {
             return Err(e);
         }
@@ -542,6 +567,10 @@ impl SteppableEngine for TlmEngine {
 
     fn seal_telemetry(&mut self) {
         TlmEngine::seal_telemetry(self);
+    }
+
+    fn profile(&mut self) -> Option<PhaseReport> {
+        Some(self.profiler.as_ref()?.report("tlm".to_string()))
     }
 }
 

@@ -11,7 +11,7 @@
 //! then drives *random partitions* (not just grid stripes) at random
 //! batch sizes against the batch-1 exchange order.
 
-use nocem::clock::{ClockMode, SteppableEngine};
+use nocem::clock::{ClockMode, EngineWarning, SteppableEngine};
 use nocem::compile::elaborate;
 use nocem::compiled::CompiledEngine;
 use nocem::config::{EngineKind, PlatformConfig};
@@ -213,7 +213,18 @@ fn gated_clamps_batch_and_skips_like_the_compiled_kernel() {
     reference.run().unwrap();
     let mut engine = ShardedCompiledEngine::with_shards(&cfg, 4, 16).unwrap();
     assert_eq!(engine.batch(), 1, "gated mode must clamp the batch");
+    // The clamp is surfaced as a structured warning — machine-visible
+    // on both the engine and its summary, not just stderr.
+    match SteppableEngine::warnings(&engine) {
+        [EngineWarning::GatedBatchClamp { requested }] => assert_eq!(*requested, 16),
+        other => panic!("expected one GatedBatchClamp warning, got {other:?}"),
+    }
     engine.run().unwrap();
+    assert_eq!(
+        SteppableEngine::summary(&engine).warnings,
+        SteppableEngine::warnings(&engine),
+        "the summary must carry the engine's warnings"
+    );
     assert!(engine.cycles_skipped() > 0, "a 5%-load run must skip");
     assert_eq!(engine.cycles_skipped(), reference.cycles_skipped());
     assert_eq!(engine.ledger(), reference.ledger());
